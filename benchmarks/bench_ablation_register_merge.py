@@ -1,0 +1,72 @@
+"""Ablation — odd-even transposition vs bitonic register merge.
+
+DESIGN.md calls out the register-merge choice: the paper adopts odd-even
+transposition (O(E^2) compare-exchanges, but every register index is
+static); a bitonic merge needs O(E log E) compare-exchanges *plus* a
+data-dependent rotation, which on real hardware spills to local memory.
+The benchmark quantifies both sides of the trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import attach
+
+from repro.mergesort import cf_merge_block
+from repro.mergesort.register_merge import (
+    bitonic_merge_rotated,
+    compare_exchange_count_odd_even,
+    odd_even_transposition_sort,
+)
+
+
+def _block_inputs(E, u, seed=0):
+    rng = np.random.default_rng(seed)
+    total = u * E
+    vals = np.arange(total, dtype=np.int64)
+    mask = rng.random(total) < 0.5
+    return vals[mask], vals[~mask]
+
+
+@pytest.mark.parametrize("register_merge", ["odd_even", "bitonic"])
+def test_ablation_cf_merge_variant(benchmark, register_merge):
+    E, u, w = 15, 64, 32
+    a, b = _block_inputs(E, u)
+
+    def run():
+        merged, stats = cf_merge_block(
+            a, b, E, w, register_merge=register_merge, simulate_search=False
+        )
+        return merged, stats
+
+    merged, stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+    assert stats.merge.shared_replays == 0  # both variants stay conflict free
+    expected_dynamic = 0 if register_merge == "odd_even" else u * E
+    assert stats.merge.register_dynamic_accesses == expected_dynamic
+    attach(
+        benchmark,
+        compute_ops=stats.merge.compute_ops,
+        dynamic_register_accesses=stats.merge.register_dynamic_accesses,
+    )
+
+
+def test_ablation_network_sizes(benchmark):
+    """Compare-exchange counts across E (the scaling behind the trade)."""
+
+    def counts():
+        out = {}
+        for E in (8, 15, 17, 32):
+            items = np.arange(E)[::-1].copy()
+            _, oe = odd_even_transposition_sort(items)
+            _, bt, dyn = bitonic_merge_rotated(np.sort(items), 0, E)
+            out[E] = (oe, bt, dyn)
+        return out
+
+    result = benchmark(counts)
+    for E, (oe, bt, _) in result.items():
+        assert oe == compare_exchange_count_odd_even(E)
+        if E >= 15:
+            assert bt < oe  # bitonic needs fewer compare-exchanges...
+    attach(benchmark, counts={f"E={E}": v for E, v in result.items()})

@@ -1,0 +1,58 @@
+"""Application case studies: transpose and scan layouts, measured.
+
+Extension benches (DESIGN.md): the neighbouring bank-conflict-free designs
+the paper's Section 2 surveys, quantified on the same simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import attach
+
+from repro.apps import (
+    exclusive_scan_naive,
+    exclusive_scan_padded,
+    transpose_diagonal,
+    transpose_naive,
+    transpose_padded,
+)
+
+
+@pytest.mark.parametrize(
+    "fn", [transpose_naive, transpose_padded, transpose_diagonal],
+    ids=["naive", "padded", "diagonal"],
+)
+def test_transpose_layouts(benchmark, fn):
+    w = 32
+    m = np.arange(w * w).reshape(w, w)
+
+    def run():
+        return fn(m)
+
+    out, counters = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert np.array_equal(out, m.T)
+    if fn is transpose_naive:
+        assert counters.shared_replays == w * (w - 1)
+    else:
+        assert counters.shared_replays == 0
+    attach(benchmark, replays=counters.shared_replays)
+
+
+@pytest.mark.parametrize(
+    "fn", [exclusive_scan_naive, exclusive_scan_padded], ids=["naive", "padded"]
+)
+def test_scan_layouts(benchmark, fn):
+    n, w = 512, 32
+    vals = np.arange(n)
+
+    def run():
+        return fn(vals, w)
+
+    out, counters = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert np.array_equal(out, np.concatenate([[0], np.cumsum(vals)[:-1]]))
+    if fn is exclusive_scan_padded:
+        assert counters.shared_replays == 0
+    else:
+        assert counters.shared_replays > 100
+    attach(benchmark, replays=counters.shared_replays)

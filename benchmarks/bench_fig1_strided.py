@@ -1,0 +1,44 @@
+"""Figure 1 — strided shared-memory access costs (w=12, strides 5 and 6).
+
+Regenerates the figure's fact — stride coprime with the bank count is
+conflict free, a shared divisor ``d`` serializes ``d`` deep — and times
+the round-cost computation across all strides.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.numtheory import gcd
+from repro.sim import BankModel
+
+
+def test_fig1_strided_costs(benchmark):
+    w = 12
+    bm = BankModel(w)
+
+    def all_stride_costs():
+        return {s: bm.round_cost(bm.strided_access(0, s)).cycles for s in range(1, w + 1)}
+
+    costs = benchmark(all_stride_costs)
+
+    # The paper's two exhibits:
+    assert costs[5] == 1  # coprime -> conflict free
+    assert costs[6] == 6  # gcd 6 -> 6-way serialization
+    # The general law the figure illustrates:
+    for stride, cycles in costs.items():
+        assert cycles == gcd(w, stride)
+    attach(benchmark, cycles_by_stride=costs)
+
+
+def test_fig1_full_warp_width(benchmark):
+    """Same study at the real warp width (w=32, strides 15/17/16)."""
+    bm = BankModel(32)
+
+    def costs():
+        return {s: bm.round_cost(bm.strided_access(0, s)).cycles for s in (15, 16, 17)}
+
+    result = benchmark(costs)
+    assert result[15] == 1 and result[17] == 1  # the paper's E values
+    assert result[16] == 16
+    attach(benchmark, cycles_by_stride=result)

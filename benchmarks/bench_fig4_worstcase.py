@@ -1,0 +1,49 @@
+"""Figure 4 — worst-case input construction (w=12, E=5 and E=9).
+
+Times the construction and realization, and asserts the figure's content:
+the full-scan threads' segments align in the same banks, and the realized
+values force the merge path into exactly the constructed tuples.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.mergesort.merge_path import warp_split_from_merge_path
+from repro.worstcase import warp_tuples, worstcase_merge_inputs
+
+
+def _scan_start_banks(w: int, E: int) -> set[int]:
+    starts = set()
+    acc = 0
+    for a_cnt, _ in warp_tuples(w, E):
+        if a_cnt == E:
+            starts.add(acc % w)
+        acc += a_cnt
+    return starts
+
+
+def test_fig4_construction_E5(benchmark):
+    w, E = 12, 5
+
+    def construct():
+        return worstcase_merge_inputs(w, E)
+
+    a, b = benchmark(construct)
+    split = warp_split_from_merge_path(a, b, E)
+    assert list(split.a_sizes) == [x for x, _ in warp_tuples(w, E)]
+    banks = _scan_start_banks(w, E)
+    assert len(banks) <= 2  # aligned scan groups
+    attach(benchmark, scan_start_banks=sorted(banks), tuples=warp_tuples(w, E))
+
+
+def test_fig4_construction_E9_noncoprime(benchmark):
+    w, E = 12, 9  # d = 3, the generalized (previously open) case
+
+    def construct():
+        return worstcase_merge_inputs(w, E)
+
+    a, b = benchmark(construct)
+    split = warp_split_from_merge_path(a, b, E)
+    assert list(split.a_sizes) == [x for x, _ in warp_tuples(w, E)]
+    attach(benchmark, d=3, tuples=warp_tuples(w, E))

@@ -1,0 +1,43 @@
+"""Figure 5 — throughput on worst-case inputs, both parameter sets.
+
+Regenerates the paper's headline series: CF-Merge vs unmodified Thrust on
+the constructed worst-case inputs for ``n = 2^i * E``, with the paper's
+speedup bands asserted:
+
+* E=15, u=512: average/mean/max speedup 1.37 / 1.45 / 1.47 (we assert the
+  mean lands in [1.30, 1.50]);
+* E=17, u=256: 1.17 / 1.23 / 1.25 (asserted in [1.10, 1.30]).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach
+
+from repro.config import SortParams
+from repro.perf import speedup_summary, throughput_sweep
+
+SWEEP = dict(i_range=range(16, 27, 2), samples=4, blocksort_samples=1)
+BANDS = {15: (1.30, 1.50), 17: (1.10, 1.30)}
+
+
+@pytest.mark.parametrize("E,u", [(15, 512), (17, 256)])
+def test_fig5_worstcase_throughput(benchmark, E, u):
+    params = SortParams(E, u)
+
+    def sweep():
+        thrust = throughput_sweep(params, "thrust", "worstcase", **SWEEP)
+        cf = throughput_sweep(params, "cf", "worstcase", **SWEEP)
+        return thrust, cf
+
+    thrust, cf = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    stats = speedup_summary(thrust, cf)
+    lo, hi = BANDS[E]
+    assert lo <= stats["mean"] <= hi, stats
+    assert all(c.throughput > t.throughput for t, c in zip(thrust, cf))
+    attach(
+        benchmark,
+        speedup=stats,
+        thrust_series={p.i: round(p.throughput, 1) for p in thrust},
+        cf_series={p.i: round(p.throughput, 1) for p in cf},
+    )

@@ -1,0 +1,57 @@
+"""Figure 6 — throughput on worst-case AND random inputs, per parameter set.
+
+The figure's two claims, asserted:
+
+* on random inputs CF-Merge is "virtually the same" as Thrust (parity
+  within 10%) — the gather's overhead equals the 2-3 conflicts random
+  inputs cause anyway;
+* CF-Merge's own curves are input independent (worst == random within 10%);
+* unmodified Thrust loses substantially on the worst case (the prior
+  work's "up to 50%" slowdown: we assert >= 15%).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach
+
+from repro.config import SortParams
+from repro.perf import speedup_summary, throughput_sweep
+
+SWEEP = dict(i_range=range(16, 27, 2), samples=4, blocksort_samples=1)
+
+
+@pytest.mark.parametrize("E,u", [(15, 512), (17, 256)])
+def test_fig6_random_vs_worstcase(benchmark, E, u):
+    params = SortParams(E, u)
+
+    def sweep():
+        return {
+            (v, wl): throughput_sweep(params, v, wl, **SWEEP)
+            for v in ("thrust", "cf")
+            for wl in ("random", "worstcase")
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    parity = speedup_summary(series[("thrust", "random")], series[("cf", "random")])
+    assert 0.9 <= parity["mean"] <= 1.1, parity
+
+    cf_flat = speedup_summary(series[("cf", "worstcase")], series[("cf", "random")])
+    assert 0.9 <= cf_flat["mean"] <= 1.1, cf_flat
+
+    slowdown = speedup_summary(
+        series[("thrust", "worstcase")], series[("thrust", "random")]
+    )
+    assert slowdown["mean"] >= 1.15, slowdown
+
+    attach(
+        benchmark,
+        random_parity=parity,
+        cf_input_independence=cf_flat,
+        thrust_worstcase_slowdown=slowdown,
+        series={
+            f"{v}/{wl}": {p.i: round(p.throughput, 1) for p in pts}
+            for (v, wl), pts in series.items()
+        },
+    )

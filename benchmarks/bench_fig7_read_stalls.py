@@ -1,0 +1,56 @@
+"""Figure 7 — read stalls without the B reversal (w=12, E=5).
+
+Asserts the figure's content: across random splits, the naive (unreversed)
+schedule forces threads to read two elements in some rounds, while the
+reversed schedule never does; times both schedule computations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import attach
+
+from repro.core import WarpSplit, naive_gather_schedule, warp_gather_schedule
+
+W, E = 12, 5
+
+
+def _splits(n: int):
+    rng = random.Random(0)
+    return [
+        WarpSplit(E=E, a_sizes=tuple(rng.randint(0, E) for _ in range(W)))
+        for _ in range(n)
+    ]
+
+
+def _stalled_thread_rounds(schedule) -> int:
+    stalls = 0
+    for rnd in schedule:
+        counts: dict[int, int] = {}
+        for acc in rnd:
+            counts[acc.thread] = counts.get(acc.thread, 0) + 1
+        stalls += sum(1 for c in counts.values() if c > 1)
+    return stalls
+
+
+def test_fig7_naive_schedule_stalls(benchmark):
+    splits = _splits(50)
+
+    def total_stalls():
+        return sum(_stalled_thread_rounds(naive_gather_schedule(sp)) for sp in splits)
+
+    stalls = benchmark(total_stalls)
+    assert stalls > 0
+    attach(benchmark, stalled_thread_rounds=stalls, splits=len(splits))
+
+
+def test_fig7_reversal_eliminates_stalls(benchmark):
+    splits = _splits(50)
+
+    def total_stalls():
+        return sum(_stalled_thread_rounds(warp_gather_schedule(sp)) for sp in splits)
+
+    stalls = benchmark(total_stalls)
+    assert stalls == 0
+    attach(benchmark, stalled_thread_rounds=stalls)

@@ -1,0 +1,41 @@
+"""Section 5's non-coprime aside, benchmarked.
+
+"for values of E that are not coprime with w = 32, the performance of
+Thrust is much worse, while the runtime of CF-Merge will not be affected."
+Measured at matched 100% occupancy (u=512, E in {14, 15, 16}) so only
+coprimality varies.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.config import SortParams
+from repro.perf import throughput_sweep
+
+
+def test_noncoprime_E_hurts_thrust_not_cf(benchmark):
+    def measure():
+        out = {}
+        for E in (15, 16):
+            params = SortParams(E, 512)
+            for variant in ("thrust", "cf"):
+                pts = throughput_sweep(
+                    params, variant, "random",
+                    i_range=[20], samples=3, blocksort_samples=1,
+                )
+                out[(E, variant)] = pts[0].throughput
+        return out
+
+    thr = benchmark.pedantic(measure, rounds=1, iterations=1)
+    thrust_drop = thr[(16, "thrust")] / thr[(15, "thrust")]
+    cf_drop = thr[(16, "cf")] / thr[(15, "cf")]
+    # Thrust loses far more than CF-Merge when coprimality breaks.
+    assert thrust_drop < 0.75
+    assert cf_drop > thrust_drop + 0.1
+    attach(
+        benchmark,
+        throughput={f"E={E}/{v}": round(t, 1) for (E, v), t in thr.items()},
+        thrust_E16_vs_E15=round(thrust_drop, 3),
+        cf_E16_vs_E15=round(cf_drop, 3),
+    )

@@ -1,0 +1,34 @@
+"""Section 5's occupancy claim — E=15,u=512 reaches 100%, E=17,u=256 doesn't.
+
+Times the occupancy calculation over a parameter grid and asserts the two
+anchor rows.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.config import RTX_2080_TI, SortParams
+from repro.errors import OccupancyError
+from repro.perf import occupancy
+
+
+def test_occupancy_parameter_grid(benchmark):
+    grid = [(E, u) for E in (8, 12, 15, 16, 17, 24) for u in (128, 256, 512)]
+
+    def compute():
+        out = {}
+        for E, u in grid:
+            try:
+                out[(E, u)] = occupancy(RTX_2080_TI, SortParams(E, u)).occupancy
+            except OccupancyError:
+                out[(E, u)] = 0.0
+        return out
+
+    table = benchmark(compute)
+    assert table[(15, 512)] == 1.0
+    assert table[(17, 256)] == 0.75
+    attach(
+        benchmark,
+        occupancy={f"E={E},u={u}": occ for (E, u), occ in table.items()},
+    )

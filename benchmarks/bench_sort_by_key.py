@@ -1,0 +1,32 @@
+"""Key-value sorting throughput on the simulator (extension benchmark).
+
+Times the packed-key ``sort_by_key`` for both variants and checks the
+zero-conflict guarantee carries over to key-value sorting unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import attach
+
+from repro.mergesort.by_key import sort_by_key
+
+
+@pytest.mark.parametrize("variant", ["thrust", "cf"])
+def test_sort_by_key(benchmark, variant):
+    rng = np.random.default_rng(0)
+    n = 8 * 16 * 5
+    keys = rng.integers(0, 10**6, n)
+    values = rng.integers(0, 10**6, n)
+
+    def run():
+        return sort_by_key(keys, values, E=5, u=16, w=8, variant=variant)
+
+    sk, sv, result = benchmark.pedantic(run, rounds=2, iterations=1)
+    order = np.argsort(keys, kind="stable")
+    assert np.array_equal(sk, keys[order])
+    assert np.array_equal(sv, values[order])
+    if variant == "cf":
+        assert result.merge_replays == 0
+    attach(benchmark, merge_replays=result.merge_replays)

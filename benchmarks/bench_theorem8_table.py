@@ -1,0 +1,63 @@
+"""Theorem 8 — measured worst-case conflicts vs the closed forms.
+
+The paper's central quantitative theorem: the constructed inputs align
+
+    E^2                                   if 1 < E <= w/2
+    (E^2 + 2Er + Ed - r^2 - rd) / 2       otherwise
+
+conflicting accesses per warp merge.  The benchmark times the measurement
+and asserts measured excess >= formula (minus the first-access-per-bank
+discount, see tests/test_worstcase.py) on a (w, E) grid.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.mergesort.fast import serial_merge_profile
+from repro.worstcase import theorem8_combined, worstcase_merge_inputs
+
+GRID = [
+    (12, 5), (12, 9), (9, 6), (16, 9), (24, 18),
+    (32, 8), (32, 12), (32, 15), (32, 16), (32, 17), (32, 24),
+]
+
+
+def test_theorem8_grid(benchmark):
+    def measure_all():
+        rows = {}
+        for w, E in GRID:
+            a, b = worstcase_merge_inputs(w, E)
+            prof = serial_merge_profile(a, b, E, w)
+            rows[(w, E)] = (theorem8_combined(w, E), prof.shared_excess)
+        return rows
+
+    rows = benchmark(measure_all)
+    for (w, E), (formula, measured) in rows.items():
+        assert measured >= formula - 2 * w, (w, E, formula, measured)
+    attach(
+        benchmark,
+        table={f"w={w},E={E}": row for (w, E), row in rows.items()},
+    )
+
+
+def test_theorem8_paper_parameters(benchmark):
+    """The two Section 5 parameter sets at full warp width."""
+
+    def measure():
+        out = {}
+        for E in (15, 17):
+            a, b = worstcase_merge_inputs(32, E)
+            prof = serial_merge_profile(a, b, E, 32)
+            out[E] = dict(
+                formula=theorem8_combined(32, E),
+                excess=prof.shared_excess,
+                replays_per_step=prof.shared_replays / prof.shared_read_rounds,
+            )
+        return out
+
+    result = benchmark(measure)
+    # Worst case drives replays per step to Theta(E) — vs 2-3 on random.
+    assert result[15]["replays_per_step"] > 15 / 2
+    assert result[17]["replays_per_step"] > 17 / 2
+    attach(benchmark, **{f"E{E}": v for E, v in result.items()})

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's figures or tables
+(see DESIGN.md §4) while ``pytest-benchmark`` times the generating
+computation.  The reproduced rows/series are attached to each benchmark's
+``extra_info`` so they appear in ``--benchmark-json`` output, and printed
+(visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+
+def attach(benchmark, **info) -> None:
+    """Record reproduced results on the benchmark and echo them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+        print(f"[{benchmark.name}] {key} = {value}")

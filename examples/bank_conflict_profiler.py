@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Profile arbitrary shared-memory access patterns for bank conflicts.
+
+Uses the simulator's bank model directly — handy for reasoning about any
+GPU kernel's shared-memory layout, not just mergesort.  Reproduces the
+Figure 1 strided-access study for every stride, then profiles a custom
+warp-synchronous kernel.
+
+Run:  python examples/bank_conflict_profiler.py
+"""
+
+import numpy as np
+
+from repro import BankModel, Counters, SharedMemory
+from repro.numtheory import gcd
+from repro.sim import SharedRead, Warp
+
+
+def stride_study(w: int = 32) -> None:
+    """Serialization depth of strided warp accesses, all strides 1..w."""
+    bm = BankModel(w)
+    print(f"strided warp access, w = {w} banks (Figure 1, generalized):")
+    print(f"{'stride':>7} {'gcd(w,s)':>9} {'cycles':>7}  verdict")
+    for stride in range(1, w + 1):
+        cost = bm.round_cost(bm.strided_access(0, stride))
+        verdict = "conflict free" if cost.replays == 0 else f"{cost.replays} replays"
+        marker = " <-- coprime" if gcd(w, stride) == 1 else ""
+        print(f"{stride:>7} {gcd(w, stride):>9} {cost.cycles:>7}  {verdict}{marker}")
+    print()
+
+
+def profile_custom_kernel() -> None:
+    """Profile a hand-written warp kernel: a column-sum over a tile.
+
+    Each thread sums a row of a 16x16 tile stored row-major — the classic
+    conflict trap (stride-16 accesses with w=16 serialize 16-deep), and the
+    classic fix (pad the leading dimension to 17).
+    """
+    w, rows, cols = 16, 16, 16
+    for pad in (0, 1):
+        ld = cols + pad  # leading dimension
+        counters = Counters()
+        shm = SharedMemory(rows * ld, w=w, counters=counters)
+        shm.load_array(np.arange(rows * ld))
+
+        def row_sum(tid):
+            def program():
+                total = 0
+                for c in range(cols):
+                    # row-major: thread `tid` reads element (tid, c)
+                    value = yield SharedRead(tid * ld + c)
+                    total += value
+
+            return program()
+
+        Warp(0, [row_sum(t) for t in range(w)], shm, counters=counters).run()
+        label = f"ld={ld} ({'padded' if pad else 'unpadded'})"
+        print(
+            f"  {label:>18}: {counters.shared_read_rounds} rounds, "
+            f"{counters.shared_replays} replays "
+            f"({counters.average_cycles_per_round:.1f} cycles/round)"
+        )
+
+
+def main() -> None:
+    stride_study()
+    print("custom kernel: per-thread row sums of a 16x16 shared tile")
+    profile_custom_kernel()
+    print("\npadding the leading dimension is the ad-hoc fix; the paper's")
+    print("gather/scatter schedules achieve the same guarantee analytically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Sorting records by key (Thrust's sort_by_key) on the simulator.
+
+Sorts a table of (timestamp, event-name) records by timestamp with the
+packed-key trick real GPU code uses, demonstrating stability (equal keys
+keep their arrival order) and CF-Merge's conflict-freedom carrying over
+unchanged.
+
+Run:  python examples/key_value_records.py
+"""
+
+import numpy as np
+
+from repro.mergesort.by_key import sort_by_key
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 320
+    timestamps = rng.integers(0, 50, n)  # coarse clock: many ties
+    events = np.array([f"evt-{i:03d}" for i in range(n)])  # arrival order
+
+    print(f"sorting {n} records by a {len(set(timestamps.tolist()))}-valued key\n")
+    for variant in ("thrust", "cf"):
+        keys, payloads, result = sort_by_key(
+            timestamps, events, E=5, u=16, w=8, variant=variant
+        )
+        assert np.array_equal(keys, np.sort(timestamps))
+        # Stability: among equal timestamps, arrival order is preserved.
+        for t in np.unique(keys):
+            ids = [int(p.split("-")[1]) for p in payloads[keys == t]]
+            assert ids == sorted(ids)
+        merge = result.merge_stats.merge + result.blocksort_stats.merge
+        print(f"{variant:>7}: stable ✓, merge replays = {merge.shared_replays}")
+
+    print("\nfirst 5 records after sorting:")
+    for k, p in list(zip(keys, payloads))[:5]:
+        print(f"  t={k:>2}  {p}")
+    print("\nThe 64-bit packing (key << 32 | index) is exactly what CUDA code")
+    print("does for 32-bit key/value pairs; stability falls out for free.")
+
+
+if __name__ == "__main__":
+    main()

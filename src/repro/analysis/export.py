@@ -1,0 +1,73 @@
+"""Exporting experiment results to machine-readable files.
+
+Throughput series and counter snapshots can be written as JSON or CSV so
+external plotting tools (or a CI trend tracker) can consume them; the CLI
+and examples print human-readable tables, these are their durable twins.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import ParameterError
+from repro.perf.throughput import ThroughputPoint
+from repro.sim.counters import Counters
+
+__all__ = ["throughput_to_csv", "throughput_to_json", "counters_to_json"]
+
+
+def _rows(series: dict[str, list[ThroughputPoint]]) -> list[dict]:
+    rows = []
+    for name, points in series.items():
+        for p in points:
+            rows.append(
+                {
+                    "series": name,
+                    "i": p.i,
+                    "n": p.n,
+                    "variant": p.variant,
+                    "workload": p.workload,
+                    "E": p.E,
+                    "u": p.u,
+                    "time_us": p.time_us,
+                    "throughput_elems_per_us": p.throughput,
+                    "shared_us": p.breakdown.shared_us,
+                    "compute_us": p.breakdown.compute_us,
+                    "global_us": p.breakdown.global_us,
+                    "launch_us": p.breakdown.launch_us,
+                }
+            )
+    return rows
+
+
+def throughput_to_csv(series: dict[str, list[ThroughputPoint]], path) -> Path:
+    """Write throughput series to ``path`` as CSV; returns the path."""
+    rows = _rows(series)
+    if not rows:
+        raise ParameterError("nothing to export")
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def throughput_to_json(series: dict[str, list[ThroughputPoint]], path) -> Path:
+    """Write throughput series to ``path`` as JSON; returns the path."""
+    rows = _rows(series)
+    if not rows:
+        raise ParameterError("nothing to export")
+    path = Path(path)
+    path.write_text(json.dumps(rows, indent=2) + "\n")
+    return path
+
+
+def counters_to_json(counters: Counters, path, **metadata) -> Path:
+    """Write a counter snapshot (plus metadata keys) to ``path`` as JSON."""
+    path = Path(path)
+    payload = {"metadata": metadata, "counters": counters.as_dict()}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

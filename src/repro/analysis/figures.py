@@ -1,0 +1,240 @@
+"""The paper's figures, regenerated from live simulation.
+
+Every figure is built by *running* the relevant procedure on the simulator
+(or by evaluating the construction being depicted) and rendering the
+measured accesses — the renders would change if the algorithms regressed.
+
+Figure/paper correspondence:
+
+====== ================================================================
+Fig 1  Strided warp accesses, ``w=12``: stride 5 conflict free, stride 6
+       worst case.
+Fig 2  CF gather rounds, ``w=12, E=5`` (coprime).
+Fig 3  CF gather rounds, ``w=9, E=6, d=3`` (circular shift ``rho``).
+Fig 4  Worst-case inputs, ``w=12``, ``E=5`` and ``E=9``.
+Fig 7  Read stalls without the ``B`` reversal (``w=12, E=5``).
+Fig 8  Thread-block gather, ``u=18, w=6, E=4, d=2``.
+====== ================================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.grid import BankGrid
+from repro.core import (
+    BlockSplit,
+    WarpSplit,
+    block_gather_schedule,
+    naive_gather_schedule,
+    warp_gather_schedule,
+)
+from repro.core.verify import schedule_conflicts
+from repro.sim import BankModel
+from repro.worstcase.tuples import warp_tuples
+
+__all__ = ["figure1", "figure2", "figure3", "figure4", "figure7", "figure8"]
+
+#: A fixed, representative split used for the schedule figures (the paper
+#: shows "an arbitrary input"; this one exercises empty, full, and mixed
+#: per-thread subsequences).
+_FIG2_SPLIT = WarpSplit(E=5, a_sizes=(2, 4, 0, 5, 1, 3, 2, 5, 0, 3, 4, 1))
+_FIG3_SPLIT = WarpSplit(E=6, a_sizes=(3, 6, 0, 2, 5, 1, 4, 6, 0))
+_FIG8_SPLIT = BlockSplit(
+    E=4, w=6,
+    a_sizes=(2, 4, 0, 3, 1, 4, 2, 0, 3, 4, 1, 2, 3, 0, 4, 2, 1, 3),
+)
+
+
+def figure1(w: int = 12) -> str:
+    """Strided accesses: coprime stride (conflict free) vs non-coprime."""
+    bm = BankModel(w)
+    out = [
+        f"Figure 1 — strided accesses in shared memory, w={w}",
+        "Cells show their address; '*' marks the cells one warp accesses",
+        "concurrently.",
+        "",
+    ]
+    for stride in (5, 6):
+        grid = BankGrid(w, w * 6)
+        for addr in range(w * 6):
+            grid.label(addr, addr)
+        addrs = [a for a in bm.strided_access(0, stride) if a < w * 6]
+        for a in addrs:
+            grid.mark(a, "*")
+        cost = bm.round_cost(bm.strided_access(0, stride))
+        verdict = (
+            "conflict free (1 cycle)"
+            if cost.replays == 0
+            else f"{cost.cycles}-way serialization ({cost.replays} replays)"
+        )
+        coprime = "coprime" if np.gcd(stride, w) == 1 else "NOT coprime"
+        out.append(
+            grid.render(f"stride {stride} ({coprime} with w={w}): {verdict}")
+        )
+        out.append("")
+    return "\n".join(out)
+
+
+def _schedule_figure(split, schedule, title: str, w: int) -> str:
+    """Render a gather schedule: one grid per round, cells = thread ids."""
+    E = split.E
+    total = split.total
+    out = [title, ""]
+    # Base grid: every cell labeled with the thread that will read it.
+    owner: dict[int, int] = {}
+    kind: dict[int, str] = {}
+    for rnd in schedule:
+        for acc in rnd:
+            owner[acc.address] = acc.thread
+            kind[acc.address] = acc.kind
+    conflicts = schedule_conflicts(schedule, w)
+    for j, rnd in enumerate(schedule):
+        grid = BankGrid(w, total)
+        for addr in range(total):
+            tag = "A" if kind.get(addr) == "A" else "B"
+            grid.label(addr, f"{owner.get(addr, '?')}{tag.lower()}")
+        for acc in rnd:
+            grid.mark(acc.address, "*")
+        per_warp: dict[int, list[int]] = {}
+        for acc in rnd:
+            per_warp.setdefault(acc.thread // w, []).append(acc.address % w)
+        ok = all(sorted(banks) == list(range(w)) for banks in per_warp.values())
+        crs = "every warp's banks form a CRS" if ok else "NOT conflict free"
+        out.append(grid.render(f"round {j}: accessed cells marked '*' — {crs}"))
+        out.append("")
+    out.append(
+        "measured conflicts across all rounds: "
+        + ("none (bank conflict free)" if not conflicts else str(conflicts))
+    )
+    return "\n".join(out)
+
+
+def _live_crosscheck(split) -> str:
+    """Run the real gather on the simulator and report the measured trace.
+
+    The schedule drawings above are *verified against execution*: the
+    simulated kernel must perform exactly the drawn accesses with zero
+    replays, or this line calls it out.
+    """
+    import numpy as np
+
+    from repro.core.gather import gather_warp
+    from repro.sim.trace import AccessTrace
+
+    trace = AccessTrace()
+    a = np.arange(split.n_a)
+    b = np.arange(split.n_b)
+    _, counters, _ = gather_warp(a, b, split, trace=trace)
+    sched = warp_gather_schedule(split)
+    drawn = [sorted((acc.thread, acc.address) for acc in rnd) for rnd in sched]
+    executed = [sorted(e.accesses) for e in trace.events]
+    matches = drawn == executed
+    return (
+        f"live simulation cross-check: {len(trace.events)} rounds executed, "
+        f"{counters.shared_replays} replays, trace "
+        f"{'matches the drawing' if matches else 'DIVERGES FROM THE DRAWING'}"
+    )
+
+
+def figure2() -> str:
+    """CF gather schedule for the coprime case (w=12, E=5, d=1)."""
+    split = _FIG2_SPLIT
+    schedule = warp_gather_schedule(split)
+    body = _schedule_figure(
+        split,
+        schedule,
+        "Figure 2 — CF-Merge gather rounds, w=12, E=5, d=1 (coprime).\n"
+        "Cell labels are 'thread id' + list ('a'/'b'); '*' marks round accesses.",
+        split.w,
+    )
+    return body + "\n" + _live_crosscheck(split)
+
+
+def figure3() -> str:
+    """CF gather schedule for the non-coprime case (w=9, E=6, d=3)."""
+    split = _FIG3_SPLIT
+    schedule = warp_gather_schedule(split)
+    body = _schedule_figure(
+        split,
+        schedule,
+        "Figure 3 — CF-Merge gather rounds, w=9, E=6, d=3 (not coprime).\n"
+        "Partitions of wE/d = 18 cells are circularly shifted by 0, 1, 2 (rho).",
+        split.w,
+    )
+    return body + "\n" + _live_crosscheck(split)
+
+
+def figure4(w: int = 12, Es: tuple[int, int] = (5, 9)) -> str:
+    """Worst-case input visualization: which thread scans which cell."""
+    out = [
+        f"Figure 4 — worst-case inputs for Thrust mergesort, w={w}.",
+        "Cells show the thread id that reads them during the serial merge;",
+        "'!' marks cells in the last E banks, where the aligned scans collide.",
+        "",
+    ]
+    for E in Es:
+        tuples = warp_tuples(w, E)
+        n_a = sum(a for a, _ in tuples)
+        n_b = sum(b for _, b in tuples)
+        grid_a = BankGrid(w, n_a)
+        grid_b = BankGrid(w, n_b)
+        a_pos = b_pos = 0
+        for tid, (a_cnt, b_cnt) in enumerate(tuples):
+            for _ in range(a_cnt):
+                grid_a.label(a_pos, tid)
+                if a_pos % w >= w - E:
+                    grid_a.mark(a_pos, "!")
+                a_pos += 1
+            for _ in range(b_cnt):
+                grid_b.label(b_pos, tid)
+                if b_pos % w >= w - E:
+                    grid_b.mark(b_pos, "!")
+                b_pos += 1
+        d = int(np.gcd(w, E))
+        out.append(f"E={E} (d={d}) — A list ({n_a} elements):")
+        out.append(grid_a.render())
+        out.append(f"E={E} — B list ({n_b} elements):")
+        out.append(grid_b.render())
+        out.append("")
+    return "\n".join(out)
+
+
+def figure7() -> str:
+    """Read stalls without the B reversal (w=12, E=5)."""
+    split = _FIG2_SPLIT
+    schedule = naive_gather_schedule(split)
+    out = [
+        "Figure 7 — read stalls without reversing B (w=12, E=5, d=1).",
+        "Without the pi permutation some thread must read TWO cells in one",
+        "round; stalled (thread, round) pairs:",
+        "",
+    ]
+    stalls = []
+    for j, rnd in enumerate(schedule):
+        seen: dict[int, int] = {}
+        for acc in rnd:
+            seen[acc.thread] = seen.get(acc.thread, 0) + 1
+        for tid, cnt in sorted(seen.items()):
+            if cnt > 1:
+                stalls.append((tid, j, cnt))
+    for tid, j, cnt in stalls:
+        out.append(f"  thread {tid:>2} needs {cnt} reads in round {j}")
+    out.append("")
+    out.append(f"total stalled thread-rounds: {len(stalls)}")
+    out.append(
+        "(the reversal of B eliminates every one of these; see Figure 2)"
+    )
+    return "\n".join(out)
+
+
+def figure8() -> str:
+    """Thread-block gather (u=18, w=6, E=4, d=2)."""
+    split = _FIG8_SPLIT
+    schedule = block_gather_schedule(split)
+    header = (
+        "Figure 8 — thread-block gather, u=18, w=6, E=4, d=2.\n"
+        "Warps are {0..5}, {6..11}, {12..17}; conflicts only matter within\n"
+        "a warp.  Partitions of wE/d = 12 cells are shifted by l mod 2."
+    )
+    return _schedule_figure(split, schedule, header, split.w)

@@ -1,0 +1,87 @@
+"""ASCII rendering of shared memory as a bank matrix.
+
+The paper visualizes shared memory as a matrix with ``w`` rows (one per
+bank) and data laid out in column-major order: address ``j`` sits at row
+``j mod w``, column ``j // w``.  :class:`BankGrid` renders such matrices
+with per-cell labels and optional per-cell markers (``*`` for "accessed
+this round", ``!`` for "conflicting", etc.).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = ["BankGrid"]
+
+
+class BankGrid:
+    """A ``w``-row column-major grid of labeled cells.
+
+    Parameters
+    ----------
+    w:
+        Number of banks (rows).
+    size:
+        Number of addresses (cells); the grid has ``ceil(size / w)``
+        columns.
+    """
+
+    def __init__(self, w: int, size: int) -> None:
+        if w < 1 or size < 0:
+            raise ParameterError(f"invalid grid geometry w={w}, size={size}")
+        self.w = w
+        self.size = size
+        self.labels: dict[int, str] = {}
+        self.marks: dict[int, str] = {}
+
+    def label(self, address: int, text) -> None:
+        """Set the cell label for ``address``."""
+        self._check(address)
+        self.labels[address] = str(text)
+
+    def mark(self, address: int, marker: str = "*") -> None:
+        """Attach a one-character marker to ``address``'s cell."""
+        self._check(address)
+        self.marks[address] = marker[:1]
+
+    def clear_marks(self) -> None:
+        """Remove all markers (labels stay)."""
+        self.marks.clear()
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise ParameterError(f"address {address} outside grid [0, {self.size})")
+
+    @property
+    def columns(self) -> int:
+        """Number of columns."""
+        return (self.size + self.w - 1) // self.w
+
+    def render(self, title: str = "") -> str:
+        """Render the grid; rows are banks, columns are address / w."""
+        cell_width = max(
+            [len(s) for s in self.labels.values()] + [2]
+        ) + 1  # +1 for the marker slot
+        lines: list[str] = []
+        if title:
+            lines.append(title)
+        header = "bank" + " | " + " ".join(
+            f"c{c}".rjust(cell_width) for c in range(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in range(self.w):
+            cells = []
+            for col in range(self.columns):
+                addr = col * self.w + row
+                if addr >= self.size:
+                    cells.append(" " * cell_width)
+                    continue
+                text = self.labels.get(addr, ".")
+                marker = self.marks.get(addr, " ")
+                cells.append((text + marker).rjust(cell_width))
+            lines.append(f"{row:>4} | " + " ".join(cells))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

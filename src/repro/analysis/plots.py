@@ -1,0 +1,81 @@
+"""ASCII line plots for the throughput figures.
+
+The paper's Figures 5/6 plot throughput (elements/µs) against ``n`` on a
+log-scaled x-axis; :func:`ascii_plot` renders the same series in a
+terminal so the curve *shapes* (who is above whom, how the gap evolves)
+are visible at a glance alongside the numeric tables.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.perf.throughput import ThroughputPoint
+
+__all__ = ["ascii_plot", "plot_throughput"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot ``{name: [(x, y), ...]}`` as an ASCII chart.
+
+    X positions are used as given (pass log-scaled values for a log axis);
+    Y is scaled linearly from 0 to the maximum across all series.
+    """
+    if not series or not any(series.values()):
+        raise ParameterError("nothing to plot")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_hi = max(ys) * 1.05
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int(y / y_hi * (height - 1))
+            row = min(max(row, 0), height - 1)
+            canvas[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(canvas):
+        y_val = y_hi * (height - 1 - r) / (height - 1)
+        prefix = f"{y_val:>8.0f} |" if r % 3 == 0 else f"{'':>8} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>8} +" + "-" * width)
+    if x_label:
+        lines.append(f"{'':>10}{x_label}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{'':>10}{legend}")
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def plot_throughput(
+    series: dict[str, list[ThroughputPoint]], title: str = ""
+) -> str:
+    """Plot throughput curves against ``i = log2(n/E)`` (the paper's x-axis)."""
+    data = {
+        name: [(float(p.i), p.throughput) for p in pts]
+        for name, pts in series.items()
+    }
+    return ascii_plot(
+        data,
+        title=title,
+        y_label="elements/us",
+        x_label="x: i where n = 2^i * E (log scale)",
+    )

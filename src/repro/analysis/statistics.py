@@ -1,0 +1,120 @@
+"""Random-input conflict statistics vs. balls-in-bins theory.
+
+The paper notes that *"analytically determining the number of bank
+conflicts even for the classical problem of merging sorted sequences on a
+random input is an open problem"* — the 2-3-conflicts-per-step figure is
+empirical (Karsin et al.).  This module quantifies how close the naive
+balls-in-bins model gets:
+
+* if each merge round threw ``w`` addresses into ``w`` banks uniformly at
+  random, the serialization depth would be the classical *maximum load*
+  of ``w`` balls in ``w`` bins (mean ≈ ``ln w / ln ln w``);
+* the real merge's addresses are *not* independent (each thread walks two
+  sorted runs), and the measured depth sits systematically below the
+  balls-in-bins prediction — the gap is the structure the open problem
+  would have to capture.
+
+Uses Monte Carlo (NumPy) for the balls-in-bins reference and, when SciPy
+is present, a two-sample Kolmogorov-Smirnov distance between the depth
+distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.mergesort.fast import serial_merge_profile
+
+__all__ = [
+    "max_load_samples",
+    "predicted_replays_per_round",
+    "measured_replay_depths",
+    "conflict_statistics_report",
+]
+
+
+def max_load_samples(w: int, trials: int = 2000, seed: int = 0) -> np.ndarray:
+    """Monte Carlo samples of the max bank load of ``w`` uniform accesses."""
+    if w < 1 or trials < 1:
+        raise ParameterError("w and trials must be positive")
+    rng = np.random.default_rng(seed)
+    bins = rng.integers(0, w, size=(trials, w))
+    # per-trial max multiplicity
+    out = np.empty(trials, dtype=np.int64)
+    for t in range(trials):
+        out[t] = np.bincount(bins[t], minlength=w).max()
+    return out
+
+
+def predicted_replays_per_round(w: int, trials: int = 2000, seed: int = 0) -> float:
+    """Balls-in-bins prediction of mean replays per round (max load - 1)."""
+    return float(max_load_samples(w, trials, seed).mean() - 1.0)
+
+
+def measured_replay_depths(
+    E: int, u: int, w: int, samples: int = 10, seed: int = 0
+) -> np.ndarray:
+    """Per-round serialization depths of random-input serial merges.
+
+    Returns the mean depth per round per sample (one value per simulated
+    block merge), derived from the fast engine's aggregate counters.
+    """
+    rng = np.random.default_rng(seed)
+    total = u * E
+    depths = []
+    for _ in range(samples):
+        vals = np.arange(total, dtype=np.int64)
+        mask = rng.random(total) < 0.5
+        a, b = vals[mask], vals[~mask]
+        prof = serial_merge_profile(a, b, E, w)
+        depths.append(prof.shared_cycles / prof.shared_read_rounds)
+    return np.array(depths)
+
+
+def conflict_statistics_report(
+    E: int = 15, u: int = 256, w: int = 32, samples: int = 12, seed: int = 0
+) -> str:
+    """Compare measured random-input conflicts against balls-in-bins.
+
+    Renders means and, if SciPy is available, the KS distance between the
+    measured per-block depth distribution and the balls-in-bins one.
+    """
+    predicted = predicted_replays_per_round(w, seed=seed)
+    measured = measured_replay_depths(E, u, w, samples, seed) - 1.0
+
+    lines = [
+        f"Random-input conflict statistics (w={w}, E={E}, u={u})",
+        "",
+        f"balls-in-bins prediction : {predicted:.2f} replays/round "
+        f"(max load of {w} balls in {w} bins, minus 1)",
+        f"measured (serial merge)  : {measured.mean():.2f} replays/round "
+        f"(+-{measured.std():.2f} across {samples} block merges)",
+        f"Karsin et al. (hardware) : 'between 2 and 3'",
+        "",
+    ]
+    gap = predicted - measured.mean()
+    lines.append(
+        f"The measured depth sits {gap:+.2f} below the independent-uniform"
+        if gap > 0
+        else f"The measured depth sits {-gap:+.2f} above the independent-uniform"
+    )
+    lines.append(
+        "model: merge addresses are correlated (each thread walks two sorted"
+    )
+    lines.append(
+        "runs), which is precisely why the closed-form count is open."
+    )
+    try:
+        from scipy import stats as _stats
+
+        bb = max_load_samples(w, trials=len(measured) * 50, seed=seed + 1) - 1.0
+        ks = _stats.ks_2samp(measured, bb)
+        lines.append("")
+        lines.append(
+            f"KS two-sample distance (measured vs balls-in-bins): "
+            f"{ks.statistic:.3f} (p={ks.pvalue:.3g})"
+        )
+    except ImportError:  # pragma: no cover - scipy is present in dev envs
+        pass
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""Result tables: Theorem 8 validation, occupancy, Karsin statistics,
+and the Figures 5/6 throughput series rendered as text tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RTX_2080_TI, DeviceSpec, SortParams
+from repro.mergesort.fast import serial_merge_profile
+from repro.perf.occupancy import occupancy
+from repro.perf.throughput import ThroughputPoint
+from repro.worstcase import theorem8_combined, worstcase_merge_inputs
+
+__all__ = [
+    "theorem8_table",
+    "occupancy_table",
+    "karsin_table",
+    "throughput_table",
+    "defenses_table",
+    "staging_table",
+    "levels_table",
+    "devices_table",
+    "noncoprime_table",
+]
+
+
+def theorem8_table(
+    cases: list[tuple[int, int]] | None = None,
+) -> str:
+    """Measured worst-case conflicts vs Theorem 8's closed forms.
+
+    ``excess`` counts accesses beyond one per bank per round; Theorem 8
+    counts *every* access of the aligned scans, so measured excess should
+    meet (and, through incidental conflicts, usually exceed) the formula.
+    """
+    if cases is None:
+        cases = [
+            (12, 5), (12, 9), (9, 6), (16, 9), (24, 18),
+            (32, 8), (32, 12), (32, 15), (32, 16), (32, 17), (32, 24),
+        ]
+    lines = [
+        "Theorem 8 validation — worst-case serial-merge conflicts per warp",
+        f"{'w':>4} {'E':>4} {'d':>3} {'theorem8':>9} {'measured':>9} "
+        f"{'replays/step':>12} {'verdict':>8}",
+    ]
+    for w, E in cases:
+        a, b = worstcase_merge_inputs(w, E)
+        prof = serial_merge_profile(a, b, E, w)
+        t8 = theorem8_combined(w, E)
+        per_step = prof.shared_replays / max(prof.shared_read_rounds, 1)
+        verdict = "ok" if prof.shared_excess >= t8 - 2 * w else "LOW"
+        lines.append(
+            f"{w:>4} {E:>4} {int(np.gcd(w, E)):>3} {t8:>9} "
+            f"{prof.shared_excess:>9} {per_step:>12.2f} {verdict:>8}"
+        )
+    return "\n".join(lines)
+
+
+def occupancy_table(device: DeviceSpec = RTX_2080_TI) -> str:
+    """Occupancy of the paper's two software parameter sets (Section 5)."""
+    lines = [
+        f"Theoretical occupancy on {device.name}",
+        f"{'E':>4} {'u':>5} {'blocks/SM':>10} {'warps/SM':>9} "
+        f"{'occupancy':>10} {'limited by':>14}",
+    ]
+    for params in (SortParams(15, 512), SortParams(17, 256)):
+        r = occupancy(device, params)
+        lines.append(
+            f"{params.E:>4} {params.u:>5} {r.active_blocks:>10} "
+            f"{r.active_warps:>9} {r.occupancy:>9.0%} {r.limiter:>14}"
+        )
+    lines.append(
+        "(the paper attributes E=15,u=512's advantage to its 100% occupancy)"
+    )
+    return "\n".join(lines)
+
+
+def karsin_table(
+    w: int = 32,
+    Es: tuple[int, ...] = (15, 17),
+    u: int = 256,
+    samples: int = 20,
+    seed: int = 0,
+) -> str:
+    """Average bank conflicts per merge step on random inputs.
+
+    Karsin et al. measured 2-3 conflicts per step on random inputs (the
+    number the paper equates with CF-Merge's gather overhead); this table
+    reproduces the statistic with the replay metric.
+    """
+    rng = np.random.default_rng(seed)
+    lines = [
+        "Random-input conflicts per merge step (Karsin et al.: 2-3)",
+        f"{'E':>4} {'u':>5} {'replays/step':>13} {'min':>6} {'max':>6}",
+    ]
+    for E in Es:
+        total = u * E
+        per_step = []
+        for _ in range(samples):
+            vals = np.arange(total, dtype=np.int64)
+            mask = rng.random(total) < 0.5
+            a, b = vals[mask], vals[~mask]
+            prof = serial_merge_profile(a, b, E, w)
+            per_step.append(prof.shared_replays / prof.shared_read_rounds)
+        lines.append(
+            f"{E:>4} {u:>5} {np.mean(per_step):>13.2f} "
+            f"{np.min(per_step):>6.2f} {np.max(per_step):>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def defenses_table(w: int = 32, E: int = 15) -> str:
+    """Three defenses against the Section 4 adversary (DESIGN.md ablation).
+
+    Full-simulation comparison on one warp's worst-case merge: the coprime
+    heuristic (stock Thrust), universal hashing (the general DMM
+    simulations of Section 2), and CF-Merge.
+    """
+    from repro.dmm import HashedSharedMemory
+    from repro.mergesort import cf_merge_block, serial_merge_block
+    from repro.worstcase import worstcase_merge_inputs
+
+    a, b = worstcase_merge_inputs(w, E)
+    _, stock = serial_merge_block(a, b, E, w, simulate_search=False)
+
+    hashed_replays, hashed_compute = [], []
+    for seed in range(5):
+        def factory(size, w_, counters, trace, _seed=seed):
+            return HashedSharedMemory(size, w_, counters=counters, trace=trace, seed=_seed)
+
+        _, h = serial_merge_block(a, b, E, w, simulate_search=False, shared_factory=factory)
+        hashed_replays.append(h.merge.shared_replays)
+        hashed_compute.append(h.merge.compute_ops)
+    _, cf = cf_merge_block(a, b, E, w, simulate_search=False)
+
+    lines = [
+        f"Defenses vs the Section 4 adversary (one warp merge, w={w}, E={E})",
+        f"{'defense':>20} {'merge replays':>14} {'compute ops':>12} {'guarantee':>16}",
+        f"{'coprime heuristic':>20} {stock.merge.shared_replays:>14} "
+        f"{stock.merge.compute_ops:>12} {'none':>16}",
+        f"{'universal hashing':>20} {np.mean(hashed_replays):>14.1f} "
+        f"{np.mean(hashed_compute):>12.0f} {'expected small':>16}",
+        f"{'CF-Merge (paper)':>20} {cf.merge.shared_replays:>14} "
+        f"{cf.merge.compute_ops:>12} {'zero, always':>16}",
+    ]
+    return "\n".join(lines)
+
+
+def staging_table() -> str:
+    """Cost of folding the pi/rho permutation into the staging transfers.
+
+    The Section 5 claim ("each thread block reorders elements during the
+    initial transfer") measured: the permuting load matches the plain load
+    exactly in the coprime cases, and the un-permuting store is free for
+    every d.
+    """
+    import random
+
+    from repro.core import BlockSplit
+    from repro.core.staging import permuting_load, plain_load, unpermuting_store
+
+    rng = random.Random(0)
+    cases = [(64, 32, 15), (64, 32, 17), (18, 6, 4), (27, 9, 6), (64, 32, 16)]
+    lines = [
+        "Staging-transfer conflicts (permuting vs plain load, and store)",
+        f"{'u':>4} {'w':>3} {'E':>3} {'d':>3} {'plain load':>11} "
+        f"{'permuting load':>15} {'unpermuting store':>18}",
+    ]
+    for u, w, E in cases:
+        split = BlockSplit(E=E, w=w, a_sizes=tuple(rng.randint(0, E) for _ in range(u)))
+        a = np.arange(split.n_a)
+        b = np.arange(split.n_b)
+        shm, perm = permuting_load(a, b, split)
+        _, plain = plain_load(np.concatenate([a, b]), u, w, E)
+        _, store = unpermuting_store(shm, u, w, E)
+        d = int(np.gcd(w, E))
+        lines.append(
+            f"{u:>4} {w:>3} {E:>3} {d:>3} {plain.shared_replays:>11} "
+            f"{perm.shared_replays:>15} {store.shared_replays:>18}"
+        )
+    lines.append("(replays; coprime rows show the permutation is free, as claimed)")
+    return "\n".join(lines)
+
+
+def levels_table(E: int = 5, u: int = 16, w: int = 8, n_tiles: int = 8) -> str:
+    """Merge-phase conflicts per pairwise level of the full sort.
+
+    Demonstrates the recursive generator's property: the adversarial input
+    is worst-case at *every* level, not just one — and CF-Merge is flat at
+    zero throughout.
+    """
+    from repro.mergesort import gpu_mergesort
+    from repro.workloads import adversarial, uniform_random
+
+    worst = adversarial(n_tiles, E, u, w)
+    rand = uniform_random(len(worst), seed=0)
+    runs = {
+        ("thrust", "worst"): gpu_mergesort(worst, E, u, w, "thrust"),
+        ("thrust", "random"): gpu_mergesort(rand, E, u, w, "thrust"),
+        ("cf", "worst"): gpu_mergesort(worst, E, u, w, "cf"),
+    }
+    lines = [
+        f"Merge replays per pairwise level (n={len(worst)}, E={E}, u={u}, w={w})",
+        f"{'level':>6} {'thrust/worst':>13} {'thrust/random':>14} {'cf/worst':>9}",
+    ]
+    n_levels = runs[("thrust", "worst")].merge_level_count
+    for lvl in range(n_levels):
+        row = [runs[k].per_level[lvl].merge.shared_replays for k in runs]
+        lines.append(f"{lvl:>6} {row[0]:>13} {row[1]:>14} {row[2]:>9}")
+    lines.append(
+        "(every level of the worst-case input conflicts harder than random;"
+        " CF-Merge is identically zero)"
+    )
+    return "\n".join(lines)
+
+
+def noncoprime_table(i: int = 22) -> str:
+    """Section 5's aside: non-coprime ``E`` wrecks Thrust, not CF-Merge.
+
+    "for values of E that are not coprime with w = 32, the performance of
+    Thrust is much worse, while the runtime of CF-Merge will not be
+    affected" — modeled throughput on random inputs, comparing ``E = 14,
+    15, 16`` at the same block size (all 100% occupancy at u=512, so only
+    coprimality varies).
+    """
+    from repro.config import SortParams
+    from repro.numtheory import coprime, gcd
+    from repro.perf.throughput import throughput_sweep
+
+    u = 512
+    lines = [
+        f"Non-coprime E (u={u}, n = 2^{i} * E, random inputs, w=32; "
+        "all rows 100% occupancy)",
+        f"{'E':>4} {'gcd(32,E)':>10} {'thrust':>8} {'cf':>8} {'cf/thrust':>10}",
+    ]
+    for E in (14, 15, 16):
+        params = SortParams(E, u)
+        row = {}
+        for variant in ("thrust", "cf"):
+            pts = throughput_sweep(
+                params, variant, "random",
+                i_range=[i], samples=3, blocksort_samples=1,
+            )
+            row[variant] = pts[0].throughput
+        lines.append(
+            f"{E:>4} {gcd(32, E):>10} {row['thrust']:>8.0f} "
+            f"{row['cf']:>8.0f} {row['cf'] / row['thrust']:>10.2f}"
+        )
+    lines.append(
+        "(at gcd > 1 the baseline's thread-contiguous passes serialize"
+        " gcd-deep; CF-Merge's advantage widens accordingly)"
+    )
+    return "\n".join(lines)
+
+
+def devices_table(E: int = 15, u: int = 512, i: int = 22) -> str:
+    """Modeled throughput of both variants across the device presets.
+
+    Extension experiment: how the paper's tuned parameters travel to other
+    GPUs — occupancy limits shift with per-SM resources, and the modeled
+    throughput follows (SM count, clock, and occupancy all enter).
+    """
+    from repro.config import A100, GTX_1080_TI, RTX_2080_TI, TESLA_V100, SortParams
+    from repro.perf import occupancy
+    from repro.perf.throughput import throughput_sweep
+
+    params = SortParams(E, u)
+    lines = [
+        f"Cross-device model (E={E}, u={u}, n = 2^{i} * {E}, random inputs)",
+        f"{'device':>32} {'SMs':>4} {'occ':>5} {'thrust':>8} {'cf':>8}  (elems/us)",
+    ]
+    for dev in (RTX_2080_TI, TESLA_V100, A100, GTX_1080_TI):
+        occ = occupancy(dev, params)
+        row = []
+        for variant in ("thrust", "cf"):
+            pts = throughput_sweep(
+                params, variant, "random", device=dev,
+                i_range=[i], samples=3, blocksort_samples=1,
+            )
+            row.append(pts[0].throughput)
+        lines.append(
+            f"{dev.name:>32} {dev.sm_count:>4} {occ.occupancy:>5.0%} "
+            f"{row[0]:>8.0f} {row[1]:>8.0f}"
+        )
+    lines.append("(same measured conflict profiles; device resources move the curves)")
+    return "\n".join(lines)
+
+
+def throughput_table(
+    series: dict[str, list[ThroughputPoint]], title: str = ""
+) -> str:
+    """Render throughput curves side by side (one column per series)."""
+    names = list(series)
+    if not names:
+        return title
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'i':>3} {'n':>12} " + " ".join(f"{name:>16}" for name in names)
+    )
+    lines.append(
+        f"{'':>3} {'':>12} " + " ".join(f"{'(elems/us)':>16}" for _ in names)
+    )
+    n_points = len(series[names[0]])
+    for idx in range(n_points):
+        i = series[names[0]][idx].i
+        n = series[names[0]][idx].n
+        row = " ".join(f"{series[name][idx].throughput:>16.1f}" for name in names)
+        lines.append(f"{i:>3} {n:>12} {row}")
+    return "\n".join(lines)

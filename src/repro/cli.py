@@ -1,0 +1,287 @@
+"""Experiment runner: regenerate every figure and table of the paper.
+
+Usage::
+
+    python -m repro fig1           # strided-access visualization
+    python -m repro fig2           # coprime gather schedule
+    python -m repro fig3           # non-coprime gather schedule
+    python -m repro fig4           # worst-case input visualization
+    python -m repro fig5 [--quick] # worst-case throughput, both params
+    python -m repro fig6 [--quick] # random + worst-case throughput
+    python -m repro fig7           # read stalls without the reversal
+    python -m repro fig8           # thread-block gather schedule
+    python -m repro theorem8       # worst-case conflict counts vs theory
+    python -m repro karsin         # random-input conflicts per step (2-3)
+    python -m repro occupancy      # occupancy of the two parameter sets
+    python -m repro verify         # nvprof-style zero-conflict check
+    python -m repro defenses       # coprime / hashing / CF-Merge ablation
+    python -m repro staging        # permuting-load conflict measurements
+    python -m repro lemmas [--w W --E E]   # executable Lemmas 1-7 / Thm 8
+    python -m repro levels         # per-level conflicts of the full sort
+    python -m repro heatmap        # depth timelines + per-bank heat maps
+    python -m repro stats          # random conflicts vs balls-in-bins
+    python -m repro noncoprime     # non-coprime E: Thrust craters, CF holds
+    python -m repro devices        # the model across GPU presets
+    python -m repro sensitivity    # speedups under perturbed cost constants
+    python -m repro export [--out DIR]     # fig5/fig6 series to CSV/JSON
+    python -m repro list           # the experiment manifest
+    python -m repro all [--quick]  # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure7,
+    figure8,
+    karsin_table,
+    occupancy_table,
+    theorem8_table,
+    throughput_table,
+)
+from repro.analysis.tables import (
+    defenses_table,
+    devices_table,
+    levels_table,
+    noncoprime_table,
+    staging_table,
+)
+from repro.analysis.plots import plot_throughput
+from repro.config import SortParams
+from repro.mergesort import gpu_mergesort
+from repro.perf import speedup_summary, throughput_sweep
+from repro.workloads import adversarial, uniform_random
+
+__all__ = ["main"]
+
+_PARAM_SETS = (SortParams(15, 512), SortParams(17, 256))
+
+
+def _sweep_args(quick: bool) -> dict:
+    if quick:
+        return dict(i_range=range(16, 27, 5), samples=3, blocksort_samples=1)
+    return dict(i_range=range(16, 27), samples=6, blocksort_samples=2)
+
+
+def _fmt_speedups(label: str, stats: dict[str, float]) -> str:
+    return (
+        f"{label}: mean {stats['mean']:.2f}, median {stats['median']:.2f}, "
+        f"max {stats['max']:.2f} (min {stats['min']:.2f})"
+    )
+
+
+def run_fig5(quick: bool) -> str:
+    """Throughput on worst-case inputs, both parameter sets (Figure 5)."""
+    out = ["Figure 5 — throughput on constructed worst-case inputs", ""]
+    kw = _sweep_args(quick)
+    for params in _PARAM_SETS:
+        thrust = throughput_sweep(params, "thrust", "worstcase", **kw)
+        cf = throughput_sweep(params, "cf", "worstcase", **kw)
+        series = {"Thrust (worst)": thrust, "CF-Merge (worst)": cf}
+        out.append(throughput_table(series, title=f"E={params.E}, u={params.u}"))
+        out.append("")
+        out.append(plot_throughput(series, title=f"  E={params.E}, u={params.u}"))
+        out.append(
+            _fmt_speedups(
+                f"  CF-Merge speedup (paper: "
+                f"{'1.37/1.45/1.47' if params.E == 15 else '1.17/1.23/1.25'})",
+                speedup_summary(thrust, cf),
+            )
+        )
+        out.append("")
+    return "\n".join(out)
+
+
+def run_fig6(quick: bool) -> str:
+    """Throughput on worst-case AND random inputs (Figure 6)."""
+    out = ["Figure 6 — throughput on worst-case and random inputs", ""]
+    kw = _sweep_args(quick)
+    for params in _PARAM_SETS:
+        series = {}
+        for variant in ("thrust", "cf"):
+            for workload in ("worstcase", "random"):
+                series[f"{variant}/{workload}"] = throughput_sweep(
+                    params, variant, workload, **kw
+                )
+        out.append(throughput_table(series, title=f"E={params.E}, u={params.u}"))
+        out.append("")
+        out.append(plot_throughput(series, title=f"  E={params.E}, u={params.u}"))
+        out.append(
+            _fmt_speedups(
+                "  random-input parity (CF vs Thrust, ~1.0 expected)",
+                speedup_summary(series["thrust/random"], series["cf/random"]),
+            )
+        )
+        out.append(
+            _fmt_speedups(
+                "  Thrust slowdown on worst case (prior work: up to ~1.5)",
+                speedup_summary(series["thrust/worstcase"], series["thrust/random"]),
+            )
+        )
+        out.append("")
+    return "\n".join(out)
+
+
+def run_lemmas(w: int | None, E: int | None) -> str:
+    """Check every applicable lemma at one (w, E) or over a default grid."""
+    from repro.numtheory.propositions import check_all
+
+    points = [(w, E)] if (w and E) else [(12, 5), (9, 6), (32, 15), (32, 16), (24, 18)]
+    out = ["Executable propositions (Lemmas 1-7, Corollary 3, Theorem 8)", ""]
+    failures = 0
+    for pw, pE in points:
+        out.append(f"(w={pw}, E={pE}):")
+        for prop, holds, detail in check_all(pw, pE):
+            mark = "ok " if holds else "FAIL"
+            failures += 0 if holds else 1
+            out.append(f"  [{mark}] {prop.name}: {detail}")
+        out.append("")
+    out.append("PASS" if failures == 0 else f"FAIL ({failures})")
+    return "\n".join(out)
+
+
+def run_export(quick: bool, out_dir: str) -> str:
+    """Write the Figure 5/6 series to JSON and CSV under ``out_dir``."""
+    from pathlib import Path
+
+    from repro.analysis.export import throughput_to_csv, throughput_to_json
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    kw = _sweep_args(quick)
+    written = []
+    for params in _PARAM_SETS:
+        series = {
+            f"{v}/{wl}": throughput_sweep(params, v, wl, **kw)
+            for v in ("thrust", "cf")
+            for wl in ("random", "worstcase")
+        }
+        stem = f"throughput_E{params.E}_u{params.u}"
+        written.append(throughput_to_csv(series, out / f"{stem}.csv"))
+        written.append(throughput_to_json(series, out / f"{stem}.json"))
+    return "wrote:\n" + "\n".join(f"  {p}" for p in written)
+
+
+def run_verify() -> str:
+    """The nvprof check: CF-Merge performs zero conflicts during merging."""
+    out = ["Zero-conflict verification (the paper's nvprof check)", ""]
+    E, u, w = 5, 16, 8  # small geometry so the exact simulator is instant
+    cases = {
+        "random": uniform_random(4 * u * E, seed=1),
+        "sorted": np.arange(4 * u * E, dtype=np.int64),
+        "reverse": np.arange(4 * u * E, dtype=np.int64)[::-1].copy(),
+        "adversarial": adversarial(4, E, u, w),
+    }
+    failures = 0
+    for name, data in cases.items():
+        res = gpu_mergesort(data, E, u, w, variant="cf")
+        ok = res.merge_replays == 0 and np.array_equal(res.data, np.sort(data))
+        failures += 0 if ok else 1
+        base = gpu_mergesort(data, E, u, w, variant="thrust")
+        out.append(
+            f"  {name:>12}: CF merge replays = {res.merge_replays} "
+            f"(Thrust: {base.merge_stats.merge.shared_replays + base.blocksort_stats.merge.shared_replays}), "
+            f"sorted correctly = {ok}"
+        )
+    out.append("")
+    out.append("PASS" if failures == 0 else f"FAIL ({failures} cases)")
+    return "\n".join(out)
+
+
+_COMMANDS = {
+    "fig1": lambda args: figure1(),
+    "fig2": lambda args: figure2(),
+    "fig3": lambda args: figure3(),
+    "fig4": lambda args: figure4(),
+    "fig5": lambda args: run_fig5(args.quick),
+    "fig6": lambda args: run_fig6(args.quick),
+    "fig7": lambda args: figure7(),
+    "fig8": lambda args: figure8(),
+    "theorem8": lambda args: theorem8_table(),
+    "occupancy": lambda args: occupancy_table(),
+    "karsin": lambda args: karsin_table(),
+    "verify": lambda args: run_verify(),
+    "defenses": lambda args: defenses_table(),
+    "staging": lambda args: staging_table(),
+    "lemmas": lambda args: run_lemmas(args.w, args.E),
+    "levels": lambda args: levels_table(),
+    "devices": lambda args: devices_table(),
+    "noncoprime": lambda args: noncoprime_table(),
+    "sensitivity": lambda args: _sensitivity(),
+    "heatmap": lambda args: _heatmap(),
+    "stats": lambda args: _stats(),
+    "export": lambda args: run_export(args.quick, args.out),
+    "list": lambda args: _manifest(),
+}
+
+
+def _heatmap() -> str:
+    from repro.analysis.heatmap import worstcase_heatmap
+
+    return worstcase_heatmap()
+
+
+def _stats() -> str:
+    from repro.analysis.statistics import conflict_statistics_report
+
+    return conflict_statistics_report()
+
+
+def _sensitivity() -> str:
+    from repro.perf.sensitivity import sensitivity_table
+
+    return sensitivity_table()
+
+
+def _manifest() -> str:
+    from repro.experiments import manifest
+
+    return manifest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps for fig5/fig6 (seconds instead of minutes)",
+    )
+    parser.add_argument("--w", type=int, default=None, help="warp width for `lemmas`")
+    parser.add_argument("--E", type=int, default=None, help="elements/thread for `lemmas`")
+    parser.add_argument(
+        "--out", default="results", help="output directory for `export`"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        # `export` writes files; everything else only prints.
+        names = sorted(n for n in _COMMANDS if n != "export")
+    else:
+        names = [args.experiment]
+    for name in names:
+        print(f"{'=' * 72}\n{name}\n{'=' * 72}")
+        print(_COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

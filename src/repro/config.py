@@ -1,0 +1,196 @@
+"""Device and kernel configuration objects.
+
+The paper's experiments run on an NVIDIA RTX 2080 Ti; :data:`RTX_2080_TI`
+models the resources of that part that matter for this reproduction (warp
+width, bank count, per-SM occupancy limits).  The small figure examples use
+non-power-of-two warp widths (``w = 12, 9, 6``), which real hardware does not
+offer but the DMM model — and therefore :data:`toy_device` — happily
+supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "DeviceSpec",
+    "SortParams",
+    "RTX_2080_TI",
+    "TESLA_V100",
+    "A100",
+    "GTX_1080_TI",
+    "toy_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Resources of a modeled GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    warp_width:
+        Number of threads per warp, ``w``.  Also the number of shared-memory
+        banks (the paper's footnote 3: the two are equal on all modern
+        NVIDIA GPUs, so they share one parameter).
+    sm_count:
+        Number of streaming multiprocessors.
+    max_threads_per_sm:
+        Hardware limit on resident threads per SM.
+    max_blocks_per_sm:
+        Hardware limit on resident thread blocks per SM.
+    registers_per_sm:
+        Number of 32-bit registers per SM.
+    shared_mem_per_sm:
+        Bytes of shared memory usable per SM (the paper configures the
+        2080 Ti's unified 96 KiB as 64 KiB shared + 32 KiB L1).
+    word_bytes:
+        Bytes per bank word (4 on NVIDIA hardware; the experiments sort
+        4-byte integers).
+    global_segment_words:
+        Words per coalesced global-memory transaction segment.
+    clock_ghz:
+        Core clock used to convert model cycles to microseconds.
+    """
+
+    name: str
+    warp_width: int = 32
+    sm_count: int = 68
+    max_threads_per_sm: int = 1024
+    max_blocks_per_sm: int = 16
+    registers_per_sm: int = 65536
+    shared_mem_per_sm: int = 65536
+    word_bytes: int = 4
+    global_segment_words: int = 32
+    clock_ghz: float = 1.545
+
+    def __post_init__(self) -> None:
+        if self.warp_width < 1:
+            raise ParameterError(f"warp_width must be >= 1, got {self.warp_width}")
+        if self.sm_count < 1:
+            raise ParameterError(f"sm_count must be >= 1, got {self.sm_count}")
+        if self.max_threads_per_sm < self.warp_width:
+            raise ParameterError(
+                "max_threads_per_sm must hold at least one warp "
+                f"({self.max_threads_per_sm} < {self.warp_width})"
+            )
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Maximum resident warps per SM (threads limit / warp width)."""
+        return self.max_threads_per_sm // self.warp_width
+
+
+#: The device of the paper's Section 5 experiments.  4352 cores / 68 SMs,
+#: 11 GB global memory, 64 KiB shared memory per SM (as configured by the
+#: authors), boost clock 1.545 GHz.
+RTX_2080_TI = DeviceSpec(name="NVIDIA RTX 2080 Ti (modeled)")
+
+#: Additional presets for cross-device occupancy studies.  Volta/Ampere
+#: SMs host 2048 threads, which shifts the blocking resource: the same
+#: software parameters occupy these parts differently (see
+#: ``examples/occupancy_explorer.py`` and ``tests/test_perf_devices.py``).
+TESLA_V100 = DeviceSpec(
+    name="NVIDIA Tesla V100 (modeled)",
+    sm_count=80,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    shared_mem_per_sm=96 * 1024,
+    clock_ghz=1.38,
+)
+
+A100 = DeviceSpec(
+    name="NVIDIA A100 (modeled)",
+    sm_count=108,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    shared_mem_per_sm=164 * 1024,
+    clock_ghz=1.41,
+)
+
+GTX_1080_TI = DeviceSpec(
+    name="NVIDIA GTX 1080 Ti (modeled)",
+    sm_count=28,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    shared_mem_per_sm=96 * 1024,
+    clock_ghz=1.582,
+)
+
+
+def toy_device(w: int, sm_count: int = 1, **overrides) -> DeviceSpec:
+    """Return a small :class:`DeviceSpec` with warp width ``w``.
+
+    Used by the figure reproductions, which follow the paper in choosing
+    small non-power-of-two widths (``w = 12`` in Figures 1, 2, 4 and 7,
+    ``w = 9`` in Figure 3, ``w = 6`` in Figure 8).
+    """
+    params = dict(
+        name=f"toy-device(w={w})",
+        warp_width=w,
+        sm_count=sm_count,
+        max_threads_per_sm=max(32 * w, w),
+        max_blocks_per_sm=16,
+        registers_per_sm=1 << 20,
+        shared_mem_per_sm=1 << 24,
+    )
+    params.update(overrides)
+    return DeviceSpec(**params)
+
+
+@dataclass(frozen=True)
+class SortParams:
+    """Software parameters of the mergesort kernels.
+
+    Attributes
+    ----------
+    E:
+        Elements per thread (the paper's ``E = n/t`` per merge tile).
+    u:
+        Threads per thread block; must be a multiple of the warp width.
+    registers_overhead:
+        Registers per thread used beyond the ``E`` item slots (address
+        arithmetic, loop counters, pipeline state).  Only the occupancy
+        model consumes this.
+    """
+
+    E: int
+    u: int
+    registers_overhead: int = 17
+
+    def __post_init__(self) -> None:
+        if self.E < 1:
+            raise ParameterError(f"E must be >= 1, got {self.E}")
+        if self.u < 1:
+            raise ParameterError(f"u must be >= 1, got {self.u}")
+
+    def validate_for(self, device: DeviceSpec) -> None:
+        """Raise :class:`~repro.errors.ParameterError` if ``u % w != 0``."""
+        if self.u % device.warp_width:
+            raise ParameterError(
+                f"u={self.u} must be a multiple of warp width {device.warp_width}"
+            )
+
+    @property
+    def tile_elements(self) -> int:
+        """Elements handled per thread block (``u * E``)."""
+        return self.u * self.E
+
+    @property
+    def registers_per_thread(self) -> int:
+        """Registers per thread charged by the occupancy model."""
+        return self.E + self.registers_overhead
+
+
+#: The two software-parameter configurations compared in Section 5.
+THRUST_DEFAULT = SortParams(E=17, u=256)
+TUNED = SortParams(E=15, u=512)
+
+__all__ += ["THRUST_DEFAULT", "TUNED"]

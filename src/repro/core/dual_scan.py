@@ -1,0 +1,192 @@
+"""Generic conflict-free pair-of-arrays scans (the Conclusion's remark).
+
+The paper closes by observing that the gather/scatter pair is not specific
+to merging: *"our approach can be used to convert any algorithm that
+involves a parallel scan of a pair of arrays into a bank conflict free
+algorithm."*  :func:`conflict_free_dual_scan` packages that: it gathers each
+thread's ``(A_i, B_i)`` into registers conflict free, applies an arbitrary
+per-thread function to the pair, and scatters the per-thread outputs back —
+measuring (and optionally asserting) zero bank conflicts end to end.
+
+Example thread functions live in :data:`THREAD_FUNCTIONS`: two-way merge,
+elementwise saturating sum of the two runs, and membership intersection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.gather import gather_warp, items_rotation
+from repro.core.scatter import scatter_warp, unpermute
+from repro.core.splits import WarpSplit
+from repro.core.verify import assert_conflict_free
+from repro.errors import ParameterError
+from repro.sim.counters import Counters
+
+__all__ = [
+    "conflict_free_dual_scan",
+    "conflict_free_dual_scan_block",
+    "THREAD_FUNCTIONS",
+]
+
+#: ``f(a_run_ascending, b_run_ascending) -> E outputs``
+ThreadFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _merge_two(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Classic two-way merge of two sorted runs."""
+    out = np.empty(len(a) + len(b), dtype=np.int64)
+    i = j = k = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out[k] = a[i]
+            i += 1
+        else:
+            out[k] = b[j]
+            j += 1
+        k += 1
+    out[k : k + len(a) - i] = a[i:]
+    k += len(a) - i
+    out[k:] = b[j:]
+    return out
+
+
+def _interleave_sum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pad both runs to length E with zeros and add them positionally."""
+    E = len(a) + len(b)
+    pa = np.zeros(E, dtype=np.int64)
+    pb = np.zeros(E, dtype=np.int64)
+    pa[: len(a)] = a
+    pb[: len(b)] = b
+    return pa + pb
+
+
+def _intersect_flags(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """1 where an ``A`` element also occurs in ``B`` (within the thread),
+    padded with zeros for the ``B`` half of the window."""
+    E = len(a) + len(b)
+    out = np.zeros(E, dtype=np.int64)
+    bset = set(int(x) for x in b)
+    for idx, val in enumerate(a):
+        out[idx] = 1 if int(val) in bset else 0
+    return out
+
+
+THREAD_FUNCTIONS: dict[str, ThreadFunction] = {
+    "merge": _merge_two,
+    "interleave_sum": _interleave_sum,
+    "intersect_flags": _intersect_flags,
+}
+
+
+def conflict_free_dual_scan(
+    a_values,
+    b_values,
+    split: WarpSplit,
+    thread_fn: ThreadFunction | str = "merge",
+    check: bool = True,
+) -> tuple[np.ndarray, Counters]:
+    """Gather → per-thread function → scatter, all bank conflict free.
+
+    Parameters
+    ----------
+    a_values, b_values:
+        The warp's two input lists (sizes must match ``split``).
+    split:
+        Per-thread subsequence sizes.
+    thread_fn:
+        Either a key of :data:`THREAD_FUNCTIONS` or a callable receiving
+        thread ``i``'s ``A_i`` (ascending) and ``B_i`` (ascending) and
+        returning its ``E`` outputs.
+    check:
+        When true (default), raise
+        :class:`~repro.errors.BankConflictError` if any shared round
+        conflicted — there should never be one.
+
+    Returns
+    -------
+    (output, counters):
+        ``output`` is the concatenation of the per-thread results in thread
+        order (``w*E`` values); ``counters`` aggregates the gather and
+        scatter simulation statistics.
+    """
+    if isinstance(thread_fn, str):
+        try:
+            thread_fn = THREAD_FUNCTIONS[thread_fn]
+        except KeyError:
+            raise ParameterError(
+                f"unknown thread function {thread_fn!r}; "
+                f"available: {sorted(THREAD_FUNCTIONS)}"
+            ) from None
+
+    w, E = split.w, split.E
+    regs, gather_counters, _ = gather_warp(a_values, b_values, split)
+
+    outputs: list[np.ndarray] = []
+    for i in range(w):
+        rotated = items_rotation(regs[i], split.a_offsets[i], E)
+        n_ai = split.a_sizes[i]
+        a_run = rotated[:n_ai]
+        b_run = rotated[n_ai:][::-1]  # B_i was gathered descending
+        result = np.asarray(thread_fn(a_run, b_run), dtype=np.int64)
+        if len(result) != E:
+            raise ParameterError(
+                f"thread function returned {len(result)} values, expected E={E}"
+            )
+        outputs.append(result)
+
+    shm, scatter_counters = scatter_warp(outputs, w, E)
+    total = gather_counters + scatter_counters
+    if check:
+        assert_conflict_free(total, context="conflict_free_dual_scan")
+    return unpermute(shm, w, E), total
+
+
+def conflict_free_dual_scan_block(
+    a_values,
+    b_values,
+    split,
+    thread_fn: ThreadFunction | str = "merge",
+    check: bool = True,
+) -> tuple[np.ndarray, Counters]:
+    """Thread-block variant of :func:`conflict_free_dual_scan`.
+
+    Same contract over a :class:`~repro.core.splits.BlockSplit` (``u``
+    threads, ``u/w`` warps); gather and scatter run as simulated thread
+    blocks and remain bank conflict free within every warp.
+    """
+    from repro.core.gather import gather_block
+    from repro.core.scatter import scatter_block
+
+    if isinstance(thread_fn, str):
+        try:
+            thread_fn = THREAD_FUNCTIONS[thread_fn]
+        except KeyError:
+            raise ParameterError(
+                f"unknown thread function {thread_fn!r}; "
+                f"available: {sorted(THREAD_FUNCTIONS)}"
+            ) from None
+
+    u, w, E = split.u, split.w, split.E
+    regs, gather_counters = gather_block(a_values, b_values, split)
+
+    outputs: list[np.ndarray] = []
+    for i in range(u):
+        rotated = items_rotation(regs[i], split.a_offsets[i], E)
+        n_ai = split.a_sizes[i]
+        result = np.asarray(
+            thread_fn(rotated[:n_ai], rotated[n_ai:][::-1]), dtype=np.int64
+        )
+        if len(result) != E:
+            raise ParameterError(
+                f"thread function returned {len(result)} values, expected E={E}"
+            )
+        outputs.append(result)
+
+    shm, scatter_counters = scatter_block(outputs, u, w, E)
+    total = gather_counters + scatter_counters
+    if check:
+        assert_conflict_free(total, context="conflict_free_dual_scan_block")
+    return unpermute(shm, w, E, total=u * E), total

@@ -1,0 +1,179 @@
+"""The load-balanced dual subsequence gather (Algorithm 1), executable.
+
+Three forms are provided:
+
+* :func:`gather_reference` — a pure-Python oracle computing each thread's
+  ``items`` array directly from the definition (no memory model).  Tests
+  cross-check the simulated kernels against it.
+* :func:`gather_warp` — runs one warp of gather kernels on the simulator's
+  :class:`~repro.sim.memory.SharedMemory` and returns the per-thread
+  register contents together with the measured counters.
+* :func:`gather_block` — the Section 3.3 thread-block variant on a
+  :class:`~repro.sim.block.ThreadBlock`.
+
+After the gather, ``items`` holds ``A_i`` ascending in the cyclic window of
+rounds ``[a_i mod E, a_i mod E + |A_i|)`` and ``B_i`` descending in the
+complementary window; :func:`items_rotation` rotates this into the bitonic
+sequence (``A_i`` ascending then ``B_i`` descending) that the register
+merge networks consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import apply_block_layout, apply_warp_layout
+from repro.core.schedule import block_gather_schedule, warp_gather_schedule
+from repro.core.splits import BlockSplit, WarpSplit
+from repro.errors import ParameterError
+from repro.sim.block import ThreadBlock
+from repro.sim.counters import Counters
+from repro.sim.instructions import Compute, SharedRead
+from repro.sim.memory import SharedMemory
+from repro.sim.trace import AccessTrace
+from repro.sim.warp import Warp
+
+__all__ = [
+    "gather_reference",
+    "gather_warp",
+    "gather_block",
+    "items_rotation",
+]
+
+
+def _check_lists(a_values, b_values, n_a: int, n_b: int):
+    a = np.asarray(a_values, dtype=np.int64)
+    b = np.asarray(b_values, dtype=np.int64)
+    if len(a) != n_a or len(b) != n_b:
+        raise ParameterError(
+            f"expected |A|={n_a} and |B|={n_b}, got {len(a)} and {len(b)}"
+        )
+    return a, b
+
+
+def gather_reference(a_values, b_values, split: WarpSplit | BlockSplit) -> list[np.ndarray]:
+    """Compute each thread's ``items`` array straight from Algorithm 1.
+
+    Returns a list of ``E``-long arrays, one per thread, where ``items[j]``
+    is the element that thread reads in round ``j``.
+    """
+    a, b = _check_lists(a_values, b_values, split.n_a, split.n_b)
+    E = split.E
+    n_threads = len(split.a_sizes)
+    out: list[np.ndarray] = []
+    for i in range(n_threads):
+        a_i = split.a_offsets[i]
+        b_i = split.b_offsets[i]
+        n_ai = split.a_sizes[i]
+        k = a_i % E
+        items = np.empty(E, dtype=np.int64)
+        for j in range(E):
+            a_idx = (j - k) % E
+            if a_idx < n_ai:
+                items[j] = a[a_i + a_idx]
+            else:
+                items[j] = b[b_i + (k - j - 1) % E]
+        out.append(items)
+    return out
+
+
+def items_rotation(items: np.ndarray, a_offset: int, E: int) -> np.ndarray:
+    """Rotate ``items`` left by ``k = a_offset mod E``.
+
+    The result places ``A_i`` ascending at the front followed by ``B_i``
+    descending — a bitonic sequence, ready for a data-oblivious register
+    merge.  (In CUDA this rotation is what the odd-even transposition sort
+    makes unnecessary; we expose it for the bitonic ablation and for
+    readability of tests.)
+    """
+    k = a_offset % E
+    return np.roll(np.asarray(items), -k)
+
+
+def _gather_kernel(regs: np.ndarray, schedule_for_thread):
+    """Thread program: one :class:`SharedRead` per round, result to register.
+
+    ``schedule_for_thread`` is the thread's ``E`` scheduled accesses in
+    round order; the index arithmetic they encode costs one compute op per
+    round (matching Algorithm 1's lines 3-8).
+    """
+
+    def program():
+        for j, access in enumerate(schedule_for_thread):
+            yield Compute(1)
+            value = yield SharedRead(access.address)
+            regs[j] = value
+
+    return program()
+
+
+def gather_warp(
+    a_values,
+    b_values,
+    split: WarpSplit,
+    trace: AccessTrace | None = None,
+) -> tuple[list[np.ndarray], Counters, SharedMemory]:
+    """Run the warp-level gather on the simulator.
+
+    The shared memory is initialized to the ``rho(A ++ pi(B))`` layout (in
+    the full pipeline this permutation rides along with the global-to-shared
+    load); the gather kernels then read it in ``E`` rounds.
+
+    Returns ``(items_per_thread, counters, shared_memory)``.  The counters
+    will show ``shared_replays == 0`` for *any* split — that is the theorem.
+    """
+    a, b = _check_lists(a_values, b_values, split.n_a, split.n_b)
+    w, E = split.w, split.E
+    counters = Counters()
+    shm = SharedMemory(w * E, w=w, counters=counters, trace=trace)
+    shm.load_array(apply_warp_layout(a, b, w, E))
+
+    schedule = warp_gather_schedule(split)
+    per_thread = [[schedule[j][i] for j in range(E)] for i in range(w)]
+    regs = [np.zeros(E, dtype=np.int64) for _ in range(w)]
+    warp = Warp(
+        0,
+        [_gather_kernel(regs[i], per_thread[i]) for i in range(w)],
+        shm,
+        counters=counters,
+    )
+    warp.run()
+    return regs, counters, shm
+
+
+def gather_block(
+    a_values,
+    b_values,
+    split: BlockSplit,
+    trace: AccessTrace | None = None,
+) -> tuple[list[np.ndarray], Counters]:
+    """Run the Section 3.3 thread-block gather on the simulator.
+
+    ``B`` is reversed across the whole block; each warp then executes the
+    same round structure over its own elements.  Conflict freedom holds
+    within every warp regardless of where ``alpha_v`` lands (the complete
+    residue systems are merely shifted).
+    """
+    a, b = _check_lists(a_values, b_values, split.n_a, split.n_b)
+    u, w, E = split.u, split.w, split.E
+    layout = apply_block_layout(a, b, u, w, E)
+
+    schedule = block_gather_schedule(split)
+    per_thread = [[schedule[j][i] for j in range(E)] for i in range(u)]
+    regs = [np.zeros(E, dtype=np.int64) for _ in range(u)]
+
+    def factory(tid: int):
+        return _gather_kernel(regs[tid], per_thread[tid])
+
+    counters = Counters()
+    block = ThreadBlock(
+        u=u,
+        w=w,
+        shared_words=u * E,
+        program_factory=factory,
+        counters=counters,
+        trace=trace,
+    )
+    block.shared.load_array(layout)
+    block.run()
+    return regs, counters

@@ -1,0 +1,182 @@
+"""The permutations pi and rho and the shared-memory layout they induce.
+
+Section 3.1 reverses the ``B`` list (permutation ``pi``) so that each thread
+reads ``A_i`` in ascending and ``B_i`` in descending rounds, giving exactly
+one read per thread per round.  Section 3.2 adds a circular shift ``rho``
+for the non-coprime case ``d = GCD(w, E) > 1``: the ``wE`` elements split
+into ``d`` partitions of ``wE/d`` contiguous elements, and partition ``ell``
+is circularly shifted forward by ``ell`` positions.  Section 3.3 extends
+both to a thread block of ``u`` threads: ``B`` is reversed across the whole
+block and each of the ``uE / (wE/d)`` partitions is shifted by
+``ell mod d``.
+
+Throughout this module a *position* ``p`` is an index into the conceptual
+sequence ``A ++ reversed(B)`` (``pi`` already applied), and an *address* is
+where ``rho`` physically places that position in shared memory.  With
+``d == 1``, ``rho`` is the identity and address == position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.numtheory import gcd
+
+__all__ = [
+    "pi",
+    "rho",
+    "rho_inverse",
+    "partition_size",
+    "warp_layout_position",
+    "block_layout_position",
+    "apply_warp_layout",
+    "apply_block_layout",
+]
+
+
+def pi(b_offset: int, total: int) -> int:
+    """Map offset ``b_offset`` of the ``B`` list to its reversed position.
+
+    The paper's permutation ``pi``: after reversal, the element at offset
+    ``x`` of ``B`` occupies position ``total - 1 - x``, where ``total`` is
+    the number of elements in the combined layout (``wE`` for a warp,
+    ``uE`` for a thread block).
+    """
+    if not 0 <= b_offset < total:
+        raise ParameterError(f"b_offset {b_offset} out of range [0, {total})")
+    return total - 1 - b_offset
+
+
+def partition_size(w: int, E: int) -> int:
+    """Return ``wE/d``, the size of one ``rho`` partition.
+
+    Always a multiple of both ``E`` (``wE/d = (w/d) * E``) and ``w``
+    (``wE/d = w * (E/d)``) — both facts are load-bearing: the former keeps
+    round indices invariant under the shift, the latter keeps aligned
+    warp-wide loads inside a single partition.
+    """
+    d = gcd(w, E)
+    return w * E // d
+
+
+def rho(p: int, w: int, E: int, total: int | None = None) -> int:
+    """Map position ``p`` to its physical shared-memory address.
+
+    Partition ``ell = p // (wE/d)`` is circularly shifted forward by
+    ``ell mod d`` positions (Sections 3.2 and 3.3; at warp scope
+    ``ell < d`` so the ``mod d`` is vacuous).  With ``d == 1`` this is the
+    identity.
+
+    ``total`` (default ``w*E``) is the layout size; it must be a multiple
+    of the partition size.
+    """
+    d = gcd(w, E)
+    size = w * E // d
+    if total is None:
+        total = w * E
+    if total % size:
+        raise ParameterError(
+            f"layout size {total} is not a multiple of the partition size {size}"
+        )
+    if not 0 <= p < total:
+        raise ParameterError(f"position {p} out of range [0, {total})")
+    if d == 1:
+        return p
+    ell = p // size
+    shift = ell % d
+    return ell * size + (p % size + shift) % size
+
+
+def rho_inverse(address: int, w: int, E: int, total: int | None = None) -> int:
+    """Return the position ``p`` with ``rho(p) == address``."""
+    d = gcd(w, E)
+    size = w * E // d
+    if total is None:
+        total = w * E
+    if not 0 <= address < total:
+        raise ParameterError(f"address {address} out of range [0, {total})")
+    if d == 1:
+        return address
+    ell = address // size
+    shift = ell % d
+    return ell * size + (address % size - shift) % size
+
+
+def warp_layout_position(source_index: int, n_a: int, w: int, E: int) -> int:
+    """Map a source index of ``A ++ B`` (warp scope) to its layout position.
+
+    ``source_index < n_a`` selects ``A[source_index]`` (position unchanged);
+    otherwise it selects ``B[source_index - n_a]``, which ``pi`` sends to
+    ``wE - 1 - (source_index - n_a)``.
+    """
+    total = w * E
+    if not 0 <= n_a <= total:
+        raise ParameterError(f"|A|={n_a} out of range [0, {total}]")
+    if not 0 <= source_index < total:
+        raise ParameterError(f"source index {source_index} out of range [0, {total})")
+    if source_index < n_a:
+        return source_index
+    return pi(source_index - n_a, total)
+
+
+def block_layout_position(source_index: int, n_a: int, u: int, E: int) -> int:
+    """Block-scope version of :func:`warp_layout_position` (``total = uE``)."""
+    total = u * E
+    if not 0 <= n_a <= total:
+        raise ParameterError(f"|A|={n_a} out of range [0, {total}]")
+    if not 0 <= source_index < total:
+        raise ParameterError(f"source index {source_index} out of range [0, {total})")
+    if source_index < n_a:
+        return source_index
+    return pi(source_index - n_a, total)
+
+
+def _apply_layout(a, b, w: int, E: int, total: int) -> np.ndarray:
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ParameterError("A and B must be one-dimensional")
+    if len(a) + len(b) != total:
+        raise ParameterError(
+            f"|A| + |B| = {len(a) + len(b)} must equal the layout size {total}"
+        )
+    out = np.empty(total, dtype=np.int64)
+    # Positions of A: 0..|A|-1; positions of B (reversed): total-1-x.
+    positions = np.empty(total, dtype=np.int64)
+    positions[: len(a)] = np.arange(len(a))
+    positions[len(a) :] = total - 1 - np.arange(len(b))
+    # rho, vectorized.
+    d = gcd(w, E)
+    if d == 1:
+        addresses = positions
+    else:
+        size = w * E // d
+        ell = positions // size
+        shift = ell % d
+        addresses = ell * size + (positions % size + shift) % size
+    out[addresses[: len(a)]] = a
+    out[addresses[len(a) :]] = b
+    return out
+
+
+def apply_warp_layout(a, b, w: int, E: int) -> np.ndarray:
+    """Return the ``wE``-word shared-memory image ``rho(A ++ pi(B))``.
+
+    This is the element order a warp's tile must have in shared memory for
+    the dual subsequence gather to be conflict free.  In the full pipeline
+    the permutation is folded into the global-to-shared load; this builder
+    exists for direct warp-level use and for tests.
+    """
+    return _apply_layout(a, b, w, E, w * E)
+
+
+def apply_block_layout(a, b, u: int, w: int, E: int) -> np.ndarray:
+    """Return the ``uE``-word shared-memory image for a full thread block.
+
+    ``B`` is reversed across the whole block and ``rho``'s partitions span
+    the whole ``uE`` words (shift ``ell mod d``), per Section 3.3.
+    """
+    if u % w:
+        raise ParameterError(f"u={u} must be a multiple of w={w}")
+    return _apply_layout(a, b, w, E, u * E)

@@ -1,0 +1,124 @@
+"""The load-balanced dual subsequence scatter (footnote 5's inverse).
+
+After a thread merges its ``E`` register values, its output occupies the
+contiguous window ``[iE, (i+1)E)`` of the block's merged result.  Writing
+those windows naively (each thread scanning its own ``E`` consecutive
+addresses) conflicts exactly like the baseline serial merge reads do; the
+scatter instead writes output element ``j`` in round ``j`` to address
+``rho(iE + j)``, so every round's address set is the same complete residue
+system the gather reads from — zero conflicts.
+
+The result sits in shared memory in ``rho``-permuted order;
+:func:`unpermute` recovers the plain sequence (in the full pipeline the
+inverse permutation is folded into the coalesced shared-to-global store,
+whose aligned ``w``-wide rounds always fall inside one ``rho`` partition —
+``wE/d`` is a multiple of ``w`` — and are therefore conflict free too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import block_scatter_schedule, scatter_schedule
+from repro.errors import ParameterError
+from repro.sim.block import ThreadBlock
+from repro.sim.counters import Counters
+from repro.sim.instructions import Compute, SharedWrite
+from repro.sim.memory import SharedMemory
+from repro.sim.trace import AccessTrace
+
+__all__ = ["scatter_warp", "scatter_block", "unpermute"]
+
+
+def _scatter_kernel(values: np.ndarray, accesses):
+    def program():
+        for access in accesses:
+            yield Compute(1)
+            yield SharedWrite(access.address, int(values[access.offset]))
+
+    return program()
+
+
+def scatter_warp(
+    items_per_thread: list[np.ndarray],
+    w: int,
+    E: int,
+    trace: AccessTrace | None = None,
+) -> tuple[SharedMemory, Counters]:
+    """Write each thread's ``E`` outputs to shared memory conflict free.
+
+    ``items_per_thread[i][j]`` must be thread ``i``'s ``j``-th output (its
+    merged order).  Returns the shared memory (contents in ``rho`` layout;
+    see :func:`unpermute`) and the measured counters.
+    """
+    if len(items_per_thread) != w:
+        raise ParameterError(f"expected {w} item arrays, got {len(items_per_thread)}")
+    for i, items in enumerate(items_per_thread):
+        if len(items) != E:
+            raise ParameterError(f"thread {i} has {len(items)} items, expected E={E}")
+    counters = Counters()
+    shm = SharedMemory(w * E, w=w, counters=counters, trace=trace)
+    schedule = scatter_schedule(w, E)
+    per_thread = [[schedule[j][i] for j in range(E)] for i in range(w)]
+
+    from repro.sim.warp import Warp
+
+    warp = Warp(
+        0,
+        [
+            _scatter_kernel(np.asarray(items_per_thread[i], dtype=np.int64), per_thread[i])
+            for i in range(w)
+        ],
+        shm,
+        counters=counters,
+    )
+    warp.run()
+    return shm, counters
+
+
+def scatter_block(
+    items_per_thread: list[np.ndarray],
+    u: int,
+    w: int,
+    E: int,
+    trace: AccessTrace | None = None,
+) -> tuple[SharedMemory, Counters]:
+    """Thread-block scatter: ``u`` threads write ``uE`` outputs conflict free."""
+    if len(items_per_thread) != u:
+        raise ParameterError(f"expected {u} item arrays, got {len(items_per_thread)}")
+    schedule = block_scatter_schedule(u, w, E)
+    per_thread = [[schedule[j][i] for j in range(E)] for i in range(u)]
+    counters = Counters()
+
+    def factory(tid: int):
+        return _scatter_kernel(
+            np.asarray(items_per_thread[tid], dtype=np.int64), per_thread[tid]
+        )
+
+    block = ThreadBlock(
+        u=u,
+        w=w,
+        shared_words=u * E,
+        program_factory=factory,
+        counters=counters,
+        trace=trace,
+    )
+    block.run()
+    return block.shared, counters
+
+
+def unpermute(shm: SharedMemory, w: int, E: int, total: int | None = None) -> np.ndarray:
+    """Invert ``rho`` on a scatter result, returning the plain output order.
+
+    Accounting-free convenience (models the index arithmetic the coalesced
+    store performs for free alongside its global transactions).
+    """
+    from repro.core.layout import rho as _rho
+
+    data = shm.snapshot()
+    n = len(data) if total is None else total
+    # rho maps position -> address, so out[p] = data[rho(p)].
+    out = np.empty(n, dtype=np.int64)
+    for p in range(n):
+        out[p] = data[_rho(p, w, E, n)]
+    return out

@@ -1,0 +1,216 @@
+"""Round schedules for the gather and scatter (Algorithm 1's arithmetic).
+
+A *schedule* is the pure, data-independent part of the gather: it maps
+``(thread, round)`` to the shared-memory address read (or written).  The
+executable kernels in :mod:`repro.core.gather` follow these schedules
+exactly; the verifier in :mod:`repro.core.verify` checks every round of a
+schedule is a complete residue system modulo ``w``.
+
+Conventions
+-----------
+Each schedule entry is an :class:`Access` naming the thread, the round, the
+logical element read (``kind`` ``"A"`` or ``"B"`` plus the offset *within
+that thread's subsequence*), the layout *position* (``pi`` applied), and
+the physical *address* (``rho`` applied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layout import pi, rho
+from repro.core.splits import BlockSplit, WarpSplit
+from repro.errors import ScheduleError
+
+__all__ = [
+    "Access",
+    "warp_gather_schedule",
+    "block_gather_schedule",
+    "naive_gather_schedule",
+    "scatter_schedule",
+    "block_scatter_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One scheduled shared-memory access."""
+
+    #: Block-local thread id.
+    thread: int
+    #: Round index in ``[0, E)``.
+    round_index: int
+    #: ``"A"`` or ``"B"`` — which list the element belongs to.
+    kind: str
+    #: Offset of the element within the thread's own ``A_i``/``B_i``.
+    offset: int
+    #: Layout position (after ``pi``, before ``rho``).
+    position: int
+    #: Physical shared-memory address (after ``rho``).
+    address: int
+
+
+def _gather_schedule(
+    a_offsets: tuple[int, ...],
+    b_offsets: tuple[int, ...],
+    a_sizes: tuple[int, ...],
+    E: int,
+    w: int,
+    total: int,
+) -> list[list[Access]]:
+    """Shared implementation of the warp- and block-level schedules.
+
+    Implements Algorithm 1 for each thread: with ``k = a_i mod E``, round
+    ``j`` reads the ``((j - k) mod E)``-th element of ``A_i`` if that index
+    is below ``|A_i|``, else the ``((k - j - 1) mod E)``-th element of
+    ``B_i``.  Positions then pass through ``pi`` (for ``B``) and ``rho``.
+    """
+    rounds: list[list[Access]] = [[] for _ in range(E)]
+    for i, (a_i, b_i, n_ai) in enumerate(zip(a_offsets, b_offsets, a_sizes)):
+        k = a_i % E
+        for j in range(E):
+            a_idx = (j - k) % E
+            if a_idx < n_ai:
+                position = a_i + a_idx
+                access = Access(
+                    thread=i,
+                    round_index=j,
+                    kind="A",
+                    offset=a_idx,
+                    position=position,
+                    address=rho(position, w, E, total),
+                )
+            else:
+                b_idx = (k - j - 1) % E
+                position = pi(b_i + b_idx, total)
+                access = Access(
+                    thread=i,
+                    round_index=j,
+                    kind="B",
+                    offset=b_idx,
+                    position=position,
+                    address=rho(position, w, E, total),
+                )
+            rounds[j].append(access)
+    return rounds
+
+
+def warp_gather_schedule(split: WarpSplit) -> list[list[Access]]:
+    """Return the ``E`` rounds of the warp-level dual subsequence gather.
+
+    Round ``j`` contains one access per thread; across the warp the
+    addresses of each round form a complete residue system modulo ``w``
+    (Lemma 1 for ``d = 1``, Corollary 3 plus the ``rho`` realignment for
+    ``d > 1``) — i.e. the schedule is bank conflict free.
+    """
+    return _gather_schedule(
+        split.a_offsets,
+        split.b_offsets,
+        split.a_sizes,
+        split.E,
+        split.w,
+        split.total,
+    )
+
+
+def block_gather_schedule(split: BlockSplit) -> list[list[Access]]:
+    """Return the ``E`` rounds of the thread-block-level gather (Section 3.3).
+
+    ``B`` is reversed across the whole block and ``rho``'s partitions span
+    all ``uE`` positions with shift ``ell mod d``.  Conflict freedom holds
+    *per warp*: in every round, the addresses touched by the ``w`` threads
+    of each warp form a (shifted) complete residue system modulo ``w``.
+    """
+    return _gather_schedule(
+        split.a_offsets,
+        split.b_offsets,
+        split.a_sizes,
+        split.E,
+        split.w,
+        split.total,
+    )
+
+
+def naive_gather_schedule(split: WarpSplit) -> list[list[Access]]:
+    """Return the Figure 7 schedule: no reversal of ``B``, no shift.
+
+    With ``A`` and ``B`` both stored in ascending order, element at layout
+    position ``p`` is read in round ``p mod E``; a thread whose ``A``-round
+    window and ``B``-round window overlap (mod ``E``) must read **two**
+    elements in the overlapping rounds — the read stalls the paper
+    illustrates.  Rounds here may therefore contain up to ``2w`` accesses
+    (and other rounds correspondingly fewer).
+    """
+    E, w, total = split.E, split.w, split.total
+    n_a = split.n_a
+    rounds: list[list[Access]] = [[] for _ in range(E)]
+    for i in range(w):
+        a_i, b_i = split.a_offsets[i], split.b_offsets[i]
+        for m in range(split.a_sizes[i]):
+            position = a_i + m
+            rounds[position % E].append(
+                Access(i, position % E, "A", m, position, position)
+            )
+        for m in range(E - split.a_sizes[i]):
+            position = n_a + b_i + m
+            rounds[position % E].append(
+                Access(i, position % E, "B", m, position, position)
+            )
+    return rounds
+
+
+def scatter_schedule(w: int, E: int) -> list[list[Access]]:
+    """Return the ``E`` rounds of the warp-level dual subsequence scatter.
+
+    After merging in registers, thread ``i`` owns the merged output window
+    ``[iE, (i+1)E)``.  In round ``j`` it writes output element ``j`` to
+    address ``rho(iE + j)``; the round's address set is ``rho(R_j)`` — the
+    same complete residue system as gather round ``j``.
+
+    Unlike the gather, the scatter's schedule is split-independent (the
+    output is a single contiguous sequence), so it takes bare ``w, E``.
+    """
+    if E < 1 or w < 1:
+        raise ScheduleError(f"w={w} and E={E} must be positive")
+    total = w * E
+    rounds: list[list[Access]] = []
+    for j in range(E):
+        rounds.append(
+            [
+                Access(
+                    thread=i,
+                    round_index=j,
+                    kind="OUT",
+                    offset=j,
+                    position=i * E + j,
+                    address=rho(i * E + j, w, E, total),
+                )
+                for i in range(w)
+            ]
+        )
+    return rounds
+
+
+def block_scatter_schedule(u: int, w: int, E: int) -> list[list[Access]]:
+    """Block-level scatter rounds: thread ``i`` writes to ``rho(iE + j)``
+    over the ``uE``-word layout (per-warp conflict free by the same
+    argument as the block gather)."""
+    if E < 1 or w < 1 or u < 1 or u % w:
+        raise ScheduleError(f"invalid block geometry u={u}, w={w}, E={E}")
+    total = u * E
+    rounds: list[list[Access]] = []
+    for j in range(E):
+        rounds.append(
+            [
+                Access(
+                    thread=i,
+                    round_index=j,
+                    kind="OUT",
+                    offset=j,
+                    position=i * E + j,
+                    address=rho(i * E + j, w, E, total),
+                )
+                for i in range(u)
+            ]
+        )
+    return rounds

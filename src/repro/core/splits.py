@@ -1,0 +1,186 @@
+"""Value objects describing per-thread subsequence splits.
+
+A *split* records, for each thread, how many of its ``E`` elements come
+from the ``A`` list (``|A_i|``; the remaining ``E - |A_i|`` come from
+``B``).  The paper's offsets follow: ``a_i`` is the prefix sum of earlier
+threads' ``|A_*|`` and ``b_i = i*E - a_i`` (each thread's window covers
+positions ``[iE, (i+1)E)`` of the merged output).
+
+In the mergesort pipeline splits are *data-dependent* — they come out of
+merge-path binary searches — but the gather's conflict freedom must hold
+for **every** split, which is why these objects are free-standing and the
+property tests generate them arbitrarily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ParameterError
+
+__all__ = ["WarpSplit", "BlockSplit"]
+
+
+@dataclass(frozen=True)
+class WarpSplit:
+    """Per-thread ``|A_i|`` sizes for one warp of ``w`` threads.
+
+    Attributes
+    ----------
+    E:
+        Elements per thread.
+    a_sizes:
+        Tuple of ``w`` values, each in ``[0, E]``; ``a_sizes[i] == |A_i|``.
+    """
+
+    E: int
+    a_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.E < 1:
+            raise ParameterError(f"E must be >= 1, got {self.E}")
+        if not self.a_sizes:
+            raise ParameterError("a_sizes must be non-empty")
+        for i, s in enumerate(self.a_sizes):
+            if not 0 <= s <= self.E:
+                raise ParameterError(
+                    f"|A_{i}| = {s} out of range [0, E={self.E}]"
+                )
+
+    @property
+    def w(self) -> int:
+        """Number of threads (= warp width at warp scope)."""
+        return len(self.a_sizes)
+
+    @property
+    def total(self) -> int:
+        """Total elements covered (``w * E``)."""
+        return self.w * self.E
+
+    @cached_property
+    def n_a(self) -> int:
+        """Total elements taken from the ``A`` list."""
+        return sum(self.a_sizes)
+
+    @property
+    def n_b(self) -> int:
+        """Total elements taken from the ``B`` list."""
+        return self.total - self.n_a
+
+    @cached_property
+    def a_offsets(self) -> tuple[int, ...]:
+        """``a_i`` — offset of ``A_i`` within the warp's ``A`` list."""
+        offsets = []
+        acc = 0
+        for s in self.a_sizes:
+            offsets.append(acc)
+            acc += s
+        return tuple(offsets)
+
+    @property
+    def b_offsets(self) -> tuple[int, ...]:
+        """``b_i = i*E - a_i`` — offset of ``B_i`` within the ``B`` list."""
+        return tuple(i * self.E - a for i, a in enumerate(self.a_offsets))
+
+    def b_sizes(self) -> tuple[int, ...]:
+        """``|B_i| = E - |A_i|`` per thread."""
+        return tuple(self.E - s for s in self.a_sizes)
+
+    def thread_of_a_offset(self, x: int) -> int:
+        """Return the thread whose ``A_i`` contains ``A``-offset ``x``."""
+        if not 0 <= x < self.n_a:
+            raise ParameterError(f"A offset {x} out of range [0, {self.n_a})")
+        for i in range(self.w - 1, -1, -1):
+            if self.a_offsets[i] <= x:
+                return i
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def thread_of_b_offset(self, x: int) -> int:
+        """Return the thread whose ``B_i`` contains ``B``-offset ``x``."""
+        if not 0 <= x < self.n_b:
+            raise ParameterError(f"B offset {x} out of range [0, {self.n_b})")
+        for i in range(self.w - 1, -1, -1):
+            if self.b_offsets[i] <= x:
+                return i
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class BlockSplit:
+    """Per-thread ``|A_i|`` sizes for a thread block of ``u`` threads.
+
+    Identical bookkeeping to :class:`WarpSplit` over ``u`` threads, plus
+    warp-extraction helpers (Section 3.3's ``alpha_v`` is the per-warp ``A``
+    starting offset).
+    """
+
+    E: int
+    w: int
+    a_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.E < 1:
+            raise ParameterError(f"E must be >= 1, got {self.E}")
+        if self.w < 1:
+            raise ParameterError(f"w must be >= 1, got {self.w}")
+        if len(self.a_sizes) % self.w:
+            raise ParameterError(
+                f"u={len(self.a_sizes)} must be a multiple of w={self.w}"
+            )
+        for i, s in enumerate(self.a_sizes):
+            if not 0 <= s <= self.E:
+                raise ParameterError(f"|A_{i}| = {s} out of range [0, E={self.E}]")
+
+    @property
+    def u(self) -> int:
+        """Threads per block."""
+        return len(self.a_sizes)
+
+    @property
+    def n_warps(self) -> int:
+        """Warps per block."""
+        return self.u // self.w
+
+    @property
+    def total(self) -> int:
+        """Total elements covered (``u * E``)."""
+        return self.u * self.E
+
+    @cached_property
+    def n_a(self) -> int:
+        """Total elements taken from ``A``."""
+        return sum(self.a_sizes)
+
+    @property
+    def n_b(self) -> int:
+        """Total elements taken from ``B``."""
+        return self.total - self.n_a
+
+    @cached_property
+    def a_offsets(self) -> tuple[int, ...]:
+        """``a_i`` per thread (block-wide prefix sums)."""
+        offsets = []
+        acc = 0
+        for s in self.a_sizes:
+            offsets.append(acc)
+            acc += s
+        return tuple(offsets)
+
+    @property
+    def b_offsets(self) -> tuple[int, ...]:
+        """``b_i = i*E - a_i`` per thread."""
+        return tuple(i * self.E - a for i, a in enumerate(self.a_offsets))
+
+    def alpha(self, v: int) -> int:
+        """``alpha_v`` — the ``A`` offset where warp ``v``'s elements begin."""
+        if not 0 <= v < self.n_warps:
+            raise ParameterError(f"warp {v} out of range [0, {self.n_warps})")
+        return self.a_offsets[v * self.w]
+
+    def warp_split(self, v: int) -> WarpSplit:
+        """Return warp ``v``'s sizes as a :class:`WarpSplit`."""
+        if not 0 <= v < self.n_warps:
+            raise ParameterError(f"warp {v} out of range [0, {self.n_warps})")
+        lo = v * self.w
+        return WarpSplit(E=self.E, a_sizes=self.a_sizes[lo : lo + self.w])

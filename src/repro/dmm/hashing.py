@@ -1,0 +1,130 @@
+"""Universally hashed bank mapping (the Mehlhorn-Vishkin style defense).
+
+A Carter-Wegman universal hash ``h(x) = ((a*x + b) mod p) mod w`` with
+random odd ``a`` and prime ``p`` spreads any *fixed* adversarial address
+set across banks like a random function: the maximum bank load of ``w``
+addresses concentrates around ``Theta(log w / log log w)``, so the
+Section 4 adversary's aligned scans lose their alignment.
+
+The costs the paper's Section 2 alludes to are modeled faithfully:
+
+* every hashed access charges :data:`HASH_COMPUTE_OPS` scalar operations
+  (the multiply/add/mod chain the GPU would execute per address);
+* the structured accesses that were engineered to be conflict free
+  (coalesced staging rounds, the CF gather's residue systems) are hashed
+  too, and therefore conflict like random accesses — the mapping cannot
+  be selectively disabled without losing the worst-case guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sim.banks import BankModel, RoundCost
+from repro.sim.counters import Counters
+from repro.sim.memory import SharedMemory
+from repro.sim.trace import AccessTrace
+
+__all__ = ["UniversalHash", "HashedBankModel", "HashedSharedMemory", "HASH_COMPUTE_OPS"]
+
+#: Scalar ALU operations charged per hashed address computation.
+HASH_COMPUTE_OPS = 4
+
+#: A prime comfortably above any shared-memory address space we simulate.
+_DEFAULT_PRIME = 2_147_483_647  # 2^31 - 1 (Mersenne)
+
+
+@dataclass(frozen=True)
+class UniversalHash:
+    """One member ``h(x) = ((a*x + b) mod p) mod w`` of a universal family."""
+
+    a: int
+    b: int
+    p: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.a < self.p:
+            raise ParameterError(f"need 1 <= a < p, got a={self.a}")
+        if not 0 <= self.b < self.p:
+            raise ParameterError(f"need 0 <= b < p, got b={self.b}")
+        if self.w < 1:
+            raise ParameterError(f"need w >= 1, got {self.w}")
+
+    @classmethod
+    def draw(cls, w: int, seed: int = 0, p: int = _DEFAULT_PRIME) -> "UniversalHash":
+        """Draw a random member of the family."""
+        rng = np.random.default_rng(seed)
+        return cls(a=int(rng.integers(1, p)), b=int(rng.integers(0, p)), p=p, w=w)
+
+    def __call__(self, x: int) -> int:
+        return ((self.a * x + self.b) % self.p) % self.w
+
+
+class HashedBankModel(BankModel):
+    """A :class:`~repro.sim.banks.BankModel` whose bank map is hashed."""
+
+    __slots__ = ("hash_fn",)
+
+    def __init__(self, hash_fn: UniversalHash) -> None:
+        super().__init__(hash_fn.w)
+        self.hash_fn = hash_fn
+
+    def bank_of(self, address: int) -> int:
+        """Return the hashed bank for ``address``."""
+        return self.hash_fn(address)
+
+    def banks_of(self, addresses) -> list[int]:
+        """Vector form of :meth:`bank_of`."""
+        return [self.hash_fn(a) for a in addresses]
+
+    def round_cost(self, addresses) -> RoundCost:
+        """Round cost under the hashed map (same metrics as the stock model)."""
+        addrs = list(addresses)
+        requests = len(addrs)
+        if requests == 0:
+            return RoundCost(cycles=0, replays=0, excess=0, broadcasts=0, requests=0)
+        distinct = set(addrs)
+        broadcasts = requests - len(distinct)
+        per_bank: dict[int, int] = {}
+        for a in distinct:
+            bank = self.hash_fn(a)
+            per_bank[bank] = per_bank.get(bank, 0) + 1
+        cycles = max(per_bank.values())
+        excess = sum(m - 1 for m in per_bank.values())
+        return RoundCost(
+            cycles=cycles,
+            replays=cycles - 1,
+            excess=excess,
+            broadcasts=broadcasts,
+            requests=requests,
+        )
+
+
+class HashedSharedMemory(SharedMemory):
+    """Shared memory with a hashed bank map and per-access hash costs.
+
+    Drop-in for :class:`~repro.sim.memory.SharedMemory`: same data
+    semantics, different conflict accounting, plus
+    :data:`HASH_COMPUTE_OPS` compute ops charged per request (the address
+    translation the hardware would have to perform).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        w: int,
+        counters: Counters | None = None,
+        trace: AccessTrace | None = None,
+        fill: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(size, w, counters=counters, trace=trace, fill=fill)
+        self.banks = HashedBankModel(UniversalHash.draw(w, seed=seed))
+
+    def _account(self, kind: str, cost: RoundCost) -> None:
+        super()._account(kind, cost)
+        self.counters.compute_ops += HASH_COMPUTE_OPS * cost.requests

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "SimulationError",
+    "BankConflictError",
+    "ScheduleError",
+    "WorstCaseConstructionError",
+    "OccupancyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its documented domain.
+
+    Raised, for example, when ``E`` (elements per thread) is not positive,
+    when a thread-block size ``u`` is not a multiple of the warp width ``w``,
+    or when a subsequence split does not add up to ``E``.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The warp-synchronous simulator detected an inconsistent execution.
+
+    Examples: a thread program yields an unknown instruction, an address is
+    out of the bounds of the shared-memory allocation, or a warp finishes
+    with threads in divergent states where lockstep execution was required.
+    """
+
+
+class BankConflictError(ReproError, AssertionError):
+    """A procedure that must be bank conflict free performed a conflicting access.
+
+    This is only raised by *verifying* wrappers (e.g. the checks used in the
+    test-suite and by ``python -m repro verify``); plain simulation records
+    conflicts in counters instead of raising.
+    """
+
+
+class ScheduleError(ReproError, ValueError):
+    """A gather/scatter round schedule failed an internal invariant.
+
+    For instance, a round's address set is not a complete residue system
+    modulo ``w``, or a thread would have to read two elements in one round.
+    """
+
+
+class WorstCaseConstructionError(ReproError, ValueError):
+    """The Section 4 worst-case construction produced an invalid sequence.
+
+    The construction is only defined for ``1 < E <= w``; requesting
+    parameters outside that range, or an internal accounting mismatch
+    (``|T| != w/d``), raises this error.
+    """
+
+
+class OccupancyError(ReproError, ValueError):
+    """A kernel launch configuration cannot run on the modeled device.
+
+    Raised when a thread block needs more shared memory or registers than a
+    streaming multiprocessor physically has.
+    """

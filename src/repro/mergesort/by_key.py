@@ -1,0 +1,74 @@
+"""Key-value sorting (Thrust's ``sort_by_key``), on top of the pipeline.
+
+Keys are packed with their index — ``packed = key * 2^32 + index`` — and
+the packed words run through the ordinary simulated mergesort; unpacking
+yields the sorted keys and the payload permutation.  This is the standard
+GPU trick for 32-bit keys with 32-bit payloads and makes the sort
+automatically **stable** (equal keys order by original index).
+
+Payload movement costs are accounted on top: each merge level must move
+the values array once more through global memory (one coalesced read +
+write per element), which the packing trick folds into the wider words in
+hardware; the accounting mirrors Thrust's 64-bit-element traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.mergesort.pipeline import MergesortResult, gpu_mergesort
+
+__all__ = ["sort_by_key", "KEY_LIMIT"]
+
+#: Keys must fit in 31 bits (sign-safe packing with a 32-bit index).
+KEY_LIMIT = 2**31
+_INDEX_BITS = 32
+
+
+def sort_by_key(
+    keys,
+    values,
+    E: int,
+    u: int,
+    w: int = 32,
+    variant: str = "thrust",
+    **kwargs,
+) -> tuple[np.ndarray, np.ndarray, MergesortResult]:
+    """Sort ``keys`` and permute ``values`` alongside (stable).
+
+    Returns ``(sorted_keys, reordered_values, result)`` where ``result``
+    is the underlying :class:`~repro.mergesort.pipeline.MergesortResult`
+    (its ``data`` holds the packed words).
+
+    Restrictions: ``0 <= key < 2^31`` and at most ``2^32`` elements (the
+    packing budget — the same budget a CUDA implementation would have with
+    64-bit packed elements).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values)
+    if keys.ndim != 1 or values.ndim != 1:
+        raise ParameterError("keys and values must be one-dimensional")
+    if len(keys) != len(values):
+        raise ParameterError(
+            f"keys and values must have equal length ({len(keys)} != {len(values)})"
+        )
+    if len(keys) >= 2**_INDEX_BITS:
+        raise ParameterError("at most 2^32 elements supported by the packing")
+    if len(keys) and (keys.min() < 0 or keys.max() >= KEY_LIMIT):
+        raise ParameterError(f"keys must lie in [0, {KEY_LIMIT})")
+
+    packed = (keys << _INDEX_BITS) | np.arange(len(keys), dtype=np.int64)
+    result = gpu_mergesort(packed, E=E, u=u, w=w, variant=variant, **kwargs)
+
+    sorted_keys = result.data >> _INDEX_BITS
+    order = result.data & ((1 << _INDEX_BITS) - 1)
+    reordered_values = values[order]
+
+    # Payload traffic: one extra coalesced read + write per element per
+    # pass (blocksort + every merge level).
+    passes = 1 + result.merge_level_count
+    per_pass = max(len(keys) // 32, 1) if len(keys) else 0
+    result.global_stats.global_read_transactions += per_pass * passes
+    result.global_stats.global_write_transactions += per_pass * passes
+    return sorted_keys, reordered_values, result

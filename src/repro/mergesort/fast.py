@@ -1,0 +1,390 @@
+"""Vectorized conflict accounting (the throughput experiments' engine).
+
+The lockstep simulator in :mod:`repro.sim` is exact but advances one
+generator per thread per round — too slow to profile thousands of tiles.
+This module recomputes the *same per-round conflict counts* with NumPy:
+each warp-synchronous round is one vector of addresses, and the per-bank
+multiplicities come from ``np.bincount``.  ``tests/test_mergesort_fast.py``
+cross-validates every metric against the lockstep simulation on identical
+inputs; the throughput sweeps then trust the fast engine at scale.
+
+Only the *shared read/write rounds* are modeled (they are what differs per
+input); compute costs are analytic in :mod:`repro.perf.cost_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.splits import BlockSplit
+from repro.errors import ParameterError
+from repro.mergesort.merge_path import block_split_from_merge_path
+from repro.mergesort.serial_merge import SENTINEL
+from repro.sim.counters import Counters
+
+__all__ = [
+    "count_round",
+    "serial_merge_profile",
+    "pointer_merge_profile",
+    "search_profile",
+    "cf_merge_profile",
+    "blocksort_profile",
+]
+
+
+def count_round(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    thread_ids: np.ndarray,
+    w: int,
+    counters: Counters,
+    kind: str = "read",
+) -> None:
+    """Account one warp-synchronous round for many warps at once.
+
+    ``addresses``/``active``/``thread_ids`` are parallel vectors (one entry
+    per thread); inactive threads do not access memory.  Threads are
+    grouped into warps by ``thread_ids // w``; duplicate addresses within a
+    warp broadcast (deduplicated before bank multiplicities).
+    """
+    if not np.any(active):
+        return
+    addr = addresses[active].astype(np.int64)
+    warp = (thread_ids[active] // w).astype(np.int64)
+    requests = len(addr)
+
+    span = int(addr.max()) + 1
+    key = warp * span + addr
+    uniq = np.unique(key)
+    broadcasts = requests - len(uniq)
+
+    u_warp = uniq // span
+    u_bank = (uniq % span) % w
+    counts = np.bincount(u_warp * w + u_bank, minlength=(int(u_warp.max()) + 1) * w)
+    counts = counts.reshape(-1, w)
+    per_warp_max = counts.max(axis=1)
+    active_warps = per_warp_max > 0
+    cycles = int(per_warp_max[active_warps].sum())
+    n_warps = int(active_warps.sum())
+    excess = int(np.maximum(counts - 1, 0).sum())
+
+    if kind == "read":
+        counters.shared_read_rounds += n_warps
+        counters.broadcast_reads += broadcasts
+    else:
+        counters.shared_write_rounds += n_warps
+    counters.shared_requests += requests
+    counters.shared_cycles += cycles
+    counters.shared_replays += cycles - n_warps
+    counters.shared_excess += excess
+
+
+def serial_merge_profile(
+    a,
+    b,
+    E: int,
+    w: int,
+    *,
+    split: BlockSplit | None = None,
+    read_policy: str = "bounded",
+) -> Counters:
+    """Vectorized conflict profile of the baseline serial merge phase.
+
+    Equivalent to the ``stats.merge`` counters of
+    :func:`repro.mergesort.serial_merge.serial_merge_block` (compute ops
+    excepted) but runs in O(E) NumPy rounds regardless of ``u``.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if split is None:
+        split = block_split_from_merge_path(a, b, E, w)
+    u = split.u
+    n_a = split.n_a
+    backing = np.concatenate([a, b])
+    tids = np.arange(u)
+
+    a_ptr = np.array(split.a_offsets, dtype=np.int64)
+    a_end = a_ptr + np.array(split.a_sizes, dtype=np.int64)
+    b_ptr = n_a + np.array(split.b_offsets, dtype=np.int64)
+    b_end = b_ptr + (E - np.array(split.a_sizes, dtype=np.int64))
+    return pointer_merge_profile(
+        backing, a_ptr, a_end, b_ptr, b_end, E, w, tids, read_policy=read_policy
+    )
+
+
+def pointer_merge_profile(
+    backing: np.ndarray,
+    a_ptr: np.ndarray,
+    a_end: np.ndarray,
+    b_ptr: np.ndarray,
+    b_end: np.ndarray,
+    E: int,
+    w: int,
+    tids: np.ndarray,
+    *,
+    read_policy: str = "bounded",
+) -> Counters:
+    """Serial-merge profile for explicit per-thread pointer ranges.
+
+    The general form behind :func:`serial_merge_profile`: each thread ``i``
+    merges ``backing[a_ptr[i]:a_end[i]]`` with ``backing[b_ptr[i]:b_end[i]]``
+    (both sorted), reading from ``backing``'s address space.  Blocksort
+    levels use this directly (their pair regions give each thread its own
+    offsets inside the staged tile).
+    """
+    if read_policy not in ("bounded", "always"):
+        raise ParameterError(f"unknown read_policy {read_policy!r}")
+    u = len(tids)
+    counters = Counters()
+    a_ptr = a_ptr.astype(np.int64).copy()
+    b_ptr = b_ptr.astype(np.int64).copy()
+
+    # Initial head loads (two rounds: A heads, then B heads).
+    a_active = a_ptr < a_end
+    count_round(a_ptr, a_active, tids, w, counters)
+    a_key = np.where(a_active, backing[np.minimum(a_ptr, len(backing) - 1)], SENTINEL)
+    b_active = b_ptr < b_end
+    count_round(b_ptr, b_active, tids, w, counters)
+    b_key = np.where(b_active, backing[np.minimum(b_ptr, len(backing) - 1)], SENTINEL)
+
+    pa = a_ptr.copy()
+    pb = b_ptr.copy()
+    for _ in range(E):
+        take_a = (pa < a_end) & ((pb >= b_end) | (a_key <= b_key))
+        pa = np.where(take_a, pa + 1, pa)
+        pb = np.where(take_a, pb, pb + 1)
+        next_addr = np.where(take_a, pa, pb)
+        in_range = np.where(take_a, pa < a_end, pb < b_end)
+        if read_policy == "always":
+            clamped = np.where(take_a, np.maximum(a_end - 1, 0), np.maximum(b_end - 1, 0))
+            addr = np.where(in_range, next_addr, clamped)
+            active = np.ones(u, dtype=bool)
+        else:
+            addr = next_addr
+            active = in_range
+        count_round(np.minimum(addr, len(backing) - 1), active, tids, w, counters)
+        new_key = backing[np.minimum(addr, len(backing) - 1)]
+        loaded = active & in_range
+        a_key = np.where(take_a & loaded, new_key, np.where(take_a, SENTINEL, a_key))
+        b_key = np.where(~take_a & loaded, new_key, np.where(~take_a, SENTINEL, b_key))
+    return counters
+
+
+def search_profile(a, b, E: int, w: int, *, mapped: bool = False) -> Counters:
+    """Vectorized profile of the per-thread merge-path searches.
+
+    ``mapped=True`` routes addresses through the CF layout (``pi`` +
+    ``rho``), matching :func:`repro.mergesort.cf.cf_merge_block`'s search
+    phase.
+    """
+    from repro.core.layout import pi as pi_map
+    from repro.core.layout import rho as rho_map
+
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    n_a, n_b = len(a), len(b)
+    total = n_a + n_b
+    if total % E:
+        raise ParameterError("|A|+|B| must be a multiple of E")
+    u = total // E
+    tids = np.arange(u)
+    counters = Counters()
+
+    diag = tids * E
+    lo = np.maximum(0, diag - n_b)
+    hi = np.minimum(diag, n_a)
+    live = lo < hi
+    while np.any(live):
+        mid = (lo + hi) // 2
+        a_addr = mid.copy()
+        b_idx = diag - 1 - mid
+        if mapped:
+            a_addr = np.array(
+                [rho_map(int(x), w, E, total) for x in np.minimum(mid, total - 1)]
+            )
+            b_addr = np.array(
+                [
+                    rho_map(pi_map(int(x) % total, total), w, E, total)
+                    for x in np.clip(b_idx, 0, n_b - 1)
+                ]
+            )
+        else:
+            b_addr = n_a + np.clip(b_idx, 0, max(n_b - 1, 0))
+        count_round(a_addr, live, tids, w, counters)
+        count_round(b_addr, live, tids, w, counters)
+        a_val = a[np.clip(mid, 0, max(n_a - 1, 0))] if n_a else np.zeros(u, dtype=np.int64)
+        b_val = b[np.clip(b_idx, 0, max(n_b - 1, 0))] if n_b else np.zeros(u, dtype=np.int64)
+        go_right = a_val <= b_val
+        lo = np.where(live & go_right, mid + 1, lo)
+        hi = np.where(live & ~go_right, mid, hi)
+        live = lo < hi
+    return counters
+
+
+def cf_merge_profile(a, b, E: int, w: int, *, split: BlockSplit | None = None) -> Counters:
+    """Profile of CF-Merge's gather + scatter rounds.
+
+    Computed analytically — ``E`` read rounds and ``E`` write rounds per
+    warp, one cycle each — and spot-verified against the simulator by the
+    test-suite.  The *whole point* of the paper is that this profile is
+    input independent.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    total = len(a) + len(b)
+    if total % E:
+        raise ParameterError("|A|+|B| must be a multiple of E")
+    u = total // E
+    if u % w:
+        raise ParameterError(f"thread count {u} must be a multiple of w={w}")
+    n_warps = u // w
+    counters = Counters()
+    counters.shared_read_rounds = E * n_warps
+    counters.shared_write_rounds = E * n_warps
+    counters.shared_cycles = 2 * E * n_warps
+    counters.shared_requests = 2 * E * u
+    return counters
+
+
+def _strided_stage_rounds(u: int, E: int, w: int, counters: Counters, kind: str) -> None:
+    """Count the thread-contiguous staging rounds (round m -> {iE + m})."""
+    tids = np.arange(u)
+    base = tids * E
+    active = np.ones(u, dtype=bool)
+    for m in range(E):
+        count_round(base + m, active, tids, w, counters, kind=kind)
+
+
+def _pair_search_rounds(
+    backing: np.ndarray,
+    u: int,
+    E: int,
+    w: int,
+    region: int,
+    counters: Counters,
+    mapped: bool = False,
+) -> None:
+    """Vectorized per-pair merge-path search traffic.
+
+    ``mapped=True`` addresses the CF pair layout (the ``B`` run reversed
+    within its region; ``rho`` is the identity in the coprime regime this
+    fast path supports).  ``backing`` always holds the *plain* values —
+    only the counted addresses change.
+    """
+    half = region // 2
+    tids = np.arange(u)
+    pbase = (tids * E) // region * region
+    tau = tids - pbase // E
+    diag = tau * E
+    lo = np.maximum(0, diag - half)
+    hi = np.minimum(diag, half)
+    live = lo < hi
+    while np.any(live):
+        mid = (lo + hi) // 2
+        b_idx = np.clip(diag - 1 - mid, 0, half - 1)
+        a_addr = pbase + mid
+        if mapped:
+            b_addr = pbase + (region - 1 - b_idx)
+        else:
+            b_addr = pbase + half + b_idx
+        count_round(a_addr, live, tids, w, counters)
+        count_round(b_addr, live, tids, w, counters)
+        a_val = backing[np.minimum(pbase + mid, len(backing) - 1)]
+        b_val = backing[np.minimum(pbase + half + b_idx, len(backing) - 1)]
+        go_right = a_val <= b_val
+        lo = np.where(live & go_right, mid + 1, lo)
+        hi = np.where(live & ~go_right, mid, hi)
+        live = lo < hi
+
+
+def blocksort_profile(
+    tile,
+    E: int,
+    w: int,
+    variant: str = "thrust",
+    *,
+    read_policy: str = "bounded",
+) -> Counters:
+    """Vectorized conflict profile of a whole blocksort tile.
+
+    Mirrors :func:`repro.mergesort.blocksort.blocksort_tile`'s *shared
+    memory* counters (load + staging + searches + merges; compute ops
+    excepted) without running the lockstep simulator — cross-validated in
+    ``tests/test_mergesort_fast.py``.  The ``cf`` variant is supported for
+    coprime ``w, E`` only (its structured passes are conflict free by
+    theorem there; the exact simulator remains the reference elsewhere).
+    """
+    from repro.mergesort.merge_path import merge_path_partition
+
+    tile = np.asarray(tile, dtype=np.int64)
+    if len(tile) % E:
+        raise ParameterError(f"tile length {len(tile)} not a multiple of E={E}")
+    u = len(tile) // E
+    if u % w or u & (u - 1):
+        raise ParameterError(f"thread count {u} must be a power-of-two multiple of w")
+    if variant not in ("thrust", "cf"):
+        raise ParameterError(f"unknown variant {variant!r}")
+    from repro.numtheory import coprime as _coprime
+
+    if variant == "cf" and not _coprime(w, E):
+        raise ParameterError("fast cf blocksort profile requires coprime w, E")
+
+    counters = Counters()
+    tids = np.arange(u)
+
+    # Phase 1: load E contiguous words per thread, sort in registers.
+    _strided_stage_rounds(u, E, w, counters, kind="read")
+    regs = np.sort(tile.reshape(u, E), axis=1)
+
+    g = 1
+    while g < u:
+        region = 2 * g * E
+        half = g * E
+        plain = regs.reshape(-1)
+
+        # Staging writes.  Baseline: plain ({iE+m}); CF: the pair layout,
+        # whose rounds are single residue classes — identical costs for
+        # coprime w, E (both conflict free), counted the same way.
+        _strided_stage_rounds(u, E, w, counters, kind="write")
+
+        # Searches.
+        _pair_search_rounds(plain, u, E, w, region, counters, mapped=(variant == "cf"))
+
+        # Merges.
+        n_pairs = u * E // region
+        a_off = np.empty(u, dtype=np.int64)
+        a_len = np.empty(u, dtype=np.int64)
+        for p in range(n_pairs):
+            a_run = plain[p * region : p * region + half]
+            b_run = plain[p * region + half : (p + 1) * region]
+            cuts = merge_path_partition(a_run, b_run, E)
+            for t in range(region // E):
+                a_off[p * (region // E) + t] = cuts[t][0]
+                a_len[p * (region // E) + t] = cuts[t + 1][0] - cuts[t][0]
+        pbase = (tids * E) // region * region
+        tau = tids - pbase // E
+        if variant == "thrust":
+            a_ptr = pbase + a_off
+            a_end_v = a_ptr + a_len
+            b_ptr = pbase + half + (tau * E - a_off)
+            b_end_v = b_ptr + (E - a_len)
+            counters.merge(
+                pointer_merge_profile(
+                    plain, a_ptr, a_end_v, b_ptr, b_end_v, E, w, tids,
+                    read_policy=read_policy,
+                )
+            )
+        else:
+            # CF gather: E conflict-free read rounds per warp.
+            n_warps = u // w
+            counters.shared_read_rounds += E * n_warps
+            counters.shared_cycles += E * n_warps
+            counters.shared_requests += E * u
+
+        # Advance the data: pairwise-merged runs.
+        regs = np.sort(plain.reshape(n_pairs, region), axis=1).reshape(u, E)
+        g *= 2
+
+    # Final staging pass.
+    _strided_stage_rounds(u, E, w, counters, kind="write")
+    return counters

@@ -1,0 +1,191 @@
+"""The full multi-level GPU mergesort driver (both variants).
+
+Orchestrates blocksort over tiles of ``u*E`` elements followed by pairwise
+merge levels, each output tile produced by one simulated thread block.
+Global-memory traffic (coalesced tile loads/stores and the per-block
+merge-path partition searches in global memory) is accounted analytically
+— exactly, from the actual offsets — while every shared-memory round runs
+through the lockstep simulator.
+
+Inputs of arbitrary length are padded to a whole number of tiles with
+``+inf`` sentinels (Thrust pads likewise); sentinels are stripped from the
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.mergesort.blocksort import BlocksortStats, blocksort_tile
+from repro.mergesort.cf import cf_merge_block
+from repro.mergesort.merge_path import merge_path_search, merge_path_search_steps
+from repro.mergesort.serial_merge import SENTINEL, serial_merge_block
+from repro.mergesort.stats import MergePhaseStats
+from repro.sim.counters import Counters
+
+__all__ = ["gpu_mergesort", "MergesortResult"]
+
+
+def _segments(lo: int, hi: int, seg: int = 32) -> int:
+    """Coalesced segments touched by the word range ``[lo, hi)``."""
+    if hi <= lo:
+        return 0
+    return (hi - 1) // seg - lo // seg + 1
+
+
+@dataclass
+class MergesortResult:
+    """Everything measured while sorting one input."""
+
+    #: The sorted output (same length as the input).
+    data: np.ndarray
+    #: Input length (before padding).
+    n: int
+    #: ``"thrust"`` or ``"cf"``.
+    variant: str
+    E: int
+    u: int
+    w: int
+    #: Number of pairwise merge levels executed after blocksort.
+    merge_level_count: int = 0
+    #: Aggregated blocksort phase counters.
+    blocksort_stats: BlocksortStats = field(default_factory=BlocksortStats)
+    #: Aggregated merge-kernel phase counters (all levels).
+    merge_stats: MergePhaseStats = field(default_factory=MergePhaseStats)
+    #: Per-level merge counters, in level order.
+    per_level: list[MergePhaseStats] = field(default_factory=list)
+    #: Analytically accounted global-memory traffic.
+    global_stats: Counters = field(default_factory=Counters)
+
+    @property
+    def total_counters(self) -> Counters:
+        """All statistics rolled into one object."""
+        return (
+            self.blocksort_stats.total + self.merge_stats.total + self.global_stats
+        )
+
+    @property
+    def merge_replays(self) -> int:
+        """Bank-conflict replays during merge phases only (the paper's claim)."""
+        return self.blocksort_stats.merge.shared_replays + self.merge_stats.merge.shared_replays
+
+
+def gpu_mergesort(
+    data,
+    E: int,
+    u: int,
+    w: int = 32,
+    variant: str = "thrust",
+    *,
+    read_policy: str = "bounded",
+    simulate_search: bool = True,
+) -> MergesortResult:
+    """Sort ``data`` with the simulated GPU mergesort.
+
+    Parameters
+    ----------
+    data:
+        One-dimensional integer array.  Values must be below the padding
+        sentinel (``2^63 - 1``).
+    E, u, w:
+        Elements per thread, threads per block, warp width.
+    variant:
+        ``"thrust"`` (baseline serial merge) or ``"cf"`` (CF-Merge).
+    read_policy:
+        Baseline replacement-read policy (see
+        :mod:`repro.mergesort.serial_merge`).
+    simulate_search:
+        Whether to simulate the shared-memory traffic of the per-thread
+        merge-path searches (identical for both variants).
+
+    Returns
+    -------
+    MergesortResult
+        Sorted data plus the full measurement record.
+    """
+    if variant not in ("thrust", "cf"):
+        raise ParameterError(f"unknown variant {variant!r}")
+    data = np.asarray(data, dtype=np.int64)
+    if data.ndim != 1:
+        raise ParameterError("input must be one-dimensional")
+    n = len(data)
+    result = MergesortResult(
+        data=np.array([], dtype=np.int64), n=n, variant=variant, E=E, u=u, w=w
+    )
+    if n == 0:
+        return result
+    if np.any(data >= SENTINEL):
+        raise ParameterError("input values must be < 2^63 - 1 (padding sentinel)")
+
+    tile = u * E
+    n_tiles = (n + tile - 1) // tile
+    padded = np.full(n_tiles * tile, SENTINEL, dtype=np.int64)
+    padded[:n] = data
+
+    # ------------------------------------------------------------ blocksort
+    runs: list[np.ndarray] = []
+    for t in range(n_tiles):
+        chunk = padded[t * tile : (t + 1) * tile]
+        sorted_tile, stats = blocksort_tile(
+            chunk, E, w, variant, read_policy=read_policy
+        )
+        result.blocksort_stats.search.merge(stats.search)
+        result.blocksort_stats.merge.merge(stats.merge)
+        result.blocksort_stats.stage.merge(stats.stage)
+        runs.append(sorted_tile)
+        # Tile load + store, fully coalesced.
+        result.global_stats.global_read_transactions += tile // 32 + 1
+        result.global_stats.global_write_transactions += tile // 32 + 1
+
+    # ----------------------------------------------------- pairwise merging
+    while len(runs) > 1:
+        level_stats = MergePhaseStats()
+        next_runs: list[np.ndarray] = []
+        for pair_start in range(0, len(runs) - 1, 2):
+            a_run, b_run = runs[pair_start], runs[pair_start + 1]
+            total = len(a_run) + len(b_run)
+            n_blocks = total // tile
+            out = np.empty(total, dtype=np.int64)
+            prev_cut = (0, 0)
+            for k in range(1, n_blocks + 1):
+                diag = k * tile
+                if k < n_blocks:
+                    cut = merge_path_search(a_run, b_run, diag)
+                    steps = merge_path_search_steps(len(a_run), len(b_run), diag)
+                    # Each global search step reads one word of A and one of B.
+                    result.global_stats.global_read_transactions += 2 * steps
+                    result.global_stats.global_read_requests += 2 * steps
+                else:
+                    cut = (len(a_run), len(b_run))
+                a_blk = a_run[prev_cut[0] : cut[0]]
+                b_blk = b_run[prev_cut[1] : cut[1]]
+                if variant == "thrust":
+                    merged_blk, stats = serial_merge_block(
+                        a_blk, b_blk, E, w,
+                        simulate_search=simulate_search,
+                        read_policy=read_policy,
+                    )
+                else:
+                    merged_blk, stats = cf_merge_block(
+                        a_blk, b_blk, E, w, simulate_search=simulate_search
+                    )
+                level_stats.merge_into(stats)
+                out[(k - 1) * tile : k * tile] = merged_blk
+                result.global_stats.global_read_transactions += _segments(
+                    prev_cut[0], cut[0]
+                ) + _segments(prev_cut[1], cut[1])
+                result.global_stats.global_write_transactions += tile // 32
+                prev_cut = cut
+            next_runs.append(out)
+        if len(runs) % 2:
+            next_runs.append(runs[-1])
+        runs = next_runs
+        result.per_level.append(level_stats)
+        result.merge_stats.merge_into(level_stats)
+        result.merge_level_count += 1
+
+    result.data = runs[0][:n]
+    return result

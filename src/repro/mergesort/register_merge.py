@@ -1,0 +1,112 @@
+"""Data-oblivious in-register merging.
+
+Once a thread's ``E`` elements sit in registers, CF-Merge must order them
+without dynamic register indexing (the CUDA compiler spills dynamically
+indexed arrays to local memory — Section 5).  The paper adopts Thrust's
+odd-even transposition sort [Habermann 1972]: a fixed network of
+``E * ceil(E/2)``-ish compare-exchanges whose indices are all compile-time
+constants.
+
+As an ablation we also provide a bitonic merge: the gathered ``items``
+array is a *rotation* of the bitonic sequence ``A_i ascending ++ B_i
+descending``, so after rotating by ``k = a_i mod E`` a bitonic merge
+network orders it in ``O(E log E)`` compare-exchanges — but the rotation
+amount is data dependent, which on real hardware costs a local-memory
+round-trip (we tally it via the register file's dynamic-access counter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "odd_even_transposition_sort",
+    "odd_even_network",
+    "bitonic_merge_rotated",
+    "compare_exchange_count_odd_even",
+]
+
+
+def odd_even_network(n: int) -> list[tuple[int, int]]:
+    """Return the compare-exchange pairs of the odd-even transposition sort.
+
+    ``n`` phases alternate between (0,1),(2,3),... and (1,2),(3,4),...;
+    the network sorts any input of length ``n`` (parallel bubble sort).
+    All indices are static — no dynamic register addressing.
+    """
+    if n < 0:
+        raise ParameterError(f"network size must be >= 0, got {n}")
+    pairs: list[tuple[int, int]] = []
+    for phase in range(n):
+        start = phase % 2
+        for i in range(start, n - 1, 2):
+            pairs.append((i, i + 1))
+    return pairs
+
+
+def compare_exchange_count_odd_even(n: int) -> int:
+    """Number of compare-exchanges the odd-even network performs."""
+    return len(odd_even_network(n))
+
+
+def odd_even_transposition_sort(values) -> tuple[np.ndarray, int]:
+    """Sort ``values`` with the odd-even transposition network.
+
+    Returns ``(sorted_copy, compare_exchange_count)``.  The count is what
+    the cost model charges as per-thread compute for CF-Merge's register
+    merge.
+    """
+    out = np.array(values, dtype=np.int64, copy=True)
+    ops = 0
+    for i, j in odd_even_network(len(out)):
+        ops += 1
+        if out[i] > out[j]:
+            out[i], out[j] = out[j], out[i]
+    return out, ops
+
+
+def _bitonic_merge_network(n: int) -> list[tuple[int, int]]:
+    """Compare-exchange pairs that merge a bitonic sequence of length ``n``
+    (``n`` a power of two) into ascending order."""
+    pairs: list[tuple[int, int]] = []
+    k = n // 2
+    while k >= 1:
+        for i in range(n):
+            j = i + k
+            if j < n and (i // k) % 2 == 0:
+                pairs.append((i, j))
+        k //= 2
+    return pairs
+
+
+def bitonic_merge_rotated(items, a_offset: int, E: int) -> tuple[np.ndarray, int, int]:
+    """Merge a gathered ``items`` array via rotation + bitonic merge.
+
+    Returns ``(sorted_array, compare_exchanges, dynamic_register_accesses)``.
+    The rotation by ``k = a_offset mod E`` is data dependent: every element
+    move is counted as a dynamic register access (``E`` of them), modeling
+    the local-memory spill the odd-even approach avoids.  The bitonic
+    network runs on the next power of two with ``-inf`` padding *prepended
+    conceptually* (appended to the descending tail), so the real values
+    come out in the top ``E`` slots.
+    """
+    items = np.asarray(items, dtype=np.int64)
+    if len(items) != E:
+        raise ParameterError(f"expected E={E} items, got {len(items)}")
+    k = a_offset % E
+    rotated = np.roll(items, -k)  # A_i ascending ++ B_i descending: bitonic
+    dynamic_accesses = E  # the rotation reads E registers at dynamic offsets
+
+    n = 1
+    while n < E:
+        n *= 2
+    pad = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+    pad[:E] = rotated  # appending -inf keeps the sequence bitonic
+    ops = 0
+    for i, j in _bitonic_merge_network(n):
+        ops += 1
+        if pad[i] > pad[j]:
+            pad[i], pad[j] = pad[j], pad[i]
+    return pad[n - E :], ops, dynamic_accesses

@@ -1,0 +1,193 @@
+"""The baseline (unmodified Thrust) block merge: serial merge in shared memory.
+
+Each thread locates its ``(A_i, B_i)`` pair by a merge-path search over the
+tile in shared memory, then merges the two runs *sequentially, reading
+directly from shared memory*: per output element it compares its two
+current heads (held in registers) and re-reads a replacement for whichever
+one it consumed.  Those replacement reads have **data-dependent addresses**
+— this is the access pattern whose worst case Section 4 constructs, and
+the one CF-Merge replaces.
+
+Read policy
+-----------
+``read_policy="bounded"`` (default) skips the replacement read once a
+thread's run is exhausted (a predicated load).  ``read_policy="always"``
+clamps the address to the run's last element and reads anyway (branchless
+inner loops on real hardware do this); exhausted threads then keep touching
+their final bank.  Both policies produce identical merged output; they
+differ only in conflict accounting, and the worst-case validation in
+``tests/test_worstcase.py`` pins down which one Theorem 8's counts describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.splits import BlockSplit
+from repro.errors import ParameterError
+from repro.mergesort.merge_path import block_split_from_merge_path
+from repro.mergesort.stats import MergePhaseStats
+from repro.sim.block import ThreadBlock
+from repro.sim.instructions import Compute, SharedRead
+from repro.sim.trace import AccessTrace
+
+__all__ = ["serial_merge_block", "SENTINEL"]
+
+#: Larger than any payload value; used for exhausted-run head keys.
+SENTINEL = np.iinfo(np.int64).max
+
+
+def _search_kernel(tid, E, n_a, n_b, a_arr, b_arr):
+    """Simulated merge-path binary search for thread ``tid``'s diagonal.
+
+    Reads ``A[mid]`` and ``B[diag-1-mid]`` from shared memory each
+    iteration (addresses ``mid`` and ``n_a + (diag-1-mid)``), exactly as
+    the CUDA kernel would.  The search result itself is recomputed by the
+    caller with :func:`merge_path_search`; this kernel exists to charge the
+    search's shared-memory traffic.
+    """
+
+    def program():
+        diagonal = tid * E
+        lo = max(0, diagonal - n_b)
+        hi = min(diagonal, n_a)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            yield Compute(2)
+            a_val = yield SharedRead(mid)
+            b_val = yield SharedRead(n_a + (diagonal - 1 - mid))
+            if a_val <= b_val:
+                lo = mid + 1
+            else:
+                hi = mid
+
+    return program()
+
+
+def _merge_kernel(tid, split, outputs, read_policy):
+    """The per-thread serial merge (moderngpu-style SerialMerge).
+
+    Two head keys live in registers; each of the ``E`` steps outputs the
+    smaller head and re-reads its replacement from shared memory.
+    """
+    E = split.E
+    n_a = split.n_a
+    a_lo = split.a_offsets[tid]
+    a_end = a_lo + split.a_sizes[tid]
+    b_lo = n_a + split.b_offsets[tid]
+    b_end = b_lo + (E - split.a_sizes[tid])
+
+    def program():
+        # Threads with predicated-off loads still occupy their lockstep slot with
+        # a zero-cost compute so the warp never drifts out of alignment
+        # (real warps execute the same instruction with lanes masked).
+        pa, pb = a_lo, b_lo
+        if pa < a_end:
+            a_key = yield SharedRead(pa)
+        else:
+            yield Compute(0)
+            a_key = SENTINEL
+        if pb < b_end:
+            b_key = yield SharedRead(pb)
+        else:
+            yield Compute(0)
+            b_key = SENTINEL
+        for step in range(E):
+            yield Compute(1)
+            take_a = pa < a_end and (pb >= b_end or a_key <= b_key)
+            if take_a:
+                outputs[tid][step] = a_key
+                pa += 1
+                if pa < a_end:
+                    a_key = yield SharedRead(pa)
+                elif read_policy == "always":
+                    yield SharedRead(a_end - 1)
+                    a_key = SENTINEL
+                else:
+                    yield Compute(0)
+                    a_key = SENTINEL
+            else:
+                outputs[tid][step] = b_key
+                pb += 1
+                if pb < b_end:
+                    b_key = yield SharedRead(pb)
+                elif read_policy == "always":
+                    # b_end > b_lo here: this branch only runs after a real
+                    # B element was consumed.
+                    yield SharedRead(b_end - 1)
+                    b_key = SENTINEL
+                else:
+                    yield Compute(0)
+                    b_key = SENTINEL
+
+    return program()
+
+
+def serial_merge_block(
+    a,
+    b,
+    E: int,
+    w: int,
+    *,
+    split: BlockSplit | None = None,
+    simulate_search: bool = True,
+    read_policy: str = "bounded",
+    trace: AccessTrace | None = None,
+    shared_factory=None,
+) -> tuple[np.ndarray, MergePhaseStats]:
+    """Merge sorted arrays ``a`` and ``b`` with the baseline block kernel.
+
+    ``|a| + |b|`` must equal ``u * E`` for a ``u`` that is a multiple of
+    ``w``.  Returns the merged array and per-phase counters; shared
+    memory holds the plain ``A ++ B`` layout, as in unmodified Thrust.
+
+    Parameters
+    ----------
+    split:
+        Pre-computed per-thread split (skips recomputing the merge path).
+    simulate_search:
+        Charge the per-thread merge-path searches' shared traffic.
+    read_policy:
+        See the module docstring.
+    shared_factory:
+        Alternative shared-memory model (e.g.
+        :class:`repro.dmm.HashedSharedMemory` via a ``functools.partial``)
+        — used by the DMM-defense ablation.
+    """
+    if read_policy not in ("bounded", "always"):
+        raise ParameterError(f"unknown read_policy {read_policy!r}")
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if split is None:
+        split = block_split_from_merge_path(a, b, E, w)
+    if split.n_a != len(a) or split.n_b != len(b):
+        raise ParameterError("split does not match the input sizes")
+    u = split.u
+    n_a = len(a)
+
+    stats = MergePhaseStats()
+    outputs = [np.empty(E, dtype=np.int64) for _ in range(u)]
+
+    if simulate_search:
+        def search_factory(tid):
+            return _search_kernel(tid, E, n_a, len(b), a, b)
+
+        search_block = ThreadBlock(
+            u=u, w=w, shared_words=u * E, program_factory=search_factory,
+            counters=stats.search, shared_factory=shared_factory,
+        )
+        search_block.shared.load_array(np.concatenate([a, b]))
+        search_block.run()
+
+    def merge_factory(tid):
+        return _merge_kernel(tid, split, outputs, read_policy)
+
+    merge_block = ThreadBlock(
+        u=u, w=w, shared_words=u * E, program_factory=merge_factory,
+        counters=stats.merge, trace=trace, shared_factory=shared_factory,
+    )
+    merge_block.shared.load_array(np.concatenate([a, b]))
+    merge_block.run()
+
+    merged = np.concatenate(outputs)
+    return merged, stats

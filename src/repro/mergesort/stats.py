@@ -1,0 +1,45 @@
+"""Per-phase statistics for block merge kernels.
+
+The paper's conflict claims are about the *merge* phase (the ``nvprof``
+check is "no bank conflicts **during merging**"); the per-thread merge-path
+searches are data dependent in both variants and not part of the claim.
+Keeping the two phases' counters separate lets tests pin the claim exactly:
+``merge.shared_replays == 0`` for CF-Merge on every input, while
+``search`` replays are merely comparable between the variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.counters import Counters
+
+__all__ = ["MergePhaseStats"]
+
+
+@dataclass
+class MergePhaseStats:
+    """Counters split by kernel phase.
+
+    Attributes
+    ----------
+    search:
+        The per-thread merge-path binary searches in shared memory.
+    merge:
+        Everything the variants differ on: the baseline's serial-merge
+        reads, or CF-Merge's gather rounds + register network + scatter
+        rounds.
+    """
+
+    search: Counters = field(default_factory=Counters)
+    merge: Counters = field(default_factory=Counters)
+
+    @property
+    def total(self) -> Counters:
+        """Combined counters across phases."""
+        return self.search + self.merge
+
+    def merge_into(self, other: "MergePhaseStats") -> None:
+        """Accumulate ``other`` into ``self`` phase by phase."""
+        self.search.merge(other.search)
+        self.merge.merge(other.merge)

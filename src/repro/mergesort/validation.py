@@ -1,0 +1,102 @@
+"""Internal-consistency validation of mergesort results.
+
+:func:`validate_result` audits a :class:`~repro.mergesort.pipeline.MergesortResult`
+against the accounting laws the simulator guarantees — conservation
+between requests and rounds, cycle bounds, variant-specific invariants
+(CF merge phases replay-free; CF round counts matching the PRAM closed
+forms).  It runs inside the test-suite and is available to users who embed
+the pipeline and want a cheap sanity audit of their integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mergesort.pipeline import MergesortResult
+from repro.perf.pram import cf_pipeline_rounds
+from repro.sim.counters import Counters
+
+__all__ = ["validate_result", "ValidationFailure"]
+
+
+class ValidationFailure(ReproError, AssertionError):
+    """A mergesort result violated an internal accounting invariant."""
+
+
+def _check_counter_laws(c: Counters, where: str, w: int) -> list[str]:
+    problems = []
+    if c.shared_cycles < c.shared_rounds:
+        problems.append(f"{where}: cycles ({c.shared_cycles}) < rounds ({c.shared_rounds})")
+    if c.shared_replays != c.shared_cycles - c.shared_rounds:
+        problems.append(f"{where}: replays != cycles - rounds")
+    if c.shared_cycles > c.shared_rounds * w:
+        problems.append(f"{where}: cycles exceed the w-deep serialization bound")
+    if c.shared_requests < c.shared_rounds:
+        problems.append(f"{where}: fewer requests than rounds")
+    if c.shared_requests > c.shared_rounds * w:
+        problems.append(f"{where}: more requests than w per round")
+    if c.shared_excess < c.shared_replays:
+        problems.append(f"{where}: excess below replays (impossible)")
+    for name, value in c.as_dict().items():
+        if value < 0:
+            problems.append(f"{where}: negative counter {name}")
+    return problems
+
+
+def validate_result(result: MergesortResult, original=None) -> None:
+    """Raise :class:`ValidationFailure` on any broken invariant.
+
+    ``original`` (the unsorted input) additionally enables the functional
+    checks: output sorted and a permutation of the input.
+    """
+    problems: list[str] = []
+    w = result.w
+
+    if original is not None:
+        original = np.asarray(original)
+        if len(result.data) != result.n or result.n != len(original):
+            problems.append("output length does not match the input")
+        elif len(original) and not np.array_equal(result.data, np.sort(original)):
+            problems.append("output is not the sorted input")
+
+    scopes = {
+        "blocksort.stage": result.blocksort_stats.stage,
+        "blocksort.search": result.blocksort_stats.search,
+        "blocksort.merge": result.blocksort_stats.merge,
+        "merge.search": result.merge_stats.search,
+        "merge.merge": result.merge_stats.merge,
+    }
+    for where, counters in scopes.items():
+        problems += _check_counter_laws(counters, where, w)
+
+    # Per-level counters must add up to the aggregate.
+    level_sum = Counters()
+    for level in result.per_level:
+        level_sum.merge(level.merge)
+        level_sum.merge(level.search)
+    agg = result.merge_stats.merge + result.merge_stats.search
+    if level_sum.as_dict() != agg.as_dict():
+        problems.append("per-level counters do not sum to the aggregate")
+
+    if result.variant == "cf":
+        if result.merge_replays != 0:
+            problems.append(
+                f"cf variant reports {result.merge_replays} merge replays"
+            )
+        model = cf_pipeline_rounds(result.n, result.E, result.u, w)
+        shared = (
+            result.blocksort_stats.stage
+            + result.blocksort_stats.merge
+            + result.merge_stats.merge
+        )
+        if shared.shared_read_rounds != model.read_rounds:
+            problems.append(
+                "cf read rounds deviate from the PRAM closed form "
+                f"({shared.shared_read_rounds} != {model.read_rounds})"
+            )
+        if shared.shared_write_rounds != model.write_rounds:
+            problems.append("cf write rounds deviate from the PRAM closed form")
+
+    if problems:
+        raise ValidationFailure("; ".join(problems))

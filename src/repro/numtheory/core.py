@@ -1,0 +1,124 @@
+"""Elementary number theory (Appendix A of the paper).
+
+The paper's Appendix A collects the definitions and classical results its
+proofs rely on: Euclid's division lemma (Lemma 9), the greatest common
+divisor (Definition 10, Theorem 11), coprimality (Definition 12), modular
+inverses (Definition 15, Corollary 16) and the two GCD corollaries it proves
+for completeness (Corollaries 17 and 18).  This module implements each of
+them as an executable function so that the schedule constructions in
+:mod:`repro.core` can *use* the theory and the test-suite can *check* it.
+
+All functions operate on plain Python integers (arbitrary precision) and are
+deliberately loop-free where a closed form exists — they sit on the hot path
+of schedule verification, which property tests call tens of thousands of
+times.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "gcd",
+    "extended_gcd",
+    "lcm",
+    "coprime",
+    "mod_inverse",
+    "euclid_division",
+]
+
+
+def gcd(a: int, b: int) -> int:
+    """Return the greatest common divisor of ``a`` and ``b``.
+
+    Implements Definition 10 via the Euclidean algorithm, which is justified
+    by Corollary 17 (``GCD(a, b) = GCD(b, r)`` for ``a = qb + r``).  The
+    result is always non-negative, and ``gcd(0, 0) == 0`` by convention.
+
+    >>> gcd(32, 15)
+    1
+    >>> gcd(9, 6)
+    3
+    """
+    a, b = abs(a), abs(b)
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y == g``.
+
+    Bezout coefficients are the constructive content behind Corollary 16
+    (existence of modular inverses for coprime pairs).
+
+    >>> g, x, y = extended_gcd(17, 32)
+    >>> g, 17 * x + 32 * y
+    (1, 1)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def lcm(a: int, b: int) -> int:
+    """Return the least common multiple of ``a`` and ``b`` (0 if either is 0)."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // gcd(a, b)
+
+
+def coprime(a: int, b: int) -> bool:
+    """Return ``True`` iff ``GCD(a, b) == 1`` (Definition 12).
+
+    The coprime case ``d = GCD(w, E) = 1`` is the easy regime of the paper's
+    Section 3.1, and the heuristic used by unmodified Thrust ("choose t such
+    that n/t is coprime with w").
+
+    >>> coprime(32, 15), coprime(32, 17), coprime(32, 16)
+    (True, True, False)
+    """
+    return gcd(a, b) == 1
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """Return the unique inverse of ``a`` modulo ``m`` (Corollary 16).
+
+    Raises :class:`~repro.errors.ParameterError` if ``m < 1`` or if ``a`` and
+    ``m`` are not coprime (in which case no inverse exists).
+
+    >>> mod_inverse(5, 12)
+    5
+    >>> (5 * 5) % 12
+    1
+    """
+    if m < 1:
+        raise ParameterError(f"modulus must be positive, got {m}")
+    g, x, _ = extended_gcd(a % m, m)
+    if g != 1:
+        raise ParameterError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def euclid_division(a: int, b: int) -> tuple[int, int]:
+    """Return the unique ``(q, r)`` with ``a == q*b + r`` and ``0 <= r < b``.
+
+    Euclid's Division Lemma (Lemma 9).  Section 4 applies it with
+    ``a = w, b = E`` to obtain the ``q`` and ``r`` driving the worst-case
+    tuple construction.
+
+    >>> euclid_division(32, 15)
+    (2, 2)
+    """
+    if b <= 0:
+        raise ParameterError(f"divisor must be positive, got {b}")
+    q, r = divmod(a, b)
+    return q, r

@@ -1,0 +1,207 @@
+"""Every lemma of the paper as an executable, named proposition.
+
+The paper's correctness story is a chain of small number-theoretic
+statements.  This module packages each as a :class:`Proposition` whose
+``check(w, E)`` evaluates the statement exhaustively on that parameter
+point, so the whole chain can be audited for any geometry with
+:func:`check_all` (exposed as ``python -m repro lemmas``).
+
+This is deliberately *redundant* with the test-suite: tests run on fixed
+grids at development time, while propositions let a user interrogate the
+math for their own ``(w, E)`` at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.numtheory.core import gcd
+from repro.numtheory.residues import (
+    D_ell,
+    R_j,
+    R_j_ell,
+    R_prime_j,
+    adjacent_gap,
+    is_complete_residue_system,
+)
+
+__all__ = ["Proposition", "PROPOSITIONS", "check_all"]
+
+
+def _always_applies(w: int, E: int) -> bool:
+    """Default domain predicate: the proposition holds for every (w, E)."""
+    return True
+
+
+@dataclass(frozen=True)
+class Proposition:
+    """A named, checkable statement from the paper."""
+
+    name: str
+    statement: str
+    #: ``(w, E) -> (holds, detail)``; ``detail`` explains a failure or
+    #: summarizes what was checked.
+    check: Callable[[int, int], tuple[bool, str]]
+    #: Predicate limiting the parameter domain (e.g. coprime-only lemmas).
+    applies: Callable[[int, int], bool] = _always_applies
+
+
+def _check_lemma1(w: int, E: int) -> tuple[bool, str]:
+    for j in range(E):
+        if not is_complete_residue_system(R_j(j, w, E), w):
+            return False, f"R_{j} is not a CRS mod {w}"
+    return True, f"R_j is a CRS mod {w} for all j in [0, {E})"
+
+
+def _check_lemma2(w: int, E: int) -> tuple[bool, str]:
+    d = gcd(w, E)
+    for j in range(E):
+        target = {x % w for x in D_ell(j % d, w, E)}
+        for ell in range(d):
+            part = R_j_ell(j, ell, w, E)
+            residues = [r % w for r in part]
+            if len(set(residues)) != len(residues):
+                return False, f"R_{j}^({ell}) has congruent elements"
+            if not set(residues) <= target:
+                return False, f"R_{j}^({ell}) escapes D_{j % d}"
+    return True, f"all {E}x{d} partitions congruent to their D and internally distinct"
+
+
+def _check_corollary3(w: int, E: int) -> tuple[bool, str]:
+    for j in range(E):
+        if not is_complete_residue_system(R_prime_j(j, w, E), w):
+            return False, f"R'_{j} is not a CRS mod {w}"
+    return True, f"R'_j is a CRS mod {w} for all j in [0, {E})"
+
+
+def _check_lemma4(w: int, E: int) -> tuple[bool, str]:
+    d = gcd(w, E)
+    for j in range(E):
+        for ell in range(d - 1):
+            gap = adjacent_gap(j, ell, w, E)
+            expected = E + 1 if j < E - 1 else 1
+            if gap != expected:
+                return False, f"gap at (j={j}, l={ell}) is {gap}, expected {expected}"
+    return True, "partition gaps are E+1 (or 1 at wraparound) everywhere"
+
+
+def _worstcase_domain(w: int, E: int) -> bool:
+    return 1 < E <= w
+
+
+def _check_lemma5(w: int, E: int) -> tuple[bool, str]:
+    from repro.worstcase.sequence import s_values
+
+    s = s_values(w, E)
+    if len(set(s)) != len(s):
+        return False, f"s values collide: {s}"
+    return True, f"all {len(s)} s_i distinct"
+
+
+def _check_lemma6(w: int, E: int) -> tuple[bool, str]:
+    from repro.worstcase.sequence import s_values
+
+    d = gcd(w, E)
+    Ed = E // d
+    s = s_values(w, E)
+    for i in range(1, Ed):
+        lhs = (Ed - s[i - 1]) % Ed
+        rhs = s[Ed - i - 1] if Ed - i - 1 >= 0 else 0
+        if Ed - i >= 1 and lhs != rhs:
+            return False, f"E/d - s_{i} != s_{{E/d - {i}}} ({lhs} != {rhs})"
+    return True, "reflection identity holds"
+
+
+def _check_lemma7(w: int, E: int) -> tuple[bool, str]:
+    from repro.worstcase.sequence import x_values, y_values
+
+    d = gcd(w, E)
+    r = w % E
+    xs, ys = x_values(w, E), y_values(w, E)
+    for i in range(1, E // d - 1):
+        gap = xs[i - 1] + ys[i]
+        if gap not in (r, E + r):
+            return False, f"x_{i} + y_{i + 1} = {gap}, not in {{r={r}, E+r={E + r}}}"
+    return True, "every adjacent pair sums to r or E + r"
+
+
+def _check_theorem8_integrality(w: int, E: int) -> tuple[bool, str]:
+    from repro.worstcase.theory import theorem8_combined
+    from repro.worstcase.tuples import warp_tuples
+
+    total = theorem8_combined(w, E)
+    tuples = warp_tuples(w, E)
+    if len(tuples) != w:
+        return False, f"|T| = {len(tuples)}, expected w = {w}"
+    if any(a + b != E for a, b in tuples):
+        return False, "a tuple does not sum to E"
+    return True, f"|T| = w and Theorem 8 total = {total} (integral)"
+
+
+PROPOSITIONS: list[Proposition] = [
+    Proposition(
+        name="Lemma 1",
+        statement="d = 1  =>  R_j = {j + kE : 0 <= k < w} is a CRS mod w",
+        check=_check_lemma1,
+        applies=lambda w, E: gcd(w, E) == 1,
+    ),
+    Proposition(
+        name="Lemma 2",
+        statement="each R_j^(l) is congruent to D_{j mod d} and internally distinct mod w",
+        check=_check_lemma2,
+    ),
+    Proposition(
+        name="Corollary 3",
+        statement="R'_j (rotated union of partitions) is a CRS mod w for any d",
+        check=_check_corollary3,
+    ),
+    Proposition(
+        name="Lemma 4",
+        statement="consecutive partitions of R' sit E+1 apart (1 at the wrap)",
+        check=_check_lemma4,
+        applies=lambda w, E: gcd(w, E) > 1,
+    ),
+    Proposition(
+        name="Lemma 5",
+        statement="the s_i = i(r/d) mod (E/d) are pairwise distinct",
+        check=_check_lemma5,
+        applies=lambda w, E: _worstcase_domain(w, E) and w % E,
+    ),
+    Proposition(
+        name="Lemma 6",
+        statement="E/d - s_i = s_{E/d - i}",
+        check=_check_lemma6,
+        applies=lambda w, E: _worstcase_domain(w, E) and w % E,
+    ),
+    Proposition(
+        name="Lemma 7",
+        statement="x_i + y_{i+1} equals r or E + r",
+        check=_check_lemma7,
+        applies=lambda w, E: _worstcase_domain(w, E) and w % E,
+    ),
+    Proposition(
+        name="Theorem 8 (structure)",
+        statement="|T| = w/d per subproblem, tuples sum to E, total conflicts integral",
+        check=_check_theorem8_integrality,
+        applies=_worstcase_domain,
+    ),
+]
+
+
+def check_all(w: int, E: int) -> list[tuple[Proposition, bool, str]]:
+    """Evaluate every applicable proposition at ``(w, E)``.
+
+    Returns ``(proposition, holds, detail)`` triples; raises on invalid
+    parameters rather than reporting vacuous successes.
+    """
+    if w < 1 or E < 1:
+        raise ParameterError(f"w={w} and E={E} must be positive")
+    results = []
+    for prop in PROPOSITIONS:
+        if not prop.applies(w, E):
+            continue
+        holds, detail = prop.check(w, E)
+        results.append((prop, holds, detail))
+    return results

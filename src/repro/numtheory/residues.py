@@ -1,0 +1,143 @@
+"""Complete residue systems and the paper's round-set constructions.
+
+Section 3 of the paper organizes the gather's shared-memory accesses into
+*rounds*; round ``j`` touches a set of ``w`` addresses that must occupy ``w``
+distinct banks, i.e. must form a *complete residue system* (CRS) modulo
+``w`` (Definition 13).  This module provides:
+
+* :func:`is_complete_residue_system` — the Definition 13 predicate.
+* :func:`R_j` — the coprime-case round set ``{j + k*E : 0 <= k < w}``
+  (Lemma 1 proves it is a CRS when ``GCD(w, E) == 1``).
+* :func:`R_j_ell` / :func:`D_ell` — the partitioned sets of Section 3.2 for
+  the non-coprime case (Lemma 2).
+* :func:`R_prime_j` — the realigned union ``R'_j`` of Corollary 3, which is
+  again a CRS for any ``d = GCD(w, E)``.
+* :func:`adjacent_gap` — the gap computation of Lemma 4.
+
+These functions return plain lists (ordered as the paper enumerates them) so
+they double as oracles in the tests for the executable schedules in
+:mod:`repro.core.schedule`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ParameterError
+from repro.numtheory.core import gcd
+
+__all__ = [
+    "residues_mod",
+    "is_complete_residue_system",
+    "R_j",
+    "R_j_ell",
+    "D_ell",
+    "R_prime_j",
+    "adjacent_gap",
+]
+
+
+def residues_mod(values: Iterable[int], m: int) -> list[int]:
+    """Return ``[v mod m for v in values]`` (a convenience used throughout)."""
+    if m < 1:
+        raise ParameterError(f"modulus must be positive, got {m}")
+    return [v % m for v in values]
+
+
+def is_complete_residue_system(values: Iterable[int], m: int) -> bool:
+    """Return ``True`` iff ``values`` is a complete residue system modulo ``m``.
+
+    Definition 13: exactly ``m`` values, pairwise incongruent modulo ``m``
+    (condition (2) of the definition then follows by pigeonhole).
+
+    >>> is_complete_residue_system([0, 5, 10, 3, 8, 1, 6, 11, 4, 9, 2, 7], 12)
+    True
+    >>> is_complete_residue_system([0, 6, 12], 12)
+    False
+    """
+    vals = list(values)
+    if len(vals) != m:
+        return False
+    return len({v % m for v in vals}) == m
+
+
+def _check_w_E(w: int, E: int) -> None:
+    if w < 1:
+        raise ParameterError(f"w must be positive, got {w}")
+    if E < 1:
+        raise ParameterError(f"E must be positive, got {E}")
+
+
+def R_j(j: int, w: int, E: int) -> list[int]:
+    """Return ``R_j = [j + k*E for k in range(w)]`` (Lemma 1).
+
+    When ``GCD(w, E) == 1`` this is a complete residue system modulo ``w``;
+    the ``w`` addresses it contains land in ``w`` distinct banks, which is
+    exactly what makes round ``j`` of the coprime gather conflict free.
+    """
+    _check_w_E(w, E)
+    return [j + k * E for k in range(w)]
+
+
+def R_j_ell(j: int, ell: int, w: int, E: int) -> list[int]:
+    """Return the partition ``R_j^(ell)`` of Section 3.2.
+
+    ``R_j^(ell) = { j + (ell*w/d + k) * E : 0 <= k < w/d }`` where
+    ``d = GCD(w, E)``.  Lemma 2 shows its elements are pairwise incongruent
+    modulo ``w`` and all congruent to elements of ``D_{j mod d}`` modulo
+    ``d``.
+    """
+    _check_w_E(w, E)
+    d = gcd(w, E)
+    if not 0 <= ell < d:
+        raise ParameterError(f"ell must be in [0, d={d}), got {ell}")
+    wd = w // d
+    return [j + (ell * wd + k) * E for k in range(wd)]
+
+
+def D_ell(ell: int, w: int, E: int) -> list[int]:
+    """Return ``D_ell = { ell + k*d : 0 <= k < w/d }`` of Section 3.2.
+
+    The union of ``D_0 .. D_{d-1}`` is a complete residue system modulo
+    ``w``; each ``D_ell`` collects the residues congruent to ``ell`` modulo
+    ``d``.
+    """
+    _check_w_E(w, E)
+    d = gcd(w, E)
+    if not 0 <= ell < d:
+        raise ParameterError(f"ell must be in [0, d={d}), got {ell}")
+    return [ell + k * d for k in range(w // d)]
+
+
+def R_prime_j(j: int, w: int, E: int) -> list[int]:
+    """Return ``R'_j`` of Corollary 3 — a CRS modulo ``w`` for any ``d``.
+
+    ``R'_j = R_j^(0) + R_{j+1 mod E}^(1) + ... + R_{j+d-1 mod E}^(d-1)``.
+    The consecutive round indices rotate through the partitions so each
+    partition contributes residues congruent to a distinct ``D_{j'}``.
+    """
+    _check_w_E(w, E)
+    d = gcd(w, E)
+    out: list[int] = []
+    for ell in range(d):
+        out.extend(R_j_ell((j + ell) % E, ell, w, E))
+    return out
+
+
+def adjacent_gap(j: int, ell: int, w: int, E: int) -> int:
+    """Return the Lemma 4 gap between consecutive partitions of ``R'``.
+
+    Considers the last element of ``R_j^(ell)`` and the first element of
+    ``R_{j+1 mod E}^(ell+1)`` and returns their difference: ``E + 1`` when
+    ``j < E - 1`` and ``1`` when ``j == E - 1``.  This non-uniform spacing is
+    what motivates the circular shift ``rho`` of Section 3.2.
+    """
+    _check_w_E(w, E)
+    d = gcd(w, E)
+    if not 0 <= ell < d - 1:
+        raise ParameterError(f"ell must be in [0, d-1={d - 1}), got {ell}")
+    if not 0 <= j < E:
+        raise ParameterError(f"j must be in [0, E={E}), got {j}")
+    last_a = R_j_ell(j, ell, w, E)[-1]
+    first_b = R_j_ell((j + 1) % E, ell + 1, w, E)[0]
+    return first_b - last_a

@@ -1,0 +1,32 @@
+"""Performance modeling: occupancy, cycle costs, and throughput sweeps.
+
+The simulator measures *what happens* (rounds, replays, transactions);
+this subpackage converts measurements into *time*:
+
+* :mod:`repro.perf.occupancy` — the CUDA occupancy calculation that
+  explains why ``E=15, u=512`` (100%) beats Thrust's default
+  ``E=17, u=256`` (75%) on the modeled RTX 2080 Ti.
+* :mod:`repro.perf.cost_model` — documented cycle constants turning
+  counters into microseconds (see :mod:`repro.perf.calibration`).
+* :mod:`repro.perf.throughput` — the Figures 5/6 experiment runner:
+  per-tile costs are measured (exactly for the periodic worst case,
+  sampled for random inputs) and composed over all levels and blocks of
+  the full-scale sort.
+"""
+
+from repro.perf.occupancy import OccupancyResult, occupancy
+from repro.perf.cost_model import CostModel, CostBreakdown
+from repro.perf.pram import cf_merge_rounds, cf_pipeline_rounds
+from repro.perf.throughput import ThroughputPoint, throughput_sweep, speedup_summary
+
+__all__ = [
+    "occupancy",
+    "OccupancyResult",
+    "CostModel",
+    "CostBreakdown",
+    "throughput_sweep",
+    "ThroughputPoint",
+    "speedup_summary",
+    "cf_merge_rounds",
+    "cf_pipeline_rounds",
+]

@@ -1,0 +1,94 @@
+"""Converting measured counters into device time.
+
+The functional form and its four constants are documented (with the
+fitting protocol) in :mod:`repro.perf.calibration`::
+
+    cycles = shared_round * shared_cycles
+           + occupancy_round_stall * shared_rounds * (1/occ - 1)
+           + compute_ops / (warp_width * issue_width)
+           + global_transaction * transactions / occ**occupancy_exponent
+
+Bank conflicts enter only through the *measured* ``shared_cycles``
+(replays occupy the shared pipe exactly like base passes).  Total device
+time divides the summed work by the SM count (blocks distribute evenly at
+the experiments' grid sizes) and adds a fixed per-launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceSpec
+from repro.perf.calibration import DEFAULT_CONSTANTS, CycleConstants
+from repro.sim.counters import Counters
+
+__all__ = ["CostBreakdown", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-component device-time estimate, in microseconds."""
+
+    shared_us: float
+    compute_us: float
+    global_us: float
+    launch_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.shared_us + self.compute_us + self.global_us + self.launch_us
+
+
+class CostModel:
+    """Time estimator bound to a device and a set of cycle constants."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        constants: CycleConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        self.device = device
+        self.constants = constants
+
+    def _cycles_to_us(self, cycles: float) -> float:
+        per_sm = cycles / self.device.sm_count
+        return per_sm / (self.device.clock_ghz * 1000.0)
+
+    def estimate(
+        self,
+        counters: Counters,
+        occupancy: float = 1.0,
+        kernel_launches: int = 1,
+    ) -> CostBreakdown:
+        """Estimate device time for work described by ``counters``.
+
+        ``counters`` must aggregate the *whole device's* work (all blocks);
+        ``occupancy`` is the achieved occupancy of the launches (see
+        :func:`repro.perf.occupancy.occupancy`).
+        """
+        c = self.constants
+        occ = max(min(occupancy, 1.0), 1e-3)
+        shared_cycles = c.shared_round * counters.shared_cycles
+        shared_cycles += c.occupancy_round_stall * counters.shared_rounds * (1 / occ - 1)
+        compute_cycles = counters.compute_ops / (c.warp_width * c.issue_width)
+        transactions = (
+            counters.global_read_transactions + counters.global_write_transactions
+        )
+        global_cycles = transactions * c.global_transaction / occ**c.occupancy_exponent
+        return CostBreakdown(
+            shared_us=self._cycles_to_us(shared_cycles),
+            compute_us=self._cycles_to_us(compute_cycles),
+            global_us=self._cycles_to_us(global_cycles),
+            launch_us=c.launch_overhead_us * kernel_launches,
+        )
+
+    def throughput(
+        self,
+        n: int,
+        counters: Counters,
+        occupancy: float = 1.0,
+        kernel_launches: int = 1,
+    ) -> float:
+        """Elements per microsecond for sorting ``n`` elements."""
+        total = self.estimate(counters, occupancy, kernel_launches).total_us
+        return n / total if total > 0 else float("inf")

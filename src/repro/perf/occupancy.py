@@ -1,0 +1,88 @@
+"""CUDA-style occupancy calculation.
+
+Occupancy — the ratio of resident warps to the hardware maximum per SM —
+controls how much memory latency the SM can hide.  Section 5 of the paper
+attributes the performance gap between the software parameter sets to it:
+``E=15, u=512`` reaches 100% theoretical occupancy while Thrust's default
+``E=17, u=256`` does not (its tiles' shared-memory footprint caps the
+resident blocks below the thread limit).
+
+The resident-block count is the minimum over four hardware limits:
+threads, shared memory, registers, and the block-slot cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceSpec, SortParams
+from repro.errors import OccupancyError
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch configuration."""
+
+    #: Thread blocks resident per SM.
+    active_blocks: int
+    #: Resident warps per SM.
+    active_warps: int
+    #: Hardware maximum warps per SM.
+    max_warps: int
+    #: ``active_warps / max_warps``.
+    occupancy: float
+    #: Which resource capped the block count
+    #: (``"threads" | "shared_memory" | "registers" | "block_slots"``).
+    limiter: str
+    #: Shared-memory bytes per block used in the computation.
+    shared_bytes_per_block: int
+
+
+def occupancy(
+    device: DeviceSpec,
+    params: SortParams,
+    shared_bytes_per_block: int | None = None,
+) -> OccupancyResult:
+    """Compute theoretical occupancy of the mergesort kernels.
+
+    ``shared_bytes_per_block`` defaults to the merge tile's staging buffer,
+    ``u * E * word_bytes``.
+
+    Raises :class:`~repro.errors.OccupancyError` when the block cannot run
+    at all (zero resident blocks).
+    """
+    params.validate_for(device)
+    if shared_bytes_per_block is None:
+        shared_bytes_per_block = params.tile_elements * device.word_bytes
+
+    limits = {
+        "threads": device.max_threads_per_sm // params.u,
+        "shared_memory": (
+            device.shared_mem_per_sm // shared_bytes_per_block
+            if shared_bytes_per_block
+            else device.max_blocks_per_sm
+        ),
+        "registers": device.registers_per_sm
+        // (params.registers_per_thread * params.u),
+        "block_slots": device.max_blocks_per_sm,
+    }
+    active_blocks = min(limits.values())
+    if active_blocks < 1:
+        blocking = min(limits, key=limits.get)
+        raise OccupancyError(
+            f"configuration E={params.E}, u={params.u} cannot run: "
+            f"{blocking} limit allows {limits[blocking]} blocks per SM"
+        )
+    limiter = min(limits, key=limits.get)
+    active_warps = active_blocks * params.u // device.warp_width
+    max_warps = device.max_warps_per_sm
+    return OccupancyResult(
+        active_blocks=active_blocks,
+        active_warps=active_warps,
+        max_warps=max_warps,
+        occupancy=active_warps / max_warps,
+        limiter=limiter,
+        shared_bytes_per_block=shared_bytes_per_block,
+    )

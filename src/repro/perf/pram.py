@@ -1,0 +1,112 @@
+"""PRAM-style closed-form analysis of CF-Merge (and why it's possible).
+
+A central selling point of the paper: once bank conflicts are gone, the
+shared-memory behaviour of the algorithm is *analyzable* — every round
+costs one cycle, so round counts follow from the geometry alone, exactly
+as in the PRAM model.  This module writes those closed forms down:
+
+* per block-merge: ``E`` gather read rounds and ``E`` scatter write rounds
+  per warp, each a single cycle;
+* per blocksort tile: the load pass, ``log2(u)`` levels of staging +
+  gather rounds, and the final staging pass;
+* per full sort: blocksort over ``ceil(n / uE)`` tiles plus
+  ``ceil(log2(tiles))`` merge levels.
+
+The test-suite asserts these predictions match the simulator **exactly**
+(``tests/test_perf_pram.py``) — for the baseline variant no such formula
+can exist, because its cycle counts are input dependent; that asymmetry
+*is* the theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["CFRoundModel", "cf_merge_rounds", "cf_blocksort_rounds", "cf_pipeline_rounds"]
+
+
+@dataclass(frozen=True)
+class CFRoundModel:
+    """Predicted shared-memory round/cycle counts for a CF phase."""
+
+    read_rounds: int
+    write_rounds: int
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds."""
+        return self.read_rounds + self.write_rounds
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles — equal to rounds: that is the conflict-free claim."""
+        return self.rounds
+
+
+def _check(E: int, u: int, w: int) -> int:
+    if E < 1 or u < 1 or w < 1 or u % w:
+        raise ParameterError(f"invalid geometry E={E}, u={u}, w={w}")
+    return u // w
+
+
+def cf_merge_rounds(E: int, u: int, w: int) -> CFRoundModel:
+    """Gather + scatter rounds of one CF block merge (search excluded).
+
+    Each of the ``u/w`` warps performs ``E`` gather reads and ``E``
+    scatter writes, one cycle each.
+    """
+    warps = _check(E, u, w)
+    return CFRoundModel(read_rounds=E * warps, write_rounds=E * warps)
+
+
+def cf_blocksort_rounds(E: int, u: int, w: int) -> CFRoundModel:
+    """Shared rounds of one CF blocksort tile (searches excluded).
+
+    Load pass (``E`` read rounds/warp), then ``log2(u)`` levels of one
+    staging write pass + one gather read pass each, then the final staging
+    write pass.
+    """
+    warps = _check(E, u, w)
+    if u & (u - 1):
+        raise ParameterError(f"u={u} must be a power of two")
+    levels = u.bit_length() - 1  # log2(u)
+    reads = E * warps * (1 + levels)  # load + per-level gathers
+    writes = E * warps * (levels + 1)  # per-level staging + final staging
+    return CFRoundModel(read_rounds=reads, write_rounds=writes)
+
+
+def cf_pipeline_rounds(n: int, E: int, u: int, w: int) -> CFRoundModel:
+    """Merge-phase shared rounds of the whole CF sort (searches excluded).
+
+    ``ceil(n / uE)`` tiles of blocksort; then every pairwise level
+    processes all tiles' worth of blocks with one CF merge each.  Matches
+    :attr:`repro.mergesort.pipeline.MergesortResult.merge_stats` plus the
+    blocksort stats, exactly, for every input.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return CFRoundModel(0, 0)
+    tile = u * E
+    n_tiles = (n + tile - 1) // tile
+    block = cf_blocksort_rounds(E, u, w)
+    reads = block.read_rounds * n_tiles
+    writes = block.write_rounds * n_tiles
+
+    merge = cf_merge_rounds(E, u, w)
+    # Pairwise levels over the runs (sizes tracked in tiles); an odd run
+    # out is promoted unmerged, exactly as the pipeline does.
+    sizes = [1] * n_tiles
+    while len(sizes) > 1:
+        nxt: list[int] = []
+        for i in range(0, len(sizes) - 1, 2):
+            blocks = sizes[i] + sizes[i + 1]
+            reads += merge.read_rounds * blocks
+            writes += merge.write_rounds * blocks
+            nxt.append(blocks)
+        if len(sizes) % 2:
+            nxt.append(sizes[-1])
+        sizes = nxt
+    return CFRoundModel(read_rounds=reads, write_rounds=writes)

@@ -1,0 +1,109 @@
+"""Sensitivity of the headline speedups to the cost-model constants.
+
+The Figures 5/6 conversion from measured counters to time uses four fitted
+cycle constants (see :mod:`repro.perf.calibration`).  A fair question: do
+the reproduced speedup bands depend delicately on the fit?  This module
+answers it by re-evaluating the worst-case speedups under large
+perturbations of the two dominant constants (the shared-round cost and the
+global-transaction cost) on *fixed, measured* counters — no re-simulation,
+no re-fitting.
+
+The robustness result (see ``python -m repro sensitivity``): halving or
+doubling either constant moves the E=15 speedup by well under the width of
+the paper's own band, because the speedup is a ratio of costs that differ
+only in the measured conflict term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import RTX_2080_TI, DeviceSpec, SortParams
+from repro.perf.calibration import DEFAULT_CONSTANTS
+from repro.perf.cost_model import CostModel
+from repro.perf.occupancy import occupancy
+from repro.perf.throughput import (
+    _merge_compute_ops,
+    _staging_counters,
+    measure_block_costs,
+    measure_blocksort_cost,
+)
+from repro.sim.counters import Counters
+
+__all__ = ["speedup_sensitivity", "sensitivity_table"]
+
+
+def _block_counters(params: SortParams, w: int, variant: str, workload: str) -> Counters:
+    """One merge block's total counters (search + merge + staging + compute)."""
+    search, merge = measure_block_costs(params, w, variant, workload, samples=6)
+    total = search + merge + _staging_counters(params, w, variant)
+    total.compute_ops += _merge_compute_ops(params, variant)
+    total.global_read_transactions += 2 * (params.tile_elements // 32)
+    return total
+
+
+def speedup_sensitivity(
+    params: SortParams,
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+    device: DeviceSpec = RTX_2080_TI,
+) -> dict[tuple[float, float], float]:
+    """Worst-case speedup under scaled (shared_round, global_transaction).
+
+    Returns ``{(shared_factor, global_factor): speedup}`` evaluated on the
+    per-block-level costs (the large-``n`` limit, where per-level costs
+    dominate blocksort and launch overheads).
+    """
+    w = device.warp_width
+    occ = occupancy(device, params).occupancy
+    thrust = _block_counters(params, w, "thrust", "worstcase")
+    cf = _block_counters(params, w, "cf", "worstcase")
+
+    out: dict[tuple[float, float], float] = {}
+    for fs in factors:
+        for fg in factors:
+            constants = replace(
+                DEFAULT_CONSTANTS,
+                shared_round=DEFAULT_CONSTANTS.shared_round * fs,
+                global_transaction=DEFAULT_CONSTANTS.global_transaction * fg,
+                launch_overhead_us=0.0,
+            )
+            model = CostModel(device, constants)
+            t = model.estimate(thrust, occ, kernel_launches=0).total_us
+            c = model.estimate(cf, occ, kernel_launches=0).total_us
+            out[(fs, fg)] = t / c
+    return out
+
+
+def sensitivity_table(factors: tuple[float, ...] = (0.5, 1.0, 2.0)) -> str:
+    """Render the sensitivity study for both parameter sets."""
+    lines = [
+        "Cost-model sensitivity: worst-case speedup under scaled constants",
+        "(rows: shared-round cost x factor; columns: global-transaction x factor)",
+    ]
+    bands = {15: "paper band 1.37-1.47", 17: "paper band 1.17-1.25"}
+    for E, u in ((15, 512), (17, 256)):
+        params = SortParams(E, u)
+        table = speedup_sensitivity(params, factors)
+        lines.append("")
+        lines.append(f"E={E}, u={u} ({bands[E]}):")
+        corner = "shared\\global"
+        header = f"{corner:>14} " + " ".join(f"{fg:>6.2f}x" for fg in factors)
+        lines.append(header)
+        for fs in factors:
+            row = " ".join(f"{table[(fs, fg)]:>7.2f}" for fg in factors)
+            lines.append(f"{fs:>13.2f}x {row}")
+    lines.append("")
+    lines.append(
+        "Reading the table: only the RATIO of shared to global cost matters —"
+    )
+    lines.append(
+        "the diagonal (both constants scaled together) is nearly flat, while"
+    )
+    lines.append(
+        "off-diagonal cells trade the conflict term's weight.  The paper's"
+    )
+    lines.append(
+        "speedup bands pin that ratio; the conflict counts themselves are"
+    )
+    lines.append("measured and carry no tunable freedom.")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Address-to-bank mapping and per-round conflict costs.
+
+On NVIDIA GPUs shared memory is organized into ``w`` banks with word ``j``
+in bank ``j mod w`` — successive words of an array are striped across banks
+(Section 2 of the paper, Figure 1).  A warp instruction that makes its ``w``
+threads touch distinct addresses in one bank serializes; the number of
+passes the hardware needs is the maximum per-bank multiplicity of *distinct*
+addresses.  Threads reading the *same* address are served by a single
+broadcast (footnote 4).
+
+:class:`BankModel` encapsulates the mapping and computes the three conflict
+metrics of one access round (see :mod:`repro.sim.counters`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["BankModel", "RoundCost"]
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Cost breakdown of a single warp-wide shared-memory access round."""
+
+    #: Serialization depth: passes the hardware needs (>= 1 if any access).
+    cycles: int
+    #: ``cycles - 1`` — what ``nvprof`` would report for this instruction.
+    replays: int
+    #: Total accesses beyond one per bank (Theorem 8's counting metric).
+    excess: int
+    #: Requests satisfied by broadcast (duplicate addresses deduplicated).
+    broadcasts: int
+    #: Number of individual requests in the round.
+    requests: int
+
+
+class BankModel:
+    """The DMM bank layout for a given warp width ``w``.
+
+    Parameters
+    ----------
+    w:
+        Number of banks (= threads per warp).
+    """
+
+    __slots__ = ("w",)
+
+    def __init__(self, w: int) -> None:
+        if w < 1:
+            raise ParameterError(f"bank count must be >= 1, got {w}")
+        self.w = w
+
+    def bank_of(self, address: int) -> int:
+        """Return the bank holding word ``address`` (``address mod w``)."""
+        return address % self.w
+
+    def banks_of(self, addresses: Iterable[int]) -> list[int]:
+        """Vector form of :meth:`bank_of`."""
+        return [a % self.w for a in addresses]
+
+    def round_cost(self, addresses: Iterable[int]) -> RoundCost:
+        """Return the :class:`RoundCost` of one warp access round.
+
+        ``addresses`` holds one entry per participating thread (inactive
+        threads simply do not contribute).  Duplicate addresses broadcast:
+        they are collapsed before per-bank multiplicities are computed.
+
+        >>> BankModel(12).round_cost([0, 5, 10, 3, 8]).replays
+        0
+        >>> BankModel(12).round_cost([0, 12, 24]).cycles  # one bank, 3 addrs
+        3
+        """
+        addrs = list(addresses)
+        requests = len(addrs)
+        if requests == 0:
+            return RoundCost(cycles=0, replays=0, excess=0, broadcasts=0, requests=0)
+        distinct = set(addrs)
+        broadcasts = requests - len(distinct)
+        per_bank = Counter(a % self.w for a in distinct)
+        cycles = max(per_bank.values())
+        excess = sum(m - 1 for m in per_bank.values())
+        return RoundCost(
+            cycles=cycles,
+            replays=cycles - 1,
+            excess=excess,
+            broadcasts=broadcasts,
+            requests=requests,
+        )
+
+    def is_conflict_free(self, addresses: Iterable[int]) -> bool:
+        """Return ``True`` iff the round serializes no accesses."""
+        return self.round_cost(addresses).replays == 0
+
+    def strided_access(self, start: int, stride: int, count: int | None = None) -> list[int]:
+        """Return the addresses of a strided warp access (Figure 1 pattern).
+
+        ``count`` defaults to ``w`` — the full warp.  With ``stride`` coprime
+        to ``w`` the access is conflict free; with a shared divisor ``d`` the
+        warp hits only ``w/d`` banks and serializes ``d``-deep.
+        """
+        n = self.w if count is None else count
+        return [start + i * stride for i in range(n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BankModel(w={self.w})"

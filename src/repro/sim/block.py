@@ -1,0 +1,129 @@
+"""Thread blocks: ``u`` threads = ``u/w`` warps over one shared memory.
+
+Bank conflicts are strictly an *intra-warp* phenomenon (Figure 8's caption:
+"bank conflicts potentially occur only by accesses by the threads of the
+same warp"), so warps of a block can be simulated one round at a time in any
+interleaving without changing the accounting.  :class:`ThreadBlock` advances
+its warps round-robin and implements :class:`~repro.sim.instructions.Sync`
+as a block-wide barrier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.counters import Counters
+from repro.sim.instructions import Instruction
+from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.trace import AccessTrace
+from repro.sim.warp import Warp
+
+__all__ = ["ThreadBlock"]
+
+ThreadProgram = Generator[Instruction, "int | None", None]
+ProgramFactory = Callable[[int], "ThreadProgram | None"]
+
+
+class ThreadBlock:
+    """A block of ``u`` threads executing over one shared-memory allocation.
+
+    Parameters
+    ----------
+    u:
+        Threads per block; must be a positive multiple of ``w``.
+    w:
+        Warp width (= bank count).
+    shared_words:
+        Size of the block's shared-memory allocation, in words.
+    program_factory:
+        Callable mapping a block-local thread id to its program generator
+        (or ``None`` for an idle thread).
+    global_memory:
+        Optional global memory shared by all blocks of a launch.
+    counters:
+        Statistics destination; shared-memory statistics land here too
+        (the block wires its :class:`SharedMemory` to the same object).
+    trace:
+        Optional access trace for figure rendering.
+    shared_factory:
+        Optional callable ``(size, w, counters, trace) -> SharedMemory``
+        to substitute an alternative shared-memory model (e.g. the hashed
+        DMM defense of :mod:`repro.dmm`).
+    """
+
+    def __init__(
+        self,
+        u: int,
+        w: int,
+        shared_words: int,
+        program_factory: ProgramFactory,
+        global_memory: GlobalMemory | None = None,
+        counters: Counters | None = None,
+        trace: AccessTrace | None = None,
+        shared_factory=None,
+    ) -> None:
+        if u < 1 or u % w:
+            raise ParameterError(f"u={u} must be a positive multiple of w={w}")
+        self.u = u
+        self.w = w
+        self.counters = counters if counters is not None else Counters()
+        if shared_factory is None:
+            self.shared = SharedMemory(
+                shared_words, w, counters=self.counters, trace=trace
+            )
+        else:
+            self.shared = shared_factory(
+                shared_words, w, counters=self.counters, trace=trace
+            )
+        self.global_memory = global_memory
+        if global_memory is not None:
+            # Global statistics roll into the same counter object.
+            global_memory.counters = self.counters
+        self.warps: list[Warp] = []
+        for v in range(u // w):
+            tids = list(range(v * w, (v + 1) * w))
+            programs = [program_factory(tid) for tid in tids]
+            self.warps.append(
+                Warp(
+                    warp_id=v,
+                    programs=programs,
+                    shared=self.shared,
+                    global_memory=global_memory,
+                    counters=self.counters,
+                    thread_ids=tids,
+                )
+            )
+
+    @property
+    def done(self) -> bool:
+        """``True`` when every warp has finished."""
+        return all(wp.done for wp in self.warps)
+
+    def run(self, max_rounds: int = 10_000_000) -> Counters:
+        """Execute the block to completion and return its counters."""
+        rounds = 0
+        while not self.done:
+            progressed = False
+            for wp in self.warps:
+                if not wp.done and not wp.at_barrier:
+                    progressed |= wp.step()
+            waiting = [wp for wp in self.warps if wp.at_barrier]
+            if waiting:
+                unfinished = [wp for wp in self.warps if not wp.done]
+                if len(waiting) == len(unfinished):
+                    for wp in waiting:
+                        wp.release_barrier()
+                    self.counters.sync_barriers += 1
+                    progressed = True
+                elif not progressed:
+                    stuck = [wp.warp_id for wp in unfinished if not wp.at_barrier]
+                    raise SimulationError(
+                        f"barrier deadlock: warps {stuck} can no longer reach the barrier"
+                    )
+            if not progressed and not self.done:
+                raise SimulationError("thread block made no progress")
+            rounds += 1
+            if rounds > max_rounds:  # pragma: no cover - runaway guard
+                raise SimulationError(f"block exceeded {max_rounds} scheduler rounds")
+        return self.counters

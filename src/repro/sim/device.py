@@ -1,0 +1,103 @@
+"""Multi-block kernel launches on a modeled device.
+
+:class:`Device` runs a grid of :class:`~repro.sim.block.ThreadBlock`s
+sequentially (their executions are independent — inter-block communication
+happens only through global memory between launches, exactly as in the
+CUDA kernels being modeled) and aggregates statistics.  Wall-clock
+estimation from those statistics lives in :mod:`repro.perf.cost_model`; the
+device itself only measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.config import DeviceSpec
+from repro.errors import ParameterError
+from repro.sim.block import ThreadBlock
+from repro.sim.counters import Counters
+from repro.sim.instructions import Instruction
+from repro.sim.memory import GlobalMemory
+from repro.sim.trace import AccessTrace
+
+__all__ = ["Device"]
+
+ThreadProgram = Generator[Instruction, "int | None", None]
+#: ``(block_id, thread_id) -> program`` — ``None`` idles the thread.
+GridProgramFactory = Callable[[int, int], "ThreadProgram | None"]
+
+
+class Device:
+    """A modeled GPU executing kernel launches.
+
+    Parameters
+    ----------
+    spec:
+        The hardware description (warp width, SM resources).
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        #: Counters accumulated across every launch on this device.
+        self.counters = Counters()
+        #: Counters of the most recent launch only.
+        self.last_launch_counters = Counters()
+
+    def launch(
+        self,
+        n_blocks: int,
+        threads_per_block: int,
+        shared_words: int,
+        program_factory: GridProgramFactory,
+        global_memory: GlobalMemory | None = None,
+        trace: AccessTrace | None = None,
+        trace_block: int = 0,
+    ) -> Counters:
+        """Run ``n_blocks`` thread blocks to completion.
+
+        Parameters
+        ----------
+        n_blocks:
+            Grid size.
+        threads_per_block:
+            ``u``; must be a multiple of the device's warp width.
+        shared_words:
+            Shared-memory words allocated per block.
+        program_factory:
+            ``(block_id, thread_id) -> generator`` building each thread's
+            program; thread ids are block-local.
+        global_memory:
+            Global memory visible to all blocks.
+        trace / trace_block:
+            If a trace is given, it records the shared-memory rounds of
+            block ``trace_block`` (tracing every block of a large grid
+            would dwarf the data being sorted).
+
+        Returns
+        -------
+        Counters
+            The aggregated statistics of this launch (also available as
+            :attr:`last_launch_counters`; rolled into :attr:`counters`).
+        """
+        if n_blocks < 1:
+            raise ParameterError(f"n_blocks must be >= 1, got {n_blocks}")
+        launch_counters = Counters()
+        for block_id in range(n_blocks):
+            block_trace = trace if (trace is not None and block_id == trace_block) else None
+            block = ThreadBlock(
+                u=threads_per_block,
+                w=self.spec.warp_width,
+                shared_words=shared_words,
+                program_factory=lambda tid, b=block_id: program_factory(b, tid),
+                global_memory=global_memory,
+                trace=block_trace,
+            )
+            block.run()
+            launch_counters.merge(block.counters)
+            if global_memory is not None:
+                # The block pointed the global memory's counters at its own
+                # object; restore independence for the next block.
+                global_memory.counters = Counters()
+        self.last_launch_counters = launch_counters
+        self.counters.merge(launch_counters)
+        return launch_counters

@@ -1,0 +1,103 @@
+"""Micro-instructions that thread programs yield to the warp executor.
+
+A *thread program* is a Python generator.  Each ``yield`` hands the
+simulator one instruction; read instructions resume the generator with the
+value read.  The instruction set is deliberately tiny — just enough to
+express the paper's kernels:
+
+======================  ====================================================
+Instruction             Semantics
+======================  ====================================================
+:class:`SharedRead`     Read one shared-memory word (resumes with value).
+:class:`SharedWrite`    Write one shared-memory word.
+:class:`GlobalRead`     Read one global-memory word (resumes with value).
+:class:`GlobalWrite`    Write one global-memory word.
+:class:`Compute`        ``n`` scalar ALU operations (free of memory cost).
+:class:`Sync`           Block-wide barrier (``__syncthreads``).
+:class:`Shuffle`        Warp-wide register exchange (``__shfl_sync``):
+                        contribute ``value``, resume with the value
+                        contributed by ``source_lane``.
+======================  ====================================================
+
+Instructions yielded by the threads of a warp in the same lockstep round
+are grouped by kind, and each kind forms one warp-synchronous access round
+— this is where bank conflicts and coalescing are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Instruction",
+    "SharedRead",
+    "SharedWrite",
+    "GlobalRead",
+    "GlobalWrite",
+    "Compute",
+    "Sync",
+    "Shuffle",
+]
+
+
+class Instruction:
+    """Base class for all yieldable instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SharedRead(Instruction):
+    """Read the shared-memory word at ``address``; resumes with its value."""
+
+    address: int
+
+
+@dataclass(frozen=True, slots=True)
+class SharedWrite(Instruction):
+    """Write ``value`` to the shared-memory word at ``address``."""
+
+    address: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalRead(Instruction):
+    """Read the global-memory word at ``address``; resumes with its value."""
+
+    address: int
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalWrite(Instruction):
+    """Write ``value`` to the global-memory word at ``address``."""
+
+    address: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Instruction):
+    """Perform ``n`` scalar compute operations (comparisons, arithmetic)."""
+
+    n: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Sync(Instruction):
+    """Block-wide barrier: all live threads must reach it before any proceed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Shuffle(Instruction):
+    """Warp-wide register exchange (CUDA's ``__shfl_sync``).
+
+    Every live lane of the warp must issue a :class:`Shuffle` in the same
+    lockstep round, contributing ``value``; each resumes with the value
+    contributed by its ``source_lane`` (lane index within the warp).
+    Shuffles move data through the register crossbar — no shared memory,
+    hence no bank conflicts, at one instruction per round.
+    """
+
+    value: int
+    source_lane: int

@@ -1,0 +1,223 @@
+"""Shared and global memory with access-cost accounting.
+
+:class:`SharedMemory` is the centerpiece: a word-addressed array striped
+across ``w`` banks whose :meth:`~SharedMemory.warp_read` /
+:meth:`~SharedMemory.warp_write` methods account every warp-synchronous
+round with the conflict metrics of :class:`repro.sim.banks.BankModel`.
+
+:class:`GlobalMemory` models DRAM with coalescing: a warp round touching
+``k`` distinct aligned 32-word segments costs ``k`` transactions — the
+quantity the EM/PEM analyses (and Thrust's two-stage merge partitioning)
+minimize.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.banks import BankModel, RoundCost
+from repro.sim.counters import Counters
+from repro.sim.trace import AccessTrace
+
+__all__ = ["SharedMemory", "GlobalMemory"]
+
+
+class SharedMemory:
+    """A bank-conflict-accounting shared memory allocation.
+
+    Parameters
+    ----------
+    size:
+        Number of words in the allocation.
+    w:
+        Number of banks (= warp width).
+    counters:
+        Destination for statistics; a fresh :class:`Counters` is created if
+        omitted.
+    trace:
+        Optional :class:`AccessTrace` that records every round.
+    fill:
+        Initial word value (default 0).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        w: int,
+        counters: Counters | None = None,
+        trace: AccessTrace | None = None,
+        fill: int = 0,
+    ) -> None:
+        if size < 0:
+            raise ParameterError(f"size must be >= 0, got {size}")
+        self.banks = BankModel(w)
+        self.data = np.full(size, fill, dtype=np.int64)
+        self.counters = counters if counters is not None else Counters()
+        self.trace = trace
+
+    @property
+    def size(self) -> int:
+        """Number of words in the allocation."""
+        return int(self.data.shape[0])
+
+    @property
+    def w(self) -> int:
+        """Number of banks."""
+        return self.banks.w
+
+    def _check_addresses(self, addresses: Iterable[int]) -> list[int]:
+        addrs = [int(a) for a in addresses]
+        for a in addrs:
+            if not 0 <= a < self.size:
+                raise SimulationError(
+                    f"shared-memory address {a} out of bounds [0, {self.size})"
+                )
+        return addrs
+
+    def _account(self, kind: str, cost: RoundCost) -> None:
+        c = self.counters
+        if kind == "read":
+            c.shared_read_rounds += 1
+        else:
+            c.shared_write_rounds += 1
+        c.shared_cycles += cost.cycles
+        c.shared_replays += cost.replays
+        c.shared_excess += cost.excess
+        c.broadcast_reads += cost.broadcasts if kind == "read" else 0
+        c.shared_requests += cost.requests
+
+    def warp_read(
+        self,
+        accesses: Sequence[tuple[int, int]],
+        warp: int = 0,
+    ) -> list[int]:
+        """Execute one warp-synchronous read round.
+
+        ``accesses`` holds ``(thread_id, address)`` pairs for the
+        participating threads.  Returns the values in the same order.
+        """
+        if not accesses:
+            return []
+        addrs = self._check_addresses(a for _, a in accesses)
+        cost = self.banks.round_cost(addrs)
+        self._account("read", cost)
+        if self.trace is not None:
+            self.trace.record(
+                warp, "read", [(t, a) for (t, _), a in zip(accesses, addrs)], cost.cycles
+            )
+        return [int(self.data[a]) for a in addrs]
+
+    def warp_write(
+        self,
+        accesses: Sequence[tuple[int, int, int]],
+        warp: int = 0,
+    ) -> None:
+        """Execute one warp-synchronous write round.
+
+        ``accesses`` holds ``(thread_id, address, value)`` triples.  Two
+        threads writing the same address in one round is a race; the
+        simulator rejects it (the paper's kernels never do this).
+        """
+        if not accesses:
+            return
+        addrs = self._check_addresses(a for _, a, _ in accesses)
+        if len(set(addrs)) != len(addrs):
+            raise SimulationError("write race: two threads wrote one address in a round")
+        cost = self.banks.round_cost(addrs)
+        self._account("write", cost)
+        if self.trace is not None:
+            self.trace.record(
+                warp,
+                "write",
+                [(t, a) for (t, _, _), a in zip(accesses, addrs)],
+                cost.cycles,
+            )
+        for (_, _, value), a in zip(accesses, addrs):
+            self.data[a] = value
+
+    def load_array(self, values: Sequence[int] | np.ndarray, offset: int = 0) -> None:
+        """Bulk-initialize words (no accounting — test/setup convenience)."""
+        values = np.asarray(values, dtype=np.int64)
+        if offset < 0 or offset + len(values) > self.size:
+            raise ParameterError(
+                f"load of {len(values)} words at offset {offset} exceeds size {self.size}"
+            )
+        self.data[offset : offset + len(values)] = values
+
+    def snapshot(self) -> np.ndarray:
+        """Return a copy of the current contents (no accounting)."""
+        return self.data.copy()
+
+
+class GlobalMemory:
+    """DRAM with coalesced-transaction accounting.
+
+    Parameters
+    ----------
+    data:
+        Backing array (taken by reference; ``int64`` enforced).
+    counters:
+        Destination for statistics.
+    segment_words:
+        Words per coalesced segment (32 on the modeled hardware: 128-byte
+        transactions of 4-byte words).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray | Sequence[int],
+        counters: Counters | None = None,
+        segment_words: int = 32,
+    ) -> None:
+        if segment_words < 1:
+            raise ParameterError(f"segment_words must be >= 1, got {segment_words}")
+        self.data = np.asarray(data, dtype=np.int64)
+        if self.data.ndim != 1:
+            raise ParameterError("global memory must be one-dimensional")
+        self.counters = counters if counters is not None else Counters()
+        self.segment_words = segment_words
+
+    @property
+    def size(self) -> int:
+        """Number of words."""
+        return int(self.data.shape[0])
+
+    def _segments(self, addrs: list[int]) -> int:
+        return len({a // self.segment_words for a in addrs})
+
+    def _check(self, addresses: Iterable[int]) -> list[int]:
+        addrs = [int(a) for a in addresses]
+        for a in addrs:
+            if not 0 <= a < self.size:
+                raise SimulationError(
+                    f"global-memory address {a} out of bounds [0, {self.size})"
+                )
+        return addrs
+
+    def warp_read(self, accesses: Sequence[tuple[int, int]]) -> list[int]:
+        """One warp-wide global read round; returns values in order."""
+        if not accesses:
+            return []
+        addrs = self._check(a for _, a in accesses)
+        self.counters.global_read_requests += len(addrs)
+        self.counters.global_read_transactions += self._segments(addrs)
+        return [int(self.data[a]) for a in addrs]
+
+    def warp_write(self, accesses: Sequence[tuple[int, int, int]]) -> None:
+        """One warp-wide global write round."""
+        if not accesses:
+            return
+        addrs = self._check(a for _, a, _ in accesses)
+        if len(set(addrs)) != len(addrs):
+            raise SimulationError("write race in global memory round")
+        self.counters.global_write_requests += len(addrs)
+        self.counters.global_write_transactions += self._segments(addrs)
+        for (_, _, value), a in zip(accesses, addrs):
+            self.data[a] = value
+
+    def snapshot(self) -> np.ndarray:
+        """Return a copy of the contents."""
+        return self.data.copy()

@@ -1,0 +1,77 @@
+"""Per-thread register files.
+
+Register access on a GPU is effectively free compared to shared memory, but
+only when indices are *static* — the CUDA compiler turns dynamically indexed
+per-thread arrays into local memory (Section 5 of the paper), which is why
+CF-Merge merges registers with a data-oblivious odd-even transposition
+network instead of a pointer-chasing merge.
+
+:class:`RegisterFile` mirrors that constraint: reads and writes are free,
+but the caller declares whether the index is statically known; dynamic
+accesses are tallied in
+:attr:`repro.sim.counters.Counters.register_dynamic_accesses` so tests can
+assert the register merge is truly oblivious.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.counters import Counters
+
+__all__ = ["RegisterFile"]
+
+
+class RegisterFile:
+    """A fixed-size per-thread register array.
+
+    Parameters
+    ----------
+    n_regs:
+        Number of register slots.
+    counters:
+        Optional statistics destination (for dynamic-access tallies).
+    """
+
+    __slots__ = ("data", "counters")
+
+    def __init__(self, n_regs: int, counters: Counters | None = None) -> None:
+        if n_regs < 0:
+            raise ParameterError(f"register count must be >= 0, got {n_regs}")
+        self.data = np.zeros(n_regs, dtype=np.int64)
+        self.counters = counters
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self):
+            raise SimulationError(f"register index {index} out of range [0, {len(self)})")
+
+    def read(self, index: int, *, dynamic: bool = False) -> int:
+        """Read slot ``index``; flag ``dynamic=True`` for data-dependent indices."""
+        self._check(index)
+        if dynamic and self.counters is not None:
+            self.counters.register_dynamic_accesses += 1
+        return int(self.data[index])
+
+    def write(self, index: int, value: int, *, dynamic: bool = False) -> None:
+        """Write slot ``index``; flag ``dynamic=True`` for data-dependent indices."""
+        self._check(index)
+        if dynamic and self.counters is not None:
+            self.counters.register_dynamic_accesses += 1
+        self.data[index] = value
+
+    def as_list(self) -> list[int]:
+        """Return the register contents as a list (inspection convenience)."""
+        return [int(v) for v in self.data]
+
+    def load(self, values) -> None:
+        """Bulk-set the registers (setup convenience, no accounting)."""
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.shape[0] != len(self):
+            raise ParameterError(
+                f"expected {len(self)} values, got {arr.shape[0]}"
+            )
+        self.data[:] = arr

@@ -1,0 +1,96 @@
+"""Recording of shared-memory access rounds for later visualization.
+
+The paper's Figures 2, 3, 7 and 8 are pictures of *which thread touches
+which address in which round*.  :class:`AccessTrace` captures exactly that
+from a live simulation so that :mod:`repro.analysis.figures` can re-render
+the figures from measured behaviour instead of from the formulas being
+tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccessEvent", "AccessTrace"]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One warp-wide shared-memory access round.
+
+    Attributes
+    ----------
+    warp:
+        Warp identifier within the block.
+    round_index:
+        Per-warp ordinal of this round (0-based, reads and writes counted
+        in one sequence).
+    kind:
+        ``"read"`` or ``"write"``.
+    accesses:
+        ``(thread_id, address)`` pairs, one per participating thread.
+        Thread ids are block-local.
+    cycles:
+        Serialization depth charged for the round.
+    """
+
+    warp: int
+    round_index: int
+    kind: str
+    accesses: tuple[tuple[int, int], ...]
+    cycles: int
+
+
+@dataclass
+class AccessTrace:
+    """An append-only log of :class:`AccessEvent` records."""
+
+    events: list[AccessEvent] = field(default_factory=list)
+    _round_counters: dict[int, int] = field(default_factory=dict)
+
+    def record(
+        self,
+        warp: int,
+        kind: str,
+        accesses: list[tuple[int, int]],
+        cycles: int,
+    ) -> AccessEvent:
+        """Append one round and return the created event."""
+        idx = self._round_counters.get(warp, 0)
+        self._round_counters[warp] = idx + 1
+        event = AccessEvent(
+            warp=warp,
+            round_index=idx,
+            kind=kind,
+            accesses=tuple(accesses),
+            cycles=cycles,
+        )
+        self.events.append(event)
+        return event
+
+    def rounds_for_warp(self, warp: int) -> list[AccessEvent]:
+        """Return this warp's rounds in execution order."""
+        return [e for e in self.events if e.warp == warp]
+
+    def reader_of(self, address: int, warp: int | None = None) -> list[tuple[int, int]]:
+        """Return ``(round_index, thread)`` pairs that accessed ``address``."""
+        hits: list[tuple[int, int]] = []
+        for e in self.events:
+            if warp is not None and e.warp != warp:
+                continue
+            for tid, addr in e.accesses:
+                if addr == address:
+                    hits.append((e.round_index, tid))
+        return hits
+
+    def max_cycles(self) -> int:
+        """Return the worst serialization depth seen in any round."""
+        return max((e.cycles for e in self.events), default=0)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+        self._round_counters.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,241 @@
+"""Lockstep execution of thread programs within one warp.
+
+The paper's algorithms are *warp-synchronous*: the ``w`` threads of a warp
+advance in lock-step, so the addresses they touch "at the same time" are
+well defined and bank conflicts are a property of each lockstep round
+(footnote 2 notes that conflict-free code keeps executing in lock-step even
+on post-Volta hardware).
+
+:class:`Warp` advances its threads one instruction per round.  Instructions
+of the same kind issued in one round form a single warp-wide access round;
+the shared-memory rounds are costed by
+:class:`~repro.sim.memory.SharedMemory`, which is where conflicts are
+counted.  Divergent kinds in one round are executed as separate (serial)
+instructions, matching SIMT divergence semantics closely enough for the
+conflict accounting this reproduction needs (none of the paper's kernels
+diverge on memory instructions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.counters import Counters
+from repro.sim.instructions import (
+    Compute,
+    GlobalRead,
+    GlobalWrite,
+    Instruction,
+    SharedRead,
+    SharedWrite,
+    Shuffle,
+    Sync,
+)
+from repro.sim.memory import GlobalMemory, SharedMemory
+
+__all__ = ["Warp"]
+
+ThreadProgram = Generator[Instruction, int | None, None]
+
+
+class Warp:
+    """Executes up to ``w`` thread programs in lock-step.
+
+    Parameters
+    ----------
+    warp_id:
+        Identifier used in traces.
+    programs:
+        One generator per lane; ``None`` marks an inactive lane.  Thread ids
+        reported to the memory system are ``thread_ids[lane]`` (block-local
+        numbering), defaulting to the lane index.
+    shared:
+        The warp's shared memory (shared with sibling warps in a block).
+    global_memory:
+        Optional global memory for :class:`GlobalRead`/:class:`GlobalWrite`.
+    counters:
+        Statistics destination for compute/sync tallies.  Memory statistics
+        are recorded by the memory objects' own counters.
+    """
+
+    def __init__(
+        self,
+        warp_id: int,
+        programs: list[ThreadProgram | None],
+        shared: SharedMemory,
+        global_memory: GlobalMemory | None = None,
+        counters: Counters | None = None,
+        thread_ids: list[int] | None = None,
+    ) -> None:
+        self.warp_id = warp_id
+        self.programs: list[ThreadProgram | None] = list(programs)
+        self.shared = shared
+        self.global_memory = global_memory
+        self.counters = counters if counters is not None else Counters()
+        if thread_ids is None:
+            thread_ids = list(range(len(self.programs)))
+        if len(thread_ids) != len(self.programs):
+            raise SimulationError("thread_ids length must match programs length")
+        self.thread_ids = thread_ids
+        # Pending instruction per lane, and the value to send on next resume.
+        self._pending: dict[int, Instruction] = {}
+        self._to_send: dict[int, int | None] = {}
+        self._at_barrier = False
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def done(self) -> bool:
+        """``True`` when every lane's program has finished."""
+        return all(p is None for p in self.programs) and not self._pending
+
+    @property
+    def at_barrier(self) -> bool:
+        """``True`` while the warp is parked at a :class:`Sync` barrier."""
+        return self._at_barrier
+
+    def release_barrier(self) -> None:
+        """Clear the barrier state (called by the block once all warps arrive)."""
+        if not self._at_barrier:
+            raise SimulationError("release_barrier called on a warp not at a barrier")
+        for lane, instr in list(self._pending.items()):
+            if isinstance(instr, Sync):
+                del self._pending[lane]
+        self._at_barrier = False
+
+    # ------------------------------------------------------------ round logic
+
+    def _fetch(self) -> None:
+        """Advance every live lane without a pending instruction."""
+        for lane, prog in enumerate(self.programs):
+            if prog is None or lane in self._pending:
+                continue
+            try:
+                instr = prog.send(self._to_send.pop(lane, None))
+            except StopIteration:
+                self.programs[lane] = None
+                continue
+            if not isinstance(instr, Instruction):
+                raise SimulationError(
+                    f"thread program yielded non-instruction {instr!r}"
+                )
+            self._pending[lane] = instr
+
+    def step(self) -> bool:
+        """Execute one lockstep round.
+
+        Returns ``True`` if the warp made progress, ``False`` if it is done
+        or parked at a barrier (awaiting :meth:`release_barrier`).
+        """
+        if self._at_barrier:
+            return False
+        self._fetch()
+        if not self._pending:
+            return False
+
+        pending = self._pending
+        sreads: list[tuple[int, SharedRead]] = []
+        swrites: list[tuple[int, SharedWrite]] = []
+        greads: list[tuple[int, GlobalRead]] = []
+        gwrites: list[tuple[int, GlobalWrite]] = []
+        shuffles: list[tuple[int, Shuffle]] = []
+        syncs: list[int] = []
+        for lane, instr in list(pending.items()):
+            if isinstance(instr, SharedRead):
+                sreads.append((lane, instr))
+            elif isinstance(instr, SharedWrite):
+                swrites.append((lane, instr))
+            elif isinstance(instr, GlobalRead):
+                greads.append((lane, instr))
+            elif isinstance(instr, GlobalWrite):
+                gwrites.append((lane, instr))
+            elif isinstance(instr, Shuffle):
+                shuffles.append((lane, instr))
+            elif isinstance(instr, Compute):
+                self.counters.compute_ops += instr.n
+                del pending[lane]
+            elif isinstance(instr, Sync):
+                syncs.append(lane)
+            else:  # pragma: no cover - closed instruction set
+                raise SimulationError(f"unknown instruction {instr!r}")
+
+        if syncs:
+            # Lanes that reached Sync park and wait; the rest keep
+            # executing.  The warp is at the barrier once every live lane
+            # is parked (matching hardware, where early arrivals stall).
+            live = [lane for lane, p in enumerate(self.programs) if p is not None]
+            waiting = [lane for lane in live if isinstance(pending.get(lane), Sync)]
+            if len(waiting) == len(live):
+                self._at_barrier = True
+                return True
+            # Fall through: execute the non-parked lanes' instructions.
+
+        if shuffles:
+            # All live lanes must participate together (__shfl_sync's mask
+            # semantics); partial participation is a hang on hardware.
+            live = [lane for lane, p in enumerate(self.programs) if p is not None]
+            if len(shuffles) != len(live):
+                raise SimulationError(
+                    f"shuffle divergence: {len(shuffles)} of {len(live)} live "
+                    f"lanes of warp {self.warp_id} issued Shuffle together"
+                )
+            contributed = {lane: instr.value for lane, instr in shuffles}
+            lanes_sorted = sorted(contributed)
+            for lane, instr in shuffles:
+                src = instr.source_lane
+                if not 0 <= src < len(self.programs):
+                    raise SimulationError(
+                        f"shuffle source lane {src} out of range [0, {len(self.programs)})"
+                    )
+                if src not in contributed:
+                    raise SimulationError(
+                        f"shuffle source lane {src} is not a live participant"
+                    )
+                self._to_send[lane] = contributed[src]
+                del pending[lane]
+            self.counters.compute_ops += len(lanes_sorted)
+
+        if sreads:
+            accesses = [(self.thread_ids[lane], i.address) for lane, i in sreads]
+            values = self.shared.warp_read(accesses, warp=self.warp_id)
+            for (lane, _), value in zip(sreads, values):
+                self._to_send[lane] = value
+                del pending[lane]
+        if swrites:
+            accesses3 = [
+                (self.thread_ids[lane], i.address, i.value) for lane, i in swrites
+            ]
+            self.shared.warp_write(accesses3, warp=self.warp_id)
+            for lane, _ in swrites:
+                del pending[lane]
+        if greads:
+            if self.global_memory is None:
+                raise SimulationError("GlobalRead yielded but warp has no global memory")
+            g_accesses = [(self.thread_ids[lane], i.address) for lane, i in greads]
+            g_values = self.global_memory.warp_read(g_accesses)
+            for (lane, _), value in zip(greads, g_values):
+                self._to_send[lane] = value
+                del pending[lane]
+        if gwrites:
+            if self.global_memory is None:
+                raise SimulationError("GlobalWrite yielded but warp has no global memory")
+            g_accesses3 = [
+                (self.thread_ids[lane], i.address, i.value) for lane, i in gwrites
+            ]
+            self.global_memory.warp_write(g_accesses3)
+            for lane, _ in gwrites:
+                del pending[lane]
+        return True
+
+    def run(self) -> None:
+        """Run until done.  Raises if a barrier is reached (needs a block)."""
+        while not self.done:
+            progressed = self.step()
+            if self._at_barrier:
+                raise SimulationError(
+                    "Sync reached outside of a ThreadBlock; "
+                    "run this warp via ThreadBlock to use barriers"
+                )
+            if not progressed and not self.done:  # pragma: no cover - safety net
+                raise SimulationError("warp made no progress")

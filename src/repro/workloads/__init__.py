@@ -1,0 +1,21 @@
+"""Input workload generators for experiments and tests."""
+
+from repro.workloads.generators import (
+    WORKLOADS,
+    adversarial,
+    few_distinct,
+    nearly_sorted,
+    reverse_sorted,
+    sorted_input,
+    uniform_random,
+)
+
+__all__ = [
+    "uniform_random",
+    "sorted_input",
+    "reverse_sorted",
+    "nearly_sorted",
+    "few_distinct",
+    "adversarial",
+    "WORKLOADS",
+]

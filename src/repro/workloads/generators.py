@@ -1,0 +1,73 @@
+"""Workload generators.
+
+``uniform_random`` matches the paper's random inputs (uniform 4-byte
+integers); ``adversarial`` wraps the Section 4 whole-input construction.
+The remaining generators are standard sorting stress patterns used by the
+wider test-suite and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.worstcase.generator import worstcase_full_input
+
+__all__ = [
+    "uniform_random",
+    "sorted_input",
+    "reverse_sorted",
+    "nearly_sorted",
+    "few_distinct",
+    "adversarial",
+    "WORKLOADS",
+]
+
+
+def uniform_random(n: int, seed: int = 0, high: int = 2**31) -> np.ndarray:
+    """Uniform random integers in ``[0, high)`` (the paper's random inputs)."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, high, n).astype(np.int64)
+
+
+def sorted_input(n: int, seed: int = 0) -> np.ndarray:
+    """Already-sorted input (best case for comparison counts)."""
+    return np.arange(n, dtype=np.int64)
+
+
+def reverse_sorted(n: int, seed: int = 0) -> np.ndarray:
+    """Strictly decreasing input."""
+    return np.arange(n, dtype=np.int64)[::-1].copy()
+
+
+def nearly_sorted(n: int, seed: int = 0, swaps_fraction: float = 0.05) -> np.ndarray:
+    """Sorted input with a few random transpositions."""
+    rng = np.random.default_rng(seed)
+    data = np.arange(n, dtype=np.int64)
+    for _ in range(int(n * swaps_fraction)):
+        i, j = rng.integers(0, n, 2)
+        data[i], data[j] = data[j], data[i]
+    return data
+
+
+def few_distinct(n: int, seed: int = 0, distinct: int = 8) -> np.ndarray:
+    """Many duplicates: only ``distinct`` different values."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, distinct, n).astype(np.int64)
+
+
+def adversarial(n_tiles: int, E: int, u: int, w: int) -> np.ndarray:
+    """The Section 4 worst-case input (see :mod:`repro.worstcase`)."""
+    return worstcase_full_input(n_tiles, E, u, w)
+
+
+#: Name -> generator map for ``f(n, seed)``-shaped workloads.
+WORKLOADS = {
+    "random": uniform_random,
+    "sorted": sorted_input,
+    "reverse": reverse_sorted,
+    "nearly_sorted": nearly_sorted,
+    "few_distinct": few_distinct,
+}

@@ -1,0 +1,183 @@
+"""Realizing worst-case tuple sequences as actual sorted inputs.
+
+Two levels of realization:
+
+* :func:`worstcase_merge_inputs` — one merge's ``(A, B)`` pair: ranks
+  ``0 .. total-1`` are dealt to ``A`` and ``B`` window by window following
+  the tuple sequence, so the stable merge path reproduces the adversarial
+  split *exactly* (all values distinct, each window's ``A`` values precede
+  its ``B`` values).
+
+* :func:`worstcase_full_input` — a whole unsorted input for
+  :func:`repro.mergesort.gpu_mergesort` such that **every pairwise merge
+  level** exhibits the worst-case split.  Built top-down: the final merge's
+  tag pattern partitions the output ranks into the two final runs; each run
+  is recursively partitioned the same way down to single tiles.  This works
+  because the values are free: any partition of a sorted run into two
+  sorted subsequences is realizable, so the adversary controls every level
+  independently (the generalization of Berney & Sitchinava's IPDPS 2020
+  engineering).
+
+With ``attack_blocksort=True`` (the default) the recursion continues
+*inside* each tile: every blocksort merge level whose pair regions span
+whole warps gets the per-warp worst-case tag pattern as well (warp
+windows of a multi-warp pair alternate A-heavy/B-heavy orientation, which
+keeps every split exactly balanced).  Sub-warp levels cannot be aligned
+across banks (their scan groups are too small to wrap the bank array), so
+they receive a balanced alternating split instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorstCaseConstructionError
+from repro.worstcase.tuples import block_tuples, warp_tuples
+
+__all__ = ["worstcase_merge_inputs", "worstcase_full_input", "tag_pattern"]
+
+
+def tag_pattern(w: int, E: int, u: int | None = None) -> np.ndarray:
+    """Boolean mask over one merge window's output: True = element from A.
+
+    Covers one warp (``w*E`` outputs) or, with ``u``, one thread block
+    (``u*E`` outputs, warps alternating orientation).
+    """
+    tuples = warp_tuples(w, E) if u is None else block_tuples(w, E, u)
+    mask: list[bool] = []
+    for a_cnt, b_cnt in tuples:
+        mask.extend([True] * a_cnt)
+        mask.extend([False] * b_cnt)
+    return np.array(mask, dtype=bool)
+
+
+def worstcase_merge_inputs(
+    w: int, E: int, u: int | None = None, base: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return sorted ``(A, B)`` realizing the worst-case split for one merge.
+
+    With ``u=None`` the pair covers a single warp (``|A|+|B| = w*E``);
+    otherwise a whole block (``u*E``).  Values are consecutive integers
+    starting at ``base``.
+    """
+    mask = tag_pattern(w, E, u)
+    ranks = base + np.arange(len(mask), dtype=np.int64)
+    return ranks[mask], ranks[~mask]
+
+
+def _warp_mask(w: int, E: int, orientation: str) -> np.ndarray:
+    """Tag mask for one warp window (``w*E`` outputs)."""
+    mask: list[bool] = []
+    for a_cnt, b_cnt in warp_tuples(w, E, orientation):
+        mask.extend([True] * a_cnt)
+        mask.extend([False] * b_cnt)
+    return np.array(mask, dtype=bool)
+
+
+def _place_tile(
+    out: np.ndarray,
+    ranks: np.ndarray,
+    tile_base: int,
+    E: int,
+    u: int,
+    w: int,
+    tile_order: str,
+    attack_blocksort: bool,
+) -> None:
+    """Lay one tile's value set into the input array.
+
+    With ``attack_blocksort`` the blocksort merge tree is walked top-down:
+    a run held by ``g`` threads splits into its two child runs following
+    the per-warp worst-case tags while the pair spans >= 2 warps, and an
+    (exactly balanced) alternating pattern below warp granularity.
+    """
+    if not attack_blocksort:
+        vals = ranks[::-1] if tile_order == "reverse" else ranks
+        out[tile_base : tile_base + len(ranks)] = vals
+        return
+
+    warp_masks = {
+        "A": _warp_mask(w, E, "A"),
+        "B": _warp_mask(w, E, "B"),
+    }
+
+    def place_run(run_ranks: np.ndarray, thread_lo: int, thread_hi: int) -> None:
+        g = thread_hi - thread_lo
+        if g == 1:
+            # Leaf: one thread's E input elements (order irrelevant — the
+            # per-thread register sort handles any order; reverse them).
+            slot = tile_base + thread_lo * E
+            out[slot : slot + E] = run_ranks[::-1]
+            return
+        n_warps = g // w
+        if n_warps >= 2:
+            # Whole-warp windows: adversarial tags, alternating orientation.
+            parts = [
+                warp_masks["A" if v % 2 == 0 else "B"] for v in range(n_warps)
+            ]
+            mask = np.concatenate(parts)
+        else:
+            # Sub-warp pair: balanced alternating split (not alignable).
+            mask = np.zeros(g * E, dtype=bool)
+            mask[::2] = True
+        mid = (thread_lo + thread_hi) // 2
+        place_run(run_ranks[mask], thread_lo, mid)
+        place_run(run_ranks[~mask], mid, thread_hi)
+
+    place_run(ranks, 0, u)
+
+
+def worstcase_full_input(
+    n_tiles: int,
+    E: int,
+    u: int,
+    w: int,
+    tile_order: str = "reverse",
+    attack_blocksort: bool = True,
+) -> np.ndarray:
+    """Return an input of ``n_tiles * u * E`` values that is adversarial at
+    every pairwise merge level of :func:`~repro.mergesort.pipeline.gpu_mergesort`
+    (and, with ``attack_blocksort``, at blocksort's whole-warp merge levels).
+
+    Requirements: ``n_tiles`` a power of two (so every level is a clean
+    pairwise merge) and ``u/w`` even (so the per-block tag pattern splits
+    each run exactly in half — warps alternate A-heavy/B-heavy).
+
+    ``tile_order`` controls the within-tile leaf layout when
+    ``attack_blocksort=False``: ``"reverse"`` (deterministic) or
+    ``"sorted"``.
+    """
+    if n_tiles < 1 or n_tiles & (n_tiles - 1):
+        raise WorstCaseConstructionError(f"n_tiles={n_tiles} must be a power of two")
+    if u % w or (u // w) % 2:
+        raise WorstCaseConstructionError(
+            f"u/w must be even for balanced splits (u={u}, w={w})"
+        )
+    if u & (u - 1):
+        raise WorstCaseConstructionError(f"u={u} must be a power of two")
+    if tile_order not in ("reverse", "sorted"):
+        raise WorstCaseConstructionError(f"unknown tile_order {tile_order!r}")
+
+    tile = u * E
+    n = n_tiles * tile
+    block_mask = tag_pattern(w, E, u)
+    if int(block_mask.sum()) * 2 != tile:
+        raise WorstCaseConstructionError(
+            "block tag pattern is unbalanced; cannot split runs in half"
+        )
+    out = np.empty(n, dtype=np.int64)
+
+    def place(ranks: np.ndarray, tile_lo: int, tile_hi: int) -> None:
+        if tile_hi - tile_lo == 1:
+            _place_tile(
+                out, ranks, tile_lo * tile, E, u, w, tile_order, attack_blocksort
+            )
+            return
+        n_blocks = len(ranks) // tile
+        mask = np.tile(block_mask, n_blocks)
+        mid = (tile_lo + tile_hi) // 2
+        place(ranks[mask], tile_lo, mid)
+        place(ranks[~mask], mid, tile_hi)
+
+    place(np.arange(n, dtype=np.int64), 0, n_tiles)
+    return out

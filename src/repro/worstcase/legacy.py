@@ -1,0 +1,43 @@
+"""The prior work's restricted worst-case construction (IPDPS 2020).
+
+Berney & Sitchinava's earlier generator required ``w`` a power of two,
+``d = GCD(w, E) = 1`` and ``w/2 < E < w`` — in that regime ``q = 1`` in
+``w = qE + r``, so every spacer run in the tuple sequence has length
+``q = 1`` or ``q - 1 = 0``.  Section 4's construction specializes to
+exactly this on the restricted domain; this module exposes the restricted
+generator under its own name (with its domain enforced) so the
+generalization can be tested *as a generalization*: on the legacy domain
+the two constructions must coincide, and outside it only the new one
+exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorstCaseConstructionError
+from repro.numtheory import coprime
+from repro.worstcase.tuples import subproblem_tuples
+
+__all__ = ["legacy_domain", "legacy_warp_tuples"]
+
+
+def legacy_domain(w: int, E: int) -> bool:
+    """Return ``True`` iff ``(w, E)`` lies in the IPDPS 2020 domain."""
+    power_of_two = w >= 2 and (w & (w - 1)) == 0
+    return power_of_two and coprime(w, E) and (w / 2) < E < w
+
+
+def legacy_warp_tuples(w: int, E: int) -> list[tuple[int, int]]:
+    """The restricted construction (single subproblem; ``d = 1``).
+
+    Raises :class:`~repro.errors.WorstCaseConstructionError` outside the
+    legacy domain — use :func:`repro.worstcase.tuples.warp_tuples` there.
+    """
+    if not legacy_domain(w, E):
+        raise WorstCaseConstructionError(
+            f"(w={w}, E={E}) is outside the IPDPS 2020 domain "
+            "(w a power of two, GCD(w, E) = 1, w/2 < E < w); "
+            "the SPAA 2025 generalization handles it instead"
+        )
+    # With d = 1 there is a single subproblem; the Section 4 construction
+    # restricted to q = 1 IS the legacy construction.
+    return subproblem_tuples(w, E, "A")

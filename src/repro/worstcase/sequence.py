@@ -1,0 +1,70 @@
+"""The sequence ``S`` of Section 4 (``s_i``, ``x_i``, ``y_i``).
+
+With ``d = GCD(w, E)`` and ``w = qE + r`` (Euclid), define for
+``i in {1, ..., E/d - 1}``::
+
+    s_i = i * (r/d)  mod (E/d)
+    x_i = (E/d - s_i) * d
+    y_i = s_i * d
+
+and the tuple sequence ``S = ((a_i, b_i))`` with ``a_i = x_i`` for even
+``i`` and ``y_i`` for odd ``i`` (``b_i`` the other one).  Lemma 5 (the
+``s_i`` are pairwise distinct), Lemma 6 (``E/d - s_i = s_{E/d-i}``) and
+Lemma 7 (``x_i + y_{i+1}`` is ``r`` or ``E + r``) all follow from
+``GCD(E/d, r/d) = 1`` and are exercised directly by the test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorstCaseConstructionError
+from repro.numtheory import euclid_division, gcd
+
+__all__ = ["s_values", "x_values", "y_values", "S_sequence", "check_parameters"]
+
+
+def check_parameters(w: int, E: int) -> tuple[int, int, int]:
+    """Validate ``1 < E <= w`` and return ``(d, q, r)``."""
+    if not 1 < E <= w:
+        raise WorstCaseConstructionError(
+            f"the construction requires 1 < E <= w, got E={E}, w={w}"
+        )
+    d = gcd(w, E)
+    q, r = euclid_division(w, E)
+    return d, q, r
+
+
+def s_values(w: int, E: int) -> list[int]:
+    """Return ``[s_1, ..., s_{E/d - 1}]`` (empty when ``E | w``)."""
+    d, _, r = check_parameters(w, E)
+    Ed, rd = E // d, r // d
+    return [(i * rd) % Ed for i in range(1, Ed)]
+
+
+def x_values(w: int, E: int) -> list[int]:
+    """Return ``[x_1, ..., x_{E/d - 1}]`` where ``x_i = (E/d - s_i) * d``."""
+    d, _, _ = check_parameters(w, E)
+    Ed = E // d
+    return [(Ed - s) * d for s in s_values(w, E)]
+
+
+def y_values(w: int, E: int) -> list[int]:
+    """Return ``[y_1, ..., y_{E/d - 1}]`` where ``y_i = s_i * d``."""
+    return [s * gcd(w, E) for s in s_values(w, E)]
+
+
+def S_sequence(w: int, E: int) -> list[tuple[int, int]]:
+    """Return ``S`` — the mixed tuples ``(a_i, b_i)`` of Section 4.
+
+    ``a_i = x_i`` when ``i`` is even, ``y_i`` when odd; ``b_i`` is the
+    complement.  Every tuple sums to ``E``.
+    """
+    xs = x_values(w, E)
+    ys = y_values(w, E)
+    out: list[tuple[int, int]] = []
+    for idx, (x, y) in enumerate(zip(xs, ys)):
+        i = idx + 1
+        if i % 2 == 0:
+            out.append((x, y))
+        else:
+            out.append((y, x))
+    return out

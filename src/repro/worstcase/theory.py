@@ -1,0 +1,46 @@
+"""Theorem 8: closed-form worst-case bank-conflict counts.
+
+Per subproblem of ``wE/d`` elements::
+
+    E^2 / d                                              if E <= w/2
+    (E^2/d + 2Er/d + E - r^2/d - r) / 2                  otherwise
+
+and combining all ``d`` subproblems::
+
+    E^2                                                  if 1 < E <= w/2
+    (E^2 + 2Er + Ed - r^2 - rd) / 2                      otherwise
+
+where ``d = GCD(w, E)`` and ``w = qE + r``.  These count conflicting
+accesses in the last ``E`` shared-memory banks — the ``excess`` metric of
+:mod:`repro.sim.counters` restricted to the aligned scans.  The empirical
+comparison (measured excess of the simulated serial merge vs. these
+formulas) is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.worstcase.sequence import check_parameters
+
+__all__ = ["theorem8_subproblem", "theorem8_combined"]
+
+
+def theorem8_subproblem(w: int, E: int) -> Fraction:
+    """Theorem 8's per-subproblem conflict count (exact rational)."""
+    d, _, r = check_parameters(w, E)
+    if E <= w / 2:
+        return Fraction(E * E, d)
+    return Fraction(1, 2) * (
+        Fraction(E * E, d) + Fraction(2 * E * r, d) + E - Fraction(r * r, d) - r
+    )
+
+
+def theorem8_combined(w: int, E: int) -> int:
+    """Theorem 8's total over all ``d`` subproblems (always an integer)."""
+    d, _, r = check_parameters(w, E)
+    if E <= w / 2:
+        return E * E
+    val = Fraction(E * E + 2 * E * r + E * d - r * r - r * d, 2)
+    assert val.denominator == 1, "Theorem 8 total must be integral"
+    return int(val)

@@ -1,0 +1,105 @@
+"""Assembling the worst-case tuple sequence ``T`` (Section 4).
+
+``T`` lists, thread by thread, how many elements each thread reads from
+``A`` and from ``B``.  The mixed tuples of ``S`` act as *spacers* that
+align the runs of ``(E, 0)`` / ``(0, E)`` tuples so that the full-scan
+threads walk the same ``E`` banks in lock-step.
+
+Construction (per subproblem of ``w/d`` threads):
+
+1. insert ``(a_1, b_1) = (r, E - r)``, then ``q`` tuples of ``(E, 0)``;
+2. for ``i = 1 .. E/d - 2``: insert ``(a_{i+1}, b_{i+1})`` from ``S``,
+   then ``q`` tuples (if ``x_i + y_{i+1} = r``) or ``q - 1`` tuples (if it
+   equals ``E + r``) of ``(E, 0)`` when ``i`` is even / ``(0, E)`` when
+   odd;
+3. insert ``q`` tuples of ``(E, 0)`` if ``E/d - 1`` is even, else
+   ``(0, E)``.
+
+The total is ``|T| = w/d`` tuples (verified at runtime).  The degenerate
+case ``r = 0`` (``E`` divides ``w``; ``S`` is empty) gets ``q = w/E`` full
+``(E, 0)`` tuples, matching the theorem's remark that no elements are
+misaligned there.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorstCaseConstructionError
+from repro.worstcase.sequence import S_sequence, check_parameters, x_values, y_values
+
+__all__ = ["subproblem_tuples", "warp_tuples", "block_tuples"]
+
+
+def _flip(tuples: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    return [(b, a) for a, b in tuples]
+
+
+def subproblem_tuples(w: int, E: int, orientation: str = "A") -> list[tuple[int, int]]:
+    """Return the ``w/d`` tuples of one subproblem.
+
+    ``orientation="A"`` builds the A-heavy sequence described above;
+    ``"B"`` swaps every tuple (the "symmetric case" of Section 4).
+    """
+    if orientation not in ("A", "B"):
+        raise WorstCaseConstructionError(f"orientation must be 'A' or 'B', got {orientation!r}")
+    d, q, r = check_parameters(w, E)
+    Ed = E // d
+
+    if r == 0:
+        # Degenerate: S is empty; q = w/E threads all scan A fully.
+        out = [(E, 0)] * q
+    else:
+        S = S_sequence(w, E)
+        xs = x_values(w, E)
+        ys = y_values(w, E)
+        out = [S[0]]  # (a_1, b_1) = (r, E - r)
+        out += [(E, 0)] * q
+        for i in range(1, Ed - 1):
+            out.append(S[i])  # (a_{i+1}, b_{i+1})
+            filler = (E, 0) if i % 2 == 0 else (0, E)
+            gap = xs[i - 1] + ys[i]  # x_i + y_{i+1}
+            if gap == r:
+                out += [filler] * q
+            elif gap == E + r:
+                out += [filler] * (q - 1)
+            else:  # pragma: no cover - Lemma 7 guarantees the two cases
+                raise WorstCaseConstructionError(
+                    f"Lemma 7 violated: x_{i} + y_{i + 1} = {gap}"
+                )
+        out += [(E, 0) if (Ed - 1) % 2 == 0 else (0, E)] * q
+
+    if len(out) != w // d:
+        raise WorstCaseConstructionError(
+            f"|T| = {len(out)} but expected w/d = {w // d} (w={w}, E={E})"
+        )
+    if any(a + b != E for a, b in out):
+        raise WorstCaseConstructionError("tuple sums must equal E")
+    return out if orientation == "A" else _flip(out)
+
+
+def warp_tuples(w: int, E: int, start_orientation: str = "A") -> list[tuple[int, int]]:
+    """Return the full warp's ``w`` tuples — ``d`` subproblems, alternating
+    A-heavy / B-heavy orientation (Section 4 combines the symmetric cases
+    so the ``d`` subproblems jointly congest the same last ``E`` banks)."""
+    d, _, _ = check_parameters(w, E)
+    flip = {"A": "B", "B": "A"}
+    out: list[tuple[int, int]] = []
+    orientation = start_orientation
+    for _ in range(d):
+        out.extend(subproblem_tuples(w, E, orientation))
+        orientation = flip[orientation]
+    return out
+
+
+def block_tuples(w: int, E: int, u: int) -> list[tuple[int, int]]:
+    """Return ``u`` tuples for a whole thread block.
+
+    Warps alternate their starting orientation so that the block-level
+    ``|A|`` and ``|B|`` stay balanced (needed by the recursive whole-input
+    generator when ``d`` is odd and each warp alone is imbalanced).
+    """
+    if u % w:
+        raise WorstCaseConstructionError(f"u={u} must be a multiple of w={w}")
+    out: list[tuple[int, int]] = []
+    for v in range(u // w):
+        out.extend(warp_tuples(w, E, "A" if v % 2 == 0 else "B"))
+    return out

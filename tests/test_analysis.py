@@ -1,0 +1,138 @@
+"""Tests for the figure/table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BankGrid,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure7,
+    figure8,
+    karsin_table,
+    occupancy_table,
+    theorem8_table,
+    throughput_table,
+)
+from repro.errors import ParameterError
+
+
+class TestBankGrid:
+    def test_layout_column_major(self):
+        g = BankGrid(3, 6)
+        for a in range(6):
+            g.label(a, a)
+        text = g.render()
+        lines = text.splitlines()
+        # bank 0 row contains addresses 0 and 3.
+        assert "0" in lines[2] and "3" in lines[2]
+
+    def test_marks(self):
+        g = BankGrid(2, 4)
+        g.label(1, "x")
+        g.mark(1, "*")
+        assert "x*" in g.render()
+
+    def test_clear_marks(self):
+        g = BankGrid(2, 4)
+        g.mark(0, "*")
+        g.clear_marks()
+        assert "*" not in g.render()
+
+    def test_title(self):
+        g = BankGrid(2, 2)
+        assert g.render("hello").startswith("hello")
+
+    def test_bounds(self):
+        g = BankGrid(2, 4)
+        with pytest.raises(ParameterError):
+            g.label(4, "x")
+        with pytest.raises(ParameterError):
+            g.mark(-1)
+        with pytest.raises(ParameterError):
+            BankGrid(0, 4)
+
+    def test_columns(self):
+        assert BankGrid(12, 72).columns == 6
+        assert BankGrid(12, 70).columns == 6
+
+
+class TestFigures:
+    def test_figure1_reports_conflict_contrast(self):
+        text = figure1()
+        assert "stride 5" in text and "conflict free" in text
+        assert "stride 6" in text and "6-way serialization" in text
+
+    def test_figure2_all_rounds_are_crs(self):
+        text = figure2()
+        assert text.count("every warp's banks form a CRS") == 5  # E rounds
+        assert "NOT" not in text
+        assert "bank conflict free" in text
+
+    def test_figure3_noncoprime_still_crs(self):
+        text = figure3()
+        assert text.count("every warp's banks form a CRS") == 6
+        assert "NOT" not in text
+
+    def test_figure4_shows_both_E(self):
+        text = figure4()
+        assert "E=5 (d=1)" in text
+        assert "E=9 (d=3)" in text
+        assert "!" in text  # last-E-banks markers
+
+    def test_figure7_reports_stalls(self):
+        text = figure7()
+        assert "needs 2 reads" in text
+        assert "total stalled thread-rounds:" in text
+        # The chosen split must actually exhibit stalls.
+        total = int(text.split("total stalled thread-rounds:")[1].split()[0])
+        assert total > 0
+
+    def test_figure8_block_schedule_conflict_free(self):
+        text = figure8()
+        assert "u=18, w=6, E=4" in text
+        assert text.count("every warp's banks form a CRS") == 4  # E rounds
+        assert "NOT" not in text
+
+
+class TestTables:
+    def test_theorem8_table_all_ok(self):
+        text = theorem8_table()
+        assert "LOW" not in text
+        assert text.count("ok") >= 10
+
+    def test_theorem8_table_custom_cases(self):
+        text = theorem8_table(cases=[(12, 5)])
+        assert "25" in text
+
+    def test_occupancy_table(self):
+        text = occupancy_table()
+        assert "100%" in text
+        assert "75%" in text
+        assert "shared_memory" in text
+
+    def test_karsin_in_band(self):
+        text = karsin_table(samples=5)
+        # Parse the mean columns and confirm the 2-3 band.
+        for line in text.splitlines()[2:]:
+            mean = float(line.split()[2])
+            assert 1.5 < mean < 3.5
+
+    def test_throughput_table(self):
+        from repro.config import SortParams, toy_device
+        from repro.perf import throughput_sweep
+
+        pts = throughput_sweep(
+            SortParams(5, 16), "thrust", "random", device=toy_device(8),
+            i_range=range(6, 8), samples=2, blocksort_samples=1,
+        )
+        text = throughput_table({"thrust": pts}, title="demo")
+        assert text.startswith("demo")
+        assert "elems/us" in text
+        assert len(text.splitlines()) == 5  # title + 2 header + 2 points
+
+    def test_throughput_table_empty(self):
+        assert throughput_table({}, title="t") == "t"

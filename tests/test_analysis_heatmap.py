@@ -1,0 +1,84 @@
+"""Tests for the trace-based bank heat maps and depth timelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import (
+    bank_conflicts,
+    bank_load,
+    render_heatmap,
+    render_timeline,
+    round_depths,
+    worstcase_heatmap,
+)
+from repro.errors import ParameterError
+from repro.sim import AccessTrace, SharedMemory
+
+
+def traced_rounds(w, rounds):
+    trace = AccessTrace()
+    shm = SharedMemory(1024, w=w, trace=trace)
+    for accesses in rounds:
+        shm.warp_read(accesses)
+    return trace
+
+
+class TestBankStats:
+    def test_bank_load_counts_all_accesses(self):
+        trace = traced_rounds(4, [[(0, 0), (1, 1)], [(0, 4), (1, 5)]])
+        load = bank_load(trace, 4)
+        assert list(load) == [2, 2, 0, 0]
+
+    def test_bank_conflicts_counts_excess_only(self):
+        # Round 1: addresses 0 and 4 both hit bank 0 -> 1 excess there.
+        trace = traced_rounds(4, [[(0, 0), (1, 4), (2, 1)]])
+        excess = bank_conflicts(trace, 4)
+        assert list(excess) == [1, 0, 0, 0]
+
+    def test_broadcasts_do_not_count(self):
+        trace = traced_rounds(4, [[(0, 8), (1, 8), (2, 8)]])
+        assert bank_conflicts(trace, 4).sum() == 0
+
+    def test_round_depths(self):
+        trace = traced_rounds(4, [[(0, 0), (1, 4)], [(0, 1), (1, 2)]])
+        assert round_depths(trace) == [2, 1]
+
+    def test_bad_w(self):
+        with pytest.raises(ParameterError):
+            bank_load(AccessTrace(), 0)
+        with pytest.raises(ParameterError):
+            bank_conflicts(AccessTrace(), -1)
+
+
+class TestRenderers:
+    def test_heatmap_bars_scale(self):
+        text = render_heatmap(np.array([0, 5, 10]), title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].endswith("0 ")  # zero bar
+        assert lines[3].count("#") == 2 * lines[2].count("#")
+
+    def test_timeline(self):
+        text = render_timeline([1, 2, 4], title="depths")
+        assert "round   2" in text
+        assert text.splitlines()[-1].count("#") == 50
+
+    def test_empty_values(self):
+        assert render_heatmap(np.array([], dtype=np.int64)) == ""
+        assert render_timeline([]) == ""
+
+
+class TestWorstcaseHeatmap:
+    def test_full_report(self):
+        text = worstcase_heatmap(w=16, E=7)
+        assert "WORST-CASE" in text and "RANDOM" in text
+        assert "zero everywhere" in text
+        # CF section reports zero total excess.
+        assert "total excess: 0" in text
+
+    def test_worst_case_depth_reaches_E(self):
+        # The attack's signature: sustained serialization depth = E.
+        text = worstcase_heatmap(w=32, E=15)
+        assert "depth 15" in text

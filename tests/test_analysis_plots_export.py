@@ -1,0 +1,133 @@
+"""Tests for ASCII plots, result export, and the experiment registry."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import counters_to_json, throughput_to_csv, throughput_to_json
+from repro.analysis.plots import ascii_plot, plot_throughput
+from repro.analysis.tables import defenses_table, staging_table
+from repro.config import SortParams, toy_device
+from repro.errors import ParameterError
+from repro.experiments import EXPERIMENTS, manifest
+from repro.perf import throughput_sweep
+from repro.sim import Counters
+
+
+@pytest.fixture(scope="module")
+def small_series():
+    pts = throughput_sweep(
+        SortParams(5, 16), "thrust", "random", device=toy_device(8),
+        i_range=range(6, 9), samples=2, blocksort_samples=1,
+    )
+    return {"thrust/random": pts}
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            {"a": [(0, 0), (1, 5), (2, 10)], "b": [(0, 10), (2, 0)]},
+            title="demo", x_label="x", y_label="y",
+        )
+        assert text.startswith("demo")
+        assert "o a" in text and "x b" in text
+        assert "[y: y]" in text
+
+    def test_markers_present(self):
+        text = ascii_plot({"only": [(0, 1), (5, 2)]})
+        assert text.count("o") >= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_plot({})
+        with pytest.raises(ParameterError):
+            ascii_plot({"a": []})
+
+    def test_single_x_value_does_not_crash(self):
+        text = ascii_plot({"a": [(3, 7)]})
+        assert "o" in text
+
+    def test_plot_throughput(self, small_series):
+        text = plot_throughput(small_series, title="curve")
+        assert "elements/us" in text
+        assert "2^i" in text
+
+
+class TestExport:
+    def test_csv_roundtrip(self, small_series, tmp_path):
+        path = throughput_to_csv(small_series, tmp_path / "out.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[0]["series"] == "thrust/random"
+        assert float(rows[0]["throughput_elems_per_us"]) > 0
+
+    def test_json_roundtrip(self, small_series, tmp_path):
+        path = throughput_to_json(small_series, tmp_path / "out.json")
+        rows = json.loads(path.read_text())
+        assert len(rows) == 3
+        assert {"i", "n", "time_us"} <= set(rows[0])
+
+    def test_counters_export(self, tmp_path):
+        c = Counters(shared_replays=3)
+        path = counters_to_json(c, tmp_path / "c.json", experiment="unit")
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["shared_replays"] == 3
+        assert payload["metadata"]["experiment"] == "unit"
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            throughput_to_csv({}, tmp_path / "x.csv")
+
+
+class TestExperimentRegistry:
+    def test_every_experiment_has_claim_and_bench(self):
+        for e in EXPERIMENTS.values():
+            assert e.claim and e.paper_ref
+            assert e.bench.endswith(".py")
+
+    def test_bench_files_exist(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for e in EXPERIMENTS.values():
+            assert (root / e.bench).exists(), e.bench
+
+    def test_registry_covers_all_paper_figures(self):
+        ids = set(EXPERIMENTS)
+        assert {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"} <= ids
+        assert {"theorem8", "karsin", "occupancy", "verify"} <= ids
+
+    def test_cli_exposes_registry_ids(self):
+        from repro.cli import _COMMANDS
+
+        for exp_id in EXPERIMENTS:
+            assert exp_id in _COMMANDS, f"CLI lost experiment {exp_id}"
+
+    def test_manifest_renders(self):
+        text = manifest()
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text
+
+
+class TestNewTables:
+    def test_defenses_table(self):
+        text = defenses_table(w=16, E=5)
+        assert "coprime heuristic" in text
+        assert "CF-Merge" in text
+        # CF row reports zero replays.
+        cf_line = [l for l in text.splitlines() if "CF-Merge" in l][0]
+        assert " 0 " in cf_line
+
+    def test_staging_table(self):
+        text = staging_table()
+        assert "permuting load" in text
+        lines = text.splitlines()[2:-1]
+        # coprime rows (d=1) must show zero replays in every column.
+        for line in lines:
+            parts = line.split()
+            if parts[3] == "1":  # d column
+                assert parts[4] == parts[5] == parts[6] == "0"

@@ -1,0 +1,60 @@
+"""Tests for the random-conflict statistics module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    conflict_statistics_report,
+    max_load_samples,
+    measured_replay_depths,
+    predicted_replays_per_round,
+)
+from repro.errors import ParameterError
+
+
+class TestBallsInBins:
+    def test_max_load_bounds(self):
+        samples = max_load_samples(32, trials=500, seed=1)
+        assert samples.min() >= 1
+        assert samples.max() <= 32
+        # Known regime for 32 balls / 32 bins: mean max load ~ 3.3-3.7.
+        assert 3.0 <= samples.mean() <= 4.0
+
+    def test_prediction_in_karsin_band(self):
+        # The balls-in-bins prediction itself lands in the 2-3 band —
+        # the paper's empirical figure is no accident.
+        pred = predicted_replays_per_round(32, trials=1000, seed=0)
+        assert 2.0 <= pred <= 3.0
+
+    def test_single_bin_degenerate(self):
+        assert predicted_replays_per_round(1, trials=10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            max_load_samples(0)
+        with pytest.raises(ParameterError):
+            max_load_samples(8, trials=0)
+
+    def test_deterministic_per_seed(self):
+        a = max_load_samples(16, trials=100, seed=7)
+        b = max_load_samples(16, trials=100, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestMeasuredDepths:
+    def test_measured_close_to_but_below_prediction(self):
+        measured = measured_replay_depths(15, 256, 32, samples=6, seed=0) - 1.0
+        predicted = predicted_replays_per_round(32, trials=1000, seed=0)
+        assert 1.8 <= measured.mean() <= 3.0
+        # Correlation discount: the structured merge conflicts slightly
+        # less than independent uniform accesses would.
+        assert measured.mean() <= predicted + 0.1
+
+    def test_report_contains_all_three_numbers(self):
+        text = conflict_statistics_report(samples=4)
+        assert "balls-in-bins" in text
+        assert "measured" in text
+        assert "Karsin" in text
+        assert "KS two-sample" in text  # scipy present in the dev env

@@ -1,0 +1,22 @@
+"""docs/API.md must match the live public surface (regenerate when stale)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_api_docs_are_current():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    expected = gen_api_docs.render()
+    path = ROOT / "docs" / "API.md"
+    assert path.exists(), "run `python tools/gen_api_docs.py`"
+    assert path.read_text() == expected, (
+        "docs/API.md is stale — regenerate with `python tools/gen_api_docs.py`"
+    )

@@ -1,0 +1,69 @@
+"""Tests for the Blelloch scan case study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import exclusive_scan_naive, exclusive_scan_padded
+from repro.errors import ParameterError
+
+
+def expected_scan(vals):
+    return np.concatenate([[0], np.cumsum(vals)[:-1]])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", [exclusive_scan_naive, exclusive_scan_padded])
+    @pytest.mark.parametrize("n,w", [(64, 8), (128, 16), (256, 32), (64, 32), (2, 8)])
+    def test_scans(self, fn, n, w):
+        rng = np.random.default_rng(n + w)
+        vals = rng.integers(-50, 50, n)
+        out, _ = fn(vals, w)
+        assert np.array_equal(out, expected_scan(vals))
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 2**32))
+    def test_property(self, log_n, seed):
+        n = 2**log_n
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 1000, n)
+        out, _ = exclusive_scan_padded(vals, w=4)
+        assert np.array_equal(out, expected_scan(vals))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            exclusive_scan_naive(np.arange(3), 8)  # not a power of two
+        with pytest.raises(ParameterError):
+            exclusive_scan_naive(np.arange(1), 8)  # too short
+        with pytest.raises(ParameterError):
+            exclusive_scan_naive(np.arange(48), 16)  # 24 not multiple of 16
+
+
+class TestConflictProfiles:
+    def test_naive_conflicts_heavily(self):
+        vals = np.arange(512)
+        _, naive = exclusive_scan_naive(vals, 32)
+        assert naive.shared_replays > 100
+
+    def test_padding_eliminates_conflicts(self):
+        for n, w in [(64, 8), (256, 16), (512, 32)]:
+            vals = np.arange(n)
+            _, padded = exclusive_scan_padded(vals, w)
+            assert padded.shared_replays == 0, (n, w)
+
+    def test_conflicts_grow_with_depth(self):
+        # Deeper trees -> larger strides -> more serialized levels.
+        _, small = exclusive_scan_naive(np.arange(64), 32)
+        _, big = exclusive_scan_naive(np.arange(512), 32)
+        assert big.shared_replays > small.shared_replays
+
+    def test_padding_costs_only_space(self):
+        # Same number of access rounds; only the conflict cycles differ.
+        vals = np.arange(256)
+        _, naive = exclusive_scan_naive(vals, 16)
+        _, padded = exclusive_scan_padded(vals, 16)
+        assert naive.shared_requests == padded.shared_requests
+        assert naive.shared_cycles > padded.shared_cycles

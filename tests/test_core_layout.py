@@ -1,0 +1,195 @@
+"""Tests for the pi / rho permutations and layout builders."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    apply_block_layout,
+    apply_warp_layout,
+    block_layout_position,
+    pi,
+    rho,
+    rho_inverse,
+    warp_layout_position,
+)
+from repro.core.layout import partition_size
+from repro.errors import ParameterError
+
+
+class TestPi:
+    def test_reverses(self):
+        assert pi(0, 10) == 9
+        assert pi(9, 10) == 0
+        assert pi(3, 10) == 6
+
+    def test_involution(self):
+        for total in [5, 12, 60]:
+            for x in range(total):
+                assert pi(pi(x, total), total) == x
+
+    def test_bounds(self):
+        with pytest.raises(ParameterError):
+            pi(10, 10)
+        with pytest.raises(ParameterError):
+            pi(-1, 10)
+
+
+class TestPartitionSize:
+    def test_values(self):
+        assert partition_size(9, 6) == 18  # d=3 -> 54/3
+        assert partition_size(12, 5) == 60  # d=1
+        assert partition_size(6, 4) == 12  # d=2
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_multiple_of_E_and_w(self, w, E):
+        size = partition_size(w, E)
+        assert size % E == 0
+        assert size % w == 0
+
+
+class TestRho:
+    def test_identity_when_coprime(self):
+        w, E = 12, 5
+        for p in range(w * E):
+            assert rho(p, w, E) == p
+            assert rho_inverse(p, w, E) == p
+
+    def test_shift_structure_w9_E6(self):
+        # Figure 3: w=9, E=6, d=3, partitions of 18 elements shifted by
+        # 0, 1, 2 positions.
+        w, E = 9, 6
+        assert rho(0, w, E) == 0  # partition 0: unshifted
+        assert rho(18, w, E) == 19  # partition 1: shift 1
+        assert rho(35, w, E) == 18  # wraps within partition 1
+        assert rho(36, w, E) == 38  # partition 2: shift 2
+        assert rho(53, w, E) == 37  # wraps within partition 2
+
+    def test_is_permutation(self):
+        for w, E in [(9, 6), (12, 6), (6, 4), (8, 8), (16, 12)]:
+            n = w * E
+            image = sorted(rho(p, w, E) for p in range(n))
+            assert image == list(range(n))
+
+    def test_inverse(self):
+        for w, E in [(9, 6), (12, 6), (6, 4), (8, 8), (12, 5)]:
+            for p in range(w * E):
+                assert rho_inverse(rho(p, w, E), w, E) == p
+
+    def test_block_scope_shift_mod_d(self):
+        # Figure 8: u=18, w=6, E=4, d=2 -> 6 partitions of 12 over 72
+        # positions, shifted by l mod 2 = 0,1,0,1,0,1.
+        u, w, E = 18, 6, 4
+        total = u * E
+        assert rho(0, w, E, total) == 0  # partition 0: shift 0
+        assert rho(12, w, E, total) == 13  # partition 1: shift 1
+        assert rho(24, w, E, total) == 24  # partition 2: shift 0 (2 mod 2)
+        assert rho(36, w, E, total) == 37  # partition 3: shift 1
+
+    def test_block_scope_is_permutation(self):
+        u, w, E = 18, 6, 4
+        total = u * E
+        image = sorted(rho(p, w, E, total) for p in range(total))
+        assert image == list(range(total))
+
+    def test_round_invariance(self):
+        # The shift preserves round indices: rho(p) is read in round
+        # p mod E because the partition size is a multiple of E.
+        for w, E in [(9, 6), (6, 4), (16, 12)]:
+            for p in range(w * E):
+                # After the shift, the element originally at position p sits
+                # at address rho(p); the schedule reads address sets R'_j
+                # such that original position p is consumed in round p mod E.
+                # Invariant encoded: rho(p) stays within p's partition.
+                size = partition_size(w, E)
+                assert rho(p, w, E) // size == p // size
+
+    def test_bad_total(self):
+        with pytest.raises(ParameterError):
+            rho(0, 9, 6, total=20)  # not a multiple of 18
+
+    def test_out_of_range(self):
+        with pytest.raises(ParameterError):
+            rho(54, 9, 6)
+        with pytest.raises(ParameterError):
+            rho_inverse(-1, 9, 6)
+
+    @given(st.integers(2, 32), st.integers(1, 32), st.integers(1, 4))
+    def test_rho_bank_of_equals_position_plus_shift(self, w, E, mult):
+        # The bank of rho(p) is always (p + ell mod d) mod w — including at
+        # wraparounds, because the partition size is a multiple of w, so
+        # subtracting it does not change the bank.
+        total = mult * partition_size(w, E)
+        d = math.gcd(w, E)
+        size = partition_size(w, E)
+        for p in range(0, total, max(1, total // 64)):
+            ell = p // size
+            addr = rho(p, w, E, total)
+            assert addr % w == (p + (ell % d)) % w
+
+
+class TestLayoutPositions:
+    def test_warp_positions(self):
+        # w*E = 60, |A| = 25: A keeps its index, B reverses from the top.
+        w, E, n_a = 12, 5, 25
+        assert warp_layout_position(0, n_a, w, E) == 0
+        assert warp_layout_position(24, n_a, w, E) == 24
+        assert warp_layout_position(25, n_a, w, E) == 59  # B[0] -> top
+        assert warp_layout_position(59, n_a, w, E) == 25  # B[34] -> bottom
+
+    def test_block_positions(self):
+        u, E, n_a = 18, 4, 30
+        assert block_layout_position(29, n_a, u, E) == 29
+        assert block_layout_position(30, n_a, u, E) == 71
+
+    def test_bounds(self):
+        with pytest.raises(ParameterError):
+            warp_layout_position(60, 25, 12, 5)
+        with pytest.raises(ParameterError):
+            warp_layout_position(0, 61, 12, 5)
+
+
+class TestApplyLayout:
+    def test_warp_layout_coprime(self):
+        w, E = 12, 5
+        a = np.arange(100, 125)  # |A| = 25
+        b = np.arange(500, 535)  # |B| = 35
+        layout = apply_warp_layout(a, b, w, E)
+        assert layout[0] == 100
+        assert layout[24] == 124
+        assert layout[59] == 500  # pi(B[0]) = 59
+        assert layout[25] == 534  # pi(B[34]) = 25
+
+    def test_warp_layout_noncoprime_uses_rho(self):
+        w, E = 9, 6
+        a = np.arange(1000, 1020)
+        b = np.arange(2000, 2034)
+        layout = apply_warp_layout(a, b, w, E)
+        # Position 18 (partition 1) shifts to address 19.
+        assert layout[19] == 1018
+        # Every element present exactly once.
+        assert sorted(layout) == sorted(list(a) + list(b))
+
+    def test_block_layout(self):
+        u, w, E = 18, 6, 4
+        a = np.arange(30)
+        b = np.arange(100, 142)
+        layout = apply_block_layout(a, b, u, w, E)
+        assert sorted(layout) == sorted(list(a) + list(b))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ParameterError):
+            apply_warp_layout(np.arange(3), np.arange(3), 12, 5)
+
+    def test_u_not_multiple_of_w(self):
+        with pytest.raises(ParameterError):
+            apply_block_layout(np.arange(10), np.arange(10), 5, 4, 4)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ParameterError):
+            apply_warp_layout(np.zeros((2, 2)), np.zeros(56), 12, 5)

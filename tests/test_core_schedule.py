@@ -1,0 +1,208 @@
+"""Tests for the gather/scatter round schedules (Sections 3.1-3.3).
+
+The central property — every round of every schedule is bank conflict free
+for arbitrary splits — is checked here both with paper-exact parameter sets
+and with hypothesis-generated ones.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlockSplit,
+    WarpSplit,
+    block_gather_schedule,
+    block_scatter_schedule,
+    naive_gather_schedule,
+    rounds_are_complete_residue_systems,
+    scatter_schedule,
+    schedule_conflicts,
+    schedule_is_conflict_free,
+    warp_gather_schedule,
+)
+from repro.errors import ScheduleError
+
+PAPER_CASES = [
+    (12, 5),  # Figure 2 (coprime)
+    (9, 6),  # Figure 3 (d = 3)
+    (32, 15),  # Section 5, tuned parameters
+    (32, 17),  # Section 5, Thrust defaults
+    (6, 4),  # Figure 8 warp geometry (d = 2)
+    (8, 8),  # extreme: E = w, d = w
+    (32, 12),  # d = 4
+]
+
+
+def random_split(w: int, E: int, rng: random.Random) -> WarpSplit:
+    return WarpSplit(E=E, a_sizes=tuple(rng.randint(0, E) for _ in range(w)))
+
+
+class TestWarpGatherSchedule:
+    @pytest.mark.parametrize("w,E", PAPER_CASES)
+    def test_conflict_free_random_splits(self, w, E):
+        rng = random.Random(w * 1000 + E)
+        for _ in range(25):
+            sched = warp_gather_schedule(random_split(w, E, rng))
+            assert schedule_is_conflict_free(sched, w)
+            assert rounds_are_complete_residue_systems(sched, w)
+
+    @pytest.mark.parametrize("w,E", PAPER_CASES)
+    def test_extreme_splits(self, w, E):
+        for sizes in [(0,) * w, (E,) * w, tuple(E if i % 2 else 0 for i in range(w))]:
+            sched = warp_gather_schedule(WarpSplit(E=E, a_sizes=sizes))
+            assert schedule_is_conflict_free(sched, w)
+
+    @pytest.mark.parametrize("w,E", PAPER_CASES)
+    def test_one_access_per_thread_per_round(self, w, E):
+        rng = random.Random(42)
+        sched = warp_gather_schedule(random_split(w, E, rng))
+        assert len(sched) == E
+        for rnd in sched:
+            assert sorted(a.thread for a in rnd) == list(range(w))
+
+    @pytest.mark.parametrize("w,E", PAPER_CASES)
+    def test_every_element_read_exactly_once(self, w, E):
+        rng = random.Random(7)
+        split = random_split(w, E, rng)
+        sched = warp_gather_schedule(split)
+        addresses = [a.address for rnd in sched for a in rnd]
+        assert sorted(addresses) == list(range(w * E))
+
+    def test_A_ascending_B_descending_per_thread(self):
+        # Section 3.1: A_i is read in ascending offset order across rounds,
+        # B_i in descending order.
+        split = WarpSplit(E=5, a_sizes=(2, 4, 1, 0, 5, 3, 2, 1, 4, 0, 3, 2))
+        sched = warp_gather_schedule(split)
+        for i in range(split.w):
+            reads = [sched[j][i] for j in range(split.E)]
+            a_reads = [(r.round_index, r.offset) for r in reads if r.kind == "A"]
+            b_reads = [(r.round_index, r.offset) for r in reads if r.kind == "B"]
+            k = split.a_offsets[i] % split.E
+            # In rotated round order (starting at k) A offsets ascend then
+            # B offsets descend.
+            rotated = sorted(reads, key=lambda r: (r.round_index - k) % split.E)
+            a_part = [r for r in rotated if r.kind == "A"]
+            b_part = [r for r in rotated if r.kind == "B"]
+            assert [r.offset for r in a_part] == list(range(len(a_reads)))
+            assert [r.offset for r in b_part] == list(range(len(b_reads)))[::-1]
+            # A block comes first in rotated order.
+            assert rotated[: len(a_part)] == a_part
+
+    @settings(max_examples=60)
+    @given(
+        st.integers(2, 24).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.integers(1, 24),
+                st.integers(0, 2**48 - 1),
+            )
+        )
+    )
+    def test_property_conflict_free_any_w_E_split(self, args):
+        w, E, seed = args
+        rng = random.Random(seed)
+        sched = warp_gather_schedule(random_split(w, E, rng))
+        assert schedule_is_conflict_free(sched, w)
+
+
+class TestBlockGatherSchedule:
+    @pytest.mark.parametrize(
+        "u,w,E",
+        [(18, 6, 4), (24, 12, 5), (27, 9, 6), (64, 32, 15), (64, 32, 17), (16, 8, 8)],
+    )
+    def test_conflict_free(self, u, w, E):
+        rng = random.Random(u + w + E)
+        for _ in range(10):
+            split = BlockSplit(
+                E=E, w=w, a_sizes=tuple(rng.randint(0, E) for _ in range(u))
+            )
+            sched = block_gather_schedule(split)
+            assert schedule_is_conflict_free(sched, w), schedule_conflicts(sched, w)[:3]
+
+    def test_figure8_geometry(self):
+        # u=18, w=6, E=4, d=2 — the supplemental Figure 8 example.
+        rng = random.Random(88)
+        for _ in range(50):
+            split = BlockSplit(
+                E=4, w=6, a_sizes=tuple(rng.randint(0, 4) for _ in range(18))
+            )
+            sched = block_gather_schedule(split)
+            assert schedule_is_conflict_free(sched, 6)
+
+    @settings(max_examples=40)
+    @given(
+        st.tuples(st.integers(2, 8), st.integers(1, 4), st.integers(1, 8), st.integers(0, 2**32))
+    )
+    def test_property_block_conflict_free(self, args):
+        w, n_warps, E, seed = args
+        u = w * n_warps
+        rng = random.Random(seed)
+        split = BlockSplit(E=E, w=w, a_sizes=tuple(rng.randint(0, E) for _ in range(u)))
+        sched = block_gather_schedule(split)
+        assert schedule_is_conflict_free(sched, w)
+
+
+class TestNaiveSchedule:
+    def test_figure7_stalls_exist(self):
+        # Without reversing B, some thread must read two elements in one
+        # round for some split (the stall Figure 7 depicts).
+        rng = random.Random(3)
+        found_stall = False
+        for _ in range(50):
+            split = random_split(12, 5, rng)
+            sched = naive_gather_schedule(split)
+            for rnd in sched:
+                threads = [a.thread for a in rnd]
+                if len(threads) != len(set(threads)):
+                    found_stall = True
+        assert found_stall
+
+    def test_all_elements_covered(self):
+        split = random_split(12, 5, random.Random(9))
+        sched = naive_gather_schedule(split)
+        positions = sorted(a.position for rnd in sched for a in rnd)
+        assert positions == list(range(60))
+
+    def test_no_stall_when_windows_disjoint(self):
+        # A split where every thread's A and B round windows happen to be
+        # disjoint has one access per thread per round even naively.
+        # E.g. all threads take everything from A.
+        split = WarpSplit(E=5, a_sizes=(5,) * 12)
+        sched = naive_gather_schedule(split)
+        for rnd in sched:
+            threads = [a.thread for a in rnd]
+            assert len(threads) == len(set(threads))
+
+
+class TestScatterSchedule:
+    @pytest.mark.parametrize("w,E", PAPER_CASES)
+    def test_conflict_free(self, w, E):
+        sched = scatter_schedule(w, E)
+        assert schedule_is_conflict_free(sched, w)
+        assert rounds_are_complete_residue_systems(sched, w)
+
+    @pytest.mark.parametrize("w,E", PAPER_CASES)
+    def test_covers_output(self, w, E):
+        sched = scatter_schedule(w, E)
+        addresses = sorted(a.address for rnd in sched for a in rnd)
+        assert addresses == list(range(w * E))
+        positions = sorted(a.position for rnd in sched for a in rnd)
+        assert positions == list(range(w * E))
+
+    def test_block_scatter_conflict_free(self):
+        for u, w, E in [(18, 6, 4), (64, 32, 15), (16, 8, 8), (27, 9, 6)]:
+            sched = block_scatter_schedule(u, w, E)
+            assert schedule_is_conflict_free(sched, w)
+            addresses = sorted(a.address for rnd in sched for a in rnd)
+            assert addresses == list(range(u * E))
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            scatter_schedule(0, 5)
+        with pytest.raises(ScheduleError):
+            block_scatter_schedule(10, 4, 5)  # u not multiple of w

@@ -1,0 +1,113 @@
+"""Tests for WarpSplit / BlockSplit bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import BlockSplit, WarpSplit
+from repro.errors import ParameterError
+
+
+def split_strategy(w=st.integers(2, 16), E=st.integers(1, 12)):
+    return st.tuples(w, E).flatmap(
+        lambda we: st.tuples(
+            st.just(we[1]),
+            st.lists(st.integers(0, we[1]), min_size=we[0], max_size=we[0]),
+        )
+    )
+
+
+class TestWarpSplit:
+    def test_offsets(self):
+        sp = WarpSplit(E=5, a_sizes=(2, 5, 0, 3))
+        assert sp.w == 4
+        assert sp.total == 20
+        assert sp.n_a == 10
+        assert sp.n_b == 10
+        assert sp.a_offsets == (0, 2, 7, 7)
+        assert sp.b_offsets == (0, 3, 3, 8)
+        assert sp.b_sizes() == (3, 0, 5, 2)
+
+    def test_offsets_identity(self):
+        # a_i + b_i = i*E for every thread (the paper's invariant).
+        sp = WarpSplit(E=7, a_sizes=(3, 0, 7, 7, 1, 2))
+        for i in range(sp.w):
+            assert sp.a_offsets[i] + sp.b_offsets[i] == i * sp.E
+
+    @given(split_strategy())
+    def test_invariants_hold_for_arbitrary_splits(self, data):
+        E, sizes = data
+        sp = WarpSplit(E=E, a_sizes=tuple(sizes))
+        assert sp.n_a + sp.n_b == sp.total
+        for i in range(sp.w):
+            assert sp.a_offsets[i] + sp.b_offsets[i] == i * E
+            assert 0 <= sp.a_sizes[i] <= E
+
+    def test_thread_of_offsets(self):
+        sp = WarpSplit(E=5, a_sizes=(2, 5, 0, 3))
+        assert sp.thread_of_a_offset(0) == 0
+        assert sp.thread_of_a_offset(1) == 0
+        assert sp.thread_of_a_offset(2) == 1
+        assert sp.thread_of_a_offset(9) == 3
+        assert sp.thread_of_b_offset(0) == 0
+        assert sp.thread_of_b_offset(2) == 0
+        assert sp.thread_of_b_offset(3) == 2
+        assert sp.thread_of_b_offset(9) == 3
+
+    def test_thread_of_offset_bounds(self):
+        sp = WarpSplit(E=5, a_sizes=(2, 5, 0, 3))
+        with pytest.raises(ParameterError):
+            sp.thread_of_a_offset(10)
+        with pytest.raises(ParameterError):
+            sp.thread_of_b_offset(-1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WarpSplit(E=0, a_sizes=(0,))
+        with pytest.raises(ParameterError):
+            WarpSplit(E=5, a_sizes=())
+        with pytest.raises(ParameterError):
+            WarpSplit(E=5, a_sizes=(6,))
+        with pytest.raises(ParameterError):
+            WarpSplit(E=5, a_sizes=(-1,))
+
+
+class TestBlockSplit:
+    def test_geometry(self):
+        sp = BlockSplit(E=4, w=6, a_sizes=tuple([2] * 18))
+        assert sp.u == 18
+        assert sp.n_warps == 3
+        assert sp.total == 72
+        assert sp.n_a == 36
+
+    def test_alpha(self):
+        # alpha_v is the A offset where warp v starts.
+        sp = BlockSplit(E=4, w=2, a_sizes=(1, 2, 3, 4, 0, 0))
+        assert sp.alpha(0) == 0
+        assert sp.alpha(1) == 3
+        assert sp.alpha(2) == 10
+
+    def test_warp_split_extraction(self):
+        sp = BlockSplit(E=4, w=2, a_sizes=(1, 2, 3, 4, 0, 0))
+        ws = sp.warp_split(1)
+        assert ws.a_sizes == (3, 4)
+        assert ws.E == 4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BlockSplit(E=4, w=6, a_sizes=tuple([1] * 8))  # 8 % 6 != 0
+        with pytest.raises(ParameterError):
+            BlockSplit(E=4, w=0, a_sizes=(1,))
+        with pytest.raises(ParameterError):
+            BlockSplit(E=0, w=1, a_sizes=(0,))
+        with pytest.raises(ParameterError):
+            BlockSplit(E=4, w=2, a_sizes=(5, 0))
+
+    def test_alpha_bounds(self):
+        sp = BlockSplit(E=4, w=2, a_sizes=(1, 2))
+        with pytest.raises(ParameterError):
+            sp.alpha(1)
+        with pytest.raises(ParameterError):
+            sp.warp_split(-1)

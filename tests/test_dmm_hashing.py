@@ -1,0 +1,176 @@
+"""Tests for the hashed-DMM defense and the legacy worst-case generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dmm import HashedBankModel, HashedSharedMemory, UniversalHash
+from repro.dmm.hashing import HASH_COMPUTE_OPS
+from repro.errors import ParameterError, WorstCaseConstructionError
+from repro.sim import Counters
+from repro.worstcase import warp_tuples, worstcase_merge_inputs
+from repro.worstcase.legacy import legacy_domain, legacy_warp_tuples
+
+
+class TestUniversalHash:
+    def test_range(self):
+        h = UniversalHash.draw(32, seed=1)
+        for x in range(1000):
+            assert 0 <= h(x) < 32
+
+    def test_deterministic_per_seed(self):
+        h1 = UniversalHash.draw(32, seed=5)
+        h2 = UniversalHash.draw(32, seed=5)
+        h3 = UniversalHash.draw(32, seed=6)
+        xs = list(range(100))
+        assert [h1(x) for x in xs] == [h2(x) for x in xs]
+        assert [h1(x) for x in xs] != [h3(x) for x in xs]
+
+    def test_collision_probability_near_universal(self):
+        # Over many family members, Pr[h(x) = h(y)] ~ 1/w for x != y.
+        w = 32
+        x, y = 12345, 54321
+        hits = sum(
+            1 for s in range(400) if UniversalHash.draw(w, seed=s)(x) == UniversalHash.draw(w, seed=s)(y)
+        )
+        assert hits / 400 < 3.0 / w
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UniversalHash(a=0, b=0, p=101, w=8)
+        with pytest.raises(ParameterError):
+            UniversalHash(a=1, b=-1, p=101, w=8)
+        with pytest.raises(ParameterError):
+            UniversalHash(a=1, b=0, p=101, w=0)
+
+
+class TestHashedBankModel:
+    def test_defeats_the_strided_adversary(self):
+        # Stride w (all one bank under the stock map) spreads under hashing.
+        w = 32
+        stock_cost = 32  # every address in bank 0
+        hashed = HashedBankModel(UniversalHash.draw(w, seed=2))
+        cost = hashed.round_cost([i * w for i in range(w)])
+        assert cost.cycles < stock_cost / 3  # ~ max load of 32 balls/32 bins
+
+    def test_broadcast_still_free(self):
+        hashed = HashedBankModel(UniversalHash.draw(8, seed=0))
+        cost = hashed.round_cost([5] * 8)
+        assert cost.cycles == 1 and cost.broadcasts == 7
+
+    def test_empty_round(self):
+        hashed = HashedBankModel(UniversalHash.draw(8, seed=0))
+        assert hashed.round_cost([]).cycles == 0
+
+
+class TestHashedSharedMemory:
+    def test_data_semantics_unchanged(self):
+        shm = HashedSharedMemory(64, w=8, seed=3)
+        shm.warp_write([(0, 5, 42), (1, 6, 43)])
+        assert shm.warp_read([(0, 5), (1, 6)]) == [42, 43]
+
+    def test_hash_compute_charged_per_request(self):
+        c = Counters()
+        shm = HashedSharedMemory(64, w=8, counters=c, seed=3)
+        shm.warp_read([(t, t) for t in range(8)])
+        assert c.compute_ops == 8 * HASH_COMPUTE_OPS
+
+    def test_structured_pass_is_no_longer_free(self):
+        # The cost of generality: a conflict-free consecutive round under
+        # the stock map usually conflicts under hashing.
+        replay_totals = 0
+        for seed in range(5):
+            c = Counters()
+            shm = HashedSharedMemory(32 * 15, w=32, counters=c, seed=seed)
+            shm.warp_read([(t, t) for t in range(32)])  # consecutive: free normally
+            replay_totals += c.shared_replays
+        assert replay_totals > 0
+
+    def test_adversarial_scans_fall_to_random_levels(self):
+        # The benefit of generality: the Section 4 adversary's aligned
+        # scans stop aligning.
+        w, E = 32, 15
+        a, b = worstcase_merge_inputs(w, E)
+        # Replay the adversary's scan address streams against both maps.
+        from repro.sim import BankModel
+
+        stock = BankModel(w)
+        hashed = HashedBankModel(UniversalHash.draw(w, seed=9))
+        # The aligned (E,0) scans: each step, the scan threads' addresses.
+        starts = []
+        acc = 0
+        for a_cnt, _ in warp_tuples(w, E):
+            if a_cnt == E:
+                starts.append(acc)
+            acc += a_cnt
+        stock_replays = hashed_replays = 0
+        for step in range(E):
+            addrs = [s + step for s in starts]
+            stock_replays += stock.round_cost(addrs).replays
+            hashed_replays += hashed.round_cost(addrs).replays
+        assert hashed_replays < stock_replays / 2
+
+
+class TestLegacyGenerator:
+    def test_domain(self):
+        assert legacy_domain(32, 17)
+        assert legacy_domain(32, 21)
+        assert not legacy_domain(32, 15)  # E < w/2
+        assert not legacy_domain(32, 16)  # not coprime
+        assert not legacy_domain(12, 7)  # w not a power of two
+        assert not legacy_domain(32, 32)  # E = w excluded
+
+    def test_matches_generalization_on_shared_domain(self):
+        for w, E in [(32, 17), (32, 19), (32, 21), (16, 9), (16, 11), (8, 5)]:
+            assert legacy_warp_tuples(w, E) == warp_tuples(w, E)
+
+    def test_outside_domain_raises(self):
+        with pytest.raises(WorstCaseConstructionError):
+            legacy_warp_tuples(32, 15)
+        with pytest.raises(WorstCaseConstructionError):
+            legacy_warp_tuples(12, 9)
+
+    def test_generalization_strictly_extends(self):
+        # Points the prior work could not handle, now covered.
+        for w, E in [(32, 15), (12, 9), (9, 6), (32, 16)]:
+            assert not legacy_domain(w, E)
+            assert len(warp_tuples(w, E)) == w  # the generalization delivers
+
+
+class TestHashedPipeline:
+    def test_hashed_serial_merge_defends_in_full_simulation(self):
+        """End-to-end: the baseline merge kernel on hashed shared memory."""
+        from repro.mergesort import serial_merge_block
+
+        w, E = 32, 15
+        a, b = worstcase_merge_inputs(w, E)
+        _, stock = serial_merge_block(a, b, E, w, simulate_search=False)
+
+        def factory(size, w_, counters, trace):
+            return HashedSharedMemory(size, w_, counters=counters, trace=trace, seed=11)
+
+        _, hashed = serial_merge_block(
+            a, b, E, w, simulate_search=False, shared_factory=factory
+        )
+        # Defense: adversarial replays collapse toward random levels...
+        assert hashed.merge.shared_replays < stock.merge.shared_replays / 3
+        # ...but never to zero, and every access pays the hash tax.
+        assert hashed.merge.shared_replays > 0
+        assert hashed.merge.compute_ops > stock.merge.compute_ops
+
+    def test_hashed_merge_still_sorts_correctly(self):
+        from repro.mergesort import serial_merge_block
+
+        w, E = 8, 5
+        rng = np.random.default_rng(3)
+        total = 16 * E
+        vals = np.arange(total)
+        mask = rng.random(total) < 0.5
+        a, b = vals[mask], vals[~mask]
+
+        def factory(size, w_, counters, trace):
+            return HashedSharedMemory(size, w_, counters=counters, trace=trace, seed=4)
+
+        merged, _ = serial_merge_block(a, b, E, w, shared_factory=factory)
+        assert np.array_equal(merged, vals)

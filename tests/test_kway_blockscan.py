@@ -1,0 +1,108 @@
+"""Tests for k-way run merging and the block-level dual scan."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import BlockSplit
+from repro.core.dual_scan import conflict_free_dual_scan_block
+from repro.errors import ParameterError
+from repro.mergesort.kway import merge_runs, merge_two_runs
+
+
+class TestMergeTwoRuns:
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    def test_arbitrary_lengths(self, variant):
+        rng = np.random.default_rng(0)
+        a = np.sort(rng.integers(0, 10**6, 133))
+        b = np.sort(rng.integers(0, 10**6, 61))
+        merged, stats = merge_two_runs(a, b, E=5, u=8, w=8, variant=variant)
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+        if variant == "cf":
+            assert stats.merge.shared_replays == 0
+
+    def test_one_empty_side(self):
+        a = np.arange(50)
+        merged, _ = merge_two_runs(a, np.array([], dtype=np.int64), E=5, u=8, w=8)
+        assert np.array_equal(merged, a)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ParameterError):
+            merge_two_runs([3, 1], [2], E=5, u=8, w=8)
+
+
+class TestMergeRuns:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_k_runs(self, k):
+        rng = np.random.default_rng(k)
+        runs = [np.sort(rng.integers(0, 10**6, int(rng.integers(1, 90)))) for _ in range(k)]
+        merged, _ = merge_runs(runs, E=5, u=8, w=8)
+        assert np.array_equal(merged, np.sort(np.concatenate(runs)))
+
+    def test_cf_variant_conflict_free(self):
+        rng = np.random.default_rng(9)
+        runs = [np.sort(rng.integers(0, 10**6, 80)) for _ in range(4)]
+        merged, stats = merge_runs(runs, E=5, u=8, w=8, variant="cf")
+        assert np.array_equal(merged, np.sort(np.concatenate(runs)))
+        assert stats.merge.shared_replays == 0
+
+    def test_empty_input(self):
+        merged, stats = merge_runs([], E=5, u=8, w=8)
+        assert len(merged) == 0
+        assert stats.merge.shared_rounds == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            merge_runs([[1, 2], [4, 3]], E=5, u=8, w=8)
+        with pytest.raises(ParameterError):
+            merge_runs([np.zeros((2, 2))], E=5, u=8, w=8)
+        with pytest.raises(ParameterError):
+            merge_runs([[1]], E=5, u=8, w=8, variant="bogus")
+
+
+class TestBlockDualScan:
+    def _inputs(self, split, seed=0):
+        rng = random.Random(seed)
+        total = split.total
+        merged = np.cumsum([rng.randint(0, 4) for _ in range(total)])
+        a_vals, b_vals = [], []
+        pos = 0
+        for i in range(split.u):
+            n_ai = split.a_sizes[i]
+            a_vals.extend(merged[pos : pos + n_ai])
+            b_vals.extend(merged[pos + n_ai : pos + split.E])
+            pos += split.E
+        return np.array(a_vals), np.array(b_vals), merged
+
+    @pytest.mark.parametrize("u,w,E", [(18, 6, 4), (24, 12, 5), (16, 8, 8)])
+    def test_block_merge_scan(self, u, w, E):
+        rng = random.Random(u)
+        split = BlockSplit(E=E, w=w, a_sizes=tuple(rng.randint(0, E) for _ in range(u)))
+        a, b, merged = self._inputs(split, seed=u)
+        out, counters = conflict_free_dual_scan_block(a, b, split, "merge")
+        assert counters.shared_replays == 0
+        assert np.array_equal(np.sort(out), np.sort(merged))
+
+    def test_custom_function(self):
+        split = BlockSplit(E=4, w=6, a_sizes=(2,) * 18)
+        a, b, _ = self._inputs(split, seed=1)
+        out, counters = conflict_free_dual_scan_block(
+            a, b, split, lambda ar, br: np.full(4, len(ar))
+        )
+        assert counters.shared_replays == 0
+        assert set(out.tolist()) == {2}
+
+    def test_unknown_name(self):
+        split = BlockSplit(E=4, w=6, a_sizes=(2,) * 18)
+        a, b, _ = self._inputs(split)
+        with pytest.raises(ParameterError):
+            conflict_free_dual_scan_block(a, b, split, "nope")
+
+    def test_wrong_output_length(self):
+        split = BlockSplit(E=4, w=6, a_sizes=(2,) * 18)
+        a, b, _ = self._inputs(split)
+        with pytest.raises(ParameterError):
+            conflict_free_dual_scan_block(a, b, split, lambda ar, br: np.zeros(2))

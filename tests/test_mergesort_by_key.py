@@ -1,0 +1,74 @@
+"""Tests for key-value sorting (sort_by_key)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mergesort.by_key import KEY_LIMIT, sort_by_key
+
+
+class TestSortByKey:
+    def test_basic(self):
+        keys = np.array([5, 1, 4, 2, 3] * 8)
+        values = np.arange(40) * 10
+        sk, sv, _ = sort_by_key(keys, values, E=5, u=8, w=8)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(sk, keys[order])
+        assert np.array_equal(sv, values[order])
+
+    def test_stability_with_duplicate_keys(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 5, 200)  # heavy duplication
+        values = np.arange(200)
+        sk, sv, _ = sort_by_key(keys, values, E=5, u=8, w=8)
+        # Stable: among equal keys, payloads (original indices) ascend.
+        for k in range(5):
+            payloads = sv[sk == k]
+            assert np.array_equal(payloads, np.sort(payloads))
+
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    def test_both_variants(self, variant):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 10**6, 300)
+        values = rng.integers(0, 10**6, 300)
+        sk, sv, result = sort_by_key(keys, values, E=5, u=8, w=8, variant=variant)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(sk, keys[order])
+        assert np.array_equal(sv, values[order])
+        if variant == "cf":
+            assert result.merge_replays == 0
+
+    def test_non_integer_values_supported(self):
+        keys = np.array([3, 1, 2] * 8)
+        values = np.array([f"item{i}" for i in range(24)])
+        sk, sv, _ = sort_by_key(keys, values, E=3, u=8, w=4)
+        assert sv[0] == "item1"  # smallest key's first payload
+
+    def test_empty(self):
+        sk, sv, _ = sort_by_key(np.array([], dtype=np.int64), np.array([]), E=5, u=8, w=8)
+        assert len(sk) == 0 and len(sv) == 0
+
+    def test_payload_traffic_accounted(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 100, 320)
+        plain_keys = keys.copy()
+        _, _, kv = sort_by_key(keys, np.arange(320), E=5, u=8, w=8)
+        from repro.mergesort import gpu_mergesort
+
+        plain = gpu_mergesort(plain_keys, E=5, u=8, w=8)
+        assert (
+            kv.global_stats.global_read_transactions
+            > plain.global_stats.global_read_transactions
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            sort_by_key(np.array([1, 2]), np.array([1]), E=5, u=8, w=8)
+        with pytest.raises(ParameterError):
+            sort_by_key(np.array([KEY_LIMIT]), np.array([0]), E=5, u=8, w=8)
+        with pytest.raises(ParameterError):
+            sort_by_key(np.array([-1]), np.array([0]), E=5, u=8, w=8)
+        with pytest.raises(ParameterError):
+            sort_by_key(np.zeros((2, 2)), np.zeros((2, 2)), E=5, u=8, w=8)

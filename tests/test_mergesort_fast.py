@@ -1,0 +1,171 @@
+"""Cross-validation of the vectorized fast engine against the simulator.
+
+The throughput experiments (Figures 5-6) rely on the fast engine; these
+tests guarantee it reports *identical* conflict statistics to the lockstep
+simulation on the same inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mergesort import cf_merge_block, serial_merge_block
+from repro.mergesort.fast import (
+    cf_merge_profile,
+    count_round,
+    search_profile,
+    serial_merge_profile,
+)
+from repro.sim import Counters
+
+
+def split_inputs(rng, total, n_a):
+    src = np.sort(rng.integers(0, 5 * total, total))
+    idx = rng.permutation(total)
+    return np.sort(src[idx[:n_a]]), np.sort(src[idx[n_a:]])
+
+
+SHARED_FIELDS = [
+    "shared_read_rounds",
+    "shared_write_rounds",
+    "shared_cycles",
+    "shared_replays",
+    "shared_excess",
+    "shared_requests",
+    "broadcast_reads",
+]
+
+
+def assert_shared_equal(sim: Counters, fast: Counters):
+    for f in SHARED_FIELDS:
+        assert getattr(sim, f) == getattr(fast, f), f
+
+
+class TestCountRound:
+    def test_matches_bank_model(self):
+        from repro.sim import BankModel
+
+        rng = np.random.default_rng(0)
+        bm = BankModel(8)
+        for _ in range(50):
+            addrs = rng.integers(0, 64, 16)
+            c = Counters()
+            count_round(addrs, np.ones(16, dtype=bool), np.arange(16), 8, c)
+            # Two warps of 8; compare with per-warp BankModel costs.
+            c0 = bm.round_cost(addrs[:8])
+            c1 = bm.round_cost(addrs[8:])
+            assert c.shared_cycles == c0.cycles + c1.cycles
+            assert c.shared_replays == c0.replays + c1.replays
+            assert c.shared_excess == c0.excess + c1.excess
+            assert c.broadcast_reads == c0.broadcasts + c1.broadcasts
+
+    def test_inactive_threads_skip(self):
+        c = Counters()
+        count_round(
+            np.array([0, 8, 16]), np.array([True, False, False]), np.arange(3), 8, c
+        )
+        assert c.shared_cycles == 1
+        assert c.shared_requests == 1
+
+    def test_all_inactive_is_free(self):
+        c = Counters()
+        count_round(np.array([0]), np.array([False]), np.array([0]), 8, c)
+        assert c.shared_rounds == 0
+
+    def test_write_kind(self):
+        c = Counters()
+        count_round(np.array([0, 1]), np.ones(2, dtype=bool), np.arange(2), 8, c, kind="write")
+        assert c.shared_write_rounds == 1
+        assert c.shared_read_rounds == 0
+
+
+class TestSerialMergeProfile:
+    @pytest.mark.parametrize("policy", ["bounded", "always"])
+    @pytest.mark.parametrize("w,E,u", [(12, 5, 24), (32, 15, 64), (9, 6, 18), (8, 8, 16)])
+    def test_matches_simulator(self, policy, w, E, u):
+        rng = np.random.default_rng(w * E + (policy == "always"))
+        for n_a in [0, u * E // 3, u * E]:
+            a, b = split_inputs(rng, u * E, n_a)
+            _, sim = serial_merge_block(a, b, E, w, read_policy=policy)
+            fast = serial_merge_profile(a, b, E, w, read_policy=policy)
+            assert_shared_equal(sim.merge, fast)
+
+    def test_bad_policy(self):
+        with pytest.raises(ParameterError):
+            serial_merge_profile([1], [2], 1, 2, read_policy="x")
+
+
+class TestSearchProfile:
+    @pytest.mark.parametrize("w,E,u", [(12, 5, 24), (32, 15, 64), (9, 6, 18)])
+    def test_matches_simulator_plain(self, w, E, u):
+        rng = np.random.default_rng(17)
+        a, b = split_inputs(rng, u * E, u * E // 2)
+        _, sim = serial_merge_block(a, b, E, w)
+        fast = search_profile(a, b, E, w)
+        assert_shared_equal(sim.search, fast)
+
+    @pytest.mark.parametrize("w,E,u", [(12, 5, 24), (9, 6, 18)])
+    def test_matches_simulator_mapped(self, w, E, u):
+        rng = np.random.default_rng(18)
+        a, b = split_inputs(rng, u * E, u * E // 3)
+        _, sim = cf_merge_block(a, b, E, w)
+        fast = search_profile(a, b, E, w, mapped=True)
+        assert_shared_equal(sim.search, fast)
+
+
+class TestCFProfile:
+    @pytest.mark.parametrize("w,E,u", [(12, 5, 24), (32, 15, 64), (32, 17, 32)])
+    def test_matches_simulator(self, w, E, u):
+        rng = np.random.default_rng(19)
+        a, b = split_inputs(rng, u * E, u * E // 2)
+        _, sim = cf_merge_block(a, b, E, w, simulate_search=False)
+        fast = cf_merge_profile(a, b, E, w)
+        assert sim.merge.shared_read_rounds == fast.shared_read_rounds
+        assert sim.merge.shared_write_rounds == fast.shared_write_rounds
+        assert sim.merge.shared_cycles == fast.shared_cycles
+        assert sim.merge.shared_replays == fast.shared_replays == 0
+
+    def test_input_independence(self):
+        # The entire point: the CF profile depends only on the geometry.
+        rng = np.random.default_rng(20)
+        a1, b1 = split_inputs(rng, 480, 100)
+        a2, b2 = split_inputs(rng, 480, 400)
+        p1 = cf_merge_profile(a1, b1, 15, 32)
+        p2 = cf_merge_profile(a2, b2, 15, 32)
+        assert p1.as_dict() == p2.as_dict()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            cf_merge_profile(np.arange(3), np.arange(4), 5, 2)
+
+
+class TestBlocksortProfile:
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    @pytest.mark.parametrize("w,E,u", [(8, 5, 16), (32, 15, 64), (16, 7, 32)])
+    def test_matches_simulator(self, variant, w, E, u):
+        from repro.mergesort.blocksort import blocksort_tile
+        from repro.mergesort.fast import blocksort_profile
+
+        rng = np.random.default_rng(w + E + u)
+        tile = rng.integers(0, 10**6, u * E)
+        fast = blocksort_profile(tile, E, w, variant)
+        _, sim = blocksort_tile(tile, E, w, variant)
+        assert_shared_equal(sim.total, fast)
+
+    def test_noncoprime_cf_rejected(self):
+        from repro.mergesort.fast import blocksort_profile
+
+        with pytest.raises(ParameterError):
+            blocksort_profile(np.arange(16 * 8), 8, 8, "cf")
+
+    def test_geometry_validation(self):
+        from repro.mergesort.fast import blocksort_profile
+
+        with pytest.raises(ParameterError):
+            blocksort_profile(np.arange(41), 5, 8)  # not a multiple of E
+        with pytest.raises(ParameterError):
+            blocksort_profile(np.arange(24 * 5), 5, 8)  # u=24 not power of 2
+        with pytest.raises(ParameterError):
+            blocksort_profile(np.arange(16 * 5), 5, 8, "merge-insertion")

@@ -1,0 +1,134 @@
+"""Tests for merge-path order statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mergesort import (
+    block_split_from_merge_path,
+    merge_path_partition,
+    merge_path_search,
+    warp_split_from_merge_path,
+)
+
+
+class TestMergePathSearch:
+    def test_simple(self):
+        assert merge_path_search([1, 3, 5], [2, 4, 6], 0) == (0, 0)
+        assert merge_path_search([1, 3, 5], [2, 4, 6], 3) == (2, 1)
+        assert merge_path_search([1, 3, 5], [2, 4, 6], 6) == (3, 3)
+
+    def test_all_a_smaller(self):
+        assert merge_path_search([1, 2, 3], [10, 11], 3) == (3, 0)
+        assert merge_path_search([1, 2, 3], [10, 11], 4) == (3, 1)
+
+    def test_empty_sides(self):
+        assert merge_path_search([], [1, 2, 3], 2) == (0, 2)
+        assert merge_path_search([1, 2, 3], [], 2) == (2, 0)
+
+    def test_stability_ties_prefer_a(self):
+        # Equal keys: A's copy is consumed first.
+        assert merge_path_search([5, 5], [5, 5], 1) == (1, 0)
+        assert merge_path_search([5, 5], [5, 5], 2) == (2, 0)
+        assert merge_path_search([5, 5], [5, 5], 3) == (2, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ParameterError):
+            merge_path_search([1], [2], 3)
+
+    @given(
+        st.lists(st.integers(0, 50), max_size=40),
+        st.lists(st.integers(0, 50), max_size=40),
+        st.integers(0, 80),
+    )
+    def test_cut_property(self, a, b, diag):
+        a, b = sorted(a), sorted(b)
+        if diag > len(a) + len(b):
+            return
+        ai, bi = merge_path_search(a, b, diag)
+        assert ai + bi == diag
+        assert 0 <= ai <= len(a) and 0 <= bi <= len(b)
+        # The cut is a valid merge prefix: every taken element is <= every
+        # remaining element on the other side (with A preferred on ties).
+        if ai > 0 and bi < len(b):
+            assert a[ai - 1] <= b[bi]
+        if bi > 0 and ai < len(a):
+            assert b[bi - 1] < a[ai]
+
+    @given(
+        st.lists(st.integers(0, 30), max_size=30),
+        st.lists(st.integers(0, 30), max_size=30),
+    )
+    def test_prefix_equals_stable_merge_prefix(self, a, b):
+        a, b = sorted(a), sorted(b)
+        merged = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i] <= b[j]:
+                merged.append(("a", a[i])); i += 1
+            else:
+                merged.append(("b", b[j])); j += 1
+        merged += [("a", x) for x in a[i:]] + [("b", x) for x in b[j:]]
+        for diag in range(len(a) + len(b) + 1):
+            ai, bi = merge_path_search(a, b, diag)
+            assert ai == sum(1 for s, _ in merged[:diag] if s == "a")
+
+
+class TestPartitionAndSplits:
+    def test_partition_covers_everything(self):
+        a = np.arange(0, 40, 2)
+        b = np.arange(1, 41, 2)
+        cuts = merge_path_partition(a, b, 8)
+        assert cuts[0] == (0, 0)
+        assert cuts[-1] == (20, 20)
+        for (a0, b0), (a1, b1) in zip(cuts, cuts[1:]):
+            assert a1 >= a0 and b1 >= b0
+
+    def test_bad_chunk(self):
+        with pytest.raises(ParameterError):
+            merge_path_partition([1], [2], 0)
+
+    def test_warp_split_round_trip(self):
+        rng = np.random.default_rng(5)
+        E, w = 5, 12
+        src = np.sort(rng.integers(0, 100, w * E))
+        idx = rng.permutation(w * E)
+        a = np.sort(src[idx[:30]])
+        b = np.sort(src[idx[30:]])
+        split = warp_split_from_merge_path(a, b, E)
+        assert split.w == w
+        assert split.n_a == 30
+        # Each thread's window of the stable merge contains exactly
+        # a_sizes[i] elements tagged as coming from A.
+        tags = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i] <= b[j]:
+                tags.append("a"); i += 1
+            else:
+                tags.append("b"); j += 1
+        tags += ["a"] * (len(a) - i) + ["b"] * (len(b) - j)
+        for t in range(w):
+            window = tags[t * E : (t + 1) * E]
+            assert window.count("a") == split.a_sizes[t]
+
+    def test_block_split(self):
+        rng = np.random.default_rng(6)
+        E, w, u = 4, 6, 18
+        src = np.sort(rng.integers(0, 100, u * E))
+        idx = rng.permutation(u * E)
+        a = np.sort(src[idx[:40]])
+        b = np.sort(src[idx[40:]])
+        split = block_split_from_merge_path(a, b, E, w)
+        assert split.u == u
+        assert split.n_a == 40
+
+    def test_split_size_validation(self):
+        with pytest.raises(ParameterError):
+            warp_split_from_merge_path([1, 2], [3], 2)  # total=3 not multiple
+        with pytest.raises(ParameterError):
+            block_split_from_merge_path(np.arange(5), np.arange(5), 2, 4)  # u=5

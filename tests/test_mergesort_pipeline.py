@@ -1,0 +1,124 @@
+"""End-to-end tests for the full mergesort pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mergesort import gpu_mergesort
+from repro.mergesort.serial_merge import SENTINEL
+
+
+class TestPipelineCorrectness:
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    @pytest.mark.parametrize("n", [1, 39, 40, 41, 640, 1000])
+    def test_sorts_random_inputs(self, variant, n):
+        rng = np.random.default_rng(n)
+        data = rng.integers(0, 10**9, n)
+        res = gpu_mergesort(data, E=5, u=8, w=8, variant=variant)
+        assert np.array_equal(res.data, np.sort(data))
+        assert res.n == n
+
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    def test_sorts_structured_inputs(self, variant):
+        n = 512
+        for data in [
+            np.arange(n),
+            np.arange(n)[::-1].copy(),
+            np.zeros(n, dtype=np.int64),
+            np.tile([3, 1, 2], n)[:n],
+            np.concatenate([np.arange(n // 2), np.arange(n // 2)]),
+        ]:
+            res = gpu_mergesort(data, E=5, u=8, w=8, variant=variant)
+            assert np.array_equal(res.data, np.sort(data))
+
+    def test_empty_input(self):
+        res = gpu_mergesort(np.array([], dtype=np.int64), E=5, u=8, w=8)
+        assert len(res.data) == 0
+
+    def test_negative_values(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(-(10**6), 10**6, 300)
+        res = gpu_mergesort(data, E=5, u=8, w=8, variant="cf")
+        assert np.array_equal(res.data, np.sort(data))
+
+    def test_paper_parameters_small_scale(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2**31, 2 * 32 * 15)
+        for variant in ("thrust", "cf"):
+            res = gpu_mergesort(data, E=15, u=32, w=32, variant=variant)
+            assert np.array_equal(res.data, np.sort(data))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(-(2**40), 2**40), min_size=0, max_size=400))
+    def test_property_sorts_anything(self, values):
+        data = np.array(values, dtype=np.int64)
+        res = gpu_mergesort(data, E=3, u=8, w=4, variant="cf")
+        assert np.array_equal(res.data, np.sort(data))
+
+    def test_sentinel_in_input_rejected(self):
+        with pytest.raises(ParameterError):
+            gpu_mergesort(np.array([SENTINEL]), E=5, u=8, w=8)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ParameterError):
+            gpu_mergesort(np.zeros((2, 2)), E=5, u=8, w=8)
+
+    def test_bad_variant(self):
+        with pytest.raises(ParameterError):
+            gpu_mergesort(np.arange(4), E=5, u=8, w=8, variant="quick")
+
+
+class TestPipelineStatistics:
+    def test_cf_merge_phase_conflict_free_end_to_end(self):
+        # The paper's nvprof claim, end to end: zero conflicts during
+        # merging, for random AND structured inputs.
+        rng = np.random.default_rng(7)
+        for data in [rng.integers(0, 10**6, 800), np.arange(800)[::-1].copy()]:
+            res = gpu_mergesort(data, E=5, u=8, w=8, variant="cf")
+            assert res.merge_replays == 0
+
+    def test_thrust_conflicts_nonzero_on_random(self):
+        rng = np.random.default_rng(8)
+        data = rng.integers(0, 10**6, 800)
+        res = gpu_mergesort(data, E=5, u=8, w=8, variant="thrust")
+        assert res.merge_replays > 0
+
+    def test_level_count(self):
+        rng = np.random.default_rng(9)
+        tile = 8 * 5
+        res = gpu_mergesort(rng.integers(0, 100, 8 * tile), E=5, u=8, w=8)
+        assert res.merge_level_count == 3  # 8 tiles -> 3 pairwise levels
+        assert len(res.per_level) == 3
+
+    def test_odd_tile_count_promotes_last_run(self):
+        rng = np.random.default_rng(10)
+        tile = 8 * 5
+        res = gpu_mergesort(rng.integers(0, 100, 3 * tile), E=5, u=8, w=8)
+        assert np.array_equal(res.data, np.sort(res.data))
+        assert res.merge_level_count == 2
+
+    def test_global_traffic_accounted(self):
+        rng = np.random.default_rng(11)
+        res = gpu_mergesort(rng.integers(0, 100, 800), E=5, u=8, w=8)
+        assert res.global_stats.global_read_transactions > 0
+        assert res.global_stats.global_write_transactions > 0
+
+    def test_total_counters_roll_up(self):
+        rng = np.random.default_rng(12)
+        res = gpu_mergesort(rng.integers(0, 100, 400), E=5, u=8, w=8)
+        total = res.total_counters
+        assert total.shared_rounds >= res.merge_stats.merge.shared_rounds
+        assert total.compute_ops > 0
+
+    def test_search_traffic_optional(self):
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 100, 400)
+        with_search = gpu_mergesort(data, E=5, u=8, w=8, simulate_search=True)
+        without = gpu_mergesort(data, E=5, u=8, w=8, simulate_search=False)
+        assert without.merge_stats.search.shared_rounds == 0
+        assert with_search.merge_stats.search.shared_rounds > 0
+        assert np.array_equal(with_search.data, without.data)

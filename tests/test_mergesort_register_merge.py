@@ -1,0 +1,89 @@
+"""Tests for the data-oblivious register networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mergesort.register_merge import (
+    bitonic_merge_rotated,
+    compare_exchange_count_odd_even,
+    odd_even_network,
+    odd_even_transposition_sort,
+)
+
+
+class TestOddEvenNetwork:
+    def test_small_networks(self):
+        assert odd_even_network(1) == []
+        assert odd_even_network(2) == [(0, 1)]  # the odd phase is empty
+        # n=3: phases (0,1) / (1,2) / (0,1)
+        assert odd_even_network(3) == [(0, 1), (1, 2), (0, 1)]
+
+    def test_counts(self):
+        # n phases of floor(n/2)/floor((n-1)/2) alternating comparators.
+        assert compare_exchange_count_odd_even(4) == 2 + 1 + 2 + 1
+        assert compare_exchange_count_odd_even(15) == 15 * 7
+        assert compare_exchange_count_odd_even(17) == 17 * 8
+
+    def test_indices_static_and_adjacent(self):
+        for n in range(2, 20):
+            for i, j in odd_even_network(n):
+                assert j == i + 1
+                assert 0 <= i < n - 1
+
+    def test_negative_size(self):
+        with pytest.raises(ParameterError):
+            odd_even_network(-1)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=32))
+    def test_sorts_anything(self, values):
+        out, ops = odd_even_transposition_sort(values)
+        assert list(out) == sorted(values)
+        assert ops == compare_exchange_count_odd_even(len(values))
+
+    def test_does_not_mutate_input(self):
+        values = np.array([3, 1, 2])
+        odd_even_transposition_sort(values)
+        assert list(values) == [3, 1, 2]
+
+
+class TestBitonicMergeRotated:
+    def _gathered_items(self, a_run, b_run, k, E):
+        """Build the gather's items array: A ascending then B descending,
+        rotated right by k (the inverse of items_rotation)."""
+        seq = np.concatenate([a_run, b_run[::-1]])
+        return np.roll(seq, k)
+
+    @given(
+        st.integers(1, 16).flatmap(
+            lambda E: st.tuples(
+                st.just(E),
+                st.integers(0, E),
+                st.integers(0, E - 1),
+                st.lists(st.integers(0, 100), min_size=E, max_size=E),
+            )
+        )
+    )
+    def test_merges_any_gathered_window(self, args):
+        E, n_a, k, values = args
+        a_run = np.sort(np.array(values[:n_a], dtype=np.int64))
+        b_run = np.sort(np.array(values[n_a:], dtype=np.int64))
+        items = self._gathered_items(a_run, b_run, k, E)
+        out, ops, dynamic = bitonic_merge_rotated(items, a_offset=k, E=E)
+        assert list(out) == sorted(values)
+        assert dynamic == E  # the rotation costs E dynamic register accesses
+
+    def test_fewer_compares_than_odd_even_for_large_E(self):
+        E = 16
+        rng = np.random.default_rng(0)
+        vals = np.sort(rng.integers(0, 100, E))
+        _, ops, _ = bitonic_merge_rotated(vals, a_offset=0, E=E)
+        assert ops < compare_exchange_count_odd_even(E)
+
+    def test_wrong_length(self):
+        with pytest.raises(ParameterError):
+            bitonic_merge_rotated(np.arange(4), a_offset=0, E=5)

@@ -1,0 +1,81 @@
+"""Tests for the result validator (and that it catches corruption)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mergesort import gpu_mergesort
+from repro.mergesort.validation import ValidationFailure, validate_result
+from repro.workloads import WORKLOADS, adversarial
+
+
+class TestValidatorAcceptsHealthyResults:
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    @pytest.mark.parametrize("workload", ["random", "reverse", "few_distinct"])
+    def test_workloads(self, variant, workload):
+        data = WORKLOADS[workload](500, 7)
+        res = gpu_mergesort(data, E=5, u=16, w=8, variant=variant)
+        validate_result(res, original=data)
+
+    def test_adversarial(self):
+        data = adversarial(4, 5, 16, 8)
+        for variant in ("thrust", "cf"):
+            res = gpu_mergesort(data, E=5, u=16, w=8, variant=variant)
+            validate_result(res, original=data)
+
+    def test_without_original(self):
+        res = gpu_mergesort(WORKLOADS["random"](100, 1), E=5, u=16, w=8)
+        validate_result(res)
+
+
+class TestValidatorCatchesCorruption:
+    def _result(self, variant="thrust"):
+        return gpu_mergesort(WORKLOADS["random"](400, 3), E=5, u=16, w=8, variant=variant)
+
+    def test_catches_wrong_output(self):
+        res = self._result()
+        res.data[0] += 1
+        with pytest.raises(ValidationFailure, match="sorted"):
+            validate_result(res, original=WORKLOADS["random"](400, 3))
+
+    def test_catches_cycles_below_rounds(self):
+        res = self._result()
+        res.merge_stats.merge.shared_cycles = 0
+        with pytest.raises(ValidationFailure):
+            validate_result(res)
+
+    def test_catches_replay_mismatch(self):
+        res = self._result()
+        res.merge_stats.merge.shared_replays += 5
+        with pytest.raises(ValidationFailure, match="replays"):
+            validate_result(res)
+
+    def test_catches_cf_with_replays(self):
+        res = self._result(variant="cf")
+        res.merge_stats.merge.shared_replays = 1
+        res.merge_stats.merge.shared_cycles += 1
+        with pytest.raises(ValidationFailure):
+            validate_result(res)
+
+    def test_catches_pram_deviation(self):
+        res = self._result(variant="cf")
+        res.merge_stats.merge.shared_read_rounds += 8
+        res.merge_stats.merge.shared_cycles += 8
+        # keep per-level sums consistent so the PRAM check is what trips
+        res.per_level[0].merge.shared_read_rounds += 8
+        res.per_level[0].merge.shared_cycles += 8
+        with pytest.raises(ValidationFailure, match="PRAM"):
+            validate_result(res)
+
+    def test_catches_level_sum_mismatch(self):
+        res = self._result()
+        res.per_level[0].merge.shared_requests += 1
+        with pytest.raises(ValidationFailure, match="per-level"):
+            validate_result(res)
+
+    def test_catches_negative_counter(self):
+        res = self._result()
+        res.merge_stats.search.compute_ops = -1
+        with pytest.raises(ValidationFailure, match="negative"):
+            validate_result(res)

@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.numtheory.core` (Appendix A results)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.numtheory import (
+    coprime,
+    euclid_division,
+    extended_gcd,
+    gcd,
+    lcm,
+    mod_inverse,
+)
+
+
+class TestGcd:
+    def test_basic_values(self):
+        assert gcd(32, 15) == 1
+        assert gcd(32, 17) == 1
+        assert gcd(32, 16) == 16
+        assert gcd(9, 6) == 3
+        assert gcd(12, 5) == 1
+
+    def test_zero_arguments(self):
+        assert gcd(0, 7) == 7
+        assert gcd(7, 0) == 7
+        assert gcd(0, 0) == 0
+
+    def test_negative_arguments_give_nonnegative_result(self):
+        assert gcd(-12, 8) == 4
+        assert gcd(12, -8) == 4
+        assert gcd(-12, -8) == 4
+
+    def test_symmetric(self):
+        for a, b in [(48, 18), (17, 32), (100, 75)]:
+            assert gcd(a, b) == gcd(b, a)
+
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_matches_math_gcd(self, a, b):
+        assert gcd(a, b) == math.gcd(a, b)
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    def test_divides_both(self, a, b):
+        g = gcd(a, b)
+        assert a % g == 0 and b % g == 0
+
+    @given(st.integers(1, 10**4), st.integers(1, 10**4), st.integers(1, 100))
+    def test_scaling_property(self, a, b, k):
+        assert gcd(k * a, k * b) == k * gcd(a, b)
+
+
+class TestExtendedGcd:
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_coprime_pair_yields_unit_combination(self):
+        g, x, y = extended_gcd(15, 32)
+        assert g == 1
+        assert 15 * x + 32 * y == 1
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(5, 7) == 35
+        assert lcm(12, 12) == 12
+
+    def test_zero(self):
+        assert lcm(0, 5) == 0
+        assert lcm(5, 0) == 0
+
+    @given(st.integers(1, 10**4), st.integers(1, 10**4))
+    def test_product_identity(self, a, b):
+        assert gcd(a, b) * lcm(a, b) == a * b
+
+
+class TestCoprime:
+    def test_thrust_software_parameters(self):
+        # The paper: both E=15 and E=17 are coprime with w=32, which is why
+        # only the coprime gather variant is needed for Thrust's parameters.
+        assert coprime(32, 15)
+        assert coprime(32, 17)
+
+    def test_non_coprime_examples(self):
+        assert not coprime(12, 6)  # Figure 1 conflicting stride
+        assert not coprime(9, 6)  # Figure 3 parameters, d = 3
+        assert not coprime(6, 4)  # Figure 8 parameters, d = 2
+
+    def test_one_is_coprime_with_everything(self):
+        for n in range(1, 50):
+            assert coprime(1, n)
+
+
+class TestModInverse:
+    def test_known_inverse(self):
+        assert mod_inverse(5, 12) == 5  # 5*5 = 25 = 1 (mod 12)
+        assert mod_inverse(3, 7) == 5  # 3*5 = 15 = 1 (mod 7)
+
+    @given(st.integers(1, 1000), st.integers(2, 1000))
+    def test_inverse_property(self, a, m):
+        if math.gcd(a, m) != 1:
+            with pytest.raises(ParameterError):
+                mod_inverse(a, m)
+        else:
+            inv = mod_inverse(a, m)
+            assert 0 <= inv < m
+            assert (a * inv) % m == 1
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ParameterError):
+            mod_inverse(6, 12)
+
+    def test_bad_modulus_raises(self):
+        with pytest.raises(ParameterError):
+            mod_inverse(5, 0)
+        with pytest.raises(ParameterError):
+            mod_inverse(5, -3)
+
+    def test_negative_a_handled(self):
+        inv = mod_inverse(-5, 12)
+        assert (-5 * inv) % 12 == 1
+
+
+class TestEuclidDivision:
+    def test_paper_section4_usage(self):
+        # Section 4 writes w = qE + r.  For the Thrust parameters:
+        assert euclid_division(32, 15) == (2, 2)
+        assert euclid_division(32, 17) == (1, 15)
+        # Figure 4 parameters (w=12, E=5 and E=9):
+        assert euclid_division(12, 5) == (2, 2)
+        assert euclid_division(12, 9) == (1, 3)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_uniqueness_conditions(self, a, b):
+        q, r = euclid_division(a, b)
+        assert a == q * b + r
+        assert 0 <= r < b
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ParameterError):
+            euclid_division(10, 0)
+
+
+class TestCorollary17And18:
+    """The two GCD corollaries the paper proves in Appendix A."""
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    def test_corollary17_gcd_descends_through_division(self, a, b):
+        # GCD(a, b) == GCD(b, r) for a = qb + r — the Euclidean step.
+        if a < b:
+            a, b = b, a
+        q, r = euclid_division(a, b)
+        assert a == q * b + r
+        assert gcd(a, b) == gcd(b, r)
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    def test_corollary18_cofactors_are_coprime(self, a, b):
+        d = gcd(a, b)
+        assert coprime(a // d, b // d)

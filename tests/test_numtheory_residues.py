@@ -1,0 +1,195 @@
+"""Tests for :mod:`repro.numtheory.residues` — Lemmas 1-4 and Corollary 3.
+
+These tests execute the paper's lemmas as checkable statements: they are the
+algebraic half of the conflict-freeness argument (the empirical half lives in
+the simulator tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.numtheory import (
+    D_ell,
+    R_j,
+    R_j_ell,
+    R_prime_j,
+    is_complete_residue_system,
+    residues_mod,
+)
+from repro.numtheory.residues import adjacent_gap
+
+# (w, E) pairs drawn from the paper's figures and experiments.
+COPRIME_CASES = [(12, 5), (32, 15), (32, 17), (9, 5), (7, 3), (12, 7)]
+NONCOPRIME_CASES = [(9, 6), (12, 6), (6, 4), (32, 12), (12, 9), (16, 12), (8, 8)]
+
+
+class TestIsCompleteResidueSystem:
+    def test_canonical_Zm(self):
+        # Corollary 14: Z_m = {0..m-1} is a CRS.
+        for m in range(1, 20):
+            assert is_complete_residue_system(range(m), m)
+
+    def test_wrong_cardinality_rejected(self):
+        assert not is_complete_residue_system([0, 1, 2], 4)
+        assert not is_complete_residue_system([0, 1, 2, 3, 4], 4)
+
+    def test_duplicate_residue_rejected(self):
+        assert not is_complete_residue_system([0, 4, 2, 3], 4)
+
+    def test_shift_invariance(self):
+        # Adding any constant to a CRS keeps it a CRS (used implicitly by the
+        # thread-block argument of Section 3.3, where each warp starts in an
+        # arbitrary bank).
+        base = list(range(12))
+        for shift in [1, 5, 100, -7]:
+            assert is_complete_residue_system([v + shift for v in base], 12)
+
+    @given(st.integers(1, 64), st.integers(-1000, 1000))
+    def test_any_shifted_Zm_is_crs(self, m, shift):
+        assert is_complete_residue_system([i + shift for i in range(m)], m)
+
+
+class TestResiduesMod:
+    def test_basic(self):
+        assert residues_mod([13, 25, 37], 12) == [1, 1, 1]
+
+    def test_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            residues_mod([1], 0)
+
+
+class TestLemma1:
+    """Lemma 1: coprime w, E  =>  R_j is a CRS modulo w."""
+
+    @pytest.mark.parametrize("w,E", COPRIME_CASES)
+    def test_Rj_is_crs_for_all_rounds(self, w, E):
+        for j in range(E):
+            assert is_complete_residue_system(R_j(j, w, E), w)
+
+    @pytest.mark.parametrize("w,E", NONCOPRIME_CASES)
+    def test_Rj_fails_when_not_coprime(self, w, E):
+        # Section 3.2: if d > 1 every (w/d)-th element collides, so R_j is
+        # not a CRS.
+        for j in range(E):
+            assert not is_complete_residue_system(R_j(j, w, E), w)
+
+    @given(
+        st.integers(2, 64).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.integers(1, w).filter(lambda E: math.gcd(w, E) == 1),
+                st.integers(-100, 100),
+            )
+        )
+    )
+    def test_lemma1_property(self, wEj):
+        w, E, j = wEj
+        assert is_complete_residue_system(R_j(j, w, E), w)
+
+    def test_structure_matches_definition(self):
+        assert R_j(2, 4, 5) == [2, 7, 12, 17]
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            R_j(0, 0, 5)
+        with pytest.raises(ParameterError):
+            R_j(0, 4, 0)
+
+
+class TestLemma2:
+    """Lemma 2: partition properties of R_j^(ell) in the non-coprime case."""
+
+    @pytest.mark.parametrize("w,E", NONCOPRIME_CASES)
+    def test_partition_sizes(self, w, E):
+        d = math.gcd(w, E)
+        for j in range(E):
+            for ell in range(d):
+                assert len(R_j_ell(j, ell, w, E)) == w // d
+
+    @pytest.mark.parametrize("w,E", NONCOPRIME_CASES)
+    def test_part1_congruent_to_D(self, w, E):
+        # Lemma 2(1): each element of R_j^(ell) is congruent (mod w) to some
+        # element of D_{j mod d}.
+        d = math.gcd(w, E)
+        for j in range(E):
+            target = set(residues_mod(D_ell(j % d, w, E), w))
+            for ell in range(d):
+                got = set(residues_mod(R_j_ell(j, ell, w, E), w))
+                assert got <= target
+
+    @pytest.mark.parametrize("w,E", NONCOPRIME_CASES)
+    def test_part2_pairwise_incongruent(self, w, E):
+        # Lemma 2(2): within one partition all elements are distinct mod w.
+        d = math.gcd(w, E)
+        for j in range(E):
+            for ell in range(d):
+                rs = residues_mod(R_j_ell(j, ell, w, E), w)
+                assert len(set(rs)) == len(rs)
+
+    def test_invalid_ell(self):
+        with pytest.raises(ParameterError):
+            R_j_ell(0, 3, 9, 6)  # d = 3, so ell must be < 3
+        with pytest.raises(ParameterError):
+            R_j_ell(0, -1, 9, 6)
+
+
+class TestDell:
+    @pytest.mark.parametrize("w,E", NONCOPRIME_CASES)
+    def test_union_of_D_is_crs(self, w, E):
+        d = math.gcd(w, E)
+        union: list[int] = []
+        for ell in range(d):
+            union.extend(D_ell(ell, w, E))
+        assert is_complete_residue_system(union, w)
+
+    def test_values(self):
+        # w=9, E=6 => d=3: D_0 = {0,3,6}, D_1 = {1,4,7}, D_2 = {2,5,8}
+        assert D_ell(0, 9, 6) == [0, 3, 6]
+        assert D_ell(1, 9, 6) == [1, 4, 7]
+        assert D_ell(2, 9, 6) == [2, 5, 8]
+
+    def test_invalid_ell(self):
+        with pytest.raises(ParameterError):
+            D_ell(5, 9, 6)
+
+
+class TestCorollary3:
+    """Corollary 3: R'_j is a CRS modulo w for every j, any d."""
+
+    @pytest.mark.parametrize("w,E", NONCOPRIME_CASES + COPRIME_CASES)
+    def test_R_prime_is_crs(self, w, E):
+        for j in range(E):
+            assert is_complete_residue_system(R_prime_j(j, w, E), w)
+
+    @given(st.integers(2, 48), st.integers(2, 48))
+    def test_R_prime_property(self, w, E):
+        for j in range(min(E, 6)):
+            assert is_complete_residue_system(R_prime_j(j, w, E), w)
+
+    def test_coprime_degenerates_to_R_j(self):
+        # When d == 1, R'_j has a single partition equal to R_j.
+        assert R_prime_j(3, 12, 5) == R_j(3, 12, 5)
+
+
+class TestLemma4:
+    """Lemma 4: the gap between consecutive partitions is E+1 or 1."""
+
+    @pytest.mark.parametrize("w,E", [(9, 6), (12, 6), (32, 12), (16, 12)])
+    def test_gap_values(self, w, E):
+        d = math.gcd(w, E)
+        for j in range(E):
+            for ell in range(d - 1):
+                expected = E + 1 if j < E - 1 else 1
+                assert adjacent_gap(j, ell, w, E) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ParameterError):
+            adjacent_gap(0, 2, 9, 6)  # d-1 = 2, so ell < 2 required
+        with pytest.raises(ParameterError):
+            adjacent_gap(6, 0, 9, 6)  # j must be < E

@@ -1,0 +1,187 @@
+"""Tests for occupancy, the cost model, and the throughput machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RTX_2080_TI, SortParams, toy_device
+from repro.errors import OccupancyError, ParameterError
+from repro.perf import (
+    CostModel,
+    occupancy,
+    speedup_summary,
+    throughput_sweep,
+)
+from repro.perf.calibration import DEFAULT_CONSTANTS, CycleConstants
+from repro.perf.throughput import ThroughputPoint, measure_block_costs
+from repro.sim import Counters
+
+
+class TestOccupancy:
+    def test_tuned_parameters_hit_full_occupancy(self):
+        # Section 5: E=15, u=512 gives 100% theoretical occupancy.
+        result = occupancy(RTX_2080_TI, SortParams(15, 512))
+        assert result.occupancy == 1.0
+        assert result.active_blocks == 2
+        assert result.active_warps == 32
+
+    def test_thrust_defaults_are_limited_by_shared_memory(self):
+        # E=17, u=256: 4 blocks would fit by threads, but 4 tiles of
+        # 256*17*4 B = 17408 B exceed 64 KiB, capping at 3 blocks = 75%.
+        result = occupancy(RTX_2080_TI, SortParams(17, 256))
+        assert result.active_blocks == 3
+        assert result.limiter == "shared_memory"
+        assert result.occupancy == 0.75
+
+    def test_register_limited_configuration(self):
+        params = SortParams(15, 512, registers_overhead=100)
+        result = occupancy(RTX_2080_TI, params)
+        assert result.limiter == "registers"
+        assert result.active_blocks == 1
+
+    def test_impossible_configuration_raises(self):
+        params = SortParams(200, 1024)  # 1024*200*4 B >> 64 KiB
+        with pytest.raises(OccupancyError):
+            occupancy(RTX_2080_TI, params)
+
+    def test_u_not_multiple_of_w_rejected(self):
+        with pytest.raises(ParameterError):
+            occupancy(RTX_2080_TI, SortParams(15, 100))
+
+    def test_custom_shared_bytes(self):
+        result = occupancy(RTX_2080_TI, SortParams(15, 512), shared_bytes_per_block=1024)
+        assert result.shared_bytes_per_block == 1024
+        assert result.active_blocks == 2  # still thread-limited
+
+
+class TestCostModel:
+    def test_zero_counters_cost_only_launch(self):
+        model = CostModel(RTX_2080_TI)
+        b = model.estimate(Counters(), kernel_launches=2)
+        assert b.shared_us == 0 and b.global_us == 0 and b.compute_us == 0
+        assert b.launch_us == 2 * DEFAULT_CONSTANTS.launch_overhead_us
+
+    def test_shared_cycles_scale_linearly(self):
+        model = CostModel(RTX_2080_TI)
+        c1 = Counters(shared_read_rounds=10, shared_cycles=10)
+        c2 = Counters(shared_read_rounds=20, shared_cycles=20)
+        b1 = model.estimate(c1)
+        b2 = model.estimate(c2)
+        assert b2.shared_us == pytest.approx(2 * b1.shared_us)
+
+    def test_replays_increase_cost(self):
+        model = CostModel(RTX_2080_TI)
+        clean = Counters(shared_read_rounds=10, shared_cycles=10)
+        conflicted = Counters(shared_read_rounds=10, shared_cycles=50, shared_replays=40)
+        assert model.estimate(conflicted).shared_us > model.estimate(clean).shared_us
+
+    def test_low_occupancy_raises_global_cost(self):
+        model = CostModel(RTX_2080_TI)
+        c = Counters(global_read_transactions=1000)
+        assert (
+            model.estimate(c, occupancy=0.5).global_us
+            > model.estimate(c, occupancy=1.0).global_us
+        )
+
+    def test_low_occupancy_adds_round_stalls(self):
+        model = CostModel(RTX_2080_TI)
+        c = Counters(shared_read_rounds=100, shared_cycles=100)
+        assert (
+            model.estimate(c, occupancy=0.5).shared_us
+            > model.estimate(c, occupancy=1.0).shared_us
+        )
+
+    def test_throughput_inverse_of_time(self):
+        model = CostModel(RTX_2080_TI)
+        c = Counters(global_read_transactions=10_000)
+        t = model.estimate(c).total_us
+        assert model.throughput(1_000_000, c) == pytest.approx(1_000_000 / t)
+
+    def test_custom_constants(self):
+        fast = CostModel(RTX_2080_TI, CycleConstants(global_transaction=1.0))
+        slow = CostModel(RTX_2080_TI, CycleConstants(global_transaction=100.0))
+        c = Counters(global_read_transactions=100)
+        assert slow.estimate(c).global_us > fast.estimate(c).global_us
+
+
+TOY = toy_device(8, sm_count=4)
+TOY_PARAMS = SortParams(5, 16)
+
+
+class TestThroughputSweep:
+    def test_points_structure(self):
+        pts = throughput_sweep(
+            TOY_PARAMS, "thrust", "random", device=TOY,
+            i_range=range(6, 9), samples=2, blocksort_samples=1,
+        )
+        assert len(pts) == 3
+        for p, i in zip(pts, range(6, 9)):
+            assert isinstance(p, ThroughputPoint)
+            assert p.i == i and p.n == (2**i) * 5
+            assert p.throughput == pytest.approx(p.n / p.time_us)
+            assert p.breakdown.total_us == pytest.approx(p.time_us)
+
+    def test_cf_wins_on_worstcase(self):
+        kw = dict(device=TOY, i_range=range(6, 9), samples=3, blocksort_samples=1)
+        thrust = throughput_sweep(TOY_PARAMS, "thrust", "worstcase", **kw)
+        cf = throughput_sweep(TOY_PARAMS, "cf", "worstcase", **kw)
+        s = speedup_summary(thrust, cf)
+        assert s["min"] > 1.0
+
+    def test_cf_comparable_on_random(self):
+        kw = dict(device=TOY, i_range=range(6, 9), samples=4, blocksort_samples=1)
+        thrust = throughput_sweep(TOY_PARAMS, "thrust", "random", **kw)
+        cf = throughput_sweep(TOY_PARAMS, "cf", "random", **kw)
+        s = speedup_summary(thrust, cf)
+        assert 0.8 < s["mean"] < 1.25
+
+    def test_cf_worstcase_equals_cf_random_shared_profile(self):
+        # CF throughput must be essentially input independent.
+        kw = dict(device=TOY, i_range=range(7, 9), samples=4, blocksort_samples=1)
+        rand = throughput_sweep(TOY_PARAMS, "cf", "random", **kw)
+        worst = throughput_sweep(TOY_PARAMS, "cf", "worstcase", **kw)
+        for r, wpt in zip(rand, worst):
+            assert wpt.time_us == pytest.approx(r.time_us, rel=0.1)
+
+    def test_bad_grid_alignment(self):
+        with pytest.raises(ParameterError):
+            throughput_sweep(TOY_PARAMS, "thrust", "random", device=TOY, i_range=[3])
+
+    def test_unknown_workload_and_variant(self):
+        with pytest.raises(ParameterError):
+            measure_block_costs(TOY_PARAMS, 8, "thrust", "sorted")
+        with pytest.raises(ParameterError):
+            measure_block_costs(TOY_PARAMS, 8, "stl", "random")
+
+    def test_speedup_summary_requires_matching_lengths(self):
+        pts = throughput_sweep(
+            TOY_PARAMS, "thrust", "random", device=TOY,
+            i_range=range(6, 8), samples=2, blocksort_samples=1,
+        )
+        with pytest.raises(ParameterError):
+            speedup_summary(pts, pts[:1])
+
+    def test_worstcase_measurement_is_deterministic(self):
+        s1, m1 = measure_block_costs(TOY_PARAMS, 8, "thrust", "worstcase")
+        s2, m2 = measure_block_costs(TOY_PARAMS, 8, "thrust", "worstcase")
+        assert m1.as_dict() == m2.as_dict()
+        assert s1.as_dict() == s2.as_dict()
+
+
+@pytest.mark.slow
+class TestPaperScaleAnchors:
+    """The headline numbers, at the paper's parameters (slower tests)."""
+
+    def test_e15_worstcase_speedup_in_paper_band(self):
+        kw = dict(i_range=range(20, 27, 3), samples=4, blocksort_samples=1)
+        thrust = throughput_sweep(SortParams(15, 512), "thrust", "worstcase", **kw)
+        cf = throughput_sweep(SortParams(15, 512), "cf", "worstcase", **kw)
+        s = speedup_summary(thrust, cf)
+        assert 1.30 <= s["mean"] <= 1.50  # paper: 1.37-1.47
+
+    def test_e17_worstcase_speedup_in_paper_band(self):
+        kw = dict(i_range=range(20, 27, 3), samples=4, blocksort_samples=1)
+        thrust = throughput_sweep(SortParams(17, 256), "thrust", "worstcase", **kw)
+        cf = throughput_sweep(SortParams(17, 256), "cf", "worstcase", **kw)
+        s = speedup_summary(thrust, cf)
+        assert 1.10 <= s["mean"] <= 1.30  # paper: 1.17-1.25

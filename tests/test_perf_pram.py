@@ -1,0 +1,95 @@
+"""PRAM-model predictions vs. exact simulation (the analyzability claim).
+
+The paper argues conflict-free algorithms restore PRAM-style analysis:
+shared cycles equal shared rounds, and round counts follow from geometry.
+These tests check the closed forms of :mod:`repro.perf.pram` against the
+simulator **exactly**, across inputs — and that no analogous formula can
+fit the baseline (its cycles are input dependent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mergesort import blocksort_tile, cf_merge_block, gpu_mergesort
+from repro.perf.pram import cf_blocksort_rounds, cf_merge_rounds, cf_pipeline_rounds
+from repro.workloads import WORKLOADS
+
+
+class TestMergeModel:
+    @pytest.mark.parametrize("w,E,u", [(8, 5, 16), (32, 15, 64), (12, 5, 24)])
+    def test_exact_for_every_input(self, w, E, u):
+        model = cf_merge_rounds(E, u, w)
+        rng = np.random.default_rng(0)
+        for n_a in [0, u * E // 3, u * E]:
+            vals = np.arange(u * E)
+            idx = rng.permutation(u * E)
+            a = np.sort(vals[idx[:n_a]])
+            b = np.sort(vals[idx[n_a:]])
+            _, stats = cf_merge_block(a, b, E, w, simulate_search=False)
+            assert stats.merge.shared_read_rounds == model.read_rounds
+            assert stats.merge.shared_write_rounds == model.write_rounds
+            assert stats.merge.shared_cycles == model.cycles  # PRAM equality
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            cf_merge_rounds(5, 20, 8)  # u not multiple of w
+
+
+class TestBlocksortModel:
+    @pytest.mark.parametrize("w,E,u", [(8, 5, 16), (32, 15, 64), (16, 7, 32)])
+    def test_exact_for_every_input(self, w, E, u):
+        model = cf_blocksort_rounds(E, u, w)
+        rng = np.random.default_rng(1)
+        for seed in range(3):
+            tile = rng.integers(0, 10**6, u * E)
+            _, stats = blocksort_tile(tile, E, w, "cf")
+            shared = stats.stage + stats.merge  # searches excluded by design
+            assert shared.shared_read_rounds == model.read_rounds
+            assert shared.shared_write_rounds == model.write_rounds
+            assert shared.shared_cycles == model.cycles
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ParameterError):
+            cf_blocksort_rounds(5, 24, 8)
+
+
+class TestPipelineModel:
+    @pytest.mark.parametrize("n", [1, 80, 81, 240, 640, 1000])
+    def test_exact_for_every_n_and_input(self, n):
+        E, u, w = 5, 16, 8
+        model = cf_pipeline_rounds(n, E, u, w)
+        for workload in ("random", "reverse"):
+            data = WORKLOADS[workload](n, 2)
+            res = gpu_mergesort(data, E, u, w, variant="cf")
+            merged_shared = (
+                res.blocksort_stats.stage
+                + res.blocksort_stats.merge
+                + res.merge_stats.merge
+            )
+            assert merged_shared.shared_read_rounds == model.read_rounds, n
+            assert merged_shared.shared_write_rounds == model.write_rounds, n
+            assert merged_shared.shared_cycles == model.cycles, n
+
+    def test_zero_n(self):
+        model = cf_pipeline_rounds(0, 5, 16, 8)
+        assert model.rounds == 0
+
+    def test_negative_n(self):
+        with pytest.raises(ParameterError):
+            cf_pipeline_rounds(-1, 5, 16, 8)
+
+
+class TestNoSuchFormulaForBaseline:
+    def test_thrust_cycles_are_input_dependent(self):
+        # The contrast that makes the PRAM claim meaningful: identical
+        # geometry, different inputs, different baseline cycle counts.
+        E, u, w = 5, 16, 8
+        cycles = set()
+        for seed in range(4):
+            data = WORKLOADS["random"](640, seed)
+            res = gpu_mergesort(data, E, u, w, variant="thrust")
+            cycles.add(res.merge_stats.merge.shared_cycles)
+        assert len(cycles) > 1

@@ -1,0 +1,40 @@
+"""Tests for the cost-model sensitivity study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SortParams
+from repro.perf.sensitivity import sensitivity_table, speedup_sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def table15(self):
+        return speedup_sensitivity(SortParams(15, 512), factors=(0.5, 1.0, 2.0))
+
+    def test_all_cells_show_cf_winning(self, table15):
+        assert all(v > 1.0 for v in table15.values())
+
+    def test_diagonal_is_stable(self, table15):
+        # Scaling both constants together barely moves the speedup: only
+        # their ratio matters.
+        diag = [table15[(f, f)] for f in (0.5, 1.0, 2.0)]
+        assert max(diag) - min(diag) < 0.1
+
+    def test_monotone_in_shared_weight(self, table15):
+        # More weight on shared cycles -> larger conflict advantage.
+        assert table15[(2.0, 1.0)] > table15[(1.0, 1.0)] > table15[(0.5, 1.0)]
+
+    def test_monotone_in_global_weight(self, table15):
+        # More weight on global traffic dilutes the advantage.
+        assert table15[(1.0, 0.5)] > table15[(1.0, 1.0)] > table15[(1.0, 2.0)]
+
+    def test_default_cell_matches_headline(self, table15):
+        # The (1, 1) cell is the large-n limit of the Figure 5 speedup.
+        assert 1.30 <= table15[(1.0, 1.0)] <= 1.50
+
+    def test_render(self):
+        text = sensitivity_table(factors=(1.0,))
+        assert "E=15" in text and "E=17" in text
+        assert "RATIO" in text

@@ -1,0 +1,109 @@
+"""Tests for the bank model and round-cost computation (Figure 1 behaviour)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.sim import BankModel
+
+
+class TestBankMapping:
+    def test_bank_of_follows_mod_w(self):
+        bm = BankModel(12)
+        assert bm.bank_of(0) == 0
+        assert bm.bank_of(11) == 11
+        assert bm.bank_of(12) == 0
+        assert bm.bank_of(25) == 1
+
+    def test_banks_of_vector(self):
+        bm = BankModel(4)
+        assert bm.banks_of([0, 1, 5, 9]) == [0, 1, 1, 1]
+
+    def test_invalid_width(self):
+        with pytest.raises(ParameterError):
+            BankModel(0)
+
+
+class TestRoundCost:
+    def test_empty_round(self):
+        cost = BankModel(32).round_cost([])
+        assert cost.cycles == 0 and cost.replays == 0 and cost.excess == 0
+
+    def test_conflict_free_full_warp(self):
+        bm = BankModel(12)
+        cost = bm.round_cost(range(12))
+        assert cost.cycles == 1
+        assert cost.replays == 0
+        assert cost.excess == 0
+        assert cost.requests == 12
+
+    def test_same_bank_serializes(self):
+        bm = BankModel(12)
+        cost = bm.round_cost([0, 12, 24, 36])
+        assert cost.cycles == 4
+        assert cost.replays == 3
+        assert cost.excess == 3
+
+    def test_broadcast_is_free(self):
+        # Footnote 4: multiple threads reading the SAME address do not
+        # conflict.
+        bm = BankModel(12)
+        cost = bm.round_cost([7] * 12)
+        assert cost.cycles == 1
+        assert cost.replays == 0
+        assert cost.broadcasts == 11
+
+    def test_mixed_broadcast_and_conflict(self):
+        bm = BankModel(4)
+        # addresses 1 and 5 share bank 1 (conflict); 1 appears twice
+        # (one broadcast).
+        cost = bm.round_cost([1, 1, 5, 2])
+        assert cost.cycles == 2
+        assert cost.replays == 1
+        assert cost.excess == 1
+        assert cost.broadcasts == 1
+
+    def test_excess_differs_from_replays(self):
+        bm = BankModel(4)
+        # Two banks each with 2 distinct addresses: cycles=2 (replays=1)
+        # but excess counts both banks' extra access (=2).
+        cost = bm.round_cost([0, 4, 1, 5])
+        assert cost.cycles == 2
+        assert cost.replays == 1
+        assert cost.excess == 2
+
+
+class TestFigure1:
+    """Figure 1: w = 12, stride 5 (coprime) vs stride 6 (not coprime)."""
+
+    def test_coprime_stride_is_conflict_free(self):
+        bm = BankModel(12)
+        addrs = bm.strided_access(0, 5)
+        assert len(addrs) == 12
+        assert bm.is_conflict_free(addrs)
+
+    def test_noncoprime_stride_worst_case(self):
+        bm = BankModel(12)
+        addrs = bm.strided_access(0, 6)
+        cost = bm.round_cost(addrs)
+        # stride 6 with w=12: only banks 0 and 6 are hit, 6 addresses each.
+        assert cost.cycles == 6
+        assert cost.replays == 5
+
+    @given(st.integers(2, 64), st.integers(1, 64), st.integers(0, 1000))
+    def test_stride_conflict_theory(self, w, stride, start):
+        # Section 2's observation: a stride coprime with w is conflict free;
+        # otherwise the serialization depth is exactly d = GCD(w, stride).
+        bm = BankModel(w)
+        cost = bm.round_cost(bm.strided_access(start, stride))
+        assert cost.cycles == math.gcd(w, stride)
+
+    def test_partial_warp(self):
+        bm = BankModel(12)
+        addrs = bm.strided_access(3, 5, count=4)
+        assert addrs == [3, 8, 13, 18]

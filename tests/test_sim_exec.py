@@ -1,0 +1,335 @@
+"""Tests for the warp / thread-block / device executors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import toy_device
+from repro.errors import SimulationError
+from repro.sim import (
+    Compute,
+    Counters,
+    Device,
+    GlobalMemory,
+    GlobalRead,
+    GlobalWrite,
+    RegisterFile,
+    SharedMemory,
+    SharedRead,
+    SharedWrite,
+    Sync,
+    ThreadBlock,
+    Warp,
+)
+
+
+def make_shared(size=64, w=4, counters=None):
+    return SharedMemory(size, w=w, counters=counters)
+
+
+class TestRegisterFile:
+    def test_read_write(self):
+        rf = RegisterFile(4)
+        rf.write(2, 42)
+        assert rf.read(2) == 42
+        assert rf.as_list() == [0, 0, 42, 0]
+
+    def test_dynamic_access_tallied(self):
+        c = Counters()
+        rf = RegisterFile(4, counters=c)
+        rf.write(1, 5, dynamic=True)
+        rf.read(1, dynamic=True)
+        rf.read(0)  # static: free
+        assert c.register_dynamic_accesses == 2
+
+    def test_bounds(self):
+        rf = RegisterFile(2)
+        with pytest.raises(SimulationError):
+            rf.read(2)
+        with pytest.raises(SimulationError):
+            rf.write(-1, 0)
+
+    def test_load(self):
+        rf = RegisterFile(3)
+        rf.load([1, 2, 3])
+        assert rf.as_list() == [1, 2, 3]
+
+
+class TestWarpLockstep:
+    def test_copy_kernel(self):
+        c = Counters()
+        shm = make_shared(counters=c)
+        shm.load_array(np.arange(64))
+
+        def prog(tid):
+            value = yield SharedRead(tid)
+            yield SharedWrite(tid + 8, value * 2)
+
+        warp = Warp(0, [prog(t) for t in range(4)], shm, counters=c)
+        warp.run()
+        assert list(shm.data[8:12]) == [0, 2, 4, 6]
+        assert c.shared_read_rounds == 1
+        assert c.shared_write_rounds == 1
+
+    def test_lockstep_groups_conflicts(self):
+        # Four threads all reading bank 0 in the same lockstep round must be
+        # charged as one serialized round of depth 4.
+        c = Counters()
+        shm = make_shared(counters=c)
+
+        def prog(tid):
+            yield SharedRead(tid * 4)  # addresses 0,4,8,12 -> all bank 0
+
+        warp = Warp(0, [prog(t) for t in range(4)], shm, counters=c)
+        warp.run()
+        assert c.shared_read_rounds == 1
+        assert c.shared_cycles == 4
+
+    def test_inactive_lane(self):
+        c = Counters()
+        shm = make_shared(counters=c)
+
+        def prog(tid):
+            yield SharedWrite(tid, tid)
+
+        warp = Warp(0, [prog(0), None, prog(2), None], shm, counters=c)
+        warp.run()
+        assert list(shm.data[:3]) == [0, 0, 2]
+
+    def test_compute_counted_per_thread(self):
+        c = Counters()
+        shm = make_shared(counters=c)
+
+        def prog(tid):
+            yield Compute(3)
+
+        Warp(0, [prog(t) for t in range(4)], shm, counters=c).run()
+        assert c.compute_ops == 12
+
+    def test_threads_with_different_lengths(self):
+        # Thread 0 does two rounds, thread 1 does one; the executor must not
+        # deadlock or lose writes.
+        c = Counters()
+        shm = make_shared(counters=c)
+
+        def prog(tid):
+            yield SharedWrite(tid, 1)
+            if tid == 0:
+                yield SharedWrite(10, 2)
+
+        Warp(0, [prog(0), prog(1)], shm, counters=c).run()
+        assert shm.data[10] == 2
+        assert c.shared_write_rounds == 2
+
+    def test_global_memory_ops(self):
+        c = Counters()
+        shm = make_shared(counters=c)
+        gm = GlobalMemory(np.arange(64), counters=c)
+
+        def prog(tid):
+            v = yield GlobalRead(tid)
+            yield GlobalWrite(32 + tid, v + 100)
+
+        Warp(0, [prog(t) for t in range(4)], shm, global_memory=gm, counters=c).run()
+        assert list(gm.data[32:36]) == [100, 101, 102, 103]
+        assert c.global_read_requests == 4
+
+    def test_global_without_memory_raises(self):
+        shm = make_shared()
+
+        def prog(tid):
+            yield GlobalRead(0)
+
+        warp = Warp(0, [prog(0)], shm)
+        with pytest.raises(SimulationError):
+            warp.run()
+
+    def test_non_instruction_yield_raises(self):
+        shm = make_shared()
+
+        def prog(tid):
+            yield "not an instruction"
+
+        warp = Warp(0, [prog(0)], shm)
+        with pytest.raises(SimulationError):
+            warp.run()
+
+    def test_sync_outside_block_raises(self):
+        shm = make_shared()
+
+        def prog(tid):
+            yield Sync()
+
+        warp = Warp(0, [prog(0)], shm)
+        with pytest.raises(SimulationError):
+            warp.run()
+
+    def test_early_barrier_arrivals_wait(self):
+        # Lane 0 reaches Sync while lane 1 still has memory work: lane 0
+        # parks, lane 1 catches up, and only then is the warp at the
+        # barrier (matching hardware semantics for uneven arrival).
+        shm = make_shared()
+
+        def prog(tid):
+            if tid == 0:
+                yield Sync()
+            else:
+                yield SharedWrite(tid, 1)
+                yield SharedWrite(tid, 2)
+                yield Sync()
+
+        warp = Warp(0, [prog(0), prog(1)], shm)
+        while not warp.at_barrier:
+            assert warp.step() or warp.at_barrier
+        assert shm.data[1] == 2  # lane 1's work completed before the barrier
+        warp.release_barrier()
+        while not warp.done:
+            warp.step()
+
+
+class TestThreadBlock:
+    def test_barrier_orders_phases(self):
+        # Phase 1: every thread writes its slot.  Barrier.  Phase 2: every
+        # thread reads its neighbour's slot.  Without the barrier this would
+        # read zeros from warps that have not run yet.
+        u, w = 8, 4
+        results = {}
+
+        def prog(tid):
+            yield SharedWrite(tid, tid * 10)
+            yield Sync()
+            value = yield SharedRead((tid + 1) % u)
+            results[tid] = value
+
+        block = ThreadBlock(u, w, shared_words=u, program_factory=prog)
+        counters = block.run()
+        assert results == {t: ((t + 1) % u) * 10 for t in range(u)}
+        assert counters.sync_barriers == 1
+
+    def test_multiple_barriers(self):
+        u, w = 8, 4
+        log = []
+
+        def prog(tid):
+            for phase in range(3):
+                yield SharedWrite(tid, phase)
+                yield Sync()
+                if tid == 0:
+                    log.append(phase)
+
+        counters = ThreadBlock(u, w, shared_words=u, program_factory=prog).run()
+        assert counters.sync_barriers == 3
+        assert log == [0, 1, 2]
+
+    def test_conflicts_only_within_warps(self):
+        # Threads 0 and 4 are in different warps (w=4): both touching bank 0
+        # in "the same" round must NOT count as a conflict.
+        u, w = 8, 4
+        c = Counters()
+
+        def prog(tid):
+            if tid in (0, 4):
+                yield SharedRead(0 if tid == 0 else 4)  # both bank 0
+
+        block = ThreadBlock(u, w, shared_words=16, program_factory=prog, counters=c)
+        block.run()
+        assert c.shared_replays == 0
+        assert c.shared_read_rounds == 2  # one per warp
+
+    def test_u_not_multiple_of_w_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            ThreadBlock(6, 4, shared_words=8, program_factory=lambda tid: None)
+
+    def test_global_memory_shared_across_warps(self):
+        u, w = 8, 4
+        gm = GlobalMemory(np.zeros(u))
+
+        def prog(tid):
+            yield GlobalWrite(tid, tid + 1)
+
+        ThreadBlock(u, w, shared_words=4, program_factory=prog, global_memory=gm).run()
+        assert list(gm.data) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_exited_warps_do_not_block_barrier(self):
+        # A warp whose threads have all returned no longer participates in
+        # barriers (matches CUDA behaviour for exited threads); the block
+        # must complete rather than deadlock.
+        u, w = 8, 4
+
+        def prog(tid):
+            if tid < 4:
+                yield Sync()
+                yield SharedWrite(tid, 1)
+            else:
+                yield Compute()
+
+        block = ThreadBlock(u, w, shared_words=4, program_factory=prog)
+        counters = block.run()
+        assert counters.sync_barriers == 1
+        assert list(block.shared.data[:4]) == [1, 1, 1, 1]
+
+
+class TestDevice:
+    def test_grid_launch_partitions_work(self):
+        spec = toy_device(4)
+        device = Device(spec)
+        n_blocks, u = 3, 8
+        gm = GlobalMemory(np.zeros(n_blocks * u))
+
+        def factory(block_id, tid):
+            def prog():
+                yield GlobalWrite(block_id * u + tid, block_id * 100 + tid)
+
+            return prog()
+
+        counters = device.launch(
+            n_blocks, u, shared_words=4, program_factory=factory, global_memory=gm
+        )
+        expected = [b * 100 + t for b in range(n_blocks) for t in range(u)]
+        assert list(gm.data) == expected
+        assert counters.global_write_requests == n_blocks * u
+        assert device.counters.global_write_requests == n_blocks * u
+
+    def test_trace_only_requested_block(self):
+        from repro.sim import AccessTrace
+
+        spec = toy_device(4)
+        device = Device(spec)
+        tr = AccessTrace()
+
+        def factory(block_id, tid):
+            def prog():
+                yield SharedWrite(tid, block_id)
+
+            return prog()
+
+        device.launch(
+            3, 4, shared_words=4, program_factory=factory, trace=tr, trace_block=1
+        )
+        assert len(tr) == 1  # one warp round, only from block 1
+
+    def test_counters_accumulate_across_launches(self):
+        device = Device(toy_device(4))
+
+        def factory(block_id, tid):
+            def prog():
+                yield Compute()
+
+            return prog()
+
+        device.launch(1, 4, shared_words=1, program_factory=factory)
+        first = device.last_launch_counters.compute_ops
+        device.launch(1, 4, shared_words=1, program_factory=factory)
+        assert first == 4
+        assert device.last_launch_counters.compute_ops == 4
+        assert device.counters.compute_ops == 8
+
+    def test_bad_grid(self):
+        from repro.errors import ParameterError
+
+        device = Device(toy_device(4))
+        with pytest.raises(ParameterError):
+            device.launch(0, 4, 4, lambda b, t: None)

@@ -1,0 +1,213 @@
+"""Tests for SharedMemory / GlobalMemory accounting semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim import AccessTrace, Counters, GlobalMemory, SharedMemory
+
+
+class TestSharedMemoryBasics:
+    def test_read_returns_stored_values(self):
+        shm = SharedMemory(16, w=4)
+        shm.load_array([10 * i for i in range(16)])
+        values = shm.warp_read([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert values == [0, 10, 20, 30]
+
+    def test_write_then_read(self):
+        shm = SharedMemory(8, w=4)
+        shm.warp_write([(0, 0, 5), (1, 1, 6), (2, 2, 7), (3, 3, 8)])
+        assert shm.warp_read([(0, 0), (1, 1), (2, 2), (3, 3)]) == [5, 6, 7, 8]
+
+    def test_fill_value(self):
+        shm = SharedMemory(4, w=4, fill=-1)
+        assert shm.warp_read([(0, 0)]) == [-1]
+
+    def test_out_of_bounds_read_raises(self):
+        shm = SharedMemory(4, w=4)
+        with pytest.raises(SimulationError):
+            shm.warp_read([(0, 4)])
+        with pytest.raises(SimulationError):
+            shm.warp_read([(0, -1)])
+
+    def test_write_race_raises(self):
+        shm = SharedMemory(4, w=4)
+        with pytest.raises(SimulationError):
+            shm.warp_write([(0, 2, 1), (1, 2, 9)])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ParameterError):
+            SharedMemory(-1, w=4)
+
+    def test_load_array_bounds(self):
+        shm = SharedMemory(4, w=4)
+        with pytest.raises(ParameterError):
+            shm.load_array([1, 2, 3], offset=2)
+
+    def test_snapshot_is_copy(self):
+        shm = SharedMemory(4, w=4)
+        snap = shm.snapshot()
+        shm.warp_write([(0, 0, 99)])
+        assert snap[0] == 0
+
+
+class TestSharedMemoryAccounting:
+    def test_conflict_free_round(self):
+        c = Counters()
+        shm = SharedMemory(16, w=4, counters=c)
+        shm.warp_read([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert c.shared_read_rounds == 1
+        assert c.shared_cycles == 1
+        assert c.shared_replays == 0
+        assert c.conflict_free
+
+    def test_conflicting_round(self):
+        c = Counters()
+        shm = SharedMemory(16, w=4, counters=c)
+        shm.warp_read([(0, 0), (1, 4), (2, 8), (3, 12)])  # all bank 0
+        assert c.shared_cycles == 4
+        assert c.shared_replays == 3
+        assert not c.conflict_free
+
+    def test_broadcast_counted(self):
+        c = Counters()
+        shm = SharedMemory(16, w=4, counters=c)
+        shm.warp_read([(0, 5), (1, 5), (2, 5)])
+        assert c.broadcast_reads == 2
+        assert c.shared_replays == 0
+
+    def test_write_rounds_counted_separately(self):
+        c = Counters()
+        shm = SharedMemory(16, w=4, counters=c)
+        shm.warp_write([(0, 0, 1), (1, 4, 2)])  # bank 0 conflict
+        assert c.shared_write_rounds == 1
+        assert c.shared_read_rounds == 0
+        assert c.shared_replays == 1
+
+    def test_requests_accumulate(self):
+        c = Counters()
+        shm = SharedMemory(16, w=4, counters=c)
+        shm.warp_read([(0, 0), (1, 1)])
+        shm.warp_write([(0, 2, 9)])
+        assert c.shared_requests == 3
+
+    def test_empty_round_is_free(self):
+        c = Counters()
+        shm = SharedMemory(16, w=4, counters=c)
+        assert shm.warp_read([]) == []
+        shm.warp_write([])
+        assert c.shared_rounds == 0
+
+
+class TestSharedMemoryTrace:
+    def test_trace_records_rounds(self):
+        tr = AccessTrace()
+        shm = SharedMemory(16, w=4, trace=tr)
+        shm.warp_read([(0, 0), (1, 1)], warp=2)
+        shm.warp_write([(0, 3, 7)], warp=2)
+        assert len(tr) == 2
+        first, second = tr.events
+        assert first.kind == "read" and first.warp == 2 and first.round_index == 0
+        assert second.kind == "write" and second.round_index == 1
+        assert first.accesses == ((0, 0), (1, 1))
+
+    def test_reader_of(self):
+        tr = AccessTrace()
+        shm = SharedMemory(16, w=4, trace=tr)
+        shm.warp_read([(0, 5)], warp=0)
+        shm.warp_read([(3, 5)], warp=0)
+        assert tr.reader_of(5) == [(0, 0), (1, 3)]
+
+    def test_clear(self):
+        tr = AccessTrace()
+        shm = SharedMemory(16, w=4, trace=tr)
+        shm.warp_read([(0, 0)])
+        tr.clear()
+        assert len(tr) == 0
+        shm.warp_read([(0, 0)])
+        assert tr.events[0].round_index == 0
+
+
+class TestGlobalMemory:
+    def test_read_write_roundtrip(self):
+        gm = GlobalMemory(np.arange(100))
+        assert gm.warp_read([(0, 10), (1, 11)]) == [10, 11]
+        gm.warp_write([(0, 10, -5)])
+        assert gm.warp_read([(0, 10)]) == [-5]
+
+    def test_coalesced_read_is_one_transaction(self):
+        c = Counters()
+        gm = GlobalMemory(np.zeros(128), counters=c, segment_words=32)
+        gm.warp_read([(i, i) for i in range(32)])
+        assert c.global_read_transactions == 1
+        assert c.global_read_requests == 32
+
+    def test_strided_read_costs_many_transactions(self):
+        c = Counters()
+        gm = GlobalMemory(np.zeros(32 * 32), counters=c, segment_words=32)
+        gm.warp_read([(i, i * 32) for i in range(32)])
+        assert c.global_read_transactions == 32
+
+    def test_unaligned_access_spans_two_segments(self):
+        c = Counters()
+        gm = GlobalMemory(np.zeros(128), counters=c, segment_words=32)
+        gm.warp_read([(i, 16 + i) for i in range(32)])
+        assert c.global_read_transactions == 2
+
+    def test_write_transactions(self):
+        c = Counters()
+        gm = GlobalMemory(np.zeros(64), counters=c, segment_words=32)
+        gm.warp_write([(i, i, i) for i in range(32)])
+        assert c.global_write_transactions == 1
+        assert c.global_write_requests == 32
+
+    def test_bounds_check(self):
+        gm = GlobalMemory(np.zeros(4))
+        with pytest.raises(SimulationError):
+            gm.warp_read([(0, 4)])
+
+    def test_write_race_rejected(self):
+        gm = GlobalMemory(np.zeros(4))
+        with pytest.raises(SimulationError):
+            gm.warp_write([(0, 1, 1), (1, 1, 2)])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ParameterError):
+            GlobalMemory(np.zeros((2, 2)))
+
+    def test_bad_segment_words(self):
+        with pytest.raises(ParameterError):
+            GlobalMemory(np.zeros(4), segment_words=0)
+
+
+class TestCounters:
+    def test_merge_and_add(self):
+        a = Counters(shared_cycles=3, compute_ops=2)
+        b = Counters(shared_cycles=4, sync_barriers=1)
+        c = a + b
+        assert c.shared_cycles == 7
+        assert c.compute_ops == 2
+        assert c.sync_barriers == 1
+        a.merge(b)
+        assert a.shared_cycles == 7
+
+    def test_reset(self):
+        c = Counters(shared_cycles=5)
+        c.reset()
+        assert c.shared_cycles == 0
+
+    def test_as_dict_roundtrip(self):
+        c = Counters(shared_replays=2)
+        d = c.as_dict()
+        assert d["shared_replays"] == 2
+        assert all(isinstance(v, int) for v in d.values())
+
+    def test_average_cycles(self):
+        c = Counters(shared_read_rounds=2, shared_cycles=6)
+        assert c.average_cycles_per_round == 3.0
+        assert Counters().average_cycles_per_round == 0.0
+
+    def test_summary_mentions_replays(self):
+        assert "replays" in Counters().summary()

@@ -1,0 +1,43 @@
+"""Slow soak tests: larger end-to-end runs under full validation.
+
+Marked ``slow``; run explicitly with ``pytest -m slow`` (they are included
+in default runs too, just placed last by name).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mergesort import gpu_mergesort
+from repro.mergesort.validation import validate_result
+from repro.workloads import adversarial, uniform_random
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_large_random_sort_both_variants(self):
+        n = 20_000
+        data = uniform_random(n, seed=99)
+        for variant in ("thrust", "cf"):
+            res = gpu_mergesort(data, E=5, u=16, w=8, variant=variant)
+            validate_result(res, original=data)
+
+    def test_large_adversarial_sort(self):
+        data = adversarial(64, 5, 16, 8)  # 64 tiles, 6 merge levels
+        res_t = gpu_mergesort(data, E=5, u=16, w=8, variant="thrust")
+        res_c = gpu_mergesort(data, E=5, u=16, w=8, variant="cf")
+        validate_result(res_t, original=data)
+        validate_result(res_c, original=data)
+        assert res_c.merge_replays == 0
+        # The attack's bite persists at depth: every level conflicted.
+        for level in res_t.per_level:
+            assert level.merge.shared_replays > 0
+
+    def test_paper_warp_width_moderate_n(self):
+        # Full w=32 geometry at a few thousand elements, exact simulation.
+        n = 4 * 64 * 15
+        data = uniform_random(n, seed=5)
+        for variant in ("thrust", "cf"):
+            res = gpu_mergesort(data, E=15, u=64, w=32, variant=variant)
+            validate_result(res, original=data)

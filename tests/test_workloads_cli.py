@@ -1,0 +1,146 @@
+"""Tests for workload generators and the CLI runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main, run_verify
+from repro.errors import ParameterError
+from repro.workloads import (
+    WORKLOADS,
+    adversarial,
+    few_distinct,
+    nearly_sorted,
+    reverse_sorted,
+    sorted_input,
+    uniform_random,
+)
+
+
+class TestWorkloads:
+    def test_uniform_random_deterministic_per_seed(self):
+        a = uniform_random(100, seed=7)
+        b = uniform_random(100, seed=7)
+        c = uniform_random(100, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_uniform_random_range(self):
+        data = uniform_random(1000, high=50)
+        assert data.min() >= 0 and data.max() < 50
+
+    def test_negative_n(self):
+        with pytest.raises(ParameterError):
+            uniform_random(-1)
+
+    def test_sorted_and_reverse(self):
+        assert np.array_equal(sorted_input(5), [0, 1, 2, 3, 4])
+        assert np.array_equal(reverse_sorted(5), [4, 3, 2, 1, 0])
+
+    def test_nearly_sorted_is_permutation(self):
+        data = nearly_sorted(200, seed=3)
+        assert sorted(data) == list(range(200))
+
+    def test_few_distinct(self):
+        data = few_distinct(500, distinct=4)
+        assert len(set(data.tolist())) <= 4
+
+    def test_adversarial_wraps_worstcase(self):
+        data = adversarial(2, 5, 16, 8)
+        assert sorted(data) == list(range(2 * 16 * 5))
+
+    def test_registry(self):
+        for name, gen in WORKLOADS.items():
+            out = gen(64, 1)
+            assert len(out) == 64, name
+
+
+class TestCLI:
+    @pytest.mark.parametrize(
+        "cmd", ["fig1", "fig2", "fig3", "fig4", "fig7", "fig8",
+                "theorem8", "occupancy", "verify"]
+    )
+    def test_commands_run(self, cmd, capsys):
+        assert main([cmd]) == 0
+        out = capsys.readouterr().out
+        assert cmd in out
+        assert len(out) > 100
+
+    def test_karsin_command(self, capsys):
+        assert main(["karsin"]) == 0
+        assert "2-3" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure-nine"])
+
+    def test_verify_passes(self):
+        text = run_verify()
+        assert text.strip().endswith("PASS")
+        assert "CF merge replays = 0" in text
+
+    def test_fig5_quick(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E=15, u=512" in out and "E=17, u=256" in out
+        assert "speedup" in out
+
+    def test_lemmas_default_grid(self, capsys):
+        assert main(["lemmas"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out.replace("FAIL (", "")
+        assert "Lemma 1" in out and "Corollary 3" in out
+
+    def test_lemmas_specific_point(self, capsys):
+        assert main(["lemmas", "--w", "24", "--E", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "(w=24, E=18)" in out and "PASS" in out
+
+    def test_defenses_command(self, capsys):
+        assert main(["defenses"]) == 0
+        out = capsys.readouterr().out
+        assert "universal hashing" in out
+
+    def test_staging_command(self, capsys):
+        assert main(["staging"]) == 0
+        assert "unpermuting store" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "theorem8" in out
+
+    def test_heatmap_command(self, capsys):
+        assert main(["heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert "WORST-CASE" in out and "depth" in out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "balls-in-bins" in out and "Karsin" in out
+
+    def test_levels_command(self, capsys):
+        assert main(["levels"]) == 0
+        out = capsys.readouterr().out
+        assert "thrust/worst" in out and "cf/worst" in out
+
+    @pytest.mark.slow
+    def test_noncoprime_command(self, capsys):
+        assert main(["noncoprime"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd(32,E)" in out
+
+    @pytest.mark.slow
+    def test_devices_command(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "A100" in out
+
+    def test_export_command(self, capsys, tmp_path, monkeypatch):
+        out_dir = tmp_path / "results"
+        assert main(["export", "--quick", "--out", str(out_dir)]) == 0
+        files = sorted(p.name for p in out_dir.iterdir())
+        assert "throughput_E15_u512.csv" in files
+        assert "throughput_E17_u256.json" in files
