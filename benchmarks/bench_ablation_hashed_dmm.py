@@ -22,7 +22,7 @@ from conftest import attach
 
 from repro.dmm import HashedBankModel, UniversalHash
 from repro.sim import BankModel
-from repro.worstcase import warp_tuples, worstcase_merge_inputs
+from repro.worstcase import warp_tuples
 
 W, E = 32, 15
 

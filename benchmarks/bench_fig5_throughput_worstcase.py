@@ -7,6 +7,10 @@ speedup bands asserted:
 * E=15, u=512: average/mean/max speedup 1.37 / 1.45 / 1.47 (we assert the
   mean lands in [1.30, 1.50]);
 * E=17, u=256: 1.17 / 1.23 / 1.25 (asserted in [1.10, 1.30]).
+
+The tile grid comes from :func:`repro.runner.fig5_spec` — the same spec
+the CLI sweeps — and execution routes through the runner (uncached,
+serial, so pytest-benchmark times the real measurement).
 """
 
 from __future__ import annotations
@@ -14,25 +18,27 @@ from __future__ import annotations
 import pytest
 from conftest import attach
 
-from repro.config import SortParams
-from repro.perf import speedup_summary, throughput_sweep
-
-SWEEP = dict(i_range=range(16, 27, 2), samples=4, blocksort_samples=1)
-BANDS = {15: (1.30, 1.50), 17: (1.10, 1.30)}
+from repro.perf import speedup_summary
+from repro.runner import PARAM_SETS, execute, fig5_spec, throughput_points
 
 
-@pytest.mark.parametrize("E,u", [(15, 512), (17, 256)])
+@pytest.mark.parametrize("E,u", PARAM_SETS)
 def test_fig5_worstcase_throughput(benchmark, E, u):
-    params = SortParams(E, u)
+    spec = fig5_spec("bench", param_sets=((E, u),))
+    i_range = spec.meta_dict["i_range"]
 
     def sweep():
-        thrust = throughput_sweep(params, "thrust", "worstcase", **SWEEP)
-        cf = throughput_sweep(params, "cf", "worstcase", **SWEEP)
-        return thrust, cf
+        jobs = spec.expand()
+        results, _ = execute(jobs, cache=None, workers=1)
+        curves = {
+            job.params_dict["variant"]: throughput_points(job, res, i_range=i_range)
+            for job, res in zip(jobs, results)
+        }
+        return curves["thrust"], curves["cf"]
 
     thrust, cf = benchmark.pedantic(sweep, rounds=1, iterations=1)
     stats = speedup_summary(thrust, cf)
-    lo, hi = BANDS[E]
+    lo, hi = {15: (1.30, 1.50), 17: (1.10, 1.30)}[E]
     assert lo <= stats["mean"] <= hi, stats
     assert all(c.throughput > t.throughput for t, c in zip(thrust, cf))
     attach(

@@ -8,6 +8,10 @@ The figure's two claims, asserted:
 * CF-Merge's own curves are input independent (worst == random within 10%);
 * unmodified Thrust loses substantially on the worst case (the prior
   work's "up to 50%" slowdown: we assert >= 15%).
+
+The tile grid comes from :func:`repro.runner.fig6_spec` — the same spec
+the CLI sweeps — and execution routes through the runner (uncached,
+serial, so pytest-benchmark times the real measurement).
 """
 
 from __future__ import annotations
@@ -15,21 +19,23 @@ from __future__ import annotations
 import pytest
 from conftest import attach
 
-from repro.config import SortParams
-from repro.perf import speedup_summary, throughput_sweep
-
-SWEEP = dict(i_range=range(16, 27, 2), samples=4, blocksort_samples=1)
+from repro.perf import speedup_summary
+from repro.runner import PARAM_SETS, execute, fig6_spec, throughput_points
 
 
-@pytest.mark.parametrize("E,u", [(15, 512), (17, 256)])
+@pytest.mark.parametrize("E,u", PARAM_SETS)
 def test_fig6_random_vs_worstcase(benchmark, E, u):
-    params = SortParams(E, u)
+    spec = fig6_spec("bench", param_sets=((E, u),))
+    i_range = spec.meta_dict["i_range"]
 
     def sweep():
+        jobs = spec.expand()
+        results, _ = execute(jobs, cache=None, workers=1)
         return {
-            (v, wl): throughput_sweep(params, v, wl, **SWEEP)
-            for v in ("thrust", "cf")
-            for wl in ("random", "worstcase")
+            (job.params_dict["variant"], job.params_dict["workload"]): (
+                throughput_points(job, res, i_range=i_range)
+            )
+            for job, res in zip(jobs, results)
         }
 
     series = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -7,32 +7,34 @@ The paper's central quantitative theorem: the constructed inputs align
 
 conflicting accesses per warp merge.  The benchmark times the measurement
 and asserts measured excess >= formula (minus the first-access-per-bank
-discount, see tests/test_worstcase.py) on a (w, E) grid.
+discount, see tests/test_worstcase.py) on the shared (w, E) grid from
+:data:`repro.runner.THEOREM8_GRID`, executed through the runner's
+tile-job workers.
 """
 
 from __future__ import annotations
 
 from conftest import attach
 
-from repro.mergesort.fast import serial_merge_profile
-from repro.worstcase import theorem8_combined, worstcase_merge_inputs
-
-GRID = [
-    (12, 5), (12, 9), (9, 6), (16, 9), (24, 18),
-    (32, 8), (32, 12), (32, 15), (32, 16), (32, 17), (32, 24),
-]
+from repro.runner import THEOREM8_GRID, execute, theorem8_spec
 
 
 def test_theorem8_grid(benchmark):
+    spec = theorem8_spec()
+
     def measure_all():
-        rows = {}
-        for w, E in GRID:
-            a, b = worstcase_merge_inputs(w, E)
-            prof = serial_merge_profile(a, b, E, w)
-            rows[(w, E)] = (theorem8_combined(w, E), prof.shared_excess)
-        return rows
+        jobs = spec.expand()
+        results, _ = execute(jobs, cache=None, workers=1)
+        return {
+            (job.params_dict["w"], job.params_dict["E"]): (
+                res["formula"],
+                res["excess"],
+            )
+            for job, res in zip(jobs, results)
+        }
 
     rows = benchmark(measure_all)
+    assert set(rows) == set(THEOREM8_GRID)
     for (w, E), (formula, measured) in rows.items():
         assert measured >= formula - 2 * w, (w, E, formula, measured)
     attach(
@@ -43,18 +45,19 @@ def test_theorem8_grid(benchmark):
 
 def test_theorem8_paper_parameters(benchmark):
     """The two Section 5 parameter sets at full warp width."""
+    spec = theorem8_spec(grid=((32, 15), (32, 17)))
 
     def measure():
-        out = {}
-        for E in (15, 17):
-            a, b = worstcase_merge_inputs(32, E)
-            prof = serial_merge_profile(a, b, E, 32)
-            out[E] = dict(
-                formula=theorem8_combined(32, E),
-                excess=prof.shared_excess,
-                replays_per_step=prof.shared_replays / prof.shared_read_rounds,
+        jobs = spec.expand()
+        results, _ = execute(jobs, cache=None, workers=1)
+        return {
+            job.params_dict["E"]: dict(
+                formula=res["formula"],
+                excess=res["excess"],
+                replays_per_step=res["replays_per_step"],
             )
-        return out
+            for job, res in zip(jobs, results)
+        }
 
     result = benchmark(measure)
     # Worst case drives replays per step to Theta(E) — vs 2-3 on random.

@@ -12,7 +12,7 @@ Run:  python examples/dual_scan_beyond_merging.py
 
 import numpy as np
 
-from repro import WarpSplit, conflict_free_dual_scan
+from repro import conflict_free_dual_scan
 from repro.mergesort import warp_split_from_merge_path
 
 

@@ -9,7 +9,6 @@ from repro.config import RTX_2080_TI, DeviceSpec, SortParams
 from repro.mergesort.fast import serial_merge_profile
 from repro.perf.occupancy import occupancy
 from repro.perf.throughput import ThroughputPoint
-from repro.worstcase import theorem8_combined, worstcase_merge_inputs
 
 __all__ = [
     "theorem8_table",
@@ -26,32 +25,39 @@ __all__ = [
 
 def theorem8_table(
     cases: list[tuple[int, int]] | None = None,
+    results: dict[tuple[int, int], dict] | None = None,
 ) -> str:
     """Measured worst-case conflicts vs Theorem 8's closed forms.
 
     ``excess`` counts accesses beyond one per bank per round; Theorem 8
     counts *every* access of the aligned scans, so measured excess should
     meet (and, through incidental conflicts, usually exceed) the formula.
+
+    ``results`` may carry precomputed ``theorem8`` tile results from
+    :mod:`repro.runner` (keyed by ``(w, E)``); otherwise each case is
+    measured in-process through the same worker.
     """
-    if cases is None:
-        cases = [
-            (12, 5), (12, 9), (9, 6), (16, 9), (24, 18),
-            (32, 8), (32, 12), (32, 15), (32, 16), (32, 17), (32, 24),
-        ]
+    from repro.runner.measure import run_tile_job
+    from repro.runner.spec import make_job
+    from repro.runner.specs import THEOREM8_GRID
+
+    if results is None:
+        if cases is None:
+            cases = list(THEOREM8_GRID)
+        results = {
+            (w, E): run_tile_job(make_job("theorem8", w=w, E=E)) for w, E in cases
+        }
     lines = [
         "Theorem 8 validation — worst-case serial-merge conflicts per warp",
         f"{'w':>4} {'E':>4} {'d':>3} {'theorem8':>9} {'measured':>9} "
         f"{'replays/step':>12} {'verdict':>8}",
     ]
-    for w, E in cases:
-        a, b = worstcase_merge_inputs(w, E)
-        prof = serial_merge_profile(a, b, E, w)
-        t8 = theorem8_combined(w, E)
-        per_step = prof.shared_replays / max(prof.shared_read_rounds, 1)
-        verdict = "ok" if prof.shared_excess >= t8 - 2 * w else "LOW"
+    for (w, E), row in results.items():
+        t8, excess = int(row["formula"]), int(row["excess"])
+        verdict = "ok" if excess >= t8 - 2 * w else "LOW"
         lines.append(
             f"{w:>4} {E:>4} {int(np.gcd(w, E)):>3} {t8:>9} "
-            f"{prof.shared_excess:>9} {per_step:>12.2f} {verdict:>8}"
+            f"{excess:>9} {row['replays_per_step']:>12.2f} {verdict:>8}"
         )
     return "\n".join(lines)
 
@@ -109,39 +115,41 @@ def karsin_table(
     return "\n".join(lines)
 
 
-def defenses_table(w: int = 32, E: int = 15) -> str:
+def defenses_table(
+    w: int = 32,
+    E: int = 15,
+    results: dict[str, dict] | None = None,
+) -> str:
     """Three defenses against the Section 4 adversary (DESIGN.md ablation).
 
     Full-simulation comparison on one warp's worst-case merge: the coprime
     heuristic (stock Thrust), universal hashing (the general DMM
-    simulations of Section 2), and CF-Merge.
+    simulations of Section 2), and CF-Merge.  ``results`` may carry
+    precomputed ``defenses`` tile results from :mod:`repro.runner` (keyed
+    by defense name); otherwise each arm is measured in-process through
+    the same worker.
     """
-    from repro.dmm import HashedSharedMemory
-    from repro.mergesort import cf_merge_block, serial_merge_block
-    from repro.worstcase import worstcase_merge_inputs
+    from repro.runner.measure import run_tile_job
+    from repro.runner.spec import make_job
+    from repro.runner.specs import DEFENSES
 
-    a, b = worstcase_merge_inputs(w, E)
-    _, stock = serial_merge_block(a, b, E, w, simulate_search=False)
-
-    hashed_replays, hashed_compute = [], []
-    for seed in range(5):
-        def factory(size, w_, counters, trace, _seed=seed):
-            return HashedSharedMemory(size, w_, counters=counters, trace=trace, seed=_seed)
-
-        _, h = serial_merge_block(a, b, E, w, simulate_search=False, shared_factory=factory)
-        hashed_replays.append(h.merge.shared_replays)
-        hashed_compute.append(h.merge.compute_ops)
-    _, cf = cf_merge_block(a, b, E, w, simulate_search=False)
-
+    if results is None:
+        results = {
+            defense: run_tile_job(
+                make_job("defenses", defense=defense, w=w, E=E, hash_seeds=5)
+            )
+            for defense in DEFENSES
+        }
+    stock, hashed, cf = results["coprime"], results["hashing"], results["cf"]
     lines = [
         f"Defenses vs the Section 4 adversary (one warp merge, w={w}, E={E})",
         f"{'defense':>20} {'merge replays':>14} {'compute ops':>12} {'guarantee':>16}",
-        f"{'coprime heuristic':>20} {stock.merge.shared_replays:>14} "
-        f"{stock.merge.compute_ops:>12} {'none':>16}",
-        f"{'universal hashing':>20} {np.mean(hashed_replays):>14.1f} "
-        f"{np.mean(hashed_compute):>12.0f} {'expected small':>16}",
-        f"{'CF-Merge (paper)':>20} {cf.merge.shared_replays:>14} "
-        f"{cf.merge.compute_ops:>12} {'zero, always':>16}",
+        f"{'coprime heuristic':>20} {int(stock['merge_replays']):>14} "
+        f"{int(stock['compute_ops']):>12} {'none':>16}",
+        f"{'universal hashing':>20} {hashed['merge_replays']:>14.1f} "
+        f"{hashed['compute_ops']:>12.0f} {'expected small':>16}",
+        f"{'CF-Merge (paper)':>20} {int(cf['merge_replays']):>14} "
+        f"{int(cf['compute_ops']):>12} {'zero, always':>16}",
     ]
     return "\n".join(lines)
 
@@ -224,7 +232,7 @@ def noncoprime_table(i: int = 22) -> str:
     coprimality varies).
     """
     from repro.config import SortParams
-    from repro.numtheory import coprime, gcd
+    from repro.numtheory import gcd
     from repro.perf.throughput import throughput_sweep
 
     u = 512

@@ -24,8 +24,16 @@ Usage::
     python -m repro devices        # the model across GPU presets
     python -m repro sensitivity    # speedups under perturbed cost constants
     python -m repro export [--out DIR]     # fig5/fig6 series to CSV/JSON
+    python -m repro bench --baseline B.json [--tolerance T]  # perf gate
     python -m repro list           # the experiment manifest
-    python -m repro all [--quick]  # everything above
+    python -m repro all [--quick]  # everything above (except bench/export)
+
+Sweep-backed commands (fig5/fig6/theorem8/defenses/export/bench) route
+through :mod:`repro.runner`: their tile measurements fan out over worker
+processes (``--jobs``, 0 = one per core) and land in a content-addressed
+on-disk cache (``--cache-dir``, disable with ``--no-cache``), so re-runs
+and overlapping sweeps (fig5 ⊂ fig6 ⊂ export) share work.  ``--report``
+writes the session's :class:`~repro.runner.RunReport` JSON artifact.
 """
 
 from __future__ import annotations
@@ -44,31 +52,95 @@ from repro.analysis import (
     figure8,
     karsin_table,
     occupancy_table,
-    theorem8_table,
     throughput_table,
 )
+from repro.analysis.plots import plot_throughput
 from repro.analysis.tables import (
     defenses_table,
     devices_table,
     levels_table,
     noncoprime_table,
     staging_table,
+    theorem8_table,
 )
-from repro.analysis.plots import plot_throughput
 from repro.config import SortParams
 from repro.mergesort import gpu_mergesort
-from repro.perf import speedup_summary, throughput_sweep
+from repro.perf import speedup_summary
+from repro.perf.throughput import ThroughputPoint
+from repro.runner import (
+    PARAM_SETS,
+    ExecutionStats,
+    ResultCache,
+    RunReport,
+    SweepSpec,
+    TileJob,
+    code_version,
+    defenses_spec,
+    execute,
+    fig5_spec,
+    fig6_spec,
+    run_bench_gate,
+    theorem8_spec,
+    throughput_points,
+)
 from repro.workloads import adversarial, uniform_random
 
-__all__ = ["main"]
+__all__ = ["main", "RunnerSession"]
 
-_PARAM_SETS = (SortParams(15, 512), SortParams(17, 256))
+_PARAM_SETS = tuple(SortParams(E, u) for E, u in PARAM_SETS)
 
 
-def _sweep_args(quick: bool) -> dict:
-    if quick:
-        return dict(i_range=range(16, 27, 5), samples=3, blocksort_samples=1)
-    return dict(i_range=range(16, 27), samples=6, blocksort_samples=2)
+class RunnerSession:
+    """One CLI invocation's executor settings + accumulated run report.
+
+    Every sweep-backed command funnels its jobs through :meth:`run`, so a
+    single ``python -m repro all --quick --report r.json`` emits one
+    aggregated artifact covering every tile the invocation measured.
+    """
+
+    def __init__(self, workers: int = 0, cache: ResultCache | None = None) -> None:
+        self.workers = workers
+        self.cache = cache
+        self.jobs: list[TileJob] = []
+        self.results: list[dict] = []
+        self.stats = ExecutionStats(workers=1)
+        self.last_stats = ExecutionStats(workers=1)
+
+    def run(self, spec: SweepSpec) -> tuple[list[TileJob], list[dict]]:
+        """Expand and execute ``spec``, recording jobs for the report."""
+        jobs = spec.expand()
+        results, stats = execute(jobs, cache=self.cache, workers=self.workers)
+        self.jobs.extend(jobs)
+        self.results.extend(results)
+        self.stats.merge(stats)
+        self.last_stats = stats
+        return jobs, results
+
+    def report(self, name: str) -> RunReport:
+        """The aggregated :class:`RunReport` for everything run so far."""
+        return RunReport.build(
+            name, self.jobs, self.results, self.stats, code_version()
+        )
+
+
+def _session(args: argparse.Namespace) -> RunnerSession:
+    session = getattr(args, "session", None)
+    if session is None:
+        session = RunnerSession()
+        args.session = session
+    return session
+
+
+def _throughput_series(
+    jobs: list[TileJob], results: list[dict], i_range
+) -> dict[tuple[int, int, str, str], list[ThroughputPoint]]:
+    """Compose runner results into curves keyed by (E, u, variant, workload)."""
+    series: dict[tuple[int, int, str, str], list[ThroughputPoint]] = {}
+    for job, result in zip(jobs, results):
+        p = job.params_dict
+        key = (int(p["E"]), int(p["u"]), str(p["variant"]), str(p["workload"]))
+        series[key] = throughput_points(job, result, i_range=i_range)
+    return series
 
 
 def _fmt_speedups(label: str, stats: dict[str, float]) -> str:
@@ -78,17 +150,21 @@ def _fmt_speedups(label: str, stats: dict[str, float]) -> str:
     )
 
 
-def run_fig5(quick: bool) -> str:
+def run_fig5(args: argparse.Namespace) -> str:
     """Throughput on worst-case inputs, both parameter sets (Figure 5)."""
+    session = _session(args)
+    spec = fig5_spec("quick" if args.quick else "full")
+    jobs, results = session.run(spec)
+    series = _throughput_series(jobs, results, spec.meta_dict["i_range"])
+
     out = ["Figure 5 — throughput on constructed worst-case inputs", ""]
-    kw = _sweep_args(quick)
     for params in _PARAM_SETS:
-        thrust = throughput_sweep(params, "thrust", "worstcase", **kw)
-        cf = throughput_sweep(params, "cf", "worstcase", **kw)
-        series = {"Thrust (worst)": thrust, "CF-Merge (worst)": cf}
-        out.append(throughput_table(series, title=f"E={params.E}, u={params.u}"))
+        thrust = series[(params.E, params.u, "thrust", "worstcase")]
+        cf = series[(params.E, params.u, "cf", "worstcase")]
+        named = {"Thrust (worst)": thrust, "CF-Merge (worst)": cf}
+        out.append(throughput_table(named, title=f"E={params.E}, u={params.u}"))
         out.append("")
-        out.append(plot_throughput(series, title=f"  E={params.E}, u={params.u}"))
+        out.append(plot_throughput(named, title=f"  E={params.E}, u={params.u}"))
         out.append(
             _fmt_speedups(
                 f"  CF-Merge speedup (paper: "
@@ -97,20 +173,24 @@ def run_fig5(quick: bool) -> str:
             )
         )
         out.append("")
+    out.append(session.last_stats.summary())
     return "\n".join(out)
 
 
-def run_fig6(quick: bool) -> str:
+def run_fig6(args: argparse.Namespace) -> str:
     """Throughput on worst-case AND random inputs (Figure 6)."""
+    session = _session(args)
+    spec = fig6_spec("quick" if args.quick else "full")
+    jobs, results = session.run(spec)
+    by_key = _throughput_series(jobs, results, spec.meta_dict["i_range"])
+
     out = ["Figure 6 — throughput on worst-case and random inputs", ""]
-    kw = _sweep_args(quick)
     for params in _PARAM_SETS:
-        series = {}
-        for variant in ("thrust", "cf"):
-            for workload in ("worstcase", "random"):
-                series[f"{variant}/{workload}"] = throughput_sweep(
-                    params, variant, workload, **kw
-                )
+        series = {
+            f"{variant}/{workload}": by_key[(params.E, params.u, variant, workload)]
+            for variant in ("thrust", "cf")
+            for workload in ("worstcase", "random")
+        }
         out.append(throughput_table(series, title=f"E={params.E}, u={params.u}"))
         out.append("")
         out.append(plot_throughput(series, title=f"  E={params.E}, u={params.u}"))
@@ -127,7 +207,27 @@ def run_fig6(quick: bool) -> str:
             )
         )
         out.append("")
+    out.append(session.last_stats.summary())
     return "\n".join(out)
+
+
+def run_theorem8(args: argparse.Namespace) -> str:
+    """Theorem 8's closed forms vs runner-measured worst-case conflicts."""
+    session = _session(args)
+    jobs, results = session.run(theorem8_spec())
+    rows = {
+        (int(j.params_dict["w"]), int(j.params_dict["E"])): r
+        for j, r in zip(jobs, results)
+    }
+    return theorem8_table(results=rows) + "\n" + session.last_stats.summary()
+
+
+def run_defenses(args: argparse.Namespace) -> str:
+    """The DMM-defense ablation, measured through the runner."""
+    session = _session(args)
+    jobs, results = session.run(defenses_spec())
+    arms = {str(j.params_dict["defense"]): r for j, r in zip(jobs, results)}
+    return defenses_table(results=arms) + "\n" + session.last_stats.summary()
 
 
 def run_lemmas(w: int | None, E: int | None) -> str:
@@ -148,26 +248,31 @@ def run_lemmas(w: int | None, E: int | None) -> str:
     return "\n".join(out)
 
 
-def run_export(quick: bool, out_dir: str) -> str:
-    """Write the Figure 5/6 series to JSON and CSV under ``out_dir``."""
+def run_export(args: argparse.Namespace) -> str:
+    """Write the Figure 5/6 series to JSON and CSV under ``--out``."""
     from pathlib import Path
 
     from repro.analysis.export import throughput_to_csv, throughput_to_json
 
-    out = Path(out_dir)
+    session = _session(args)
+    out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    kw = _sweep_args(quick)
+    spec = fig6_spec("quick" if args.quick else "full")
+    jobs, results = session.run(spec)
+    by_key = _throughput_series(jobs, results, spec.meta_dict["i_range"])
     written = []
     for params in _PARAM_SETS:
         series = {
-            f"{v}/{wl}": throughput_sweep(params, v, wl, **kw)
-            for v in ("thrust", "cf")
-            for wl in ("random", "worstcase")
+            f"{variant}/{workload}": by_key[(params.E, params.u, variant, workload)]
+            for variant in ("thrust", "cf")
+            for workload in ("random", "worstcase")
         }
         stem = f"throughput_E{params.E}_u{params.u}"
         written.append(throughput_to_csv(series, out / f"{stem}.csv"))
         written.append(throughput_to_json(series, out / f"{stem}.json"))
-    return "wrote:\n" + "\n".join(f"  {p}" for p in written)
+    lines = ["wrote:"] + [f"  {p}" for p in written]
+    lines.append(session.last_stats.summary())
+    return "\n".join(lines)
 
 
 def run_verify() -> str:
@@ -196,20 +301,37 @@ def run_verify() -> str:
     return "\n".join(out)
 
 
+def run_bench(args: argparse.Namespace) -> int:
+    """The CI perf gate: fresh quick-suite RunReport vs committed baseline."""
+    if not args.baseline:
+        print("bench: --baseline BENCH.json is required", file=sys.stderr)
+        return 2
+    session = _session(args)
+    exit_code, text = run_bench_gate(
+        args.baseline,
+        tolerance=args.tolerance,
+        workers=session.workers,
+        cache=session.cache,
+        report_path=args.report,
+    )
+    print(text)
+    return exit_code
+
+
 _COMMANDS = {
     "fig1": lambda args: figure1(),
     "fig2": lambda args: figure2(),
     "fig3": lambda args: figure3(),
     "fig4": lambda args: figure4(),
-    "fig5": lambda args: run_fig5(args.quick),
-    "fig6": lambda args: run_fig6(args.quick),
+    "fig5": run_fig5,
+    "fig6": run_fig6,
     "fig7": lambda args: figure7(),
     "fig8": lambda args: figure8(),
-    "theorem8": lambda args: theorem8_table(),
+    "theorem8": run_theorem8,
     "occupancy": lambda args: occupancy_table(),
     "karsin": lambda args: karsin_table(),
     "verify": lambda args: run_verify(),
-    "defenses": lambda args: defenses_table(),
+    "defenses": run_defenses,
     "staging": lambda args: staging_table(),
     "lemmas": lambda args: run_lemmas(args.w, args.E),
     "levels": lambda args: levels_table(),
@@ -218,7 +340,7 @@ _COMMANDS = {
     "sensitivity": lambda args: _sensitivity(),
     "heatmap": lambda args: _heatmap(),
     "stats": lambda args: _stats(),
-    "export": lambda args: run_export(args.quick, args.out),
+    "export": run_export,
     "list": lambda args: _manifest(),
 }
 
@@ -256,23 +378,69 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which figure/table to regenerate",
+        choices=sorted(_COMMANDS) + ["all", "bench"],
+        help="which figure/table to regenerate (or `bench` for the perf gate)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="smaller sweeps for fig5/fig6 (seconds instead of minutes)",
+        help="smaller sweeps for fig5/fig6/export (seconds instead of minutes)",
     )
     parser.add_argument("--w", type=int, default=None, help="warp width for `lemmas`")
     parser.add_argument("--E", type=int, default=None, help="elements/thread for `lemmas`")
     parser.add_argument(
         "--out", default="results", help="output directory for `export`"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for sweep measurements (0 = one per core, 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk tile-result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="tile-result cache location (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the session's RunReport JSON artifact to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="(bench) committed baseline RunReport to gate against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="(bench) allowed fractional increase over the baseline (default 0.25)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.tolerance < 0:
+        parser.error(f"--tolerance must be >= 0, got {args.tolerance}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    args.session = RunnerSession(workers=args.jobs, cache=cache)
+
+    if args.experiment == "bench":
+        return run_bench(args)
 
     if args.experiment == "all":
-        # `export` writes files; everything else only prints.
+        # `export` writes files, `bench` gates; everything else only prints.
         names = sorted(n for n in _COMMANDS if n != "export")
     else:
         names = [args.experiment]
@@ -280,6 +448,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'=' * 72}\n{name}\n{'=' * 72}")
         print(_COMMANDS[name](args))
         print()
+    if args.report and args.session.jobs:
+        path = args.session.report(args.experiment).write(args.report)
+        print(f"wrote run report: {path}")
     return 0
 
 

@@ -5,13 +5,20 @@ statistic) to the claim it reproduces and the code that regenerates it.
 ``python -m repro list`` prints the manifest; the test-suite checks that
 the registry and the CLI stay in sync (no experiment can silently lose its
 implementation).
+
+Sweep-backed experiments additionally name their :mod:`repro.runner`
+sweep spec (``spec``), making the registry the single source of truth for
+the tile grids the CLI executes, the benchmark scripts time, and the CI
+perf gate baselines.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Experiment", "EXPERIMENTS", "manifest"]
+from repro.runner.spec import SweepSpec
+
+__all__ = ["Experiment", "EXPERIMENTS", "manifest", "sweep_spec"]
 
 
 @dataclass(frozen=True)
@@ -26,6 +33,29 @@ class Experiment:
     claim: str
     #: The benchmark file regenerating it under pytest.
     bench: str
+    #: Name of the :mod:`repro.runner.specs` factory producing this
+    #: experiment's sweep grid ("" for non-sweep experiments).
+    spec: str = ""
+
+
+def sweep_spec(experiment_id: str, mode: str = "full") -> SweepSpec:
+    """The :class:`SweepSpec` behind a sweep-backed experiment.
+
+    ``mode`` selects the sweep size for throughput experiments
+    (``quick``/``bench``/``full``); grid-style specs ignore it.
+    Raises :class:`KeyError` for unknown ids and :class:`ValueError`
+    for experiments that are not sweep-backed.
+    """
+    from repro.runner import specs as _specs
+
+    experiment = EXPERIMENTS[experiment_id]
+    if not experiment.spec:
+        raise ValueError(f"experiment {experiment_id!r} is not sweep-backed")
+    factory = getattr(_specs, experiment.spec)
+    try:
+        return factory(mode)  # type: ignore[no-any-return]
+    except TypeError:
+        return factory()  # type: ignore[no-any-return]
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -60,12 +90,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             paper_ref="Figure 5 (Section 5.1)",
             claim="CF-Merge beats Thrust by ~1.4x (E=15) / ~1.2x (E=17) on worst-case inputs",
             bench="benchmarks/bench_fig5_throughput_worstcase.py",
+            spec="fig5_spec",
         ),
         Experiment(
             id="fig6",
             paper_ref="Figure 6 (Section 5.1)",
             claim="on random inputs CF-Merge matches Thrust; CF-Merge is input independent",
             bench="benchmarks/bench_fig6_throughput_random.py",
+            spec="fig6_spec",
         ),
         Experiment(
             id="fig7",
@@ -84,6 +116,7 @@ EXPERIMENTS: dict[str, Experiment] = {
             paper_ref="Theorem 8 (Section 4)",
             claim="the construction aligns E^2 (or the quadratic form) conflicting accesses",
             bench="benchmarks/bench_theorem8_table.py",
+            spec="theorem8_spec",
         ),
         Experiment(
             id="karsin",
@@ -114,6 +147,7 @@ EXPERIMENTS: dict[str, Experiment] = {
             paper_ref="Section 2 (DMM survey)",
             claim="general hashed-DMM defenses randomize conflicts away but tax every access",
             bench="benchmarks/bench_ablation_hashed_dmm.py",
+            spec="defenses_spec",
         ),
         Experiment(
             id="lemmas",

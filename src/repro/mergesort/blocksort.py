@@ -290,11 +290,11 @@ def blocksort_tile(
 
         # Stage current runs to shared (plain for baseline, pair layout for CF).
         if variant == "thrust":
-            stage_factory = lambda tid: _stage_kernel_plain(tid, E, regs[tid])
+            def stage_factory(tid, _E=E, _regs=regs):
+                return _stage_kernel_plain(tid, _E, _regs[tid])
         else:
-            stage_factory = lambda tid: _stage_kernel_pair_layout(
-                tid, E, regs[tid], region, w
-            )
+            def stage_factory(tid, _E=E, _regs=regs, _region=region, _w=w):
+                return _stage_kernel_pair_layout(tid, _E, _regs[tid], _region, _w)
         stage_block = ThreadBlock(
             u=u, w=w, shared_words=shared_words,
             program_factory=stage_factory, counters=stats.stage, trace=trace,

@@ -26,7 +26,6 @@ from repro.perf.throughput import (
     _merge_compute_ops,
     _staging_counters,
     measure_block_costs,
-    measure_blocksort_cost,
 )
 from repro.sim.counters import Counters
 

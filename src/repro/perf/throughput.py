@@ -34,7 +34,13 @@ from repro.perf.occupancy import occupancy
 from repro.sim.counters import Counters
 from repro.worstcase.generator import worstcase_full_input, worstcase_merge_inputs
 
-__all__ = ["ThroughputPoint", "throughput_sweep", "speedup_summary", "measure_block_costs"]
+__all__ = [
+    "ThroughputPoint",
+    "throughput_sweep",
+    "compose_points",
+    "speedup_summary",
+    "measure_block_costs",
+]
 
 
 def _scale(c: Counters, factor: float) -> Counters:
@@ -189,21 +195,27 @@ def _merge_compute_ops(params: SortParams, variant: str) -> int:
     return u * (2 * E + compare_exchange_count_odd_even(E))
 
 
-def throughput_sweep(
+def compose_points(
     params: SortParams,
+    search_c: Counters,
+    merge_c: Counters,
+    blocksort_c: Counters,
+    *,
     variant: str,
     workload: str,
     device: DeviceSpec = RTX_2080_TI,
     i_range=range(16, 27),
-    samples: int = 6,
-    blocksort_samples: int = 2,
-    seed: int = 0,
     constants: CycleConstants = DEFAULT_CONSTANTS,
 ) -> list[ThroughputPoint]:
-    """Run one throughput curve (``n = 2^i * E`` for ``i`` in ``i_range``).
+    """Compose measured per-block counters into a throughput curve.
 
-    Returns one :class:`ThroughputPoint` per ``i``.  ``2^i`` must be a
-    multiple of ``u`` so tiles divide evenly (true for the paper's range).
+    This is the analytic half of :func:`throughput_sweep` (DESIGN.md §5):
+    the per-block (search, merge, blocksort) counters — measured once —
+    are scaled over the ``n/(uE)`` blocks of each of the ``log2`` merge
+    levels, topped up with staging and global traffic, and priced by the
+    cost model.  Pure arithmetic: deterministic for fixed inputs, which
+    is what lets :mod:`repro.runner` cache the measurements and rebuild
+    curves for any ``i_range``.
     """
     w = device.warp_width
     E, u = params.E, params.u
@@ -211,10 +223,6 @@ def throughput_sweep(
     occ = occupancy(device, params).occupancy
     model = CostModel(device, constants)
 
-    search_c, merge_c = measure_block_costs(params, w, variant, workload, samples, seed)
-    blocksort_c = measure_blocksort_cost(
-        params, w, variant, workload, blocksort_samples, seed
-    )
     staging_c = _staging_counters(params, w, variant)
     merge_block_c = search_c + merge_c + staging_c
     merge_block_c.compute_ops += _merge_compute_ops(params, variant)
@@ -253,6 +261,43 @@ def throughput_sweep(
             )
         )
     return points
+
+
+def throughput_sweep(
+    params: SortParams,
+    variant: str,
+    workload: str,
+    device: DeviceSpec = RTX_2080_TI,
+    i_range=range(16, 27),
+    samples: int = 6,
+    blocksort_samples: int = 2,
+    seed: int = 0,
+    constants: CycleConstants = DEFAULT_CONSTANTS,
+) -> list[ThroughputPoint]:
+    """Run one throughput curve (``n = 2^i * E`` for ``i`` in ``i_range``).
+
+    Returns one :class:`ThroughputPoint` per ``i``.  ``2^i`` must be a
+    multiple of ``u`` so tiles divide evenly (true for the paper's range).
+    Measurement (:func:`measure_block_costs`) and composition
+    (:func:`compose_points`) are split so the experiment runner can cache
+    and parallelize the former.
+    """
+    w = device.warp_width
+    search_c, merge_c = measure_block_costs(params, w, variant, workload, samples, seed)
+    blocksort_c = measure_blocksort_cost(
+        params, w, variant, workload, blocksort_samples, seed
+    )
+    return compose_points(
+        params,
+        search_c,
+        merge_c,
+        blocksort_c,
+        variant=variant,
+        workload=workload,
+        device=device,
+        i_range=i_range,
+        constants=constants,
+    )
 
 
 def speedup_summary(

@@ -1,0 +1,125 @@
+"""The ``python -m repro bench`` suite: build, gate, and refresh.
+
+The suite (see :func:`repro.runner.specs.bench_suite`) is the quick-mode
+fig6 sweep plus the Theorem 8 grid and the defense ablation — a few
+hundred deterministic counters in ~10 s.  :func:`build_bench_report`
+runs it through the cached executor and adds composed end-to-end
+``time_us`` metrics per throughput curve, so the gate covers the cost
+model's output as well as the raw conflict counters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.runner.cache import ResultCache, code_version
+from repro.runner.executor import execute
+from repro.runner.measure import throughput_points
+from repro.runner.report import RunReport, compare_reports
+from repro.runner.spec import TileJob
+from repro.runner.specs import bench_suite
+
+__all__ = ["build_bench_report", "run_bench_gate"]
+
+
+def _derived_time_metrics(
+    jobs: list[TileJob],
+    results: list[dict[str, Any]],
+    i_range: tuple[int, ...],
+) -> dict[str, float]:
+    derived: dict[str, float] = {}
+    for job, result in zip(jobs, results):
+        if job.kind != "throughput":
+            continue
+        points = throughput_points(job, result, i_range=i_range)
+        for point in points:
+            derived[f"{job.label()}.time_us@i{point.i}"] = round(point.time_us, 6)
+    return derived
+
+
+def build_bench_report(
+    *,
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    name: str = "bench-quick",
+) -> RunReport:
+    """Run the bench suite and assemble its :class:`RunReport`."""
+    all_jobs: list[TileJob] = []
+    all_results: list[dict[str, Any]] = []
+    derived: dict[str, float] = {}
+    stats = None
+    for spec in bench_suite():
+        jobs = spec.expand()
+        results, spec_stats = execute(jobs, cache=cache, workers=workers)
+        if stats is None:
+            stats = spec_stats
+        else:
+            stats.merge(spec_stats)
+        meta = spec.meta_dict
+        i_range = meta.get("i_range")
+        if isinstance(i_range, tuple):
+            derived.update(
+                _derived_time_metrics(jobs, results, tuple(int(i) for i in i_range))
+            )
+        all_jobs.extend(jobs)
+        all_results.extend(results)
+    assert stats is not None  # bench_suite() is never empty
+    return RunReport.build(
+        name=name,
+        jobs=all_jobs,
+        results=all_results,
+        stats=stats,
+        code_version=code_version(),
+        derived=derived,
+    )
+
+
+def run_bench_gate(
+    baseline_path: Path | str,
+    *,
+    tolerance: float = 0.25,
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    report_path: Path | str | None = None,
+) -> tuple[int, str]:
+    """Run the suite, compare against the baseline, return ``(exit, text)``.
+
+    Exit code 0 when every baseline metric stays within
+    ``baseline * (1 + tolerance)``; 1 on any regression or any baseline
+    metric the fresh run no longer produces; 2 when the baseline file is
+    missing/unreadable (so CI fails loudly rather than green-lighting an
+    ungated build).
+    """
+    try:
+        baseline = RunReport.read(baseline_path)
+    except (OSError, ValueError) as exc:
+        return 2, f"bench: cannot read baseline {baseline_path}: {exc}"
+
+    report = build_bench_report(workers=workers, cache=cache)
+    if report_path is not None:
+        report.write(report_path)
+
+    regressions, missing = compare_reports(report, baseline, tolerance=tolerance)
+    lines = [
+        f"bench: {len(report.metrics())} metrics vs baseline "
+        f"{baseline.name!r} (tolerance {tolerance:.0%})",
+        report.stats.summary(),
+    ]
+    if report.code_version != baseline.code_version:
+        lines.append(
+            f"bench: note — code version changed "
+            f"({baseline.code_version} -> {report.code_version})"
+        )
+    for regression in regressions:
+        lines.append(f"REGRESSION {regression.describe()}")
+    for metric in missing:
+        lines.append(f"MISSING baseline metric not produced: {metric}")
+    if regressions or missing:
+        lines.append(
+            f"FAIL ({len(regressions)} regressions, {len(missing)} missing) — "
+            "if intentional, refresh with tools/update_baseline.py"
+        )
+        return 1, "\n".join(lines)
+    lines.append("PASS — no perf regressions")
+    return 0, "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Content-addressed on-disk cache for tile-job results.
+
+Cache key = ``(code version, job hash)``: entries live at
+``<root>/<code-version>/<job-hash>.json``.  The code version is a hash of
+every ``repro`` source file, so any change to the simulator, the
+measurement kernels, or the cost model invalidates all cached results at
+once — stale reuse is structurally impossible, at the cost of some
+over-invalidation (changing a docstring flushes the cache too).
+
+Entries self-describe (they embed the job key) and every read validates;
+a corrupted, truncated, or foreign entry is deleted and treated as a
+miss, so a damaged cache degrades to recomputation, never to wrong
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.runner.spec import TileJob
+
+__all__ = ["ResultCache", "code_version", "default_cache_dir"]
+
+#: Environment variable overriding the computed code version (tests, CI).
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_code_version_memo: str | None = None
+
+
+def code_version() -> str:
+    """Hash of the ``repro`` source tree (memoized per process)."""
+    global _code_version_memo
+    override = os.environ.get(CODE_VERSION_ENV)
+    if override:
+        return override
+    if _code_version_memo is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_memo = digest.hexdigest()[:16]
+    return _code_version_memo
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
+    return Path(os.environ.get(CACHE_DIR_ENV, ".repro_cache"))
+
+
+class ResultCache:
+    """On-disk JSON result cache keyed by ``(code version, job hash)``."""
+
+    def __init__(self, root: Path | str | None = None, version: str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version if version is not None else code_version()
+
+    def path_for(self, job: TileJob) -> Path:
+        """Where ``job``'s result lives (whether or not it exists yet)."""
+        return self.root / self.version / f"{job.job_hash}.json"
+
+    def get(self, job: TileJob) -> dict[str, Any] | None:
+        """Return the cached result for ``job``, or ``None`` on a miss.
+
+        Any unreadable/invalid entry (bad JSON, wrong job key, missing
+        result) is removed and reported as a miss.
+        """
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("job_key") != job.key()
+            or not isinstance(payload.get("result"), dict)
+        ):
+            self._discard(path)
+            return None
+        result: dict[str, Any] = payload["result"]
+        return result
+
+    def put(self, job: TileJob, result: dict[str, Any]) -> None:
+        """Store ``result`` for ``job`` (atomic write-then-rename)."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"job_key": job.key(), "kind": job.kind, "result": result}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,120 @@
+"""The parallel, cache-aware tile-job executor.
+
+Jobs are embarrassingly parallel (each tile's conflict counts are a
+deterministic function of its parameters — see ISSUE/DESIGN), so the
+executor's whole contract is simple: results come back **in job order**
+and are **identical for any worker count**, because per-job seeds are
+derived from job identity, never from scheduling.
+
+Flow: probe the cache for every job, fan the misses out over a
+``ProcessPoolExecutor`` in order-preserving chunks, write the fresh
+results back, and report hit/miss/wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.runner.cache import ResultCache
+from repro.runner.measure import run_tile_job
+from repro.runner.spec import TileJob
+
+__all__ = ["ExecutionStats", "execute"]
+
+
+@dataclass
+class ExecutionStats:
+    """What one :func:`execute` call did, for reports and the CLI."""
+
+    total: int = 0
+    hits: int = 0
+    misses: int = 0
+    wall_s: float = 0.0
+    workers: int = 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of all jobs (0.0 when idle)."""
+        return self.hits / self.total if self.total else 0.0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate ``other`` (for multi-sweep sessions) in place."""
+        self.total += other.total
+        self.hits += other.hits
+        self.misses += other.misses
+        self.wall_s += other.wall_s
+        self.workers = max(self.workers, other.workers)
+
+    def summary(self) -> str:
+        """One-line human-readable account of the run."""
+        return (
+            f"runner: {self.total} jobs, {self.hits} cache hits / "
+            f"{self.misses} misses ({self.hit_rate:.0%} hit rate), "
+            f"wall {self.wall_s:.2f}s, workers {self.workers}"
+        )
+
+
+def _resolve_workers(workers: int, pending: int) -> int:
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        if hasattr(os, "sched_getaffinity"):  # respects cgroup/taskset limits
+            workers = len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            workers = os.cpu_count() or 1
+    return max(1, min(workers, pending)) if pending else 1
+
+
+def execute(
+    jobs: list[TileJob],
+    *,
+    cache: ResultCache | None = None,
+    workers: int = 0,
+    chunk_size: int | None = None,
+) -> tuple[list[dict[str, Any]], ExecutionStats]:
+    """Run ``jobs``, returning ``(results_in_job_order, stats)``.
+
+    ``workers=0`` sizes the pool to the machine (capped by the number of
+    cache misses); ``workers=1`` runs serially in-process — by the
+    deterministic-seeding contract both produce identical results.
+    ``cache=None`` disables caching (every job recomputes).
+    """
+    start = time.perf_counter()
+    results: list[dict[str, Any] | None] = [None] * len(jobs)
+    miss_indices: list[int] = []
+    hits = 0
+    for idx, job in enumerate(jobs):
+        cached = cache.get(job) if cache is not None else None
+        if cached is not None:
+            results[idx] = cached
+            hits += 1
+        else:
+            miss_indices.append(idx)
+
+    n_workers = _resolve_workers(workers, len(miss_indices))
+    miss_jobs = [jobs[idx] for idx in miss_indices]
+    if n_workers > 1:
+        chunk = chunk_size or max(1, math.ceil(len(miss_jobs) / (n_workers * 4)))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            fresh = list(pool.map(run_tile_job, miss_jobs, chunksize=chunk))
+    else:
+        fresh = [run_tile_job(job) for job in miss_jobs]
+
+    for idx, result in zip(miss_indices, fresh):
+        results[idx] = result
+        if cache is not None:
+            cache.put(jobs[idx], result)
+
+    stats = ExecutionStats(
+        total=len(jobs),
+        hits=hits,
+        misses=len(miss_indices),
+        wall_s=time.perf_counter() - start,
+        workers=n_workers,
+    )
+    return [r for r in results if r is not None], stats

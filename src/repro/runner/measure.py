@@ -1,0 +1,188 @@
+"""Tile-job workers: the measurement kernels behind each job kind.
+
+:func:`run_tile_job` is the single entry point the executor fans out over
+worker processes.  Every worker is a pure function of its job's
+parameters (the per-job seed included), returns plain JSON-serializable
+dictionaries, and is therefore safe to cache by job hash and to execute
+in any order on any number of processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, cast
+
+from repro.config import RTX_2080_TI, DeviceSpec, SortParams
+from repro.errors import ParameterError
+from repro.perf.calibration import DEFAULT_CONSTANTS, CycleConstants
+from repro.perf.throughput import (
+    ThroughputPoint,
+    compose_points,
+    measure_block_costs,
+    measure_blocksort_cost,
+)
+from repro.runner.spec import TileJob
+from repro.sim.counters import Counters
+
+__all__ = ["run_tile_job", "throughput_points", "counters_from"]
+
+
+def _as_int(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParameterError(f"job parameter {name!r} must be an int, got {value!r}")
+    return value
+
+
+def _as_str(value: object, name: str) -> str:
+    if not isinstance(value, str):
+        raise ParameterError(f"job parameter {name!r} must be a str, got {value!r}")
+    return value
+
+
+def counters_from(payload: dict[str, int]) -> Counters:
+    """Rebuild a :class:`Counters` from its ``as_dict`` JSON payload."""
+    counters = Counters()
+    for name, value in payload.items():
+        if not hasattr(counters, name):
+            raise ParameterError(f"unknown counter field {name!r} in cached result")
+        setattr(counters, name, int(value))
+    return counters
+
+
+def _throughput_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """Measure one (E, u, variant, workload) block's counters."""
+    sort_params = SortParams(_as_int(params["E"], "E"), _as_int(params["u"], "u"))
+    w = _as_int(params["w"], "w")
+    variant = _as_str(params["variant"], "variant")
+    workload = _as_str(params["workload"], "workload")
+    seed = _as_int(params["seed"], "seed")
+    search_c, merge_c = measure_block_costs(
+        sort_params, w, variant, workload, _as_int(params["samples"], "samples"), seed
+    )
+    blocksort_c = measure_blocksort_cost(
+        sort_params,
+        w,
+        variant,
+        workload,
+        _as_int(params["blocksort_samples"], "blocksort_samples"),
+        seed,
+    )
+    return {
+        "search": search_c.as_dict(),
+        "merge": merge_c.as_dict(),
+        "blocksort": blocksort_c.as_dict(),
+    }
+
+
+def _theorem8_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """Measure one (w, E) worst-case merge against the closed form."""
+    from repro.mergesort.fast import serial_merge_profile
+    from repro.worstcase import theorem8_combined, worstcase_merge_inputs
+
+    w = _as_int(params["w"], "w")
+    E = _as_int(params["E"], "E")
+    a, b = worstcase_merge_inputs(w, E)
+    prof = serial_merge_profile(a, b, E, w)
+    return {
+        "formula": int(theorem8_combined(w, E)),
+        "excess": int(prof.shared_excess),
+        "replays": int(prof.shared_replays),
+        "read_rounds": int(prof.shared_read_rounds),
+        "replays_per_step": prof.shared_replays / max(prof.shared_read_rounds, 1),
+    }
+
+
+def _defenses_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """Measure one defense arm on one warp's worst-case merge."""
+    from repro.dmm import HashedSharedMemory
+    from repro.mergesort import cf_merge_block, serial_merge_block
+    from repro.worstcase import worstcase_merge_inputs
+
+    w = _as_int(params["w"], "w")
+    E = _as_int(params["E"], "E")
+    defense = _as_str(params["defense"], "defense")
+    a, b = worstcase_merge_inputs(w, E)
+
+    if defense == "coprime":
+        _, stats = serial_merge_block(a, b, E, w, simulate_search=False)
+        return {
+            "merge_replays": float(stats.merge.shared_replays),
+            "compute_ops": float(stats.merge.compute_ops),
+        }
+    if defense == "hashing":
+        hash_seeds = _as_int(params["hash_seeds"], "hash_seeds")
+        replays, compute = [], []
+        for seed in range(hash_seeds):
+            def factory(size: int, w_: int, counters: Any, trace: Any, _seed: int = seed) -> Any:
+                return HashedSharedMemory(
+                    size, w_, counters=counters, trace=trace, seed=_seed
+                )
+
+            _, stats = serial_merge_block(
+                a, b, E, w, simulate_search=False, shared_factory=factory
+            )
+            replays.append(stats.merge.shared_replays)
+            compute.append(stats.merge.compute_ops)
+        return {
+            "merge_replays": sum(replays) / len(replays),
+            "compute_ops": sum(compute) / len(compute),
+        }
+    if defense == "cf":
+        _, stats = cf_merge_block(a, b, E, w, simulate_search=False)
+        return {
+            "merge_replays": float(stats.merge.shared_replays),
+            "compute_ops": float(stats.merge.compute_ops),
+        }
+    raise ParameterError(f"unknown defense {defense!r}")
+
+
+_WORKERS = {
+    "throughput": _throughput_tile,
+    "theorem8": _theorem8_tile,
+    "defenses": _defenses_tile,
+}
+
+
+def run_tile_job(job: TileJob) -> dict[str, Any]:
+    """Execute one tile job and return its JSON-serializable result.
+
+    Importable at module top level so :class:`~concurrent.futures.
+    ProcessPoolExecutor` can pickle it to worker processes.
+    """
+    worker = _WORKERS.get(job.kind)
+    if worker is None:
+        raise ParameterError(f"unknown job kind {job.kind!r}")
+    return worker(job.params_dict)
+
+
+def throughput_points(
+    job: TileJob,
+    result: dict[str, Any],
+    i_range: tuple[int, ...] | range,
+    device: DeviceSpec = RTX_2080_TI,
+    constants: CycleConstants = DEFAULT_CONSTANTS,
+) -> list[ThroughputPoint]:
+    """Compose a cached/parallel ``throughput`` job result into a curve.
+
+    Equivalent to :func:`repro.perf.throughput.throughput_sweep` with the
+    measurement half replaced by the job's (possibly cached) counters.
+    """
+    if job.kind != "throughput":
+        raise ParameterError(f"expected a throughput job, got kind {job.kind!r}")
+    params = job.params_dict
+    if params["w"] != device.warp_width:
+        raise ParameterError(
+            f"job measured at w={params['w']} cannot compose on "
+            f"{device.name} (w={device.warp_width})"
+        )
+    sort_params = SortParams(_as_int(params["E"], "E"), _as_int(params["u"], "u"))
+    return compose_points(
+        sort_params,
+        counters_from(cast("dict[str, int]", result["search"])),
+        counters_from(cast("dict[str, int]", result["merge"])),
+        counters_from(cast("dict[str, int]", result["blocksort"])),
+        variant=_as_str(params["variant"], "variant"),
+        workload=_as_str(params["workload"], "workload"),
+        device=device,
+        i_range=i_range,
+        constants=constants,
+    )

@@ -1,0 +1,197 @@
+"""Run reports and baseline comparison (the CI perf-gate contract).
+
+A :class:`RunReport` is the durable JSON artifact of one runner session:
+per-tile results, cache hit/miss statistics, wall clock, and the code
+version that produced it.  ``python -m repro bench`` builds one from the
+quick-mode suite and compares it against a committed baseline
+(``benchmarks/BASELINE.json``): every numeric leaf of every tile result
+is a *cost metric* (replays, cycles, transactions, compute ops, modeled
+microseconds), so "current > baseline × (1 + tolerance)" is a perf
+regression and gates the build.
+
+Wall-clock and cache statistics are recorded for humans but excluded
+from gating — only deterministic counters are compared, which keeps the
+gate flake-free on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ParameterError
+from repro.runner.executor import ExecutionStats
+from repro.runner.spec import TileJob
+
+__all__ = ["RunReport", "Regression", "compare_reports"]
+
+#: Versioned so future sessions can evolve the schema detectably.
+REPORT_SCHEMA = 1
+
+
+def _flatten(prefix: str, value: Any, out: dict[str, float]) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+
+
+@dataclass
+class RunReport:
+    """The JSON artifact of one runner session."""
+
+    name: str
+    code_version: str
+    stats: ExecutionStats
+    tiles: list[dict[str, Any]] = field(default_factory=list)
+    #: Extra deterministic metrics (e.g. composed end-to-end time_us).
+    derived: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        jobs: list[TileJob],
+        results: list[dict[str, Any]],
+        stats: ExecutionStats,
+        code_version: str,
+        derived: dict[str, float] | None = None,
+    ) -> "RunReport":
+        """Assemble a report from an :func:`~repro.runner.executor.execute` run."""
+        if len(jobs) != len(results):
+            raise ParameterError(
+                f"{len(jobs)} jobs but {len(results)} results — executor bug?"
+            )
+        tiles = [
+            {
+                "label": job.label(),
+                "kind": job.kind,
+                "hash": job.job_hash,
+                "params": {k: v for k, v in job.params_dict.items()},
+                "result": result,
+            }
+            for job, result in zip(jobs, results)
+        ]
+        return cls(
+            name=name,
+            code_version=code_version,
+            stats=stats,
+            tiles=tiles,
+            derived=dict(derived or {}),
+        )
+
+    def metrics(self) -> dict[str, float]:
+        """Flatten every numeric result leaf into ``label.path -> value``.
+
+        These are the gated quantities; all are costs (lower is better).
+        """
+        out: dict[str, float] = {}
+        for tile in self.tiles:
+            _flatten(str(tile["label"]), tile["result"], out)
+        out.update(self.derived)
+        return out
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON-serializable form of the report."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "name": self.name,
+            "code_version": self.code_version,
+            "stats": {
+                "total": self.stats.total,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "wall_s": round(self.stats.wall_s, 4),
+                "workers": self.stats.workers,
+            },
+            "tiles": self.tiles,
+            "derived": self.derived,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_payload` JSON."""
+        if not isinstance(payload, dict) or "tiles" not in payload:
+            raise ParameterError("not a RunReport payload")
+        stats_raw = payload.get("stats", {})
+        stats = ExecutionStats(
+            total=int(stats_raw.get("total", 0)),
+            hits=int(stats_raw.get("hits", 0)),
+            misses=int(stats_raw.get("misses", 0)),
+            wall_s=float(stats_raw.get("wall_s", 0.0)),
+            workers=int(stats_raw.get("workers", 1)),
+        )
+        return cls(
+            name=str(payload.get("name", "")),
+            code_version=str(payload.get("code_version", "")),
+            stats=stats,
+            tiles=list(payload["tiles"]),
+            derived={str(k): float(v) for k, v in payload.get("derived", {}).items()},
+        )
+
+    def write(self, path: Path | str) -> Path:
+        """Write the report as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Path | str) -> "RunReport":
+        """Load a report written by :meth:`write`."""
+        return cls.from_payload(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that exceeded the baseline beyond the tolerance."""
+
+    metric: str
+    baseline: float
+    current: float
+    limit: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner for gate output."""
+        return (
+            f"{self.metric}: {self.current:g} > limit {self.limit:g} "
+            f"(baseline {self.baseline:g})"
+        )
+
+
+def compare_reports(
+    current: RunReport,
+    baseline: RunReport,
+    tolerance: float = 0.25,
+) -> tuple[list[Regression], list[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(regressions, missing)``: ``regressions`` lists every
+    baseline metric whose current value exceeds
+    ``baseline * (1 + tolerance)`` (for zero baselines, any positive
+    value); ``missing`` lists baseline metrics the current run did not
+    produce (a gate failure too — coverage must not silently shrink).
+    Metrics new in ``current`` are ignored, so adding experiments never
+    requires a baseline refresh.
+    """
+    if tolerance < 0:
+        raise ParameterError(f"tolerance must be >= 0, got {tolerance}")
+    current_metrics = current.metrics()
+    regressions: list[Regression] = []
+    missing: list[str] = []
+    for metric, base_value in sorted(baseline.metrics().items()):
+        if metric not in current_metrics:
+            missing.append(metric)
+            continue
+        value = current_metrics[metric]
+        limit = base_value * (1.0 + tolerance)
+        if value > limit + 1e-12:
+            regressions.append(
+                Regression(metric=metric, baseline=base_value, current=value, limit=limit)
+            )
+    return regressions, missing

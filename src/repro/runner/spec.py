@@ -1,0 +1,156 @@
+"""Sweep specifications and hashable tile jobs.
+
+A :class:`SweepSpec` is the declarative form of one experiment sweep: a
+cartesian parameter grid (axes), constants shared by every point, and a
+base seed.  :meth:`SweepSpec.expand` flattens the grid into
+:class:`TileJob` instances — frozen, hashable descriptions of one unit of
+measurement work.  Everything that can influence a job's *result* lives in
+its parameters (including the derived per-job seed), so the job hash is a
+complete cache key; everything that only influences *presentation* (e.g.
+the ``i_range`` a throughput curve is composed over) rides in
+:attr:`SweepSpec.meta` and stays out of the hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["TileJob", "SweepSpec", "make_job", "derive_seed"]
+
+#: JSON-compatible parameter values (tuples canonicalize nested lists).
+ParamValue = int | float | str | bool | None | tuple["ParamValue", ...]
+
+
+def _canonical(value: object) -> ParamValue:
+    """Coerce ``value`` to a hashable, JSON-stable parameter value."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, range)):
+        return tuple(_canonical(v) for v in value)
+    raise ParameterError(f"unsupported job parameter value: {value!r}")
+
+
+def _to_jsonable(value: ParamValue) -> object:
+    if isinstance(value, tuple):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class TileJob:
+    """One hashable unit of measurement work.
+
+    ``kind`` selects the worker (see :mod:`repro.runner.measure`);
+    ``params`` is a sorted tuple of ``(name, value)`` pairs.  Two jobs
+    with equal ``key()`` are guaranteed to produce equal results — the
+    contract the cache and the parallel executor rely on.
+    """
+
+    kind: str
+    params: tuple[tuple[str, ParamValue], ...]
+
+    @property
+    def params_dict(self) -> dict[str, ParamValue]:
+        """The parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def key(self) -> str:
+        """Canonical string identity (kind + sorted JSON parameters)."""
+        payload = {name: _to_jsonable(value) for name, value in self.params}
+        return f"{self.kind}:{json.dumps(payload, sort_keys=True, separators=(',', ':'))}"
+
+    @property
+    def job_hash(self) -> str:
+        """Content hash of the job — the cache key's job half."""
+        return hashlib.sha256(self.key().encode()).hexdigest()[:24]
+
+    def label(self) -> str:
+        """Short human-readable identity for reports and baselines.
+
+        Stable across runs (derived seeds are excluded: they are
+        themselves derived from the remaining parameters).
+        """
+        parts = [f"{name}={_to_jsonable(value)}" for name, value in self.params if name != "seed"]
+        return f"{self.kind}({', '.join(parts)})"
+
+
+def make_job(kind: str, **params: object) -> TileJob:
+    """Build a :class:`TileJob` with canonicalized, sorted parameters."""
+    items = tuple(sorted((name, _canonical(value)) for name, value in params.items()))
+    return TileJob(kind=kind, params=items)
+
+
+def derive_seed(base_seed: int, kind: str, params: dict[str, ParamValue]) -> int:
+    """Derive a deterministic per-job seed from the job's identity.
+
+    The seed depends only on the base seed and the job's own parameters —
+    never on expansion order or worker assignment — so parallel and serial
+    runs (and partial cached re-runs) measure identical statistics.
+    """
+    payload = {name: _to_jsonable(value) for name, value in sorted(params.items())}
+    text = f"{base_seed}|{kind}|{json.dumps(payload, sort_keys=True, separators=(',', ':'))}"
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parameter grid + input classes + seed, expandable into jobs.
+
+    Attributes
+    ----------
+    name:
+        Sweep identity, used in reports (e.g. ``"fig6-quick"``).
+    kind:
+        The :class:`TileJob` kind every expanded job carries.
+    axes:
+        Ordered ``(axis_name, values)`` pairs; the grid is their cartesian
+        product.  A compound axis name like ``"E+u"`` unpacks tuple values
+        into one parameter per ``+``-separated component.
+    fixed:
+        ``(name, value)`` parameters shared by every job.
+    seed:
+        Base seed; each job gets a :func:`derive_seed`-derived seed.
+    meta:
+        Presentation-time settings (e.g. ``i_range``) that do not enter
+        job hashes.
+    """
+
+    name: str
+    kind: str
+    axes: tuple[tuple[str, tuple[ParamValue, ...]], ...]
+    fixed: tuple[tuple[str, ParamValue], ...] = ()
+    seed: int = 0
+    meta: tuple[tuple[str, ParamValue], ...] = ()
+
+    @property
+    def meta_dict(self) -> dict[str, ParamValue]:
+        """The presentation-time settings as a plain dictionary."""
+        return dict(self.meta)
+
+    def expand(self) -> list[TileJob]:
+        """Flatten the grid into one :class:`TileJob` per grid point."""
+        jobs: list[TileJob] = []
+        axis_names = [name for name, _ in self.axes]
+        axis_values = [values for _, values in self.axes]
+        for combo in itertools.product(*axis_values):
+            params: dict[str, ParamValue] = dict(self.fixed)
+            for name, value in zip(axis_names, combo):
+                components = name.split("+")
+                if len(components) == 1:
+                    params[name] = value
+                else:
+                    if not isinstance(value, tuple) or len(value) != len(components):
+                        raise ParameterError(
+                            f"compound axis {name!r} needs {len(components)}-tuples, "
+                            f"got {value!r}"
+                        )
+                    params.update(zip(components, value))
+            params["seed"] = derive_seed(self.seed, self.kind, params)
+            jobs.append(make_job(self.kind, **params))
+        return jobs

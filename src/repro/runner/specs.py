@@ -1,0 +1,131 @@
+"""The canonical sweep grids, shared by the CLI, benchmarks, and CI.
+
+Before the runner existed, ``repro.cli`` and the ``benchmarks/bench_*``
+scripts each re-derived the Figures 5/6 parameter grids and the Theorem 8
+case list by hand.  This module is now the single owner: the CLI expands
+these specs through the cached executor, the benchmark scripts import the
+same grids so pytest-benchmark times exactly the configurations the paper
+sweeps, and ``python -m repro bench`` gates CI on the quick-mode suite.
+"""
+
+from __future__ import annotations
+
+from repro.runner.spec import ParamValue, SweepSpec
+
+__all__ = [
+    "PARAM_SETS",
+    "THEOREM8_GRID",
+    "DEFENSES",
+    "SWEEP_MODES",
+    "sweep_args",
+    "throughput_spec",
+    "fig5_spec",
+    "fig6_spec",
+    "theorem8_spec",
+    "defenses_spec",
+    "bench_suite",
+]
+
+#: The two Section 5 software-parameter configurations, as (E, u) pairs.
+PARAM_SETS: tuple[tuple[int, int], ...] = ((15, 512), (17, 256))
+
+#: The Theorem 8 validation grid of (w, E) cases (bench + CLI table).
+THEOREM8_GRID: tuple[tuple[int, int], ...] = (
+    (12, 5), (12, 9), (9, 6), (16, 9), (24, 18),
+    (32, 8), (32, 12), (32, 15), (32, 16), (32, 17), (32, 24),
+)
+
+#: The Section 2 defense ablation arms (DESIGN.md; ``repro defenses``).
+DEFENSES: tuple[str, ...] = ("coprime", "hashing", "cf")
+
+#: Sweep sizes: ``quick`` mirrors ``--quick``, ``bench`` the benchmark
+#: scripts' historical grid, ``full`` the paper-scale default.
+SWEEP_MODES: dict[str, dict[str, ParamValue]] = {
+    "quick": {"i_range": (16, 21, 26), "samples": 3, "blocksort_samples": 1},
+    "bench": {"i_range": (16, 18, 20, 22, 24, 26), "samples": 4, "blocksort_samples": 1},
+    "full": {"i_range": tuple(range(16, 27)), "samples": 6, "blocksort_samples": 2},
+}
+
+
+def sweep_args(mode: str) -> dict[str, ParamValue]:
+    """The sweep-size knobs (``i_range``/``samples``/…) for ``mode``."""
+    return dict(SWEEP_MODES[mode])
+
+
+def throughput_spec(
+    name: str,
+    workloads: tuple[str, ...],
+    mode: str = "full",
+    param_sets: tuple[tuple[int, int], ...] = PARAM_SETS,
+    variants: tuple[str, ...] = ("thrust", "cf"),
+    w: int = 32,
+    seed: int = 0,
+) -> SweepSpec:
+    """A Figures 5/6-style throughput sweep over (E,u) × variant × workload.
+
+    Each expanded job measures one block's (search, merge, blocksort)
+    counters; the ``i_range`` lives in :attr:`SweepSpec.meta` because
+    curve composition is cache-free arithmetic.
+    """
+    knobs = sweep_args(mode)
+    return SweepSpec(
+        name=name,
+        kind="throughput",
+        axes=(
+            ("E+u", tuple(param_sets)),
+            ("variant", tuple(variants)),
+            ("workload", tuple(workloads)),
+        ),
+        fixed=(
+            ("w", w),
+            ("samples", knobs["samples"]),
+            ("blocksort_samples", knobs["blocksort_samples"]),
+        ),
+        seed=seed,
+        meta=(("i_range", knobs["i_range"]), ("mode", mode)),
+    )
+
+
+def fig5_spec(
+    mode: str = "full",
+    param_sets: tuple[tuple[int, int], ...] = PARAM_SETS,
+) -> SweepSpec:
+    """Figure 5: worst-case throughput, both parameter sets."""
+    return throughput_spec(f"fig5-{mode}", ("worstcase",), mode, param_sets)
+
+
+def fig6_spec(
+    mode: str = "full",
+    param_sets: tuple[tuple[int, int], ...] = PARAM_SETS,
+) -> SweepSpec:
+    """Figure 6: worst-case AND random throughput, both parameter sets.
+
+    Fig. 5's worst-case jobs are a subset of these, so a cache shared
+    between ``fig5``/``fig6``/``export`` runs pays for itself.
+    """
+    return throughput_spec(f"fig6-{mode}", ("worstcase", "random"), mode, param_sets)
+
+
+def theorem8_spec(grid: tuple[tuple[int, int], ...] = THEOREM8_GRID) -> SweepSpec:
+    """Theorem 8: measured worst-case conflicts vs the closed forms."""
+    return SweepSpec(name="theorem8", kind="theorem8", axes=(("w+E", tuple(grid)),))
+
+
+def defenses_spec(w: int = 32, E: int = 15, hash_seeds: int = 5) -> SweepSpec:
+    """The DMM-defense ablation on one warp's worst-case merge."""
+    return SweepSpec(
+        name="defenses",
+        kind="defenses",
+        axes=(("defense", DEFENSES),),
+        fixed=(("w", w), ("E", E), ("hash_seeds", hash_seeds)),
+    )
+
+
+def bench_suite() -> tuple[SweepSpec, ...]:
+    """The specs behind ``python -m repro bench`` and the CI perf gate.
+
+    Quick-mode fig6 (which subsumes fig5's worst-case tiles), the
+    Theorem 8 grid, and the defense ablation — every counter they produce
+    is deterministic, so the gate is flake-free by construction.
+    """
+    return (fig6_spec("quick"), theorem8_spec(), defenses_spec())

@@ -114,4 +114,3 @@ class Counters:
             f"barriers             : {self.sync_barriers}",
         ]
         return "\n".join(lines)
-

@@ -1,0 +1,101 @@
+"""The CI pipeline contract: workflow validity + committed baseline health.
+
+``.github/workflows/ci.yml`` can't be executed locally, but its structure
+is load-bearing (tier-1 matrix, lint gates, smoke + perf gate, artifact
+upload), so this suite validates it as data.  The committed
+``benchmarks/BASELINE.json`` is likewise checked to be a readable,
+populated RunReport — a gate with an empty baseline would pass vacuously.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.runner import RunReport, compare_reports
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+BASELINE = REPO_ROOT / "benchmarks" / "BASELINE.json"
+
+yaml = pytest.importorskip("yaml", reason="workflow validation needs PyYAML")
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    data = yaml.safe_load(WORKFLOW.read_text())
+    assert isinstance(data, dict)
+    return data
+
+
+def _steps_text(job: dict) -> str:
+    return "\n".join(str(step.get("run", "")) for step in job["steps"])
+
+
+def test_workflow_triggers(workflow):
+    # YAML 1.1 parses the bare `on:` key as boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+    assert workflow["permissions"] == {"contents": "read"}
+
+
+def test_workflow_has_the_three_jobs(workflow):
+    assert set(workflow["jobs"]) == {"test", "lint", "smoke"}
+
+
+def test_tier1_job_runs_pytest_across_supported_pythons(workflow):
+    job = workflow["jobs"]["test"]
+    assert job["strategy"]["matrix"]["python-version"] == ["3.10", "3.11", "3.12"]
+    assert job["strategy"]["fail-fast"] is False
+    steps = _steps_text(job)
+    assert "python -m pytest -x -q" in steps
+    pytest_step = next(s for s in job["steps"] if "pytest" in str(s.get("run", "")))
+    assert pytest_step["env"]["PYTHONPATH"] == "src"
+
+
+def test_lint_job_gates_ruff_and_strict_mypy(workflow):
+    steps = _steps_text(workflow["jobs"]["lint"])
+    assert "ruff check" in steps
+    assert "mypy --strict src/repro/runner" in steps
+
+
+def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
+    job = workflow["jobs"]["smoke"]
+    steps = _steps_text(job)
+    assert "python -m repro all --quick" in steps
+    assert "--report run-report.json" in steps
+    assert "python -m repro bench" in steps
+    assert "--baseline benchmarks/BASELINE.json" in steps
+    assert "--tolerance 0.25" in steps
+
+
+def test_smoke_job_always_uploads_run_reports(workflow):
+    job = workflow["jobs"]["smoke"]
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert upload["with"]["name"] == "run-reports"
+    assert upload["with"]["if-no-files-found"] == "error"
+    assert "run-report.json" in upload["with"]["path"]
+    assert "bench-report.json" in upload["with"]["path"]
+
+
+def test_every_job_checks_out_and_sets_up_python(workflow):
+    for name, job in workflow["jobs"].items():
+        uses = [str(step.get("uses", "")) for step in job["steps"]]
+        assert any(u.startswith("actions/checkout@") for u in uses), name
+        assert any(u.startswith("actions/setup-python@") for u in uses), name
+
+
+def test_committed_baseline_is_a_populated_report():
+    baseline = RunReport.read(BASELINE)
+    assert baseline.name == "bench-baseline"
+    assert baseline.code_version
+    assert len(baseline.tiles) >= 20  # fig6-quick + theorem8 grid + defenses
+    metrics = baseline.metrics()
+    assert len(metrics) > 100
+    # Modeled end-to-end times are gated too, not just raw counters.
+    assert any("time_us@" in key for key in metrics)
+    # A baseline must be self-consistent under a zero-tolerance gate.
+    assert compare_reports(baseline, baseline, tolerance=0.0) == ([], [])

@@ -12,14 +12,12 @@ import math
 import random
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
     WarpSplit,
     gather_reference,
-    gather_warp,
     rho,
     rho_inverse,
     warp_gather_schedule,

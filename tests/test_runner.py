@@ -1,0 +1,251 @@
+"""Runner core: specs, job hashing, the cache, and the parallel executor.
+
+The contracts under test are the ones the CI pipeline leans on:
+
+- job identity (hash, key, derived seed) is stable and order-independent,
+- the on-disk cache never returns a stale/corrupt/foreign entry,
+- parallel and serial execution produce identical results (same derived
+  seeds, no scheduling dependence), and
+- composing cached counters (:func:`repro.runner.throughput_points`)
+  reproduces :func:`repro.perf.throughput.throughput_sweep` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SortParams
+from repro.errors import ParameterError
+from repro.perf.throughput import throughput_sweep
+from repro.runner import (
+    ResultCache,
+    SweepSpec,
+    TileJob,
+    code_version,
+    derive_seed,
+    execute,
+    fig5_spec,
+    fig6_spec,
+    make_job,
+    run_tile_job,
+    throughput_points,
+)
+
+# A tiny throughput grid (w=8 exact-simulator geometry): 4 jobs, < 1 s.
+TOY_SPEC = SweepSpec(
+    name="toy",
+    kind="throughput",
+    axes=(
+        ("E+u", ((5, 16),)),
+        ("variant", ("thrust", "cf")),
+        ("workload", ("worstcase", "random")),
+    ),
+    fixed=(("w", 8), ("samples", 2), ("blocksort_samples", 1)),
+    seed=7,
+)
+
+
+# ---------------------------------------------------------------------------
+# Job identity
+
+
+def test_make_job_sorts_and_canonicalizes_params():
+    a = make_job("throughput", u=16, E=5, variant="cf")
+    b = make_job("throughput", variant="cf", E=5, u=16)
+    assert a == b
+    assert a.job_hash == b.job_hash
+    assert a.params == (("E", 5), ("u", 16), ("variant", "cf"))
+    # Lists/ranges canonicalize to tuples so the job stays hashable.
+    c = make_job("x", grid=[1, 2, 3])
+    assert c.params_dict["grid"] == (1, 2, 3)
+    assert hash(c) == hash(make_job("x", grid=range(1, 4)))
+
+
+def test_make_job_rejects_unhashable_values():
+    with pytest.raises(ParameterError):
+        make_job("x", bad=object())
+
+
+def test_job_key_is_canonical_json():
+    job = make_job("theorem8", w=12, E=5)
+    kind, _, payload = job.key().partition(":")
+    assert kind == "theorem8"
+    assert json.loads(payload) == {"E": 5, "w": 12}
+
+
+def test_label_excludes_derived_seed():
+    (job,) = SweepSpec(name="s", kind="theorem8", axes=(("w+E", ((12, 5),)),)).expand()
+    assert "seed" in job.params_dict
+    assert "seed" not in job.label()
+    assert "w=12" in job.label() and "E=5" in job.label()
+
+
+def test_derive_seed_depends_on_identity_not_order():
+    params = {"E": 5, "u": 16, "variant": "cf"}
+    assert derive_seed(0, "throughput", params) == derive_seed(
+        0, "throughput", dict(reversed(list(params.items())))
+    )
+    assert derive_seed(0, "throughput", params) != derive_seed(1, "throughput", params)
+    assert derive_seed(0, "throughput", params) != derive_seed(
+        0, "throughput", {**params, "variant": "thrust"}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion
+
+
+def test_compound_axis_unpacks_components():
+    jobs = TOY_SPEC.expand()
+    assert len(jobs) == 1 * 2 * 2
+    for job in jobs:
+        p = job.params_dict
+        assert (p["E"], p["u"], p["w"]) == (5, 16, 8)
+        assert "E+u" not in p
+    combos = {(j.params_dict["variant"], j.params_dict["workload"]) for j in jobs}
+    assert combos == {(v, wl) for v in ("thrust", "cf") for wl in ("worstcase", "random")}
+
+
+def test_compound_axis_rejects_mismatched_tuples():
+    spec = SweepSpec(name="bad", kind="theorem8", axes=(("w+E", ((12, 5, 99),)),))
+    with pytest.raises(ParameterError):
+        spec.expand()
+
+
+def test_expansion_is_deterministic_and_seeded_per_job():
+    jobs_a, jobs_b = TOY_SPEC.expand(), TOY_SPEC.expand()
+    assert jobs_a == jobs_b
+    seeds = [j.params_dict["seed"] for j in jobs_a]
+    assert len(set(seeds)) == len(seeds)  # distinct per grid point
+
+
+def test_fig5_jobs_are_a_subset_of_fig6_jobs():
+    """The cache-sharing property the CLI relies on (fig5 ⊂ fig6)."""
+    fig5_hashes = {j.job_hash for j in fig5_spec("quick").expand()}
+    fig6_hashes = {j.job_hash for j in fig6_spec("quick").expand()}
+    assert fig5_hashes < fig6_hashes
+
+
+# ---------------------------------------------------------------------------
+# Cache semantics
+
+
+def _toy_job() -> TileJob:
+    return TOY_SPEC.expand()[0]
+
+
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    job = _toy_job()
+    assert cache.get(job) is None
+    cache.put(job, {"answer": 42})
+    assert cache.get(job) == {"answer": 42}
+
+
+def test_cache_is_keyed_by_code_version(tmp_path):
+    job = _toy_job()
+    ResultCache(tmp_path, version="v1").put(job, {"answer": 42})
+    assert ResultCache(tmp_path, version="v2").get(job) is None
+    assert ResultCache(tmp_path, version="v1").get(job) == {"answer": 42}
+
+
+def test_cache_recovers_from_corrupted_entry(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    job = _toy_job()
+    cache.put(job, {"answer": 42})
+    path = cache.path_for(job)
+    path.write_text("{truncated garbage")
+    assert cache.get(job) is None  # miss, not an exception
+    assert not path.exists()  # and the damage is cleaned up
+    cache.put(job, {"answer": 43})
+    assert cache.get(job) == {"answer": 43}
+
+
+def test_cache_discards_foreign_entry(tmp_path):
+    """An entry whose embedded job key disagrees with its path is a miss."""
+    cache = ResultCache(tmp_path, version="v1")
+    job_a, job_b = TOY_SPEC.expand()[:2]
+    cache.put(job_a, {"answer": 1})
+    cache.path_for(job_b).write_bytes(cache.path_for(job_a).read_bytes())
+    assert cache.get(job_b) is None
+    assert not cache.path_for(job_b).exists()
+    assert cache.get(job_a) == {"answer": 1}
+
+
+def test_code_version_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-for-test")
+    assert code_version() == "pinned-for-test"
+
+
+# ---------------------------------------------------------------------------
+# Executor
+
+
+def test_serial_and_parallel_results_are_identical():
+    """The acceptance contract: --jobs N never changes any counter."""
+    jobs = TOY_SPEC.expand()
+    serial, serial_stats = execute(jobs, cache=None, workers=1)
+    parallel, parallel_stats = execute(jobs, cache=None, workers=2)
+    assert serial == parallel
+    assert serial_stats.workers == 1
+    assert parallel_stats.workers == 2
+    # And both match direct in-process evaluation, in job order.
+    assert serial == [run_tile_job(job) for job in jobs]
+
+
+def test_execute_reports_hits_on_second_run(tmp_path):
+    cache = ResultCache(tmp_path, version="test")
+    jobs = TOY_SPEC.expand()
+    first, stats1 = execute(jobs, cache=cache, workers=1)
+    assert (stats1.hits, stats1.misses) == (0, len(jobs))
+    second, stats2 = execute(jobs, cache=cache, workers=1)
+    assert (stats2.hits, stats2.misses) == (len(jobs), 0)
+    assert stats2.hit_rate == 1.0
+    assert first == second
+
+
+def test_execute_mixed_hits_and_misses(tmp_path):
+    cache = ResultCache(tmp_path, version="test")
+    jobs = TOY_SPEC.expand()
+    execute(jobs[:2], cache=cache, workers=1)
+    results, stats = execute(jobs, cache=cache, workers=1)
+    assert (stats.hits, stats.misses) == (2, len(jobs) - 2)
+    assert results == execute(jobs, cache=None, workers=1)[0]
+
+
+def test_execute_rejects_negative_workers():
+    with pytest.raises(ValueError):
+        execute(TOY_SPEC.expand()[:1], cache=None, workers=-1)
+
+
+# ---------------------------------------------------------------------------
+# Composition equivalence
+
+
+def test_throughput_points_match_throughput_sweep():
+    """Cached counters + compose_points ≡ the original monolithic sweep."""
+    spec = fig5_spec("quick", param_sets=((15, 512),))
+    jobs = spec.expand()
+    results, _ = execute(jobs, cache=None, workers=1)
+    i_range = spec.meta_dict["i_range"]
+    for job, result in zip(jobs, results):
+        p = job.params_dict
+        direct = throughput_sweep(
+            SortParams(p["E"], p["u"]),
+            p["variant"],
+            p["workload"],
+            i_range=i_range,
+            samples=p["samples"],
+            blocksort_samples=p["blocksort_samples"],
+            seed=p["seed"],
+        )
+        assert throughput_points(job, result, i_range=i_range) == direct
+
+
+def test_throughput_points_rejects_mismatched_device():
+    job = _toy_job()  # w=8, but the default device is the 32-lane 2080 Ti
+    result = run_tile_job(job)
+    with pytest.raises(ParameterError):
+        throughput_points(job, result, i_range=(8, 10))

@@ -1,0 +1,256 @@
+"""RunReport artifacts, baseline comparison, and the CI perf gate.
+
+``run_bench_gate`` is exercised end-to-end with the real bench machinery
+but a monkeypatched :func:`repro.runner.specs.bench_suite` (a single tiny
+Theorem 8 grid) so every exit-code path runs in well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.runner.bench as bench_mod
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.runner import (
+    ExecutionStats,
+    Regression,
+    RunReport,
+    SweepSpec,
+    compare_reports,
+    execute,
+    run_bench_gate,
+)
+
+TINY_SUITE = (
+    SweepSpec(name="tiny", kind="theorem8", axes=(("w+E", ((12, 5), (9, 6))),)),
+)
+
+
+@pytest.fixture
+def tiny_bench(monkeypatch):
+    """Swap the quick-mode bench suite for a two-job Theorem 8 grid."""
+    monkeypatch.setattr(bench_mod, "bench_suite", lambda: TINY_SUITE)
+
+
+def _tiny_report(name: str = "tiny-run") -> RunReport:
+    jobs = TINY_SUITE[0].expand()
+    results, stats = execute(jobs, cache=None, workers=1)
+    return RunReport.build(
+        name, jobs, results, stats, code_version="deadbeef", derived={"extra.metric": 3.0}
+    )
+
+
+# ---------------------------------------------------------------------------
+# RunReport
+
+
+def test_report_build_and_metrics():
+    report = _tiny_report()
+    assert len(report.tiles) == 2
+    metrics = report.metrics()
+    # Every numeric leaf of every tile flattens to "label.path".
+    assert any(key.endswith(".formula") for key in metrics)
+    assert any(key.endswith(".excess") for key in metrics)
+    assert metrics["extra.metric"] == 3.0
+    assert all(isinstance(v, float) for v in metrics.values())
+
+
+def test_report_build_rejects_job_result_mismatch():
+    report = _tiny_report()
+    jobs = TINY_SUITE[0].expand()
+    with pytest.raises(ParameterError):
+        RunReport.build("bad", jobs, [report.tiles[0]["result"]], report.stats, "v")
+
+
+def test_report_json_roundtrip(tmp_path):
+    report = _tiny_report()
+    path = report.write(tmp_path / "report.json")
+    loaded = RunReport.read(path)
+    assert loaded.name == report.name
+    assert loaded.code_version == "deadbeef"
+    assert loaded.metrics() == report.metrics()
+    assert loaded.stats.total == report.stats.total
+    assert loaded.stats.workers == report.stats.workers
+
+
+def test_report_read_rejects_non_report(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ParameterError):
+        RunReport.read(path)
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+
+
+def _scaled(report: RunReport, metric_suffix: str, factor: float) -> RunReport:
+    """A deep copy of ``report`` with one metric family scaled by ``factor``."""
+    payload = json.loads(json.dumps(report.to_payload()))
+    changed = 0
+    for tile in payload["tiles"]:
+        for key, value in tile["result"].items():
+            if key == metric_suffix and not isinstance(value, bool):
+                tile["result"][key] = value * factor
+                changed += 1
+    assert changed, f"no {metric_suffix!r} metric to scale"
+    return RunReport.from_payload(payload)
+
+
+def test_compare_reports_identical_passes():
+    report = _tiny_report()
+    regressions, missing = compare_reports(report, report, tolerance=0.0)
+    assert regressions == [] and missing == []
+
+
+def test_compare_reports_flags_regression_beyond_tolerance():
+    current = _tiny_report()
+    baseline = _scaled(current, "excess", 0.5)  # current is 2x the baseline
+    regressions, missing = compare_reports(current, baseline, tolerance=0.25)
+    assert missing == []
+    assert regressions and all(isinstance(r, Regression) for r in regressions)
+    assert all("excess" in r.metric for r in regressions)
+    assert all(r.current > r.limit for r in regressions)
+    assert "limit" in regressions[0].describe()
+    # The same drift inside the tolerance band is not a regression.
+    assert compare_reports(current, baseline, tolerance=1.5) == ([], [])
+
+
+def test_compare_reports_improvements_never_fail():
+    current = _tiny_report()
+    baseline = _scaled(current, "excess", 100.0)  # current far below baseline
+    assert compare_reports(current, baseline, tolerance=0.0) == ([], [])
+
+
+def test_compare_reports_flags_missing_metrics():
+    current = _tiny_report()
+    baseline_payload = json.loads(json.dumps(current.to_payload()))
+    baseline_payload["derived"]["vanished.metric"] = 1.0
+    regressions, missing = compare_reports(
+        current, RunReport.from_payload(baseline_payload), tolerance=0.25
+    )
+    assert regressions == []
+    assert missing == ["vanished.metric"]
+
+
+def test_compare_reports_ignores_new_metrics():
+    """Adding experiments must never force a baseline refresh."""
+    baseline = _tiny_report()
+    current_payload = json.loads(json.dumps(baseline.to_payload()))
+    current_payload["derived"]["brand.new"] = 9999.0
+    regressions, missing = compare_reports(
+        RunReport.from_payload(current_payload), baseline, tolerance=0.0
+    )
+    assert regressions == [] and missing == []
+
+
+def test_compare_reports_rejects_negative_tolerance():
+    report = _tiny_report()
+    with pytest.raises(ParameterError):
+        compare_reports(report, report, tolerance=-0.1)
+
+
+def test_stats_merge_accumulates():
+    a = ExecutionStats(total=4, hits=1, misses=3, wall_s=1.0, workers=1)
+    a.merge(ExecutionStats(total=2, hits=2, misses=0, wall_s=0.5, workers=4))
+    assert (a.total, a.hits, a.misses, a.workers) == (6, 3, 3, 4)
+    assert a.wall_s == pytest.approx(1.5)
+    assert "6 jobs" in a.summary()
+
+
+# ---------------------------------------------------------------------------
+# The perf gate (run_bench_gate + CLI)
+
+
+def test_gate_passes_against_fresh_baseline(tmp_path, tiny_bench):
+    baseline = bench_mod.build_bench_report(workers=1, cache=None, name="baseline")
+    path = baseline.write(tmp_path / "BASELINE.json")
+    report_path = tmp_path / "bench-report.json"
+    code, text = run_bench_gate(path, tolerance=0.25, workers=1, report_path=report_path)
+    assert code == 0
+    assert "PASS" in text
+    assert RunReport.read(report_path).metrics() == baseline.metrics()
+
+
+def test_gate_fails_on_regression(tmp_path, tiny_bench):
+    baseline = bench_mod.build_bench_report(workers=1, cache=None, name="baseline")
+    deflated = _scaled(baseline, "excess", 0.1)  # fresh run will exceed this
+    path = deflated.write(tmp_path / "BASELINE.json")
+    code, text = run_bench_gate(path, tolerance=0.25, workers=1)
+    assert code == 1
+    assert "REGRESSION" in text and "FAIL" in text
+    assert "update_baseline" in text  # points at the refresh tool
+
+
+def test_gate_fails_on_missing_metric(tmp_path, tiny_bench):
+    baseline = bench_mod.build_bench_report(workers=1, cache=None, name="baseline")
+    payload = baseline.to_payload()
+    payload["derived"]["retired.metric"] = 1.0
+    path = tmp_path / "BASELINE.json"
+    path.write_text(json.dumps(payload))
+    code, text = run_bench_gate(path, tolerance=0.25, workers=1)
+    assert code == 1
+    assert "MISSING" in text and "retired.metric" in text
+
+
+def test_gate_fails_loudly_without_baseline(tmp_path, tiny_bench):
+    code, text = run_bench_gate(tmp_path / "nope.json", workers=1)
+    assert code == 2
+    assert "cannot read baseline" in text
+
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    code, _ = run_bench_gate(corrupt, workers=1)
+    assert code == 2
+
+
+def test_cli_rejects_invalid_runner_flags(capsys):
+    """Bad --jobs/--tolerance die as argparse errors, not tracebacks."""
+    with pytest.raises(SystemExit) as exc:
+        main(["fig5", "--quick", "--jobs", "-1"])
+    assert exc.value.code == 2
+    assert "--jobs must be >= 0" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--baseline", "x.json", "--tolerance", "-0.5"])
+    assert exc.value.code == 2
+    assert "--tolerance must be >= 0" in capsys.readouterr().err
+
+
+def test_cli_bench_requires_baseline(capsys):
+    assert main(["bench", "--no-cache", "--jobs", "1"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_cli_bench_gates_end_to_end(tmp_path, tiny_bench, capsys):
+    baseline = bench_mod.build_bench_report(workers=1, cache=None, name="baseline")
+    good = baseline.write(tmp_path / "GOOD.json")
+    assert main(["bench", "--baseline", str(good), "--no-cache", "--jobs", "1"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    bad = _scaled(baseline, "excess", 0.1).write(tmp_path / "BAD.json")
+    assert main(["bench", "--baseline", str(bad), "--no-cache", "--jobs", "1"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_report_artifact(tmp_path, capsys):
+    report_path = tmp_path / "run-report.json"
+    code = main(
+        [
+            "theorem8",
+            "--no-cache",
+            "--jobs",
+            "1",
+            "--report",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    assert "wrote run report" in capsys.readouterr().out
+    report = RunReport.read(report_path)
+    assert report.name == "theorem8"
+    assert len(report.tiles) > 0
+    assert report.stats.total == len(report.tiles)
+    assert report.code_version  # stamped with the live source hash

@@ -6,7 +6,6 @@ in default runs too, just placed last by name).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.mergesort import gpu_mergesort

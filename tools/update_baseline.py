@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate ``benchmarks/BASELINE.json`` for the CI perf gate.
+
+The baseline is a quick-mode :class:`repro.runner.RunReport` whose
+deterministic cost metrics (conflict counters, modeled microseconds)
+``python -m repro bench --baseline benchmarks/BASELINE.json`` compares
+fresh runs against.  Regenerate it — and commit the result — whenever a
+deliberate change moves the measured counters or the cost model:
+
+    python tools/update_baseline.py
+
+The suite is regenerated uncached so the committed numbers never inherit
+a stale cache entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner import build_bench_report  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "BASELINE.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"where to write the baseline (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per core, 1 = serial)",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_bench_report(workers=args.jobs, cache=None, name="bench-baseline")
+    path = report.write(args.out)
+    print(report.stats.summary())
+    print(f"wrote {len(report.metrics())} baseline metrics to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
