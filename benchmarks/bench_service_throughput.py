@@ -1,0 +1,82 @@
+"""Sort-service throughput — micro-batched small sorts through the runner.
+
+The batched sort service coalesces many small, independent sort requests
+into whole ``u*E``-tile segmented sorts (the shape a real GPU deployment
+of the paper's kernel would serve).  This benchmark times the
+deterministic synchronous path of :data:`repro.runner.specs.
+service_throughput_spec` — the same spec the CI perf gate executes — and
+attaches the service's cost metrics (modeled time per request/element,
+padding fraction, bank-conflict replays) plus derived wall-clock
+throughput to ``extra_info``.
+
+The gate-facing result leaves are all *costs* (lower is better):
+requests/second lives only in ``extra_info``, so an improvement can never
+trip the regression check.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.runner import execute, service_throughput_spec
+from repro.service import BatchPolicy, plan_batches
+from repro.service.service import DEFAULT_PARAMS, DEFAULT_W
+from repro.service.synthetic import synth_requests
+
+
+def test_service_throughput_sweep(benchmark):
+    """The CI-gated backend × mix sweep, timed end to end."""
+    spec = service_throughput_spec()
+
+    def measure_all():
+        jobs = spec.expand()
+        results, stats = execute(jobs, cache=None, workers=1)
+        return {
+            (job.params_dict["backend"], job.params_dict["mix"]): res
+            for job, res in zip(jobs, results)
+        }, stats
+
+    rows, stats = benchmark(measure_all)
+    assert len(rows) == 4  # (cf, baseline) x (random, adversarial)
+    for (backend, mix), res in rows.items():
+        assert res["batches"] >= 1, (backend, mix)
+        assert res["modeled_us_per_request"] > 0.0, (backend, mix)
+        assert 0.0 <= res["padding_fraction"] < 1.0, (backend, mix)
+    # CF eliminates merge-phase conflicts: on the adversarial mix its
+    # replay bill must undercut the Thrust-style baseline.
+    cf = rows[("cf", "adversarial")]["counters"]["shared_replays"]
+    thrust = rows[("baseline", "adversarial")]["counters"]["shared_replays"]
+    assert cf < thrust, (cf, thrust)
+    wall = max(stats.wall_s, 1e-9)
+    total_requests = sum(res["requests"] for res in rows.values())
+    total_elements = sum(res["elements"] for res in rows.values())
+    attach(
+        benchmark,
+        requests_per_s=total_requests / wall,
+        elements_per_s=total_elements / wall,
+        adversarial_replays={"cf": cf, "baseline": thrust},
+        modeled_us_per_request={
+            f"{backend}/{mix}": res["modeled_us_per_request"]
+            for (backend, mix), res in rows.items()
+        },
+    )
+
+
+def test_service_batch_planning(benchmark):
+    """Micro-batch planning alone: pure, allocation-light, and fast."""
+    requests = synth_requests(
+        256, 8, 160, "mixed", seed=0, params=DEFAULT_PARAMS, w=DEFAULT_W
+    )
+    policy = BatchPolicy(max_batch_tiles=4, max_batch_requests=16)
+
+    batches = benchmark(plan_batches, requests, policy, DEFAULT_PARAMS)
+    assert sum(len(b.requests) for b in batches) == len(requests)
+    capacity = policy.capacity_elements(DEFAULT_PARAMS)
+    oversized = [b for b in batches if b.elements > capacity and len(b.requests) > 1]
+    assert not oversized
+    fills = [b.fill_ratio(DEFAULT_PARAMS) for b in batches]
+    attach(
+        benchmark,
+        batches=len(batches),
+        fill_ratio_mean=sum(fills) / len(fills),
+    )

@@ -25,6 +25,8 @@ Usage::
     python -m repro sensitivity    # speedups under perturbed cost constants
     python -m repro export [--out DIR]     # fig5/fig6 series to CSV/JSON
     python -m repro bench --baseline B.json [--tolerance T]  # perf gate
+    python -m repro serve [--count N --mix M --selftest]  # service smoke
+    python -m repro submit [--count N --backends B,...]   # service blast
     python -m repro list           # the experiment manifest
     python -m repro all [--quick]  # everything above (except bench/export)
 
@@ -34,6 +36,10 @@ processes (``--jobs``, 0 = one per core) and land in a content-addressed
 on-disk cache (``--cache-dir``, disable with ``--no-cache``), so re-runs
 and overlapping sweeps (fig5 ⊂ fig6 ⊂ export) share work.  ``--report``
 writes the session's :class:`~repro.runner.RunReport` JSON artifact.
+
+``serve``/``submit`` drive the :mod:`repro.service` micro-batching sort
+service on deterministic synthetic workloads; their failure modes map to
+distinct exit codes (1 unsorted, 3 queue full, 4 deadline, 5 other).
 """
 
 from __future__ import annotations
@@ -378,8 +384,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "bench"],
-        help="which figure/table to regenerate (or `bench` for the perf gate)",
+        choices=sorted(_COMMANDS) + ["all", "bench", "serve", "submit"],
+        help="which figure/table to regenerate (`bench` = perf gate; "
+        "`serve`/`submit` = the batched sort service)",
     )
     parser.add_argument(
         "--quick",
@@ -427,6 +434,9 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="(bench) allowed fractional increase over the baseline (default 0.25)",
     )
+    from repro.service.cli import add_service_arguments
+
+    add_service_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
@@ -438,6 +448,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "bench":
         return run_bench(args)
+
+    if args.experiment in ("serve", "submit"):
+        from repro.service.cli import dispatch as service_dispatch
+
+        return service_dispatch(args)
 
     if args.experiment == "all":
         # `export` writes files, `bench` gates; everything else only prints.

@@ -15,6 +15,9 @@ __all__ = [
     "ScheduleError",
     "WorstCaseConstructionError",
     "OccupancyError",
+    "ServiceError",
+    "QueueFullError",
+    "DeadlineExceededError",
 ]
 
 
@@ -72,3 +75,40 @@ class OccupancyError(ReproError, ValueError):
     Raised when a thread block needs more shared memory or registers than a
     streaming multiprocessor physically has.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for :mod:`repro.service` failures (CLI exit code 5).
+
+    Subclasses identify *which* service contract a request violated; the
+    ``repro serve`` / ``repro submit`` CLI maps each subclass to its own
+    exit code (see :data:`repro.service.cli.EXIT_CODES`) so callers can
+    distinguish shed load from expired deadlines without parsing output.
+    """
+
+    #: Exit code ``repro serve`` / ``repro submit`` return for this class.
+    exit_code: int = 5
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded queue rejected a request (CLI exit code 3).
+
+    Raised by :meth:`repro.service.SortService.submit` when the admission
+    queue is at capacity and the caller asked not to block, or when the
+    backpressure wait for queue space exceeds its timeout.  Shed requests
+    were never admitted: retrying later is always safe.
+    """
+
+    exit_code = 3
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its result (CLI exit code 4).
+
+    Raised when a queued request's relative deadline passes before a
+    worker completes its batch; the scheduler drops expired requests at
+    flush time rather than wasting a worker shard on a result nobody is
+    waiting for.
+    """
+
+    exit_code = 4

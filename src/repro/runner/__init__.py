@@ -36,6 +36,7 @@ from repro.runner.specs import (
     defenses_spec,
     fig5_spec,
     fig6_spec,
+    service_throughput_spec,
     sweep_args,
     theorem8_spec,
     throughput_spec,
@@ -69,5 +70,6 @@ __all__ = [
     "fig6_spec",
     "theorem8_spec",
     "defenses_spec",
+    "service_throughput_spec",
     "bench_suite",
 ]

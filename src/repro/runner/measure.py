@@ -135,10 +135,26 @@ def _defenses_tile(params: dict[str, Any]) -> dict[str, Any]:
     raise ParameterError(f"unknown defense {defense!r}")
 
 
+def _service_batch_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One service micro-batch: a segmented sort through a backend."""
+    from repro.service.jobs import service_batch_tile
+
+    return service_batch_tile(params)
+
+
+def _service_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One synthetic service workload, batched and cost-modeled."""
+    from repro.service.synthetic import service_tile
+
+    return service_tile(params)
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
     "defenses": _defenses_tile,
+    "service_batch": _service_batch_tile,
+    "service": _service_tile,
 }
 
 

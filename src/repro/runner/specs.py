@@ -23,6 +23,7 @@ __all__ = [
     "fig6_spec",
     "theorem8_spec",
     "defenses_spec",
+    "service_throughput_spec",
     "bench_suite",
 ]
 
@@ -121,11 +122,50 @@ def defenses_spec(w: int = 32, E: int = 15, hash_seeds: int = 5) -> SweepSpec:
     )
 
 
+def service_throughput_spec(
+    backends: tuple[str, ...] = ("cf", "baseline"),
+    mixes: tuple[str, ...] = ("random", "adversarial"),
+    n_requests: int = 32,
+    seed: int = 0,
+) -> SweepSpec:
+    """The sort-service cost sweep: backend × request mix.
+
+    Each expanded ``service`` job synthesizes ``n_requests`` small sort
+    requests, micro-batches them with the default policy knobs, executes
+    every batch through a backend, and reports cost metrics (batch count,
+    padding fraction, aggregated conflict counters, cost-model time per
+    request/element).  All outputs are pure functions of the parameters,
+    so the sweep is cacheable and gate-safe.
+    """
+    return SweepSpec(
+        name="service-throughput",
+        kind="service",
+        axes=(("backend", tuple(backends)), ("mix", tuple(mixes))),
+        fixed=(
+            ("n_requests", n_requests),
+            ("min_elems", 8),
+            ("max_elems", 160),
+            ("batch_tiles", 4),
+            ("batch_requests", 16),
+            ("E", 5),
+            ("u", 32),
+            ("w", 8),
+        ),
+        seed=seed,
+    )
+
+
 def bench_suite() -> tuple[SweepSpec, ...]:
     """The specs behind ``python -m repro bench`` and the CI perf gate.
 
     Quick-mode fig6 (which subsumes fig5's worst-case tiles), the
-    Theorem 8 grid, and the defense ablation — every counter they produce
-    is deterministic, so the gate is flake-free by construction.
+    Theorem 8 grid, the defense ablation, and the sort-service cost sweep
+    — every counter they produce is deterministic, so the gate is
+    flake-free by construction.
     """
-    return (fig6_spec("quick"), theorem8_spec(), defenses_spec())
+    return (
+        fig6_spec("quick"),
+        theorem8_spec(),
+        defenses_spec(),
+        service_throughput_spec(),
+    )

@@ -1,0 +1,128 @@
+"""The service's sort-backend registry.
+
+A *backend* turns one coalesced micro-batch — the concatenation of many
+small requests plus their segment offsets — into the segment-wise sorted
+concatenation, reporting simulator counters for the launch.  Three ship
+by default:
+
+``cf``
+    CF-Merge (the paper's conflict-free variant) through
+    :func:`repro.mergesort.segmented.segmented_sort` — zero merge-phase
+    bank conflicts for every input, so service latency is
+    input-independent.
+``baseline``
+    The Thrust-style serial shared-memory merge (variant ``"thrust"``),
+    vulnerable to the Section 4 adversary.
+``numpy``
+    ``numpy.sort`` per segment: the pure-host reference oracle.  It
+    reports zero simulator counters (nothing is simulated), so it serves
+    as the correctness baseline the two simulated backends are checked
+    against, not as a cost datapoint.
+
+The registry is open: :func:`register_backend` lets experiments plug in
+new variants without touching the scheduler or the worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.config import SortParams
+from repro.errors import ParameterError
+from repro.mergesort.segmented import segmented_sort
+from repro.sim.counters import Counters
+
+__all__ = [
+    "BatchOutcome",
+    "SortBackend",
+    "DEFAULT_BACKENDS",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+@dataclass
+class BatchOutcome:
+    """What one backend launch produced for one micro-batch."""
+
+    #: Segment-wise sorted concatenation (same length/order as the input).
+    data: npt.NDArray[np.int64]
+    #: Aggregated simulator counters for the whole launch.
+    counters: Counters
+    #: Simulated kernel launches the batch cost (for the cost model).
+    launches: int = 1
+
+
+#: A backend: ``(concatenated data, segment offsets, params, w) -> outcome``.
+SortBackend = Callable[
+    [npt.NDArray[np.int64], Sequence[int], SortParams, int], BatchOutcome
+]
+
+
+def _simulated_backend(variant: str) -> SortBackend:
+    """Build a backend running the simulated segmented sort ``variant``."""
+
+    def run(
+        data: npt.NDArray[np.int64],
+        offsets: Sequence[int],
+        params: SortParams,
+        w: int,
+    ) -> BatchOutcome:
+        """Sort each segment with the simulated pipeline; return counters."""
+        out, counters = segmented_sort(
+            data, list(offsets), E=params.E, u=params.u, w=w, variant=variant
+        )
+        return BatchOutcome(data=out, counters=counters)
+
+    run.__name__ = f"{variant}_backend"
+    return run
+
+
+def _numpy_backend(
+    data: npt.NDArray[np.int64],
+    offsets: Sequence[int],
+    params: SortParams,
+    w: int,
+) -> BatchOutcome:
+    """Sort each segment with ``numpy.sort`` (host reference, no counters)."""
+    out = data.copy()
+    bounds = list(offsets) + [len(data)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        out[lo:hi] = np.sort(data[lo:hi])
+    return BatchOutcome(data=out, counters=Counters(), launches=0)
+
+
+#: The names every stock service exposes, in dispatch-priority order.
+DEFAULT_BACKENDS: tuple[str, ...] = ("cf", "baseline", "numpy")
+
+_REGISTRY: dict[str, SortBackend] = {
+    "cf": _simulated_backend("cf"),
+    "baseline": _simulated_backend("thrust"),
+    "numpy": _numpy_backend,
+}
+
+
+def register_backend(name: str, backend: SortBackend) -> None:
+    """Register (or replace) a backend under ``name``."""
+    if not name or not name.isidentifier():
+        raise ParameterError(f"backend name must be an identifier, got {name!r}")
+    _REGISTRY[name] = backend
+
+
+def get_backend(name: str) -> SortBackend:
+    """Look up a registered backend; unknown names raise ``ParameterError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ParameterError(f"unknown backend {name!r} (registered: {known})") from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The currently registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))

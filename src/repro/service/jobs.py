@@ -1,0 +1,104 @@
+"""Bridging micro-batches onto the :mod:`repro.runner` executor.
+
+One :class:`~repro.service.batching.MicroBatch` becomes one
+:class:`~repro.runner.TileJob` of kind ``"service_batch"`` whose
+parameters *are* the batch content (values, segment lengths, backend,
+sort geometry).  Executing through :func:`repro.runner.executor.execute`
+buys the service the runner's whole contract for free: deterministic
+results for any worker layout, plus optional content-addressed caching —
+two identical batches (same values, same backend, same geometry) hit the
+same cache entry, so repeated traffic is deduplicated at the launch
+level.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.config import SortParams
+from repro.errors import ParameterError
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ExecutionStats, execute
+from repro.runner.measure import counters_from
+from repro.runner.spec import TileJob, make_job
+from repro.service.backends import BatchOutcome, get_backend
+from repro.service.batching import MicroBatch
+
+__all__ = ["batch_job", "service_batch_tile", "run_batch", "decode_outcome"]
+
+
+def batch_job(batch: MicroBatch, params: SortParams, w: int) -> TileJob:
+    """Encode ``batch`` as a hashable, cacheable ``service_batch`` job."""
+    values: list[int] = []
+    lengths: list[int] = []
+    for request in batch.requests:
+        values.extend(int(v) for v in request.data.tolist())
+        lengths.append(request.elements)
+    return make_job(
+        "service_batch",
+        values=tuple(values),
+        lengths=tuple(lengths),
+        backend=batch.backend,
+        E=params.E,
+        u=params.u,
+        w=w,
+    )
+
+
+def service_batch_tile(job_params: dict[str, Any]) -> dict[str, Any]:
+    """The ``service_batch`` tile worker: sort one encoded micro-batch.
+
+    Pure function of the job parameters (the runner's caching contract):
+    decodes the concatenated values/lengths, dispatches to the named
+    backend, and returns the segment-wise sorted data plus the launch's
+    counters as plain JSON.
+    """
+    values = job_params["values"]
+    lengths = job_params["lengths"]
+    if not isinstance(values, tuple) or not isinstance(lengths, tuple):
+        raise ParameterError("service_batch job needs tuple 'values' and 'lengths'")
+    data = np.asarray([int(v) for v in values], dtype=np.int64)
+    offsets: list[int] = []
+    pos = 0
+    for length in lengths:
+        offsets.append(pos)
+        pos += int(length)
+    if pos != len(data):
+        raise ParameterError(f"segment lengths sum to {pos}, but {len(data)} values given")
+    backend = get_backend(str(job_params["backend"]))
+    params = SortParams(int(job_params["E"]), int(job_params["u"]))
+    outcome = backend(data, offsets, params, int(job_params["w"]))
+    return {
+        "data": [int(v) for v in outcome.data.tolist()],
+        "counters": outcome.counters.as_dict(),
+        "launches": int(outcome.launches),
+    }
+
+
+def decode_outcome(result: dict[str, Any]) -> BatchOutcome:
+    """Rebuild a :class:`BatchOutcome` from a (possibly cached) job result."""
+    data: npt.NDArray[np.int64] = np.asarray(result["data"], dtype=np.int64)
+    counters = counters_from({str(k): int(v) for k, v in result["counters"].items()})
+    return BatchOutcome(data=data, counters=counters, launches=int(result["launches"]))
+
+
+def run_batch(
+    batch: MicroBatch,
+    params: SortParams,
+    w: int,
+    cache: ResultCache | None = None,
+) -> tuple[BatchOutcome, ExecutionStats]:
+    """Execute one micro-batch through the runner executor.
+
+    Runs in-process (``workers=1`` — shard threads provide the service's
+    parallelism; a process pool per micro-batch would cost more than the
+    sort) but still goes through :func:`repro.runner.executor.execute` so
+    cache probes, statistics, and the determinism contract are identical
+    to every other tile kind.
+    """
+    job = batch_job(batch, params, w)
+    results, stats = execute([job], cache=cache, workers=1)
+    return decode_outcome(results[0]), stats

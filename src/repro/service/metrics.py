@@ -1,0 +1,227 @@
+"""The service's metrics layer: per-request, per-batch, and queue health.
+
+Everything the service measures funnels through one thread-safe
+:class:`ServiceMetrics` instance: request outcomes (latency split into
+queue wait and service time), micro-batch quality (fill ratio against
+whole-tile capacity), queue depth extremes, aggregated simulator
+counters (bank-conflict replays included), and cost-model time.  A
+snapshot is plain JSON, and :meth:`ServiceMetrics.to_run_report` exports
+it as a :class:`~repro.runner.report.RunReport` so service metrics ride
+the same artifact pipeline (and tooling) as every experiment sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.config import RTX_2080_TI, DeviceSpec, SortParams
+from repro.perf.cost_model import CostModel
+from repro.runner.cache import code_version
+from repro.runner.executor import ExecutionStats
+from repro.runner.report import RunReport
+from repro.service.request import SortResult
+from repro.sim.counters import Counters
+
+__all__ = ["BatchRecord", "ServiceMetrics", "METRICS_SCHEMA"]
+
+#: Versioned so dashboards can evolve with the snapshot shape.
+METRICS_SCHEMA = 1
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One executed micro-batch, as the metrics layer remembers it."""
+
+    batch_id: int
+    backend: str
+    shard: int
+    requests: int
+    elements: int
+    #: Whole-tile capacity the launch occupied (``ceil(elements/tile) * tile``).
+    padded_elements: int
+    service_s: float
+    #: Bank-conflict replays the launch performed.
+    replays: int
+    #: Cache hits the runner executor reported for the batch's job.
+    cache_hits: int
+
+    @property
+    def fill_ratio(self) -> float:
+        """Useful elements over occupied whole-tile capacity."""
+        return self.elements / self.padded_elements if self.padded_elements else 0.0
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator for everything the service measures."""
+
+    def __init__(
+        self,
+        params: SortParams,
+        w: int,
+        queue_capacity: int,
+        device: DeviceSpec = RTX_2080_TI,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._params = params
+        self._w = w
+        self._queue_capacity = queue_capacity
+        self._device = device
+        self._started_at = time.monotonic()
+        self._results: list[SortResult] = []
+        self._batches: list[BatchRecord] = []
+        self._counters = Counters()
+        self._submitted = 0
+        self._shed = 0
+        self._expired = 0
+        self._max_queue_depth = 0
+        self._depth_samples = 0
+        self._depth_total = 0
+
+    def record_admitted(self, queue_depth: int) -> None:
+        """Note one admitted request and sample the queue depth."""
+        with self._lock:
+            self._submitted += 1
+            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+            self._depth_samples += 1
+            self._depth_total += queue_depth
+
+    def record_shed(self) -> None:
+        """Note one request rejected by the bounded queue."""
+        with self._lock:
+            self._shed += 1
+
+    def record_result(self, result: SortResult) -> None:
+        """Note one completed (or expired/failed) request result."""
+        with self._lock:
+            self._results.append(result)
+            if result.error == "DeadlineExceededError":
+                self._expired += 1
+
+    def record_batch(self, record: BatchRecord, counters: Counters) -> None:
+        """Note one executed micro-batch and fold in its counters."""
+        with self._lock:
+            self._batches.append(record)
+            self._counters.merge(counters)
+
+    @property
+    def counters(self) -> Counters:
+        """A copy of the aggregated simulator counters."""
+        with self._lock:
+            out = Counters()
+            out.merge(self._counters)
+            return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full metrics state as one JSON-serializable dictionary."""
+        with self._lock:
+            completed = [r for r in self._results if r.ok]
+            latencies = sorted(r.latency_s for r in completed)
+            waits = [r.wait_s for r in completed]
+            services = [r.service_s for r in completed]
+            elements = sum(b.elements for b in self._batches)
+            padded = sum(b.padded_elements for b in self._batches)
+            fill_ratios = [b.fill_ratio for b in self._batches]
+            wall_s = max(time.monotonic() - self._started_at, 1e-9)
+            model = CostModel(self._device)
+            breakdown = model.estimate(
+                self._counters,
+                kernel_launches=max(len(self._batches), 1),
+            )
+            n_completed = len(completed)
+            return {
+                "schema": METRICS_SCHEMA,
+                "params": {"E": self._params.E, "u": self._params.u, "w": self._w},
+                "requests": {
+                    "submitted": self._submitted,
+                    "completed": n_completed,
+                    "shed": self._shed,
+                    "expired": self._expired,
+                    "latency_s": {
+                        "mean": sum(latencies) / n_completed if n_completed else 0.0,
+                        "p50": _percentile(latencies, 0.50),
+                        "p95": _percentile(latencies, 0.95),
+                        "max": latencies[-1] if latencies else 0.0,
+                    },
+                    "wait_s_mean": sum(waits) / n_completed if n_completed else 0.0,
+                    "service_s_mean": sum(services) / n_completed if n_completed else 0.0,
+                },
+                "batches": {
+                    "count": len(self._batches),
+                    "elements": elements,
+                    "padded_elements": padded,
+                    "fill_ratio_mean": (
+                        sum(fill_ratios) / len(fill_ratios) if fill_ratios else 0.0
+                    ),
+                    "fill_ratio_min": min(fill_ratios) if fill_ratios else 0.0,
+                    "padding_fraction": 1.0 - (elements / padded) if padded else 0.0,
+                    "requests_per_batch_mean": (
+                        n_completed / len(self._batches) if self._batches else 0.0
+                    ),
+                    "cache_hits": sum(b.cache_hits for b in self._batches),
+                },
+                "queue": {
+                    "capacity": self._queue_capacity,
+                    "max_depth": self._max_queue_depth,
+                    "mean_depth": (
+                        self._depth_total / self._depth_samples
+                        if self._depth_samples
+                        else 0.0
+                    ),
+                },
+                "counters": self._counters.as_dict(),
+                "modeled": {
+                    "total_us": breakdown.total_us,
+                    "us_per_request": breakdown.total_us / max(n_completed, 1),
+                    "us_per_element": breakdown.total_us / max(elements, 1),
+                },
+                "throughput": {
+                    "wall_s": wall_s,
+                    "requests_per_s": n_completed / wall_s,
+                    "elements_per_s": elements / wall_s,
+                },
+            }
+
+    def to_run_report(self, name: str = "service-metrics") -> RunReport:
+        """Export the snapshot as a RunReport-compatible artifact.
+
+        Numeric leaves of the snapshot become the report's ``derived``
+        metrics (dotted paths, e.g. ``requests.latency_s.p95``), so the
+        artifact loads with :meth:`repro.runner.report.RunReport.read`
+        and renders with the same tooling as the experiment sweeps.
+        """
+        snap = self.snapshot()
+        derived: dict[str, float] = {}
+        _flatten_numeric("", snap, derived)
+        with self._lock:
+            stats = ExecutionStats(
+                total=len(self._batches),
+                hits=sum(b.cache_hits for b in self._batches),
+                misses=len(self._batches) - sum(b.cache_hits for b in self._batches),
+                wall_s=time.monotonic() - self._started_at,
+                workers=1,
+            )
+        return RunReport(
+            name=name, code_version=code_version(), stats=stats, tiles=[], derived=derived
+        )
+
+
+def _flatten_numeric(prefix: str, value: Any, out: dict[str, float]) -> None:
+    """Flatten nested dict leaves into dotted-path float metrics."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            _flatten_numeric(f"{prefix}.{key}" if prefix else str(key), value[key], out)

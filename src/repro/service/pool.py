@@ -1,0 +1,84 @@
+"""The sharded worker pool executing micro-batches.
+
+``shards`` worker threads, each with its own FIFO work queue.  A batch's
+shard is fixed by its identity (``batch_id mod shards``), never by load
+or timing, so the *assignment* of work to shards is deterministic and a
+one-shard pool executes exactly the batches a many-shard pool does —
+only the interleaving changes.  Batch execution itself goes through the
+:mod:`repro.runner` executor (see :mod:`repro.service.jobs`), which
+pins down the other half of the determinism story: per-batch results
+are a pure function of batch content.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import ParameterError
+
+__all__ = ["ShardedWorkerPool"]
+
+WorkT = TypeVar("WorkT")
+
+#: Poll granularity for shutdown checks, seconds.
+_POLL_S = 0.05
+
+
+class ShardedWorkerPool(Generic[WorkT]):
+    """``shards`` daemon threads, each draining its own work queue."""
+
+    def __init__(self, shards: int, handler: Callable[[WorkT], None]) -> None:
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        self._handler = handler
+        self._queues: list[queue.Queue[WorkT]] = [queue.Queue() for _ in range(shards)]
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(idx,),
+                name=f"repro-service-shard-{idx}",
+                daemon=True,
+            )
+            for idx in range(shards)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def shards(self) -> int:
+        """Number of worker shards."""
+        return len(self._queues)
+
+    def dispatch(self, shard: int, work: WorkT) -> None:
+        """Enqueue ``work`` on ``shard``'s queue (FIFO per shard)."""
+        self._queues[shard % len(self._queues)].put(work)
+
+    def depth(self, shard: int) -> int:
+        """Approximate queued-work count of one shard."""
+        return self._queues[shard % len(self._queues)].qsize()
+
+    def _worker_loop(self, shard: int) -> None:
+        """Drain one shard's queue until stopped (then finish the backlog)."""
+        q = self._queues[shard]
+        while True:
+            try:
+                work = q.get(timeout=_POLL_S)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            self._handler(work)
+
+    def close(self) -> None:
+        """Finish all queued work, then stop and join every shard thread.
+
+        Workers only exit on an *empty* queue after the stop flag is set,
+        so joining here is a drain: every batch dispatched before
+        ``close`` still completes.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()

@@ -1,0 +1,153 @@
+"""The micro-batching scheduler: queued requests -> whole-tile batches.
+
+One daemon thread owns the admission queue's consumer side.  It
+accumulates pending requests and flushes them into micro-batches when
+either trigger fires:
+
+* **size** — the pending set fills the batch capacity
+  (``max_batch_tiles`` whole ``u*E`` tiles, or ``max_batch_requests``);
+* **wait** — the oldest pending request has aged ``max_wait_s``.
+
+At flush time, requests whose deadline already passed are expired (the
+``on_expired`` callback) instead of batched — a worker shard is never
+spent on a result nobody is waiting for — and the survivors are split
+into per-backend :class:`~repro.service.batching.MicroBatch` units by
+:func:`~repro.service.batching.plan_batches` and handed to
+``on_batch``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import SortParams
+from repro.service.batching import BatchPolicy, MicroBatch, plan_batches
+from repro.service.request import SortRequest
+
+__all__ = ["PendingRequest", "BatchScheduler"]
+
+#: Idle poll granularity of the scheduler loop, seconds.
+_IDLE_POLL_S = 0.05
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting to be batched."""
+
+    request: SortRequest
+    #: ``time.monotonic()`` at admission.
+    submitted_at: float
+    #: Absolute monotonic deadline, or ``None`` for no deadline.
+    deadline_at: float | None
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has already passed."""
+        return self.deadline_at is not None and time.monotonic() > self.deadline_at
+
+
+class BatchScheduler:
+    """The scheduler thread: admission queue in, planned batches out."""
+
+    def __init__(
+        self,
+        policy: BatchPolicy,
+        params: SortParams,
+        on_batch: Callable[[MicroBatch, dict[int, PendingRequest], float], None],
+        on_expired: Callable[[PendingRequest, float], None],
+    ) -> None:
+        self._policy = policy
+        self._params = params
+        self._on_batch = on_batch
+        self._on_expired = on_expired
+        self._queue: queue.Queue[PendingRequest | None] = queue.Queue()
+        self._next_batch_id = 0
+        self._closed = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def enqueue(self, pending: PendingRequest) -> None:
+        """Hand one admitted request to the scheduler."""
+        self._queue.put(pending)
+
+    def depth(self) -> int:
+        """Approximate number of requests the scheduler has not flushed."""
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        """Flush whatever is pending, then stop and join the thread."""
+        self._queue.put(None)
+        self._thread.join()
+        self._closed.set()
+
+    def _should_flush(self, pending: list[PendingRequest], now: float) -> bool:
+        """Size/wait flush decision for the current pending set."""
+        if not pending:
+            return False
+        if len(pending) >= self._policy.max_batch_requests:
+            return True
+        elements = sum(p.request.elements for p in pending)
+        if elements >= self._policy.capacity_elements(self._params):
+            return True
+        oldest = pending[0].submitted_at
+        return now - oldest >= self._policy.max_wait_s
+
+    def _flush(self, pending: list[PendingRequest]) -> None:
+        """Expire the dead, batch the rest, dispatch via ``on_batch``."""
+        flush_time = time.monotonic()
+        live: list[PendingRequest] = []
+        for item in pending:
+            if item.expired:
+                self._on_expired(item, flush_time)
+            else:
+                live.append(item)
+        if not live:
+            return
+        by_id = {item.request.request_id: item for item in live}
+        batches = plan_batches(
+            [item.request for item in live],
+            self._policy,
+            self._params,
+            first_batch_id=self._next_batch_id,
+        )
+        for batch in batches:
+            self._next_batch_id = max(self._next_batch_id, batch.batch_id + 1)
+            members = {
+                r.request_id: by_id[r.request_id] for r in batch.requests
+            }
+            self._on_batch(batch, members, flush_time)
+
+    def _loop(self) -> None:
+        """Accumulate-and-flush until the close sentinel arrives."""
+        pending: list[PendingRequest] = []
+        closing = False
+        while True:
+            if closing and not pending and self._queue.empty():
+                return
+            if pending:
+                deadline = pending[0].submitted_at + self._policy.max_wait_s
+                timeout = max(0.0, deadline - time.monotonic())
+            else:
+                timeout = _IDLE_POLL_S
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            else:
+                if item is None:
+                    closing = True
+                else:
+                    pending.append(item)
+            now = time.monotonic()
+            if pending and (
+                self._should_flush(pending, now)
+                or (closing and self._queue.empty())
+            ):
+                self._flush(pending)
+                pending = []

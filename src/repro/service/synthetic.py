@@ -1,0 +1,170 @@
+"""Synthetic service workloads and the clockless synchronous path.
+
+Two consumers need to run the service's batching pipeline *without*
+threads or wall clocks: the ``service`` tile kind behind
+``benchmarks/bench_service_throughput.py`` (whose counters must be a
+pure function of the job parameters, the runner's caching contract) and
+the ``repro serve`` / ``repro submit`` CLI's workload generators.  This
+module provides both: deterministic request synthesis from a seed, and
+:func:`run_synchronous` — plan batches, execute each through the runner
+bridge, aggregate counters and cost-model time — with no scheduler
+thread in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.config import RTX_2080_TI, SortParams
+from repro.errors import ParameterError, ServiceError
+from repro.perf.cost_model import CostModel
+from repro.runner.cache import ResultCache
+from repro.service.batching import BatchPolicy, plan_batches
+from repro.service.jobs import run_batch
+from repro.service.request import SortRequest
+from repro.sim.counters import Counters
+from repro.workloads import adversarial, uniform_random
+
+__all__ = ["synth_payloads", "synth_requests", "run_synchronous", "service_tile"]
+
+#: Request mixes the synthesizer understands.
+MIXES = ("random", "adversarial", "mixed")
+
+
+def synth_payloads(
+    count: int,
+    min_elems: int,
+    max_elems: int,
+    mix: str,
+    seed: int,
+    params: SortParams,
+    w: int,
+) -> list[npt.NDArray[np.int64]]:
+    """Deterministically synthesize ``count`` small request payloads.
+
+    ``mix`` selects the input class: ``"random"`` draws uniform values
+    with lengths in ``[min_elems, max_elems]``; ``"adversarial"`` emits
+    one whole Section 4 worst-case tile (``u*E`` elements — the input
+    class that craters the baseline backend); ``"mixed"`` alternates the
+    two.  Everything derives from ``seed``, so equal arguments always
+    produce equal workloads.
+    """
+    if mix not in MIXES:
+        raise ParameterError(f"unknown mix {mix!r} (one of {MIXES})")
+    if not 1 <= min_elems <= max_elems:
+        raise ParameterError(
+            f"need 1 <= min_elems <= max_elems, got {min_elems}..{max_elems}"
+        )
+    rng = np.random.default_rng(seed)
+    payloads: list[npt.NDArray[np.int64]] = []
+    evil = adversarial(1, params.E, params.u, w)
+    for index in range(count):
+        use_adversarial = mix == "adversarial" or (mix == "mixed" and index % 2 == 1)
+        if use_adversarial:
+            payloads.append(evil.copy())
+        else:
+            n = int(rng.integers(min_elems, max_elems + 1))
+            payloads.append(uniform_random(n, seed=int(rng.integers(0, 2**31))))
+    return payloads
+
+
+def synth_requests(
+    count: int,
+    min_elems: int,
+    max_elems: int,
+    mix: str,
+    seed: int,
+    params: SortParams,
+    w: int,
+    backend: str = "cf",
+) -> list[SortRequest]:
+    """Synthesized payloads wrapped as service requests for ``backend``."""
+    payloads = synth_payloads(count, min_elems, max_elems, mix, seed, params, w)
+    return [
+        SortRequest(request_id=i, data=data, backend=backend)
+        for i, data in enumerate(payloads)
+    ]
+
+
+def run_synchronous(
+    requests: list[SortRequest],
+    policy: BatchPolicy,
+    params: SortParams,
+    w: int,
+    cache: ResultCache | None = None,
+    verify: bool = True,
+) -> dict[str, Any]:
+    """Batch and execute ``requests`` inline; return aggregate JSON metrics.
+
+    The deterministic core of the service: plan micro-batches, run each
+    through :func:`repro.service.jobs.run_batch`, verify every segment
+    against ``numpy.sort`` (``verify=True``), and report cost-oriented
+    aggregates — batch counts, padding overhead, simulator counters, and
+    cost-model time — every one a pure function of the request list.
+    """
+    tile = params.tile_elements
+    counters = Counters()
+    batches = plan_batches(requests, policy, params)
+    padded_elements = 0
+    launches = 0
+    for batch in batches:
+        outcome, _ = run_batch(batch, params, w, cache=cache)
+        counters.merge(outcome.counters)
+        launches += outcome.launches
+        padded_elements += ((batch.elements + tile - 1) // tile) * tile
+        if verify:
+            for request, offset in zip(batch.requests, batch.offsets):
+                segment = outcome.data[offset : offset + request.elements]
+                if not np.array_equal(segment, np.sort(request.data)):
+                    raise ServiceError(
+                        f"request {request.request_id} came back unsorted "
+                        f"from backend {batch.backend!r}"
+                    )
+    elements = sum(r.elements for r in requests)
+    model = CostModel(RTX_2080_TI)
+    modeled = model.estimate(counters, kernel_launches=max(launches, 1)).total_us
+    return {
+        "requests": len(requests),
+        "elements": elements,
+        "batches": len(batches),
+        "padded_elements": padded_elements,
+        "padding_fraction": (
+            1.0 - elements / padded_elements if padded_elements else 0.0
+        ),
+        "counters": counters.as_dict(),
+        "modeled_us_total": modeled,
+        "modeled_us_per_request": modeled / max(len(requests), 1),
+        "modeled_us_per_element": modeled / max(elements, 1),
+    }
+
+
+def service_tile(job_params: dict[str, Any]) -> dict[str, Any]:
+    """The ``service`` tile worker: one synthetic service workload, measured.
+
+    Job parameters: ``backend``, ``mix``, ``n_requests``,
+    ``min_elems``/``max_elems``, ``batch_tiles``/``batch_requests`` (the
+    batching policy), the sort geometry ``E``/``u``/``w``, and the
+    derived ``seed``.  Returns :func:`run_synchronous`'s aggregate
+    metrics — deterministic, so the perf gate can compare them across
+    runs without flake.
+    """
+    params = SortParams(int(job_params["E"]), int(job_params["u"]))
+    w = int(job_params["w"])
+    requests = synth_requests(
+        count=int(job_params["n_requests"]),
+        min_elems=int(job_params["min_elems"]),
+        max_elems=int(job_params["max_elems"]),
+        mix=str(job_params["mix"]),
+        seed=int(job_params["seed"]),
+        params=params,
+        w=w,
+        backend=str(job_params["backend"]),
+    )
+    policy = BatchPolicy(
+        max_batch_tiles=int(job_params["batch_tiles"]),
+        max_batch_requests=int(job_params["batch_requests"]),
+    )
+    return run_synchronous(requests, policy, params, w, cache=None, verify=True)

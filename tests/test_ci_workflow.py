@@ -59,6 +59,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     steps = _steps_text(workflow["jobs"]["lint"])
     assert "ruff check" in steps
     assert "mypy --strict src/repro/runner" in steps
+    assert "src/repro/service" in steps
 
 
 def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
@@ -71,6 +72,16 @@ def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
     assert "--tolerance 0.25" in steps
 
 
+def test_smoke_job_runs_service_selftest(workflow):
+    # The service smoke: a mixed random/adversarial batch through every
+    # backend, self-verified output, metrics artifact for upload.
+    steps = _steps_text(workflow["jobs"]["smoke"])
+    assert "python -m repro serve" in steps
+    assert "--mix mixed" in steps
+    assert "--selftest" in steps
+    assert "--metrics-out service-metrics.json" in steps
+
+
 def test_smoke_job_always_uploads_run_reports(workflow):
     job = workflow["jobs"]["smoke"]
     upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
@@ -79,6 +90,7 @@ def test_smoke_job_always_uploads_run_reports(workflow):
     assert upload["with"]["if-no-files-found"] == "error"
     assert "run-report.json" in upload["with"]["path"]
     assert "bench-report.json" in upload["with"]["path"]
+    assert "service-metrics.json" in upload["with"]["path"]
 
 
 def test_every_job_checks_out_and_sets_up_python(workflow):

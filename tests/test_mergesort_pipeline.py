@@ -72,6 +72,76 @@ class TestPipelineCorrectness:
             gpu_mergesort(np.arange(4), E=5, u=8, w=8, variant="quick")
 
 
+class TestPaddingRoundTrip:
+    """Sentinel padding/stripping on non-tile-multiple lengths.
+
+    The pipeline pads any input up to a whole number of ``u*E`` tiles
+    with ``+inf`` sentinels and strips them from the output; these
+    properties pin down that round trip for every length class the
+    service's small-request workloads produce.
+    """
+
+    E, u, w = 5, 8, 8
+    tile = u * E  # 40
+
+    @pytest.mark.parametrize("variant", ["thrust", "cf"])
+    @pytest.mark.parametrize(
+        "n", [0, 1, 2, tile - 1, tile + 1, 2 * tile - 1, 2 * tile + 1, 7 * tile + 13]
+    )
+    def test_non_multiple_lengths_round_trip(self, variant, n):
+        rng = np.random.default_rng(n + 1)
+        data = rng.integers(-(10**9), 10**9, n)
+        res = gpu_mergesort(data, E=self.E, u=self.u, w=self.w, variant=variant)
+        assert res.n == n
+        assert len(res.data) == n
+        assert np.array_equal(res.data, np.sort(data))
+        # Stripping removed every sentinel the padding introduced.
+        assert not np.any(res.data == SENTINEL)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=3 * tile + 1),
+        variant=st.sampled_from(["thrust", "cf"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_padding_round_trip(self, n, variant, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-(2**40), 2**40, n)
+        res = gpu_mergesort(data, E=self.E, u=self.u, w=self.w, variant=variant)
+        assert res.n == n
+        assert len(res.data) == n
+        assert np.array_equal(res.data, np.sort(data))
+        assert not np.any(res.data == SENTINEL)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=SENTINEL - 5, max_value=SENTINEL),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_property_near_sentinel_values(self, values):
+        # Values straddling the sentinel: anything == SENTINEL must be
+        # rejected (it would silently vanish in the strip), anything
+        # below must survive the round trip at the extreme of int64.
+        data = np.array(values, dtype=np.int64)
+        if np.any(data >= SENTINEL):
+            with pytest.raises(ParameterError):
+                gpu_mergesort(data, E=self.E, u=self.u, w=self.w)
+        else:
+            res = gpu_mergesort(data, E=self.E, u=self.u, w=self.w, variant="cf")
+            assert np.array_equal(res.data, np.sort(data))
+
+    def test_length_zero_and_one_have_no_merge_work(self):
+        for n in (0, 1):
+            data = np.arange(n, dtype=np.int64)
+            res = gpu_mergesort(data, E=self.E, u=self.u, w=self.w, variant="cf")
+            assert res.n == n
+            assert np.array_equal(res.data, data)
+            assert res.merge_level_count == 0
+
+
 class TestPipelineStatistics:
     def test_cf_merge_phase_conflict_free_end_to_end(self):
         # The paper's nvprof claim, end to end: zero conflicts during

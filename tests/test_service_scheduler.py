@@ -1,0 +1,192 @@
+"""Scheduler flush triggers, expiry at flush time, and the worker pool."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.config import SortParams
+from repro.service import BatchPolicy, BatchScheduler, PendingRequest, SortRequest
+from repro.service.pool import ShardedWorkerPool
+
+PARAMS = SortParams(E=5, u=8)  # tile = 40
+
+
+class _Collector:
+    """Thread-safe capture of the scheduler's callbacks."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.batches = []
+        self.expired = []
+        self.event = threading.Event()
+
+    def on_batch(self, batch, members, flush_time) -> None:
+        with self.lock:
+            self.batches.append((batch, dict(members), flush_time))
+        self.event.set()
+
+    def on_expired(self, pending, flush_time) -> None:
+        with self.lock:
+            self.expired.append(pending)
+        self.event.set()
+
+
+def _pending(rid: int, n: int, deadline_s: float | None = None) -> PendingRequest:
+    now = time.monotonic()
+    return PendingRequest(
+        request=SortRequest(
+            request_id=rid,
+            data=np.arange(n, dtype=np.int64)[::-1].copy(),
+        ),
+        submitted_at=now,
+        deadline_at=None if deadline_s is None else now + deadline_s,
+    )
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestFlushTriggers:
+    def test_size_trigger_fires_before_max_wait(self):
+        # max_wait is huge; the request-count trigger must flush alone.
+        collector = _Collector()
+        policy = BatchPolicy(max_batch_requests=4, max_wait_s=30.0)
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            started = time.monotonic()
+            for rid in range(4):
+                scheduler.enqueue(_pending(rid, 5))
+            assert _wait_for(lambda: collector.batches)
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0  # nowhere near max_wait_s
+            with collector.lock:
+                total = sum(len(b.requests) for b, _, _ in collector.batches)
+            assert total == 4
+        finally:
+            scheduler.close()
+
+    def test_element_capacity_trigger(self):
+        # One tile of capacity; two 25-element requests overflow it.
+        collector = _Collector()
+        policy = BatchPolicy(max_batch_tiles=1, max_batch_requests=64, max_wait_s=30.0)
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            scheduler.enqueue(_pending(0, 25))
+            scheduler.enqueue(_pending(1, 25))
+            assert _wait_for(lambda: collector.batches)
+        finally:
+            scheduler.close()
+
+    def test_wait_trigger_flushes_partial_batch(self):
+        # Far below both size triggers: only the age trigger can flush.
+        collector = _Collector()
+        policy = BatchPolicy(max_batch_requests=64, max_batch_tiles=8, max_wait_s=0.05)
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            scheduler.enqueue(_pending(0, 5))
+            assert _wait_for(lambda: collector.batches, timeout=5.0)
+            with collector.lock:
+                (batch, members, flush_time) = collector.batches[0]
+            assert [r.request_id for r in batch.requests] == [0]
+            assert 0 in members
+        finally:
+            scheduler.close()
+
+    def test_close_flushes_whatever_is_pending(self):
+        collector = _Collector()
+        policy = BatchPolicy(max_batch_requests=64, max_batch_tiles=8, max_wait_s=30.0)
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        scheduler.enqueue(_pending(0, 5))
+        scheduler.enqueue(_pending(1, 5))
+        scheduler.close()  # must not strand the two pending requests
+        total = sum(len(b.requests) for b, _, _ in collector.batches)
+        assert total == 2
+
+    def test_batch_ids_increase_across_flushes(self):
+        collector = _Collector()
+        policy = BatchPolicy(max_batch_requests=1, max_wait_s=30.0)
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            for rid in range(3):
+                scheduler.enqueue(_pending(rid, 5))
+            assert _wait_for(lambda: len(collector.batches) == 3)
+            with collector.lock:
+                ids = [b.batch_id for b, _, _ in collector.batches]
+            assert ids == sorted(ids)
+            assert len(set(ids)) == 3
+        finally:
+            scheduler.close()
+
+
+class TestExpiryAtFlush:
+    def test_already_expired_requests_skip_batching(self):
+        collector = _Collector()
+        policy = BatchPolicy(max_batch_requests=2, max_wait_s=30.0)
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            dead = _pending(0, 5, deadline_s=0.001)
+            time.sleep(0.01)  # let the deadline lapse before the flush
+            scheduler.enqueue(dead)
+            scheduler.enqueue(_pending(1, 5))
+            assert _wait_for(lambda: collector.expired and collector.batches)
+            with collector.lock:
+                expired_ids = [p.request.request_id for p in collector.expired]
+                batched_ids = [
+                    r.request_id
+                    for b, _, _ in collector.batches
+                    for r in b.requests
+                ]
+            assert expired_ids == [0]
+            assert batched_ids == [1]
+        finally:
+            scheduler.close()
+
+
+class TestShardedWorkerPool:
+    def test_close_drains_dispatched_work(self):
+        done = []
+        lock = threading.Lock()
+
+        def handler(item: int) -> None:
+            time.sleep(0.002)
+            with lock:
+                done.append(item)
+
+        pool: ShardedWorkerPool[int] = ShardedWorkerPool(3, handler)
+        for i in range(30):
+            pool.dispatch(i % 3, i)
+        pool.close()
+        assert sorted(done) == list(range(30))
+
+    def test_fifo_within_a_shard(self):
+        seen: list[int] = []
+
+        def handler(item: int) -> None:
+            seen.append(item)
+
+        pool: ShardedWorkerPool[int] = ShardedWorkerPool(1, handler)
+        for i in range(10):
+            pool.dispatch(0, i)
+        pool.close()
+        assert seen == list(range(10))

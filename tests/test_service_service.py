@@ -1,0 +1,259 @@
+"""End-to-end service behavior: equivalence, backpressure, deadlines, metrics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, QueueFullError, ServiceError
+from repro.runner.report import RunReport
+from repro.service import (
+    METRICS_SCHEMA,
+    BatchPolicy,
+    Client,
+    ServiceMetrics,
+    SortResult,
+    SortService,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.service.service import DEFAULT_PARAMS, DEFAULT_W
+from repro.service.synthetic import synth_payloads
+
+
+def _payloads(count: int, mix: str = "mixed", seed: int = 0):
+    return synth_payloads(count, 8, 160, mix, seed, DEFAULT_PARAMS, DEFAULT_W)
+
+
+def _fast_policy(**overrides) -> BatchPolicy:
+    kwargs = dict(max_wait_s=0.02)
+    kwargs.update(overrides)
+    return BatchPolicy(**kwargs)
+
+
+class TestBackendRegistry:
+    def test_defaults_registered(self):
+        assert set(available_backends()) >= {"cf", "baseline", "numpy"}
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ParameterError):
+            get_backend("nope")
+
+    def test_register_rejects_non_identifier(self):
+        with pytest.raises(ParameterError):
+            register_backend("not a name", get_backend("numpy"))
+
+    @pytest.mark.parametrize("backend", ["cf", "baseline", "numpy"])
+    def test_backends_agree_with_numpy_oracle(self, backend):
+        # Dispatch equivalence: every backend returns the same segment-wise
+        # sorted data for the same micro-batch content.
+        data = np.concatenate(_payloads(6, seed=42))
+        offsets, pos = [], 0
+        for p in _payloads(6, seed=42):
+            offsets.append(pos)
+            pos += len(p)
+        outcome = get_backend(backend)(data, offsets, DEFAULT_PARAMS, DEFAULT_W)
+        reference = get_backend("numpy")(data, offsets, DEFAULT_PARAMS, DEFAULT_W)
+        assert np.array_equal(outcome.data, reference.data)
+
+    def test_cf_batch_has_fewer_replays_than_baseline(self):
+        data = np.concatenate(_payloads(8, mix="adversarial", seed=1))
+        offsets = list(
+            np.cumsum([0] + [len(p) for p in _payloads(8, mix="adversarial", seed=1)])[:-1]
+        )
+        offsets = [int(o) for o in offsets]
+        cf = get_backend("cf")(data, offsets, DEFAULT_PARAMS, DEFAULT_W)
+        baseline = get_backend("baseline")(data, offsets, DEFAULT_PARAMS, DEFAULT_W)
+        assert cf.counters.shared_replays < baseline.counters.shared_replays
+
+
+class TestServiceEndToEnd:
+    @pytest.mark.parametrize("backend", ["cf", "baseline", "numpy"])
+    def test_submit_many_returns_sorted_results(self, backend):
+        payloads = _payloads(12)
+        with Client(service=SortService(policy=_fast_policy())) as client:
+            results = client.submit_many(payloads, backend=backend, timeout=60)
+        assert len(results) == len(payloads)
+        for payload, result in zip(payloads, results):
+            assert result.ok
+            assert result.backend == backend
+            assert result.batch_id >= 0
+            assert np.array_equal(result.data, np.sort(payload))
+
+    def test_mixed_backends_equivalent_results(self):
+        payloads = _payloads(9, seed=5)
+        sorted_by_backend = {}
+        for backend in ("cf", "baseline", "numpy"):
+            with Client(service=SortService(policy=_fast_policy())) as client:
+                results = client.submit_many(payloads, backend=backend, timeout=60)
+            sorted_by_backend[backend] = [r.data for r in results]
+        for arrays in zip(*sorted_by_backend.values()):
+            first = arrays[0]
+            for other in arrays[1:]:
+                assert np.array_equal(first, other)
+
+    def test_sort_single_array(self):
+        with Client() as client:
+            out = client.sort(np.array([9, -3, 5, 0], dtype=np.int64))
+        assert list(out) == [-3, 0, 5, 9]
+
+    def test_submit_after_close_raises(self):
+        service = SortService(policy=_fast_policy())
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(np.arange(4, dtype=np.int64))
+
+    def test_results_report_latency_split(self):
+        with Client(service=SortService(policy=_fast_policy())) as client:
+            results = client.submit_many(_payloads(4), timeout=60)
+        for result in results:
+            assert result.wait_s >= 0.0
+            assert result.service_s > 0.0
+            assert result.latency_s == pytest.approx(result.wait_s + result.service_s)
+
+
+class TestBackpressureAndShedding:
+    def test_load_shedding_when_queue_full(self):
+        # Capacity 2, non-blocking: the third concurrent submit must shed.
+        policy = _fast_policy(queue_capacity=2, max_wait_s=5.0)
+        service = SortService(policy=policy)
+        try:
+            service.submit(np.arange(8, dtype=np.int64))
+            service.submit(np.arange(8, dtype=np.int64))
+            with pytest.raises(QueueFullError):
+                service.submit(np.arange(8, dtype=np.int64))
+            assert service.metrics.snapshot()["requests"]["shed"] == 1
+        finally:
+            service.close()
+
+    def test_blocking_submit_waits_for_capacity(self):
+        # With block=True the submit rides backpressure instead of shedding:
+        # once the in-flight work drains, the blocked submit proceeds.
+        policy = _fast_policy(queue_capacity=2, max_wait_s=0.01)
+        results: list[SortResult] = []
+        with SortService(policy=policy) as service:
+            tickets = [
+                service.submit(p, block=True, timeout=30.0) for p in _payloads(8)
+            ]
+            results = [t.result(30.0) for t in tickets]
+        assert len(results) == 8
+        assert all(r.ok for r in results)
+
+    def test_blocking_submit_times_out_as_queue_full(self):
+        policy = _fast_policy(queue_capacity=1, max_wait_s=10.0)
+        service = SortService(policy=policy)
+        try:
+            service.submit(np.arange(8, dtype=np.int64))  # occupies the slot
+            with pytest.raises(QueueFullError):
+                service.submit(
+                    np.arange(8, dtype=np.int64), block=True, timeout=0.05
+                )
+        finally:
+            service.close()
+
+    def test_in_flight_returns_to_zero(self):
+        with SortService(policy=_fast_policy()) as service:
+            tickets = [service.submit(p) for p in _payloads(5)]
+            for ticket in tickets:
+                ticket.result(30.0)
+            deadline = time.monotonic() + 5.0
+            while service.in_flight and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert service.in_flight == 0
+
+
+class TestDeadlines:
+    def test_expired_deadline_yields_error_result(self):
+        # A deadline far shorter than the batching wait: the request must
+        # come back as DeadlineExceededError, not as sorted data.
+        policy = _fast_policy(max_wait_s=0.3)
+        with SortService(policy=policy) as service:
+            ticket = service.submit(
+                np.arange(16, dtype=np.int64), deadline_s=0.001
+            )
+            result = ticket.result(30.0)
+        assert not result.ok
+        assert result.error == "DeadlineExceededError"
+        with pytest.raises(ServiceError):
+            result.raise_if_failed()
+
+    def test_generous_deadline_completes(self):
+        with SortService(policy=_fast_policy()) as service:
+            ticket = service.submit(np.arange(16, dtype=np.int64), deadline_s=30.0)
+            result = ticket.result(30.0)
+        assert result.ok
+
+    def test_expiry_counted_in_metrics(self):
+        policy = _fast_policy(max_wait_s=0.3)
+        with SortService(policy=policy) as service:
+            service.submit(np.arange(8, dtype=np.int64), deadline_s=0.001).result(30.0)
+            snap = service.metrics.snapshot()
+        assert snap["requests"]["expired"] == 1
+
+
+class TestMetrics:
+    def test_snapshot_schema(self):
+        with Client(service=SortService(policy=_fast_policy())) as client:
+            client.submit_many(_payloads(10), timeout=60)
+            snap = client.metrics_snapshot()
+        assert snap["schema"] == METRICS_SCHEMA
+        assert snap["params"] == {
+            "E": DEFAULT_PARAMS.E,
+            "u": DEFAULT_PARAMS.u,
+            "w": DEFAULT_W,
+        }
+        for section, keys in {
+            "requests": (
+                "submitted", "completed", "shed", "expired",
+                "latency_s", "wait_s_mean", "service_s_mean",
+            ),
+            "batches": (
+                "count", "elements", "padded_elements", "fill_ratio_mean",
+                "fill_ratio_min", "padding_fraction",
+                "requests_per_batch_mean", "cache_hits",
+            ),
+            "queue": ("capacity", "max_depth", "mean_depth"),
+            "modeled": ("total_us", "us_per_request", "us_per_element"),
+            "throughput": ("wall_s", "requests_per_s", "elements_per_s"),
+        }.items():
+            assert set(keys) <= set(snap[section]), section
+        assert {"mean", "p50", "p95", "max"} <= set(snap["requests"]["latency_s"])
+        assert snap["requests"]["completed"] == 10
+        assert snap["batches"]["count"] >= 1
+        assert 0.0 < snap["batches"]["fill_ratio_mean"] <= 1.0
+        assert snap["counters"]["shared_replays"] >= 0
+
+    def test_to_run_report_round_trips(self, tmp_path):
+        with Client(service=SortService(policy=_fast_policy())) as client:
+            client.submit_many(_payloads(6), timeout=60)
+            report = client.service.metrics.to_run_report()
+        path = report.write(tmp_path / "service.json")
+        loaded = RunReport.read(path)
+        metrics = loaded.metrics()
+        assert metrics["requests.completed"] == 6.0
+        assert "batches.fill_ratio_mean" in metrics
+        assert "modeled.us_per_request" in metrics
+        assert "counters.shared_replays" in metrics
+
+    def test_thread_safe_recording(self):
+        metrics = ServiceMetrics(DEFAULT_PARAMS, DEFAULT_W, queue_capacity=16)
+
+        def hammer(base: int) -> None:
+            for i in range(50):
+                metrics.record_admitted(i % 7)
+                metrics.record_result(
+                    SortResult(request_id=base + i, backend="cf", service_s=0.001)
+                )
+
+        threads = [threading.Thread(target=hammer, args=(k * 50,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = metrics.snapshot()
+        assert snap["requests"]["submitted"] == 200
+        assert snap["requests"]["completed"] == 200
