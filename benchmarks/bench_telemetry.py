@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the telemetry layer's overhead claims.
+
+Not a paper artifact — these pin the subsystem's two cost contracts:
+disabled tracing adds only a predicate check to instrumented call sites
+(the kernels, runner, and service run at seed-level speed when nobody is
+watching), and a full conflict profile of the adversarial input stays
+cheap enough for the CI smoke.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.mergesort.serial_merge import serial_merge_block
+from repro.sim.trace import AccessTrace
+from repro.telemetry.chrome import access_trace_events
+from repro.telemetry.profiler import ConflictProfile, profile_worstcase
+from repro.telemetry.spans import NULL_TRACER, Tracer
+from repro.worstcase import worstcase_merge_inputs
+
+W, E = 16, 7
+
+
+def test_disabled_span_overhead(benchmark):
+    """A disabled tracer's span() is one predicate + a shared handle."""
+
+    def hot_loop() -> int:
+        total = 0
+        for _ in range(1000):
+            with NULL_TRACER.span("hot"):
+                total += 1
+        return total
+
+    assert benchmark(hot_loop) == 1000
+
+
+def test_enabled_span_overhead(benchmark):
+    """The enabled path, for comparison against the disabled one."""
+
+    def traced_loop() -> int:
+        tracer = Tracer()
+        for _ in range(1000):
+            with tracer.span("hot"):
+                pass
+        return len(tracer.roots)
+
+    assert benchmark(traced_loop) == 1000
+
+
+def test_untraced_kernel_at_seed_speed(benchmark):
+    """The instrumented kernel without a trace — the perf-gate path."""
+    a, b = worstcase_merge_inputs(W, E)
+
+    _, stats = benchmark(serial_merge_block, a, b, E, W)
+    attach(benchmark, merge_excess=int(stats.merge.shared_excess))
+
+
+def test_traced_kernel(benchmark):
+    """The same kernel with trace recording on (the `repro profile` path)."""
+    a, b = worstcase_merge_inputs(W, E)
+
+    def traced():
+        trace = AccessTrace()
+        return serial_merge_block(a, b, E, W, trace=trace), trace
+
+    (_, stats), trace = benchmark(traced)
+    assert len(trace.events) == stats.search.shared_read_rounds + (
+        stats.merge.shared_read_rounds
+    )
+
+
+def test_conflict_profile_aggregation(benchmark):
+    """Trace -> per-bank/per-warp/per-phase attribution."""
+    run = profile_worstcase(w=W, E=E)
+
+    profile = benchmark(ConflictProfile, run.trace, W)
+    assert profile.total.excess == run.counters.shared_excess
+    attach(benchmark, rounds=profile.total.rounds)
+
+
+def test_chrome_export(benchmark):
+    """Trace -> Chrome trace events (the artifact-writing hot path)."""
+    run = profile_worstcase(w=W, E=E)
+
+    events = benchmark(access_trace_events, run.trace, W)
+    attach(benchmark, events=len(events))

@@ -42,7 +42,7 @@ from repro.worstcase import (
     worstcase_merge_inputs,
 )
 
-__version__ = "1.2.0"
+from repro._version import __version__
 
 __all__ = [
     "__version__",

@@ -27,8 +27,11 @@ Usage::
     python -m repro bench --baseline B.json [--tolerance T]  # perf gate
     python -m repro serve [--count N --mix M --selftest]  # service smoke
     python -m repro submit [--count N --backends B,...]   # service blast
+    python -m repro profile [worstcase|random|cf] [--w W --E E --out DIR]
+    python -m repro trace [theorem8|defenses|fig5|service] [--out DIR]
     python -m repro list           # the experiment manifest
-    python -m repro all [--quick]  # everything above (except bench/export)
+    python -m repro all [--quick]  # everything above (except
+                                   # bench/export/trace/profile)
 
 Sweep-backed commands (fig5/fig6/theorem8/defenses/export/bench) route
 through :mod:`repro.runner`: their tile measurements fan out over worker
@@ -40,6 +43,10 @@ writes the session's :class:`~repro.runner.RunReport` JSON artifact.
 ``serve``/``submit`` drive the :mod:`repro.service` micro-batching sort
 service on deterministic synthetic workloads; their failure modes map to
 distinct exit codes (1 unsorted, 3 queue full, 4 deadline, 5 other).
+
+``profile``/``trace`` are the :mod:`repro.telemetry` surface: conflict
+attribution artifacts (Chrome trace JSON, profile JSON, heat map) and
+control-plane span traces — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ import sys
 
 import numpy as np
 
+from repro._version import __version__
 from repro.analysis import (
     figure1,
     figure2,
@@ -89,6 +97,8 @@ from repro.runner import (
     theorem8_spec,
     throughput_points,
 )
+from repro.telemetry.cli import run_profile, run_trace
+from repro.telemetry.spans import Tracer
 from repro.workloads import adversarial, uniform_random
 
 __all__ = ["main", "RunnerSession"]
@@ -104,9 +114,15 @@ class RunnerSession:
     aggregated artifact covering every tile the invocation measured.
     """
 
-    def __init__(self, workers: int = 0, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: ResultCache | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.workers = workers
         self.cache = cache
+        self.tracer = tracer
         self.jobs: list[TileJob] = []
         self.results: list[dict] = []
         self.stats = ExecutionStats(workers=1)
@@ -115,7 +131,9 @@ class RunnerSession:
     def run(self, spec: SweepSpec) -> tuple[list[TileJob], list[dict]]:
         """Expand and execute ``spec``, recording jobs for the report."""
         jobs = spec.expand()
-        results, stats = execute(jobs, cache=self.cache, workers=self.workers)
+        results, stats = execute(
+            jobs, cache=self.cache, workers=self.workers, tracer=self.tracer
+        )
         self.jobs.extend(jobs)
         self.results.extend(results)
         self.stats.merge(stats)
@@ -347,8 +365,14 @@ _COMMANDS = {
     "heatmap": lambda args: _heatmap(),
     "stats": lambda args: _stats(),
     "export": run_export,
+    "profile": run_profile,
+    "trace": run_trace,
     "list": lambda args: _manifest(),
 }
+
+#: Commands skipped by ``repro all``: ``export`` writes files, ``bench``
+#: gates, ``trace``/``profile`` write telemetry artifacts.
+_NOT_IN_ALL = ("export", "trace", "profile")
 
 
 def _heatmap() -> str:
@@ -386,17 +410,36 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=sorted(_COMMANDS) + ["all", "bench", "serve", "submit"],
         help="which figure/table to regenerate (`bench` = perf gate; "
-        "`serve`/`submit` = the batched sort service)",
+        "`serve`/`submit` = the batched sort service; "
+        "`profile`/`trace` = telemetry artifacts)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="(profile/trace) what to profile or trace "
+        "(profile: worstcase/random/cf; trace: theorem8/defenses/fig5/service)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="smaller sweeps for fig5/fig6/export (seconds instead of minutes)",
     )
-    parser.add_argument("--w", type=int, default=None, help="warp width for `lemmas`")
-    parser.add_argument("--E", type=int, default=None, help="elements/thread for `lemmas`")
     parser.add_argument(
-        "--out", default="results", help="output directory for `export`"
+        "--w", type=int, default=None, help="warp width for `lemmas`/`profile`"
+    )
+    parser.add_argument(
+        "--E", type=int, default=None, help="elements/thread for `lemmas`/`profile`"
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="output directory for `export`/`profile`/`trace`",
     )
     parser.add_argument(
         "--jobs",
@@ -455,8 +498,7 @@ def main(argv: list[str] | None = None) -> int:
         return service_dispatch(args)
 
     if args.experiment == "all":
-        # `export` writes files, `bench` gates; everything else only prints.
-        names = sorted(n for n in _COMMANDS if n != "export")
+        names = sorted(n for n in _COMMANDS if n not in _NOT_IN_ALL)
     else:
         names = [args.experiment]
     for name in names:

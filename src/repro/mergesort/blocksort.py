@@ -271,6 +271,8 @@ def blocksort_tile(
 
     # --- phase 1: load E contiguous elements per thread, sort in registers
     regs = [np.empty(E, dtype=np.int64) for _ in range(u)]
+    if trace is not None:
+        trace.set_phase("stage")
     load_block = ThreadBlock(
         u=u, w=w, shared_words=shared_words,
         program_factory=lambda tid: _load_kernel(tid, E, regs[tid]),
@@ -295,6 +297,8 @@ def blocksort_tile(
         else:
             def stage_factory(tid, _E=E, _regs=regs, _region=region, _w=w):
                 return _stage_kernel_pair_layout(tid, _E, _regs[tid], _region, _w)
+        if trace is not None:
+            trace.set_phase("stage")
         stage_block = ThreadBlock(
             u=u, w=w, shared_words=shared_words,
             program_factory=stage_factory, counters=stats.stage, trace=trace,
@@ -323,9 +327,11 @@ def blocksort_tile(
                 tid, E, p * region, half, mapped=(variant == "cf"), w=w
             )
 
+        if trace is not None:
+            trace.set_phase("search")
         search_block = ThreadBlock(
             u=u, w=w, shared_words=shared_words,
-            program_factory=search_factory, counters=stats.search,
+            program_factory=search_factory, counters=stats.search, trace=trace,
         )
         search_block.shared.load_array(staged)
         search_block.run()
@@ -353,6 +359,8 @@ def blocksort_tile(
                     tid, E, p * region, half, a_off, sizes[tau], outputs[tid], w
                 )
 
+        if trace is not None:
+            trace.set_phase("merge")
         merge_block = ThreadBlock(
             u=u, w=w, shared_words=shared_words,
             program_factory=merge_factory, counters=stats.merge, trace=trace,

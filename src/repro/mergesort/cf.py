@@ -126,9 +126,11 @@ def cf_merge_block(
         def search_factory(tid):
             return _mapped_search_kernel(tid, E, len(a), total, w)
 
+        if trace is not None:
+            trace.set_phase("search")
         search_block = ThreadBlock(
             u=u, w=w, shared_words=total, program_factory=search_factory,
-            counters=stats.search,
+            counters=stats.search, trace=trace,
         )
         search_block.shared.load_array(layout)
         search_block.run()
@@ -138,6 +140,8 @@ def cf_merge_block(
     per_thread = [[schedule[j][i] for j in range(E)] for i in range(u)]
     regs = [np.zeros(E, dtype=np.int64) for _ in range(u)]
 
+    if trace is not None:
+        trace.set_phase("gather")
     gather_block_exec = ThreadBlock(
         u=u, w=w, shared_words=total,
         program_factory=lambda tid: _gather_kernel(per_thread[tid], regs[tid]),
@@ -170,6 +174,8 @@ def cf_merge_block(
     scatter_per_thread = [
         [scatter_sched[j][i] for j in range(E)] for i in range(u)
     ]
+    if trace is not None:
+        trace.set_phase("scatter")
     scatter_exec = ThreadBlock(
         u=u, w=w, shared_words=total,
         program_factory=lambda tid: _scatter_kernel(

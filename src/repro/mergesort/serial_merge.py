@@ -172,9 +172,11 @@ def serial_merge_block(
         def search_factory(tid):
             return _search_kernel(tid, E, n_a, len(b), a, b)
 
+        if trace is not None:
+            trace.set_phase("search")
         search_block = ThreadBlock(
             u=u, w=w, shared_words=u * E, program_factory=search_factory,
-            counters=stats.search, shared_factory=shared_factory,
+            counters=stats.search, trace=trace, shared_factory=shared_factory,
         )
         search_block.shared.load_array(np.concatenate([a, b]))
         search_block.run()
@@ -182,6 +184,8 @@ def serial_merge_block(
     def merge_factory(tid):
         return _merge_kernel(tid, split, outputs, read_policy)
 
+    if trace is not None:
+        trace.set_phase("merge")
     merge_block = ThreadBlock(
         u=u, w=w, shared_words=u * E, program_factory=merge_factory,
         counters=stats.merge, trace=trace, shared_factory=shared_factory,

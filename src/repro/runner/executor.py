@@ -23,6 +23,7 @@ from typing import Any
 from repro.runner.cache import ResultCache
 from repro.runner.measure import run_tile_job
 from repro.runner.spec import TileJob
+from repro.telemetry.spans import Tracer
 
 __all__ = ["ExecutionStats", "execute"]
 
@@ -76,6 +77,7 @@ def execute(
     cache: ResultCache | None = None,
     workers: int = 0,
     chunk_size: int | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[list[dict[str, Any]], ExecutionStats]:
     """Run ``jobs``, returning ``(results_in_job_order, stats)``.
 
@@ -83,6 +85,11 @@ def execute(
     cache misses); ``workers=1`` runs serially in-process — by the
     deterministic-seeding contract both produce identical results.
     ``cache=None`` disables caching (every job recomputes).
+
+    ``tracer`` (optional, default off) records one span per job under an
+    ``runner.execute`` parent.  Spans are emitted **after** execution in
+    job order on the logical clock, so the trace artifact is independent
+    of worker count and process scheduling.
     """
     start = time.perf_counter()
     results: list[dict[str, Any] | None] = [None] * len(jobs)
@@ -117,4 +124,22 @@ def execute(
         wall_s=time.perf_counter() - start,
         workers=n_workers,
     )
+    if tracer is not None and tracer.enabled:
+        missed = set(miss_indices)
+        with tracer.span(
+            "runner.execute",
+            category="runner",
+            args={"jobs": len(jobs), "hits": hits, "misses": len(miss_indices)},
+        ):
+            for idx, job in enumerate(jobs):
+                with tracer.span(
+                    job.kind,
+                    category="runner.job",
+                    args={
+                        "hash": job.job_hash,
+                        "label": job.label(),
+                        "cached": idx not in missed,
+                    },
+                ):
+                    pass
     return [r for r in results if r is not None], stats

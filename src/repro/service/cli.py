@@ -125,6 +125,19 @@ def _write_metrics(service: SortService, path: str | None, name: str) -> str | N
     return str(written)
 
 
+def _write_prometheus(service: SortService, path: str | None) -> str | None:
+    """Write the final Prometheus text exposition, if requested."""
+    if path is None:
+        return None
+    from pathlib import Path
+
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(service.metrics.prometheus())
+    return str(target)
+
+
 def _exit_code(ok: int, expired: int, mismatched: int, shed: int) -> int:
     """Worst-failure-wins exit code for a finished run."""
     if mismatched:
@@ -172,8 +185,11 @@ def run_submit(args: argparse.Namespace) -> int:
         )
         print(_summary(client.service, ok, expired, mismatched))
         artifact = _write_metrics(client.service, args.metrics_out, "service-submit")
+        prom = _write_prometheus(client.service, args.prom_out)
     if artifact:
         print(f"wrote metrics artifact: {artifact}")
+    if prom:
+        print(f"wrote prometheus exposition: {prom}")
     return _exit_code(ok, expired, mismatched, shed)
 
 
@@ -187,6 +203,11 @@ def run_serve(args: argparse.Namespace) -> int:
     )
     burst = max(1, args.burst)
     shed = 0
+    snapshots = None
+    if args.prom_snapshots:
+        from repro.telemetry.prometheus import SnapshotWriter
+
+        snapshots = SnapshotWriter(args.prom_snapshots)
     with Client(service=SortService(params, DEFAULT_W, policy=_policy_from(args))) as client:
         tickets: list[ResultTicket] = []
         accepted: list[npt.NDArray[np.int64]] = []
@@ -203,9 +224,12 @@ def run_serve(args: argparse.Namespace) -> int:
                 accepted.append(payload)
             except QueueFullError:
                 shed += 1
-            if (index + 1) % burst == 0 and args.burst_gap > 0:
-                # Let the wait-trigger flush fire between bursts.
-                time.sleep(args.burst_gap)
+            if (index + 1) % burst == 0:
+                if snapshots is not None:
+                    snapshots.write(client.service.metrics.prometheus())
+                if args.burst_gap > 0:
+                    # Let the wait-trigger flush fire between bursts.
+                    time.sleep(args.burst_gap)
         results = [t.result(args.timeout) for t in tickets]
         ok, expired, mismatched = _verify(accepted, results)
         snap = client.metrics_snapshot()
@@ -215,8 +239,15 @@ def run_serve(args: argparse.Namespace) -> int:
         )
         print(_summary(client.service, ok, expired, mismatched))
         artifact = _write_metrics(client.service, args.metrics_out, "service-serve")
+        if snapshots is not None:
+            snapshots.write(client.service.metrics.prometheus())
+        prom = _write_prometheus(client.service, args.prom_out)
     if artifact:
         print(f"wrote metrics artifact: {artifact}")
+    if snapshots is not None:
+        print(f"wrote {snapshots.count} prometheus snapshots to {snapshots.directory}")
+    if prom:
+        print(f"wrote prometheus exposition: {prom}")
     if args.selftest:
         batches = snap["batches"]
         assert isinstance(batches, dict)
@@ -301,6 +332,14 @@ def add_service_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--metrics-out", default=None, dest="metrics_out", metavar="PATH",
         help="(serve/submit) write the metrics RunReport artifact to PATH",
+    )
+    group.add_argument(
+        "--prom-out", default=None, dest="prom_out", metavar="PATH",
+        help="(serve/submit) write the final Prometheus text exposition to PATH",
+    )
+    group.add_argument(
+        "--prom-snapshots", default=None, dest="prom_snapshots", metavar="DIR",
+        help="(serve) write numbered Prometheus snapshots into DIR, one per burst",
     )
     group.add_argument(
         "--selftest", action="store_true",

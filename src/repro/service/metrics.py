@@ -24,19 +24,12 @@ from repro.runner.executor import ExecutionStats
 from repro.runner.report import RunReport
 from repro.service.request import SortResult
 from repro.sim.counters import Counters
+from repro.telemetry.stats import flatten_numeric, percentile
 
 __all__ = ["BatchRecord", "ServiceMetrics", "METRICS_SCHEMA"]
 
 #: Versioned so dashboards can evolve with the snapshot shape.
 METRICS_SCHEMA = 1
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
 
 
 @dataclass(frozen=True)
@@ -149,8 +142,8 @@ class ServiceMetrics:
                     "expired": self._expired,
                     "latency_s": {
                         "mean": sum(latencies) / n_completed if n_completed else 0.0,
-                        "p50": _percentile(latencies, 0.50),
-                        "p95": _percentile(latencies, 0.95),
+                        "p50": percentile(latencies, 0.50),
+                        "p95": percentile(latencies, 0.95),
                         "max": latencies[-1] if latencies else 0.0,
                     },
                     "wait_s_mean": sum(waits) / n_completed if n_completed else 0.0,
@@ -202,7 +195,7 @@ class ServiceMetrics:
         """
         snap = self.snapshot()
         derived: dict[str, float] = {}
-        _flatten_numeric("", snap, derived)
+        flatten_numeric("", snap, derived)
         with self._lock:
             stats = ExecutionStats(
                 total=len(self._batches),
@@ -215,13 +208,13 @@ class ServiceMetrics:
             name=name, code_version=code_version(), stats=stats, tiles=[], derived=derived
         )
 
+    def prometheus(self, prefix: str = "repro") -> str:
+        """The current snapshot rendered as a Prometheus text exposition.
 
-def _flatten_numeric(prefix: str, value: Any, out: dict[str, float]) -> None:
-    """Flatten nested dict leaves into dotted-path float metrics."""
-    if isinstance(value, bool):
-        return
-    if isinstance(value, (int, float)):
-        out[prefix] = float(value)
-    elif isinstance(value, dict):
-        for key in sorted(value):
-            _flatten_numeric(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+        Delegates to :func:`repro.telemetry.prometheus.service_exposition`
+        (imported lazily to keep the metrics layer importable without the
+        telemetry package at type-checking boundaries).
+        """
+        from repro.telemetry.prometheus import service_exposition
+
+        return service_exposition(self.snapshot(), prefix=prefix)

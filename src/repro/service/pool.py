@@ -17,6 +17,7 @@ import threading
 from typing import Callable, Generic, TypeVar
 
 from repro.errors import ParameterError
+from repro.telemetry.spans import NULL_TRACER, Tracer
 
 __all__ = ["ShardedWorkerPool"]
 
@@ -27,12 +28,22 @@ _POLL_S = 0.05
 
 
 class ShardedWorkerPool(Generic[WorkT]):
-    """``shards`` daemon threads, each draining its own work queue."""
+    """``shards`` daemon threads, each draining its own work queue.
 
-    def __init__(self, shards: int, handler: Callable[[WorkT], None]) -> None:
+    ``tracer`` (optional, default off) wraps each handled work item in a
+    ``pool.work`` span on the shard's logical track.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        handler: Callable[[WorkT], None],
+        tracer: Tracer | None = None,
+    ) -> None:
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
         self._handler = handler
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._queues: list[queue.Queue[WorkT]] = [queue.Queue() for _ in range(shards)]
         self._stop = threading.Event()
         self._threads = [
@@ -70,7 +81,10 @@ class ShardedWorkerPool(Generic[WorkT]):
                 if self._stop.is_set():
                     return
                 continue
-            self._handler(work)
+            with self._tracer.span(
+                "pool.work", category="service.pool", tid=shard + 1
+            ):
+                self._handler(work)
 
     def close(self) -> None:
         """Finish all queued work, then stop and join every shard thread.

@@ -27,6 +27,7 @@ from typing import Callable
 from repro.config import SortParams
 from repro.service.batching import BatchPolicy, MicroBatch, plan_batches
 from repro.service.request import SortRequest
+from repro.telemetry.spans import NULL_TRACER, Tracer
 
 __all__ = ["PendingRequest", "BatchScheduler"]
 
@@ -59,11 +60,13 @@ class BatchScheduler:
         params: SortParams,
         on_batch: Callable[[MicroBatch, dict[int, PendingRequest], float], None],
         on_expired: Callable[[PendingRequest, float], None],
+        tracer: Tracer | None = None,
     ) -> None:
         self._policy = policy
         self._params = params
         self._on_batch = on_batch
         self._on_expired = on_expired
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: queue.Queue[PendingRequest | None] = queue.Queue()
         self._next_batch_id = 0
         self._closed = threading.Event()
@@ -116,12 +119,22 @@ class BatchScheduler:
             self._params,
             first_batch_id=self._next_batch_id,
         )
-        for batch in batches:
-            self._next_batch_id = max(self._next_batch_id, batch.batch_id + 1)
-            members = {
-                r.request_id: by_id[r.request_id] for r in batch.requests
-            }
-            self._on_batch(batch, members, flush_time)
+        with self._tracer.span(
+            "scheduler.flush",
+            category="service.scheduler",
+            tid=1,
+            args={
+                "pending": len(pending),
+                "expired": len(pending) - len(live),
+                "batches": len(batches),
+            },
+        ):
+            for batch in batches:
+                self._next_batch_id = max(self._next_batch_id, batch.batch_id + 1)
+                members = {
+                    r.request_id: by_id[r.request_id] for r in batch.requests
+                }
+                self._on_batch(batch, members, flush_time)
 
     def _loop(self) -> None:
         """Accumulate-and-flush until the close sentinel arrives."""

@@ -30,6 +30,7 @@ from repro.service.metrics import BatchRecord, ServiceMetrics
 from repro.service.pool import ShardedWorkerPool
 from repro.service.request import SortRequest, SortResult
 from repro.service.scheduler import BatchScheduler, PendingRequest
+from repro.telemetry.spans import NULL_TRACER, Tracer
 
 __all__ = ["ResultTicket", "SortService", "Client"]
 
@@ -88,11 +89,13 @@ class SortService:
         w: int = DEFAULT_W,
         policy: BatchPolicy | None = None,
         cache: ResultCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.params = params
         self.w = w
         self.policy = policy or BatchPolicy()
         self._cache = cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = ServiceMetrics(
             params, w, queue_capacity=self.policy.queue_capacity
         )
@@ -104,9 +107,15 @@ class SortService:
         self._closed = False
         self._pool: ShardedWorkerPool[
             tuple[MicroBatch, dict[int, PendingRequest], float]
-        ] = ShardedWorkerPool(self.policy.shards, self._execute_batch)
+        ] = ShardedWorkerPool(
+            self.policy.shards, self._execute_batch, tracer=self.tracer
+        )
         self._scheduler = BatchScheduler(
-            self.policy, params, on_batch=self._dispatch_batch, on_expired=self._expire
+            self.policy,
+            params,
+            on_batch=self._dispatch_batch,
+            on_expired=self._expire,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------ admission
@@ -161,8 +170,13 @@ class SortService:
         except BaseException:
             self._slots.release()
             raise
-        self.metrics.record_admitted(depth)
-        self._scheduler.enqueue(pending)
+        with self.tracer.span(
+            "service.submit",
+            category="service",
+            args={"request_id": request_id, "backend": backend, "depth": depth},
+        ):
+            self.metrics.record_admitted(depth)
+            self._scheduler.enqueue(pending)
         return ticket
 
     @property
@@ -225,7 +239,18 @@ class SortService:
         )
         shard = batch.shard_for(self._pool.shards)
         started = time.monotonic()
-        outcome, stats = run_batch(run, self.params, self.w, cache=self._cache)
+        with self.tracer.span(
+            "service.batch",
+            category="service",
+            tid=1 + shard,
+            args={
+                "batch_id": run.batch_id,
+                "backend": run.backend,
+                "shard": shard,
+                "requests": len(live_requests),
+            },
+        ):
+            outcome, stats = run_batch(run, self.params, self.w, cache=self._cache)
         service_s = time.monotonic() - started
         tile = self.params.tile_elements
         elements = run.elements

@@ -32,6 +32,10 @@ class AccessEvent:
         Thread ids are block-local.
     cycles:
         Serialization depth charged for the round.
+    phase:
+        Kernel-phase label active when the round was recorded (e.g.
+        ``"search"``, ``"merge"``, ``"gather"``); ``""`` when the kernel
+        did not label its phases.
     """
 
     warp: int
@@ -39,14 +43,26 @@ class AccessEvent:
     kind: str
     accesses: tuple[tuple[int, int], ...]
     cycles: int
+    phase: str = ""
 
 
 @dataclass
 class AccessTrace:
-    """An append-only log of :class:`AccessEvent` records."""
+    """An append-only log of :class:`AccessEvent` records.
+
+    Kernels call :meth:`set_phase` at phase boundaries so every
+    subsequently recorded round carries the label — the hook
+    :mod:`repro.telemetry.profiler` uses for per-phase conflict
+    attribution.
+    """
 
     events: list[AccessEvent] = field(default_factory=list)
+    phase: str = ""
     _round_counters: dict[int, int] = field(default_factory=dict)
+
+    def set_phase(self, phase: str) -> None:
+        """Label all rounds recorded from now on with ``phase``."""
+        self.phase = phase
 
     def record(
         self,
@@ -64,6 +80,7 @@ class AccessTrace:
             kind=kind,
             accesses=tuple(accesses),
             cycles=cycles,
+            phase=self.phase,
         )
         self.events.append(event)
         return event
@@ -87,9 +104,18 @@ class AccessTrace:
         """Return the worst serialization depth seen in any round."""
         return max((e.cycles for e in self.events), default=0)
 
+    def phases(self) -> list[str]:
+        """Distinct phase labels in first-seen order."""
+        seen: list[str] = []
+        for e in self.events:
+            if e.phase not in seen:
+                seen.append(e.phase)
+        return seen
+
     def clear(self) -> None:
         """Drop all recorded events."""
         self.events.clear()
+        self.phase = ""
         self._round_counters.clear()
 
     def __len__(self) -> int:

@@ -1,0 +1,191 @@
+"""Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+
+Two sources feed the same artifact format:
+
+* :func:`span_trace_events` — control-plane :class:`~repro.telemetry.
+  spans.Span` trees (service batches, runner jobs) as complete-duration
+  ``"X"`` slices;
+* :func:`access_trace_events` — simulator :class:`~repro.sim.trace.
+  AccessTrace` rounds as one slice per warp round (duration = the round's
+  serialization cycles, so conflicted rounds are visibly wider) plus two
+  ``"C"`` counter tracks: ``bank_conflicts/round`` (per-round replay and
+  excess deltas — its ``excess`` series sums to the Theorem 8 total on
+  the adversarial input) and ``bank_conflicts/cumulative`` (running
+  totals, the track to eyeball in Perfetto).
+
+All timestamps are logical ticks (span ticks or cumulative round cycles),
+never wall time, so the artifact is deterministic for deterministic work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.sim.trace import AccessTrace
+from repro.telemetry.profiler import event_excess, event_replays
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "span_trace_events",
+    "access_trace_events",
+    "chrome_trace_payload",
+    "write_chrome_trace",
+]
+
+#: pid used for control-plane (span) tracks.
+SPAN_PID = 1
+#: pid used for simulator (warp round) tracks.
+SIM_PID = 2
+
+
+def _metadata_event(pid: int, tid: int, name: str, kind: str) -> dict[str, Any]:
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "name": kind,
+        "args": {"name": name},
+    }
+
+
+def span_trace_events(
+    spans: Iterable[Span], pid: int = SPAN_PID, process_name: str = "repro"
+) -> list[dict[str, Any]]:
+    """Render span trees as complete-duration (``"X"``) trace events.
+
+    Open spans (no ``end``) are rendered with duration 1 so a crashed or
+    truncated trace still loads.
+    """
+    events: list[dict[str, Any]] = [
+        _metadata_event(pid, 0, process_name, "process_name")
+    ]
+    tids_seen: set[int] = set()
+    for root in spans:
+        for span in root.walk():
+            if span.tid not in tids_seen:
+                tids_seen.add(span.tid)
+                events.append(
+                    _metadata_event(pid, span.tid, f"track {span.tid}", "thread_name")
+                )
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": span.tid,
+                    "ts": span.start,
+                    "dur": max(1, span.duration),
+                    "name": span.name,
+                    "cat": span.category or "span",
+                    "args": dict(span.args),
+                }
+            )
+    return events
+
+
+def access_trace_events(
+    trace: AccessTrace,
+    w: int,
+    pid: int = SIM_PID,
+    process_name: str = "repro.sim",
+) -> list[dict[str, Any]]:
+    """Render simulator access rounds as slices plus conflict counter tracks.
+
+    One Perfetto track per warp (``tid`` = warp id); each round is a
+    slice whose logical timestamp is the warp's cumulative cycles so far
+    and whose duration is the round's serialization depth.  The counter
+    tracks ride on ``tid`` 0 with the global round ordinal as timestamp.
+    """
+    events: list[dict[str, Any]] = [
+        _metadata_event(pid, 0, process_name, "process_name")
+    ]
+    warp_clock: dict[int, int] = {}
+    warps_seen: set[int] = set()
+    cumulative_replays = 0
+    cumulative_excess = 0
+    for ordinal, event in enumerate(trace.events):
+        if event.warp not in warps_seen:
+            warps_seen.add(event.warp)
+            events.append(
+                _metadata_event(pid, event.warp, f"warp {event.warp}", "thread_name")
+            )
+        ts = warp_clock.get(event.warp, 0)
+        warp_clock[event.warp] = ts + event.cycles
+        replays = event_replays(event)
+        excess = event_excess(event, w)
+        cumulative_replays += replays
+        cumulative_excess += excess
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": event.warp,
+                "ts": ts,
+                "dur": event.cycles,
+                "name": f"{event.kind} r{event.round_index}",
+                "cat": event.phase or "round",
+                "args": {
+                    "kind": event.kind,
+                    "phase": event.phase,
+                    "cycles": event.cycles,
+                    "replays": replays,
+                    "excess": excess,
+                    "requests": len(event.accesses),
+                },
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": ordinal,
+                "name": "bank_conflicts/round",
+                "args": {"replays": replays, "excess": excess},
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": ordinal,
+                "name": "bank_conflicts/cumulative",
+                "args": {
+                    "replays": cumulative_replays,
+                    "excess": cumulative_excess,
+                },
+            }
+        )
+    return events
+
+
+def chrome_trace_payload(
+    events: Sequence[dict[str, Any]],
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Wrap events in the Chrome trace-event JSON object form."""
+    return {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    path: Path | str,
+    events: Sequence[dict[str, Any]],
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write a Chrome trace-event JSON artifact; returns the path.
+
+    The JSON is sorted and newline-terminated, so identical traces are
+    byte-identical artifacts (the determinism the CI smoke relies on).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = chrome_trace_payload(events, metadata)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

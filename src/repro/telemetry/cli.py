@@ -1,0 +1,197 @@
+"""The ``repro trace`` and ``repro profile`` CLI verbs.
+
+``repro profile <target>`` runs one instrumented kernel execution
+(:data:`~repro.telemetry.profiler.PROFILE_TARGETS`: the Section 4
+adversarial input on the baseline, a seeded random input, or CF-Merge on
+the adversarial input), prints the conflict attribution tables, and
+writes three artifacts under ``--out``: the Chrome trace JSON (warp-round
+slices + conflict counter tracks, loadable at https://ui.perfetto.dev),
+the attribution profile JSON, and the per-bank heat map.  Everything is
+keyed to logical clocks, so re-running the same target yields
+byte-identical artifacts.
+
+``repro trace <target>`` captures a control-plane span trace instead:
+the runner executing a sweep (``theorem8``/``defenses``/``fig5``) or the
+service digesting a small synthetic workload (``service``), exported as
+Chrome trace JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.telemetry.chrome import (
+    access_trace_events,
+    span_trace_events,
+    write_chrome_trace,
+)
+from repro.telemetry.profiler import PROFILE_TARGETS, ProfiledRun
+from repro.telemetry.spans import Tracer
+
+__all__ = [
+    "PROFILE_DEFAULT_W",
+    "PROFILE_DEFAULT_E",
+    "TRACE_TARGETS",
+    "run_profile",
+    "run_trace",
+]
+
+#: Default geometry for ``repro profile`` (the paper's E=15 parameter set).
+PROFILE_DEFAULT_W = 32
+PROFILE_DEFAULT_E = 15
+
+#: Valid ``repro trace`` targets.
+TRACE_TARGETS = ("theorem8", "defenses", "fig5", "service")
+
+
+def _profile_payload(run: ProfiledRun) -> dict[str, Any]:
+    """The profile JSON artifact: attribution + independent counters."""
+    payload: dict[str, Any] = {
+        "target": run.name,
+        "w": run.w,
+        "E": run.E,
+        "profile": run.profile.as_dict(),
+        "counters": run.counters.as_dict(),
+        "merge_excess": run.merge_excess,
+    }
+    if run.name in ("worstcase", "cf"):
+        from repro.worstcase import theorem8_combined
+
+        payload["theorem8_formula"] = int(theorem8_combined(run.w, run.E))
+    return payload
+
+
+def run_profile(args: argparse.Namespace) -> str:
+    """Execute ``repro profile``: run, attribute, print, write artifacts."""
+    target = args.target or "worstcase"
+    if target not in PROFILE_TARGETS:
+        raise ParameterError(
+            f"unknown profile target {target!r} "
+            f"(choose from {', '.join(sorted(PROFILE_TARGETS))})"
+        )
+    w = args.w if args.w else PROFILE_DEFAULT_W
+    E = args.E if args.E else PROFILE_DEFAULT_E
+    run = PROFILE_TARGETS[target](w=w, E=E)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(
+        out_dir / f"trace-{target}.json",
+        access_trace_events(run.trace, w),
+        metadata={"target": target, "w": w, "E": E},
+    )
+    profile_path = out_dir / f"profile-{target}.json"
+    profile_path.write_text(
+        json.dumps(_profile_payload(run), indent=2, sort_keys=True) + "\n"
+    )
+    heatmap_path = out_dir / f"heatmap-{target}.txt"
+    heatmap_path.write_text(run.profile.heatmap() + "\n")
+
+    depth = run.profile.depth_summary()
+    lines = [
+        f"Conflict profile — target={target}, w={w}, E={E}",
+        "",
+        "per-phase attribution:",
+        run.profile.phase_table(),
+        "",
+        "per-bank attribution:",
+        run.profile.attribution_table(),
+        "",
+        f"round depth: p50 {depth['p50']:.0f}, p95 {depth['p95']:.0f}, "
+        f"max {depth['max']:.0f}",
+        f"counters cross-check: trace excess {run.profile.total.excess} "
+        f"== Counters.shared_excess {run.counters.shared_excess}",
+    ]
+    if target == "worstcase":
+        from repro.worstcase import theorem8_combined
+
+        bound = int(theorem8_combined(w, E))
+        # Same verdict as the `theorem8` experiment: the measured excess
+        # meets the closed form, modulo <= 2w boundary effects.
+        verdict = "ok" if run.merge_excess >= bound - 2 * w else "LOW"
+        lines.append(
+            f"Theorem 8: merge-phase excess {run.merge_excess} vs closed form "
+            f"{bound} (slack 2w = {2 * w}) -> {verdict}"
+        )
+    elif target == "cf":
+        verdict = "ok" if run.merge_excess == 0 else "FAIL"
+        lines.append(
+            f"zero-conflict claim: CF merge-phase excess {run.merge_excess} "
+            f"-> {verdict}"
+        )
+    lines += [
+        "",
+        "wrote:",
+        f"  {trace_path}",
+        f"  {profile_path}",
+        f"  {heatmap_path}",
+    ]
+    return "\n".join(lines)
+
+
+def _trace_runner(args: argparse.Namespace, target: str, tracer: Tracer) -> str:
+    """Run one sweep through the runner with span tracing on."""
+    from repro.runner import defenses_spec, fig5_spec, theorem8_spec
+
+    specs = {
+        "theorem8": lambda: theorem8_spec(),
+        "defenses": lambda: defenses_spec(),
+        "fig5": lambda: fig5_spec("quick"),
+    }
+    session = args.session
+    session.tracer = tracer
+    session.run(specs[target]())
+    return session.last_stats.summary()
+
+
+def _trace_service(tracer: Tracer) -> str:
+    """Drive the sort service on a tiny workload with span tracing on."""
+    from repro.service.service import Client, SortService
+
+    rng = np.random.default_rng(7)
+    with Client(SortService(tracer=tracer)) as client:
+        arrays = [
+            rng.integers(0, 1000, size=n).astype(np.int64)
+            for n in (40, 80, 120, 160)
+        ]
+        results = client.submit_many(arrays)
+    completed = sum(1 for r in results if r.ok)
+    return f"service: {completed}/{len(results)} requests completed"
+
+
+def run_trace(args: argparse.Namespace) -> str:
+    """Execute ``repro trace``: capture spans, write the Chrome trace."""
+    target = args.target or "theorem8"
+    if target not in TRACE_TARGETS:
+        raise ParameterError(
+            f"unknown trace target {target!r} "
+            f"(choose from {', '.join(TRACE_TARGETS)})"
+        )
+    tracer = Tracer()
+    if target == "service":
+        summary = _trace_service(tracer)
+    else:
+        summary = _trace_runner(args, target, tracer)
+
+    out_dir = Path(args.out)
+    spans = tracer.spans()
+    path = write_chrome_trace(
+        out_dir / f"spans-{target}.json",
+        span_trace_events(tracer.roots),
+        metadata={"target": target},
+    )
+    return "\n".join(
+        [
+            f"Span trace — target={target}",
+            summary,
+            f"captured {len(spans)} spans over {tracer.ticks} logical ticks",
+            "wrote:",
+            f"  {path}",
+        ]
+    )

@@ -1,0 +1,300 @@
+"""The conflict profiler: access traces -> attribution tables and heat maps.
+
+:class:`ConflictProfile` aggregates the raw :class:`~repro.sim.trace.
+AccessTrace` rounds of a simulated kernel into the three attributions the
+paper reasons about:
+
+* **per bank** — which banks absorbed the excess accesses (Figure 4's
+  band of hot banks on the worst-case input, uniform for random inputs,
+  zero everywhere for CF-Merge);
+* **per warp** — whether one warp's serialization dominates (the
+  adversarial input hits every warp identically);
+* **per phase** — where in the kernel the cycles go (merge-phase excess
+  is the quantity Theorem 8 bounds; search traffic is the logarithmic
+  sliver both variants pay).
+
+Every aggregate agrees with :class:`repro.sim.counters.Counters` by
+construction — :meth:`ConflictProfile.total` recomputes the same
+cycles/replays/excess definitions from the trace, and the round-trip is
+pinned by ``tests/test_telemetry_profiler.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sim.counters import Counters
+from repro.sim.trace import AccessEvent, AccessTrace
+from repro.telemetry.stats import percentile
+
+__all__ = [
+    "event_excess",
+    "event_replays",
+    "RoundGroupStats",
+    "ConflictProfile",
+    "ProfiledRun",
+    "profile_worstcase",
+    "profile_random",
+    "profile_cf",
+    "PROFILE_TARGETS",
+]
+
+
+def event_excess(event: AccessEvent, w: int) -> int:
+    """Excess accesses of one round: ``sum_b max(0, distinct_in_bank - 1)``.
+
+    Same-address accesses broadcast and are deduplicated first, matching
+    :class:`repro.sim.banks.BankModel` (and paper footnote 4).
+    """
+    per_bank: _Counter[int] = _Counter()
+    for addr in {addr for _, addr in event.accesses}:
+        per_bank[addr % w] += 1
+    return sum(count - 1 for count in per_bank.values() if count > 1)
+
+
+def event_replays(event: AccessEvent) -> int:
+    """Replays of one round: serialization cycles beyond the first."""
+    return max(0, event.cycles - 1)
+
+
+@dataclass(frozen=True)
+class RoundGroupStats:
+    """Accumulated round statistics for one attribution group."""
+
+    rounds: int = 0
+    cycles: int = 0
+    replays: int = 0
+    excess: int = 0
+    requests: int = 0
+
+    def add(self, event: AccessEvent, w: int) -> "RoundGroupStats":
+        """Return a copy with ``event`` folded in."""
+        return RoundGroupStats(
+            rounds=self.rounds + 1,
+            cycles=self.cycles + event.cycles,
+            replays=self.replays + event_replays(event),
+            excess=self.excess + event_excess(event, w),
+            requests=self.requests + len(event.accesses),
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dictionary form for JSON artifacts."""
+        return {
+            "rounds": self.rounds,
+            "cycles": self.cycles,
+            "replays": self.replays,
+            "excess": self.excess,
+            "requests": self.requests,
+        }
+
+
+class ConflictProfile:
+    """Per-bank / per-warp / per-phase attribution of one access trace."""
+
+    def __init__(self, trace: AccessTrace, w: int) -> None:
+        if w < 1:
+            raise ParameterError(f"w must be positive, got {w}")
+        self.w = w
+        self.total = RoundGroupStats()
+        self.per_phase: dict[str, RoundGroupStats] = {}
+        self.per_warp: dict[int, RoundGroupStats] = {}
+        self.bank_accesses = np.zeros(w, dtype=np.int64)
+        self.bank_excess = np.zeros(w, dtype=np.int64)
+        self.depths: list[int] = []
+        for event in trace.events:
+            self.total = self.total.add(event, w)
+            phase = event.phase or "(unlabeled)"
+            self.per_phase[phase] = self.per_phase.get(phase, RoundGroupStats()).add(
+                event, w
+            )
+            self.per_warp[event.warp] = self.per_warp.get(
+                event.warp, RoundGroupStats()
+            ).add(event, w)
+            self.depths.append(event.cycles)
+            per_bank: _Counter[int] = _Counter()
+            for _, addr in event.accesses:
+                self.bank_accesses[addr % w] += 1
+            for addr in {addr for _, addr in event.accesses}:
+                per_bank[addr % w] += 1
+            for bank, count in per_bank.items():
+                if count > 1:
+                    self.bank_excess[bank] += count - 1
+
+    # ------------------------------------------------------------ summaries
+
+    def depth_summary(self) -> dict[str, float]:
+        """p50/p95/max summary of per-round serialization depths.
+
+        Uses the shared nearest-rank :func:`repro.telemetry.stats.
+        percentile`, i.e. the same definition as the service's latency
+        percentiles.
+        """
+        ordered = sorted(float(d) for d in self.depths)
+        return {
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+
+    def attribution_table(self) -> str:
+        """The per-bank conflict attribution table, one row per bank."""
+        total_excess = int(self.bank_excess.sum())
+        lines = [
+            f"{'bank':>4}  {'accesses':>9}  {'excess':>7}  {'share':>6}",
+        ]
+        for bank in range(self.w):
+            excess = int(self.bank_excess[bank])
+            share = excess / total_excess if total_excess else 0.0
+            lines.append(
+                f"{bank:>4}  {int(self.bank_accesses[bank]):>9}  "
+                f"{excess:>7}  {share:>6.1%}"
+            )
+        lines.append(
+            f"{'sum':>4}  {int(self.bank_accesses.sum()):>9}  {total_excess:>7}"
+        )
+        return "\n".join(lines)
+
+    def phase_table(self) -> str:
+        """Per-phase attribution: where the rounds, cycles and excess go."""
+        lines = [
+            f"{'phase':<12}  {'rounds':>7}  {'cycles':>7}  {'replays':>8}  "
+            f"{'excess':>7}  {'requests':>9}"
+        ]
+        for phase, stats in self.per_phase.items():
+            lines.append(
+                f"{phase:<12}  {stats.rounds:>7}  {stats.cycles:>7}  "
+                f"{stats.replays:>8}  {stats.excess:>7}  {stats.requests:>9}"
+            )
+        t = self.total
+        lines.append(
+            f"{'total':<12}  {t.rounds:>7}  {t.cycles:>7}  {t.replays:>8}  "
+            f"{t.excess:>7}  {t.requests:>9}"
+        )
+        return "\n".join(lines)
+
+    def warp_table(self) -> str:
+        """Per-warp attribution (the adversarial input loads warps evenly)."""
+        lines = [f"{'warp':>4}  {'rounds':>7}  {'cycles':>7}  {'excess':>7}"]
+        for warp in sorted(self.per_warp):
+            stats = self.per_warp[warp]
+            lines.append(
+                f"{warp:>4}  {stats.rounds:>7}  {stats.cycles:>7}  {stats.excess:>7}"
+            )
+        return "\n".join(lines)
+
+    def heatmap(self) -> str:
+        """Per-bank excess rendered with the shared heat-map renderer."""
+        from repro.analysis.heatmap import render_heatmap
+
+        return str(render_heatmap(self.bank_excess, "excess per bank:"))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable artifact form of the full attribution."""
+        return {
+            "w": self.w,
+            "total": self.total.as_dict(),
+            "per_phase": {
+                phase: stats.as_dict() for phase, stats in self.per_phase.items()
+            },
+            "per_warp": {
+                str(warp): self.per_warp[warp].as_dict()
+                for warp in sorted(self.per_warp)
+            },
+            "bank_accesses": [int(v) for v in self.bank_accesses],
+            "bank_excess": [int(v) for v in self.bank_excess],
+            "depth_summary": self.depth_summary(),
+        }
+
+
+@dataclass
+class ProfiledRun:
+    """One profiled kernel execution: trace, counters, and attribution.
+
+    ``counters`` is the kernel's own :class:`~repro.sim.counters.Counters`
+    aggregate (search + merge phases combined), the independent accounting
+    the profile round-trips against.
+    """
+
+    name: str
+    w: int
+    E: int
+    trace: AccessTrace
+    counters: Counters
+    profile: ConflictProfile
+
+    @property
+    def merge_excess(self) -> int:
+        """Excess attributed to the merge-like phases (search excluded)."""
+        return sum(
+            stats.excess
+            for phase, stats in self.profile.per_phase.items()
+            if phase != "search"
+        )
+
+
+def _profile(name: str, w: int, E: int, trace: AccessTrace, stats: Any) -> ProfiledRun:
+    total = stats.search + stats.merge
+    return ProfiledRun(
+        name=name,
+        w=w,
+        E=E,
+        trace=trace,
+        counters=total,
+        profile=ConflictProfile(trace, w),
+    )
+
+
+def profile_worstcase(w: int = 32, E: int = 15) -> ProfiledRun:
+    """Profile the baseline serial merge on the Section 4 adversarial input.
+
+    This is the Figure 5 worst case: the merge phase's excess equals
+    Theorem 8's closed form (checked by ``repro profile worstcase`` and
+    the test-suite).
+    """
+    from repro.mergesort.serial_merge import serial_merge_block
+    from repro.worstcase import worstcase_merge_inputs
+
+    a, b = worstcase_merge_inputs(w, E)
+    trace = AccessTrace()
+    _, stats = serial_merge_block(a, b, E, w, trace=trace)
+    return _profile("worstcase", w, E, trace, stats)
+
+
+def profile_random(w: int = 32, E: int = 15, seed: int = 0) -> ProfiledRun:
+    """Profile the baseline serial merge on a seeded random input."""
+    from repro.mergesort.serial_merge import serial_merge_block
+
+    rng = np.random.default_rng(seed)
+    vals = np.arange(w * E, dtype=np.int64)
+    mask = rng.random(w * E) < 0.5
+    if not mask.any() or mask.all():  # pragma: no cover - vanishing chance
+        mask[0] = True
+        mask[-1] = False
+    a, b = vals[mask], vals[~mask]
+    trace = AccessTrace()
+    _, stats = serial_merge_block(a, b, E, w, trace=trace)
+    return _profile("random", w, E, trace, stats)
+
+
+def profile_cf(w: int = 32, E: int = 15) -> ProfiledRun:
+    """Profile CF-Merge on the adversarial input (zero merge excess)."""
+    from repro.mergesort.cf import cf_merge_block
+    from repro.worstcase import worstcase_merge_inputs
+
+    a, b = worstcase_merge_inputs(w, E)
+    trace = AccessTrace()
+    _, stats = cf_merge_block(a, b, E, w, trace=trace)
+    return _profile("cf", w, E, trace, stats)
+
+
+#: Target name -> profiling entry point, for the ``repro profile`` verb.
+PROFILE_TARGETS = {
+    "worstcase": profile_worstcase,
+    "random": profile_random,
+    "cf": profile_cf,
+}

@@ -1,0 +1,227 @@
+"""Hierarchical span tracing on a deterministic logical clock.
+
+A :class:`Span` is one named interval of work; a :class:`Tracer` collects
+spans into trees (parents propagate per thread, with an explicit
+``parent=`` override for cross-thread handoff, e.g. scheduler to worker
+shard).  Timestamps are **logical ticks** — a monotonically increasing
+integer advanced once per span begin/end — never wall time, so trace
+artifacts are byte-identical across machines and runs of deterministic
+work.
+
+Disabled tracing is the default everywhere and costs one attribute check
+per call site: :data:`NULL_TRACER` hands out a shared no-op context
+manager and records nothing, which is what keeps the instrumented hot
+paths (simulator rounds, runner jobs, service batches) at seed-level
+performance when nobody is looking.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import AbstractContextManager
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Iterator, Mapping
+
+__all__ = ["AttrValue", "Span", "Tracer", "NULL_TRACER"]
+
+#: JSON-compatible span attribute values.
+AttrValue = int | float | str | bool
+
+
+@dataclass
+class Span:
+    """One named interval on the logical clock.
+
+    ``start``/``end`` are logical ticks (``end`` is ``None`` while the
+    span is open); ``tid`` names the logical track the span renders on
+    (warp id, shard id, …); ``args`` carries JSON-compatible attributes.
+    """
+
+    name: str
+    category: str = ""
+    tid: int = 0
+    start: int = 0
+    end: int | None = None
+    args: dict[str, AttrValue] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        """Logical duration in ticks (0 while the span is still open)."""
+        return 0 if self.end is None else self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanHandle(AbstractContextManager["Span"]):
+    """Context manager that finishes its span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._tracer.end(self._span)
+
+
+class _NullHandle(AbstractContextManager[None]):
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class Tracer:
+    """Collects spans into per-thread trees on one shared logical clock.
+
+    Thread safe: the tick counter and root list are lock-protected, and
+    the "current parent" is tracked per thread, so concurrent service
+    shards each grow their own subtree without interleaving corruption.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._tick = 0
+        self._local = threading.local()
+
+    # ----------------------------------------------------------- clock
+
+    def _next_tick(self) -> int:
+        with self._lock:
+            tick = self._tick
+            self._tick += 1
+            return tick
+
+    @property
+    def ticks(self) -> int:
+        """Ticks consumed so far (two per completed span)."""
+        with self._lock:
+            return self._tick
+
+    # ----------------------------------------------------------- spans
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def begin(
+        self,
+        name: str,
+        category: str = "",
+        tid: int = 0,
+        parent: Span | None = None,
+        args: Mapping[str, AttrValue] | None = None,
+    ) -> Span | None:
+        """Open a span (``None`` when disabled).  Prefer :meth:`span`.
+
+        The parent defaults to the calling thread's innermost open span;
+        pass ``parent=`` explicitly to attach work handed across threads
+        to the span that dispatched it.
+        """
+        if not self.enabled:
+            return None
+        span = Span(
+            name=name,
+            category=category,
+            tid=tid,
+            start=self._next_tick(),
+            args=dict(args or {}),
+        )
+        effective_parent = parent if parent is not None else self.current()
+        if effective_parent is not None:
+            with self._lock:
+                effective_parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        self._stack().append(span)
+        return span
+
+    def end(self, span: Span | None) -> None:
+        """Close a span opened with :meth:`begin` (no-op for ``None``)."""
+        if span is None or not self.enabled:
+            return
+        span.end = self._next_tick()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        tid: int = 0,
+        parent: Span | None = None,
+        args: Mapping[str, AttrValue] | None = None,
+    ) -> AbstractContextManager[Span | None]:
+        """Context-manager form of :meth:`begin`/:meth:`end`.
+
+        When the tracer is disabled this returns one shared no-op handle —
+        no span, no tick, no allocation.
+        """
+        if not self.enabled:
+            return _NULL_HANDLE
+        span = self.begin(name, category=category, tid=tid, parent=parent, args=args)
+        assert span is not None  # enabled path
+        return _SpanHandle(self, span)
+
+    # --------------------------------------------------------- queries
+
+    def spans(self) -> list[Span]:
+        """Every recorded span, depth first across all root trees."""
+        with self._lock:
+            roots = list(self.roots)
+        out: list[Span] = []
+        for root in roots:
+            out.extend(root.walk())
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded spans and reset the clock."""
+        with self._lock:
+            self.roots.clear()
+            self._tick = 0
+        self._local = threading.local()
+
+
+#: The shared disabled tracer: instrument call sites default to this so
+#: tracing costs one ``enabled`` check when off.
+NULL_TRACER = Tracer(enabled=False)

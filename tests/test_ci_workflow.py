@@ -60,6 +60,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "ruff check" in steps
     assert "mypy --strict src/repro/runner" in steps
     assert "src/repro/service" in steps
+    assert "src/repro/telemetry" in steps
 
 
 def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
@@ -91,6 +92,26 @@ def test_smoke_job_always_uploads_run_reports(workflow):
     assert "run-report.json" in upload["with"]["path"]
     assert "bench-report.json" in upload["with"]["path"]
     assert "service-metrics.json" in upload["with"]["path"]
+
+
+def test_smoke_job_profiles_the_adversarial_input(workflow):
+    # The telemetry smoke: a deterministic conflict profile of the
+    # Fig. 5 adversarial input, artifacts uploaded for inspection.
+    steps = _steps_text(workflow["jobs"]["smoke"])
+    assert "python -m repro profile worstcase" in steps
+    assert "--w 32 --E 15" in steps
+    assert "--out telemetry-artifacts" in steps
+
+
+def test_smoke_job_uploads_telemetry_artifacts(workflow):
+    job = workflow["jobs"]["smoke"]
+    uploads = [
+        s for s in job["steps"] if "upload-artifact" in str(s.get("uses", ""))
+    ]
+    telemetry = next(u for u in uploads if u["with"]["name"] == "telemetry")
+    assert telemetry["if"] == "always()"
+    assert telemetry["with"]["if-no-files-found"] == "error"
+    assert "telemetry-artifacts" in telemetry["with"]["path"]
 
 
 def test_every_job_checks_out_and_sets_up_python(workflow):

@@ -1,0 +1,129 @@
+"""Chrome trace-event export: schema, counter-track totals, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.chrome import (
+    SIM_PID,
+    SPAN_PID,
+    access_trace_events,
+    chrome_trace_payload,
+    span_trace_events,
+    write_chrome_trace,
+)
+from repro.telemetry.profiler import profile_worstcase
+from repro.telemetry.spans import Tracer
+
+W, E = 8, 5
+
+
+def _spans_fixture() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", category="runner", args={"jobs": 2}):
+        with tracer.span("job-a"):
+            pass
+        with tracer.span("job-b", tid=1):
+            pass
+    return tracer
+
+
+class TestSpanEvents:
+    def test_every_event_has_the_required_fields(self):
+        events = span_trace_events(_spans_fixture().roots)
+        for event in events:
+            for field in ("ph", "pid", "tid", "ts", "name"):
+                assert field in event, event
+            if event["ph"] == "X":
+                assert event["dur"] >= 1
+                assert "cat" in event and "args" in event
+
+    def test_process_and_thread_metadata(self):
+        events = span_trace_events(_spans_fixture().roots)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(
+            m["name"] == "process_name" and m["args"]["name"] == "repro"
+            for m in meta
+        )
+        named_tids = {m["tid"] for m in meta if m["name"] == "thread_name"}
+        assert named_tids == {0, 1}
+
+    def test_slices_follow_the_span_tree(self):
+        tracer = _spans_fixture()
+        slices = {
+            e["name"]: e for e in span_trace_events(tracer.roots) if e["ph"] == "X"
+        }
+        assert set(slices) == {"outer", "job-a", "job-b"}
+        assert slices["outer"]["pid"] == SPAN_PID
+        outer, job_a = slices["outer"], slices["job-a"]
+        assert outer["ts"] < job_a["ts"]
+        assert job_a["ts"] + job_a["dur"] <= outer["ts"] + outer["dur"]
+        assert slices["outer"]["args"] == {"jobs": 2}
+
+
+class TestAccessTraceEvents:
+    def test_round_slices_and_counter_tracks(self):
+        run = profile_worstcase(w=W, E=E)
+        events = access_trace_events(run.trace, W)
+        slices = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(slices) == len(run.trace.events)
+        assert all(e["pid"] == SIM_PID for e in slices)
+        names = {e["name"] for e in counters}
+        assert names == {"bank_conflicts/round", "bank_conflicts/cumulative"}
+
+    def test_round_counter_track_sums_to_the_counters_excess(self):
+        # The acceptance contract: the per-round conflict counter track
+        # of the Fig. 5 adversarial profile sums to the same excess the
+        # simulator's Counters tallied.
+        run = profile_worstcase(w=W, E=E)
+        events = access_trace_events(run.trace, W)
+        rounds = [e for e in events if e["name"] == "bank_conflicts/round"]
+        assert sum(e["args"]["excess"] for e in rounds) == run.counters.shared_excess
+        assert sum(e["args"]["replays"] for e in rounds) == run.counters.shared_replays
+
+    def test_cumulative_track_ends_at_the_totals(self):
+        run = profile_worstcase(w=W, E=E)
+        events = access_trace_events(run.trace, W)
+        cumulative = [e for e in events if e["name"] == "bank_conflicts/cumulative"]
+        assert cumulative[-1]["args"]["excess"] == run.counters.shared_excess
+        assert cumulative[-1]["args"]["replays"] == run.counters.shared_replays
+
+    def test_slice_timestamps_are_per_warp_cumulative_cycles(self):
+        run = profile_worstcase(w=W, E=E)
+        events = access_trace_events(run.trace, W)
+        for warp in {e.warp for e in run.trace.events}:
+            clock = 0
+            rows = [
+                e for e in events if e["ph"] == "X" and e["tid"] == warp
+            ]
+            for row in rows:
+                assert row["ts"] == clock
+                clock += row["dur"]
+
+    def test_slices_carry_phase_categories(self):
+        run = profile_worstcase(w=W, E=E)
+        events = access_trace_events(run.trace, W)
+        cats = {e["cat"] for e in events if e["ph"] == "X"}
+        assert cats == {"search", "merge"}
+
+
+class TestPayloadAndFile:
+    def test_payload_shape(self):
+        payload = chrome_trace_payload([], metadata={"k": "v"})
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert payload["otherData"] == {"k": "v"}
+
+    def test_written_file_is_valid_json_and_deterministic(self, tmp_path):
+        run = profile_worstcase(w=W, E=E)
+        events = access_trace_events(run.trace, W)
+        first = write_chrome_trace(tmp_path / "a.json", events, {"target": "t"})
+        second = write_chrome_trace(tmp_path / "b.json", events, {"target": "t"})
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["otherData"] == {"target": "t"}
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "deep" / "nested.json", [])
+        assert path.exists()

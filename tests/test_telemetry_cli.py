@@ -1,0 +1,143 @@
+"""The ``repro profile`` / ``repro trace`` verbs and ``--version``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._version import package_version
+from repro.cli import main
+
+
+def _run(argv: list[str], capsys) -> tuple[int, str]:
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestProfileVerb:
+    def test_worstcase_profile_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "telemetry"
+        code, text = _run(
+            ["profile", "worstcase", "--w", "8", "--E", "5", "--out", str(out)],
+            capsys,
+        )
+        assert code == 0
+        assert "per-bank attribution" in text
+        assert "Theorem 8" in text and "-> ok" in text
+        for name in (
+            "trace-worstcase.json",
+            "profile-worstcase.json",
+            "heatmap-worstcase.txt",
+        ):
+            assert (out / name).exists()
+
+    def test_counter_track_sums_to_the_profiled_excess(self, tmp_path, capsys):
+        out = tmp_path / "telemetry"
+        code, _ = _run(
+            ["profile", "worstcase", "--w", "8", "--E", "5", "--out", str(out)],
+            capsys,
+        )
+        assert code == 0
+        trace = json.loads((out / "trace-worstcase.json").read_text())
+        profile = json.loads((out / "profile-worstcase.json").read_text())
+        rounds = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("name") == "bank_conflicts/round"
+        ]
+        total = sum(e["args"]["excess"] for e in rounds)
+        assert total == profile["counters"]["shared_excess"]
+        assert total == profile["profile"]["total"]["excess"]
+
+    def test_profile_artifacts_are_byte_identical_across_runs(
+        self, tmp_path, capsys
+    ):
+        args = ["profile", "worstcase", "--w", "8", "--E", "5"]
+        assert main(args + ["--out", str(tmp_path / "a")]) == 0
+        assert main(args + ["--out", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        for name in ("trace-worstcase.json", "profile-worstcase.json"):
+            first = (tmp_path / "a" / name).read_bytes()
+            second = (tmp_path / "b" / name).read_bytes()
+            assert first == second
+
+    def test_cf_profile_reports_zero_merge_excess(self, tmp_path, capsys):
+        out = tmp_path / "telemetry"
+        code, text = _run(
+            ["profile", "cf", "--w", "8", "--E", "5", "--out", str(out)], capsys
+        )
+        assert code == 0
+        assert "zero-conflict claim" in text and "-> ok" in text
+        payload = json.loads((out / "profile-cf.json").read_text())
+        assert payload["merge_excess"] == 0
+
+    def test_unknown_target_is_a_parameter_error(self, tmp_path, capsys):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["profile", "nonsense", "--out", str(tmp_path)])
+        capsys.readouterr()
+
+
+class TestTraceVerb:
+    def test_runner_trace_writes_span_artifact(self, tmp_path, capsys):
+        out = tmp_path / "telemetry"
+        code, text = _run(
+            ["trace", "theorem8", "--jobs", "1", "--no-cache", "--out", str(out)],
+            capsys,
+        )
+        assert code == 0
+        assert "captured" in text
+        payload = json.loads((out / "spans-theorem8.json").read_text())
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert "runner.execute" in names
+        assert "theorem8" in names  # one span per tile job
+
+    def test_runner_trace_is_independent_of_worker_count(self, tmp_path, capsys):
+        # Spans are emitted post-hoc in job order, so the artifact must
+        # not depend on parallel scheduling.
+        args = ["trace", "theorem8", "--no-cache"]
+        assert main(args + ["--jobs", "1", "--out", str(tmp_path / "a")]) == 0
+        assert main(args + ["--jobs", "2", "--out", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        first = (tmp_path / "a" / "spans-theorem8.json").read_bytes()
+        second = (tmp_path / "b" / "spans-theorem8.json").read_bytes()
+        assert first == second
+
+    def test_service_trace_captures_batch_spans(self, tmp_path, capsys):
+        out = tmp_path / "telemetry"
+        code, _ = _run(["trace", "service", "--out", str(out)], capsys)
+        assert code == 0
+        payload = json.loads((out / "spans-service.json").read_text())
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert "service.submit" in names
+        assert "service.batch" in names
+        assert "pool.work" in names
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_the_single_sourced_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro {package_version()}"
+
+    def test_package_dunder_version_matches(self):
+        import repro
+
+        assert repro.__version__ == package_version()
+
+    def test_pyproject_is_the_single_source(self):
+        from pathlib import Path
+        import re
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), flags=re.MULTILINE
+        )
+        assert match is not None
+        import repro
+
+        assert repro.__version__ == match.group(1)

@@ -1,0 +1,116 @@
+"""Prometheus text exposition: names, types, ordering, snapshot files."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SortParams
+from repro.service.metrics import ServiceMetrics
+from repro.service.request import SortResult
+from repro.telemetry.prometheus import (
+    SnapshotWriter,
+    render_exposition,
+    sanitize_metric_name,
+    service_exposition,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert (
+            sanitize_metric_name("requests.latency_s.p95")
+            == "repro_requests_latency_s_p95"
+        )
+
+    def test_invalid_characters_are_replaced(self):
+        assert sanitize_metric_name("a-b c/d") == "repro_a_b_c_d"
+
+    def test_digit_prefix_is_guarded_without_repro_prefix(self):
+        assert sanitize_metric_name("9lives", prefix="") == "_9lives"
+
+    def test_empty_name_falls_back(self):
+        assert sanitize_metric_name("...", prefix="") == "metric"
+
+
+class TestRenderExposition:
+    def test_help_type_sample_triplets_in_sorted_order(self):
+        text = render_exposition({"b.x": 2.0, "a.y": 1.5})
+        lines = text.splitlines()
+        assert lines[0] == "# HELP repro_a_y repro metric a.y"
+        assert lines[1] == "# TYPE repro_a_y gauge"
+        assert lines[2] == "repro_a_y 1.5"
+        assert lines[3].startswith("# HELP repro_b_x")
+        assert text.endswith("\n")
+
+    def test_counter_prefixes_are_typed_counter(self):
+        text = render_exposition(
+            {"counters.shared_replays": 12.0, "queue.max_depth": 3.0}
+        )
+        assert "# TYPE repro_counters_shared_replays counter" in text
+        assert "# TYPE repro_queue_max_depth gauge" in text
+
+    def test_integral_values_render_without_decimal_point(self):
+        text = render_exposition({"n": 4.0, "frac": 0.25})
+        assert "repro_n 4\n" in text
+        assert "repro_frac 0.25" in text
+
+    def test_empty_metrics_render_empty(self):
+        assert render_exposition({}) == ""
+
+    def test_custom_help_text(self):
+        text = render_exposition({"n": 1.0}, help_text={"n": "how many"})
+        assert "# HELP repro_n how many" in text
+
+
+class TestServiceExposition:
+    def _metrics(self) -> ServiceMetrics:
+        metrics = ServiceMetrics(SortParams(E=5, u=32), w=8, queue_capacity=16)
+        metrics.record_admitted(queue_depth=1)
+        metrics.record_result(
+            SortResult(
+                request_id=0,
+                backend="cf",
+                data=np.arange(4, dtype=np.int64),
+                wait_s=0.001,
+                service_s=0.002,
+            )
+        )
+        return metrics
+
+    def test_snapshot_leaves_become_samples(self):
+        text = service_exposition(self._metrics().snapshot())
+        assert "repro_requests_submitted 1" in text
+        assert "repro_requests_completed 1" in text
+        assert "repro_queue_capacity 16" in text
+        assert "repro_requests_latency_s_p95" in text
+
+    def test_metrics_prometheus_method_agrees(self):
+        # Snapshots embed wall-clock throughput, so compare the metric
+        # names (the stable part), not the time-dependent values.
+        metrics = self._metrics()
+
+        def names(text: str) -> list[str]:
+            return [
+                line.split()[0]
+                for line in text.splitlines()
+                if not line.startswith("#")
+            ]
+
+        assert names(metrics.prometheus()) == names(
+            service_exposition(metrics.snapshot())
+        )
+
+
+class TestSnapshotWriter:
+    def test_numbered_files_in_order(self, tmp_path):
+        writer = SnapshotWriter(tmp_path / "snaps")
+        first = writer.write("a 1\n")
+        second = writer.write("a 2\n")
+        assert first.name == "metrics-000001.prom"
+        assert second.name == "metrics-000002.prom"
+        assert writer.count == 2
+        assert first.read_text() == "a 1\n"
+
+    def test_custom_stem(self, tmp_path):
+        writer = SnapshotWriter(tmp_path, stem="svc")
+        assert writer.write("x 1\n").name == "svc-000001.prom"

@@ -1,0 +1,127 @@
+"""The span tracer: logical clock, tree structure, zero-cost disablement."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry.spans import NULL_TRACER, Tracer
+
+
+class TestSpanTrees:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [child.name for child in outer.children] == ["inner"]
+        assert inner.children == []
+
+    def test_siblings_attach_to_the_same_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        assert [c.name for c in parent.children] == ["first", "second"]
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["a", "b", "c", "d"]
+
+    def test_args_and_category_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("job", category="runner", args={"n": 3}) as span:
+            pass
+        assert span.category == "runner"
+        assert span.args == {"n": 3}
+
+
+class TestLogicalClock:
+    def test_ticks_advance_once_per_begin_and_end(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.ticks == 4  # two spans, two ticks each
+
+    def test_start_end_ordering_is_strict(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start < inner.start < inner.end < outer.end
+        assert outer.duration == 3
+        assert inner.duration == 1
+
+    def test_open_span_has_zero_duration(self):
+        tracer = Tracer()
+        span = tracer.begin("open")
+        assert span is not None
+        assert span.end is None
+        assert span.duration == 0
+        tracer.end(span)
+        assert span.duration == 1
+
+    def test_clear_resets_clock_and_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.ticks == 0
+        assert tracer.current() is None
+
+
+class TestDisabledTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("ignored", args={"x": 1}):
+            pass
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.ticks == 0
+
+    def test_disabled_span_returns_the_shared_handle(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a")
+        second = tracer.span("b")
+        assert first is second  # one shared no-op handle, no allocation
+
+    def test_disabled_begin_returns_none_and_end_tolerates_it(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.begin("a")
+        assert span is None
+        tracer.end(span)  # must not raise
+
+
+class TestCrossThread:
+    def test_explicit_parent_attaches_work_across_threads(self):
+        tracer = Tracer()
+        with tracer.span("dispatch") as dispatch:
+            def worker() -> None:
+                with tracer.span("work", parent=dispatch):
+                    pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert [c.name for c in dispatch.children] == ["work"]
+
+    def test_threads_without_parent_get_their_own_roots(self):
+        tracer = Tracer()
+
+        def worker() -> None:
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert sorted(r.name for r in tracer.roots) == ["main-root", "thread-root"]

@@ -1,0 +1,71 @@
+"""The shared statistics helpers: one percentile definition for everyone."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.stats import flatten_numeric, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_sample_reports_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_single_element_for_every_q(self):
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q_zero_is_the_minimum(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+
+    def test_q_one_is_the_maximum(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+    def test_nearest_rank_interior(self):
+        values = [float(v) for v in range(1, 102)]  # 1..101, n-1 = 100
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.95) == 96.0
+
+    def test_matches_service_latency_definition(self):
+        # The service's p50/p95 used this exact formula before it moved
+        # into telemetry.stats; pin the numbers so the dedup is behavior
+        # preserving.
+        values = sorted([0.4, 0.1, 0.2, 0.3])
+        rank_50 = min(len(values) - 1, max(0, round(0.5 * (len(values) - 1))))
+        assert percentile(values, 0.5) == values[rank_50]
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary == {
+            "count": 0.0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+
+    def test_unsorted_input_is_sorted_first(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary["count"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == 2.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+
+class TestFlattenNumeric:
+    def test_nested_mappings_become_dotted_paths(self):
+        out: dict[str, float] = {}
+        flatten_numeric("", {"a": {"b": 1, "c": 2.5}, "d": 3}, out)
+        assert out == {"a.b": 1.0, "a.c": 2.5, "d": 3.0}
+
+    def test_booleans_and_non_numerics_are_skipped(self):
+        out: dict[str, float] = {}
+        flatten_numeric("", {"flag": True, "name": "x", "n": 4}, out)
+        assert out == {"n": 4.0}
+
+    def test_prefix_is_prepended(self):
+        out: dict[str, float] = {}
+        flatten_numeric("root", {"leaf": 1}, out)
+        assert out == {"root.leaf": 1.0}
