@@ -29,6 +29,7 @@ Usage::
     python -m repro submit [--count N --backends B,...]   # service blast
     python -m repro profile [worstcase|random|cf] [--w W --E E --out DIR]
     python -m repro trace [theorem8|defenses|fig5|service] [--out DIR]
+    python -m repro fuzz [run|shrink|replay] [--budget N --fuzz-seed S]
     python -m repro list           # the experiment manifest
     python -m repro all [--quick]  # everything above (except
                                    # bench/export/trace/profile)
@@ -43,6 +44,10 @@ writes the session's :class:`~repro.runner.RunReport` JSON artifact.
 ``serve``/``submit`` drive the :mod:`repro.service` micro-batching sort
 service on deterministic synthetic workloads; their failure modes map to
 distinct exit codes (1 unsorted, 3 queue full, 4 deadline, 5 other).
+``fuzz`` runs the :mod:`repro.fuzz` differential/invariant/bound oracle
+campaign and reserves exit code 6 = counterexample found (also used by
+``fuzz replay``/``fuzz shrink`` when the recorded failure still
+reproduces); 2 = bad parameters, as everywhere.
 
 ``profile``/``trace`` are the :mod:`repro.telemetry` surface: conflict
 attribution artifacts (Chrome trace JSON, profile JSON, heat map) and
@@ -408,17 +413,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "bench", "serve", "submit"],
+        choices=sorted(_COMMANDS) + ["all", "bench", "serve", "submit", "fuzz"],
         help="which figure/table to regenerate (`bench` = perf gate; "
         "`serve`/`submit` = the batched sort service; "
-        "`profile`/`trace` = telemetry artifacts)",
+        "`profile`/`trace` = telemetry artifacts; "
+        "`fuzz` = oracle campaigns, exit 6 = counterexample)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="(profile/trace) what to profile or trace "
-        "(profile: worstcase/random/cf; trace: theorem8/defenses/fig5/service)",
+        help="(profile/trace/fuzz) sub-target "
+        "(profile: worstcase/random/cf; trace: theorem8/defenses/fig5/service; "
+        "fuzz: run/shrink/replay)",
     )
     parser.add_argument(
         "--version",
@@ -477,9 +484,11 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="(bench) allowed fractional increase over the baseline (default 0.25)",
     )
+    from repro.fuzz.cli import add_fuzz_arguments
     from repro.service.cli import add_service_arguments
 
     add_service_arguments(parser)
+    add_fuzz_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
@@ -496,6 +505,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import dispatch as service_dispatch
 
         return service_dispatch(args)
+
+    if args.experiment == "fuzz":
+        from repro.fuzz.cli import dispatch as fuzz_dispatch
+
+        return fuzz_dispatch(args)
 
     if args.experiment == "all":
         names = sorted(n for n in _COMMANDS if n not in _NOT_IN_ALL)

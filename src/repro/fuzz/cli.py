@@ -1,0 +1,177 @@
+"""CLI verbs for the fuzzer: ``repro fuzz run|shrink|replay``.
+
+* ``repro fuzz run`` — one seeded, budgeted campaign through the runner
+  executor; writes the deterministic campaign report (``--fuzz-report``)
+  and reproducer/search artifacts under ``--out``.
+* ``repro fuzz shrink --case R.json`` — re-minimize an existing
+  reproducer against the current code and rewrite it in place.
+* ``repro fuzz replay --case R.json`` — re-evaluate a reproducer.
+
+Exit codes: 0 = clean (for ``replay``: the recorded failure no longer
+reproduces), 2 = bad parameters, and **6 = counterexample found /
+confirmed** — distinct from the service's 1/3/4/5 family so CI can tell
+"the paper's claims broke" apart from every other failure mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fuzz.engine import FuzzConfig, render_report, run_campaign, write_report
+from repro.fuzz.oracles import INJECTABLE_BUGS, evaluate_case
+from repro.fuzz.reproducer import (
+    load_reproducer,
+    make_reproducer,
+    replay,
+    save_reproducer,
+)
+from repro.fuzz.shrink import shrink
+
+__all__ = ["EXIT_COUNTEREXAMPLE", "FUZZ_TARGETS", "add_fuzz_arguments", "dispatch"]
+
+#: Exit code: the fuzzer found (or re-confirmed) a counterexample.
+EXIT_COUNTEREXAMPLE = 6
+
+#: Valid ``repro fuzz`` targets.
+FUZZ_TARGETS = ("run", "shrink", "replay")
+
+
+def run_fuzz(args: argparse.Namespace) -> int:
+    """Execute one campaign; exit 6 iff a counterexample was found."""
+    config = FuzzConfig(
+        seed=args.fuzz_seed,
+        budget=args.budget,
+        batch_size=args.fuzz_batch,
+        search_iters=args.search_iters,
+        inject=args.inject,
+    )
+    session = args.session
+    out_dir = Path(args.out)
+    report = run_campaign(
+        config,
+        cache=session.cache,
+        workers=session.workers,
+        tracer=session.tracer,
+        out_dir=out_dir,
+    )
+    print(render_report(report))
+    if args.fuzz_report:
+        path = write_report(report, args.fuzz_report)
+        print(f"wrote campaign report: {path}")
+    return EXIT_COUNTEREXAMPLE if report["counterexamples"] else 0
+
+
+def run_shrink(args: argparse.Namespace) -> int:
+    """Re-minimize a reproducer in place; exit 6 while it still fails."""
+    if not args.case:
+        raise ParameterError("fuzz shrink requires --case REPRODUCER.json")
+    reproducer = load_reproducer(args.case)
+    failing = set(reproducer.failures)
+    oracles = reproducer.oracles
+
+    def still_fails(candidate: np.ndarray) -> bool:
+        result = evaluate_case(
+            candidate,
+            reproducer.geometry,
+            oracles=oracles,
+            inject=reproducer.inject,
+        )
+        found = set(result["failures"])
+        return bool(failing & found) if failing else bool(found)
+
+    data = np.asarray(reproducer.data, dtype=np.int64)
+    if not still_fails(data):
+        print(
+            f"{args.case}: recorded failure no longer reproduces "
+            f"({', '.join(reproducer.failures) or 'none'}) — nothing to shrink"
+        )
+        return 0
+    shrunk = shrink(data, still_fails)
+    updated = make_reproducer(
+        shrunk,
+        reproducer.geometry,
+        failures=reproducer.failures,
+        oracles=reproducer.oracles,
+        inject=reproducer.inject,
+    )
+    path = save_reproducer(updated, args.case)
+    print(
+        f"shrunk {reproducer.digest} -> {updated.digest}: "
+        f"n {len(data)} -> {len(shrunk)}; rewrote {path}"
+    )
+    return EXIT_COUNTEREXAMPLE
+
+
+def run_replay(args: argparse.Namespace) -> int:
+    """Re-run a reproducer; exit 6 iff the failure still reproduces."""
+    if not args.case:
+        raise ParameterError("fuzz replay requires --case REPRODUCER.json")
+    reproducer = load_reproducer(args.case)
+    outcome = replay(reproducer)
+    failures = outcome["result"]["failures"]
+    print(
+        f"replay {reproducer.digest} (geometry {reproducer.geometry.key}, "
+        f"n={len(reproducer.data)}, inject={reproducer.inject!r}):"
+    )
+    print(f"  recorded failures: {', '.join(reproducer.failures) or '(none)'}")
+    print(f"  current failures:  {', '.join(failures) or '(none)'}")
+    if outcome["still_failing"]:
+        print("  still failing")
+        return EXIT_COUNTEREXAMPLE
+    print("  no longer failing")
+    return 0
+
+
+def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the fuzz flag group on the main CLI parser."""
+    group = parser.add_argument_group("fuzz (fuzz run/shrink/replay)")
+    group.add_argument(
+        "--budget", type=int, default=48,
+        help="(fuzz run) total cases to evaluate, seeds included (default 48)",
+    )
+    group.add_argument(
+        "--fuzz-seed", type=int, default=0, dest="fuzz_seed",
+        help="(fuzz run) campaign seed — same seed+budget => identical report",
+    )
+    group.add_argument(
+        "--fuzz-batch", type=int, default=16, dest="fuzz_batch",
+        help="(fuzz run) mutants per executor fan-out (default 16)",
+    )
+    group.add_argument(
+        "--search-iters", type=int, default=2000, dest="search_iters",
+        help="(fuzz run) annealing iterations per (w, E); 0 disables search",
+    )
+    group.add_argument(
+        "--inject", choices=INJECTABLE_BUGS, default=None,
+        help="(fuzz run) deliberately break the reference sort — the "
+        "mutation test proving the differential oracle catches wrong sorts",
+    )
+    group.add_argument(
+        "--case", default=None, metavar="PATH",
+        help="(fuzz shrink/replay) reproducer JSON to minimize or re-run",
+    )
+    group.add_argument(
+        "--fuzz-report", default=None, dest="fuzz_report", metavar="PATH",
+        help="(fuzz run) write the deterministic campaign report JSON to PATH",
+    )
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed ``fuzz`` invocation; map errors to exit codes."""
+    target = args.target or "run"
+    handlers = {"run": run_fuzz, "shrink": run_shrink, "replay": run_replay}
+    try:
+        handler = handlers.get(target)
+        if handler is None:
+            raise ParameterError(
+                f"unknown fuzz target {target!r} (one of {', '.join(FUZZ_TARGETS)})"
+            )
+        return handler(args)
+    except ParameterError as exc:
+        print(f"fuzz {target}: {exc}", file=sys.stderr)
+        return 2

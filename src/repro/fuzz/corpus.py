@@ -1,0 +1,211 @@
+"""The content-addressed fuzz corpus.
+
+A corpus holds candidate sort inputs for one :class:`Geometry` (a
+``(w, E, u)`` triple; every case is two tiles long so the full pipeline
+exercises blocksort *and* a merge level).  Entries are content-addressed
+— the digest covers the geometry key and the raw little-endian payload
+bytes, so re-adding an input the campaign has already seen is a no-op
+and campaign replays dedupe identically on every platform.
+
+Seeding draws one input from each shared workload generator
+(:mod:`repro.workloads.generators`) plus the Section 4 adversarial
+construction; growth is score-guided — entries that provoked more
+baseline merge-phase excess are proportionally more likely to be picked
+as mutation parents (:meth:`Corpus.pick`), which is what steers random
+mutation toward the conflict-heavy region Theorem 8 describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError
+from repro.workloads.generators import (
+    duplicate_runs,
+    few_distinct,
+    nearly_sorted,
+    reverse_sorted,
+    sawtooth,
+    sorted_input,
+    uniform_random,
+)
+from repro.worstcase.generator import worstcase_full_input
+
+__all__ = ["Geometry", "CorpusEntry", "Corpus", "digest_of", "seed_corpus"]
+
+Array = npt.NDArray[np.int64]
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """One sort geometry a campaign fuzzes: warp width, E, block threads."""
+
+    w: int
+    E: int
+    u: int
+
+    def __post_init__(self) -> None:
+        if self.w < 2:
+            raise ParameterError(f"w must be >= 2, got {self.w}")
+        if self.E < 2:
+            raise ParameterError(f"E must be >= 2, got {self.E}")
+        if self.u < self.w or self.u % self.w:
+            raise ParameterError(
+                f"u must be a positive multiple of w={self.w}, got {self.u}"
+            )
+
+    @property
+    def tile(self) -> int:
+        """Elements per tile (``u * E``)."""
+        return self.u * self.E
+
+    @property
+    def coprime(self) -> bool:
+        """Whether ``gcd(E, w) == 1`` — the CF zero-conflict precondition."""
+        return math.gcd(self.E, self.w) == 1
+
+    @property
+    def n(self) -> int:
+        """Case length: two tiles, so every case runs one real merge level."""
+        return 2 * self.tile
+
+    @property
+    def key(self) -> str:
+        """Stable string form, used in digests and report keys."""
+        return f"w{self.w}-E{self.E}-u{self.u}"
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON form for reports and reproducers."""
+        return {"w": self.w, "E": self.E, "u": self.u}
+
+
+def digest_of(geometry: Geometry, data: Array) -> str:
+    """Content address of one case: geometry key + payload bytes."""
+    payload = np.ascontiguousarray(np.asarray(data, dtype=np.int64))
+    h = hashlib.sha256()
+    h.update(geometry.key.encode())
+    h.update(b"\x00")
+    h.update(payload.astype("<i8").tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus input plus its provenance and best observed score."""
+
+    digest: str
+    data: Array
+    origin: str
+    parent: str | None = None
+    score: int = 0
+
+
+@dataclass
+class Corpus:
+    """Deduplicated, insertion-ordered inputs for one geometry."""
+
+    geometry: Geometry
+    _entries: dict[str, CorpusEntry] = field(default_factory=dict)
+    _order: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return (self._entries[d] for d in self._order)
+
+    def add(
+        self,
+        data: Array,
+        origin: str,
+        parent: str | None = None,
+        score: int = 0,
+    ) -> CorpusEntry | None:
+        """Insert an input; returns ``None`` if its digest is already present."""
+        data = np.asarray(data, dtype=np.int64)
+        if len(data) != self.geometry.n:
+            raise ParameterError(
+                f"corpus {self.geometry.key} holds inputs of length "
+                f"{self.geometry.n}, got {len(data)}"
+            )
+        digest = digest_of(self.geometry, data)
+        if digest in self._entries:
+            return None
+        entry = CorpusEntry(
+            digest=digest, data=data.copy(), origin=origin, parent=parent, score=score
+        )
+        self._entries[digest] = entry
+        self._order.append(digest)
+        return entry
+
+    def entries(self) -> list[CorpusEntry]:
+        """All entries in insertion order."""
+        return [self._entries[d] for d in self._order]
+
+    def get(self, digest: str) -> CorpusEntry:
+        """Entry by digest; unknown digests raise ``ParameterError``."""
+        try:
+            return self._entries[digest]
+        except KeyError:
+            raise ParameterError(f"unknown corpus digest {digest!r}") from None
+
+    def note_score(self, digest: str, score: int) -> None:
+        """Record an observed score (keeps the max seen for the entry)."""
+        entry = self.get(digest)
+        entry.score = max(entry.score, int(score))
+
+    def best(self) -> CorpusEntry:
+        """The highest-scoring entry (earliest insertion wins ties)."""
+        if not self._order:
+            raise ParameterError("corpus is empty")
+        return max(self.entries(), key=lambda e: e.score)
+
+    def max_score(self) -> int:
+        """The best score any entry has provoked (0 for an empty corpus)."""
+        return max((e.score for e in self.entries()), default=0)
+
+    def pick(self, rng: np.random.Generator) -> CorpusEntry:
+        """Score-weighted deterministic draw (weight ``1 + score``)."""
+        entries = self.entries()
+        if not entries:
+            raise ParameterError("corpus is empty")
+        weights = np.array([1 + max(e.score, 0) for e in entries], dtype=np.int64)
+        cumulative = np.cumsum(weights)
+        x = int(rng.integers(0, int(cumulative[-1])))
+        return entries[int(np.searchsorted(cumulative, x, side="right"))]
+
+
+#: The seed workloads, in deterministic order (``f(n, seed)`` shapes).
+_SEED_GENERATORS: tuple[tuple[str, Callable[[int, int], Array]], ...] = (
+    ("random", uniform_random),
+    ("sorted", sorted_input),
+    ("reverse", reverse_sorted),
+    ("nearly_sorted", nearly_sorted),
+    ("few_distinct", few_distinct),
+    ("duplicate_runs", duplicate_runs),
+    ("sawtooth", sawtooth),
+)
+
+
+def seed_corpus(geometry: Geometry, seed: int = 0) -> Corpus:
+    """The initial corpus: every shared workload + the §4 adversary."""
+    corpus = Corpus(geometry)
+    for index, (name, generator) in enumerate(_SEED_GENERATORS):
+        corpus.add(generator(geometry.n, seed + index), origin=f"seed:{name}")
+    corpus.add(
+        np.asarray(
+            worstcase_full_input(2, geometry.E, geometry.u, geometry.w),
+            dtype=np.int64,
+        ),
+        origin="seed:adversarial",
+    )
+    return corpus

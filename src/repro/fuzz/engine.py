@@ -1,0 +1,446 @@
+"""The deterministic, budgeted fuzz campaign driver.
+
+A campaign is a pure function of its :class:`FuzzConfig`: the same seed
+and budget produce a byte-identical report (no wall clocks, no cache
+statistics, no host details), which is what lets CI run the seeded smoke
+campaign twice and ``cmp`` the artifacts.
+
+Phases
+------
+1. **seed** — evaluate every corpus seed of every geometry;
+2. **mutate** — rounds of score-guided mutation: parents drawn
+   score-weighted from the corpus, mutants evaluated in batches fanned
+   out over :func:`repro.runner.execute` (process parallelism + the
+   content-addressed result cache apply to fuzz cases exactly as to
+   sweep tiles — ``fuzz_case`` is just another tile kind);
+3. **search** — simulated-annealing adversarial search per configured
+   ``(w, E)``, expected to rediscover Theorem 8's worst case;
+4. **shrink** — every counterexample is minimized and written out as a
+   replayable reproducer (:mod:`repro.fuzz.reproducer`).
+
+Telemetry: each phase runs under a tracer span; per-case spans come from
+the runner executor.  When ``out_dir`` is given the campaign also writes
+a conflict profile of the baseline on each search's best input.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fuzz.corpus import Corpus, Geometry, digest_of, seed_corpus
+from repro.fuzz.mutators import mutate
+from repro.fuzz.oracles import INJECTABLE_BUGS, ORACLE_FAMILIES, evaluate_case
+from repro.fuzz.reproducer import make_reproducer, save_reproducer
+from repro.fuzz.search import adversarial_search, mask_to_inputs
+from repro.fuzz.shrink import shrink
+from repro.runner.cache import ResultCache
+from repro.runner.executor import execute
+from repro.runner.spec import TileJob, make_job
+from repro.telemetry.spans import NULL_TRACER, Tracer
+
+__all__ = [
+    "DEFAULT_GEOMETRIES",
+    "DEFAULT_SEARCH_CONFIGS",
+    "FuzzConfig",
+    "run_campaign",
+    "render_report",
+    "write_report",
+]
+
+#: Small geometries keep the exact simulator fast.  Both satisfy the
+#: paper's gcd(E, w) = 1 precondition, so the CF zero-replay invariant is
+#: live (not skipped) on every campaign case; non-coprime geometries can
+#: be fuzzed explicitly but skip the invariant family.
+DEFAULT_GEOMETRIES: tuple[Geometry, ...] = (
+    Geometry(w=8, E=5, u=16),
+    Geometry(w=8, E=7, u=16),
+)
+
+#: (w, E) points the adversarial search anneals at.  (12, 5) reaches the
+#: Theorem 8 closed form within the default iteration budget.
+DEFAULT_SEARCH_CONFIGS: tuple[tuple[int, int], ...] = ((12, 5),)
+
+#: Campaign report schema version.
+REPORT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything a campaign depends on (and nothing else)."""
+
+    seed: int = 0
+    #: Total cases to evaluate (corpus seeds included), across geometries.
+    budget: int = 64
+    #: Mutants evaluated per executor fan-out.
+    batch_size: int = 16
+    geometries: tuple[Geometry, ...] = DEFAULT_GEOMETRIES
+    oracles: tuple[str, ...] = ORACLE_FAMILIES
+    search_iters: int = 2000
+    search_configs: tuple[tuple[int, int], ...] = DEFAULT_SEARCH_CONFIGS
+    #: Injected reference bug (mutation-testing the oracles); None = off.
+    inject: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ParameterError(f"budget must be >= 1, got {self.budget}")
+        if self.batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not self.geometries:
+            raise ParameterError("at least one geometry is required")
+        if self.search_iters < 0:
+            raise ParameterError(f"search_iters must be >= 0, got {self.search_iters}")
+        for family in self.oracles:
+            if family not in ORACLE_FAMILIES:
+                raise ParameterError(
+                    f"unknown oracle family {family!r} "
+                    f"(one of {', '.join(ORACLE_FAMILIES)})"
+                )
+        if self.inject is not None and self.inject not in INJECTABLE_BUGS:
+            raise ParameterError(
+                f"unknown injected bug {self.inject!r} "
+                f"(one of {', '.join(INJECTABLE_BUGS)})"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form, embedded in the campaign report."""
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "batch_size": self.batch_size,
+            "geometries": [g.as_dict() for g in self.geometries],
+            "oracles": list(self.oracles),
+            "search_iters": self.search_iters,
+            "search_configs": [list(pair) for pair in self.search_configs],
+            "inject": self.inject,
+        }
+
+
+@dataclass
+class _Pending:
+    """One case queued for evaluation."""
+
+    geometry: Geometry
+    data: Any
+    origin: str
+    parent: str | None = None
+
+
+@dataclass
+class _Tally:
+    """Aggregate pass/fail/skip counts per check name."""
+
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def add(self, checks: dict[str, Any]) -> None:
+        for name, check in checks.items():
+            bucket = self.counts.setdefault(name, {"pass": 0, "fail": 0, "skip": 0})
+            if check.get("skipped"):
+                bucket["skip"] += 1
+            elif check["ok"]:
+                bucket["pass"] += 1
+            else:
+                bucket["fail"] += 1
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {name: dict(self.counts[name]) for name in sorted(self.counts)}
+
+
+def _case_job(config: FuzzConfig, pending: _Pending) -> TileJob:
+    geometry = pending.geometry
+    return make_job(
+        "fuzz_case",
+        w=geometry.w,
+        E=geometry.E,
+        u=geometry.u,
+        data=tuple(int(v) for v in pending.data),
+        oracles=tuple(config.oracles),
+        inject=config.inject or "",
+    )
+
+
+def _evaluate_batch(
+    config: FuzzConfig,
+    batch: list[_Pending],
+    *,
+    cache: ResultCache | None,
+    workers: int,
+    tracer: Tracer,
+) -> list[dict[str, Any]]:
+    jobs = [_case_job(config, pending) for pending in batch]
+    results, _stats = execute(jobs, cache=cache, workers=workers, tracer=tracer)
+    return results
+
+
+def _shrink_counterexample(
+    config: FuzzConfig, geometry: Geometry, data: Any, failures: list[str]
+) -> Any:
+    """Minimize a failing case against its own failing checks."""
+    failing = set(failures)
+    families = tuple(
+        family
+        for family in config.oracles
+        if any(name.startswith(f"{family}/") for name in failing)
+    ) or tuple(config.oracles)
+
+    def still_fails(candidate: Any) -> bool:
+        result = evaluate_case(
+            candidate, geometry, oracles=families, inject=config.inject
+        )
+        return bool(failing & set(result["failures"]))
+
+    return shrink(np.asarray(data, dtype=np.int64), still_fails)
+
+
+def run_campaign(
+    config: FuzzConfig,
+    *,
+    cache: ResultCache | None = None,
+    workers: int = 1,
+    tracer: Tracer | None = None,
+    out_dir: Path | str | None = None,
+) -> dict[str, Any]:
+    """Run one campaign; returns the deterministic report dict.
+
+    ``cache``/``workers``/``tracer`` plug into the runner executor just
+    like the sweep commands; ``out_dir`` receives reproducer JSONs (for
+    counterexamples) and the search conflict-profile artifacts.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    out_path = Path(out_dir) if out_dir is not None else None
+
+    corpora: dict[Geometry, Corpus] = {
+        geometry: seed_corpus(geometry, config.seed)
+        for geometry in config.geometries
+    }
+
+    tally = _Tally()
+    counterexamples: list[dict[str, Any]] = []
+    per_geometry: dict[str, dict[str, int]] = {
+        g.key: {"cases": 0, "seeds": len(corpora[g])} for g in config.geometries
+    }
+    cases_run = 0
+    cf_replays_total = 0
+    case_index = 0  # drives per-case mutation RNG streams
+
+    def process(batch: list[_Pending], results: list[dict[str, Any]]) -> None:
+        nonlocal cases_run, cf_replays_total
+        for pending, result in zip(batch, results):
+            cases_run += 1
+            geometry = pending.geometry
+            per_geometry[geometry.key]["cases"] += 1
+            cf_replays_total += int(result["cf_merge_replays"])
+            tally.add(result["checks"])
+            corpus = corpora[geometry]
+            payload = np.asarray(pending.data, dtype=np.int64)
+            digest = digest_of(geometry, payload)
+            if digest in corpus:
+                # Seeds (present by construction) and re-derived mutants.
+                corpus.note_score(digest, int(result["score"]))
+            else:
+                corpus.add(
+                    payload,
+                    origin=pending.origin,
+                    parent=pending.parent,
+                    score=int(result["score"]),
+                )
+            if result["failures"]:
+                _record_counterexample(pending, result)
+
+    def _record_counterexample(pending: _Pending, result: dict[str, Any]) -> None:
+        geometry = pending.geometry
+        with tracer.span("fuzz.shrink", args={"geometry": geometry.key}):
+            shrunk = _shrink_counterexample(
+                config, geometry, pending.data, list(result["failures"])
+            )
+        reproducer = make_reproducer(
+            shrunk,
+            geometry,
+            failures=list(result["failures"]),
+            oracles=config.oracles,
+            inject=config.inject,
+        )
+        filename = f"reproducer-{reproducer.digest}.json"
+        if out_path is not None:
+            save_reproducer(reproducer, out_path / filename)
+        counterexamples.append(
+            {
+                "geometry": geometry.as_dict(),
+                "origin": pending.origin,
+                "failures": list(result["failures"]),
+                "original_n": int(result["n"]),
+                "shrunk_n": int(len(shrunk)),
+                "shrunk_data": [int(v) for v in shrunk],
+                "digest": reproducer.digest,
+                "reproducer": filename if out_path is not None else None,
+            }
+        )
+
+    # Phase 1: corpus seeds, trimmed to the budget.
+    with tracer.span("fuzz.seed", args={"geometries": len(config.geometries)}):
+        seeds: list[_Pending] = [
+            _Pending(geometry=g, data=entry.data, origin=entry.origin)
+            for g in config.geometries
+            for entry in corpora[g].entries()
+        ][: config.budget]
+        process(
+            seeds,
+            _evaluate_batch(
+                config, seeds, cache=cache, workers=workers, tracer=tracer
+            ),
+        )
+
+    # Phase 2: score-guided mutation rounds, geometries round-robin.
+    round_index = 0
+    while cases_run < config.budget:
+        geometry = config.geometries[round_index % len(config.geometries)]
+        corpus = corpora[geometry]
+        batch: list[_Pending] = []
+        for _ in range(min(config.batch_size, config.budget - cases_run)):
+            rng = np.random.default_rng([config.seed, 1, case_index])
+            case_index += 1
+            parent = corpus.pick(rng)
+            mutator, mutant = mutate(rng, parent.data, geometry)
+            batch.append(
+                _Pending(
+                    geometry=geometry,
+                    data=mutant,
+                    origin=f"mutant:{mutator}",
+                    parent=parent.digest,
+                )
+            )
+        with tracer.span(
+            "fuzz.round",
+            args={"round": round_index, "geometry": geometry.key},
+        ):
+            process(
+                batch,
+                _evaluate_batch(
+                    config, batch, cache=cache, workers=workers, tracer=tracer
+                ),
+            )
+        round_index += 1
+
+    # Phase 3: adversarial search (annealing on replay counters).
+    search_results: list[dict[str, Any]] = []
+    for w, E in config.search_configs:
+        if config.search_iters == 0:
+            break
+        with tracer.span("fuzz.search", args={"w": w, "E": E}):
+            found = adversarial_search(
+                w, E, iters=config.search_iters, seed=config.seed
+            )
+        cf_replays_total += found.cf_merge_replays
+        search_results.append(found.as_dict())
+        if out_path is not None:
+            _write_search_profile(out_path, found.as_dict())
+
+    corpus_summary = {
+        g.key: {
+            "entries": len(corpora[g]),
+            "max_score": corpora[g].max_score(),
+            **per_geometry[g.key],
+        }
+        for g in config.geometries
+    }
+
+    report = {
+        "format": REPORT_FORMAT,
+        "tool": "repro.fuzz",
+        "config": config.as_dict(),
+        "cases": cases_run,
+        "corpus": corpus_summary,
+        "checks": tally.as_dict(),
+        "counterexamples": counterexamples,
+        "cf_merge_replays_total": cf_replays_total,
+        "search": search_results,
+        "status": "counterexamples-found" if counterexamples else "ok",
+    }
+    return report
+
+
+def _write_search_profile(out_path: Path, found: dict[str, Any]) -> None:
+    """Conflict-profile artifact of the baseline on the search's best input."""
+    from repro.mergesort.serial_merge import serial_merge_block
+    from repro.sim.trace import AccessTrace
+    from repro.telemetry.profiler import ConflictProfile
+
+    w, E = int(found["w"]), int(found["E"])
+    mask = np.asarray(found["best_mask"], dtype=bool)
+    a, b = mask_to_inputs(mask)
+    trace = AccessTrace()
+    serial_merge_block(a, b, E, w, simulate_search=False, trace=trace)
+    profile = ConflictProfile(trace, w)
+    payload = {
+        "w": w,
+        "E": E,
+        "best_excess": int(found["best_excess"]),
+        "formula": int(found["formula"]),
+        "matched": bool(found["matched"]),
+        "profile": profile.as_dict(),
+    }
+    out_path.mkdir(parents=True, exist_ok=True)
+    path = out_path / f"profile-search-w{w}-E{E}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def write_report(report: dict[str, Any], path: Path | str) -> Path:
+    """Write the campaign report JSON (byte-stable for equal configs)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable campaign summary for the CLI."""
+    lines = [
+        f"Fuzz campaign — seed {report['config']['seed']}, "
+        f"budget {report['config']['budget']}, "
+        f"oracles {', '.join(report['config']['oracles'])}",
+        "",
+        f"cases evaluated: {report['cases']}",
+        f"CF merge replays across campaign: {report['cf_merge_replays_total']}",
+        "",
+        "corpus:",
+    ]
+    for key in sorted(report["corpus"]):
+        summary = report["corpus"][key]
+        lines.append(
+            f"  {key}: {summary['cases']} cases, {summary['entries']} entries "
+            f"({summary['seeds']} seeds), max baseline excess {summary['max_score']}"
+        )
+    lines += ["", "checks:"]
+    for name in sorted(report["checks"]):
+        bucket = report["checks"][name]
+        verdict = "ok " if bucket["fail"] == 0 else "FAIL"
+        lines.append(
+            f"  [{verdict}] {name}: {bucket['pass']} pass, "
+            f"{bucket['fail']} fail, {bucket['skip']} skip"
+        )
+    if report["search"]:
+        lines += ["", "adversarial search (annealing on replay counters):"]
+        for found in report["search"]:
+            verdict = "ok " if found["matched"] else "LOW"
+            lines.append(
+                f"  [{verdict}] w={found['w']}, E={found['E']}: best excess "
+                f"{found['best_excess']} vs Theorem 8 formula {found['formula']} "
+                f"(CF replays on best input: {found['cf_merge_replays']})"
+            )
+    lines.append("")
+    if report["counterexamples"]:
+        lines.append(f"COUNTEREXAMPLES: {len(report['counterexamples'])}")
+        for ce in report["counterexamples"]:
+            where = f" -> {ce['reproducer']}" if ce["reproducer"] else ""
+            lines.append(
+                f"  {ce['digest']} [{', '.join(ce['failures'])}] "
+                f"n {ce['original_n']} -> {ce['shrunk_n']}{where}"
+            )
+    else:
+        lines.append("no counterexamples found")
+    return "\n".join(lines)

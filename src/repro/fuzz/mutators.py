@@ -1,0 +1,149 @@
+"""Structured mutators for fuzz inputs.
+
+Every mutator is a pure function ``(rng, data, geometry) -> mutant`` that
+preserves length and keeps values in ``[0, VALUE_LIMIT)`` — the range
+every consumer accepts (``sort_by_key`` packing, the service backends'
+segmented payloads).  The set is chosen for *this* bug surface rather
+than generic byte fuzzing:
+
+* ``splice`` / ``shuffle_window`` / ``reverse_window`` — rearrange run
+  structure, stressing merge-path splits;
+* ``duplicate_run`` — long equal runs (broadcast handling, stability);
+* ``perturb_toward_sorted`` — near-sorted inputs (degenerate splits);
+* ``residue_steer`` — force a window's values into one residue class
+  mod ``w``, i.e. aim a band of shared-memory accesses at chosen banks,
+  the access pattern Section 4's construction exploits analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError
+from repro.fuzz.corpus import Geometry
+
+__all__ = ["VALUE_LIMIT", "MUTATORS", "mutate"]
+
+Array = npt.NDArray[np.int64]
+MutatorFn = Callable[[np.random.Generator, Array, Geometry], Array]
+
+#: Fuzzed values stay below ``2^31``: sortable by every backend and
+#: packable by ``sort_by_key`` without widening.
+VALUE_LIMIT = 2**31
+
+
+def _window(rng: np.random.Generator, n: int, max_fraction: float = 0.5) -> tuple[int, int]:
+    """A random non-empty ``[lo, hi)`` window covering <= ``max_fraction``."""
+    if n < 1:
+        return 0, 0
+    longest = max(1, int(n * max_fraction))
+    length = int(rng.integers(1, longest + 1))
+    start = int(rng.integers(0, n - length + 1))
+    return start, start + length
+
+
+def splice(rng: np.random.Generator, data: Array, geometry: Geometry) -> Array:
+    """Overwrite a window with a rotated copy of the input (crossover)."""
+    out = data.copy()
+    n = len(out)
+    if n < 2:
+        return out
+    lo, hi = _window(rng, n, max_fraction=0.25)
+    shift = int(rng.integers(1, n))
+    source = (np.arange(lo, hi) + shift) % n
+    out[lo:hi] = data[source]
+    return out
+
+
+def duplicate_run(rng: np.random.Generator, data: Array, geometry: Geometry) -> Array:
+    """Flood a window with one of its own values (duplicate-heavy runs)."""
+    out = data.copy()
+    lo, hi = _window(rng, len(out))
+    if hi > lo:
+        out[lo:hi] = out[int(rng.integers(lo, hi))]
+    return out
+
+
+def perturb_toward_sorted(
+    rng: np.random.Generator, data: Array, geometry: Geometry
+) -> Array:
+    """Sort the input, then apply a few random transpositions."""
+    out = np.sort(data)
+    n = len(out)
+    if n < 2:
+        return out
+    for _ in range(max(1, n // 16)):
+        i, j = (int(v) for v in rng.integers(0, n, 2))
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+def residue_steer(rng: np.random.Generator, data: Array, geometry: Geometry) -> Array:
+    """Steer a window's values into one residue class modulo ``w``.
+
+    After the steer, comparisons inside the window resolve by the
+    (unchanged) high bits while the low bits — which become shared-memory
+    addresses through merge positions — all agree mod ``w``: a targeted
+    attempt to pile one warp's replacement reads onto a single bank.
+    """
+    out = data.copy()
+    n = len(out)
+    if n < 1:
+        return out
+    lo, hi = _window(rng, n)
+    residue = int(rng.integers(0, geometry.w))
+    window = out[lo:hi]
+    out[lo:hi] = np.clip(window - (window % geometry.w) + residue, 0, VALUE_LIMIT - 1)
+    return out
+
+
+def reverse_window(rng: np.random.Generator, data: Array, geometry: Geometry) -> Array:
+    """Reverse one window (locally descending runs)."""
+    out = data.copy()
+    lo, hi = _window(rng, len(out))
+    out[lo:hi] = out[lo:hi][::-1]
+    return out
+
+
+def shuffle_window(rng: np.random.Generator, data: Array, geometry: Geometry) -> Array:
+    """Permute one window in place."""
+    out = data.copy()
+    lo, hi = _window(rng, len(out))
+    out[lo:hi] = out[lo:hi][rng.permutation(hi - lo)]
+    return out
+
+
+#: Name -> mutator, iterated in sorted-name order for determinism.
+MUTATORS: dict[str, MutatorFn] = {
+    "splice": splice,
+    "duplicate_run": duplicate_run,
+    "perturb_toward_sorted": perturb_toward_sorted,
+    "residue_steer": residue_steer,
+    "reverse_window": reverse_window,
+    "shuffle_window": shuffle_window,
+}
+
+
+def mutate(
+    rng: np.random.Generator,
+    data: Array,
+    geometry: Geometry,
+    name: str | None = None,
+) -> tuple[str, Array]:
+    """Apply one mutator (random by default); returns ``(name, mutant)``."""
+    if name is None:
+        names = sorted(MUTATORS)
+        name = names[int(rng.integers(0, len(names)))]
+    mutator = MUTATORS.get(name)
+    if mutator is None:
+        raise ParameterError(
+            f"unknown mutator {name!r} (one of {', '.join(sorted(MUTATORS))})"
+        )
+    out = np.clip(mutator(rng, np.asarray(data, dtype=np.int64), geometry),
+                  0, VALUE_LIMIT - 1).astype(np.int64)
+    if len(out) != len(data):
+        raise ParameterError(f"mutator {name!r} changed the input length")
+    return name, out

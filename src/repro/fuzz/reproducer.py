@@ -1,0 +1,131 @@
+"""Replayable JSON reproducers for fuzz counterexamples.
+
+A reproducer is everything needed to re-run one failing case: the
+geometry, the (shrunk) payload, the oracle families that were active,
+the injected bug (if the campaign was mutation-testing itself), and the
+check names that failed.  The format is versioned and content-addressed
+(the digest is the corpus digest of the payload), and deliberately
+carries no timestamps or host information — the same counterexample
+always serializes to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fuzz.corpus import Geometry, digest_of
+from repro.fuzz.oracles import evaluate_case
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Reproducer",
+    "make_reproducer",
+    "save_reproducer",
+    "load_reproducer",
+    "replay",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_KIND = "repro.fuzz.reproducer"
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One minimized, replayable counterexample."""
+
+    geometry: Geometry
+    data: tuple[int, ...]
+    failures: tuple[str, ...]
+    oracles: tuple[str, ...]
+    inject: str | None
+    digest: str
+
+    def as_dict(self) -> dict[str, Any]:
+        """The versioned JSON payload."""
+        return {
+            "format": FORMAT_VERSION,
+            "kind": _KIND,
+            "geometry": self.geometry.as_dict(),
+            "data": list(self.data),
+            "failures": list(self.failures),
+            "oracles": list(self.oracles),
+            "inject": self.inject,
+            "digest": self.digest,
+        }
+
+
+def make_reproducer(
+    data: Any,
+    geometry: Geometry,
+    failures: tuple[str, ...] | list[str],
+    oracles: tuple[str, ...] | list[str],
+    inject: str | None = None,
+) -> Reproducer:
+    """Build a reproducer (computes the content digest)."""
+    payload = np.asarray(data, dtype=np.int64)
+    return Reproducer(
+        geometry=geometry,
+        data=tuple(int(v) for v in payload),
+        failures=tuple(str(f) for f in failures),
+        oracles=tuple(str(o) for o in oracles),
+        inject=inject,
+        digest=digest_of(geometry, payload),
+    )
+
+
+def save_reproducer(reproducer: Reproducer, path: Path | str) -> Path:
+    """Write the reproducer JSON (stable key order, trailing newline)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(reproducer.as_dict(), indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_reproducer(path: Path | str) -> Reproducer:
+    """Read and validate a reproducer JSON file."""
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, dict) or raw.get("kind") != _KIND:
+        raise ParameterError(f"{path}: not a {_KIND} artifact")
+    if raw.get("format") != FORMAT_VERSION:
+        raise ParameterError(
+            f"{path}: reproducer format {raw.get('format')!r} != {FORMAT_VERSION}"
+        )
+    geom = raw["geometry"]
+    geometry = Geometry(w=int(geom["w"]), E=int(geom["E"]), u=int(geom["u"]))
+    inject = raw.get("inject")
+    return make_reproducer(
+        raw["data"],
+        geometry,
+        failures=[str(f) for f in raw.get("failures", [])],
+        oracles=[str(o) for o in raw.get("oracles", [])],
+        inject=None if inject in (None, "") else str(inject),
+    )
+
+
+def replay(reproducer: Reproducer) -> dict[str, Any]:
+    """Re-evaluate a reproducer against the current code.
+
+    Returns the full oracle result plus ``still_failing`` — whether any
+    of the originally recorded checks (or, if none were recorded, any
+    check at all) fails now.
+    """
+    from repro.fuzz.oracles import ORACLE_FAMILIES
+
+    result = evaluate_case(
+        np.asarray(reproducer.data, dtype=np.int64),
+        reproducer.geometry,
+        oracles=reproducer.oracles if reproducer.oracles else ORACLE_FAMILIES,
+        inject=reproducer.inject,
+    )
+    failing_now = set(result["failures"])
+    recorded = set(reproducer.failures)
+    still = bool(failing_now & recorded) if recorded else bool(failing_now)
+    return {"still_failing": still, "result": result}

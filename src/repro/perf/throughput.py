@@ -32,6 +32,7 @@ from repro.perf.calibration import DEFAULT_CONSTANTS, CycleConstants
 from repro.perf.cost_model import CostBreakdown, CostModel
 from repro.perf.occupancy import occupancy
 from repro.sim.counters import Counters
+from repro.workloads.generators import uniform_random
 from repro.worstcase.generator import worstcase_full_input, worstcase_merge_inputs
 
 __all__ = [
@@ -132,14 +133,15 @@ def measure_blocksort_cost(
     """
     E, u = params.E, params.u
     tile = u * E
-    rng = np.random.default_rng(seed)
     acc = Counters()
     if workload == "worstcase":
         n_tiles = 2
         data = worstcase_full_input(n_tiles, E, u, w)
         tiles = [data[t * tile : (t + 1) * tile] for t in range(min(samples, n_tiles))]
     else:
-        tiles = [rng.integers(0, 2**40, tile) for _ in range(samples)]
+        tiles = [
+            uniform_random(tile, seed=seed + k, high=2**40) for k in range(samples)
+        ]
     for t in tiles:
         _, stats = blocksort_tile(t, E, w, variant)
         acc.merge(stats.total)

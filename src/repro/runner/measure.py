@@ -149,12 +149,20 @@ def _service_tile(params: dict[str, Any]) -> dict[str, Any]:
     return service_tile(params)
 
 
+def _fuzz_case_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One fuzz case through the oracle stack (see :mod:`repro.fuzz`)."""
+    from repro.fuzz.oracles import fuzz_case_tile
+
+    return fuzz_case_tile(params)
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
     "defenses": _defenses_tile,
     "service_batch": _service_batch_tile,
     "service": _service_tile,
+    "fuzz_case": _fuzz_case_tile,
 }
 
 

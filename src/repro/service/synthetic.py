@@ -26,7 +26,7 @@ from repro.service.batching import BatchPolicy, plan_batches
 from repro.service.jobs import run_batch
 from repro.service.request import SortRequest
 from repro.sim.counters import Counters
-from repro.workloads import adversarial, uniform_random
+from repro.workloads import adversarial, request_lengths, uniform_random
 
 __all__ = ["synth_payloads", "synth_requests", "run_synchronous", "service_tile"]
 
@@ -58,7 +58,7 @@ def synth_payloads(
         raise ParameterError(
             f"need 1 <= min_elems <= max_elems, got {min_elems}..{max_elems}"
         )
-    rng = np.random.default_rng(seed)
+    lengths = request_lengths(count, min_elems, max_elems, seed=seed)
     payloads: list[npt.NDArray[np.int64]] = []
     evil = adversarial(1, params.E, params.u, w)
     for index in range(count):
@@ -66,8 +66,8 @@ def synth_payloads(
         if use_adversarial:
             payloads.append(evil.copy())
         else:
-            n = int(rng.integers(min_elems, max_elems + 1))
-            payloads.append(uniform_random(n, seed=int(rng.integers(0, 2**31))))
+            per_payload_seed = (seed * 1_000_003 + index) % 2**31
+            payloads.append(uniform_random(int(lengths[index]), seed=per_payload_seed))
     return payloads
 
 

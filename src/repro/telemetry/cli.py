@@ -23,8 +23,6 @@ import json
 from pathlib import Path
 from typing import Any
 
-import numpy as np
-
 from repro.errors import ParameterError
 from repro.telemetry.chrome import (
     access_trace_events,
@@ -153,12 +151,11 @@ def _trace_runner(args: argparse.Namespace, target: str, tracer: Tracer) -> str:
 def _trace_service(tracer: Tracer) -> str:
     """Drive the sort service on a tiny workload with span tracing on."""
     from repro.service.service import Client, SortService
+    from repro.workloads import uniform_random
 
-    rng = np.random.default_rng(7)
     with Client(SortService(tracer=tracer)) as client:
         arrays = [
-            rng.integers(0, 1000, size=n).astype(np.int64)
-            for n in (40, 80, 120, 160)
+            uniform_random(n, seed=7 + n, high=1000) for n in (40, 80, 120, 160)
         ]
         results = client.submit_many(arrays)
     completed = sum(1 for r in results if r.ok)

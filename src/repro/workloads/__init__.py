@@ -3,9 +3,12 @@
 from repro.workloads.generators import (
     WORKLOADS,
     adversarial,
+    duplicate_runs,
     few_distinct,
     nearly_sorted,
+    request_lengths,
     reverse_sorted,
+    sawtooth,
     sorted_input,
     uniform_random,
 )
@@ -16,6 +19,9 @@ __all__ = [
     "reverse_sorted",
     "nearly_sorted",
     "few_distinct",
+    "duplicate_runs",
+    "sawtooth",
+    "request_lengths",
     "adversarial",
     "WORKLOADS",
 ]

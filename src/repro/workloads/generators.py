@@ -19,6 +19,9 @@ __all__ = [
     "reverse_sorted",
     "nearly_sorted",
     "few_distinct",
+    "duplicate_runs",
+    "sawtooth",
+    "request_lengths",
     "adversarial",
     "WORKLOADS",
 ]
@@ -58,6 +61,60 @@ def few_distinct(n: int, seed: int = 0, distinct: int = 8) -> np.ndarray:
     return rng.integers(0, distinct, n).astype(np.int64)
 
 
+def duplicate_runs(
+    n: int, seed: int = 0, run_length: int = 8, distinct: int = 16
+) -> np.ndarray:
+    """Duplicate-heavy input: contiguous runs of repeated values.
+
+    Stresses broadcast handling (same-address reads within a warp) and the
+    stability contract of ``sort_by_key`` — long equal-key runs are where
+    an unstable merge would reorder payloads.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if run_length < 1 or distinct < 1:
+        raise ParameterError(
+            f"run_length and distinct must be >= 1, got {run_length}, {distinct}"
+        )
+    rng = np.random.default_rng(seed)
+    n_runs = (n + run_length - 1) // run_length
+    values = rng.integers(0, distinct, n_runs)
+    return np.repeat(values, run_length)[:n].astype(np.int64)
+
+
+def sawtooth(n: int, seed: int = 0, period: int = 32) -> np.ndarray:
+    """Piecewise-ascending ramps with a seeded phase (merge-path stress).
+
+    Every tooth is an already-sorted run of ``period`` values, so the
+    pairwise merge tree sees maximally overlapping runs at every level.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if period < 1:
+        raise ParameterError(f"period must be >= 1, got {period}")
+    phase = int(np.random.default_rng(seed).integers(0, period))
+    return ((np.arange(n, dtype=np.int64) + phase) % period).astype(np.int64)
+
+
+def request_lengths(
+    count: int, min_elems: int, max_elems: int, seed: int = 0
+) -> np.ndarray:
+    """Deterministic request-length draws in ``[min_elems, max_elems]``.
+
+    The shared synthesis path for service-style workload generators (the
+    lengths of small sort requests), so every consumer derives identical
+    streams from equal seeds.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    if not 1 <= min_elems <= max_elems:
+        raise ParameterError(
+            f"need 1 <= min_elems <= max_elems, got {min_elems}..{max_elems}"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.integers(min_elems, max_elems + 1, count).astype(np.int64)
+
+
 def adversarial(n_tiles: int, E: int, u: int, w: int) -> np.ndarray:
     """The Section 4 worst-case input (see :mod:`repro.worstcase`)."""
     return worstcase_full_input(n_tiles, E, u, w)
@@ -70,4 +127,6 @@ WORKLOADS = {
     "reverse": reverse_sorted,
     "nearly_sorted": nearly_sorted,
     "few_distinct": few_distinct,
+    "duplicate_runs": duplicate_runs,
+    "sawtooth": sawtooth,
 }

@@ -61,6 +61,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "mypy --strict src/repro/runner" in steps
     assert "src/repro/service" in steps
     assert "src/repro/telemetry" in steps
+    assert "src/repro/fuzz" in steps
 
 
 def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
@@ -112,6 +113,29 @@ def test_smoke_job_uploads_telemetry_artifacts(workflow):
     assert telemetry["if"] == "always()"
     assert telemetry["with"]["if-no-files-found"] == "error"
     assert "telemetry-artifacts" in telemetry["with"]["path"]
+
+
+def test_smoke_job_runs_the_seeded_fuzz_campaign_twice(workflow):
+    # The fuzz smoke: same seed + budget must produce a byte-identical
+    # report (the determinism contract), verified with cmp; exit 6 from
+    # either run (counterexample found) fails the step.
+    steps = _steps_text(workflow["jobs"]["smoke"])
+    assert "python -m repro fuzz run" in steps
+    assert "--fuzz-seed 0" in steps
+    assert "--fuzz-report fuzz-report.json" in steps
+    assert "cmp fuzz-report.json fuzz-report-again.json" in steps
+
+
+def test_smoke_job_uploads_fuzz_artifacts(workflow):
+    job = workflow["jobs"]["smoke"]
+    uploads = [
+        s for s in job["steps"] if "upload-artifact" in str(s.get("uses", ""))
+    ]
+    fuzz = next(u for u in uploads if u["with"]["name"] == "fuzz")
+    assert fuzz["if"] == "always()"
+    assert fuzz["with"]["if-no-files-found"] == "error"
+    assert "fuzz-artifacts" in fuzz["with"]["path"]
+    assert "fuzz-report.json" in fuzz["with"]["path"]
 
 
 def test_every_job_checks_out_and_sets_up_python(workflow):

@@ -1,0 +1,107 @@
+"""The ``repro fuzz run|shrink|replay`` verbs and exit code 6."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.cli import EXIT_COUNTEREXAMPLE
+from repro.fuzz.reproducer import load_reproducer
+
+
+def _run(argv):
+    return main(argv)
+
+
+class TestFuzzRun:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = _run(
+            ["fuzz", "run", "--budget", "8", "--fuzz-batch", "8",
+             "--search-iters", "0", "--no-cache",
+             "--out", str(tmp_path / "artifacts"),
+             "--fuzz-report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no counterexamples found" in out
+        report = json.loads(report_path.read_text())
+        assert report["status"] == "ok"
+        assert report["cf_merge_replays_total"] == 0
+        assert report["cases"] == 8
+
+    def test_injected_bug_exits_six_with_reproducer(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = _run(
+            ["fuzz", "run", "--budget", "4", "--fuzz-batch", "4",
+             "--search-iters", "0", "--inject", "swap_tail", "--no-cache",
+             "--out", str(out_dir)]
+        )
+        assert code == EXIT_COUNTEREXAMPLE
+        assert "COUNTEREXAMPLES" in capsys.readouterr().out
+        reproducers = sorted(out_dir.glob("reproducer-*.json"))
+        assert reproducers
+        loaded = load_reproducer(reproducers[0])
+        assert loaded.inject == "swap_tail"
+        assert loaded.failures == ("differential/injected_reference",)
+
+    def test_default_target_is_run(self, tmp_path, capsys):
+        code = _run(
+            ["fuzz", "--budget", "2", "--fuzz-batch", "2",
+             "--search-iters", "0", "--no-cache",
+             "--out", str(tmp_path / "artifacts")]
+        )
+        assert code == 0
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        code = _run(["fuzz", "explode"])
+        assert code == 2
+        assert "unknown fuzz target" in capsys.readouterr().err
+
+
+class TestFuzzReplayAndShrink:
+    @pytest.fixture()
+    def reproducer_path(self, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        code = _run(
+            ["fuzz", "run", "--budget", "2", "--fuzz-batch", "2",
+             "--search-iters", "0", "--inject", "swap_tail", "--no-cache",
+             "--out", str(out_dir)]
+        )
+        assert code == EXIT_COUNTEREXAMPLE
+        return sorted(out_dir.glob("reproducer-*.json"))[0]
+
+    def test_replay_confirms_with_exit_six(self, reproducer_path, capsys):
+        code = _run(["fuzz", "replay", "--case", str(reproducer_path)])
+        assert code == EXIT_COUNTEREXAMPLE
+        assert "still failing" in capsys.readouterr().out
+
+    def test_shrink_is_idempotent_on_minimal_cases(self, reproducer_path,
+                                                   capsys):
+        before = load_reproducer(reproducer_path)
+        code = _run(["fuzz", "shrink", "--case", str(reproducer_path)])
+        assert code == EXIT_COUNTEREXAMPLE
+        after = load_reproducer(reproducer_path)
+        assert len(after.data) <= len(before.data)
+
+    def test_replay_of_fixed_bug_exits_zero(self, reproducer_path, capsys):
+        # Clearing `inject` models fixing the bug: the recorded failure
+        # no longer reproduces, and replay says so with exit 0.
+        raw = json.loads(reproducer_path.read_text())
+        raw["inject"] = None
+        reproducer_path.write_text(json.dumps(raw))
+        code = _run(["fuzz", "replay", "--case", str(reproducer_path)])
+        assert code == 0
+        assert "no longer failing" in capsys.readouterr().out
+
+    def test_replay_without_case_is_usage_error(self, capsys):
+        code = _run(["fuzz", "replay"])
+        assert code == 2
+        assert "--case" in capsys.readouterr().err
+
+    def test_shrink_without_case_is_usage_error(self, capsys):
+        code = _run(["fuzz", "shrink"])
+        assert code == 2
+        assert "--case" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""Campaign engine: determinism, acceptance criteria, counterexample flow.
+
+The acceptance bar for the subsystem: a seeded campaign is byte-for-byte
+deterministic (across runs *and* worker counts), finds zero
+counterexamples on current code with zero CF merge replays, and — when a
+reference bug is injected — finds, shrinks, and persists replayable
+reproducers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fuzz.engine import (
+    DEFAULT_GEOMETRIES,
+    FuzzConfig,
+    render_report,
+    run_campaign,
+    write_report,
+)
+from repro.fuzz.reproducer import load_reproducer, replay
+from repro.runner.cache import ResultCache
+
+QUICK = FuzzConfig(seed=0, budget=10, batch_size=4, search_iters=0)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_campaign(QUICK, workers=1)
+
+
+class TestConfig:
+    def test_defaults_stay_on_the_papers_domain(self):
+        assert all(g.coprime for g in DEFAULT_GEOMETRIES)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget": 0},
+            {"batch_size": 0},
+            {"search_iters": -1},
+            {"geometries": ()},
+            {"oracles": ("nope",)},
+            {"inject": "bogus"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            FuzzConfig(**kwargs)
+
+    def test_as_dict_is_json_serializable(self):
+        json.dumps(QUICK.as_dict())
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes_across_worker_counts(self, tmp_path,
+                                                       quick_report):
+        again = run_campaign(QUICK, workers=2)
+        p1 = write_report(quick_report, tmp_path / "one.json")
+        p2 = write_report(again, tmp_path / "two.json")
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_different_seed_different_corpus(self, quick_report):
+        other = run_campaign(
+            FuzzConfig(seed=1, budget=10, batch_size=4, search_iters=0),
+            workers=1,
+        )
+        assert other != quick_report
+
+    def test_cache_does_not_change_the_report(self, tmp_path, quick_report):
+        cache = ResultCache(tmp_path / "cache")
+        warm = run_campaign(QUICK, cache=cache, workers=1)
+        cached = run_campaign(QUICK, cache=cache, workers=1)
+        assert warm == cached == quick_report
+
+
+class TestCleanCampaign:
+    def test_zero_counterexamples_and_zero_cf_replays(self, quick_report):
+        assert quick_report["status"] == "ok"
+        assert quick_report["counterexamples"] == []
+        assert quick_report["cf_merge_replays_total"] == 0
+
+    def test_budget_is_respected_exactly(self, quick_report):
+        assert quick_report["cases"] == QUICK.budget
+        per_key = quick_report["corpus"]
+        assert sum(stats["cases"] for stats in per_key.values()) == QUICK.budget
+
+    def test_every_check_passed(self, quick_report):
+        for name, tally in quick_report["checks"].items():
+            assert tally["fail"] == 0, name
+        assert quick_report["checks"]["invariant/cf_zero_merge_replays"]["pass"] > 0
+
+    def test_corpus_tracks_seeds_and_scores(self, quick_report):
+        for stats in quick_report["corpus"].values():
+            assert stats["seeds"] == 8
+            assert stats["entries"] >= 8
+            assert stats["max_score"] >= 0
+
+    def test_render_report_summarizes(self, quick_report):
+        text = render_report(quick_report)
+        assert "no counterexamples found" in text
+        assert "CF merge replays across campaign: 0" in text
+
+
+class TestCounterexampleFlow:
+    @pytest.fixture(scope="class")
+    def broken(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("fuzz-out")
+        config = FuzzConfig(
+            seed=0, budget=6, batch_size=6, search_iters=0,
+            geometries=DEFAULT_GEOMETRIES[:1], inject="swap_tail",
+        )
+        return run_campaign(config, workers=1, out_dir=out_dir), out_dir
+
+    def test_injected_campaign_finds_and_shrinks(self, broken):
+        report, _ = broken
+        assert report["status"] == "counterexamples-found"
+        assert report["counterexamples"]
+        for record in report["counterexamples"]:
+            assert record["failures"] == ["differential/injected_reference"]
+            assert record["shrunk_n"] <= 2
+            assert record["shrunk_n"] < record["original_n"]
+
+    def test_reproducers_are_persisted_and_replayable(self, broken):
+        report, out_dir = broken
+        for record in report["counterexamples"]:
+            path = out_dir / record["reproducer"]
+            assert path.exists()
+            reproducer = load_reproducer(path)
+            assert reproducer.digest == record["digest"]
+            assert replay(reproducer)["still_failing"]
+
+    def test_search_artifacts_written_for_clean_campaigns(self, tmp_path):
+        config = FuzzConfig(
+            seed=0, budget=8, batch_size=8, search_iters=300,
+            geometries=DEFAULT_GEOMETRIES[:1], search_configs=((12, 5),),
+        )
+        report = run_campaign(config, workers=1, out_dir=tmp_path)
+        assert (tmp_path / "profile-search-w12-E5.json").exists()
+        assert len(report["search"]) == 1
+        assert report["search"][0]["cf_merge_replays"] == 0

@@ -1,0 +1,154 @@
+"""Property tests: CRS laws at the edges, warp-grouped conflict counts.
+
+Hypothesis-driven coverage for the two verification primitives the fuzz
+oracles lean on: :func:`repro.numtheory.is_complete_residue_system` (and
+the ``R_j`` round sets) at the degenerate corners — ``d = 1``, ``E = w``,
+non-power-of-two ``w`` — and the warp-grouping semantics of
+:func:`repro.core.verify.schedule_conflicts`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import Access
+from repro.core.verify import (
+    rounds_are_complete_residue_systems,
+    schedule_conflicts,
+    schedule_is_conflict_free,
+)
+from repro.numtheory import R_j, is_complete_residue_system
+
+ws = st.integers(2, 64)
+Es = st.integers(1, 64)
+js = st.integers(-100, 100)
+
+
+def access(thread: int, address: int) -> Access:
+    """A synthetic one-round access (layout fields don't matter here)."""
+    return Access(
+        thread=thread, round_index=0, kind="A", offset=0,
+        position=address, address=address,
+    )
+
+
+class TestResidueSystemLaws:
+    @settings(max_examples=200)
+    @given(ws, Es, js)
+    def test_R_j_is_crs_iff_coprime(self, w, E, j):
+        # Lemma 1 and its converse: the round set {j + kE} is a CRS mod w
+        # exactly when gcd(E, w) = 1 — for every round index, including
+        # negative ones.
+        assert is_complete_residue_system(R_j(j, w, E), w) == (
+            math.gcd(E, w) == 1
+        )
+
+    @settings(max_examples=50)
+    @given(st.integers(2, 64), js)
+    def test_E_equals_w_never_a_crs(self, w, j):
+        # The fully degenerate stride: every element lands in one bank.
+        assert not is_complete_residue_system(R_j(j, w, w), w)
+        assert len({v % w for v in R_j(j, w, w)}) == 1
+
+    @settings(max_examples=50)
+    @given(js, Es)
+    def test_w_one_is_always_a_crs(self, j, E):
+        # d = gcd(E, 1) = 1 vacuously: any single value is a CRS mod 1.
+        assert is_complete_residue_system(R_j(j, 1, E), 1)
+
+    @settings(max_examples=100)
+    @given(ws, st.integers(-(10**6), 10**6))
+    def test_shift_invariance(self, w, c):
+        values = list(range(w))
+        shifted = [v + c for v in values]
+        assert is_complete_residue_system(shifted, w)
+
+    @settings(max_examples=100)
+    @given(ws, st.integers(1, 10**4))
+    def test_unit_scaling_preserves_crs(self, w, k):
+        # Multiplying a CRS by a unit of Z/wZ permutes the residues.
+        values = list(range(w))
+        scaled = [v * k for v in values]
+        assert is_complete_residue_system(scaled, w) == (math.gcd(k, w) == 1)
+
+    @settings(max_examples=50)
+    @given(ws)
+    def test_wrong_cardinality_is_never_a_crs(self, w):
+        assert not is_complete_residue_system(range(w - 1), w)
+        assert not is_complete_residue_system(range(w + 1), w)
+
+    def test_non_power_of_two_widths(self):
+        # The CRS predicate is pure number theory: nothing in it assumes
+        # the hardware's power-of-two warp width.
+        for w in (3, 5, 6, 7, 12, 24, 48, 63):
+            for E in range(1, 2 * w):
+                assert is_complete_residue_system(R_j(0, w, E), w) == (
+                    math.gcd(E, w) == 1
+                )
+
+
+class TestScheduleConflictGrouping:
+    """Threads of different warps never conflict; same-warp ones might."""
+
+    @settings(max_examples=100)
+    @given(st.integers(2, 32), st.integers(1, 4))
+    def test_cross_warp_same_bank_is_free(self, w, warps):
+        # One thread per warp, all hitting the very same address: zero
+        # conflicts, because replays are counted per warp.
+        rounds = [[access(thread=k * w, address=17) for k in range(warps)]]
+        assert schedule_conflicts(rounds, w) == []
+        assert schedule_is_conflict_free(rounds, w)
+
+    @settings(max_examples=100)
+    @given(st.integers(2, 32), st.integers(2, 8))
+    def test_same_warp_distinct_addresses_one_bank(self, w, k):
+        # k distinct addresses in one bank within one warp serialize into
+        # k accesses: k - 1 replays, attributed to warp 0, round 0.
+        k = min(k, w)
+        rounds = [[access(thread=t, address=t * w) for t in range(k)]]
+        assert schedule_conflicts(rounds, w) == [(0, 0, k - 1)]
+
+    @settings(max_examples=100)
+    @given(st.integers(2, 32), st.integers(2, 8))
+    def test_broadcast_is_free(self, w, k):
+        # Same address, many threads: hardware broadcasts, no replay.
+        k = min(k, w)
+        rounds = [[access(thread=t, address=5 * w) for t in range(k)]]
+        assert schedule_conflicts(rounds, w) == []
+
+    @settings(max_examples=100)
+    @given(st.integers(2, 16), st.integers(0, 5), st.integers(2, 6))
+    def test_warp_renumbering_shifts_attribution_only(self, w, shift, k):
+        # Moving a conflicting group wholesale into another warp changes
+        # the warp id in the verdict but not the replay count.
+        k = min(k, w)
+        base = [[access(thread=t, address=t * w) for t in range(k)]]
+        moved = [
+            [access(thread=t + shift * w, address=t * w) for t in range(k)]
+        ]
+        assert schedule_conflicts(base, w) == [(0, 0, k - 1)]
+        assert schedule_conflicts(moved, w) == [(0, shift, k - 1)]
+
+    @settings(max_examples=50)
+    @given(st.integers(2, 16))
+    def test_full_warp_crs_round_is_strictly_valid(self, w):
+        rounds = [[access(thread=t, address=t * (w + 1)) for t in range(w)]]
+        assert rounds_are_complete_residue_systems(rounds, w)
+        assert schedule_is_conflict_free(rounds, w)
+
+    @settings(max_examples=50)
+    @given(st.integers(3, 16))
+    def test_partial_warp_distinct_banks_passes_strict_check(self, w):
+        # Fewer than w lanes: the strict check degrades to distinctness.
+        rounds = [[access(thread=t, address=t) for t in range(w - 1)]]
+        assert rounds_are_complete_residue_systems(rounds, w)
+
+    @settings(max_examples=50)
+    @given(st.integers(2, 16))
+    def test_partial_warp_conflict_fails_strict_check(self, w):
+        rounds = [[access(thread=0, address=0), access(thread=1, address=w)]]
+        assert not rounds_are_complete_residue_systems(rounds, w)
+        assert schedule_conflicts(rounds, w) == [(0, 0, 1)]

@@ -10,9 +10,12 @@ from repro.errors import ParameterError
 from repro.workloads import (
     WORKLOADS,
     adversarial,
+    duplicate_runs,
     few_distinct,
     nearly_sorted,
+    request_lengths,
     reverse_sorted,
+    sawtooth,
     sorted_input,
     uniform_random,
 )
@@ -144,3 +147,73 @@ class TestCLI:
         files = sorted(p.name for p in out_dir.iterdir())
         assert "throughput_E15_u512.csv" in files
         assert "throughput_E17_u256.json" in files
+
+
+class TestNewGenerators:
+    """The fuzz-era generators: duplicate runs, sawtooth, request lengths."""
+
+    def test_duplicate_runs_has_long_equal_runs(self):
+        data = duplicate_runs(256, seed=0, run_length=8, distinct=16)
+        assert len(data) == 256
+        assert data.dtype == np.int64
+        # Run-length encode: all but possibly the last run span run_length.
+        boundaries = np.flatnonzero(np.diff(data)) + 1
+        runs = np.diff(np.concatenate(([0], boundaries, [len(data)])))
+        assert (runs % 8 == 0).all() or runs[:-1].min() >= 8
+        assert len(np.unique(data)) <= 16
+
+    def test_duplicate_runs_deterministic_and_truncates(self):
+        assert np.array_equal(
+            duplicate_runs(100, seed=3), duplicate_runs(100, seed=3)
+        )
+        assert len(duplicate_runs(13, seed=0, run_length=8)) == 13
+
+    def test_duplicate_runs_validation(self):
+        with pytest.raises(ParameterError):
+            duplicate_runs(-1)
+        with pytest.raises(ParameterError):
+            duplicate_runs(8, run_length=0)
+        with pytest.raises(ParameterError):
+            duplicate_runs(8, distinct=0)
+
+    def test_sawtooth_is_piecewise_sorted(self):
+        data = sawtooth(128, seed=1, period=32)
+        assert len(data) == 128
+        assert data.min() >= 0 and data.max() < 32
+        # Each full tooth is strictly ascending except at wrap points.
+        drops = np.flatnonzero(np.diff(data) < 0)
+        gaps = np.diff(drops)
+        assert (gaps == 32).all()
+
+    def test_sawtooth_phase_depends_on_seed(self):
+        teeth = {sawtooth(64, seed=s, period=32)[0] for s in range(16)}
+        assert len(teeth) > 1  # seeded phase actually varies
+        assert np.array_equal(sawtooth(64, seed=5), sawtooth(64, seed=5))
+
+    def test_sawtooth_validation(self):
+        with pytest.raises(ParameterError):
+            sawtooth(-1)
+        with pytest.raises(ParameterError):
+            sawtooth(8, period=0)
+
+    def test_request_lengths_range_and_determinism(self):
+        lengths = request_lengths(500, 16, 128, seed=9)
+        assert len(lengths) == 500
+        assert lengths.min() >= 16 and lengths.max() <= 128
+        assert np.array_equal(lengths, request_lengths(500, 16, 128, seed=9))
+        assert not np.array_equal(lengths, request_lengths(500, 16, 128, seed=10))
+
+    def test_request_lengths_validation(self):
+        with pytest.raises(ParameterError):
+            request_lengths(-1, 1, 2)
+        with pytest.raises(ParameterError):
+            request_lengths(4, 0, 2)
+        with pytest.raises(ParameterError):
+            request_lengths(4, 5, 2)
+
+    def test_new_workloads_registered(self):
+        assert "duplicate_runs" in WORKLOADS
+        assert "sawtooth" in WORKLOADS
+        for name in ("duplicate_runs", "sawtooth"):
+            out = WORKLOADS[name](64, 0)
+            assert len(out) == 64 and out.dtype == np.int64
