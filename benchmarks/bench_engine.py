@@ -1,0 +1,128 @@
+"""The batched-engine acceptance benchmark: plan-cached batching vs loops.
+
+Times the vectorized batched lane (:mod:`repro.engine.batch`) against the
+per-tile :mod:`repro.mergesort.fast` loop on the PR's acceptance sweep —
+256 blocksort tiles at E=16, u=256, w=32 (n = 2^20 keys) — and asserts
+the speedup floor (``ENGINE_MIN_SPEEDUP``, default 5x) while checking the
+per-tile counters are bit-identical.
+
+When ``ENGINE_REPORT`` names a path, the speedup test also writes a
+deterministic JSON report (counters, digests, plan-cache hit counts — no
+timings), which CI generates twice and compares byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import attach
+
+from repro.engine.batch import batched_blocksort_profile
+from repro.engine.plans import plan_cache_stats
+from repro.mergesort.fast import blocksort_profile
+
+#: The acceptance-criterion sweep: 256 tiles x (256 threads x 16 elems).
+E, U, W, TILES = 16, 256, 32, 256
+TILE = U * E  # 4096 keys per tile; TILES * TILE = 2^20 keys total
+VARIANT = "thrust"  # gcd(E, w) = 16: the non-coprime (baseline) geometry
+
+
+def _sweep_rows() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 1 << 40, (TILES, TILE), dtype=np.int64)
+
+
+def _report_payload(batched, stats) -> dict:
+    """The deterministic (timing-free) engine report CI diffs."""
+    acc: dict[str, int] = {}
+    digest = hashlib.sha256()
+    for c in batched:
+        d = c.as_dict()
+        digest.update(json.dumps(d, sort_keys=True).encode())
+        for key, value in d.items():
+            acc[key] = acc.get(key, 0) + int(value)
+    return {
+        "params": {"E": E, "u": U, "w": W, "tiles": TILES, "variant": VARIANT},
+        "counters_sum": acc,
+        "per_tile_sha256": digest.hexdigest(),
+        "plan_cache": {
+            "hits": int(stats["hits"]),
+            "misses": int(stats["misses"]),
+            "size": int(stats["size"]),
+        },
+    }
+
+
+def test_engine_batched_speedup(benchmark):
+    """Batched plan-cached lane >= 5x the per-tile fast.py loop."""
+    rows = _sweep_rows()
+    batched_blocksort_profile(rows[:2], E, W, VARIANT)  # warm the plan cache
+
+    def run_batched():
+        return batched_blocksort_profile(rows, E, W, VARIANT)
+
+    t0 = time.perf_counter()
+    batched = run_batched()
+    t_batched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    singles = [blocksort_profile(rows[k].copy(), E, W, VARIANT) for k in range(TILES)]
+    t_loop = time.perf_counter() - t0
+
+    # Per-tile bit-identity across the whole sweep, not a sample.
+    for k in range(TILES):
+        assert batched[k].as_dict() == singles[k].as_dict(), f"tile {k} diverged"
+
+    speedup = t_loop / t_batched
+    floor = float(os.environ.get("ENGINE_MIN_SPEEDUP", "5"))
+    attach(
+        benchmark,
+        speedup=round(speedup, 2),
+        loop_s=round(t_loop, 3),
+        batched_s=round(t_batched, 3),
+        n_keys=TILES * TILE,
+    )
+    assert speedup >= floor, (
+        f"batched lane only {speedup:.2f}x faster than the per-tile loop "
+        f"(floor {floor}x): loop {t_loop:.3f}s vs batched {t_batched:.3f}s"
+    )
+
+    report_path = os.environ.get("ENGINE_REPORT")
+    if report_path:
+        payload = _report_payload(batched, plan_cache_stats())
+        Path(report_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    # Keep pytest-benchmark's timing series populated (one extra pass).
+    benchmark.pedantic(run_batched, rounds=1, iterations=1)
+
+
+def test_engine_plan_cache_reuse(benchmark):
+    """Repeat sweeps hit the plan cache instead of rebuilding schedules."""
+    rows = _sweep_rows()[:8]
+    batched_blocksort_profile(rows, E, W, VARIANT)  # populate the cache
+    before = plan_cache_stats()
+
+    result = benchmark.pedantic(
+        lambda: batched_blocksort_profile(rows, E, W, VARIANT),
+        rounds=2,
+        iterations=1,
+    )
+    after = plan_cache_stats()
+
+    assert len(result) == rows.shape[0]
+    assert after["hits"] > before["hits"], "repeat sweep never hit the plan cache"
+    assert after["misses"] == before["misses"], "repeat sweep rebuilt a plan"
+    assert after["hit_rate"] > 0
+    attach(
+        benchmark,
+        cache_hits=int(after["hits"]),
+        cache_misses=int(after["misses"]),
+        hit_rate=round(float(after["hit_rate"]), 3),
+    )

@@ -1,0 +1,572 @@
+"""Cross-tile vectorized conflict profiling (the batched engine core).
+
+:mod:`repro.mergesort.fast` profiles one tile per call; every round is
+one NumPy pass over ``u`` threads, but a sweep over hundreds of tiles
+still pays a Python loop per tile.  This module stacks same-shape tiles
+into 2D ``(tiles, lane)`` arrays and runs each warp-synchronous round as
+**one** vectorized pass over every tile at once, accumulating per-tile
+:class:`~repro.sim.counters.Counters` in a struct-of-arrays
+(:class:`BatchCounters`).
+
+Bit-identity contract: every function here returns, per tile, exactly
+the counters the corresponding :mod:`repro.mergesort.fast` profile
+returns for that tile alone (cross-validated in
+``tests/test_engine_batch.py``).  The accumulator makes warps globally
+distinct across tiles (warp slot = ``tile * ceil(u/w) + tid // w``), so
+dedup/bincount statistics never mix tiles; data-dependent loops run
+while *any* tile is live — extra iterations contribute nothing to tiles
+that already converged, because every count is masked per lane.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.engine.plans import get_plan
+from repro.errors import ParameterError
+from repro.numtheory import coprime
+from repro.sim.counters import Counters
+
+__all__ = [
+    "BatchCounters",
+    "pad_and_stack",
+    "odd_even_sort_rows",
+    "batched_pointer_merge_profile",
+    "batched_serial_merge_profile",
+    "batched_search_profile",
+    "batched_cf_merge_profile",
+    "batched_blocksort_profile",
+]
+
+#: Matches :data:`repro.mergesort.serial_merge.SENTINEL`.
+SENTINEL = np.iinfo(np.int64).max
+
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+
+
+class BatchCounters:
+    """Per-tile shared-memory counters, accumulated as arrays of length T.
+
+    One instance accounts every round of a batched profile;
+    :meth:`round` is the vectorized analogue of
+    :func:`repro.mergesort.fast.count_round` (same dedup, bank and cycle
+    math, applied per tile)."""
+
+    def __init__(self, tiles: int, u: int, w: int) -> None:
+        if tiles < 1:
+            raise ParameterError(f"batch needs >= 1 tile, got {tiles}")
+        if u < 1 or w < 1:
+            raise ParameterError(f"u={u} and w={w} must be >= 1")
+        self.tiles = tiles
+        self.u = u
+        self.w = w
+        #: Warp slots per tile — ceil so a partial trailing warp (u % w
+        #: != 0, possible in search profiles) still gets its own slot and
+        #: never aliases the next tile's first warp.
+        self._slots = -(-u // w)
+        lane = np.arange(tiles * u, dtype=np.int64)
+        self._tile_of = lane // u
+        self._warp_of = self._tile_of * self._slots + (lane % u) // w
+        self._col_of = (lane % u) % w
+        self._row_base = np.arange(tiles * self._slots, dtype=np.int64)[:, None] * w
+        zeros = lambda: np.zeros(tiles, dtype=np.int64)  # noqa: E731
+        self.shared_read_rounds = zeros()
+        self.shared_write_rounds = zeros()
+        self.shared_cycles = zeros()
+        self.shared_replays = zeros()
+        self.shared_excess = zeros()
+        self.broadcast_reads = zeros()
+        self.shared_requests = zeros()
+
+    def round(self, addresses: IntArray, active: BoolArray, kind: str = "read") -> None:
+        """Account one warp-synchronous round across every tile at once.
+
+        ``addresses`` is ``(tiles, u)`` (broadcastable); ``active`` masks
+        lanes that access memory this round.  Per-tile statistics equal
+        running :func:`~repro.mergesort.fast.count_round` on each tile's
+        row alone: duplicates can only occur *within* a warp (the warp
+        slot is part of the dedup key), and every warp is one fixed
+        ``w``-wide row — so the dedup is a per-row sort plus neighbor
+        diff, never a batch-wide hash.
+        """
+        shape = (self.tiles, self.u)
+        act = np.broadcast_to(np.asarray(active, dtype=bool), shape)
+        T, w = self.tiles, self.w
+        n_rows = T * self._slots
+        if self.u % w == 0:
+            # Full warps: each warp row is a contiguous w-wide chunk of
+            # the address matrix, so inactive lanes become sentinels with
+            # one np.where — no scatter needed.
+            addr2 = np.broadcast_to(np.asarray(addresses, dtype=np.int64), shape)
+            if act.all():
+                mat = addr2.astype(np.int64).reshape(n_rows, w)
+                requests_t = np.full(T, self.u, dtype=np.int64)
+                mat.sort(axis=1)
+                fresh = np.empty((n_rows, w), dtype=bool)
+                fresh[:, 0] = True
+                np.not_equal(mat[:, 1:], mat[:, :-1], out=fresh[:, 1:])
+            else:
+                if not act.any():
+                    return
+                mat = np.where(act, addr2, SENTINEL).reshape(n_rows, w)
+                requests_t = act.sum(axis=1, dtype=np.int64)
+                mat.sort(axis=1)
+                fresh = mat != SENTINEL
+                fresh[:, 1:] &= mat[:, 1:] != mat[:, :-1]
+        else:
+            flat = act.ravel()
+            if not flat.any():
+                return
+            addr = (
+                np.broadcast_to(np.asarray(addresses), shape)
+                .ravel()[flat]
+                .astype(np.int64)
+            )
+            requests_t = np.bincount(self._tile_of[flat], minlength=T)
+            # Scatter active addresses into fixed (warp row, lane) cells;
+            # inactive cells (and padding slots of the partial trailing
+            # warp) hold a sentinel that sorts after every address.
+            mat = np.full((n_rows, w), SENTINEL, dtype=np.int64)
+            mat[self._warp_of[flat], self._col_of[flat]] = addr
+            mat.sort(axis=1)
+            fresh = mat != SENTINEL
+            fresh[:, 1:] &= mat[:, 1:] != mat[:, :-1]
+
+        # Distinct addresses per (warp row, bank): one flat bincount.
+        counts = np.bincount(
+            (self._row_base + mat % w)[fresh], minlength=n_rows * w
+        ).reshape(n_rows, w)
+        per_warp_max = counts.max(axis=1)
+        per_warp_excess = np.maximum(counts - 1, 0).sum(axis=1)
+
+        uniq_rows = fresh.sum(axis=1)
+        n_warps_t = (uniq_rows > 0).reshape(T, self._slots).sum(axis=1)
+        cycles_t = per_warp_max.reshape(T, self._slots).sum(axis=1)
+        excess_t = per_warp_excess.reshape(T, self._slots).sum(axis=1)
+        uniq_t = uniq_rows.reshape(T, self._slots).sum(axis=1)
+
+        if kind == "read":
+            self.shared_read_rounds += n_warps_t
+            self.broadcast_reads += requests_t - uniq_t
+        else:
+            self.shared_write_rounds += n_warps_t
+        self.shared_requests += requests_t
+        self.shared_cycles += cycles_t
+        self.shared_replays += cycles_t - n_warps_t
+        self.shared_excess += excess_t
+
+    def to_counters(self) -> list[Counters]:
+        """Materialize one :class:`Counters` per tile."""
+        out = []
+        for t in range(self.tiles):
+            c = Counters()
+            c.shared_read_rounds = int(self.shared_read_rounds[t])
+            c.shared_write_rounds = int(self.shared_write_rounds[t])
+            c.shared_cycles = int(self.shared_cycles[t])
+            c.shared_replays = int(self.shared_replays[t])
+            c.shared_excess = int(self.shared_excess[t])
+            c.broadcast_reads = int(self.broadcast_reads[t])
+            c.shared_requests = int(self.shared_requests[t])
+            out.append(c)
+        return out
+
+
+def pad_and_stack(
+    arrays: Sequence[npt.ArrayLike], length: int, fill: int
+) -> IntArray:
+    """Stack 1-D arrays into a ``(len(arrays), length)`` int64 matrix.
+
+    Short rows are padded on the right with ``fill``; rows longer than
+    ``length`` are an error (padding rules are the *caller's* contract —
+    see ``docs/PERFORMANCE.md``)."""
+    if not arrays:
+        raise ParameterError("pad_and_stack needs at least one array")
+    out = np.full((len(arrays), length), fill, dtype=np.int64)
+    for i, raw in enumerate(arrays):
+        row = np.asarray(raw, dtype=np.int64)
+        if row.ndim != 1:
+            raise ParameterError(f"row {i} must be one-dimensional")
+        if len(row) > length:
+            raise ParameterError(
+                f"row {i} has {len(row)} elements > lane length {length}"
+            )
+        out[i, : len(row)] = row
+    return out
+
+
+def odd_even_sort_rows(rows: npt.ArrayLike) -> tuple[IntArray, int]:
+    """Sort every row with the odd-even transposition network, vectorized.
+
+    Returns ``(sorted_rows, ops_per_row)``.  Identical outputs and
+    compare-exchange count to running
+    :func:`repro.mergesort.register_merge.odd_even_transposition_sort`
+    on each row (the network is fixed; phases touch disjoint pairs, so
+    each phase is two fancy-indexed min/max passes)."""
+    out = np.array(rows, dtype=np.int64, copy=True)
+    if out.ndim != 2:
+        raise ParameterError("odd_even_sort_rows expects a 2-D array")
+    n = out.shape[1]
+    plan = get_plan("oddeven", n, 0, 1)
+    lo = np.asarray(plan["lo"])
+    hi = np.asarray(plan["hi"])
+    ptr = np.asarray(plan["phase_ptr"])
+    for k in range(len(ptr) - 1):
+        s, e = int(ptr[k]), int(ptr[k + 1])
+        if s == e:
+            continue
+        li, hj = lo[s:e], hi[s:e]
+        a, b = out[:, li], out[:, hj]
+        swap = a > b
+        out[:, li] = np.where(swap, b, a)
+        out[:, hj] = np.where(swap, a, b)
+    return out, int(len(lo))
+
+
+def _take(backing: IntArray, idx: IntArray) -> IntArray:
+    """Row-wise gather: ``backing[t, idx[t, i]]`` for every lane."""
+    return np.take_along_axis(backing, idx, axis=1)
+
+
+def batched_pointer_merge_profile(
+    backing: IntArray,
+    a_ptr: IntArray,
+    a_end: IntArray,
+    b_ptr: IntArray,
+    b_end: IntArray,
+    E: int,
+    w: int,
+    *,
+    read_policy: str = "bounded",
+    acc: BatchCounters | None = None,
+) -> BatchCounters:
+    """Batched form of :func:`repro.mergesort.fast.pointer_merge_profile`.
+
+    Every argument is ``(tiles, u)`` over a shared ``(tiles, L)``
+    ``backing``; each tile's counters equal the scalar profile on its
+    row.  Passing ``acc`` folds the rounds into an existing accumulator
+    (blocksort levels do this)."""
+    if read_policy not in ("bounded", "always"):
+        raise ParameterError(f"unknown read_policy {read_policy!r}")
+    T, u = a_ptr.shape
+    if acc is None:
+        acc = BatchCounters(T, u, w)
+    last = backing.shape[1] - 1
+
+    a_ptr = a_ptr.astype(np.int64, copy=True)
+    b_ptr = b_ptr.astype(np.int64, copy=True)
+    a_active = a_ptr < a_end
+    acc.round(a_ptr, a_active)
+    a_key = np.where(a_active, _take(backing, np.minimum(a_ptr, last)), SENTINEL)
+    b_active = b_ptr < b_end
+    acc.round(b_ptr, b_active)
+    b_key = np.where(b_active, _take(backing, np.minimum(b_ptr, last)), SENTINEL)
+
+    pa = a_ptr.copy()
+    pb = b_ptr.copy()
+    for _ in range(E):
+        take_a = (pa < a_end) & ((pb >= b_end) | (a_key <= b_key))
+        pa = np.where(take_a, pa + 1, pa)
+        pb = np.where(take_a, pb, pb + 1)
+        next_addr = np.where(take_a, pa, pb)
+        in_range = np.where(take_a, pa < a_end, pb < b_end)
+        if read_policy == "always":
+            clamped = np.where(take_a, np.maximum(a_end - 1, 0), np.maximum(b_end - 1, 0))
+            addr = np.where(in_range, next_addr, clamped)
+            active = np.ones((T, u), dtype=bool)
+        else:
+            addr = next_addr
+            active = in_range
+        acc.round(np.minimum(addr, last), active)
+        new_key = _take(backing, np.minimum(addr, last))
+        loaded = active & in_range
+        a_key = np.where(take_a & loaded, new_key, np.where(take_a, SENTINEL, a_key))
+        b_key = np.where(~take_a & loaded, new_key, np.where(~take_a, SENTINEL, b_key))
+    return acc
+
+
+def _stack_pairs(
+    pairs: Sequence[tuple[npt.ArrayLike, npt.ArrayLike]], E: int
+) -> tuple[IntArray, IntArray, int]:
+    """Stack (A, B) pairs into one backing matrix + per-tile ``|A|``."""
+    if not pairs:
+        raise ParameterError("batched profile needs at least one (a, b) pair")
+    rows = [
+        np.concatenate(
+            [np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)]
+        )
+        for a, b in pairs
+    ]
+    total = len(rows[0])
+    if any(len(r) != total for r in rows):
+        raise ParameterError("batched tiles must share one |A|+|B| size")
+    if total == 0 or total % E:
+        raise ParameterError(f"|A|+|B| = {total} must be a positive multiple of E = {E}")
+    backing = np.stack(rows)
+    n_a = np.asarray([len(np.asarray(a)) for a, _ in pairs], dtype=np.int64)
+    return backing, n_a, total
+
+
+def _batched_block_cuts(
+    backing: IntArray, n_a: IntArray, E: int, u: int
+) -> IntArray:
+    """Per-thread merge-path cuts ``a_off[t, i]`` at diagonals ``i*E``.
+
+    Replicates :func:`repro.mergesort.merge_path.merge_path_search`
+    element-wise (same ``lo``/``hi``/``mid`` trajectory, ties toward A),
+    vectorized over tiles × threads.  Out-of-range probe indices only
+    occur on lanes whose search already converged; they are clipped and
+    their comparisons discarded by the ``live`` mask.
+    """
+    T = backing.shape[0]
+    total = backing.shape[1]
+    n_a_col = n_a[:, None]
+    n_b_col = total - n_a_col
+    diag = (np.arange(u, dtype=np.int64) * E)[None, :]
+    lo = np.maximum(0, np.broadcast_to(diag - n_b_col, (T, u))).astype(np.int64)
+    hi = np.minimum(np.broadcast_to(diag, (T, u)), n_a_col).astype(np.int64)
+    live = lo < hi
+    last = total - 1
+    while live.any():
+        mid = (lo + hi) // 2
+        a_idx = np.minimum(np.maximum(mid, 0), np.maximum(n_a_col - 1, 0))
+        b_idx = np.minimum(np.maximum(diag - 1 - mid, 0), np.maximum(n_b_col - 1, 0))
+        a_val = _take(backing, np.minimum(a_idx, last))
+        b_val = _take(backing, np.minimum(n_a_col + b_idx, last))
+        go_right = a_val <= b_val
+        lo = np.where(live & go_right, mid + 1, lo)
+        hi = np.where(live & ~go_right, mid, hi)
+        live = lo < hi
+    return lo
+
+
+def batched_serial_merge_profile(
+    pairs: Sequence[tuple[npt.ArrayLike, npt.ArrayLike]],
+    E: int,
+    w: int,
+    *,
+    read_policy: str = "bounded",
+) -> list[Counters]:
+    """Batched :func:`repro.mergesort.fast.serial_merge_profile`.
+
+    Profiles every (A, B) pair's baseline serial merge in one vectorized
+    pass: merge-path splits are computed per tile (identical to
+    :func:`~repro.mergesort.merge_path.block_split_from_merge_path`),
+    then one batched pointer merge covers all tiles."""
+    backing, n_a, total = _stack_pairs(pairs, E)
+    u = total // E
+    if u % w:
+        raise ParameterError(f"thread count {u} must be a multiple of w = {w}")
+    a_off = _batched_block_cuts(backing, n_a, E, u)
+    # a_end[i] = next thread's cut; the last thread ends at |A|.
+    a_end = np.empty_like(a_off)
+    a_end[:, :-1] = a_off[:, 1:]
+    a_end[:, -1] = n_a
+    diag = (np.arange(u, dtype=np.int64) * E)[None, :]
+    b_ptr = n_a[:, None] + (diag - a_off)
+    b_end = n_a[:, None] + (diag + E) - a_end
+    acc = batched_pointer_merge_profile(
+        backing, a_off, a_end, b_ptr, b_end, E, w, read_policy=read_policy
+    )
+    return acc.to_counters()
+
+
+def batched_search_profile(
+    pairs: Sequence[tuple[npt.ArrayLike, npt.ArrayLike]],
+    E: int,
+    w: int,
+    *,
+    mapped: bool = False,
+) -> list[Counters]:
+    """Batched :func:`repro.mergesort.fast.search_profile`.
+
+    ``mapped=True`` routes the counted addresses through the CF layout
+    via the cached ``rho`` plan (position -> address table) instead of
+    per-element Python calls; the search trajectory itself reads plain
+    values, exactly like the scalar profile."""
+    backing, n_a, total = _stack_pairs(pairs, E)
+    T = backing.shape[0]
+    u = total // E
+    n_a_col = n_a[:, None]
+    n_b_col = total - n_a_col
+    acc = BatchCounters(T, u, w)
+    fwd = np.asarray(get_plan("rho", total, E, w)["fwd"]) if mapped else None
+    last = total - 1
+
+    diag = (np.arange(u, dtype=np.int64) * E)[None, :]
+    lo = np.maximum(0, np.broadcast_to(diag - n_b_col, (T, u))).astype(np.int64)
+    hi = np.minimum(np.broadcast_to(diag, (T, u)), n_a_col).astype(np.int64)
+    live = lo < hi
+    while live.any():
+        mid = (lo + hi) // 2
+        b_idx = diag - 1 - mid
+        if fwd is not None:
+            a_addr = fwd[np.minimum(mid, last)]
+            # Scalar path: rho(pi(clip(b_idx, 0, n_b-1) % total)); the
+            # ``% total`` folds the n_b == 0 clip artifact (-1) exactly
+            # as the per-tile profile does.
+            b_pos = (
+                np.minimum(np.maximum(b_idx, 0), n_b_col - 1) % total
+            )
+            b_addr = fwd[total - 1 - b_pos]
+        else:
+            a_addr = mid
+            b_addr = n_a_col + np.minimum(
+                np.maximum(b_idx, 0), np.maximum(n_b_col - 1, 0)
+            )
+        acc.round(a_addr, live)
+        acc.round(b_addr, live)
+        a_val = _take(
+            backing,
+            np.minimum(
+                np.minimum(np.maximum(mid, 0), np.maximum(n_a_col - 1, 0)), last
+            ),
+        )
+        b_val = _take(
+            backing,
+            np.minimum(
+                n_a_col + np.minimum(np.maximum(b_idx, 0), np.maximum(n_b_col - 1, 0)),
+                last,
+            ),
+        )
+        go_right = a_val <= b_val
+        lo = np.where(live & go_right, mid + 1, lo)
+        hi = np.where(live & ~go_right, mid, hi)
+        live = lo < hi
+    return acc.to_counters()
+
+
+def batched_cf_merge_profile(tiles: int, total: int, E: int, w: int) -> list[Counters]:
+    """Batched :func:`repro.mergesort.fast.cf_merge_profile`.
+
+    CF-Merge's gather/scatter profile is input independent, so the batch
+    is ``tiles`` identical analytic counter sets."""
+    if total % E:
+        raise ParameterError("|A|+|B| must be a multiple of E")
+    u = total // E
+    if u % w:
+        raise ParameterError(f"thread count {u} must be a multiple of w={w}")
+    n_warps = u // w
+    out = []
+    for _ in range(tiles):
+        c = Counters()
+        c.shared_read_rounds = E * n_warps
+        c.shared_write_rounds = E * n_warps
+        c.shared_cycles = 2 * E * n_warps
+        c.shared_requests = 2 * E * u
+        out.append(c)
+    return out
+
+
+def _batched_stage_rounds(acc: BatchCounters, u: int, E: int, kind: str) -> None:
+    """Batched :func:`repro.mergesort.fast._strided_stage_rounds`."""
+    base = np.asarray(get_plan("stage", u, E, acc.w)["base"])
+    ones = np.ones((1, u), dtype=bool)
+    for m in range(E):
+        acc.round((base + m)[None, :], ones, kind=kind)
+
+
+def batched_blocksort_profile(
+    tiles: IntArray,
+    E: int,
+    w: int,
+    variant: str = "thrust",
+    *,
+    read_policy: str = "bounded",
+) -> list[Counters]:
+    """Batched :func:`repro.mergesort.fast.blocksort_profile`.
+
+    ``tiles`` is ``(n_tiles, u*E)``; each tile's counters equal the
+    scalar profile on its row.  The per-pair merge-path searches count
+    their traffic *and* yield the split cuts in the same vectorized
+    loop (the scalar path recomputes the cuts separately — the loop
+    trajectory is identical, so the cuts are too)."""
+    tiles = np.asarray(tiles, dtype=np.int64)
+    if tiles.ndim != 2:
+        raise ParameterError("batched blocksort expects a (tiles, u*E) array")
+    T, L = tiles.shape
+    if L % E:
+        raise ParameterError(f"tile length {L} not a multiple of E={E}")
+    u = L // E
+    if u % w or u & (u - 1):
+        raise ParameterError(f"thread count {u} must be a power-of-two multiple of w")
+    if variant not in ("thrust", "cf"):
+        raise ParameterError(f"unknown variant {variant!r}")
+    if variant == "cf" and not coprime(w, E):
+        raise ParameterError("fast cf blocksort profile requires coprime w, E")
+
+    acc = BatchCounters(T, u, w)
+    tids = np.arange(u, dtype=np.int64)
+    last = L - 1
+
+    # Phase 1: load E contiguous words per thread, sort in registers.
+    _batched_stage_rounds(acc, u, E, kind="read")
+    regs = np.sort(tiles.reshape(T, u, E), axis=2)
+
+    g = 1
+    while g < u:
+        region = 2 * g * E
+        half = g * E
+        plain = regs.reshape(T, L)
+
+        # Staging writes (same residue rounds for both variants).
+        _batched_stage_rounds(acc, u, E, kind="write")
+
+        # Per-pair merge-path searches: count the probe traffic and keep
+        # the converged ``lo`` — it *is* the per-thread cut.
+        pbase = (tids * E) // region * region
+        tau = tids - pbase // E
+        diag = tau * E
+        lo = np.broadcast_to(np.maximum(0, diag - half), (T, u)).astype(np.int64)
+        hi = np.broadcast_to(np.minimum(diag, half), (T, u)).astype(np.int64)
+        live = lo < hi
+        while live.any():
+            mid = (lo + hi) // 2
+            b_idx = np.clip(diag - 1 - mid, 0, half - 1)
+            a_addr = pbase + mid
+            if variant == "cf":
+                b_addr = pbase + (region - 1 - b_idx)
+            else:
+                b_addr = pbase + half + b_idx
+            acc.round(a_addr, live)
+            acc.round(b_addr, live)
+            a_val = _take(plain, np.minimum(pbase + mid, last))
+            b_val = _take(plain, np.minimum(pbase + half + b_idx, last))
+            go_right = a_val <= b_val
+            lo = np.where(live & go_right, mid + 1, lo)
+            hi = np.where(live & ~go_right, mid, hi)
+            live = lo < hi
+        a_off = lo
+
+        # Merges.
+        if variant == "thrust":
+            a_end = np.empty_like(a_off)
+            a_end[:, :-1] = a_off[:, 1:]
+            a_end[:, -1] = 0
+            pair_last = tau == (region // E - 1)
+            a_end = np.where(pair_last, half, a_end)
+            a_ptr = pbase + a_off
+            a_end_v = pbase + a_end
+            b_ptr = pbase + half + (diag - a_off)
+            b_end_v = b_ptr + (E - (a_end - a_off))
+            batched_pointer_merge_profile(
+                plain, a_ptr, a_end_v, b_ptr, b_end_v, E, w,
+                read_policy=read_policy, acc=acc,
+            )
+        else:
+            # CF gather: E conflict-free read rounds per warp, per tile.
+            n_warps = u // w
+            acc.shared_read_rounds += E * n_warps
+            acc.shared_cycles += E * n_warps
+            acc.shared_requests += E * u
+
+        n_pairs = L // region
+        regs = np.sort(plain.reshape(T, n_pairs, region), axis=2).reshape(T, u, E)
+        g *= 2
+
+    # Final staging pass.
+    _batched_stage_rounds(acc, u, E, kind="write")
+    return acc.to_counters()

@@ -1,0 +1,176 @@
+"""The batched execution lane: group, stack, vectorize, restore order.
+
+The lane is the engine's front door for heterogeneous work lists: it
+groups tiles (or (A, B) merge pairs) by shape, runs one batched pass per
+group (:mod:`repro.engine.batch`), and hands results back in the
+caller's order.  Each batched pass is wrapped in a tracer span
+(category ``"engine"``), so Chrome traces show exactly how a sample set
+collapsed into vectorized launches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ContextManager, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.engine.batch import (
+    batched_blocksort_profile,
+    batched_cf_merge_profile,
+    batched_search_profile,
+    batched_serial_merge_profile,
+)
+from repro.sim.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telemetry -> mergesort -> engine)
+    from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "EngineStats",
+    "profile_searches",
+    "profile_serial_merges",
+    "profile_cf_merges",
+    "profile_blocksorts",
+]
+
+Pair = tuple[npt.ArrayLike, npt.ArrayLike]
+
+
+@dataclass
+class EngineStats:
+    """What one lane invocation did: items in, vectorized passes out."""
+
+    items: int = 0
+    passes: int = 0
+
+
+def _span(
+    tracer: "Tracer | None", name: str, args: dict[str, object]
+) -> "ContextManager[Span | None]":
+    """A tracer span, or a no-op context when no tracer is attached."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, category="engine", args=args)
+
+
+def _pair_groups(pairs: Sequence[Pair]) -> "OrderedDict[int, list[int]]":
+    """Indices grouped by ``|A|+|B|``, preserving first-seen order."""
+    groups: "OrderedDict[int, list[int]]" = OrderedDict()
+    for i, (a, b) in enumerate(pairs):
+        total = len(np.asarray(a)) + len(np.asarray(b))
+        groups.setdefault(total, []).append(i)
+    return groups
+
+
+def profile_searches(
+    pairs: Sequence[Pair],
+    E: int,
+    w: int,
+    *,
+    mapped: bool = False,
+    tracer: "Tracer | None" = None,
+    stats: EngineStats | None = None,
+) -> list[Counters]:
+    """Batched merge-path search profiles, one per pair, input order."""
+    out: list[Counters] = [Counters() for _ in pairs]
+    for total, idxs in _pair_groups(pairs).items():
+        with _span(
+            tracer, f"engine.search x{len(idxs)}",
+            {"tiles": len(idxs), "total": total, "mapped": mapped},
+        ):
+            results = batched_search_profile(
+                [pairs[i] for i in idxs], E, w, mapped=mapped
+            )
+        for i, c in zip(idxs, results):
+            out[i] = c
+        if stats is not None:
+            stats.items += len(idxs)
+            stats.passes += 1
+    return out
+
+
+def profile_serial_merges(
+    pairs: Sequence[Pair],
+    E: int,
+    w: int,
+    *,
+    read_policy: str = "bounded",
+    tracer: "Tracer | None" = None,
+    stats: EngineStats | None = None,
+) -> list[Counters]:
+    """Batched baseline serial-merge profiles, one per pair, input order."""
+    out: list[Counters] = [Counters() for _ in pairs]
+    for total, idxs in _pair_groups(pairs).items():
+        with _span(
+            tracer, f"engine.merge x{len(idxs)}",
+            {"tiles": len(idxs), "total": total},
+        ):
+            results = batched_serial_merge_profile(
+                [pairs[i] for i in idxs], E, w, read_policy=read_policy
+            )
+        for i, c in zip(idxs, results):
+            out[i] = c
+        if stats is not None:
+            stats.items += len(idxs)
+            stats.passes += 1
+    return out
+
+
+def profile_cf_merges(
+    pairs: Sequence[Pair],
+    E: int,
+    w: int,
+    *,
+    tracer: "Tracer | None" = None,
+    stats: EngineStats | None = None,
+) -> list[Counters]:
+    """CF gather/scatter profiles (analytic, input independent)."""
+    out: list[Counters] = [Counters() for _ in pairs]
+    for total, idxs in _pair_groups(pairs).items():
+        with _span(
+            tracer, f"engine.cf-merge x{len(idxs)}",
+            {"tiles": len(idxs), "total": total},
+        ):
+            results = batched_cf_merge_profile(len(idxs), total, E, w)
+        for i, c in zip(idxs, results):
+            out[i] = c
+        if stats is not None:
+            stats.items += len(idxs)
+            stats.passes += 1
+    return out
+
+
+def profile_blocksorts(
+    tiles: Sequence[npt.ArrayLike],
+    E: int,
+    w: int,
+    variant: str = "thrust",
+    *,
+    read_policy: str = "bounded",
+    tracer: "Tracer | None" = None,
+    stats: EngineStats | None = None,
+) -> list[Counters]:
+    """Batched blocksort profiles, one per tile, input order."""
+    out: list[Counters] = [Counters() for _ in tiles]
+    groups: "OrderedDict[int, list[int]]" = OrderedDict()
+    for i, tile in enumerate(tiles):
+        groups.setdefault(len(np.asarray(tile)), []).append(i)
+    for length, idxs in groups.items():
+        stack = np.stack([np.asarray(tiles[i], dtype=np.int64) for i in idxs])
+        with _span(
+            tracer, f"engine.blocksort x{len(idxs)}",
+            {"tiles": len(idxs), "length": length, "variant": variant},
+        ):
+            results = batched_blocksort_profile(
+                stack, E, w, variant, read_policy=read_policy
+            )
+        for i, c in zip(idxs, results):
+            out[i] = c
+        if stats is not None:
+            stats.items += len(idxs)
+            stats.passes += 1
+    return out

@@ -1,0 +1,265 @@
+"""The content-keyed plan cache: precomputed index arrays, reused forever.
+
+CF-Merge is input-*independent* by construction — its gather/scatter
+schedules, staging permutations (``pi``/``rho``), odd-even networks and
+merge-path diagonals are pure functions of the geometry ``(n, E, w, d)``.
+Before this module the repo recomputed them as nested Python lists on
+every call; a *plan* freezes them once as write-protected NumPy index
+arrays, and :class:`PlanCache` keys them on ``(n, E, w, d, kind)`` with
+LRU eviction, hit/miss/eviction counters, and thread safety (the service
+worker shards share the process-global :data:`PLAN_CACHE`).
+
+Plans are immutable by contract: every array is stored with its NumPy
+write flag cleared, so an accidental in-place mutation raises instead of
+silently corrupting every future user of the cached plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError
+from repro.numtheory import gcd
+
+__all__ = [
+    "PlanKey",
+    "Plan",
+    "PlanCache",
+    "PLAN_CACHE",
+    "get_plan",
+    "plan_cache_stats",
+    "PLAN_KINDS",
+]
+
+#: Cached plan arrays are index/mask vectors; int64 except boolean masks.
+PlanArray = npt.NDArray[np.int64] | npt.NDArray[np.bool_]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """The content key of one plan: geometry + plan kind.
+
+    ``n`` is the layout/problem size the plan spans (thread count for
+    ``tids``/``stage``/``oddeven``, element count for ``rho``/``scatter``),
+    ``d = GCD(w, E)`` rides along explicitly so keys self-describe the
+    residue structure the arrays encode.
+    """
+
+    n: int
+    E: int
+    w: int
+    d: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One cached plan: a named bundle of write-protected index arrays."""
+
+    key: PlanKey
+    arrays: Mapping[str, PlanArray]
+
+    def __getitem__(self, name: str) -> PlanArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            known = ", ".join(sorted(self.arrays))
+            raise ParameterError(
+                f"plan {self.key.kind!r} has no array {name!r} (has: {known})"
+            ) from None
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes the plan's arrays occupy."""
+        return sum(int(arr.nbytes) for arr in self.arrays.values())
+
+
+def _frozen(arr: npt.NDArray[np.int64] | npt.NDArray[np.bool_]) -> PlanArray:
+    """Return ``arr`` contiguous and write-protected (plan invariant)."""
+    out = np.ascontiguousarray(arr)
+    out.setflags(write=False)
+    return out
+
+
+def _build_tids(n: int, E: int, w: int) -> dict[str, PlanArray]:
+    """Thread-id vector + all-active mask for ``n`` threads."""
+    tids = np.arange(n, dtype=np.int64)
+    return {"tids": _frozen(tids), "ones": _frozen(np.ones(n, dtype=bool))}
+
+
+def _build_stage(n: int, E: int, w: int) -> dict[str, PlanArray]:
+    """Thread-contiguous staging bases: round ``m`` touches ``base + m``."""
+    tids = np.arange(n, dtype=np.int64)
+    return {
+        "tids": _frozen(tids),
+        "ones": _frozen(np.ones(n, dtype=bool)),
+        "base": _frozen(tids * E),
+    }
+
+
+def _build_rho(n: int, E: int, w: int) -> dict[str, PlanArray]:
+    """The ``rho`` position->address permutation over an ``n``-word layout.
+
+    ``fwd[p]`` is the shared-memory address of position ``p``;
+    ``inv[fwd[p]] == p``.  ``n`` must be a whole number of ``wE/d``
+    partitions (the same soundness condition :func:`repro.core.layout.rho`
+    enforces).
+    """
+    d = gcd(w, E)
+    positions = np.arange(n, dtype=np.int64)
+    if d == 1:
+        fwd = positions
+    else:
+        size = w * E // d
+        if n % size:
+            raise ParameterError(
+                f"layout size {n} is not a multiple of the partition size {size}"
+            )
+        ell = positions // size
+        shift = ell % d
+        fwd = ell * size + (positions % size + shift) % size
+    inv = np.empty(n, dtype=np.int64)
+    inv[fwd] = positions
+    return {"fwd": _frozen(fwd), "inv": _frozen(inv)}
+
+
+def _build_scatter(n: int, E: int, w: int) -> dict[str, PlanArray]:
+    """CF scatter addresses over an ``n = u*E`` tile.
+
+    ``addr[j, i] == rho(i*E + j)`` — round ``j``, thread ``i`` — matching
+    :func:`repro.core.schedule.block_scatter_schedule` exactly.
+    """
+    if n % E:
+        raise ParameterError(f"scatter plan size {n} not a multiple of E={E}")
+    u = n // E
+    fwd = _build_rho(n, E, w)["fwd"]
+    addr = np.asarray(fwd).reshape(u, E).T
+    return {"addr": _frozen(np.ascontiguousarray(addr)), "fwd": fwd}
+
+
+def _build_oddeven(n: int, E: int, w: int) -> dict[str, PlanArray]:
+    """The odd-even transposition network for rows of length ``n``.
+
+    ``lo``/``hi`` concatenate every phase's compare-exchange pairs;
+    ``phase_ptr`` (length ``n + 1``) delimits the phases, whose pairs are
+    pairwise disjoint — the property the vectorized row sort relies on.
+    """
+    lo_list: list[int] = []
+    hi_list: list[int] = []
+    ptr = [0]
+    for phase in range(n):
+        start = phase % 2
+        for i in range(start, n - 1, 2):
+            lo_list.append(i)
+            hi_list.append(i + 1)
+        ptr.append(len(lo_list))
+    return {
+        "lo": _frozen(np.asarray(lo_list, dtype=np.int64)),
+        "hi": _frozen(np.asarray(hi_list, dtype=np.int64)),
+        "phase_ptr": _frozen(np.asarray(ptr, dtype=np.int64)),
+    }
+
+
+#: kind -> builder.  Builders are pure functions of the key.
+_BUILDERS: dict[str, Callable[[int, int, int], dict[str, PlanArray]]] = {
+    "tids": _build_tids,
+    "stage": _build_stage,
+    "rho": _build_rho,
+    "scatter": _build_scatter,
+    "oddeven": _build_oddeven,
+}
+
+#: The plan kinds the cache can build.
+PLAN_KINDS: tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`Plan` objects.
+
+    ``get`` is the only lookup path; it derives ``d = GCD(w, E)`` so call
+    sites never pass an inconsistent key.  Capacity is in *plans* (the
+    arrays are small index vectors); the least recently used plan is
+    evicted when the cache is full.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ParameterError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[PlanKey, Plan] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, kind: str, n: int, E: int, w: int) -> Plan:
+        """Return the plan for ``(n, E, w, gcd(w, E), kind)``, building on miss."""
+        builder = _BUILDERS.get(kind)
+        if builder is None:
+            raise ParameterError(
+                f"unknown plan kind {kind!r} (known: {', '.join(PLAN_KINDS)})"
+            )
+        key = PlanKey(n=n, E=E, w=w, d=gcd(w, E), kind=kind)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self._misses += 1
+        # Build outside the lock: builders are pure, so a racing double
+        # build is wasted work, never an inconsistency.
+        plan = Plan(key=key, arrays=builder(n, E, w))
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+        return plan
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss/eviction counters plus occupancy, as plain numbers."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            total = hits + misses
+            return {
+                "hits": float(hits),
+                "misses": float(misses),
+                "evictions": float(self._evictions),
+                "size": float(len(self._plans)),
+                "capacity": float(self.capacity),
+                "hit_rate": (hits / total) if total else 0.0,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        with self._lock:
+            self._plans.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+#: The process-global plan cache every engine call site shares.
+PLAN_CACHE = PlanCache()
+
+
+def get_plan(kind: str, n: int, E: int, w: int) -> Plan:
+    """Shorthand for :meth:`PlanCache.get` on the global :data:`PLAN_CACHE`."""
+    return PLAN_CACHE.get(kind, n, E, w)
+
+
+def plan_cache_stats() -> dict[str, float]:
+    """Stats of the global :data:`PLAN_CACHE` (for telemetry exports)."""
+    return PLAN_CACHE.stats()

@@ -36,10 +36,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.layout import partition_size, rho
+from repro.core.layout import partition_size
+from repro.engine.batch import odd_even_sort_rows
+from repro.engine.plans import get_plan
 from repro.errors import ParameterError
 from repro.mergesort.merge_path import merge_path_partition
-from repro.mergesort.register_merge import odd_even_transposition_sort
 from repro.mergesort.stats import MergePhaseStats
 from repro.sim.block import ThreadBlock
 from repro.sim.counters import Counters
@@ -61,8 +62,8 @@ class BlocksortStats(MergePhaseStats):
         return self.search + self.merge + self.stage
 
 
-def _maybe_rho(local: int, region: int, w: int, E: int) -> int:
-    """Apply ``rho`` within a pair region when its partitioning is sound.
+def _region_rho(region: int, w: int, E: int) -> np.ndarray:
+    """The pair region's position->address table, from the plan cache.
 
     ``rho`` needs the region to be a whole number of ``wE/d`` partitions;
     for smaller (sub-partition) pair regions it degrades to the identity —
@@ -70,8 +71,8 @@ def _maybe_rho(local: int, region: int, w: int, E: int) -> int:
     ``rho`` is the identity anyway.
     """
     if region % partition_size(w, E) == 0:
-        return rho(local, w, E, region)
-    return local
+        return np.asarray(get_plan("rho", region, E, w)["fwd"])
+    return np.asarray(get_plan("tids", region, 0, 1)["tids"])
 
 
 def _stage_kernel_plain(tid: int, E: int, values: np.ndarray):
@@ -87,7 +88,7 @@ def _stage_kernel_plain(tid: int, E: int, values: np.ndarray):
 
 
 def _stage_kernel_pair_layout(
-    tid: int, E: int, values: np.ndarray, region: int, w: int
+    tid: int, E: int, values: np.ndarray, region: int, rho_tab: np.ndarray
 ):
     """Write registers into the pair gather layout (CF variant staging).
 
@@ -106,7 +107,7 @@ def _stage_kernel_pair_layout(
     for m in range(E):
         local = (base + m) - pbase
         dest_local = local if local < half else (3 * half - 1 - local)
-        dest = pbase + _maybe_rho(dest_local, region, w, E)
+        dest = pbase + int(rho_tab[dest_local])
         dests.append((dest % E, dest, m))
     dests.sort()  # execute in round order
 
@@ -130,7 +131,9 @@ def _load_kernel(tid: int, E: int, out: np.ndarray):
     return program()
 
 
-def _pair_search_kernel(tid: int, E: int, pbase: int, half: int, mapped: bool, w: int):
+def _pair_search_kernel(
+    tid: int, E: int, pbase: int, half: int, mapped: bool, rho_tab: np.ndarray
+):
     """Merge-path search within the thread's pair region.
 
     ``mapped=True`` reads through the CF layout (B reversed, ``rho``).
@@ -140,11 +143,11 @@ def _pair_search_kernel(tid: int, E: int, pbase: int, half: int, mapped: bool, w
     diagonal = tau * E
 
     def a_addr(x):
-        return pbase + (_maybe_rho(x, region, w, E) if mapped else x)
+        return pbase + (int(rho_tab[x]) if mapped else x)
 
     def b_addr(x):
         if mapped:
-            return pbase + _maybe_rho(region - 1 - x, region, w, E)
+            return pbase + int(rho_tab[region - 1 - x])
         return pbase + half + x
 
     def program():
@@ -216,7 +219,7 @@ def _pair_serial_merge_kernel(
     return program()
 
 
-def _pair_gather_kernel(tid, E, pbase, half, a_off, a_len, out, w):
+def _pair_gather_kernel(tid, E, pbase, half, a_off, a_len, out, rho_tab):
     """CF gather within a pair region (Algorithm 1, pair-relative).
 
     ``a_off`` is the thread's offset into the pair's A run; ``B``'s
@@ -236,7 +239,7 @@ def _pair_gather_kernel(tid, E, pbase, half, a_off, a_len, out, w):
             else:
                 b_idx = (k - j - 1) % E
                 local = region - 1 - (b_off + b_idx)
-            out[j] = yield SharedRead(pbase + _maybe_rho(local, region, w, E))
+            out[j] = yield SharedRead(pbase + int(rho_tab[local]))
 
     return program()
 
@@ -280,23 +283,24 @@ def blocksort_tile(
     )
     load_block.shared.load_array(tile)
     load_block.run()
-    for i in range(u):
-        regs[i], ops = odd_even_transposition_sort(regs[i])
-        stats.merge.compute_ops += ops
+    sorted_rows, ops_per_row = odd_even_sort_rows(np.stack(regs))
+    stats.merge.compute_ops += ops_per_row * u
+    regs = list(sorted_rows)
 
     # --- phase 2: log2(u) merge levels --------------------------------
     g = 1
     while g < u:
         region = 2 * g * E  # pair region size, in elements
         half = g * E
+        rho_tab = _region_rho(region, w, E)
 
         # Stage current runs to shared (plain for baseline, pair layout for CF).
         if variant == "thrust":
             def stage_factory(tid, _E=E, _regs=regs):
                 return _stage_kernel_plain(tid, _E, _regs[tid])
         else:
-            def stage_factory(tid, _E=E, _regs=regs, _region=region, _w=w):
-                return _stage_kernel_pair_layout(tid, _E, _regs[tid], _region, _w)
+            def stage_factory(tid, _E=E, _regs=regs, _region=region, _tab=rho_tab):
+                return _stage_kernel_pair_layout(tid, _E, _regs[tid], _region, _tab)
         if trace is not None:
             trace.set_phase("stage")
         stage_block = ThreadBlock(
@@ -324,7 +328,7 @@ def blocksort_tile(
         def search_factory(tid):
             p = (tid * E) // region
             return _pair_search_kernel(
-                tid, E, p * region, half, mapped=(variant == "cf"), w=w
+                tid, E, p * region, half, mapped=(variant == "cf"), rho_tab=rho_tab
             )
 
         if trace is not None:
@@ -356,7 +360,8 @@ def blocksort_tile(
                 sizes = pair_sizes[p]
                 a_off = sum(sizes[:tau])
                 return _pair_gather_kernel(
-                    tid, E, p * region, half, a_off, sizes[tau], outputs[tid], w
+                    tid, E, p * region, half, a_off, sizes[tau], outputs[tid],
+                    rho_tab,
                 )
 
         if trace is not None:
@@ -369,9 +374,9 @@ def blocksort_tile(
         merge_block.run()
 
         if variant == "cf":
-            for i in range(u):
-                outputs[i], ops = odd_even_transposition_sort(outputs[i])
-                stats.merge.compute_ops += ops
+            sorted_rows, ops_per_row = odd_even_sort_rows(np.stack(outputs))
+            stats.merge.compute_ops += ops_per_row * u
+            outputs = list(sorted_rows)
 
         regs = outputs
         g *= 2

@@ -18,15 +18,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.gather import gather_reference
-from repro.core.layout import apply_block_layout, pi, rho
-from repro.core.schedule import block_gather_schedule, block_scatter_schedule
+from repro.core.layout import apply_block_layout
 from repro.core.splits import BlockSplit
+from repro.engine.batch import odd_even_sort_rows
+from repro.engine.plans import get_plan
 from repro.errors import ParameterError
 from repro.mergesort.merge_path import block_split_from_merge_path
-from repro.mergesort.register_merge import (
-    bitonic_merge_rotated,
-    odd_even_transposition_sort,
-)
+from repro.mergesort.register_merge import bitonic_merge_rotated
 from repro.mergesort.stats import MergePhaseStats
 from repro.sim.block import ThreadBlock
 from repro.sim.instructions import Compute, SharedRead, SharedWrite
@@ -35,11 +33,12 @@ from repro.sim.trace import AccessTrace
 __all__ = ["cf_merge_block"]
 
 
-def _mapped_search_kernel(tid, E, n_a, total, w):
+def _mapped_search_kernel(tid, E, n_a, total, rho_fwd):
     """Merge-path search over the permuted layout.
 
     Position-to-address mapping: ``A[x]`` sits at ``rho(x)``; ``B[x]`` at
-    ``rho(pi(x))``.  The extra index arithmetic is charged as compute.
+    ``rho(pi(x))``, both read off the cached ``rho`` plan table.  The
+    extra index arithmetic is charged as compute.
     """
 
     def program():
@@ -53,8 +52,8 @@ def _mapped_search_kernel(tid, E, n_a, total, w):
         while lo < hi:
             mid = (lo + hi) // 2
             yield Compute(4)  # two position->address mappings + compare
-            a_val = yield SharedRead(rho(mid, w, E, total))
-            b_val = yield SharedRead(rho(pi(diagonal - 1 - mid, total), w, E, total))
+            a_val = yield SharedRead(int(rho_fwd[mid]))
+            b_val = yield SharedRead(int(rho_fwd[total - 1 - (diagonal - 1 - mid)]))
             if a_val <= b_val:
                 lo = mid + 1
             else:
@@ -63,21 +62,21 @@ def _mapped_search_kernel(tid, E, n_a, total, w):
     return program()
 
 
-def _gather_kernel(accesses, regs):
+def _gather_kernel(addresses, regs):
     def program():
-        for access in accesses:
+        for j in range(len(addresses)):
             yield Compute(1)
-            value = yield SharedRead(access.address)
-            regs[access.round_index] = value
+            value = yield SharedRead(int(addresses[j]))
+            regs[j] = value
 
     return program()
 
 
-def _scatter_kernel(accesses, values):
+def _scatter_kernel(addresses, values):
     def program():
-        for access in accesses:
+        for j in range(len(addresses)):
             yield Compute(1)
-            yield SharedWrite(access.address, int(values[access.offset]))
+            yield SharedWrite(int(addresses[j]), int(values[j]))
 
     return program()
 
@@ -121,10 +120,11 @@ def cf_merge_block(
     stats = MergePhaseStats()
     counters = stats.merge
     layout = apply_block_layout(a, b, u, w, E)
+    rho_fwd = np.asarray(get_plan("rho", total, E, w)["fwd"])
 
     if simulate_search:
         def search_factory(tid):
-            return _mapped_search_kernel(tid, E, len(a), total, w)
+            return _mapped_search_kernel(tid, E, len(a), total, rho_fwd)
 
         if trace is not None:
             trace.set_phase("search")
@@ -136,15 +136,28 @@ def cf_merge_block(
         search_block.run()
 
     # --- gather phase (conflict free) ------------------------------------
-    schedule = block_gather_schedule(split)
-    per_thread = [[schedule[j][i] for j in range(E)] for i in range(u)]
+    # Algorithm 1's addresses, vectorized: with ``k = a_i mod E``, round
+    # ``j`` reads ``A_i[(j - k) mod E]`` if in range, else
+    # ``B_i[(k - j - 1) mod E]`` (reversed via ``pi``), through ``rho``.
+    a_off = np.asarray(split.a_offsets, dtype=np.int64)
+    b_off = np.asarray(split.b_offsets, dtype=np.int64)
+    a_sizes = np.asarray(split.a_sizes, dtype=np.int64)
+    rounds = np.arange(E, dtype=np.int64)
+    k = (a_off % E)[:, None]
+    a_idx = (rounds[None, :] - k) % E
+    b_idx = (k - rounds[None, :] - 1) % E
+    use_a = a_idx < a_sizes[:, None]
+    positions = np.where(
+        use_a, a_off[:, None] + a_idx, total - 1 - (b_off[:, None] + b_idx)
+    )
+    gather_addr = rho_fwd[positions]  # (u, E): thread i, round j
     regs = [np.zeros(E, dtype=np.int64) for _ in range(u)]
 
     if trace is not None:
         trace.set_phase("gather")
     gather_block_exec = ThreadBlock(
         u=u, w=w, shared_words=total,
-        program_factory=lambda tid: _gather_kernel(per_thread[tid], regs[tid]),
+        program_factory=lambda tid: _gather_kernel(gather_addr[tid], regs[tid]),
         counters=counters, trace=trace,
     )
     gather_block_exec.shared.load_array(layout)
@@ -153,33 +166,38 @@ def cf_merge_block(
     # Cross-check: the simulated gather agrees with the reference oracle.
     # (Cheap, and turns silent address bugs into loud failures.)
     ref = gather_reference(a, b, split)
+    reg_matrix = np.stack(regs)
+    if not np.array_equal(reg_matrix, np.stack(ref)):  # pragma: no cover
+        bad = int(
+            np.flatnonzero((reg_matrix != np.stack(ref)).any(axis=1))[0]
+        )
+        raise ParameterError(f"gather mismatch for thread {bad}")
 
     # --- in-register merge (no shared traffic at all) ---------------------
-    merged_per_thread: list[np.ndarray] = []
-    for i in range(u):
-        if not np.array_equal(regs[i], ref[i]):  # pragma: no cover - invariant
-            raise ParameterError(f"gather mismatch for thread {i}")
-        if register_merge == "odd_even":
-            out, ops = odd_even_transposition_sort(regs[i])
-        else:
+    if register_merge == "odd_even":
+        merged_matrix, ops_per_row = odd_even_sort_rows(reg_matrix)
+        counters.compute_ops += ops_per_row * u
+        merged_per_thread = list(merged_matrix)
+    else:
+        merged_per_thread = []
+        for i in range(u):
             out, ops, dynamic = bitonic_merge_rotated(
                 regs[i], split.a_offsets[i], E
             )
             counters.register_dynamic_accesses += dynamic
-        counters.compute_ops += ops
-        merged_per_thread.append(out)
+            counters.compute_ops += ops
+            merged_per_thread.append(out)
 
     # --- scatter phase (conflict free) ------------------------------------
-    scatter_sched = block_scatter_schedule(u, w, E)
-    scatter_per_thread = [
-        [scatter_sched[j][i] for j in range(E)] for i in range(u)
-    ]
+    # Round ``j`` writes thread ``i``'s output element ``j`` to
+    # ``rho(iE + j)``; the cached plan stores the whole address matrix.
+    scatter_addr = np.asarray(get_plan("scatter", total, E, w)["fwd"]).reshape(u, E)
     if trace is not None:
         trace.set_phase("scatter")
     scatter_exec = ThreadBlock(
         u=u, w=w, shared_words=total,
         program_factory=lambda tid: _scatter_kernel(
-            scatter_per_thread[tid], merged_per_thread[tid]
+            scatter_addr[tid], merged_per_thread[tid]
         ),
         counters=counters, trace=trace,
     )
@@ -187,7 +205,5 @@ def cf_merge_block(
 
     # Un-permute (folded into the coalesced store in the real kernel).
     data = scatter_exec.shared.snapshot()
-    merged = np.empty(total, dtype=np.int64)
-    for p in range(total):
-        merged[p] = data[rho(p, w, E, total)]
+    merged = data[rho_fwd]
     return merged, stats

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.splits import BlockSplit
+from repro.engine.plans import get_plan
 from repro.errors import ParameterError
 from repro.mergesort.merge_path import block_split_from_merge_path
 from repro.mergesort.serial_merge import SENTINEL
@@ -101,7 +102,7 @@ def serial_merge_profile(
     u = split.u
     n_a = split.n_a
     backing = np.concatenate([a, b])
-    tids = np.arange(u)
+    tids = get_plan("tids", u, E, w)["tids"]
 
     a_ptr = np.array(split.a_offsets, dtype=np.int64)
     a_end = a_ptr + np.array(split.a_sizes, dtype=np.int64)
@@ -177,9 +178,6 @@ def search_profile(a, b, E: int, w: int, *, mapped: bool = False) -> Counters:
     ``rho``), matching :func:`repro.mergesort.cf.cf_merge_block`'s search
     phase.
     """
-    from repro.core.layout import pi as pi_map
-    from repro.core.layout import rho as rho_map
-
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     n_a, n_b = len(a), len(b)
@@ -187,8 +185,11 @@ def search_profile(a, b, E: int, w: int, *, mapped: bool = False) -> Counters:
     if total % E:
         raise ParameterError("|A|+|B| must be a multiple of E")
     u = total // E
-    tids = np.arange(u)
+    tids = get_plan("tids", u, E, w)["tids"]
     counters = Counters()
+    # The cached position->address table replaces per-element pi/rho calls
+    # (fwd[p] == rho(p); B's reversed position is total-1-x == pi(x)).
+    rho_fwd = np.asarray(get_plan("rho", total, E, w)["fwd"]) if mapped else None
 
     diag = tids * E
     lo = np.maximum(0, diag - n_b)
@@ -198,16 +199,9 @@ def search_profile(a, b, E: int, w: int, *, mapped: bool = False) -> Counters:
         mid = (lo + hi) // 2
         a_addr = mid.copy()
         b_idx = diag - 1 - mid
-        if mapped:
-            a_addr = np.array(
-                [rho_map(int(x), w, E, total) for x in np.minimum(mid, total - 1)]
-            )
-            b_addr = np.array(
-                [
-                    rho_map(pi_map(int(x) % total, total), w, E, total)
-                    for x in np.clip(b_idx, 0, n_b - 1)
-                ]
-            )
+        if rho_fwd is not None:
+            a_addr = rho_fwd[np.minimum(mid, total - 1)]
+            b_addr = rho_fwd[total - 1 - (np.clip(b_idx, 0, n_b - 1) % total)]
         else:
             b_addr = n_a + np.clip(b_idx, 0, max(n_b - 1, 0))
         count_round(a_addr, live, tids, w, counters)
@@ -247,10 +241,15 @@ def cf_merge_profile(a, b, E: int, w: int, *, split: BlockSplit | None = None) -
 
 
 def _strided_stage_rounds(u: int, E: int, w: int, counters: Counters, kind: str) -> None:
-    """Count the thread-contiguous staging rounds (round m -> {iE + m})."""
-    tids = np.arange(u)
-    base = tids * E
-    active = np.ones(u, dtype=bool)
+    """Count the thread-contiguous staging rounds (round m -> {iE + m}).
+
+    The index vectors are pure geometry — hoisted into the plan cache so
+    repeated profiles stop reallocating ``arange``/``ones`` per round.
+    """
+    plan = get_plan("stage", u, E, w)
+    tids = plan["tids"]
+    base = plan["base"]
+    active = plan["ones"]
     for m in range(E):
         count_round(base + m, active, tids, w, counters, kind=kind)
 
@@ -272,7 +271,7 @@ def _pair_search_rounds(
     only the counted addresses change.
     """
     half = region // 2
-    tids = np.arange(u)
+    tids = np.asarray(get_plan("tids", u, E, w)["tids"])
     pbase = (tids * E) // region * region
     tau = tids - pbase // E
     diag = tau * E
@@ -330,7 +329,7 @@ def blocksort_profile(
         raise ParameterError("fast cf blocksort profile requires coprime w, E")
 
     counters = Counters()
-    tids = np.arange(u)
+    tids = np.asarray(get_plan("tids", u, E, w)["tids"])
 
     # Phase 1: load E contiguous words per thread, sort in registers.
     _strided_stage_rounds(u, E, w, counters, kind="read")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.plans import get_plan
 from repro.errors import ParameterError
 
 __all__ = [
@@ -38,12 +39,10 @@ def odd_even_network(n: int) -> list[tuple[int, int]]:
     """
     if n < 0:
         raise ParameterError(f"network size must be >= 0, got {n}")
-    pairs: list[tuple[int, int]] = []
-    for phase in range(n):
-        start = phase % 2
-        for i in range(start, n - 1, 2):
-            pairs.append((i, i + 1))
-    return pairs
+    plan = get_plan("oddeven", n, 0, 1)
+    lo = np.asarray(plan["lo"])
+    hi = np.asarray(plan["hi"])
+    return list(zip(lo.tolist(), hi.tolist()))
 
 
 def compare_exchange_count_odd_even(n: int) -> int:

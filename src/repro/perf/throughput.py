@@ -24,6 +24,7 @@ from statistics import mean, median
 import numpy as np
 
 from repro.config import RTX_2080_TI, DeviceSpec, SortParams
+from repro.engine.lane import profile_cf_merges, profile_searches, profile_serial_merges
 from repro.errors import ParameterError
 from repro.mergesort.blocksort import blocksort_tile
 from repro.mergesort.fast import cf_merge_profile, search_profile, serial_merge_profile
@@ -87,7 +88,10 @@ def measure_block_costs(
     """Measure one merge block's (search, merge) shared-memory counters.
 
     Worst-case blocks are deterministic and identical, so one measurement
-    is exact; random blocks are averaged over ``samples`` draws.
+    is exact; random blocks are averaged over ``samples`` draws.  The
+    random sample set runs through the batched engine lane
+    (:mod:`repro.engine.lane`) — one vectorized pass per phase instead of
+    ``samples`` per-pair profiles, with bit-identical counters.
     """
     if workload not in ("random", "worstcase"):
         raise ParameterError(f"unknown workload {workload!r}")
@@ -97,7 +101,8 @@ def measure_block_costs(
     total = u * E
     rng = np.random.default_rng(seed)
 
-    def one(a, b):
+    if workload == "worstcase":
+        a, b = worstcase_merge_inputs(w, E, u=u)
         search = search_profile(a, b, E, w, mapped=(variant == "cf"))
         if variant == "thrust":
             merge = serial_merge_profile(a, b, E, w)
@@ -105,14 +110,14 @@ def measure_block_costs(
             merge = cf_merge_profile(a, b, E, w)
         return search, merge
 
-    if workload == "worstcase":
-        a, b = worstcase_merge_inputs(w, E, u=u)
-        return one(a, b)
-
+    pairs = [_random_block_pair(rng, total) for _ in range(samples)]
+    searches = profile_searches(pairs, E, w, mapped=(variant == "cf"))
+    if variant == "thrust":
+        merges = profile_serial_merges(pairs, E, w)
+    else:
+        merges = profile_cf_merges(pairs, E, w)
     search_acc, merge_acc = Counters(), Counters()
-    for _ in range(samples):
-        a, b = _random_block_pair(rng, total)
-        s, m = one(a, b)
+    for s, m in zip(searches, merges):
         search_acc.merge(s)
         merge_acc.merge(m)
     return _scale(search_acc, 1 / samples), _scale(merge_acc, 1 / samples)

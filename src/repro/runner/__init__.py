@@ -34,6 +34,7 @@ from repro.runner.specs import (
     THEOREM8_GRID,
     bench_suite,
     defenses_spec,
+    engine_spec,
     fig5_spec,
     fig6_spec,
     service_throughput_spec,
@@ -71,5 +72,6 @@ __all__ = [
     "theorem8_spec",
     "defenses_spec",
     "service_throughput_spec",
+    "engine_spec",
     "bench_suite",
 ]

@@ -156,6 +156,42 @@ def _fuzz_case_tile(params: dict[str, Any]) -> dict[str, Any]:
     return fuzz_case_tile(params)
 
 
+def _engine_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One batched engine pass over a stack of blocksort tiles.
+
+    Deterministic per parameters: the per-tile counters are bit-identical
+    to the per-tile fast profiles (cross-validated in the engine tests),
+    so their sum gates the batched lane in CI like any other counter.
+    """
+    import numpy as np
+
+    from repro.engine.batch import batched_blocksort_profile
+    from repro.workloads.generators import uniform_random
+    from repro.worstcase.generator import worstcase_full_input
+
+    E = _as_int(params["E"], "E")
+    u = _as_int(params["u"], "u")
+    w = _as_int(params["w"], "w")
+    n_tiles = _as_int(params["tiles"], "tiles")
+    variant = _as_str(params["variant"], "variant")
+    workload = _as_str(params["workload"], "workload")
+    seed = _as_int(params["seed"], "seed")
+    tile = u * E
+    if workload == "adversarial":
+        data = worstcase_full_input(n_tiles, E, u, w)
+        rows = data.reshape(n_tiles, tile)
+    elif workload == "random":
+        rows = np.stack(
+            [uniform_random(tile, seed=seed + k, high=2**40) for k in range(n_tiles)]
+        )
+    else:
+        raise ParameterError(f"unknown workload {workload!r}")
+    acc = Counters()
+    for c in batched_blocksort_profile(rows, E, w, variant):
+        acc.merge(c)
+    return {"tiles": n_tiles, "counters": acc.as_dict()}
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
@@ -163,6 +199,7 @@ _WORKERS = {
     "service_batch": _service_batch_tile,
     "service": _service_tile,
     "fuzz_case": _fuzz_case_tile,
+    "engine": _engine_tile,
 }
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "theorem8_spec",
     "defenses_spec",
     "service_throughput_spec",
+    "engine_spec",
     "bench_suite",
 ]
 
@@ -155,17 +156,39 @@ def service_throughput_spec(
     )
 
 
+def engine_spec(tiles: int = 8, seed: int = 0) -> SweepSpec:
+    """The batched engine sweep: variant × workload over stacked tiles.
+
+    Each job stacks ``tiles`` same-shape blocksort tiles and profiles
+    them in one vectorized pass through :mod:`repro.engine.batch`; the
+    summed per-tile counters are bit-identical to the per-tile fast
+    profiles, so the sweep gates the batched lane's correctness-critical
+    arithmetic in CI.
+    """
+    return SweepSpec(
+        name="engine",
+        kind="engine",
+        axes=(
+            ("variant", ("thrust", "cf")),
+            ("workload", ("random", "adversarial")),
+        ),
+        fixed=(("tiles", tiles), ("E", 5), ("u", 32), ("w", 8)),
+        seed=seed,
+    )
+
+
 def bench_suite() -> tuple[SweepSpec, ...]:
     """The specs behind ``python -m repro bench`` and the CI perf gate.
 
     Quick-mode fig6 (which subsumes fig5's worst-case tiles), the
-    Theorem 8 grid, the defense ablation, and the sort-service cost sweep
-    — every counter they produce is deterministic, so the gate is
-    flake-free by construction.
+    Theorem 8 grid, the defense ablation, the sort-service cost sweep,
+    and the batched engine sweep — every counter they produce is
+    deterministic, so the gate is flake-free by construction.
     """
     return (
         fig6_spec("quick"),
         theorem8_spec(),
         defenses_spec(),
         service_throughput_spec(),
+        engine_spec(),
     )

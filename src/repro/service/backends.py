@@ -2,7 +2,7 @@
 
 A *backend* turns one coalesced micro-batch — the concatenation of many
 small requests plus their segment offsets — into the segment-wise sorted
-concatenation, reporting simulator counters for the launch.  Three ship
+concatenation, reporting simulator counters for the launch.  Four ship
 by default:
 
 ``cf``
@@ -10,6 +10,11 @@ by default:
     :func:`repro.mergesort.segmented.segmented_sort` — zero merge-phase
     bank conflicts for every input, so service latency is
     input-independent.
+``cf-batched``
+    The batched engine lane (:mod:`repro.engine.backend`): segments are
+    packed into independent blocksort tiles and the whole micro-batch is
+    profiled/sorted in one vectorized pass, with per-tile counters
+    bit-identical to the per-tile fast profiles.
 ``baseline``
     The Thrust-style serial shared-memory merge (variant ``"thrust"``),
     vulnerable to the Section 4 adversary.
@@ -97,19 +102,36 @@ def _numpy_backend(
     return BatchOutcome(data=out, counters=Counters(), launches=0)
 
 
+def _cf_batched(
+    data: npt.NDArray[np.int64],
+    offsets: Sequence[int],
+    params: SortParams,
+    w: int,
+) -> BatchOutcome:
+    """Sort the micro-batch through the batched engine lane."""
+    from repro.engine.backend import cf_batched_backend
+
+    return cf_batched_backend(data, offsets, params, w)
+
+
 #: The names every stock service exposes, in dispatch-priority order.
-DEFAULT_BACKENDS: tuple[str, ...] = ("cf", "baseline", "numpy")
+DEFAULT_BACKENDS: tuple[str, ...] = ("cf", "cf-batched", "baseline", "numpy")
 
 _REGISTRY: dict[str, SortBackend] = {
     "cf": _simulated_backend("cf"),
+    "cf-batched": _cf_batched,
     "baseline": _simulated_backend("thrust"),
     "numpy": _numpy_backend,
 }
 
 
 def register_backend(name: str, backend: SortBackend) -> None:
-    """Register (or replace) a backend under ``name``."""
-    if not name or not name.isidentifier():
+    """Register (or replace) a backend under ``name``.
+
+    Names must be identifier-like; a ``-`` separator is allowed (the
+    stock ``cf-batched`` uses one).
+    """
+    if not name or not name.replace("-", "_").isidentifier():
         raise ParameterError(f"backend name must be an identifier, got {name!r}")
     _REGISTRY[name] = backend
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.config import RTX_2080_TI, DeviceSpec, SortParams
+from repro.engine.plans import plan_cache_stats
 from repro.perf.cost_model import CostModel
 from repro.runner.cache import code_version
 from repro.runner.executor import ExecutionStats
@@ -29,7 +30,8 @@ from repro.telemetry.stats import flatten_numeric, percentile
 __all__ = ["BatchRecord", "ServiceMetrics", "METRICS_SCHEMA"]
 
 #: Versioned so dashboards can evolve with the snapshot shape.
-METRICS_SCHEMA = 1
+#: 2 added the ``engine.plan_cache`` section.
+METRICS_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -173,6 +175,7 @@ class ServiceMetrics:
                     ),
                 },
                 "counters": self._counters.as_dict(),
+                "engine": {"plan_cache": plan_cache_stats()},
                 "modeled": {
                     "total_us": breakdown.total_us,
                     "us_per_request": breakdown.total_us / max(n_completed, 1),

@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.engine.plans import plan_cache_stats
 from repro.errors import ParameterError
 from repro.telemetry.chrome import (
     access_trace_events,
@@ -45,7 +46,7 @@ PROFILE_DEFAULT_W = 32
 PROFILE_DEFAULT_E = 15
 
 #: Valid ``repro trace`` targets.
-TRACE_TARGETS = ("theorem8", "defenses", "fig5", "service")
+TRACE_TARGETS = ("theorem8", "defenses", "fig5", "service", "engine")
 
 
 def _profile_payload(run: ProfiledRun) -> dict[str, Any]:
@@ -92,6 +93,7 @@ def run_profile(args: argparse.Namespace) -> str:
     heatmap_path.write_text(run.profile.heatmap() + "\n")
 
     depth = run.profile.depth_summary()
+    cache = plan_cache_stats()
     lines = [
         f"Conflict profile — target={target}, w={w}, E={E}",
         "",
@@ -105,6 +107,9 @@ def run_profile(args: argparse.Namespace) -> str:
         f"max {depth['max']:.0f}",
         f"counters cross-check: trace excess {run.profile.total.excess} "
         f"== Counters.shared_excess {run.counters.shared_excess}",
+        f"plan cache: {int(cache['hits'])} hits / {int(cache['misses'])} misses "
+        f"(hit rate {cache['hit_rate']:.1%}, "
+        f"{int(cache['size'])}/{int(cache['capacity'])} plans)",
     ]
     if target == "worstcase":
         from repro.worstcase import theorem8_combined
@@ -162,6 +167,29 @@ def _trace_service(tracer: Tracer) -> str:
     return f"service: {completed}/{len(results)} requests completed"
 
 
+def _trace_engine(tracer: Tracer) -> str:
+    """Run a batched engine sample set with span tracing on."""
+    import numpy as np
+
+    from repro.engine.lane import EngineStats, profile_blocksorts, profile_searches
+
+    E, u, w = 5, 32, 8
+    rng = np.random.default_rng(11)
+    stats = EngineStats()
+    tiles = [rng.integers(0, 1 << 20, u * E) for _ in range(8)]
+    profile_blocksorts(tiles, E, w, "cf", tracer=tracer, stats=stats)
+    pairs = []
+    for _ in range(8):
+        vals = np.arange(u * E, dtype=np.int64)
+        mask = rng.random(u * E) < 0.5
+        pairs.append((vals[mask], vals[~mask]))
+    profile_searches(pairs, E, w, mapped=True, tracer=tracer, stats=stats)
+    return (
+        f"engine: {stats.items} items collapsed into "
+        f"{stats.passes} vectorized passes"
+    )
+
+
 def run_trace(args: argparse.Namespace) -> str:
     """Execute ``repro trace``: capture spans, write the Chrome trace."""
     target = args.target or "theorem8"
@@ -173,6 +201,8 @@ def run_trace(args: argparse.Namespace) -> str:
     tracer = Tracer()
     if target == "service":
         summary = _trace_service(tracer)
+    elif target == "engine":
+        summary = _trace_engine(tracer)
     else:
         summary = _trace_runner(args, target, tracer)
 

@@ -39,6 +39,9 @@ COUNTER_PREFIXES = (
     "batches.elements",
     "batches.padded_elements",
     "batches.cache_hits",
+    "engine.plan_cache.hits",
+    "engine.plan_cache.misses",
+    "engine.plan_cache.evictions",
 )
 
 

@@ -41,8 +41,8 @@ def test_workflow_triggers(workflow):
     assert workflow["permissions"] == {"contents": "read"}
 
 
-def test_workflow_has_the_three_jobs(workflow):
-    assert set(workflow["jobs"]) == {"test", "lint", "smoke"}
+def test_workflow_has_the_four_jobs(workflow):
+    assert set(workflow["jobs"]) == {"test", "lint", "smoke", "engine"}
 
 
 def test_tier1_job_runs_pytest_across_supported_pythons(workflow):
@@ -62,6 +62,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "src/repro/service" in steps
     assert "src/repro/telemetry" in steps
     assert "src/repro/fuzz" in steps
+    assert "src/repro/engine" in steps
 
 
 def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
@@ -136,6 +137,26 @@ def test_smoke_job_uploads_fuzz_artifacts(workflow):
     assert fuzz["with"]["if-no-files-found"] == "error"
     assert "fuzz-artifacts" in fuzz["with"]["path"]
     assert "fuzz-report.json" in fuzz["with"]["path"]
+
+
+def test_engine_job_runs_the_benchmark_twice_and_diffs_reports(workflow):
+    # The engine smoke: the batched-lane speedup floor plus the
+    # determinism contract — two runs must emit byte-identical reports
+    # (counters + plan-cache hit counts, no timings).
+    steps = _steps_text(workflow["jobs"]["engine"])
+    assert "pytest benchmarks/bench_engine.py" in steps
+    assert "ENGINE_REPORT=engine-report.json" in steps
+    assert "ENGINE_REPORT=engine-report-again.json" in steps
+    assert "cmp engine-report.json engine-report-again.json" in steps
+
+
+def test_engine_job_uploads_its_reports(workflow):
+    job = workflow["jobs"]["engine"]
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert upload["with"]["name"] == "engine"
+    assert upload["with"]["if-no-files-found"] == "error"
+    assert "engine-report.json" in upload["with"]["path"]
 
 
 def test_every_job_checks_out_and_sets_up_python(workflow):

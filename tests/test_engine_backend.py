@@ -1,0 +1,165 @@
+"""The ``cf-batched`` backend contract: outputs, counters, integration.
+
+The batched backend must be observationally identical to the stock
+``cf`` backend (same sorted segments) while its counters equal the sum
+of per-tile :func:`repro.mergesort.fast.blocksort_profile` runs over the
+same packed tiles — the bit-identity contract of the engine lane, now at
+the service boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SortParams
+from repro.engine.backend import KEY_BITS, KEY_LIMIT, cf_batched_backend, pack_tiles
+from repro.errors import ParameterError
+from repro.mergesort.fast import blocksort_profile
+from repro.service.backends import available_backends, get_backend
+from repro.sim.counters import Counters
+
+PARAMS = SortParams(5, 32)  # tile = 160, coprime with w = 8
+W = 8
+
+
+def _segments(lengths, seed=0, high=1 << 30):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-(high // 2), high // 2, int(sum(lengths)), dtype=np.int64)
+    offsets, pos = [], 0
+    for n in lengths:
+        offsets.append(pos)
+        pos += n
+    return data, offsets
+
+
+class TestRegistry:
+    def test_cf_batched_is_registered(self):
+        assert "cf-batched" in available_backends()
+        assert get_backend("cf-batched") is not None
+
+
+class TestOutputContract:
+    @pytest.mark.parametrize("lengths", [
+        [10], [160], [40, 50, 60], [1, 159, 80, 80, 7], [0, 16, 0, 32],
+    ])
+    def test_segments_come_back_sorted(self, lengths):
+        data, offsets = _segments(lengths, seed=sum(lengths))
+        outcome = cf_batched_backend(data, offsets, PARAMS, W)
+        bounds = offsets + [len(data)]
+        for lo, hi in zip(bounds, bounds[1:]):
+            assert np.array_equal(
+                outcome.data[lo:hi], np.sort(data[lo:hi])
+            ), f"segment [{lo}:{hi}]"
+
+    def test_matches_the_cf_backend_output(self):
+        data, offsets = _segments([30, 70, 120, 45, 90], seed=9)
+        batched = cf_batched_backend(data, offsets, PARAMS, W)
+        stock = get_backend("cf")(data, offsets, PARAMS, W)
+        assert np.array_equal(batched.data, stock.data)
+
+    def test_long_segment_falls_back_to_the_pipeline(self):
+        data, offsets = _segments([400, 20], seed=4)
+        outcome = cf_batched_backend(data, offsets, PARAMS, W)
+        assert np.array_equal(outcome.data[:400], np.sort(data[:400]))
+        assert np.array_equal(outcome.data[400:], np.sort(data[400:]))
+        assert outcome.launches == 2  # one pipeline launch + one tile
+
+    def test_empty_batch(self):
+        outcome = cf_batched_backend(np.array([], dtype=np.int64), [], PARAMS, W)
+        assert outcome.launches == 0
+        assert outcome.counters.as_dict() == Counters().as_dict()
+
+
+class TestCounterContract:
+    def test_counters_equal_per_tile_blocksort_profiles(self):
+        lengths = [25, 60, 100, 150, 12, 48, 80]  # packs into several tiles
+        data, offsets = _segments(lengths, seed=2)
+        outcome = cf_batched_backend(data, offsets, PARAMS, W)
+
+        tile = PARAMS.tile_elements
+        bounds = offsets + [len(data)]
+        segs = [(lo, hi) for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+        tiles, packed = pack_tiles(data, segs, tile)
+        want = Counters()
+        for row in packed:
+            want.merge(blocksort_profile(row.copy(), PARAMS.E, W, "cf"))
+        assert outcome.counters.as_dict() == want.as_dict()
+        assert outcome.launches == len(tiles)
+
+
+class TestValidation:
+    def test_noncoprime_geometry_rejected(self):
+        with pytest.raises(ParameterError):
+            cf_batched_backend(np.arange(10), [0], SortParams(16, 64), 32)
+
+    def test_non_power_of_two_u_rejected(self):
+        with pytest.raises(ParameterError):
+            cf_batched_backend(np.arange(10), [0], SortParams(5, 24), 8)
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ParameterError):
+            cf_batched_backend(np.arange(10), [0, 8, 4], PARAMS, W)
+
+    def test_nonzero_first_offset_rejected(self):
+        with pytest.raises(ParameterError):
+            cf_batched_backend(np.arange(10), [2, 5], PARAMS, W)
+
+    def test_oversized_keys_rejected(self):
+        data = np.array([KEY_LIMIT], dtype=np.int64)
+        with pytest.raises(ParameterError):
+            cf_batched_backend(data, [0], PARAMS, W)
+
+
+class TestPackTiles:
+    def test_first_fit_never_splits_a_segment(self):
+        data = np.arange(300, dtype=np.int64)
+        segs = [(0, 100), (100, 200), (200, 300)]
+        tiles, packed = pack_tiles(data, segs, 160)
+        assert [len(t) for t in tiles] == [1, 1, 1]
+        assert packed.shape == (3, 160)
+
+    def test_packed_words_round_trip(self):
+        data = np.array([5, -3, 7, 0], dtype=np.int64)
+        _, packed = pack_tiles(data, [(0, 2), (2, 4)], 4)
+        mask = np.int64((1 << KEY_BITS) - 1)
+        keys = (packed[0] & mask) - KEY_LIMIT
+        assert keys.tolist() == [5, -3, 7, 0]
+        ranks = (packed[0] >> KEY_BITS).tolist()
+        assert ranks == [0, 0, 1, 1]
+
+    def test_segment_larger_than_tile_rejected(self):
+        with pytest.raises(ParameterError):
+            pack_tiles(np.arange(10, dtype=np.int64), [(0, 10)], 8)
+
+
+class TestServiceIntegration:
+    def test_run_synchronous_verifies_every_segment(self):
+        from repro.service.batching import BatchPolicy
+        from repro.service.synthetic import run_synchronous, synth_requests
+
+        requests = synth_requests(
+            12, 8, 120, "mixed", seed=5, params=PARAMS, w=W, backend="cf-batched"
+        )
+        policy = BatchPolicy(max_batch_tiles=4, max_batch_requests=6)
+        metrics = run_synchronous(requests, policy, PARAMS, W, verify=True)
+        assert metrics["requests"] == 12
+        assert metrics["batches"] >= 1
+        assert metrics["counters"]["shared_requests"] > 0
+
+    def test_cf_and_cf_batched_agree_through_the_service(self):
+        from repro.service.batching import BatchPolicy
+        from repro.service.synthetic import run_synchronous, synth_requests
+
+        policy = BatchPolicy(max_batch_tiles=4, max_batch_requests=8)
+        by_backend = {}
+        for backend in ("cf", "cf-batched"):
+            requests = synth_requests(
+                10, 8, 100, "random", seed=3, params=PARAMS, w=W, backend=backend
+            )
+            by_backend[backend] = run_synchronous(
+                requests, policy, PARAMS, W, verify=True
+            )
+        assert (
+            by_backend["cf"]["elements"] == by_backend["cf-batched"]["elements"]
+        )

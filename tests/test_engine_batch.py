@@ -1,0 +1,174 @@
+"""Three-way cross-validation of the batched engine lane.
+
+The batched vectorized lane (:mod:`repro.engine.batch`) must report
+*bit-identical* per-tile counters to the per-tile fast profiles
+(:mod:`repro.mergesort.fast`), which are themselves pinned to the
+lockstep simulator — on every workload generator, the Section 4
+adversary, and non-coprime geometries.  Sorted outputs are checked where
+the lane sorts (the odd-even row sort).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import (
+    BatchCounters,
+    batched_blocksort_profile,
+    batched_search_profile,
+    batched_serial_merge_profile,
+    odd_even_sort_rows,
+    pad_and_stack,
+)
+from repro.engine.lane import EngineStats, profile_blocksorts, profile_searches
+from repro.errors import ParameterError
+from repro.mergesort.blocksort import blocksort_tile
+from repro.mergesort.fast import (
+    blocksort_profile,
+    count_round,
+    search_profile,
+    serial_merge_profile,
+)
+from repro.sim.counters import Counters
+from repro.workloads.generators import WORKLOADS, adversarial
+
+GEOMETRIES = [(5, 32, 8), (15, 64, 32), (16, 64, 32), (6, 16, 8)]  # last two non-coprime
+
+
+def _tile_pairs(tile_len, seed, n_pairs=4):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(n_pairs):
+        vals = np.sort(rng.integers(0, 1 << 30, tile_len, dtype=np.int64))
+        mask = rng.random(tile_len) < 0.5
+        pairs.append((vals[mask], vals[~mask]))
+    return pairs
+
+
+class TestBatchCounters:
+    def test_matches_scalar_count_round_with_partial_warps(self):
+        rng = np.random.default_rng(7)
+        u, w, tiles = 20, 8, 3  # u % w != 0: a partial trailing warp
+        bc = BatchCounters(tiles, u, w)
+        singles = [Counters() for _ in range(tiles)]
+        for _ in range(10):
+            addr = rng.integers(0, 64, (tiles, u))
+            act = rng.random((tiles, u)) < 0.7
+            bc.round(addr, act)
+            for t in range(tiles):
+                count_round(addr[t], act[t], np.arange(u), w, singles[t])
+        for got, want in zip(bc.to_counters(), singles):
+            assert got.as_dict() == want.as_dict()
+
+    def test_all_inactive_round_is_a_noop(self):
+        bc = BatchCounters(2, 8, 4)
+        bc.round(np.zeros((2, 8), dtype=np.int64), np.zeros((2, 8), dtype=bool))
+        assert all(c.as_dict() == Counters().as_dict() for c in bc.to_counters())
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ParameterError):
+            BatchCounters(0, 8, 4)
+        with pytest.raises(ParameterError):
+            BatchCounters(1, 0, 4)
+
+
+class TestBlocksortCrossValidation:
+    @pytest.mark.parametrize("E,u,w", GEOMETRIES)
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_batched_equals_fast_on_every_generator(self, E, u, w, workload):
+        tile = u * E
+        rows = np.stack(
+            [WORKLOADS[workload](tile, seed=3 + k) for k in range(3)]
+        )
+        for variant in ("thrust", "cf"):
+            if variant == "cf" and np.gcd(E, w) != 1:
+                continue
+            batched = batched_blocksort_profile(rows, E, w, variant)
+            for k in range(rows.shape[0]):
+                single = blocksort_profile(rows[k].copy(), E, w, variant)
+                assert batched[k].as_dict() == single.as_dict(), (
+                    f"{workload}/{variant} tile {k}"
+                )
+
+    @pytest.mark.parametrize("E,u,w", [(5, 32, 8), (15, 64, 32)])
+    def test_batched_equals_lockstep_sim_on_the_adversary(self, E, u, w):
+        tile = u * E
+        rows = adversarial(2, E, u, w).reshape(2, tile)
+        for variant in ("thrust", "cf"):
+            batched = batched_blocksort_profile(rows, E, w, variant)
+            for k in range(2):
+                _, sim = blocksort_tile(rows[k].copy(), E, w, variant)
+                shared = {
+                    f: getattr(sim.total, f)
+                    for f in Counters().as_dict()
+                    if f.startswith(("shared_", "broadcast"))
+                }
+                got = batched[k].as_dict()
+                for field, want in shared.items():
+                    assert got[field] == want, f"{variant} tile {k} {field}"
+
+    def test_noncoprime_cf_rejected_like_fast(self):
+        rows = np.zeros((2, 16 * 8), dtype=np.int64)
+        with pytest.raises(ParameterError):
+            batched_blocksort_profile(rows, 8, 8, "cf")
+
+
+class TestMergeAndSearchCrossValidation:
+    @pytest.mark.parametrize("E,u,w", GEOMETRIES)
+    def test_serial_merge_profiles_match(self, E, u, w):
+        pairs = _tile_pairs(u * E, seed=E * 100 + u)
+        batched = batched_serial_merge_profile(pairs, E, w)
+        for k, (a, b) in enumerate(pairs):
+            assert batched[k].as_dict() == serial_merge_profile(a, b, E, w).as_dict()
+
+    @pytest.mark.parametrize("E,u,w", GEOMETRIES)
+    @pytest.mark.parametrize("mapped", [False, True])
+    def test_search_profiles_match(self, E, u, w, mapped):
+        pairs = _tile_pairs(u * E, seed=E * 10 + w)
+        batched = batched_search_profile(pairs, E, w, mapped=mapped)
+        for k, (a, b) in enumerate(pairs):
+            want = search_profile(a, b, E, w, mapped=mapped)
+            assert batched[k].as_dict() == want.as_dict()
+
+
+class TestRowPrimitives:
+    def test_odd_even_sort_rows_sorts_and_counts(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 100, (5, 9), dtype=np.int64)
+        out, ops = odd_even_sort_rows(rows.copy())
+        assert np.array_equal(out, np.sort(rows, axis=1))
+        # The network's op count is fixed by the row length alone.
+        assert ops == sum(len(range(p % 2, 9 - 1, 2)) for p in range(9))
+
+    def test_pad_and_stack_pads_with_the_sentinel(self):
+        rows = [np.arange(3, dtype=np.int64), np.arange(5, dtype=np.int64)]
+        packed = pad_and_stack(rows, 5, 99)
+        assert packed.shape == (2, 5)
+        assert packed[0].tolist() == [0, 1, 2, 99, 99]
+        assert packed[1].tolist() == [0, 1, 2, 3, 4]
+        with pytest.raises(ParameterError):
+            pad_and_stack(rows, 4, 99)
+
+
+class TestLaneGrouping:
+    def test_lane_groups_same_shape_tiles_into_one_pass(self):
+        E, w = 5, 8
+        rng = np.random.default_rng(1)
+        tiles = [rng.integers(0, 1 << 20, 16 * E) for _ in range(4)]
+        tiles += [rng.integers(0, 1 << 20, 32 * E) for _ in range(3)]
+        stats = EngineStats()
+        got = profile_blocksorts(tiles, E, w, "cf", stats=stats)
+        assert stats.items == 7
+        assert stats.passes == 2  # one vectorized pass per tile length
+        for k, tile in enumerate(tiles):
+            assert got[k].as_dict() == blocksort_profile(tile, E, w, "cf").as_dict()
+
+    def test_lane_search_results_keep_submission_order(self):
+        E, w = 5, 8
+        pairs = _tile_pairs(16 * E, seed=2) + _tile_pairs(32 * E, seed=3)
+        stats = EngineStats()
+        got = profile_searches(pairs, E, w, mapped=True, stats=stats)
+        assert stats.passes == 2
+        for k, (a, b) in enumerate(pairs):
+            assert got[k].as_dict() == search_profile(a, b, E, w, mapped=True).as_dict()

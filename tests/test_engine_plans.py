@@ -1,0 +1,166 @@
+"""The plan cache contract: correctness, LRU behavior, immutability.
+
+Plans are the precomputed index arrays every engine call site reuses;
+these tests pin their content against the scalar layout functions
+(:mod:`repro.core.layout`), the LRU/eviction/stats bookkeeping, and the
+write-protection invariant that keeps cached arrays immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.layout import partition_size, rho, rho_inverse
+from repro.engine.plans import (
+    PLAN_CACHE,
+    PLAN_KINDS,
+    Plan,
+    PlanCache,
+    PlanKey,
+    get_plan,
+    plan_cache_stats,
+)
+from repro.errors import ParameterError
+from repro.mergesort.register_merge import odd_even_network
+from repro.numtheory import gcd
+
+
+class TestPlanContent:
+    @pytest.mark.parametrize("w,E", [(8, 5), (32, 15), (32, 16), (12, 9)])
+    def test_rho_plan_matches_scalar_layout(self, w, E):
+        n = 2 * partition_size(w, E)
+        plan = get_plan("rho", n, E, w)
+        fwd = np.asarray(plan["fwd"])
+        inv = np.asarray(plan["inv"])
+        for p in range(n):
+            assert fwd[p] == rho(p, w, E, total=n)
+            assert rho_inverse(int(fwd[p]), w, E, total=n) == p
+        assert np.array_equal(inv[fwd], np.arange(n))
+
+    def test_rho_identity_when_coprime(self):
+        plan = get_plan("rho", 32 * 15, 15, 32)  # d = gcd(32, 15) = 1
+        assert np.array_equal(np.asarray(plan["fwd"]), np.arange(32 * 15))
+
+    def test_rho_rejects_partial_partition(self):
+        size = partition_size(32, 16)
+        with pytest.raises(ParameterError):
+            get_plan("rho", size + 1, 16, 32)
+
+    def test_scatter_plan_matches_rho_rounds(self):
+        E, u, w = 5, 16, 8
+        n = u * E
+        plan = get_plan("scatter", n, E, w)
+        addr = np.asarray(plan["addr"])
+        assert addr.shape == (E, u)
+        for j in range(E):
+            for i in range(u):
+                assert addr[j, i] == rho(i * E + j, w, E, total=n)
+
+    def test_oddeven_plan_matches_network(self):
+        n = 7
+        plan = get_plan("oddeven", n, 0, 1)
+        pairs = list(zip(plan["lo"].tolist(), plan["hi"].tolist()))
+        assert pairs == odd_even_network(n)
+        ptr = np.asarray(plan["phase_ptr"])
+        assert len(ptr) == n + 1
+        # Within each phase the compare-exchange pairs are disjoint.
+        for k in range(n):
+            touched = plan["lo"][ptr[k] : ptr[k + 1]].tolist()
+            touched += plan["hi"][ptr[k] : ptr[k + 1]].tolist()
+            assert len(touched) == len(set(touched))
+
+    def test_stage_plan_bases(self):
+        plan = get_plan("stage", 16, 5, 8)
+        assert np.array_equal(np.asarray(plan["base"]), np.arange(16) * 5)
+        assert np.asarray(plan["ones"]).all()
+
+    def test_unknown_kind_and_missing_array(self):
+        with pytest.raises(ParameterError):
+            get_plan("nonesuch", 8, 5, 8)
+        plan = get_plan("tids", 8, 0, 1)
+        with pytest.raises(ParameterError):
+            plan["fwd"]
+
+
+class TestPlanCacheBehavior:
+    def test_hit_miss_and_stats(self):
+        cache = PlanCache(capacity=4)
+        cache.get("tids", 8, 0, 1)
+        cache.get("tids", 8, 0, 1)
+        cache.get("tids", 16, 0, 1)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_same_key_returns_the_same_object(self):
+        cache = PlanCache()
+        assert cache.get("rho", 160, 5, 8) is cache.get("rho", 160, 5, 8)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        a = cache.get("tids", 1, 0, 1)
+        cache.get("tids", 2, 0, 1)
+        cache.get("tids", 1, 0, 1)  # refresh a: 2 becomes the LRU entry
+        cache.get("tids", 3, 0, 1)  # evicts 2
+        assert cache.stats()["evictions"] == 1
+        assert cache.get("tids", 1, 0, 1) is a  # still cached
+        assert cache.stats()["hits"] == 2
+        cache.get("tids", 2, 0, 1)  # rebuilt: a fresh miss (and eviction)
+        stats = cache.stats()
+        assert stats["misses"] == 4
+        assert stats["evictions"] == 2
+
+    def test_clear_resets_everything(self):
+        cache = PlanCache()
+        cache.get("tids", 8, 0, 1)
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ParameterError):
+            PlanCache(capacity=0)
+
+    def test_key_derives_d(self):
+        cache = PlanCache()
+        plan = cache.get("rho", 2 * partition_size(32, 16), 16, 32)
+        assert plan.key == PlanKey(
+            n=2 * partition_size(32, 16), E=16, w=32, d=gcd(32, 16), kind="rho"
+        )
+
+    def test_global_cache_stats_shape(self):
+        get_plan("tids", 4, 0, 1)
+        stats = plan_cache_stats()
+        assert set(stats) == {
+            "hits", "misses", "evictions", "size", "capacity", "hit_rate"
+        }
+        assert all(isinstance(v, float) for v in stats.values())
+        assert PLAN_CACHE.capacity == stats["capacity"]
+
+    def test_plan_kinds_enumeration(self):
+        assert set(PLAN_KINDS) == {"tids", "stage", "rho", "scatter", "oddeven"}
+
+
+class TestImmutability:
+    @pytest.mark.parametrize("kind,n,E,w", [
+        ("tids", 8, 0, 1),
+        ("stage", 8, 5, 8),
+        ("rho", 160, 16, 8),
+        ("scatter", 80, 5, 8),
+        ("oddeven", 6, 0, 1),
+    ])
+    def test_every_plan_array_is_write_protected(self, kind, n, E, w):
+        plan = get_plan(kind, n, E, w)
+        for name, arr in plan.arrays.items():
+            assert not arr.flags.writeable, f"{kind}[{name}] is writable"
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_nbytes_reports_plan_footprint(self):
+        plan = get_plan("tids", 8, 0, 1)
+        assert plan.nbytes == sum(a.nbytes for a in plan.arrays.values())
+        assert isinstance(plan, Plan)

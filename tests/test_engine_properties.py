@@ -1,0 +1,77 @@
+"""Property-based guarantees of the plan cache (Hypothesis).
+
+Two invariants the whole engine leans on:
+
+* **no key collisions** — distinct ``(kind, n, E, w)`` requests never
+  alias one cache entry, and equal requests always do;
+* **immutability** — every array a cached plan hands out is
+  write-protected, so no caller can corrupt a plan another caller holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.plans import PlanCache, PlanKey, get_plan
+from repro.numtheory import gcd
+
+# Kinds whose builders accept any n >= 1 regardless of (E, w): the
+# collision property must hold across kinds, not just within one.
+FREE_KINDS = ("tids", "stage", "oddeven")
+
+requests = st.tuples(
+    st.sampled_from(FREE_KINDS),
+    st.integers(min_value=1, max_value=64),   # n
+    st.integers(min_value=0, max_value=32),   # E
+    st.integers(min_value=1, max_value=32),   # w
+)
+
+
+@given(st.lists(requests, min_size=2, max_size=12, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_distinct_requests_get_distinct_plans(reqs):
+    cache = PlanCache(capacity=64)
+    plans = [cache.get(kind, n, E, w) for kind, n, E, w in reqs]
+    # Distinct request tuples -> distinct keys -> distinct plan objects.
+    keys = [p.key for p in plans]
+    assert len(set(keys)) == len(reqs)
+    assert len({id(p) for p in plans}) == len(reqs)
+
+
+@given(requests, requests)
+@settings(max_examples=200, deadline=None)
+def test_key_equality_iff_request_equality(r1, r2):
+    k1 = PlanKey(n=r1[1], E=r1[2], w=r1[3], d=gcd(r1[3], r1[2]), kind=r1[0])
+    k2 = PlanKey(n=r2[1], E=r2[2], w=r2[3], d=gcd(r2[3], r2[2]), kind=r2[0])
+    assert (k1 == k2) == (r1 == r2)
+    if r1 == r2:
+        assert hash(k1) == hash(k2)
+
+
+@given(requests)
+@settings(max_examples=100, deadline=None)
+def test_repeat_requests_hit_the_same_object(req):
+    cache = PlanCache(capacity=8)
+    kind, n, E, w = req
+    first = cache.get(kind, n, E, w)
+    second = cache.get(kind, n, E, w)
+    assert first is second
+    assert cache.stats()["hits"] >= 1
+
+
+@given(requests)
+@settings(max_examples=100, deadline=None)
+def test_cached_plan_arrays_are_immutable(req):
+    kind, n, E, w = req
+    plan = get_plan(kind, n, E, w)
+    for name, arr in plan.arrays.items():
+        assert not arr.flags.writeable, f"{kind}[{name}]"
+        if arr.size:
+            with pytest.raises(ValueError):
+                arr[0] = 0
+        # Views inherit the protection; copies are the caller's to own.
+        assert not arr[:0].flags.writeable
+        assert np.array(arr).flags.writeable
