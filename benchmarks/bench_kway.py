@@ -1,0 +1,247 @@
+"""The k-way merge acceptance benchmark: levels, conflicts, bit-identity.
+
+Three gates, mirroring the acceptance criteria:
+
+* **Level count** — ``kway_sort`` executes exactly ``ceil(log_k(n/tile))``
+  merge levels, strictly fewer than the pairwise pipeline's ``log_2``.
+* **Zero conflicts** — the staged CF gather reports zero shared-memory
+  replays on the lockstep simulator for every coprime ``(E, w)`` in the
+  grid, at every fan-in; non-coprime geometries are measured and
+  reported (no claim), as are the fused schedule's reappearing
+  conflicts for ``k > 2``.
+* **Bit-identity** — the batched engine profile
+  (:func:`repro.engine.batch.batched_kway_merge_profile`) reproduces the
+  lockstep merge-phase counters field-for-field, per tile.
+
+When ``KWAY_REPORT`` names a path, a deterministic JSON report (counters,
+digests, level counts — no timings) is written; CI generates it twice
+and compares byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+from conftest import attach
+
+from repro.engine.lane import EngineStats, profile_kway_merges
+from repro.engine.plans import plan_cache_stats
+from repro.mergesort.kway import kway_level_count, kway_merge_block, kway_sort
+from repro.mergesort.samplesort import sample_sort
+from repro.numtheory import gcd
+
+#: The acceptance sweep geometry (coprime: gcd(5, 8) = 1).
+E, U, W = 5, 32, 8
+TILE = U * E
+N_TILES = 16
+
+#: Conflict grid: fan-ins x geometries (coprime and non-coprime).
+FAN_INS = (2, 3, 4)
+GEOMETRIES = ((5, 8), (7, 8), (15, 32), (6, 8), (6, 4))  # last two non-coprime
+
+#: Counter fields compared for bit-identity.
+IDENTITY_FIELDS = (
+    "shared_read_rounds",
+    "shared_write_rounds",
+    "shared_cycles",
+    "shared_replays",
+    "shared_excess",
+    "broadcast_reads",
+    "shared_requests",
+    "compute_ops",
+    "sync_barriers",
+)
+
+
+def _interleaved_runs(k: int, total: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    vals = np.sort(rng.integers(0, 1 << 20, total))
+    return [vals[r::k] for r in range(k)]
+
+
+def _report() -> dict:
+    """The deterministic (timing-free) k-way report CI diffs."""
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 40, N_TILES * TILE, dtype=np.int64)
+
+    levels: dict[str, dict[str, int]] = {}
+    for k in FAN_INS:
+        result = kway_sort(data, k, E, U, W, variant="cf")
+        levels[str(k)] = {
+            "merge_levels": result.merge_level_count,
+            "expected": kway_level_count(N_TILES, k),
+            "pairwise_levels": kway_level_count(N_TILES, 2),
+            "merge_replays": result.merge_replays,
+        }
+
+    grid: dict[str, dict[str, int]] = {}
+    digest = hashlib.sha256()
+    for k in FAN_INS:
+        for (e, w) in GEOMETRIES:
+            runs = _interleaved_runs(k, w * e, seed=100 * k + e)
+            for schedule in ("staged", "fused"):
+                _, stats = kway_merge_block(
+                    runs, e, w, variant="cf", schedule=schedule,
+                    simulate_search=False,
+                )
+                d = stats.merge.as_dict()
+                digest.update(json.dumps(d, sort_keys=True).encode())
+                grid[f"k={k},E={e},w={w},{schedule}"] = {
+                    "gcd": gcd(w, e),
+                    "replays": d["shared_replays"],
+                    "excess": d["shared_excess"],
+                }
+
+    sample = sample_sort(data, E, U, W, variant="cf")
+    cache = plan_cache_stats()
+    return {
+        "params": {"E": E, "u": U, "w": W, "tiles": N_TILES},
+        "levels": levels,
+        "conflict_grid": grid,
+        "grid_sha256": digest.hexdigest(),
+        "samplesort": {
+            "n_buckets": sample.n_buckets,
+            "max_bucket": sample.max_bucket,
+            "bucket_bound": sample.bucket_bound,
+            "overflow_buckets": sample.overflow_buckets,
+            "merge_replays": sample.merge_replays,
+        },
+        "plan_cache": {
+            "hits": int(cache["hits"]),
+            "misses": int(cache["misses"]),
+            "size": int(cache["size"]),
+        },
+    }
+
+
+def test_kway_level_count(benchmark):
+    """log_k levels, not log_2 — and the output is actually sorted."""
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 40, N_TILES * TILE, dtype=np.int64)
+
+    result = benchmark.pedantic(
+        lambda: kway_sort(data, 4, E, U, W, variant="cf"), rounds=1, iterations=1
+    )
+    expected = math.ceil(math.log(N_TILES, 4))
+    pairwise = math.ceil(math.log2(N_TILES))
+    attach(
+        benchmark,
+        merge_levels=result.merge_level_count,
+        log_k_expected=expected,
+        log2_pairwise=pairwise,
+        merge_replays=result.merge_replays,
+    )
+    assert np.array_equal(result.data, np.sort(data))
+    assert result.merge_level_count == expected == kway_level_count(N_TILES, 4)
+    assert result.merge_level_count < pairwise
+    assert result.merge_replays == 0, "coprime staged CF k-way sort conflicted"
+
+
+def test_kway_zero_conflict_grid(benchmark):
+    """Staged CF gather: zero replays for every coprime (E, w), any k."""
+    coprime_replays = 0
+    noncoprime_replays = 0
+    fused_k2 = 0
+    fused_kgt2 = 0
+
+    def sweep():
+        nonlocal coprime_replays, noncoprime_replays, fused_k2, fused_kgt2
+        coprime_replays = noncoprime_replays = fused_k2 = fused_kgt2 = 0
+        for k in FAN_INS:
+            for (e, w) in GEOMETRIES:
+                runs = _interleaved_runs(k, w * e, seed=100 * k + e)
+                merged, stats = kway_merge_block(
+                    runs, e, w, variant="cf", schedule="staged",
+                    simulate_search=False,
+                )
+                assert np.array_equal(merged, np.sort(np.concatenate(runs)))
+                if gcd(w, e) == 1:
+                    coprime_replays += stats.merge.shared_replays
+                else:
+                    noncoprime_replays += stats.merge.shared_replays
+                _, fstats = kway_merge_block(
+                    runs, e, w, variant="cf", schedule="fused",
+                    simulate_search=False,
+                )
+                if k == 2 and gcd(w, e) == 1:
+                    fused_k2 += fstats.merge.shared_replays
+                elif k > 2:
+                    fused_kgt2 += fstats.merge.shared_replays
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    attach(
+        benchmark,
+        staged_coprime_replays=coprime_replays,
+        staged_noncoprime_replays=noncoprime_replays,
+        fused_k2_replays=fused_k2,
+        fused_kgt2_replays=fused_kgt2,
+    )
+    assert coprime_replays == 0, "staged CF k-way gather conflicted on coprime (E, w)"
+    assert fused_k2 == 0, "fused schedule must reduce to Algorithm 1 at k = 2"
+
+
+def test_kway_batched_identity(benchmark):
+    """Batched engine profiles == lockstep merge counters, per tile."""
+    cases = [(3, 5, 8, 32), (4, 7, 8, 16), (2, 6, 8, 32), (4, 6, 4, 24)]
+    checked = 0
+
+    def run():
+        nonlocal checked
+        checked = 0
+        for (k, e, w, u) in cases:
+            groups = [
+                _interleaved_runs(k, u * e, seed=7 * i + k) for i in range(3)
+            ]
+            lockstep = []
+            for g in groups:
+                _, stats = kway_merge_block(
+                    g, e, w, variant="cf", simulate_search=False
+                )
+                lockstep.append(stats.merge)
+            st = EngineStats()
+            batched = profile_kway_merges(groups, e, w, stats=st)
+            assert st.passes == 1, "same-shape groups must collapse to one pass"
+            for i, (lc, bc) in enumerate(zip(lockstep, batched)):
+                for f in IDENTITY_FIELDS:
+                    assert getattr(lc, f) == getattr(bc, f), (
+                        f"k={k} E={e} w={w} tile {i}: {f} diverged "
+                        f"({getattr(lc, f)} != {getattr(bc, f)})"
+                    )
+                checked += 1
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    attach(benchmark, tiles_checked=checked, fields_per_tile=len(IDENTITY_FIELDS))
+    assert checked == 4 * 3
+
+    report_path = os.environ.get("KWAY_REPORT")
+    if report_path:
+        Path(report_path).write_text(
+            json.dumps(_report(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def test_samplesort_bound(benchmark):
+    """Deterministic sample sort: sorted, bucket bound honored, zero replays."""
+    rng = np.random.default_rng(2)
+    data = rng.permutation(np.arange(N_TILES * TILE + 123, dtype=np.int64))
+
+    result = benchmark.pedantic(
+        lambda: sample_sort(data, E, U, W, variant="cf"), rounds=1, iterations=1
+    )
+    attach(
+        benchmark,
+        n_buckets=result.n_buckets,
+        max_bucket=result.max_bucket,
+        bucket_bound=result.bucket_bound,
+        overflow=result.overflow_buckets,
+        merge_replays=result.merge_replays,
+    )
+    assert np.array_equal(result.data, np.sort(data))
+    assert result.max_bucket <= result.bucket_bound, "distinct-key bound violated"
+    assert result.overflow_buckets == 0
+    assert result.merge_replays == 0, "CF sample sort conflicted (coprime geometry)"

@@ -20,9 +20,12 @@ from repro.engine.batch import (
     BatchCounters,
     batched_blocksort_profile,
     batched_cf_merge_profile,
+    batched_kway_merge_profile,
     batched_pointer_merge_profile,
     batched_search_profile,
     batched_serial_merge_profile,
+    kway_gather_addresses,
+    kway_thread_cuts,
     odd_even_sort_rows,
     pad_and_stack,
 )
@@ -30,6 +33,7 @@ from repro.engine.lane import (
     EngineStats,
     profile_blocksorts,
     profile_cf_merges,
+    profile_kway_merges,
     profile_searches,
     profile_serial_merges,
 )
@@ -47,14 +51,18 @@ __all__ = [
     "BatchCounters",
     "batched_blocksort_profile",
     "batched_cf_merge_profile",
+    "batched_kway_merge_profile",
     "batched_pointer_merge_profile",
     "batched_search_profile",
     "batched_serial_merge_profile",
+    "kway_gather_addresses",
+    "kway_thread_cuts",
     "odd_even_sort_rows",
     "pad_and_stack",
     "EngineStats",
     "profile_blocksorts",
     "profile_cf_merges",
+    "profile_kway_merges",
     "profile_searches",
     "profile_serial_merges",
     "PLAN_CACHE",

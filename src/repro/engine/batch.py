@@ -39,6 +39,9 @@ __all__ = [
     "batched_search_profile",
     "batched_cf_merge_profile",
     "batched_blocksort_profile",
+    "kway_thread_cuts",
+    "kway_gather_addresses",
+    "batched_kway_merge_profile",
 ]
 
 #: Matches :data:`repro.mergesort.serial_merge.SENTINEL`.
@@ -570,3 +573,169 @@ def batched_blocksort_profile(
     # Final staging pass.
     _batched_stage_rounds(acc, u, E, kind="write")
     return acc.to_counters()
+
+
+# --------------------------------------------------------------- k-way merge
+
+
+def kway_thread_cuts(
+    runs: Sequence[npt.ArrayLike], E: int
+) -> tuple[IntArray, IntArray, IntArray]:
+    """Stable per-thread k-way partition of ``runs`` into ``E``-wide chunks.
+
+    Returns ``(cuts, bases, merged)``: ``cuts[i, r]`` is how many elements
+    of run ``r`` precede diagonal ``i*E`` of the stable k-way merge (ties
+    broken by run index, then in-run position — the multiway merge-path
+    generalization), ``bases[r]`` is run ``r``'s start offset in the
+    concatenated layout, and ``merged`` is the full stable merge.  Thread
+    ``i``'s fragment of run ``r`` is ``runs[r][cuts[i, r]:cuts[i + 1, r]]``;
+    the fragments of one thread total exactly ``E`` elements.
+    """
+    arrays = [np.asarray(r, dtype=np.int64) for r in runs]
+    k = len(arrays)
+    if k < 1:
+        raise ParameterError("kway_thread_cuts needs at least one run")
+    lens = np.array([len(a) for a in arrays], dtype=np.int64)
+    total = int(lens.sum())
+    if E < 1:
+        raise ParameterError(f"E must be >= 1, got {E}")
+    if total % E:
+        raise ParameterError(f"total run length {total} is not a multiple of E={E}")
+    u = total // E
+    flat = (
+        np.concatenate(arrays) if total else np.zeros(0, dtype=np.int64)
+    )
+    order = np.argsort(flat, kind="stable")
+    merged = flat[order]
+    run_of = np.repeat(np.arange(k, dtype=np.int64), lens)
+    taken = run_of[order]
+    cuts = np.zeros((u + 1, k), dtype=np.int64)
+    if u:
+        csum = np.cumsum(
+            taken[:, None] == np.arange(k, dtype=np.int64)[None, :], axis=0
+        )
+        cuts[1:] = csum[E - 1 :: E]
+    return cuts, np.concatenate([[0], np.cumsum(lens)[:-1]]).astype(np.int64), merged
+
+
+def kway_gather_addresses(
+    cuts: IntArray,
+    bases: IntArray,
+    lens: IntArray,
+    E: int,
+    w: int,
+    rho_fwd: IntArray,
+    schedule: str = "staged",
+) -> tuple[IntArray, BoolArray]:
+    """The k-way gather address matrix for one block, ``(u, slots)``.
+
+    ``schedule="staged"`` runs ``k*E`` sub-rounds (the ``kway_rounds``
+    plan): slot ``(r, j)`` reads each thread's element of run ``r`` at
+    layout residue ``j`` mod ``E``, if its fragment holds one.  Every
+    slot's active addresses are a subset of a stride-``E`` arithmetic
+    progression, so the schedule is conflict free whenever
+    ``GCD(E, w) == 1`` — for *any* ``k``.
+
+    ``schedule="fused"`` generalizes the paper's dual subsequence gather:
+    odd-indexed runs are reversed in the layout (``pi``), and each thread
+    reads its ``E`` elements in residue-sorted order over ``E`` rounds.
+    For ``k == 2`` the residues cover ``0..E-1`` exactly (CF-Merge's
+    Lemma) and the schedule *is* Algorithm 1; for ``k > 2`` residues can
+    repeat within a thread, so conflicts reappear and are measured.
+    """
+    u = int(cuts.shape[0]) - 1
+    k = int(cuts.shape[1])
+    if schedule == "staged":
+        plan = get_plan("kway_rounds", k * E, E, w, k)
+        run = np.asarray(plan["run"])
+        resid = np.asarray(plan["resid"])
+        start = bases[None, :] + cuts[:-1, :]  # (u, k)
+        end = bases[None, :] + cuts[1:, :]
+        s_start = start[:, run]  # (u, k*E)
+        p = s_start + ((resid[None, :] - s_start) % E)
+        active = p < end[:, run]
+        addr = np.asarray(rho_fwd)[np.where(active, p, 0)]
+        return addr.astype(np.int64), active
+    if schedule == "fused":
+        pos_parts = []
+        thr_parts = []
+        for r in range(k):
+            length = int(lens[r])
+            x = np.arange(length, dtype=np.int64)
+            thr = np.searchsorted(cuts[1:, r], x, side="right")
+            pos = bases[r] + (x if r % 2 == 0 else length - 1 - x)
+            pos_parts.append(pos)
+            thr_parts.append(thr)
+        pos = np.concatenate(pos_parts) if pos_parts else np.zeros(0, np.int64)
+        thr = np.concatenate(thr_parts) if thr_parts else np.zeros(0, np.int64)
+        order = np.lexsort((pos, pos % E, thr))
+        addr = np.asarray(rho_fwd)[pos[order]].reshape(u, E)
+        return addr.astype(np.int64), np.ones((u, E), dtype=bool)
+    raise ParameterError(f"unknown k-way schedule {schedule!r}")
+
+
+def batched_kway_merge_profile(
+    groups: Sequence[Sequence[npt.ArrayLike]],
+    E: int,
+    w: int,
+    *,
+    schedule: str = "staged",
+) -> list[Counters]:
+    """CF k-way merge counters for same-shape groups, one vectorized pass.
+
+    Per group, bit-identical to the *merge*-phase counters of
+    :func:`repro.mergesort.kway.kway_merge_block` with
+    ``variant="cf"``, ``simulate_search=False`` on the same runs
+    (cross-validated in ``tests/test_engine_kway.py`` and
+    ``benchmarks/bench_kway.py``): the gather rounds replay the exact
+    slot schedule, the scatter rounds replay the cached scatter plan,
+    and the register network's compare-exchanges are charged from the
+    ``oddeven`` plan.
+    """
+    if not groups:
+        raise ParameterError("batched_kway_merge_profile needs >= 1 group")
+    k = len(groups[0])
+    addr_mats = []
+    active_mats = []
+    total = -1
+    for runs in groups:
+        if len(runs) != k:
+            raise ParameterError(
+                f"every group must have the same k; got {len(runs)} and {k}"
+            )
+        cuts, bases, _ = kway_thread_cuts(runs, E)
+        lens = np.asarray(cuts[-1])
+        group_total = int(lens.sum())
+        if total < 0:
+            total = group_total
+            if total == 0:
+                raise ParameterError("k-way groups must be non-empty")
+            u = total // E
+            if u % w:
+                raise ParameterError(
+                    f"block width u={u} must be a multiple of w={w}"
+                )
+            rho_fwd = np.asarray(get_plan("rho", total, E, w)["fwd"])
+        elif group_total != total:
+            raise ParameterError("every group must have the same total length")
+        addr, active = kway_gather_addresses(
+            cuts, bases, lens, E, w, rho_fwd, schedule
+        )
+        addr_mats.append(addr)
+        active_mats.append(active)
+
+    stacked_addr = np.stack(addr_mats)  # (T, u, slots)
+    stacked_active = np.stack(active_mats)
+    T = len(groups)
+    acc = BatchCounters(T, u, w)
+    for s in range(stacked_addr.shape[2]):
+        acc.round(stacked_addr[:, :, s], stacked_active[:, :, s], "read")
+    scatter = np.asarray(get_plan("scatter", total, E, w)["addr"])  # (E, u)
+    ones = np.ones((T, u), dtype=bool)
+    for j in range(E):
+        acc.round(np.broadcast_to(scatter[j], (T, u)), ones, "write")
+    ops_per_row = int(np.asarray(get_plan("oddeven", E, 0, 1)["lo"]).shape[0])
+    out = acc.to_counters()
+    for c in out:
+        c.compute_ops = 2 * u * E + ops_per_row * u
+    return out

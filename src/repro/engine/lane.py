@@ -21,6 +21,7 @@ import numpy.typing as npt
 from repro.engine.batch import (
     batched_blocksort_profile,
     batched_cf_merge_profile,
+    batched_kway_merge_profile,
     batched_search_profile,
     batched_serial_merge_profile,
 )
@@ -34,10 +35,12 @@ __all__ = [
     "profile_searches",
     "profile_serial_merges",
     "profile_cf_merges",
+    "profile_kway_merges",
     "profile_blocksorts",
 ]
 
 Pair = tuple[npt.ArrayLike, npt.ArrayLike]
+RunGroup = Sequence[npt.ArrayLike]
 
 
 @dataclass
@@ -136,6 +139,44 @@ def profile_cf_merges(
             {"tiles": len(idxs), "total": total},
         ):
             results = batched_cf_merge_profile(len(idxs), total, E, w)
+        for i, c in zip(idxs, results):
+            out[i] = c
+        if stats is not None:
+            stats.items += len(idxs)
+            stats.passes += 1
+    return out
+
+
+def profile_kway_merges(
+    groups: Sequence[RunGroup],
+    E: int,
+    w: int,
+    *,
+    schedule: str = "staged",
+    tracer: "Tracer | None" = None,
+    stats: EngineStats | None = None,
+) -> list[Counters]:
+    """Batched k-way CF merge profiles, one per run group, input order.
+
+    Groups are batched by ``(k, total)`` — the batched kernel stacks the
+    per-thread gather schedules, so every group in one pass must share
+    the fan-in and the merged length.
+    """
+    out: list[Counters] = [Counters() for _ in groups]
+    shapes: "OrderedDict[tuple[int, int], list[int]]" = OrderedDict()
+    for i, runs in enumerate(groups):
+        arrays = [np.asarray(r) for r in runs]
+        shapes.setdefault(
+            (len(arrays), sum(len(a) for a in arrays)), []
+        ).append(i)
+    for (k, total), idxs in shapes.items():
+        with _span(
+            tracer, f"engine.kway-merge x{len(idxs)}",
+            {"tiles": len(idxs), "k": k, "total": total, "schedule": schedule},
+        ):
+            results = batched_kway_merge_profile(
+                [groups[i] for i in idxs], E, w, schedule=schedule
+            )
         for i, c in zip(idxs, results):
             out[i] = c
         if stats is not None:

@@ -5,9 +5,14 @@ schedules, staging permutations (``pi``/``rho``), odd-even networks and
 merge-path diagonals are pure functions of the geometry ``(n, E, w, d)``.
 Before this module the repo recomputed them as nested Python lists on
 every call; a *plan* freezes them once as write-protected NumPy index
-arrays, and :class:`PlanCache` keys them on ``(n, E, w, d, kind)`` with
-LRU eviction, hit/miss/eviction counters, and thread safety (the service
-worker shards share the process-global :data:`PLAN_CACHE`).
+arrays, and :class:`PlanCache` keys them on ``(n, E, w, d, kind, k)``
+with LRU eviction, hit/miss/eviction counters, and thread safety (the
+service worker shards share the process-global :data:`PLAN_CACHE`).
+
+The ``k`` component is the merge *width*: pairwise plans leave it at 0,
+while the k-way gather schedule (``kway_rounds``) and the sample-sort
+splitter ranks (``sample_splitters``) key on the actual fan-in, so a
+``k=2`` and a ``k=4`` schedule of the same geometry never collide.
 
 Plans are immutable by contract: every array is stored with its NumPy
 write flag cleared, so an accidental in-place mutation raises instead of
@@ -48,7 +53,9 @@ class PlanKey:
     ``n`` is the layout/problem size the plan spans (thread count for
     ``tids``/``stage``/``oddeven``, element count for ``rho``/``scatter``),
     ``d = GCD(w, E)`` rides along explicitly so keys self-describe the
-    residue structure the arrays encode.
+    residue structure the arrays encode.  ``k`` is the merge width for
+    k-way plans (``kway_rounds``/``sample_splitters``); pairwise plans
+    keep the default 0, so every pre-existing key is unchanged.
     """
 
     n: int
@@ -56,6 +63,7 @@ class PlanKey:
     w: int
     d: int
     kind: str
+    k: int = 0
 
 
 @dataclass(frozen=True)
@@ -87,13 +95,13 @@ def _frozen(arr: npt.NDArray[np.int64] | npt.NDArray[np.bool_]) -> PlanArray:
     return out
 
 
-def _build_tids(n: int, E: int, w: int) -> dict[str, PlanArray]:
+def _build_tids(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     """Thread-id vector + all-active mask for ``n`` threads."""
     tids = np.arange(n, dtype=np.int64)
     return {"tids": _frozen(tids), "ones": _frozen(np.ones(n, dtype=bool))}
 
 
-def _build_stage(n: int, E: int, w: int) -> dict[str, PlanArray]:
+def _build_stage(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     """Thread-contiguous staging bases: round ``m`` touches ``base + m``."""
     tids = np.arange(n, dtype=np.int64)
     return {
@@ -103,7 +111,7 @@ def _build_stage(n: int, E: int, w: int) -> dict[str, PlanArray]:
     }
 
 
-def _build_rho(n: int, E: int, w: int) -> dict[str, PlanArray]:
+def _build_rho(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     """The ``rho`` position->address permutation over an ``n``-word layout.
 
     ``fwd[p]`` is the shared-memory address of position ``p``;
@@ -129,7 +137,7 @@ def _build_rho(n: int, E: int, w: int) -> dict[str, PlanArray]:
     return {"fwd": _frozen(fwd), "inv": _frozen(inv)}
 
 
-def _build_scatter(n: int, E: int, w: int) -> dict[str, PlanArray]:
+def _build_scatter(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     """CF scatter addresses over an ``n = u*E`` tile.
 
     ``addr[j, i] == rho(i*E + j)`` — round ``j``, thread ``i`` — matching
@@ -138,12 +146,12 @@ def _build_scatter(n: int, E: int, w: int) -> dict[str, PlanArray]:
     if n % E:
         raise ParameterError(f"scatter plan size {n} not a multiple of E={E}")
     u = n // E
-    fwd = _build_rho(n, E, w)["fwd"]
+    fwd = _build_rho(n, E, w, k)["fwd"]
     addr = np.asarray(fwd).reshape(u, E).T
     return {"addr": _frozen(np.ascontiguousarray(addr)), "fwd": fwd}
 
 
-def _build_oddeven(n: int, E: int, w: int) -> dict[str, PlanArray]:
+def _build_oddeven(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     """The odd-even transposition network for rows of length ``n``.
 
     ``lo``/``hi`` concatenate every phase's compare-exchange pairs;
@@ -166,13 +174,51 @@ def _build_oddeven(n: int, E: int, w: int) -> dict[str, PlanArray]:
     }
 
 
+def _build_kway_rounds(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+    """The staged k-way gather schedule: ``k*E`` slots of ``(run, residue)``.
+
+    Slot ``s`` gathers, for every thread at once, the element of run
+    ``run[s]`` whose layout position is congruent to ``resid[s]`` mod
+    ``E`` (if the thread's fragment of that run holds one).  Iterating
+    the slots run-major keeps each run's ``E`` residue sub-rounds
+    consecutive, which is what makes the staged schedule's address sets
+    arithmetic progressions of stride ``E`` — conflict free whenever
+    ``GCD(E, w) == 1``.  Only ``E`` and ``k`` shape the arrays; ``n`` and
+    ``w`` ride along in the key for self-description.
+    """
+    runs = np.repeat(np.arange(max(k, 0), dtype=np.int64), max(E, 0))
+    resid = np.tile(np.arange(max(E, 0), dtype=np.int64), max(k, 0))
+    return {"run": _frozen(runs), "resid": _frozen(resid)}
+
+
+def _build_sample_splitters(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+    """Deterministic sample-sort splitter ranks (Dehne & Zaboli).
+
+    For ``k`` buckets with ``E`` (= the oversampling factor ``s``)
+    samples per part, the sorted sample has ``n == k*E`` entries and the
+    ``k - 1`` splitters sit at ranks ``E, 2E, ..., (k-1)E``.
+    """
+    if k < 1 or E < 1:
+        raise ParameterError(
+            f"sample_splitters needs k >= 1 parts and E >= 1 samples, got k={k}, E={E}"
+        )
+    if n != k * E:
+        raise ParameterError(
+            f"sample_splitters plan size {n} != parts*oversample = {k}*{E}"
+        )
+    idx = np.arange(1, k, dtype=np.int64) * E
+    return {"idx": _frozen(idx)}
+
+
 #: kind -> builder.  Builders are pure functions of the key.
-_BUILDERS: dict[str, Callable[[int, int, int], dict[str, PlanArray]]] = {
+_BUILDERS: dict[str, Callable[[int, int, int, int], dict[str, PlanArray]]] = {
     "tids": _build_tids,
     "stage": _build_stage,
     "rho": _build_rho,
     "scatter": _build_scatter,
     "oddeven": _build_oddeven,
+    "kway_rounds": _build_kway_rounds,
+    "sample_splitters": _build_sample_splitters,
 }
 
 #: The plan kinds the cache can build.
@@ -198,14 +244,14 @@ class PlanCache:
         self._misses = 0
         self._evictions = 0
 
-    def get(self, kind: str, n: int, E: int, w: int) -> Plan:
-        """Return the plan for ``(n, E, w, gcd(w, E), kind)``, building on miss."""
+    def get(self, kind: str, n: int, E: int, w: int, k: int = 0) -> Plan:
+        """Return the plan for ``(n, E, w, gcd(w, E), kind, k)``, building on miss."""
         builder = _BUILDERS.get(kind)
         if builder is None:
             raise ParameterError(
                 f"unknown plan kind {kind!r} (known: {', '.join(PLAN_KINDS)})"
             )
-        key = PlanKey(n=n, E=E, w=w, d=gcd(w, E), kind=kind)
+        key = PlanKey(n=n, E=E, w=w, d=gcd(w, E), kind=kind, k=k)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -215,7 +261,7 @@ class PlanCache:
             self._misses += 1
         # Build outside the lock: builders are pure, so a racing double
         # build is wasted work, never an inconsistency.
-        plan = Plan(key=key, arrays=builder(n, E, w))
+        plan = Plan(key=key, arrays=builder(n, E, w, k))
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
@@ -255,9 +301,9 @@ class PlanCache:
 PLAN_CACHE = PlanCache()
 
 
-def get_plan(kind: str, n: int, E: int, w: int) -> Plan:
+def get_plan(kind: str, n: int, E: int, w: int, k: int = 0) -> Plan:
     """Shorthand for :meth:`PlanCache.get` on the global :data:`PLAN_CACHE`."""
-    return PLAN_CACHE.get(kind, n, E, w)
+    return PLAN_CACHE.get(kind, n, E, w, k)
 
 
 def plan_cache_stats() -> dict[str, float]:

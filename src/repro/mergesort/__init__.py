@@ -43,6 +43,17 @@ from repro.mergesort.serial_merge import serial_merge_block
 from repro.mergesort.cf import cf_merge_block
 from repro.mergesort.blocksort import blocksort_tile
 from repro.mergesort.pipeline import MergesortResult, gpu_mergesort
+from repro.mergesort.kway import (
+    KwaySortResult,
+    kway_level_count,
+    kway_merge_block,
+    kway_merge_path_search,
+    kway_sort,
+    merge_runs,
+    merge_two_runs,
+    tournament_merge_runs,
+)
+from repro.mergesort.samplesort import SampleSortResult, sample_sort
 
 __all__ = [
     "merge_path_search",
@@ -56,4 +67,14 @@ __all__ = [
     "blocksort_tile",
     "gpu_mergesort",
     "MergesortResult",
+    "kway_merge_path_search",
+    "kway_merge_block",
+    "kway_level_count",
+    "kway_sort",
+    "KwaySortResult",
+    "tournament_merge_runs",
+    "merge_runs",
+    "merge_two_runs",
+    "sample_sort",
+    "SampleSortResult",
 ]

@@ -1,37 +1,564 @@
-"""Merging many sorted runs (a k-way utility on the pairwise kernels).
+"""True k-way merging: block kernel, sort pipeline, pairwise tournament.
 
-GPU pipelines frequently need to combine several already-sorted streams
-(timer wheels, log shards, external-memory runs).  ``merge_runs`` reduces
-``k`` sorted runs with a balanced pairwise tournament, each round executed
-by the simulated block-merge kernels, so the conflict behaviour of the
-chosen variant carries over: ``log2(k)`` levels, CF-Merge conflict free
-throughout.
+Three layers, from kernel to driver:
 
-Runs of arbitrary (even mutually different) lengths are supported; each
-pairwise merge pads to a whole number of tiles with sentinels, exactly as
-the sort pipeline does.
+* :func:`kway_merge_block` — one thread block merges ``k`` sorted runs
+  whose lengths sum to ``u*E``: a host-assisted k-way merge-path
+  partition (stable multisequence selection) hands each thread a
+  ``k``-fragment window of exactly ``E`` elements, a staged CRS-style
+  gather brings the window into registers, an oblivious odd-even
+  network merges it, and the cached scatter plan writes it back.  Two
+  gather schedules are provided (Sitchinava & Weichert's staging
+  framework, generalized to ``k`` subsequences):
+
+  - ``"staged"`` — ``k*E`` sub-rounds, one ``(run, residue)`` slot per
+    round.  Each slot's active addresses form a subset of a
+    stride-``E`` arithmetic progression, so the schedule is provably
+    conflict free for coprime ``(E, w)`` at **every** ``k``.  For
+    non-coprime geometries the ``rho`` partition shift is applied and
+    the residual conflicts are measured, exactly like the pairwise CF
+    kernel.
+  - ``"fused"`` — ``E`` rounds; odd-indexed runs are reversed in the
+    layout (the ``pi`` generalization) and each thread reads its ``E``
+    elements in residue-sorted order.  For ``k == 2`` this *is* the
+    paper's Algorithm 1 (zero conflicts, coprime geometry); for
+    ``k > 2`` a thread's residues need not cover ``0..E-1``, the
+    per-round address sets stop being permutations of residue classes,
+    and the reappearing conflicts are measured rather than hidden.
+
+  ``variant="thrust"`` replaces gather+network+scatter with the
+  baseline per-thread *serial* k-way merge in shared memory (``k``
+  head loads, then ``E`` data-dependent replacement reads) — the
+  multiway analogue of the serial pairwise merge, conflict-prone.
+
+* :func:`kway_sort` — the full pipeline: blocksort over ``u*E`` tiles,
+  then ``ceil(log_k(n_tiles))`` k-way merge levels (vs. the pairwise
+  pipeline's ``ceil(log2)``), with the same analytic global-memory
+  accounting as :func:`repro.mergesort.pipeline.gpu_mergesort`.
+
+* :func:`tournament_merge_runs` — the *pairwise tournament* this module
+  shipped before real k-way kernels existed: ``ceil(log2(k))`` levels
+  of two-run merges.  It is **not** a k-way merge (each level is the
+  binary kernel); the name now says so.  :func:`merge_runs` remains as
+  a thin compatibility wrapper.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
+import numpy as np
+import numpy.typing as npt
+
+from repro.engine.batch import (
+    kway_gather_addresses,
+    kway_thread_cuts,
+    odd_even_sort_rows,
+)
+from repro.engine.plans import get_plan
 from repro.errors import ParameterError
+from repro.mergesort.blocksort import BlocksortStats, blocksort_tile
 from repro.mergesort.cf import cf_merge_block
+from repro.mergesort.pipeline import _segments
 from repro.mergesort.serial_merge import SENTINEL, serial_merge_block
 from repro.mergesort.stats import MergePhaseStats
+from repro.sim.block import ThreadBlock
+from repro.sim.counters import Counters
+from repro.sim.instructions import Compute, Instruction, SharedRead, SharedWrite
+from repro.sim.trace import AccessTrace
 
-__all__ = ["merge_runs", "merge_two_runs"]
+__all__ = [
+    "kway_merge_path_search",
+    "kway_merge_block",
+    "kway_sort",
+    "KwaySortResult",
+    "kway_level_count",
+    "tournament_merge_runs",
+    "merge_runs",
+    "merge_two_runs",
+]
+
+IntArray = npt.NDArray[np.int64]
+ThreadProgram = Generator[Instruction, "int | None", None]
+
+#: Valid k-way gather schedules.
+KWAY_SCHEDULES = ("staged", "fused")
+
+
+# ------------------------------------------------------------- partitioning
+
+
+def kway_merge_path_search(
+    runs: Sequence[npt.ArrayLike], diagonal: int
+) -> tuple[int, ...]:
+    """Stable k-way merge-path cut: how far each run reaches ``diagonal``.
+
+    The multiway generalization of the two-run merge-path search:
+    returns ``cuts`` with ``sum(cuts) == diagonal`` such that the first
+    ``diagonal`` elements of the stable k-way merge are exactly
+    ``runs[r][:cuts[r]]`` for every ``r``.  Ties are broken by run
+    index then in-run position (the stability contract every kernel in
+    this module shares), implemented as a multisequence selection: find
+    the ``diagonal``-th smallest value, count strictly-smaller entries
+    per run, and distribute the leftover equal entries in run order.
+    """
+    arrays = [np.asarray(r, dtype=np.int64) for r in runs]
+    if not arrays:
+        raise ParameterError("kway_merge_path_search needs at least one run")
+    lens = [len(a) for a in arrays]
+    total = sum(lens)
+    if not 0 <= diagonal <= total:
+        raise ParameterError(
+            f"diagonal {diagonal} out of range [0, {total}]"
+        )
+    if diagonal == 0:
+        return (0,) * len(arrays)
+    if diagonal == total:
+        return tuple(lens)
+    flat = np.concatenate(arrays)
+    pivot = int(np.partition(flat, diagonal - 1)[diagonal - 1])
+    less = [int(np.searchsorted(a, pivot, side="left")) for a in arrays]
+    equal = [
+        int(np.searchsorted(a, pivot, side="right")) - lo
+        for a, lo in zip(arrays, less)
+    ]
+    need = diagonal - sum(less)
+    cuts: list[int] = []
+    for lo, eq in zip(less, equal):
+        take = min(eq, need)
+        cuts.append(lo + take)
+        need -= take
+    return tuple(cuts)
+
+
+def _kway_search_steps(lengths: Sequence[int]) -> int:
+    """Binary-search steps of one k-way partition: one search per run."""
+    return sum(int(length).bit_length() for length in lengths)
+
+
+def kway_level_count(n_runs: int, k: int) -> int:
+    """Merge levels :func:`kway_sort` executes: ``ceil(log_k(n_runs))``."""
+    if k < 2:
+        raise ParameterError(f"k must be >= 2, got {k}")
+    levels = 0
+    remaining = n_runs
+    while remaining > 1:
+        remaining = -(-remaining // k)
+        levels += 1
+    return levels
+
+
+# ------------------------------------------------------------ thread programs
+
+
+def _kway_search_kernel(
+    pivot: int, lens: Sequence[int], addr_of: Callable[[int, int], int], k: int
+) -> ThreadProgram:
+    """Per-thread multisequence selection traffic: one lower-bound binary
+    search per run against the thread's (host-computed) pivot value.
+
+    As in the pairwise kernels, the driver recomputes the cut; the
+    program replicates the honest traffic shape — it reads the staged
+    cells through the layout mapping and compares them.
+    """
+    for r in range(k):
+        lo, hi = 0, int(lens[r])
+        while lo < hi:
+            mid = (lo + hi) // 2
+            yield Compute(2)
+            value = yield SharedRead(addr_of(r, mid))
+            assert value is not None
+            if value < pivot:
+                lo = mid + 1
+            else:
+                hi = mid
+
+
+def _kway_gather_kernel(
+    addresses: IntArray, active: npt.NDArray[np.bool_], regs: list[int]
+) -> ThreadProgram:
+    """Slot-scheduled gather: inactive slots predicate to ``Compute(0)``
+    pairs so the warp stays lockstep-aligned without joining the access
+    round."""
+    for s in range(len(addresses)):
+        if active[s]:
+            yield Compute(1)
+            value = yield SharedRead(int(addresses[s]))
+            assert value is not None
+            regs.append(value)
+        else:
+            yield Compute(0)
+            yield Compute(0)
+
+
+def _kway_scatter_kernel(addresses: IntArray, values: IntArray) -> ThreadProgram:
+    for j in range(len(addresses)):
+        yield Compute(1)
+        yield SharedWrite(int(addresses[j]), int(values[j]))
+
+
+def _kway_serial_kernel(
+    starts: IntArray,
+    ends: IntArray,
+    addr_of: Callable[[int, int], int],
+    out_row: IntArray,
+    E: int,
+    k: int,
+) -> ThreadProgram:
+    """Baseline per-thread serial k-way merge: ``k`` head loads, then
+    ``E`` replacement reads following the taken run — fully
+    data-dependent shared traffic, the multiway conflict-prone shape."""
+    heads: list[int | None] = [None] * k
+    ptrs = [int(p) for p in starts]
+    stops = [int(p) for p in ends]
+    for r in range(k):
+        if ptrs[r] < stops[r]:
+            yield Compute(1)
+            head = yield SharedRead(addr_of(r, ptrs[r]))
+            assert head is not None
+            heads[r] = head
+        else:
+            yield Compute(0)
+            yield Compute(0)
+    for step in range(E):
+        yield Compute(k)  # the k-way minimum (ties to the lowest run index)
+        taken = -1
+        best = 0
+        for r in range(k):
+            h = heads[r]
+            if h is not None and (taken < 0 or h < best):
+                taken, best = r, h
+        out_row[step] = best
+        ptrs[taken] += 1
+        if ptrs[taken] < stops[taken]:
+            refill = yield SharedRead(addr_of(taken, ptrs[taken]))
+            assert refill is not None
+            heads[taken] = refill
+        else:
+            heads[taken] = None
+            yield Compute(0)
+
+
+# ------------------------------------------------------------- block kernel
+
+
+def kway_merge_block(
+    runs: Sequence[npt.ArrayLike],
+    E: int,
+    w: int,
+    *,
+    variant: str = "cf",
+    schedule: str = "staged",
+    simulate_search: bool = True,
+    trace: AccessTrace | None = None,
+) -> tuple[IntArray, MergePhaseStats]:
+    """Merge ``k >= 2`` sorted runs totalling ``u*E`` elements in one block.
+
+    ``variant="cf"`` stages the concatenated runs in shared memory
+    through the cached ``rho`` plan, gathers each thread's ``E``-element
+    window with the selected ``schedule`` (see the module docstring),
+    merges in registers with the odd-even network, and scatters through
+    the cached scatter plan.  ``variant="thrust"`` serially k-way merges
+    each window directly in shared memory (plain layout, data-dependent
+    reads).  Empty and unequal runs are fine; the run lengths must sum
+    to a positive multiple of ``E`` whose quotient ``u`` is a multiple
+    of ``w``.
+
+    Returns the merged array and per-phase counters; the trace phases
+    are ``"search"``, then ``"gather"``/``"scatter"`` (cf) or
+    ``"merge"`` (thrust).
+    """
+    if variant not in ("thrust", "cf"):
+        raise ParameterError(f"unknown variant {variant!r}")
+    if schedule not in KWAY_SCHEDULES:
+        raise ParameterError(f"unknown k-way schedule {schedule!r}")
+    arrays = [np.asarray(r, dtype=np.int64) for r in runs]
+    k = len(arrays)
+    if k < 2:
+        raise ParameterError(f"kway_merge_block needs k >= 2 runs, got {k}")
+    for i, run in enumerate(arrays):
+        if run.ndim != 1:
+            raise ParameterError(f"run {i} is not one-dimensional")
+        if np.any(np.diff(run) < 0):
+            raise ParameterError(f"run {i} is not sorted")
+    total = sum(len(a) for a in arrays)
+    if total == 0:
+        raise ParameterError("kway_merge_block needs a non-empty total")
+    if total % E:
+        raise ParameterError(f"total length {total} is not a multiple of E={E}")
+    u = total // E
+    if u % w:
+        raise ParameterError(f"block width u={u} must be a multiple of w={w}")
+
+    cuts, bases, merged = kway_thread_cuts(arrays, E)
+    lens = np.asarray(cuts[-1], dtype=np.int64)
+    stats = MergePhaseStats()
+    counters = stats.merge
+
+    if variant == "thrust":
+        staged = np.concatenate(arrays)
+
+        def addr_of(r: int, m: int) -> int:
+            return int(bases[r]) + m
+
+    else:
+        rho_fwd = np.asarray(get_plan("rho", total, E, w)["fwd"])
+        if schedule == "fused":
+            parts = [a if r % 2 == 0 else a[::-1] for r, a in enumerate(arrays)]
+        else:
+            parts = arrays
+        staged = np.empty(total, dtype=np.int64)
+        staged[rho_fwd] = np.concatenate(parts)
+
+        def addr_of(r: int, m: int) -> int:
+            if schedule == "fused" and r % 2:
+                pos = int(bases[r]) + int(lens[r]) - 1 - m
+            else:
+                pos = int(bases[r]) + m
+            return int(rho_fwd[pos])
+
+    if simulate_search:
+        diagonals = np.maximum(np.arange(u, dtype=np.int64) * E - 1, 0)
+        pivots = merged[diagonals]
+
+        def search_factory(tid: int) -> ThreadProgram:
+            return _kway_search_kernel(
+                int(pivots[tid]), [int(x) for x in lens], addr_of, k
+            )
+
+        if trace is not None:
+            trace.set_phase("search")
+        search_block = ThreadBlock(
+            u=u, w=w, shared_words=total, program_factory=search_factory,
+            counters=stats.search, trace=trace,
+        )
+        search_block.shared.load_array(staged)
+        search_block.run()
+
+    if variant == "thrust":
+        out_matrix = np.zeros((u, E), dtype=np.int64)
+        if trace is not None:
+            trace.set_phase("merge")
+        merge_exec = ThreadBlock(
+            u=u, w=w, shared_words=total,
+            program_factory=lambda tid: _kway_serial_kernel(
+                cuts[tid], cuts[tid + 1], addr_of, out_matrix[tid], E, k
+            ),
+            counters=counters, trace=trace,
+        )
+        merge_exec.shared.load_array(staged)
+        merge_exec.run()
+        flat_out = out_matrix.reshape(-1)
+        if not np.array_equal(flat_out, merged):  # pragma: no cover
+            raise ParameterError("k-way serial merge mismatch")
+        return flat_out, stats
+
+    # --- CF path: gather -> register network -> scatter -------------------
+    gather_addr, gather_active = kway_gather_addresses(
+        cuts, bases, lens, E, w, rho_fwd, schedule
+    )
+    reg_rows: list[list[int]] = [[] for _ in range(u)]
+    if trace is not None:
+        trace.set_phase("gather")
+    gather_exec = ThreadBlock(
+        u=u, w=w, shared_words=total,
+        program_factory=lambda tid: _kway_gather_kernel(
+            gather_addr[tid], gather_active[tid], reg_rows[tid]
+        ),
+        counters=counters, trace=trace,
+    )
+    gather_exec.shared.load_array(staged)
+    gather_exec.run()
+
+    reg_matrix = np.array(reg_rows, dtype=np.int64)
+    merged_matrix, ops_per_row = odd_even_sort_rows(reg_matrix)
+    counters.compute_ops += ops_per_row * u
+
+    # Cross-check: the simulated gather + network equals the host merge.
+    expected = merged.reshape(u, E)
+    if not np.array_equal(merged_matrix, expected):  # pragma: no cover
+        bad = int(np.flatnonzero((merged_matrix != expected).any(axis=1))[0])
+        raise ParameterError(f"k-way gather mismatch for thread {bad}")
+
+    scatter_addr = np.asarray(get_plan("scatter", total, E, w)["fwd"]).reshape(u, E)
+    if trace is not None:
+        trace.set_phase("scatter")
+    scatter_exec = ThreadBlock(
+        u=u, w=w, shared_words=total,
+        program_factory=lambda tid: _kway_scatter_kernel(
+            scatter_addr[tid], merged_matrix[tid]
+        ),
+        counters=counters, trace=trace,
+    )
+    scatter_exec.run()
+
+    data = scatter_exec.shared.snapshot()
+    out = np.asarray(data[rho_fwd], dtype=np.int64)
+    return out, stats
+
+
+# ------------------------------------------------------------ sort pipeline
+
+
+@dataclass
+class KwaySortResult:
+    """Everything measured while k-way sorting one input."""
+
+    #: The sorted output (same length as the input).
+    data: IntArray
+    #: Input length (before padding).
+    n: int
+    #: Merge fan-in.
+    k: int
+    #: ``"thrust"`` or ``"cf"``.
+    variant: str
+    #: ``"staged"`` or ``"fused"`` (cf gather schedule).
+    schedule: str
+    E: int
+    u: int
+    w: int
+    #: Number of k-way merge levels executed after blocksort.
+    merge_level_count: int = 0
+    #: Aggregated blocksort phase counters.
+    blocksort_stats: BlocksortStats = field(default_factory=BlocksortStats)
+    #: Aggregated merge-kernel phase counters (all levels).
+    merge_stats: MergePhaseStats = field(default_factory=MergePhaseStats)
+    #: Per-level merge counters, in level order.
+    per_level: list[MergePhaseStats] = field(default_factory=list)
+    #: Analytically accounted global-memory traffic.
+    global_stats: Counters = field(default_factory=Counters)
+
+    @property
+    def total_counters(self) -> Counters:
+        """All statistics rolled into one object."""
+        return (
+            self.blocksort_stats.total + self.merge_stats.total + self.global_stats
+        )
+
+    @property
+    def merge_replays(self) -> int:
+        """Bank-conflict replays during merge phases only (the CF claim)."""
+        return (
+            self.blocksort_stats.merge.shared_replays
+            + self.merge_stats.merge.shared_replays
+        )
+
+
+def kway_sort(
+    data: npt.ArrayLike,
+    k: int,
+    E: int,
+    u: int,
+    w: int = 32,
+    *,
+    variant: str = "cf",
+    schedule: str = "staged",
+    read_policy: str = "bounded",
+    simulate_search: bool = True,
+) -> KwaySortResult:
+    """Sort ``data`` with blocksort + ``ceil(log_k(n_tiles))`` merge levels.
+
+    The k-way analogue of :func:`repro.mergesort.pipeline.gpu_mergesort`:
+    identical blocksort and identical global-memory accounting style,
+    but each merge level combines up to ``k`` runs per group through
+    :func:`kway_merge_block`, so an ``n``-element input needs
+    ``ceil(log_k(n / (u*E)))`` levels instead of ``ceil(log2(...))``.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be >= 2, got {k}")
+    if variant not in ("thrust", "cf"):
+        raise ParameterError(f"unknown variant {variant!r}")
+    if schedule not in KWAY_SCHEDULES:
+        raise ParameterError(f"unknown k-way schedule {schedule!r}")
+    values = np.asarray(data, dtype=np.int64)
+    if values.ndim != 1:
+        raise ParameterError("input must be one-dimensional")
+    n = len(values)
+    result = KwaySortResult(
+        data=np.array([], dtype=np.int64), n=n, k=k, variant=variant,
+        schedule=schedule, E=E, u=u, w=w,
+    )
+    if n == 0:
+        return result
+    if np.any(values >= SENTINEL):
+        raise ParameterError("input values must be < 2^63 - 1 (padding sentinel)")
+
+    tile = u * E
+    n_tiles = (n + tile - 1) // tile
+    padded = np.full(n_tiles * tile, SENTINEL, dtype=np.int64)
+    padded[:n] = values
+
+    runs: list[IntArray] = []
+    for t in range(n_tiles):
+        chunk = padded[t * tile : (t + 1) * tile]
+        sorted_tile, stats = blocksort_tile(
+            chunk, E, w, variant, read_policy=read_policy
+        )
+        result.blocksort_stats.search.merge(stats.search)
+        result.blocksort_stats.merge.merge(stats.merge)
+        result.blocksort_stats.stage.merge(stats.stage)
+        runs.append(sorted_tile)
+        result.global_stats.global_read_transactions += tile // 32 + 1
+        result.global_stats.global_write_transactions += tile // 32 + 1
+
+    while len(runs) > 1:
+        level_stats = MergePhaseStats()
+        next_runs: list[IntArray] = []
+        for g in range(0, len(runs), k):
+            group = runs[g : g + k]
+            if len(group) == 1:
+                next_runs.append(group[0])
+                continue
+            lens_g = [len(r) for r in group]
+            total_g = sum(lens_g)
+            n_blocks = total_g // tile
+            out = np.empty(total_g, dtype=np.int64)
+            prev = [0] * len(group)
+            for b in range(1, n_blocks + 1):
+                if b < n_blocks:
+                    cut = list(kway_merge_path_search(group, b * tile))
+                    steps = _kway_search_steps(lens_g)
+                    # One global word read per binary-search step per run.
+                    result.global_stats.global_read_transactions += steps
+                    result.global_stats.global_read_requests += steps
+                else:
+                    cut = lens_g
+                frags = [
+                    run[p:c] for run, p, c in zip(group, prev, cut)
+                ]
+                merged_blk, bstats = kway_merge_block(
+                    frags, E, w, variant=variant, schedule=schedule,
+                    simulate_search=simulate_search,
+                )
+                level_stats.merge_into(bstats)
+                out[(b - 1) * tile : b * tile] = merged_blk
+                for p, c in zip(prev, cut):
+                    result.global_stats.global_read_transactions += _segments(p, c)
+                result.global_stats.global_write_transactions += tile // 32
+                prev = cut
+            next_runs.append(out)
+        runs = next_runs
+        result.per_level.append(level_stats)
+        result.merge_stats.merge_into(level_stats)
+        result.merge_level_count += 1
+
+    result.data = runs[0][:n]
+    return result
+
+
+# ------------------------------------------------- pairwise tournament (old)
 
 
 def merge_two_runs(
-    a,
-    b,
+    a: npt.ArrayLike,
+    b: npt.ArrayLike,
     E: int,
     u: int,
     w: int = 32,
     variant: str = "thrust",
-) -> tuple[np.ndarray, MergePhaseStats]:
+) -> tuple[IntArray, MergePhaseStats]:
     """Merge two sorted arrays of arbitrary lengths block by block."""
     from repro.mergesort.merge_path import merge_path_search
 
@@ -66,18 +593,22 @@ def merge_two_runs(
     return out[:total], stats
 
 
-def merge_runs(
-    runs,
+def tournament_merge_runs(
+    runs: Sequence[npt.ArrayLike],
     E: int,
     u: int,
     w: int = 32,
     variant: str = "thrust",
-) -> tuple[np.ndarray, MergePhaseStats]:
-    """Merge ``k`` sorted runs into one sorted array.
+) -> tuple[IntArray, MergePhaseStats]:
+    """Reduce ``k`` sorted runs with a balanced *pairwise* tournament.
 
-    Pairwise tournament: ``ceil(log2(k))`` levels; an odd run out is
-    promoted unchanged.  Returns the merged array and aggregated per-phase
-    counters.
+    This is **not** a k-way merge: every level runs the binary block
+    kernels (``serial_merge_block`` / ``cf_merge_block``) on pairs, so
+    it executes ``ceil(log2(k))`` levels and touches every element once
+    per level.  For a single-pass ``log_k`` pipeline use
+    :func:`kway_sort` / :func:`kway_merge_block`.  An odd run out is
+    promoted unchanged.  Returns the merged array and aggregated
+    per-phase counters.
     """
     if variant not in ("thrust", "cf"):
         raise ParameterError(f"unknown variant {variant!r}")
@@ -102,3 +633,20 @@ def merge_runs(
             nxt.append(arrays[-1])
         arrays = nxt
     return arrays[0], stats
+
+
+def merge_runs(
+    runs: Sequence[npt.ArrayLike],
+    E: int,
+    u: int,
+    w: int = 32,
+    variant: str = "thrust",
+) -> tuple[IntArray, MergePhaseStats]:
+    """Compatibility wrapper for :func:`tournament_merge_runs`.
+
+    Historical name: earlier releases called the pairwise tournament a
+    "k-way utility".  The semantics are unchanged (``ceil(log2(k))``
+    pairwise levels); new code wanting a true k-way merge should call
+    :func:`kway_sort` or :func:`kway_merge_block`.
+    """
+    return tournament_merge_runs(runs, E, u, w, variant)

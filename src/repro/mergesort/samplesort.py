@@ -1,0 +1,252 @@
+"""Deterministic sample sort on the simulated blocksort (Dehne & Zaboli).
+
+GPU sample sort replaces the merge tree with one *partition* pass: sort
+tiles locally, pick splitters from a deterministic sample, scatter every
+element to its bucket, and sort each bucket independently.  Dehne &
+Zaboli's deterministic variant makes the sample *regular* — ``s``
+equidistant samples from every sorted tile — so the bucket sizes carry a
+worst-case bound instead of a probabilistic one: with ``p`` tiles,
+``2p`` buckets and splitters every ``s/2`` sample ranks, a bucket holds
+at most ``(s/2 + p)·tile/s`` elements for distinct keys — exactly one
+tile at the default ``s = 2p``, so every bucket fits one blocksort.
+
+Everything data-touching runs on the simulator's blocksort (so the CF
+variant's zero-conflict guarantee carries over verbatim); the host-side
+splitter selection is charged analytically to the global counters, like
+the merge pipeline's partition searches:
+
+1. **Tile sort** — each ``u*E`` tile through ``blocksort_tile``.
+2. **Sample + splitters** — ``s`` equidistant elements per sorted tile;
+   the ``p*s`` samples are sorted and the ``2p - 1`` splitters read off
+   the cached ``sample_splitters`` plan ranks.
+3. **Bucket scatter** — per element, a binary search over the splitters
+   (bucket ids are monotone, so per tile each bucket's slice is one
+   coalesced segment); charged as one read + one write pass.
+4. **Bucket sort** — buckets up to one tile are padded and blocksorted;
+   oversized buckets (duplicate-heavy inputs defeat the distinct-key
+   bound) fall back to :func:`repro.mergesort.kway.kway_sort` and are
+   counted in ``overflow_buckets``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.engine.plans import get_plan
+from repro.errors import ParameterError
+from repro.mergesort.blocksort import BlocksortStats, blocksort_tile
+from repro.mergesort.kway import kway_sort
+from repro.mergesort.serial_merge import SENTINEL
+from repro.mergesort.stats import MergePhaseStats
+from repro.sim.counters import Counters
+
+__all__ = ["sample_sort", "SampleSortResult"]
+
+IntArray = npt.NDArray[np.int64]
+
+#: Fan-in of the k-way fallback sort for oversized buckets.
+OVERFLOW_FANIN = 4
+
+
+@dataclass
+class SampleSortResult:
+    """Everything measured while sample sorting one input."""
+
+    #: The sorted output (same length as the input).
+    data: IntArray
+    #: Input length (before padding).
+    n: int
+    #: ``"thrust"`` or ``"cf"``.
+    variant: str
+    E: int
+    u: int
+    w: int
+    #: Samples taken per sorted tile (``s``).
+    oversample: int = 0
+    #: Number of input tiles (``p``).
+    n_tiles: int = 0
+    #: Number of buckets (``2p`` for multi-tile inputs).
+    n_buckets: int = 0
+    #: Final bucket sizes, in bucket order.
+    bucket_sizes: list[int] = field(default_factory=list)
+    #: Largest bucket produced by the scatter.
+    max_bucket: int = 0
+    #: The regular-sampling bound ``(s/2 + p)·tile/s`` (distinct keys;
+    #: equals one tile at the default ``s = 2p``).  Duplicate-heavy
+    #: inputs may exceed it and overflow.
+    bucket_bound: int = 0
+    #: Buckets that exceeded one tile and took the k-way fallback.
+    overflow_buckets: int = 0
+    #: Phase-1 tile blocksort counters.
+    tile_blocksort: BlocksortStats = field(default_factory=BlocksortStats)
+    #: Phase-4 bucket blocksort counters.
+    bucket_blocksort: BlocksortStats = field(default_factory=BlocksortStats)
+    #: Phase-4 overflow (k-way fallback) merge counters.
+    bucket_merge: MergePhaseStats = field(default_factory=MergePhaseStats)
+    #: Analytically accounted global traffic + host splitter work.
+    global_stats: Counters = field(default_factory=Counters)
+
+    @property
+    def total_counters(self) -> Counters:
+        """All statistics rolled into one object."""
+        return (
+            self.tile_blocksort.total
+            + self.bucket_blocksort.total
+            + self.bucket_merge.total
+            + self.global_stats
+        )
+
+    @property
+    def merge_replays(self) -> int:
+        """Bank-conflict replays during merge-like phases (the CF claim)."""
+        return (
+            self.tile_blocksort.merge.shared_replays
+            + self.bucket_blocksort.merge.shared_replays
+            + self.bucket_merge.merge.shared_replays
+        )
+
+
+def sample_sort(
+    data: npt.ArrayLike,
+    E: int,
+    u: int,
+    w: int = 32,
+    *,
+    variant: str = "cf",
+    oversample: int | None = None,
+) -> SampleSortResult:
+    """Sort ``data`` with the deterministic sample-sort pipeline.
+
+    ``oversample`` is ``s``, the samples taken per sorted tile (must
+    be even: the splitter stride is ``s/2``); the default
+    ``min(2p, tile)`` makes the distinct-key bucket bound exactly one
+    tile.  Geometry constraints are those of
+    :func:`repro.mergesort.blocksort.blocksort_tile` (power-of-two
+    ``u``, multiple of ``w``); violations raise ``ParameterError``.
+    """
+    if variant not in ("thrust", "cf"):
+        raise ParameterError(f"unknown variant {variant!r}")
+    values = np.asarray(data, dtype=np.int64)
+    if values.ndim != 1:
+        raise ParameterError("input must be one-dimensional")
+    n = len(values)
+    result = SampleSortResult(
+        data=np.array([], dtype=np.int64), n=n, variant=variant, E=E, u=u, w=w
+    )
+    if n == 0:
+        return result
+    if np.any(values >= SENTINEL):
+        raise ParameterError("input values must be < 2^63 - 1 (padding sentinel)")
+
+    tile = u * E
+    p = (n + tile - 1) // tile
+    s = oversample if oversample is not None else min(2 * p, tile)
+    if not 2 <= s <= tile or s % 2:
+        raise ParameterError(
+            f"oversample {s} must be even and in [2, tile={tile}]"
+        )
+    result.oversample = s
+    result.n_tiles = p
+    q = 2 * p
+    result.n_buckets = q
+    result.bucket_bound = (s // 2 + p) * tile // s
+
+    padded = np.full(p * tile, SENTINEL, dtype=np.int64)
+    padded[:n] = values
+
+    # ---- phase 1: tile blocksort -----------------------------------------
+    sorted_tiles: list[IntArray] = []
+    for t in range(p):
+        chunk = padded[t * tile : (t + 1) * tile]
+        sorted_tile, stats = blocksort_tile(chunk, E, w, variant)
+        result.tile_blocksort.search.merge(stats.search)
+        result.tile_blocksort.merge.merge(stats.merge)
+        result.tile_blocksort.stage.merge(stats.stage)
+        sorted_tiles.append(sorted_tile)
+        result.global_stats.global_read_transactions += tile // 32 + 1
+        result.global_stats.global_write_transactions += tile // 32 + 1
+
+    if p == 1:
+        result.n_buckets = 1
+        result.bucket_sizes = [n]
+        result.max_bucket = n
+        result.data = sorted_tiles[0][:n]
+        return result
+
+    # ---- phase 2: deterministic sample + splitters -----------------------
+    # s equidistant ranks per sorted tile, last rank = tile - 1.
+    local_ranks = (np.arange(1, s + 1, dtype=np.int64) * tile) // s - 1
+    sample = np.concatenate([t[local_ranks] for t in sorted_tiles])
+    # Strided sample reads: one transaction per sample (uncoalesced).
+    result.global_stats.global_read_transactions += p * s
+    result.global_stats.global_read_requests += p * s
+    # Host-side sample sort, charged as comparisons.
+    sample_size = p * s
+    result.global_stats.compute_ops += sample_size * max(
+        1, int(sample_size - 1).bit_length()
+    )
+    splitter_ranks = np.asarray(
+        get_plan("sample_splitters", sample_size, s // 2, w, q)["idx"]
+    )
+    splitters = np.sort(sample)[splitter_ranks]
+
+    # ---- phase 3: bucket scatter -----------------------------------------
+    merged_tiles = np.concatenate(sorted_tiles)
+    real = merged_tiles[merged_tiles != SENTINEL]
+    ids = np.searchsorted(splitters, real, side="right")
+    # One coalesced read pass + one segmented write pass (per tile, each
+    # bucket's slice is contiguous: one segment per non-empty pair).
+    result.global_stats.global_read_transactions += -(-n // 32)
+    result.global_stats.global_read_requests += n
+    segments = 0
+    offset = 0
+    for t in range(p):
+        span = min(tile, n - offset)
+        if span > 0:
+            segments += len(np.unique(ids[offset : offset + span]))
+        offset += span
+    result.global_stats.global_write_transactions += -(-n // 32) + segments
+    result.global_stats.global_write_requests += n
+    # The per-element splitter binary search, charged as comparisons.
+    result.global_stats.compute_ops += n * max(1, int(q - 1).bit_length())
+
+    # ---- phase 4: per-bucket sort ----------------------------------------
+    out_parts: list[IntArray] = []
+    sizes: list[int] = []
+    for b in range(q):
+        bucket = real[ids == b]
+        size = len(bucket)
+        sizes.append(size)
+        if size == 0:
+            continue
+        if size <= tile:
+            chunk = np.full(tile, SENTINEL, dtype=np.int64)
+            chunk[:size] = bucket
+            sorted_bucket, stats = blocksort_tile(chunk, E, w, variant)
+            result.bucket_blocksort.search.merge(stats.search)
+            result.bucket_blocksort.merge.merge(stats.merge)
+            result.bucket_blocksort.stage.merge(stats.stage)
+            out_parts.append(sorted_bucket[:size])
+            result.global_stats.global_read_transactions += tile // 32 + 1
+            result.global_stats.global_write_transactions += tile // 32 + 1
+        else:
+            # Duplicate-heavy inputs can defeat the distinct-key bound;
+            # oversized buckets take the k-way pipeline, fully counted.
+            result.overflow_buckets += 1
+            fallback = kway_sort(
+                bucket, OVERFLOW_FANIN, E, u, w, variant=variant
+            )
+            result.bucket_blocksort.search.merge(fallback.blocksort_stats.search)
+            result.bucket_blocksort.merge.merge(fallback.blocksort_stats.merge)
+            result.bucket_blocksort.stage.merge(fallback.blocksort_stats.stage)
+            result.bucket_merge.merge_into(fallback.merge_stats)
+            result.global_stats.merge(fallback.global_stats)
+            out_parts.append(fallback.data)
+
+    result.bucket_sizes = sizes
+    result.max_bucket = max(sizes)
+    result.data = np.concatenate(out_parts)
+    return result

@@ -192,6 +192,66 @@ def _engine_tile(params: dict[str, Any]) -> dict[str, Any]:
     return {"tiles": n_tiles, "counters": acc.as_dict()}
 
 
+def _kway_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One k-way CF sort over a stack of blocksort tiles.
+
+    Deterministic per parameters: level counts and counters are pure
+    functions of the seeded input, so the staged schedule's zero
+    merge-replay row gates the k-way claim in CI.
+    """
+    from repro.mergesort.kway import kway_level_count, kway_sort
+    from repro.workloads.generators import uniform_random
+
+    E = _as_int(params["E"], "E")
+    u = _as_int(params["u"], "u")
+    w = _as_int(params["w"], "w")
+    n_tiles = _as_int(params["tiles"], "tiles")
+    k = _as_int(params["k"], "k")
+    schedule = _as_str(params["schedule"], "schedule")
+    seed = _as_int(params["seed"], "seed")
+    data = uniform_random(n_tiles * u * E, seed=seed, high=2**40)
+    result = kway_sort(data, k, E, u, w, variant="cf", schedule=schedule)
+    return {
+        "merge_levels": result.merge_level_count,
+        "expected_levels": kway_level_count(n_tiles, k),
+        "pairwise_levels": kway_level_count(n_tiles, 2),
+        "merge_replays": result.merge_replays,
+        "counters": result.total_counters.as_dict(),
+    }
+
+
+def _samplesort_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One deterministic sample sort over a seeded workload."""
+    import numpy as np
+
+    from repro.mergesort.samplesort import sample_sort
+    from repro.workloads.generators import uniform_random
+
+    E = _as_int(params["E"], "E")
+    u = _as_int(params["u"], "u")
+    w = _as_int(params["w"], "w")
+    n_tiles = _as_int(params["tiles"], "tiles")
+    workload = _as_str(params["workload"], "workload")
+    seed = _as_int(params["seed"], "seed")
+    n = n_tiles * u * E
+    if workload == "random":
+        rng = np.random.default_rng(seed)
+        data = rng.permutation(np.arange(n, dtype=np.int64))
+    elif workload == "duplicate":
+        data = uniform_random(n, seed=seed, high=4)
+    else:
+        raise ParameterError(f"unknown workload {workload!r}")
+    result = sample_sort(data, E, u, w, variant="cf")
+    return {
+        "n_buckets": result.n_buckets,
+        "max_bucket": result.max_bucket,
+        "bucket_bound": result.bucket_bound,
+        "overflow_buckets": result.overflow_buckets,
+        "merge_replays": result.merge_replays,
+        "counters": result.total_counters.as_dict(),
+    }
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
@@ -200,6 +260,8 @@ _WORKERS = {
     "service": _service_tile,
     "fuzz_case": _fuzz_case_tile,
     "engine": _engine_tile,
+    "kway": _kway_tile,
+    "samplesort": _samplesort_tile,
 }
 
 

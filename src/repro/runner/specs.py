@@ -25,6 +25,8 @@ __all__ = [
     "defenses_spec",
     "service_throughput_spec",
     "engine_spec",
+    "kway_spec",
+    "samplesort_spec",
     "bench_suite",
 ]
 
@@ -177,13 +179,51 @@ def engine_spec(tiles: int = 8, seed: int = 0) -> SweepSpec:
     )
 
 
+def kway_spec(tiles: int = 4, seed: int = 0) -> SweepSpec:
+    """The k-way merge sweep: fan-in × gather schedule on one geometry.
+
+    Each job k-way sorts ``tiles`` blocksort tiles through
+    :func:`repro.mergesort.kway.kway_sort` and reports the level count
+    plus total counters; the staged schedule's merge-phase replays gate
+    the k-way zero-conflict claim in CI.
+    """
+    return SweepSpec(
+        name="kway",
+        kind="kway",
+        axes=(
+            ("k", (2, 3, 4)),
+            ("schedule", ("staged", "fused")),
+        ),
+        fixed=(("tiles", tiles), ("E", 5), ("u", 32), ("w", 8)),
+        seed=seed,
+    )
+
+
+def samplesort_spec(tiles: int = 4, seed: int = 0) -> SweepSpec:
+    """The deterministic sample-sort sweep: workload shape × variant.
+
+    Each job sample sorts ``tiles`` blocksort tiles' worth of keys and
+    reports bucket statistics plus total counters; the ``random``
+    workload gates the distinct-key bucket bound, the ``duplicate``
+    workload exercises the k-way overflow fallback.
+    """
+    return SweepSpec(
+        name="samplesort",
+        kind="samplesort",
+        axes=(("workload", ("random", "duplicate")),),
+        fixed=(("tiles", tiles), ("E", 5), ("u", 32), ("w", 8)),
+        seed=seed,
+    )
+
+
 def bench_suite() -> tuple[SweepSpec, ...]:
     """The specs behind ``python -m repro bench`` and the CI perf gate.
 
     Quick-mode fig6 (which subsumes fig5's worst-case tiles), the
     Theorem 8 grid, the defense ablation, the sort-service cost sweep,
-    and the batched engine sweep — every counter they produce is
-    deterministic, so the gate is flake-free by construction.
+    the batched engine sweep, and the k-way/sample-sort sweeps — every
+    counter they produce is deterministic, so the gate is flake-free by
+    construction.
     """
     return (
         fig6_spec("quick"),
@@ -191,4 +231,6 @@ def bench_suite() -> tuple[SweepSpec, ...]:
         defenses_spec(),
         service_throughput_spec(),
         engine_spec(),
+        kway_spec(),
+        samplesort_spec(),
     )

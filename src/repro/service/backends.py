@@ -2,7 +2,7 @@
 
 A *backend* turns one coalesced micro-batch — the concatenation of many
 small requests plus their segment offsets — into the segment-wise sorted
-concatenation, reporting simulator counters for the launch.  Four ship
+concatenation, reporting simulator counters for the launch.  Six ship
 by default:
 
 ``cf``
@@ -15,6 +15,14 @@ by default:
     packed into independent blocksort tiles and the whole micro-batch is
     profiled/sorted in one vectorized pass, with per-tile counters
     bit-identical to the per-tile fast profiles.
+``kway``
+    The k-way CF pipeline (:func:`repro.mergesort.kway.kway_sort`,
+    fan-in 4): ``log_k`` merge levels instead of ``log_2``, staged
+    conflict-free gather schedule per segment.
+``samplesort``
+    Deterministic sample sort (:func:`repro.mergesort.samplesort.sample_sort`):
+    single partition pass over blocksorted tiles, per-bucket blocksort,
+    k-way fallback for oversized buckets.
 ``baseline``
     The Thrust-style serial shared-memory merge (variant ``"thrust"``),
     vulnerable to the Section 4 adversary.
@@ -114,12 +122,74 @@ def _cf_batched(
     return cf_batched_backend(data, offsets, params, w)
 
 
+#: Fan-in the ``kway`` backend merges with.
+KWAY_BACKEND_FANIN = 4
+
+
+def _kway_backend(
+    data: npt.NDArray[np.int64],
+    offsets: Sequence[int],
+    params: SortParams,
+    w: int,
+) -> BatchOutcome:
+    """Sort each segment with the k-way CF pipeline (fan-in 4)."""
+    from repro.mergesort.kway import kway_sort
+
+    out = data.copy()
+    counters = Counters()
+    launches = 0
+    bounds = list(offsets) + [len(data)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi == lo:
+            continue
+        result = kway_sort(
+            data[lo:hi], KWAY_BACKEND_FANIN, params.E, params.u, w, variant="cf"
+        )
+        out[lo:hi] = result.data
+        counters.merge(result.total_counters)
+        launches += 1 + result.merge_level_count
+    return BatchOutcome(data=out, counters=counters, launches=max(launches, 1))
+
+
+def _samplesort_backend(
+    data: npt.NDArray[np.int64],
+    offsets: Sequence[int],
+    params: SortParams,
+    w: int,
+) -> BatchOutcome:
+    """Sort each segment with the deterministic sample-sort pipeline."""
+    from repro.mergesort.samplesort import sample_sort
+
+    out = data.copy()
+    counters = Counters()
+    launches = 0
+    bounds = list(offsets) + [len(data)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi == lo:
+            continue
+        result = sample_sort(data[lo:hi], params.E, params.u, w, variant="cf")
+        out[lo:hi] = result.data
+        counters.merge(result.total_counters)
+        # Tile sort, scatter, bucket sort: three launch waves per segment.
+        launches += 3 if result.n_tiles > 1 else 1
+    return BatchOutcome(data=out, counters=counters, launches=max(launches, 1))
+
+
 #: The names every stock service exposes, in dispatch-priority order.
-DEFAULT_BACKENDS: tuple[str, ...] = ("cf", "cf-batched", "baseline", "numpy")
+DEFAULT_BACKENDS: tuple[str, ...] = (
+    "cf",
+    "cf-batched",
+    "kway",
+    "samplesort",
+    "baseline",
+    "numpy",
+)
 
 _REGISTRY: dict[str, SortBackend] = {
     "cf": _simulated_backend("cf"),
     "cf-batched": _cf_batched,
+    "kway": _kway_backend,
+    "samplesort": _samplesort_backend,
     "baseline": _simulated_backend("thrust"),
     "numpy": _numpy_backend,
 }

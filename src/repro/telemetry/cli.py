@@ -46,7 +46,7 @@ PROFILE_DEFAULT_W = 32
 PROFILE_DEFAULT_E = 15
 
 #: Valid ``repro trace`` targets.
-TRACE_TARGETS = ("theorem8", "defenses", "fig5", "service", "engine")
+TRACE_TARGETS = ("theorem8", "defenses", "fig5", "service", "engine", "kway")
 
 
 def _profile_payload(run: ProfiledRun) -> dict[str, Any]:
@@ -128,6 +128,25 @@ def run_profile(args: argparse.Namespace) -> str:
             f"zero-conflict claim: CF merge-phase excess {run.merge_excess} "
             f"-> {verdict}"
         )
+    elif target == "kway":
+        from repro.numtheory import gcd
+
+        if gcd(w, E) == 1:
+            verdict = "ok" if run.merge_excess == 0 else "FAIL"
+            lines.append(
+                f"staged k-way zero-conflict claim (GCD(E, w) = 1): "
+                f"merge-phase excess {run.merge_excess} -> {verdict}"
+            )
+        else:
+            lines.append(
+                f"staged k-way, non-coprime GCD(E, w) = {gcd(w, E)}: "
+                f"merge-phase excess {run.merge_excess} (measured, no claim)"
+            )
+    elif target == "kway-fused":
+        lines.append(
+            f"fused k-way schedule: merge-phase excess {run.merge_excess} "
+            "(CRS generalizes only to k = 2; measured, no claim for k > 2)"
+        )
     lines += [
         "",
         "wrote:",
@@ -190,6 +209,27 @@ def _trace_engine(tracer: Tracer) -> str:
     )
 
 
+def _trace_kway(tracer: Tracer) -> str:
+    """Run a batched k-way merge sample set with span tracing on."""
+    import numpy as np
+
+    from repro.engine.lane import EngineStats, profile_kway_merges
+
+    E, u, w = 5, 32, 8
+    rng = np.random.default_rng(13)
+    stats = EngineStats()
+    groups = []
+    for k in (2, 4, 4, 3):
+        vals = np.sort(rng.integers(0, 1 << 20, u * E))
+        groups.append([vals[r::k] for r in range(k)])
+    results = profile_kway_merges(groups, E, w, tracer=tracer, stats=stats)
+    replays = sum(c.shared_replays for c in results)
+    return (
+        f"kway: {stats.items} merges in {stats.passes} vectorized passes, "
+        f"{replays} merge replays"
+    )
+
+
 def run_trace(args: argparse.Namespace) -> str:
     """Execute ``repro trace``: capture spans, write the Chrome trace."""
     target = args.target or "theorem8"
@@ -203,6 +243,8 @@ def run_trace(args: argparse.Namespace) -> str:
         summary = _trace_service(tracer)
     elif target == "engine":
         summary = _trace_engine(tracer)
+    elif target == "kway":
+        summary = _trace_kway(tracer)
     else:
         summary = _trace_runner(args, target, tracer)
 

@@ -41,6 +41,8 @@ __all__ = [
     "profile_worstcase",
     "profile_random",
     "profile_cf",
+    "profile_kway",
+    "profile_kway_fused",
     "PROFILE_TARGETS",
 ]
 
@@ -292,9 +294,53 @@ def profile_cf(w: int = 32, E: int = 15) -> ProfiledRun:
     return _profile("cf", w, E, trace, stats)
 
 
+def _kway_runs(w: int, E: int, k: int) -> list[np.ndarray]:
+    """``k`` interleaved sorted runs covering one ``w*E``-thread tile."""
+    vals = np.arange(w * E, dtype=np.int64)
+    return [vals[r::k] for r in range(k)]
+
+
+def profile_kway(w: int = 32, E: int = 15, k: int = 4) -> ProfiledRun:
+    """Profile the staged k-way CF gather (zero merge excess, coprime).
+
+    The staged schedule issues ``k*E`` gather sub-rounds whose active
+    address sets are stride-``E`` arithmetic progressions, so the
+    pairwise zero-conflict guarantee survives any fan-in whenever
+    ``GCD(E, w) == 1``; the trace phases are ``search``/``gather``/
+    ``scatter``, rendered per-k by ``repro profile kway``.
+    """
+    from repro.mergesort.kway import kway_merge_block
+
+    trace = AccessTrace()
+    _, stats = kway_merge_block(
+        _kway_runs(w, E, k), E, w, variant="cf", schedule="staged", trace=trace
+    )
+    return _profile(f"kway(k={k})", w, E, trace, stats)
+
+
+def profile_kway_fused(w: int = 32, E: int = 15, k: int = 4) -> ProfiledRun:
+    """Profile the fused k-way gather (CRS only generalizes to ``k = 2``).
+
+    The fused schedule reads each thread's ``E`` elements in ``E``
+    residue-sorted rounds, the direct generalization of the paper's
+    Algorithm 1 (to which it reduces exactly at ``k = 2``); for
+    ``k > 2`` a round can hold several addresses with the same residue,
+    so conflicts reappear — this target measures them.
+    """
+    from repro.mergesort.kway import kway_merge_block
+
+    trace = AccessTrace()
+    _, stats = kway_merge_block(
+        _kway_runs(w, E, k), E, w, variant="cf", schedule="fused", trace=trace
+    )
+    return _profile(f"kway-fused(k={k})", w, E, trace, stats)
+
+
 #: Target name -> profiling entry point, for the ``repro profile`` verb.
 PROFILE_TARGETS = {
     "worstcase": profile_worstcase,
     "random": profile_random,
     "cf": profile_cf,
+    "kway": profile_kway,
+    "kway-fused": profile_kway_fused,
 }

@@ -41,8 +41,47 @@ def test_workflow_triggers(workflow):
     assert workflow["permissions"] == {"contents": "read"}
 
 
-def test_workflow_has_the_four_jobs(workflow):
-    assert set(workflow["jobs"]) == {"test", "lint", "smoke", "engine"}
+def test_workflow_schedules_the_nightly_cron(workflow):
+    triggers = workflow.get("on", workflow.get(True))
+    crons = [entry["cron"] for entry in triggers["schedule"]]
+    assert len(crons) == 1
+    minute, hour, dom, month, dow = crons[0].split()
+    # One nightly firing, deliberately off the :00/:30 thundering herd.
+    assert (dom, month, dow) == ("*", "*", "*")
+    assert hour.isdigit()
+    assert minute.isdigit() and int(minute) % 30 != 0
+
+
+def test_workflow_cancels_superseded_runs(workflow):
+    concurrency = workflow["concurrency"]
+    assert concurrency["cancel-in-progress"] is True
+    assert "github.ref" in concurrency["group"]
+
+
+def test_workflow_has_the_six_jobs(workflow):
+    assert set(workflow["jobs"]) == {
+        "test", "lint", "smoke", "engine", "kway", "nightly-fuzz",
+    }
+
+
+def test_nightly_fuzz_is_schedule_only_and_regular_jobs_skip_schedule(workflow):
+    for name, job in workflow["jobs"].items():
+        if name == "nightly-fuzz":
+            assert job["if"] == "github.event_name == 'schedule'"
+        else:
+            assert job["if"] == "github.event_name != 'schedule'", name
+
+
+def test_every_job_caches_pip_keyed_on_pyproject(workflow):
+    for name, job in workflow["jobs"].items():
+        caches = [
+            step for step in job["steps"]
+            if str(step.get("uses", "")).startswith("actions/cache@")
+        ]
+        assert caches, f"job {name} does not cache pip"
+        cache = caches[0]
+        assert cache["with"]["path"] == "~/.cache/pip"
+        assert "hashFiles('pyproject.toml')" in cache["with"]["key"]
 
 
 def test_tier1_job_runs_pytest_across_supported_pythons(workflow):
@@ -63,6 +102,8 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "src/repro/telemetry" in steps
     assert "src/repro/fuzz" in steps
     assert "src/repro/engine" in steps
+    assert "src/repro/mergesort/kway.py" in steps
+    assert "src/repro/mergesort/samplesort.py" in steps
 
 
 def test_smoke_job_runs_quick_suite_and_perf_gate(workflow):
@@ -157,6 +198,47 @@ def test_engine_job_uploads_its_reports(workflow):
     assert upload["with"]["name"] == "engine"
     assert upload["with"]["if-no-files-found"] == "error"
     assert "engine-report.json" in upload["with"]["path"]
+
+
+def test_kway_job_runs_the_benchmark_twice_and_diffs_reports(workflow):
+    # The k-way smoke: the log_k level-count assertion, the CF
+    # zero-conflict grid, and the batched-vs-lockstep counter identity,
+    # run twice — reports must be byte-identical (no timings inside).
+    steps = _steps_text(workflow["jobs"]["kway"])
+    assert "pytest benchmarks/bench_kway.py" in steps
+    assert "KWAY_REPORT=kway-report.json" in steps
+    assert "KWAY_REPORT=kway-report-again.json" in steps
+    assert "cmp kway-report.json kway-report-again.json" in steps
+
+
+def test_kway_job_uploads_its_reports(workflow):
+    job = workflow["jobs"]["kway"]
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert upload["with"]["name"] == "kway"
+    assert upload["with"]["if-no-files-found"] == "error"
+    assert "kway-report.json" in upload["with"]["path"]
+
+
+def test_smoke_job_profiles_the_kway_targets(workflow):
+    steps = _steps_text(workflow["jobs"]["smoke"])
+    assert "python -m repro profile kway" in steps
+    assert "python -m repro trace kway" in steps
+
+
+def test_nightly_fuzz_runs_a_larger_budget_and_uploads_reproducers(workflow):
+    # The nightly campaign: bigger budget and search than the PR smoke,
+    # covering every registered backend oracle (kway/samplesort
+    # included); artifacts upload on always() so exit 6 preserves the
+    # minimized reproducers.
+    job = workflow["jobs"]["nightly-fuzz"]
+    steps = _steps_text(job)
+    assert "python -m repro fuzz run" in steps
+    assert "--budget 512" in steps
+    assert "--search-iters 20000" in steps
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert "nightly-fuzz-artifacts" in upload["with"]["path"]
 
 
 def test_every_job_checks_out_and_sets_up_python(workflow):

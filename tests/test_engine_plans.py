@@ -142,7 +142,10 @@ class TestPlanCacheBehavior:
         assert PLAN_CACHE.capacity == stats["capacity"]
 
     def test_plan_kinds_enumeration(self):
-        assert set(PLAN_KINDS) == {"tids", "stage", "rho", "scatter", "oddeven"}
+        assert set(PLAN_KINDS) == {
+            "tids", "stage", "rho", "scatter", "oddeven",
+            "kway_rounds", "sample_splitters",
+        }
 
 
 class TestImmutability:

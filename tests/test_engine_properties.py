@@ -18,15 +18,17 @@ from hypothesis import strategies as st
 from repro.engine.plans import PlanCache, PlanKey, get_plan
 from repro.numtheory import gcd
 
-# Kinds whose builders accept any n >= 1 regardless of (E, w): the
+# Kinds whose builders accept any n >= 1 regardless of (E, w, k): the
 # collision property must hold across kinds, not just within one.
-FREE_KINDS = ("tids", "stage", "oddeven")
+# kway_rounds shapes its arrays purely from (E, k), so it is free too.
+FREE_KINDS = ("tids", "stage", "oddeven", "kway_rounds")
 
 requests = st.tuples(
     st.sampled_from(FREE_KINDS),
     st.integers(min_value=1, max_value=64),   # n
     st.integers(min_value=0, max_value=32),   # E
     st.integers(min_value=1, max_value=32),   # w
+    st.integers(min_value=0, max_value=8),    # k (merge width; 0 = pairwise)
 )
 
 
@@ -34,7 +36,7 @@ requests = st.tuples(
 @settings(max_examples=200, deadline=None)
 def test_distinct_requests_get_distinct_plans(reqs):
     cache = PlanCache(capacity=64)
-    plans = [cache.get(kind, n, E, w) for kind, n, E, w in reqs]
+    plans = [cache.get(kind, n, E, w, k) for kind, n, E, w, k in reqs]
     # Distinct request tuples -> distinct keys -> distinct plan objects.
     keys = [p.key for p in plans]
     assert len(set(keys)) == len(reqs)
@@ -44,8 +46,8 @@ def test_distinct_requests_get_distinct_plans(reqs):
 @given(requests, requests)
 @settings(max_examples=200, deadline=None)
 def test_key_equality_iff_request_equality(r1, r2):
-    k1 = PlanKey(n=r1[1], E=r1[2], w=r1[3], d=gcd(r1[3], r1[2]), kind=r1[0])
-    k2 = PlanKey(n=r2[1], E=r2[2], w=r2[3], d=gcd(r2[3], r2[2]), kind=r2[0])
+    k1 = PlanKey(n=r1[1], E=r1[2], w=r1[3], d=gcd(r1[3], r1[2]), kind=r1[0], k=r1[4])
+    k2 = PlanKey(n=r2[1], E=r2[2], w=r2[3], d=gcd(r2[3], r2[2]), kind=r2[0], k=r2[4])
     assert (k1 == k2) == (r1 == r2)
     if r1 == r2:
         assert hash(k1) == hash(k2)
@@ -55,9 +57,9 @@ def test_key_equality_iff_request_equality(r1, r2):
 @settings(max_examples=100, deadline=None)
 def test_repeat_requests_hit_the_same_object(req):
     cache = PlanCache(capacity=8)
-    kind, n, E, w = req
-    first = cache.get(kind, n, E, w)
-    second = cache.get(kind, n, E, w)
+    kind, n, E, w, k = req
+    first = cache.get(kind, n, E, w, k)
+    second = cache.get(kind, n, E, w, k)
     assert first is second
     assert cache.stats()["hits"] >= 1
 
@@ -65,8 +67,8 @@ def test_repeat_requests_hit_the_same_object(req):
 @given(requests)
 @settings(max_examples=100, deadline=None)
 def test_cached_plan_arrays_are_immutable(req):
-    kind, n, E, w = req
-    plan = get_plan(kind, n, E, w)
+    kind, n, E, w, k = req
+    plan = get_plan(kind, n, E, w, k)
     for name, arr in plan.arrays.items():
         assert not arr.flags.writeable, f"{kind}[{name}]"
         if arr.size:

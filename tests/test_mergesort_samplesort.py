@@ -1,0 +1,80 @@
+"""Tests for the deterministic sample-sort pipeline (`repro.mergesort.samplesort`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mergesort.samplesort import sample_sort
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("n", [50, 500, 1234, 3 * 160, 8 * 160 + 37])
+    def test_sorts_arbitrary_lengths(self, n):
+        rng = np.random.default_rng(n)
+        data = rng.integers(-(10**6), 10**6, n)
+        result = sample_sort(data, 5, 32, 8)
+        assert np.array_equal(result.data, np.sort(data))
+        assert result.n == n
+
+    def test_distinct_keys_respect_the_bucket_bound(self):
+        rng = np.random.default_rng(1)
+        data = rng.permutation(np.arange(8 * 160 + 37))
+        result = sample_sort(data, 5, 32, 8)
+        assert result.max_bucket <= result.bucket_bound
+        assert result.overflow_buckets == 0
+        # Default oversample = 2p makes the bound exactly one tile.
+        assert result.bucket_bound == 32 * 5
+
+    def test_cf_variant_zero_merge_replays(self):
+        rng = np.random.default_rng(2)
+        data = rng.permutation(np.arange(6 * 160))
+        result = sample_sort(data, 5, 32, 8, variant="cf")
+        assert result.merge_replays == 0  # gcd(5, 8) = 1
+
+    def test_duplicate_heavy_input_overflows_to_kway(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 3, 6 * 160)  # three distinct values
+        result = sample_sort(data, 5, 32, 8, variant="cf")
+        assert np.array_equal(result.data, np.sort(data))
+        assert result.overflow_buckets > 0
+        assert result.merge_replays == 0  # the fallback is CF too
+
+    def test_single_tile_skips_partitioning(self):
+        data = np.array([5, 3, 1, 4])
+        result = sample_sort(data, 5, 32, 8)
+        assert np.array_equal(result.data, [1, 3, 4, 5])
+        assert result.n_tiles == 1
+        assert result.n_buckets == 1
+
+    def test_empty(self):
+        result = sample_sort([], 5, 32, 8)
+        assert len(result.data) == 0
+
+    def test_bucket_sizes_account_for_everything(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 10**6, 5 * 160 + 3)
+        result = sample_sort(data, 5, 32, 8)
+        assert sum(result.bucket_sizes) == len(data)
+        assert len(result.bucket_sizes) == result.n_buckets
+        assert result.max_bucket == max(result.bucket_sizes)
+
+    def test_counters_populated(self):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 10**6, 4 * 160)
+        result = sample_sort(data, 5, 32, 8)
+        total = result.total_counters
+        assert total.compute_ops > 0
+        assert total.global_read_transactions > 0
+        assert result.tile_blocksort.total.shared_requests > 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            sample_sort(np.arange(100), 5, 32, 8, variant="bogus")
+        with pytest.raises(ParameterError):
+            sample_sort(np.zeros((2, 2)), 5, 32, 8)
+        with pytest.raises(ParameterError):
+            sample_sort(np.arange(400), 5, 32, 8, oversample=3)  # odd
+        with pytest.raises(ParameterError):
+            sample_sort(np.arange(400), 5, 32, 8, oversample=1000)  # > tile
