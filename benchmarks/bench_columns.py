@@ -1,0 +1,202 @@
+"""The columnar operator acceptance benchmark: identity, conflicts, cost.
+
+Three gates, mirroring the acceptance criteria:
+
+* **Bit-identity** — every operator (``sort_by``, ``top_k``,
+  ``percentile``, ``groupby_aggregate``, ``merge_join``) reproduces the
+  pure-Python reference oracle byte-for-byte on a multi-dtype demo
+  table with nullable NaN-bearing floats, negative ints, and booleans.
+* **Zero conflicts** — composite-key sorts through the CF backend
+  report zero shared-memory merge replays on the lockstep simulator at
+  the coprime acceptance geometry (gcd(5, 8) = 1), for every operator.
+* **Backend agreement** — the cf-batched backend produces the same
+  permutation as the per-pass cf path (counters aggregate differently,
+  rows must not).
+
+When ``COLUMNS_REPORT`` names a path, a deterministic JSON report
+(counters, digests, group/row counts — no timings) is written; CI
+generates it twice and compares byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+from conftest import attach
+
+from repro.columns.keys import KeySpec
+from repro.columns.ops import (
+    groupby_aggregate,
+    merge_join,
+    percentile,
+    sort_by,
+    top_k,
+)
+from repro.columns.profiler import demo_table
+from repro.columns.reference import (
+    groupby_reference,
+    join_reference,
+    percentile_reference,
+    sort_by_reference,
+    top_k_reference,
+)
+from repro.config import SortParams
+
+#: The acceptance geometry (coprime: gcd(5, 8) = 1).
+PARAMS = SortParams(E=5, u=32)
+W = 8
+ROWS = 192
+
+#: Composite key: ascending int64 then descending nullable float64 with
+#: nulls first — exercises direction mixing and absolute null placement.
+KEYS = (KeySpec("id"), KeySpec("score", ascending=False, nulls="first"))
+
+AGGS = {"score": ("count", "sum", "min", "max"), "payload": ("sum",)}
+
+
+def _tables():
+    left = demo_table(ROWS, seed=0)
+    right = demo_table(ROWS // 2, seed=1).select(["id", "payload"])
+    return left, right
+
+
+def _digest(table) -> str:
+    h = hashlib.sha256()
+    for name in table.names:
+        col = table.column(name)
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(col.values).tobytes())
+        if col.valid is not None:
+            h.update(np.ascontiguousarray(col.valid).tobytes())
+    return h.hexdigest()
+
+
+def _report() -> dict:
+    """The deterministic (timing-free) columns report CI diffs."""
+    left, right = _tables()
+    keys = list(KEYS)
+
+    sorted_r = sort_by(left, keys, params=PARAMS, w=W)
+    top_r = top_k(left, keys, ROWS // 8, params=PARAMS, w=W)
+    group_r = groupby_aggregate(left, ["id"], AGGS, params=PARAMS, w=W)
+    inner_r = merge_join(left, right, ["id"], how="inner", params=PARAMS, w=W)
+    left_r = merge_join(left, right, ["id"], how="left", params=PARAMS, w=W)
+    pct = {
+        str(q): percentile(left, "score", q, params=PARAMS, w=W).value
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0)
+    }
+
+    operators = {}
+    for name, res in (
+        ("sort_by", sorted_r),
+        ("top_k", top_r),
+        ("groupby", group_r),
+        ("join_inner", inner_r),
+        ("join_left", left_r),
+    ):
+        operators[name] = {
+            "rows": int(res.table.num_rows),
+            "passes": int(res.passes),
+            "merge_replays": (
+                -1 if res.merge_replays is None else int(res.merge_replays)
+            ),
+            "sha256": _digest(res.table),
+            "counters": res.counters.as_dict(),
+        }
+    return {
+        "params": {"E": PARAMS.E, "u": PARAMS.u, "w": W, "rows": ROWS},
+        "operators": operators,
+        "percentiles": {k: repr(v) for k, v in sorted(pct.items())},
+    }
+
+
+def test_columns_sort_identity(benchmark):
+    """sort_by == reference oracle, zero merge replays at gcd(E, w) = 1."""
+    left, _ = _tables()
+    keys = list(KEYS)
+
+    result = benchmark.pedantic(
+        lambda: sort_by(left, keys, params=PARAMS, w=W), rounds=1, iterations=1
+    )
+    attach(
+        benchmark,
+        rows=result.table.num_rows,
+        passes=result.passes,
+        merge_replays=result.merge_replays,
+    )
+    assert result.table.equals(sort_by_reference(left, keys))
+    assert result.merge_replays == 0, "composite-key CF sort conflicted"
+
+    topped = top_k(left, keys, ROWS // 8, params=PARAMS, w=W)
+    assert topped.table.equals(top_k_reference(left, keys, ROWS // 8))
+    assert topped.merge_replays == 0
+
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        got = percentile(left, "score", q, params=PARAMS, w=W)
+        want = percentile_reference(left, "score", q)
+        assert repr(got.value) == repr(want), f"percentile q={q} diverged"
+        assert got.merge_replays == 0
+
+
+def test_columns_groupby_join_identity(benchmark):
+    """groupby + both joins == reference, zero replays, stable row order."""
+    left, right = _tables()
+    outputs = {}
+
+    def run():
+        outputs["groupby"] = groupby_aggregate(left, ["id"], AGGS, params=PARAMS, w=W)
+        outputs["inner"] = merge_join(
+            left, right, ["id"], how="inner", params=PARAMS, w=W
+        )
+        outputs["left"] = merge_join(
+            left, right, ["id"], how="left", params=PARAMS, w=W
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    attach(
+        benchmark,
+        groups=outputs["groupby"].table.num_rows,
+        inner_rows=outputs["inner"].table.num_rows,
+        left_rows=outputs["left"].table.num_rows,
+        merge_replays=sum(
+            r.merge_replays or 0 for r in outputs.values()
+        ),
+    )
+    assert outputs["groupby"].table.equals(groupby_reference(left, ["id"], AGGS))
+    assert outputs["inner"].table.equals(join_reference(left, right, ["id"], "inner"))
+    assert outputs["left"].table.equals(join_reference(left, right, ["id"], "left"))
+    for res in outputs.values():
+        assert res.merge_replays == 0, "columnar CF merge conflicted"
+    assert outputs["left"].table.num_rows >= outputs["inner"].table.num_rows
+
+
+def test_columns_backend_agreement(benchmark):
+    """cf-batched rows match the per-pass cf path bit-for-bit."""
+    left, _ = _tables()
+    keys = list(KEYS)
+    outputs = {}
+
+    def run():
+        outputs["cf"] = sort_by(left, keys, params=PARAMS, w=W, backend="cf")
+        outputs["batched"] = sort_by(
+            left, keys, params=PARAMS, w=W, backend="cf-batched"
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    attach(
+        benchmark,
+        cf_replays=outputs["cf"].merge_replays,
+        batched_backend=outputs["batched"].backend,
+    )
+    assert outputs["batched"].table.equals(outputs["cf"].table)
+    assert np.array_equal(outputs["batched"].perm, outputs["cf"].perm)
+
+    report_path = os.environ.get("COLUMNS_REPORT")
+    if report_path:
+        Path(report_path).write_text(
+            json.dumps(_report(), indent=2, sort_keys=True) + "\n"
+        )

@@ -27,6 +27,8 @@ Usage::
     python -m repro bench --baseline B.json [--tolerance T]  # perf gate
     python -m repro serve [--count N --mix M --selftest]  # service smoke
     python -m repro submit [--count N --backends B,...]   # service blast
+    python -m repro sort-table [--rows N --keys K --via-service]  # columnar sort
+    python -m repro join [--rows N --how inner|left]      # columnar merge join
     python -m repro profile [worstcase|random|cf] [--w W --E E --out DIR]
     python -m repro trace [theorem8|defenses|fig5|service] [--out DIR]
     python -m repro fuzz [run|shrink|replay] [--budget N --fuzz-seed S]
@@ -44,6 +46,9 @@ writes the session's :class:`~repro.runner.RunReport` JSON artifact.
 ``serve``/``submit`` drive the :mod:`repro.service` micro-batching sort
 service on deterministic synthetic workloads; their failure modes map to
 distinct exit codes (1 unsorted, 3 queue full, 4 deadline, 5 other).
+``sort-table``/``join`` run the :mod:`repro.columns` relational operators
+on a deterministic demo table and verify bit-identically against the
+pure-Python reference oracle (1 = mismatch).
 ``fuzz`` runs the :mod:`repro.fuzz` differential/invariant/bound oracle
 campaign and reserves exit code 6 = counterexample found (also used by
 ``fuzz replay``/``fuzz shrink`` when the recorded failure still
@@ -413,9 +418,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all", "bench", "serve", "submit", "fuzz"],
+        choices=sorted(_COMMANDS)
+        + ["all", "bench", "serve", "submit", "sort-table", "join", "fuzz"],
         help="which figure/table to regenerate (`bench` = perf gate; "
         "`serve`/`submit` = the batched sort service; "
+        "`sort-table`/`join` = the columnar operators; "
         "`profile`/`trace` = telemetry artifacts; "
         "`fuzz` = oracle campaigns, exit 6 = counterexample)",
     )
@@ -484,10 +491,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="(bench) allowed fractional increase over the baseline (default 0.25)",
     )
+    from repro.columns.cli import add_columns_arguments
     from repro.fuzz.cli import add_fuzz_arguments
     from repro.service.cli import add_service_arguments
 
     add_service_arguments(parser)
+    add_columns_arguments(parser)
     add_fuzz_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 0:
@@ -505,6 +514,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import dispatch as service_dispatch
 
         return service_dispatch(args)
+
+    if args.experiment in ("sort-table", "join"):
+        from repro.columns.cli import dispatch as columns_dispatch
+
+        return columns_dispatch(args)
 
     if args.experiment == "fuzz":
         from repro.fuzz.cli import dispatch as fuzz_dispatch

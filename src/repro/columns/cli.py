@@ -1,0 +1,211 @@
+"""CLI verbs for the columnar layer: ``repro sort-table`` and ``repro join``.
+
+Both verbs run one columnar operator on the deterministic multi-dtype
+demo table (:func:`repro.columns.profiler.demo_table` — duplicate-heavy
+ids, NaN-bearing floats, a validity mask), print a preview of the output
+plus the measured sort cost, and *verify the answer bit-identically*
+against the pure-Python reference oracle (:mod:`repro.columns.reference`)
+— mismatch is exit code 1, the same contract as ``repro serve``.
+
+``repro sort-table`` sorts by ``--keys`` (``name[:asc|desc][:first|last]``,
+comma-separated); ``--via-service`` routes the packed composite key
+through the micro-batching service as a ``kind="columns"`` request
+instead of calling the simulator inline.  ``repro join`` equi-joins the
+demo table with a second deterministic table on ``id`` (``--how inner``
+or ``left``).  ``--table-backend`` picks a registered service backend
+(cf-batched, kway, samplesort, ...) for the key sorts; the default is
+the inline CF path, the only one that reports exact merge replays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.columns.keys import KeySpec
+from repro.columns.ops import JOIN_KINDS, OpResult, merge_join, sort_by
+from repro.columns.profiler import demo_table
+from repro.columns.reference import join_reference, sort_by_reference
+from repro.columns.table import Table
+from repro.errors import ParameterError, ServiceError
+
+__all__ = [
+    "parse_keys",
+    "render_table",
+    "run_sort_table",
+    "run_join",
+    "add_columns_arguments",
+    "dispatch",
+]
+
+#: Exit code for a reference-oracle mismatch (same as service verify).
+EXIT_MISMATCH = 1
+
+
+def parse_keys(spec: str) -> list[KeySpec]:
+    """Parse ``name[:asc|desc][:first|last]`` comma-separated key specs."""
+    keys: list[KeySpec] = []
+    for part in (p.strip() for p in spec.split(",")):
+        if not part:
+            continue
+        fields = part.split(":")
+        name = fields[0]
+        if not name:
+            raise ParameterError(f"empty key name in {spec!r}")
+        ascending = True
+        nulls = "last"
+        for field in fields[1:]:
+            if field in ("asc", "desc"):
+                ascending = field == "asc"
+            elif field in ("first", "last"):
+                nulls = field
+            else:
+                raise ParameterError(
+                    f"bad key modifier {field!r} in {part!r} "
+                    "(want asc/desc or first/last)"
+                )
+        keys.append(KeySpec(name, ascending=ascending, nulls=nulls))
+    if not keys:
+        raise ParameterError(f"no keys in {spec!r}")
+    return keys
+
+
+def render_table(table: Table, limit: int = 8) -> str:
+    """A fixed-width text preview of the first ``limit`` rows."""
+    names = table.names
+    rows = min(limit, table.num_rows)
+    cells = [list(names)]
+    for r in range(rows):
+        row = []
+        for name in names:
+            col = table.column(name)
+            if col.valid is not None and not bool(col.valid[r]):
+                row.append("null")
+            elif col.dtype == "float64":
+                row.append(f"{float(col.values[r]):.3f}")
+            else:
+                row.append(str(col.values[r]))
+        cells.append(row)
+    widths = [max(len(row[c]) for row in cells) for c in range(len(names))]
+    lines = ["  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells]
+    if table.num_rows > rows:
+        lines.append(f"... ({table.num_rows - rows} more rows)")
+    return "\n".join(lines)
+
+
+def _cost_line(result: OpResult) -> str:
+    """One line summarizing an operator's measured sort cost."""
+    replays = (
+        "n/a (backend aggregates)"
+        if result.merge_replays is None
+        else str(result.merge_replays)
+    )
+    return (
+        f"sort cost: {result.passes} pass(es) via {result.backend}, "
+        f"merge replays {replays}, "
+        f"shared excess {result.counters.shared_excess}"
+    )
+
+
+def run_sort_table(args: argparse.Namespace) -> int:
+    """Execute ``repro sort-table``: sort the demo table, verify, print."""
+    keys = parse_keys(args.keys)
+    table = demo_table(args.rows, seed=args.seed)
+    lines = [f"sort-table: {args.rows} rows by {args.keys}"]
+    if args.via_service:
+        from repro.columns.service import sort_table as service_sort_table
+        from repro.service.service import Client, SortService
+
+        with Client(SortService()) as client:
+            sub = service_sort_table(
+                client.service,
+                table,
+                keys,
+                backend=args.table_backend or "cf",
+                timeout=args.timeout,
+            )
+        out = sub.table
+        lines.append(
+            f"service: request {sub.result.request_id} kind=columns via "
+            f"{sub.result.backend}, batch {sub.result.batch_id}, "
+            f"latency {sub.result.latency_s * 1e3:.2f} ms"
+        )
+    else:
+        result = sort_by(table, keys, backend=args.table_backend)
+        out = result.table
+        lines.append(_cost_line(result))
+    expected = sort_by_reference(table, keys)
+    match = out.equals(expected)
+    lines.append(render_table(out, limit=args.head))
+    lines.append(f"reference check: {'ok' if match else 'MISMATCH'}")
+    print("\n".join(lines))
+    return 0 if match else EXIT_MISMATCH
+
+
+def run_join(args: argparse.Namespace) -> int:
+    """Execute ``repro join``: join two demo tables on ``id``, verify, print."""
+    if args.how not in JOIN_KINDS:
+        raise ParameterError(
+            f"unknown join kind {args.how!r} (one of {', '.join(JOIN_KINDS)})"
+        )
+    left = demo_table(args.rows, seed=args.seed)
+    right = demo_table(max(1, args.rows // 2), seed=args.seed + 1).select(
+        ["id", "payload"]
+    )
+    result = merge_join(left, right, ["id"], how=args.how, backend=args.table_backend)
+    expected = join_reference(left, right, ["id"], how=args.how)
+    match = result.table.equals(expected)
+    lines = [
+        f"join: {left.num_rows} x {right.num_rows} rows on id ({args.how}) "
+        f"-> {result.table.num_rows} rows",
+        _cost_line(result),
+        render_table(result.table, limit=args.head),
+        f"reference check: {'ok' if match else 'MISMATCH'}",
+    ]
+    print("\n".join(lines))
+    return 0 if match else EXIT_MISMATCH
+
+
+def add_columns_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the sort-table/join flag group on the main CLI parser."""
+    group = parser.add_argument_group("columns (sort-table/join)")
+    group.add_argument(
+        "--rows", type=int, default=96,
+        help="(sort-table/join) demo table rows (default 96)",
+    )
+    group.add_argument(
+        "--keys", default="id,score:desc:first",
+        help="(sort-table) comma-separated name[:asc|desc][:first|last] "
+        "(default id,score:desc:first)",
+    )
+    group.add_argument(
+        "--how", choices=JOIN_KINDS, default="inner",
+        help="(join) join kind (default inner)",
+    )
+    group.add_argument(
+        "--table-backend", default=None, dest="table_backend",
+        help="(sort-table/join) service backend for the key sorts "
+        "(default: inline CF simulator)",
+    )
+    group.add_argument(
+        "--via-service", action="store_true", dest="via_service",
+        help="(sort-table) submit the packed key through the batch service "
+        "as a kind=columns request",
+    )
+    group.add_argument(
+        "--head", type=int, default=8,
+        help="(sort-table/join) preview rows to print (default 8)",
+    )
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed ``sort-table``/``join`` invocation; map errors to codes."""
+    handler = run_sort_table if args.experiment == "sort-table" else run_join
+    try:
+        return handler(args)
+    except ParameterError as exc:
+        print(f"{args.experiment}: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"{args.experiment}: {exc}", file=sys.stderr)
+        return exc.exit_code

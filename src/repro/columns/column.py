@@ -1,0 +1,114 @@
+"""The typed :class:`Column`: one named array plus an optional validity mask.
+
+A column wraps a 1-D NumPy array of one of the four supported logical
+dtypes (:data:`repro.columns.dtypes.DTYPES`) *without copying it* —
+:meth:`Column.from_numpy` keeps a view whenever the input already has the
+right dtype, and :meth:`Column.to_numpy` hands the underlying array back,
+so round-tripping through the columnar layer is zero-copy.
+
+Nulls are a separate boolean *validity mask* (``True`` = present), the
+Arrow convention: the values under invalid slots are physically there but
+carry no meaning — every operator either skips them (aggregates) or
+orders them per the configurable null placement (sorts, joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.columns.dtypes import dtype_name, numpy_dtype
+from repro.errors import ParameterError
+
+__all__ = ["Column"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column: values, logical dtype, optional validity mask."""
+
+    #: The 1-D value array (logical dtype's NumPy form; never copied back).
+    values: npt.NDArray[np.generic]
+    #: Logical dtype name (``int64``/``uint64``/``float64``/``bool``).
+    dtype: str
+    #: Validity mask (``True`` = value present); ``None`` = no nulls.
+    valid: npt.NDArray[np.bool_] | None = None
+
+    def __post_init__(self) -> None:
+        """Validate shape, dtype agreement, and the mask's shape."""
+        if self.values.ndim != 1:
+            raise ParameterError(
+                f"column values must be one-dimensional, got shape {self.values.shape}"
+            )
+        if self.values.dtype != numpy_dtype(self.dtype):
+            raise ParameterError(
+                f"column dtype {self.dtype!r} does not match array dtype "
+                f"{self.values.dtype!s}"
+            )
+        if self.valid is not None:
+            if self.valid.dtype != np.bool_ or self.valid.shape != self.values.shape:
+                raise ParameterError(
+                    "validity mask must be a bool array of the column's shape"
+                )
+
+    @classmethod
+    def from_numpy(
+        cls,
+        values: npt.ArrayLike,
+        valid: npt.ArrayLike | None = None,
+    ) -> "Column":
+        """Wrap ``values`` (and an optional mask) as a column, zero-copy.
+
+        ``np.asarray`` is used throughout, so an input that is already a
+        1-D array of a supported dtype is wrapped without copying.
+        """
+        arr = np.asarray(values)
+        name = dtype_name(arr)
+        mask = None if valid is None else np.asarray(valid, dtype=np.bool_)
+        return cls(values=arr, dtype=name, valid=mask)
+
+    def to_numpy(self) -> npt.NDArray[np.generic]:
+        """The underlying value array (the same object — zero-copy)."""
+        return self.values
+
+    def __len__(self) -> int:
+        """Number of rows (valid or not)."""
+        return int(len(self.values))
+
+    @property
+    def null_count(self) -> int:
+        """Number of invalid (null) rows."""
+        if self.valid is None:
+            return 0
+        return int(len(self.valid) - int(self.valid.sum()))
+
+    def take(self, indices: npt.NDArray[np.int64]) -> "Column":
+        """The column gathered at ``indices`` (mask gathered alongside)."""
+        mask = None if self.valid is None else self.valid[indices]
+        return Column(values=self.values[indices], dtype=self.dtype, valid=mask)
+
+    def equals(self, other: "Column") -> bool:
+        """Bit-identical comparison (NaNs equal; masks must agree).
+
+        Invalid slots are excluded from the value comparison — their
+        physical bits carry no meaning.
+        """
+        if self.dtype != other.dtype or len(self) != len(other):
+            return False
+        mine = self.valid if self.valid is not None else np.ones(len(self), dtype=bool)
+        theirs = (
+            other.valid if other.valid is not None else np.ones(len(other), dtype=bool)
+        )
+        if not np.array_equal(mine, theirs):
+            return False
+        a, b = self.values[mine], other.values[theirs]
+        if self.dtype == "float64":
+            return bool(
+                np.array_equal(
+                    a.astype(np.float64).view(np.uint64),
+                    b.astype(np.float64).view(np.uint64),
+                )
+            )
+        return bool(np.array_equal(a, b))

@@ -1,0 +1,104 @@
+"""Column dtypes and their order-preserving 64-bit key transforms.
+
+The columnar layer supports four logical dtypes — ``int64``, ``uint64``,
+``float64`` and ``bool`` — chosen because each admits an *order-preserving*
+injection into unsigned 64-bit integers, the form every sort kernel in
+this repo consumes.  :func:`order_bits` is that injection:
+
+``int64``
+    Flip the sign bit (bias by ``2^63``): two's-complement order becomes
+    unsigned order.
+``uint64``
+    Identity.
+``float64``
+    The IEEE-754 total-order trick: view the float as its raw bits, then
+    flip *all* bits of negative values and only the sign bit of
+    non-negative ones.  The result orders ``-inf < ... < -0.0 < +0.0 <
+    ... < +inf``.  NaNs are canonicalized first (every NaN payload maps
+    to the positive quiet NaN), so all NaNs compare equal and sort
+    *after* ``+inf`` — one deterministic ordering instead of 2^52.
+``bool``
+    ``False < True`` as 0/1.
+
+Nulls are not handled here — validity masks live on
+:class:`repro.columns.column.Column` and become an extra rank slot during
+key encoding (:mod:`repro.columns.keys`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "DTYPES",
+    "NULL_ORDERS",
+    "numpy_dtype",
+    "dtype_name",
+    "order_bits",
+]
+
+#: The supported logical column dtypes.
+DTYPES: tuple[str, ...] = ("int64", "uint64", "float64", "bool")
+
+#: Where nulls sort relative to every non-null value.
+NULL_ORDERS: tuple[str, ...] = ("first", "last")
+
+#: ``numpy`` dtype behind each logical name.
+_NUMPY: dict[str, np.dtype[np.generic]] = {
+    "int64": np.dtype(np.int64),
+    "uint64": np.dtype(np.uint64),
+    "float64": np.dtype(np.float64),
+    "bool": np.dtype(np.bool_),
+}
+
+_SIGN = np.uint64(1) << np.uint64(63)
+
+#: Positive quiet NaN: the canonical bit pattern every NaN maps to.
+_CANONICAL_NAN = np.uint64(0x7FF8000000000000)
+
+
+def numpy_dtype(name: str) -> np.dtype[np.generic]:
+    """The NumPy dtype behind the logical dtype ``name``."""
+    try:
+        return _NUMPY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unsupported column dtype {name!r} (one of {', '.join(DTYPES)})"
+        ) from None
+
+
+def dtype_name(arr: npt.NDArray[np.generic]) -> str:
+    """The logical dtype name of ``arr`` (rejects unsupported dtypes)."""
+    for name, dt in _NUMPY.items():
+        if arr.dtype == dt:
+            return name
+    raise ParameterError(
+        f"unsupported column dtype {arr.dtype!s} (one of {', '.join(DTYPES)})"
+    )
+
+
+def order_bits(values: npt.NDArray[np.generic], dtype: str) -> npt.NDArray[np.uint64]:
+    """Order-preserving ``uint64`` image of ``values`` under dtype ``dtype``.
+
+    For every pair ``x, y`` of the logical dtype,
+    ``x < y  iff  order_bits(x) < order_bits(y)`` (with all float NaNs
+    equal to each other and greater than every non-NaN).
+    """
+    if dtype == "int64":
+        return values.astype(np.int64).view(np.uint64) ^ _SIGN
+    if dtype == "uint64":
+        return values.astype(np.uint64)
+    if dtype == "float64":
+        raw = np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+        bits = np.where(np.isnan(values.astype(np.float64)), _CANONICAL_NAN, raw)
+        negative = (bits & _SIGN) != 0
+        flipped = np.where(negative, ~bits, bits | _SIGN)
+        return flipped.astype(np.uint64)
+    if dtype == "bool":
+        return values.astype(np.bool_).astype(np.uint64)
+    raise ParameterError(
+        f"unsupported column dtype {dtype!r} (one of {', '.join(DTYPES)})"
+    )

@@ -1,0 +1,516 @@
+"""Sort-based relational operators over :class:`~repro.columns.table.Table`.
+
+Every operator here is a composition of the same three primitives —
+*encode* (rank-compress the key columns), *sort* (a stable composite-key
+permutation through the CF pipeline or a service backend), and *gather*
+(the fused payload permutation) — which is exactly the decomposition the
+source papers use when they frame sorting as the substrate of relational
+processing.  Because the sort is the simulated CF mergesort, each
+operator reports real simulator counters, and on coprime geometries the
+key sort's merge phase is bank-conflict free for *any* input.
+
+Operators
+---------
+:func:`sort_by`
+    Stable multi-key table sort (per-key direction and null placement).
+:func:`merge_join`
+    Stable sorted-merge equi-join, ``inner`` or ``left``.  Output rows
+    are ordered by key, then left input order, then right input order;
+    nulls in key columns compare equal (they join to each other).
+:func:`groupby_aggregate`
+    Sort + run-segmentation groupby with ``count``/``sum``/``min``/``max``
+    (nulls are skipped; an all-null group yields a null aggregate).
+:func:`top_k`
+    The first ``k`` rows under the reversed sort order.
+:func:`percentile`
+    Nearest-rank percentile of one numeric column (nulls skipped),
+    sharing :func:`repro.telemetry.stats.percentile`'s definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.columns.column import Column
+from repro.columns.dtypes import numpy_dtype, order_bits
+from repro.columns.keys import (
+    EncodedKey,
+    KeyLike,
+    KeySortOutcome,
+    KeySpec,
+    combined_codes,
+    encode_keys,
+    sort_permutation,
+)
+from repro.columns.table import Table
+from repro.config import SortParams
+from repro.errors import ParameterError
+from repro.sim.counters import Counters
+from repro.telemetry.spans import NULL_TRACER, Tracer
+from repro.telemetry.stats import percentile as nearest_rank_percentile
+
+__all__ = [
+    "AGGREGATES",
+    "JOIN_KINDS",
+    "OpResult",
+    "JoinResult",
+    "PercentileResult",
+    "sort_by",
+    "merge_join",
+    "groupby_aggregate",
+    "top_k",
+    "percentile",
+]
+
+#: Supported groupby aggregate names.
+AGGREGATES: tuple[str, ...] = ("count", "sum", "min", "max")
+
+#: Supported join kinds.
+JOIN_KINDS: tuple[str, ...] = ("inner", "left")
+
+#: Default operator geometry (the service's coprime E=5, u=32, w=8).
+DEFAULT_PARAMS = SortParams(E=5, u=32)
+DEFAULT_W = 8
+
+
+@dataclass
+class OpResult:
+    """One operator's output table plus its measured sort cost."""
+
+    #: The operator that produced this result.
+    operator: str
+    #: The output table.
+    table: Table
+    #: The key-sort permutation the operator applied (input row order).
+    perm: npt.NDArray[np.int64]
+    #: Aggregated simulator counters across every sort pass.
+    counters: Counters = field(default_factory=Counters)
+    #: Merge-phase replays (``None`` when the backend hides the split).
+    merge_replays: int | None = 0
+    #: Sort passes executed.
+    passes: int = 0
+    #: Sort path (``"cf"`` or a registered service backend name).
+    backend: str = "cf"
+
+
+@dataclass
+class JoinResult(OpResult):
+    """A join's result: the output table plus per-side row provenance."""
+
+    #: Left input row behind each output row.
+    left_rows: npt.NDArray[np.int64] = field(
+        default_factory=lambda: np.array([], dtype=np.int64)
+    )
+    #: Right input row behind each output row (-1 for unmatched left rows).
+    right_rows: npt.NDArray[np.int64] = field(
+        default_factory=lambda: np.array([], dtype=np.int64)
+    )
+
+
+@dataclass
+class PercentileResult:
+    """A percentile query's scalar answer plus its measured sort cost."""
+
+    #: The nearest-rank percentile value (NaN for an all-null column).
+    value: float
+    #: Valid rows the percentile ranged over.
+    rows: int
+    #: Aggregated simulator counters of the underlying sort.
+    counters: Counters = field(default_factory=Counters)
+    #: Merge-phase replays of the underlying sort.
+    merge_replays: int | None = 0
+    #: Sort path used.
+    backend: str = "cf"
+
+
+def _fold(target: OpResult, outcome: KeySortOutcome) -> None:
+    """Accumulate one key sort's measurements into an operator result."""
+    target.counters.merge(outcome.counters)
+    if target.merge_replays is None or outcome.merge_replays is None:
+        target.merge_replays = None
+    else:
+        target.merge_replays += outcome.merge_replays
+    target.passes += outcome.passes
+    target.backend = outcome.backend
+
+
+def sort_by(
+    table: Table,
+    keys: Sequence[KeyLike],
+    params: SortParams = DEFAULT_PARAMS,
+    w: int = DEFAULT_W,
+    backend: str | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> OpResult:
+    """Stable multi-key sort of ``table`` (see :class:`~repro.columns.keys.KeySpec`)."""
+    with tracer.span("columns.sort_by", category="columns"):
+        with tracer.span("columns.encode", category="columns"):
+            enc = encode_keys(table, keys, w)
+        with tracer.span("columns.key_sort", category="columns"):
+            outcome = sort_permutation(enc, params, w, backend)
+        with tracer.span("columns.gather", category="columns"):
+            out = table.take(outcome.perm, w)
+    result = OpResult(operator="sort_by", table=out, perm=outcome.perm)
+    _fold(result, outcome)
+    return result
+
+
+def top_k(
+    table: Table,
+    keys: Sequence[KeyLike],
+    k: int,
+    params: SortParams = DEFAULT_PARAMS,
+    w: int = DEFAULT_W,
+    backend: str | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> OpResult:
+    """The first ``k`` rows under the *reversed* order of ``keys``.
+
+    ``top_k(t, ["score"], 3)`` returns the three largest scores; ties
+    break by input order (the sort is stable).  Null placement flips
+    with the direction reversal is *not* applied — each key's configured
+    placement stays absolute.
+    """
+    if k < 0:
+        raise ParameterError(f"top_k needs k >= 0, got {k}")
+    specs = [s if isinstance(s, KeySpec) else KeySpec(s) for s in keys]
+    flipped = [
+        KeySpec(name=s.name, ascending=not s.ascending, nulls=s.nulls) for s in specs
+    ]
+    with tracer.span("columns.top_k", category="columns"):
+        with tracer.span("columns.encode", category="columns"):
+            enc = encode_keys(table, flipped, w)
+        with tracer.span("columns.key_sort", category="columns"):
+            outcome = sort_permutation(enc, params, w, backend)
+        head = outcome.perm[: min(k, table.num_rows)]
+        with tracer.span("columns.gather", category="columns"):
+            out = table.take(head, w)
+    result = OpResult(operator="top_k", table=out, perm=head)
+    _fold(result, outcome)
+    return result
+
+
+def percentile(
+    table: Table,
+    name: str,
+    q: float,
+    params: SortParams = DEFAULT_PARAMS,
+    w: int = DEFAULT_W,
+    backend: str | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> PercentileResult:
+    """Nearest-rank percentile of column ``name``, nulls skipped.
+
+    Shares the definition of :func:`repro.telemetry.stats.percentile`
+    (rank = ``round(q * (rows - 1))`` over the sorted valid values), so
+    a service latency p95 and a column p95 mean the same thing.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"percentile q must be in [0, 1], got {q}")
+    col = table.column(name)
+    if col.dtype == "bool":
+        raise ParameterError("percentile over a bool column is not defined")
+    with tracer.span("columns.percentile", category="columns"):
+        sorted_res = sort_by(
+            table, [KeySpec(name, nulls="last")], params, w, backend, tracer
+        )
+        out_col = sorted_res.table.column(name)
+        valid = (
+            out_col.valid
+            if out_col.valid is not None
+            else np.ones(len(out_col), dtype=bool)
+        )
+        values = [float(v) for v in out_col.values[valid]]
+    value = nearest_rank_percentile(values, q) if values else float("nan")
+    return PercentileResult(
+        value=value,
+        rows=len(values),
+        counters=sorted_res.counters,
+        merge_replays=sorted_res.merge_replays,
+        backend=sorted_res.backend,
+    )
+
+
+# --------------------------------------------------------------- groupby
+
+
+def _group_starts(sorted_comb: npt.NDArray[np.int64]) -> npt.NDArray[np.int64]:
+    """Start index of each equal-key run in a sorted combined-code array."""
+    if len(sorted_comb) == 0:
+        return np.array([], dtype=np.int64)
+    changed = np.empty(len(sorted_comb), dtype=bool)
+    changed[0] = True
+    changed[1:] = sorted_comb[1:] != sorted_comb[:-1]
+    return np.flatnonzero(changed).astype(np.int64)
+
+
+def _aggregate(
+    col: Column, starts: npt.NDArray[np.int64], agg: str
+) -> Column:
+    """One aggregate over the sorted column's run segmentation."""
+    n = len(col)
+    valid = col.valid if col.valid is not None else np.ones(n, dtype=bool)
+    counts = np.add.reduceat(valid.astype(np.int64), starts) if n else np.array(
+        [], dtype=np.int64
+    )
+    if agg == "count":
+        return Column.from_numpy(counts)
+    if col.dtype == "bool" and agg in ("sum", "min", "max"):
+        raise ParameterError(f"aggregate {agg!r} over a bool column is not supported")
+    any_valid = counts > 0
+    if agg == "sum":
+        if col.dtype == "float64":
+            # Strict left-to-right accumulation over the valid values of
+            # each sorted group: the one float-sum order a pure-Python
+            # reference can reproduce bit-for-bit (reduceat's SIMD
+            # partial sums differ in the last ulp and are not portable
+            # semantics).
+            ends = np.append(starts[1:], n)
+            out = np.zeros(len(starts), dtype=np.float64)
+            for gi, (lo, hi) in enumerate(zip(starts, ends)):
+                acc = np.float64(0.0)
+                seeded = False
+                for r in range(int(lo), int(hi)):
+                    if not valid[r]:
+                        continue
+                    v = np.float64(col.values[r])
+                    acc = v if not seeded else acc + v
+                    seeded = True
+                out[gi] = acc
+        else:
+            filled = np.where(valid, col.values, np.zeros(1, dtype=col.values.dtype))
+            out = np.add.reduceat(filled, starts) if n else filled[:0]
+        mask = any_valid if col.valid is not None else None
+        return Column(values=out, dtype=col.dtype, valid=mask)
+    if agg in ("min", "max"):
+        identity: np.generic
+        if col.dtype == "float64":
+            identity = np.float64(np.inf if agg == "min" else -np.inf)
+        elif col.dtype == "uint64":
+            info_u = np.iinfo(np.uint64)
+            identity = np.uint64(info_u.max if agg == "min" else info_u.min)
+        else:
+            info_i = np.iinfo(np.int64)
+            identity = np.int64(info_i.max if agg == "min" else info_i.min)
+        filled = np.where(valid, col.values, identity)
+        ufunc = np.minimum if agg == "min" else np.maximum
+        out = ufunc.reduceat(filled, starts) if n else filled[:0]
+        mask = any_valid if col.valid is not None else None
+        return Column(values=out, dtype=col.dtype, valid=mask)
+    raise ParameterError(
+        f"unknown aggregate {agg!r} (one of {', '.join(AGGREGATES)})"
+    )
+
+
+def groupby_aggregate(
+    table: Table,
+    keys: Sequence[KeyLike],
+    aggregates: Mapping[str, Sequence[str]],
+    params: SortParams = DEFAULT_PARAMS,
+    w: int = DEFAULT_W,
+    backend: str | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> OpResult:
+    """Group by ``keys`` and aggregate via sorted-run segmentation.
+
+    ``aggregates`` maps value-column names to the aggregates wanted for
+    each (``count``/``sum``/``min``/``max``); output columns are named
+    ``{column}_{agg}``.  Groups appear in key-sorted order; aggregates
+    skip null rows, and a group whose value column is entirely null
+    yields a null ``sum``/``min``/``max`` (its ``count`` is 0).
+    """
+    for name, aggs in aggregates.items():
+        table.column(name)  # existence check with the typed error
+        for agg in aggs:
+            if agg not in AGGREGATES:
+                raise ParameterError(
+                    f"unknown aggregate {agg!r} (one of {', '.join(AGGREGATES)})"
+                )
+    with tracer.span("columns.groupby", category="columns"):
+        with tracer.span("columns.encode", category="columns"):
+            enc = encode_keys(table, keys, w)
+        with tracer.span("columns.key_sort", category="columns"):
+            outcome = sort_permutation(enc, params, w, backend)
+        comb, _ = combined_codes(enc)
+        sorted_comb = comb[outcome.perm]
+        starts = _group_starts(sorted_comb)
+        with tracer.span("columns.gather", category="columns"):
+            sorted_table = table.take(outcome.perm, w)
+        firsts = outcome.perm[starts]
+        key_names = [s.name if isinstance(s, KeySpec) else s for s in keys]
+        columns: dict[str, Column] = {
+            name: table.column(name).take(firsts) for name in key_names
+        }
+        with tracer.span("columns.segment_reduce", category="columns"):
+            for name, aggs in aggregates.items():
+                sorted_col = sorted_table.column(name)
+                for agg in aggs:
+                    columns[f"{name}_{agg}"] = _aggregate(sorted_col, starts, agg)
+    result = OpResult(operator="groupby", table=Table(columns), perm=outcome.perm)
+    _fold(result, outcome)
+    return result
+
+
+# ------------------------------------------------------------------ join
+
+
+def _joint_codes(
+    left: Table, right: Table, on: Sequence[str]
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64], int]:
+    """Comparable combined key codes for both tables (joint compression).
+
+    Each key column's order bits are rank-compressed over the
+    *concatenation* of both sides, so equal values get equal codes across
+    tables; per-column codes then fold into one lexicographic code per
+    row.  Nulls occupy their own slot (null joins null).
+    """
+    if not on:
+        raise ParameterError("join needs at least one key column")
+    nl, nr = left.num_rows, right.num_rows
+    comb_l = np.zeros(nl, dtype=np.int64)
+    comb_r = np.zeros(nr, dtype=np.int64)
+    slots = 1
+    for name in on:
+        lcol, rcol = left.column(name), right.column(name)
+        if lcol.dtype != rcol.dtype:
+            raise ParameterError(
+                f"join key {name!r} dtype mismatch: "
+                f"{lcol.dtype} (left) vs {rcol.dtype} (right)"
+            )
+        bits = np.concatenate(
+            [order_bits(lcol.values, lcol.dtype), order_bits(rcol.values, rcol.dtype)]
+        )
+        lv = lcol.valid if lcol.valid is not None else np.ones(nl, dtype=bool)
+        rv = rcol.valid if rcol.valid is not None else np.ones(nr, dtype=bool)
+        valid = np.concatenate([lv, rv])
+        uniq = np.unique(bits[valid])
+        codes = np.searchsorted(uniq, bits).astype(np.int64)
+        codes[~valid] = len(uniq)  # the shared null slot (nulls sort last)
+        m = int(len(uniq)) + 1
+        if slots * m >= 1 << 62:
+            comb = np.concatenate([comb_l, comb_r])
+            _, inverse = np.unique(comb, return_inverse=True)
+            comb = inverse.astype(np.int64)
+            comb_l, comb_r = comb[:nl], comb[nl:]
+            slots = int(comb.max()) + 1 if len(comb) else 1
+        comb_l = comb_l * m + codes[:nl]
+        comb_r = comb_r * m + codes[nl:]
+        slots *= m
+    return comb_l, comb_r, slots
+
+
+def _code_key(codes: npt.NDArray[np.int64], slots: int, n: int) -> EncodedKey:
+    """An :class:`EncodedKey` wrapping precomputed combined codes.
+
+    Codes wider than the 31-bit ``sort_by_key`` budget are re-ranked
+    through ``np.unique`` first (only their order matters), so the key
+    always packs into a single sort pass.
+    """
+    width = max(1, (max(slots, 1) - 1).bit_length())
+    if width > 31:
+        _, inverse = np.unique(codes, return_inverse=True)
+        codes = inverse.astype(np.int64)
+        slots = int(codes.max()) + 1 if len(codes) else 1
+        width = max(1, (slots - 1).bit_length())
+    return EncodedKey(
+        codes=(codes,), slots=(slots,), width=width, n=n, packed=codes
+    )
+
+
+def merge_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    how: str = "inner",
+    params: SortParams = DEFAULT_PARAMS,
+    w: int = DEFAULT_W,
+    backend: str | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> JoinResult:
+    """Stable sorted-merge equi-join of ``left`` and ``right`` on ``on``.
+
+    Both sides are stably sorted by the jointly-compressed key codes
+    through the CF pipeline, then matched with a vectorized
+    ``searchsorted`` range expansion.  Output rows are ordered by key,
+    then left input order, then right input order.  ``how="left"`` keeps
+    unmatched left rows, with every right-side output column null there.
+    Non-key right columns colliding with a left column name get a
+    ``_right`` suffix.
+    """
+    if how not in JOIN_KINDS:
+        raise ParameterError(
+            f"unknown join kind {how!r} (one of {', '.join(JOIN_KINDS)})"
+        )
+    with tracer.span("columns.merge_join", category="columns"):
+        with tracer.span("columns.encode", category="columns"):
+            comb_l, comb_r, slots = _joint_codes(left, right, on)
+        result = JoinResult(
+            operator="merge_join",
+            table=left,
+            perm=np.array([], dtype=np.int64),
+        )
+        with tracer.span("columns.key_sort", category="columns"):
+            out_l = sort_permutation(
+                _code_key(comb_l, slots, left.num_rows), params, w, backend
+            )
+            out_r = sort_permutation(
+                _code_key(comb_r, slots, right.num_rows), params, w, backend
+            )
+        _fold(result, out_l)
+        _fold(result, out_r)
+        ls = comb_l[out_l.perm]
+        rs = comb_r[out_r.perm]
+        start = np.searchsorted(rs, ls, side="left")
+        stop = np.searchsorted(rs, ls, side="right")
+        counts = (stop - start).astype(np.int64)
+        matched = counts > 0
+        out_counts = counts if how == "inner" else np.maximum(counts, 1)
+        total = int(out_counts.sum())
+        left_rows = np.repeat(out_l.perm, out_counts)
+        csum = np.concatenate([[0], np.cumsum(out_counts)])[:-1]
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(csum, out_counts)
+        right_sorted_pos = np.repeat(start, out_counts) + offsets
+        right_rows = np.where(
+            np.repeat(matched, out_counts),
+            out_r.perm[np.minimum(right_sorted_pos, max(len(rs) - 1, 0))]
+            if len(rs)
+            else np.zeros(total, dtype=np.int64),
+            np.int64(-1),
+        ).astype(np.int64)
+        with tracer.span("columns.gather", category="columns"):
+            columns: dict[str, Column] = {
+                name: left.column(name).take(left_rows) for name in left.names
+            }
+            safe_right = np.maximum(right_rows, 0)
+            for name in right.names:
+                if name in on:
+                    continue
+                out_name = name if name not in columns else f"{name}_right"
+                rcol = right.column(name)
+                if right.num_rows == 0:
+                    col = Column(
+                        values=np.zeros(total, dtype=numpy_dtype(rcol.dtype)),
+                        dtype=rcol.dtype,
+                        valid=np.zeros(total, dtype=bool),
+                    )
+                else:
+                    col = rcol.take(safe_right)
+                if how == "left":
+                    valid = col.valid if col.valid is not None else np.ones(
+                        total, dtype=bool
+                    )
+                    col = Column(
+                        values=col.values,
+                        dtype=col.dtype,
+                        valid=valid & (right_rows >= 0),
+                    )
+                columns[out_name] = col
+    result.table = Table(columns) if columns else left
+    result.perm = left_rows
+    result.left_rows = left_rows
+    result.right_rows = right_rows
+    return result

@@ -1,0 +1,263 @@
+"""Pure NumPy/Python reference implementations of the columnar operators.
+
+The differential oracle for :mod:`repro.columns.ops`: every function
+here computes the same answer as its operator counterpart using nothing
+but Python ``sorted`` (with per-row tuple keys) and plain NumPy
+reductions — no rank compression, no radix packing, no simulated sort —
+so an agreement between the two is evidence about the whole composite
+key pipeline, not a tautology.  The only shared ingredient is the
+order-preserving :func:`~repro.columns.dtypes.order_bits` transform
+(whose agreement with Python tuple comparison is itself pinned by the
+Hypothesis property suite in ``tests/test_properties_columns.py``).
+
+Used by the fuzz campaign's ``differential/columns_ops`` check and the
+unit tests; agreement is *bit-identical* (:meth:`repro.columns.table.
+Table.equals`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.columns.column import Column
+from repro.columns.dtypes import numpy_dtype, order_bits
+from repro.columns.keys import KeyLike, KeySpec
+from repro.columns.ops import AGGREGATES, JOIN_KINDS
+from repro.columns.table import Table
+from repro.errors import ParameterError
+
+__all__ = [
+    "sort_order_reference",
+    "sort_by_reference",
+    "top_k_reference",
+    "percentile_reference",
+    "groupby_reference",
+    "join_reference",
+]
+
+
+def _specs(keys: Sequence[KeyLike]) -> list[KeySpec]:
+    return [k if isinstance(k, KeySpec) else KeySpec(k) for k in keys]
+
+
+def _row_key(table: Table, specs: Sequence[KeySpec]) -> list[tuple[int, ...]]:
+    """One Python-comparable tuple per row, mirroring the key semantics.
+
+    Per key column the tuple holds ``(null_rank, value_rank)``: nulls
+    rank 0 (null-first) or 2 (null-last) against 1 for every value, and
+    the value rank is the order-preserving bit image (negated for a
+    descending key) — so tuple comparison reproduces direction and
+    absolute null placement exactly.
+    """
+    parts: list[tuple[list[int], list[int]]] = []
+    for spec in specs:
+        col = table.column(spec.name)
+        bits = [int(b) for b in order_bits(col.values, col.dtype)]
+        if not spec.ascending:
+            bits = [-b for b in bits]
+        if col.valid is None:
+            null_rank = [1] * len(col)
+        else:
+            null_of = 0 if spec.nulls == "first" else 2
+            null_rank = [1 if ok else null_of for ok in col.valid]
+            bits = [b if ok else 0 for b, ok in zip(bits, col.valid)]
+        parts.append((null_rank, bits))
+    return [
+        tuple(x for nr, bs in parts for x in (nr[i], bs[i]))
+        for i in range(table.num_rows)
+    ]
+
+
+def sort_order_reference(
+    table: Table, keys: Sequence[KeyLike]
+) -> npt.NDArray[np.int64]:
+    """The stable sort permutation, via Python ``sorted`` on row tuples."""
+    row_keys = _row_key(table, _specs(keys))
+    order = sorted(range(table.num_rows), key=lambda i: row_keys[i])
+    return np.asarray(order, dtype=np.int64)
+
+
+def _take(table: Table, rows: npt.NDArray[np.int64]) -> Table:
+    """Plain per-column fancy-indexing gather (no fused plans)."""
+    return Table(
+        {
+            name: Column(
+                values=table.column(name).values[rows],
+                dtype=table.column(name).dtype,
+                valid=(
+                    None
+                    if table.column(name).valid is None
+                    else np.asarray(table.column(name).valid)[rows]
+                ),
+            )
+            for name in table.names
+        }
+    )
+
+
+def sort_by_reference(table: Table, keys: Sequence[KeyLike]) -> Table:
+    """Reference for :func:`repro.columns.ops.sort_by`."""
+    return _take(table, sort_order_reference(table, keys))
+
+
+def top_k_reference(table: Table, keys: Sequence[KeyLike], k: int) -> Table:
+    """Reference for :func:`repro.columns.ops.top_k`."""
+    flipped = [
+        KeySpec(name=s.name, ascending=not s.ascending, nulls=s.nulls)
+        for s in _specs(keys)
+    ]
+    order = sort_order_reference(table, flipped)
+    return _take(table, order[: min(k, table.num_rows)])
+
+
+def percentile_reference(table: Table, name: str, q: float) -> float:
+    """Reference for :func:`repro.columns.ops.percentile` (nearest rank)."""
+    col = table.column(name)
+    valid = col.valid if col.valid is not None else np.ones(len(col), dtype=bool)
+    present = col.values[valid]
+    order = sorted(
+        range(len(present)),
+        key=lambda i: int(order_bits(present[i : i + 1], col.dtype)[0]),
+    )
+    if not order:
+        return float("nan")
+    rank = round(q * (len(order) - 1))
+    return float(present[order[rank]])
+
+
+def groupby_reference(
+    table: Table,
+    keys: Sequence[KeyLike],
+    aggregates: Mapping[str, Sequence[str]],
+) -> Table:
+    """Reference for :func:`repro.columns.ops.groupby_aggregate`.
+
+    Groups rows by Python tuple keys, aggregates each group with NumPy
+    reductions over the same dtypes (so wrap semantics match), skipping
+    nulls; all-null groups yield null ``sum``/``min``/``max``.
+    """
+    specs = _specs(keys)
+    order = sort_order_reference(table, keys)
+    row_keys = _row_key(table, specs)
+    groups: list[list[int]] = []
+    for i in order:
+        if groups and row_keys[groups[-1][0]] == row_keys[int(i)]:
+            groups[-1].append(int(i))
+        else:
+            groups.append([int(i)])
+    firsts = np.asarray([g[0] for g in groups], dtype=np.int64)
+    columns: dict[str, Column] = {}
+    for spec in specs:
+        src = table.column(spec.name)
+        columns[spec.name] = Column(
+            values=src.values[firsts],
+            dtype=src.dtype,
+            valid=None if src.valid is None else np.asarray(src.valid)[firsts],
+        )
+    for name, aggs in aggregates.items():
+        src = table.column(name)
+        valid = src.valid if src.valid is not None else np.ones(len(src), dtype=bool)
+        for agg in aggs:
+            if agg not in AGGREGATES:
+                raise ParameterError(f"unknown aggregate {agg!r}")
+            if agg == "count":
+                counts = [sum(1 for i in g if valid[i]) for g in groups]
+                columns[f"{name}_count"] = Column.from_numpy(
+                    np.asarray(counts, dtype=np.int64)
+                )
+                continue
+            out = np.zeros(len(groups), dtype=numpy_dtype(src.dtype))
+            mask = np.ones(len(groups), dtype=bool)
+            for gi, g in enumerate(groups):
+                members = [i for i in g if valid[i]]
+                if not members:
+                    mask[gi] = False
+                    continue
+                vals = src.values[np.asarray(members, dtype=np.int64)]
+                if agg == "sum":
+                    # Sequential accumulation, matching reduceat's order
+                    # bit-for-bit (np.sum's pairwise summation can differ
+                    # in the last ulp for floats).
+                    acc = vals[0]
+                    for v in vals[1:]:
+                        acc = acc + v
+                    out[gi] = acc
+                elif agg == "min":
+                    out[gi] = np.min(vals)
+                else:
+                    out[gi] = np.max(vals)
+            columns[f"{name}_{agg}"] = Column(
+                values=out,
+                dtype=src.dtype,
+                valid=None if src.valid is None else mask,
+            )
+    return Table(columns)
+
+
+def join_reference(
+    left: Table, right: Table, on: Sequence[str], how: str = "inner"
+) -> Table:
+    """Reference for :func:`repro.columns.ops.merge_join`.
+
+    Nested-loop join over Python tuple keys (nulls compare equal), with
+    the operator's output ordering: key order, then left input order,
+    then right input order.
+    """
+    if how not in JOIN_KINDS:
+        raise ParameterError(f"unknown join kind {how!r}")
+    specs = [KeySpec(name) for name in on]
+    lkeys = _row_key(left, specs)
+    rkeys = _row_key(right, specs)
+    by_key: dict[tuple[int, ...], list[int]] = {}
+    for j, key in enumerate(rkeys):
+        by_key.setdefault(key, []).append(j)
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for i in sorted(range(left.num_rows), key=lambda i: lkeys[i]):
+        matches = by_key.get(lkeys[i], [])
+        if matches:
+            for j in matches:
+                left_rows.append(i)
+                right_rows.append(j)
+        elif how == "left":
+            left_rows.append(i)
+            right_rows.append(-1)
+    lr = np.asarray(left_rows, dtype=np.int64)
+    rr = np.asarray(right_rows, dtype=np.int64)
+    columns: dict[str, Column] = {}
+    for name in left.names:
+        src = left.column(name)
+        columns[name] = Column(
+            values=src.values[lr],
+            dtype=src.dtype,
+            valid=None if src.valid is None else np.asarray(src.valid)[lr],
+        )
+    for name in right.names:
+        if name in on:
+            continue
+        out_name = name if name not in columns else f"{name}_right"
+        src = right.column(name)
+        safe = np.maximum(rr, 0)
+        if right.num_rows == 0:
+            values = np.zeros(len(rr), dtype=numpy_dtype(src.dtype))
+        else:
+            values = np.asarray(src.values[safe])
+        if how == "left":
+            valid = (
+                src.valid[safe]
+                if src.valid is not None and right.num_rows
+                else np.ones(len(rr), dtype=bool)
+            )
+            columns[out_name] = Column(
+                values=values, dtype=src.dtype, valid=valid & (rr >= 0)
+            )
+        else:
+            columns[out_name] = Column(
+                values=values,
+                dtype=src.dtype,
+                valid=None if src.valid is None else np.asarray(src.valid)[safe],
+            )
+    return Table(columns)

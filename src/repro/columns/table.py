@@ -1,0 +1,153 @@
+"""The :class:`Table`: an ordered set of equal-length named columns.
+
+A table is the unit every relational operator consumes and produces.  It
+is deliberately thin — a name -> :class:`~repro.columns.column.Column`
+mapping with length agreement enforced — but its :meth:`Table.take` is
+where payload movement happens, and payload movement is exactly the
+gather/scatter traffic the paper's conflict-free permutation machinery
+exists for.  ``take`` therefore *fuses* the per-column gathers: columns
+of the same physical dtype are stacked into one ``(k, n)`` matrix and
+gathered through a single flat index vector built from the cached
+``payload_gather`` plan (:mod:`repro.engine.plans`), one vectorized pass
+per dtype group instead of ``k`` Python-level loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.columns.column import Column
+from repro.engine.plans import get_plan
+from repro.errors import ParameterError
+
+__all__ = ["Table"]
+
+
+def _fused_take(
+    arrays: list[npt.NDArray[np.generic]],
+    indices: npt.NDArray[np.int64],
+    w: int,
+) -> list[npt.NDArray[np.generic]]:
+    """Gather ``indices`` from every same-dtype array in one flat pass.
+
+    Uses the ``payload_gather`` plan's column base offsets: output row
+    ``r`` of column ``c`` reads flat position ``col_base[c] +
+    indices[r]`` of the row-stacked matrix.
+    """
+    k, n = len(arrays), int(len(arrays[0]))
+    if k == 1:
+        return [arrays[0][indices]]
+    plan = get_plan("payload_gather", n, 1, w, k=k)
+    col_base = np.asarray(plan["col_base"], dtype=np.int64)
+    stacked = np.concatenate(arrays)
+    flat = (col_base[:, None] + indices[None, :]).ravel()
+    gathered = stacked[flat].reshape(k, len(indices))
+    return [gathered[c] for c in range(k)]
+
+
+class Table:
+    """An ordered mapping of column names to equal-length columns."""
+
+    def __init__(self, columns: Mapping[str, Column]) -> None:
+        if not columns:
+            raise ParameterError("a table needs at least one column")
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ParameterError(f"column lengths disagree: {lengths}")
+        self._columns: dict[str, Column] = dict(columns)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Mapping[str, npt.ArrayLike],
+        valid: Mapping[str, npt.ArrayLike] | None = None,
+    ) -> "Table":
+        """Build a table from plain arrays (zero-copy where possible).
+
+        ``valid`` optionally maps a subset of the column names to boolean
+        validity masks.
+        """
+        masks = valid or {}
+        unknown = sorted(set(masks) - set(arrays))
+        if unknown:
+            raise ParameterError(f"validity masks for unknown columns: {unknown}")
+        return cls(
+            {
+                name: Column.from_numpy(arr, masks.get(name))
+                for name, arr in arrays.items()
+            }
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names, in insertion order."""
+        return tuple(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return len(next(iter(self._columns.values())))
+
+    def __len__(self) -> int:
+        """Number of rows (so ``len(table)`` matches ``len(column)``)."""
+        return self.num_rows
+
+    def column(self, name: str) -> Column:
+        """The column called ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            known = ", ".join(self.names)
+            raise ParameterError(f"no column {name!r} (has: {known})") from None
+
+    def select(self, names: Iterable[str]) -> "Table":
+        """A table holding only ``names``, in the given order."""
+        return Table({name: self.column(name) for name in names})
+
+    def with_column(self, name: str, column: Column) -> "Table":
+        """A copy with ``column`` appended (or replaced) under ``name``."""
+        out = dict(self._columns)
+        out[name] = column
+        return Table(out)
+
+    def take(self, indices: npt.NDArray[np.int64], w: int = 8) -> "Table":
+        """The table gathered at ``indices``, with fused per-dtype gathers.
+
+        Columns sharing a physical dtype are stacked and gathered through
+        one ``payload_gather``-planned flat index vector; validity masks
+        form their own boolean group.  ``w`` keys the plan-cache entry
+        (the warp width the gather would be scheduled for).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        groups: dict[str, list[str]] = {}
+        for name, col in self._columns.items():
+            groups.setdefault(col.dtype, []).append(name)
+        taken: dict[str, npt.NDArray[np.generic]] = {}
+        for names in groups.values():
+            arrays = [self._columns[name].values for name in names]
+            for name, out in zip(names, _fused_take(arrays, indices, w)):
+                taken[name] = out
+        masked = [name for name, col in self._columns.items() if col.valid is not None]
+        masks: dict[str, npt.NDArray[np.bool_]] = {}
+        if masked:
+            mask_arrays = [self._columns[name].valid for name in masked]
+            present = [m for m in mask_arrays if m is not None]
+            for name, out in zip(masked, _fused_take(list(present), indices, w)):
+                masks[name] = out.astype(np.bool_)
+        return Table(
+            {
+                name: Column(values=taken[name], dtype=col.dtype, valid=masks.get(name))
+                for name, col in self._columns.items()
+            }
+        )
+
+    def equals(self, other: "Table") -> bool:
+        """Bit-identical comparison: names, order, dtypes, values, masks."""
+        if self.names != other.names or self.num_rows != other.num_rows:
+            return False
+        return all(
+            self._columns[name].equals(other.column(name)) for name in self.names
+        )

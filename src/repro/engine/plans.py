@@ -12,7 +12,10 @@ service worker shards share the process-global :data:`PLAN_CACHE`).
 The ``k`` component is the merge *width*: pairwise plans leave it at 0,
 while the k-way gather schedule (``kway_rounds``) and the sample-sort
 splitter ranks (``sample_splitters``) key on the actual fan-in, so a
-``k=2`` and a ``k=4`` schedule of the same geometry never collide.
+``k=2`` and a ``k=4`` schedule of the same geometry never collide.  The
+columns layer reuses ``k`` as a column/field count for its
+composite-key packing (``key_pack``) and fused payload permutation
+(``payload_gather``) plans.
 
 Plans are immutable by contract: every array is stored with its NumPy
 write flag cleared, so an accidental in-place mutation raises instead of
@@ -191,6 +194,46 @@ def _build_kway_rounds(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     return {"run": _frozen(runs), "resid": _frozen(resid)}
 
 
+def _build_key_pack(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+    """Composite-key packing shifts for ``k`` fields of ``E`` bits each.
+
+    The columns layer packs ``k`` per-column codes of a uniform bit
+    width ``b`` (carried as the key's ``E`` component) into one radix
+    word: field ``i`` (major-to-minor significance) lands at
+    ``code[i] << shift[i]`` with ``shift[i] = (k - 1 - i) * b``.  The
+    plan size is the packed word width ``n == k * b``, so distinct
+    packings never collide in the cache.  ``mask`` is the per-field
+    extraction mask ``(1 << b) - 1``, used by the unpack path.
+    """
+    if k < 1 or E < 1:
+        raise ParameterError(
+            f"key_pack needs k >= 1 fields and E >= 1 bits per field, got k={k}, E={E}"
+        )
+    if n != k * E:
+        raise ParameterError(f"key_pack plan size {n} != fields*bits = {k}*{E}")
+    shift = (np.arange(k - 1, -1, -1, dtype=np.int64)) * E
+    mask = np.full(k, (np.int64(1) << E) - 1, dtype=np.int64)
+    return {"shift": _frozen(shift), "mask": _frozen(mask)}
+
+
+def _build_payload_gather(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+    """Fused payload-gather bases for ``k`` columns of ``n`` rows each.
+
+    Applying one sort permutation to every payload column of a table is
+    a single flat gather over the row-stacked ``(k, n)`` value matrix:
+    column ``c`` of output row ``r`` reads flat index
+    ``col_base[c] + perm[r]``.  The plan caches the column base offsets
+    (``col_base[c] = c * n``) so the gather issues as one vectorized
+    take per operator instead of ``k`` Python-level loops.
+    """
+    if k < 1:
+        raise ParameterError(f"payload_gather needs k >= 1 columns, got k={k}")
+    if n < 0:
+        raise ParameterError(f"payload_gather row count must be >= 0, got n={n}")
+    cols = np.arange(k, dtype=np.int64)
+    return {"cols": _frozen(cols), "col_base": _frozen(cols * n)}
+
+
 def _build_sample_splitters(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     """Deterministic sample-sort splitter ranks (Dehne & Zaboli).
 
@@ -219,6 +262,8 @@ _BUILDERS: dict[str, Callable[[int, int, int, int], dict[str, PlanArray]]] = {
     "oddeven": _build_oddeven,
     "kway_rounds": _build_kway_rounds,
     "sample_splitters": _build_sample_splitters,
+    "key_pack": _build_key_pack,
+    "payload_gather": _build_payload_gather,
 }
 
 #: The plan kinds the cache can build.

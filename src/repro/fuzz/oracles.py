@@ -14,10 +14,13 @@ Families
     CF-Merge and the Thrust-style baseline vs ``numpy.sort``; the fast
     vectorized conflict profile vs the lockstep simulator's counters;
     ``sort_by_key`` stability against ``numpy.argsort(kind="stable")``;
-    every registered service backend on a segmented payload; and — only
-    when ``inject`` names one of :data:`INJECTABLE_BUGS` — a deliberately
-    broken reference sort, the mutation test proving the oracle can
-    actually catch a wrong sort.
+    every registered service backend on a segmented payload; the columnar
+    operators (sort/join/groupby over a table derived from the payload)
+    bit-identical against the pure-Python reference oracle
+    (:mod:`repro.columns.reference`); and — only when ``inject`` names
+    one of :data:`INJECTABLE_BUGS` — a deliberately broken reference
+    sort, the mutation test proving the oracle can actually catch a
+    wrong sort.
 ``invariant``
     The paper's zero-conflict claim (CF merge replays == 0 on *this*
     input) and the algebraic form: the CF gather schedule of the case's
@@ -168,6 +171,70 @@ def _backends_check(data: Array, geometry: Geometry) -> dict[str, Any]:
     )
 
 
+def _columns_table(data: Array) -> Any:
+    """A deterministic columnar table derived from one fuzz payload.
+
+    Duplicate-heavy signed keys (``mod 16 - 8``), a float column with
+    NaNs (every 11th residue) and a validity mask (every 7th residue is
+    null), and a ``uint64`` payload — so sorts, joins and groupbys hit
+    ties, NaN ordering, and null placement on nearly every fuzzed input.
+    """
+    from repro.columns.table import Table
+
+    key = (data % 16) - 8
+    score = (data % 1000).astype(np.float64) / 7.0
+    score[data % 11 == 0] = np.nan
+    return Table.from_arrays(
+        {
+            "key": key.astype(np.int64),
+            "score": score,
+            "payload": (data % (1 << 16)).astype(np.uint64),
+        },
+        valid={"score": data % 7 != 0},
+    )
+
+
+def _columns_check(data: Array, geometry: Geometry) -> dict[str, Any]:
+    """The columnar operators agree bit-identically with the reference.
+
+    Runs ``sort_by`` (mixed directions and null placements), an inner
+    and a left ``merge_join`` (the right side reuses a reversed slice of
+    the same payload, so matches and misses both occur), and a
+    ``groupby_aggregate`` — each against its pure-Python oracle from
+    :mod:`repro.columns.reference`, at the fuzzed case's geometry.
+    """
+    from repro.columns.keys import KeySpec
+    from repro.columns.ops import groupby_aggregate, merge_join, sort_by
+    from repro.columns.reference import (
+        groupby_reference,
+        join_reference,
+        sort_by_reference,
+    )
+
+    params = SortParams(geometry.E, geometry.u)
+    table = _columns_table(data)
+    right = _columns_table(data[::-2].copy()).select(["key", "payload"])
+    keys = [KeySpec("key"), KeySpec("score", ascending=False, nulls="first")]
+    mismatches: list[str] = []
+    got = sort_by(table, keys, params=params, w=geometry.w)
+    if not got.table.equals(sort_by_reference(table, keys)):
+        mismatches.append("sort_by")
+    for how in ("inner", "left"):
+        joined = merge_join(table, right, ["key"], how=how, params=params, w=geometry.w)
+        if not joined.table.equals(join_reference(table, right, ["key"], how=how)):
+            mismatches.append(f"join/{how}")
+    aggs = {"score": ("count", "sum", "min", "max"), "payload": ("sum",)}
+    grouped = groupby_aggregate(table, ["key"], aggs, params=params, w=geometry.w)
+    if not grouped.table.equals(groupby_reference(table, ["key"], aggs)):
+        mismatches.append("groupby")
+    return _check(
+        not mismatches,
+        f"sort_by/join/groupby over {len(data)} rows at "
+        f"(w={geometry.w}, E={geometry.E}, u={geometry.u})"
+        + (f"; wrong: {', '.join(mismatches)}" if mismatches else ""),
+    )
+
+
 def _stability_check(data: Array, geometry: Geometry) -> dict[str, Any]:
     """``sort_by_key`` keeps equal keys in input order (stability)."""
     keys = data % KEY_MODULUS
@@ -255,6 +322,7 @@ def evaluate_case(
             )
         checks["differential/by_key_stable"] = _stability_check(data, geometry)
         checks["differential/backends_agree"] = _backends_check(data, geometry)
+        checks["differential/columns_ops"] = _columns_check(data, geometry)
         if inject is not None:
             checks["differential/injected_reference"] = _check(
                 bool(np.array_equal(injected_sort(data, inject), expected)),

@@ -642,11 +642,21 @@ def merge_runs(
     w: int = 32,
     variant: str = "thrust",
 ) -> tuple[IntArray, MergePhaseStats]:
-    """Compatibility wrapper for :func:`tournament_merge_runs`.
+    """Deprecated compatibility wrapper for :func:`tournament_merge_runs`.
 
     Historical name: earlier releases called the pairwise tournament a
     "k-way utility".  The semantics are unchanged (``ceil(log2(k))``
     pairwise levels); new code wanting a true k-way merge should call
-    :func:`kway_sort` or :func:`kway_merge_block`.
+    :func:`kway_sort` or :func:`kway_merge_block`.  Emits a
+    :class:`DeprecationWarning`; the wrapper will be removed in a future
+    release.
     """
+    import warnings
+
+    warnings.warn(
+        "merge_runs is deprecated; call tournament_merge_runs (same "
+        "semantics) or kway_sort/kway_merge_block for a true k-way merge",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return tournament_merge_runs(runs, E, u, w, variant)

@@ -252,6 +252,60 @@ def _samplesort_tile(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _columns_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One columnar operator over a seeded multi-dtype demo table.
+
+    Runs the operator, verifies it bit-identically against the
+    pure-Python reference oracle, and reports the measured sort cost —
+    the ``reference_ok``/zero-replay rows gate the columns claim in CI.
+    """
+    from repro.columns.keys import KeySpec
+    from repro.columns.ops import groupby_aggregate, merge_join, sort_by, top_k
+    from repro.columns.profiler import demo_table
+    from repro.columns.reference import (
+        groupby_reference,
+        join_reference,
+        sort_by_reference,
+        top_k_reference,
+    )
+
+    E = _as_int(params["E"], "E")
+    u = _as_int(params["u"], "u")
+    w = _as_int(params["w"], "w")
+    rows = _as_int(params["rows"], "rows")
+    operator = _as_str(params["op"], "op")
+    seed = _as_int(params["seed"], "seed")
+    sort_params = SortParams(E, u)
+    table = demo_table(rows, seed=seed)
+    keys = [KeySpec("id"), KeySpec("score", ascending=False, nulls="first")]
+    if operator == "sort_by":
+        result = sort_by(table, keys, params=sort_params, w=w)
+        reference_ok = result.table.equals(sort_by_reference(table, keys))
+    elif operator == "top_k":
+        result = top_k(table, keys, rows // 4, params=sort_params, w=w)
+        reference_ok = result.table.equals(top_k_reference(table, keys, rows // 4))
+    elif operator == "join":
+        right = demo_table(max(1, rows // 2), seed=seed + 1).select(["id", "payload"])
+        result = merge_join(table, right, ["id"], params=sort_params, w=w)
+        reference_ok = result.table.equals(join_reference(table, right, ["id"]))
+    elif operator == "groupby":
+        aggs = {"score": ("count", "sum", "min", "max")}
+        result = groupby_aggregate(table, ["id"], aggs, params=sort_params, w=w)
+        reference_ok = result.table.equals(groupby_reference(table, ["id"], aggs))
+    else:
+        raise ParameterError(f"unknown columns operator {operator!r}")
+    return {
+        "operator": operator,
+        "rows": int(result.table.num_rows),
+        "passes": int(result.passes),
+        "merge_replays": (
+            -1 if result.merge_replays is None else int(result.merge_replays)
+        ),
+        "reference_ok": bool(reference_ok),
+        "counters": result.counters.as_dict(),
+    }
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
@@ -262,6 +316,7 @@ _WORKERS = {
     "engine": _engine_tile,
     "kway": _kway_tile,
     "samplesort": _samplesort_tile,
+    "columns": _columns_tile,
 }
 
 

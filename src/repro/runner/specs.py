@@ -27,6 +27,7 @@ __all__ = [
     "engine_spec",
     "kway_spec",
     "samplesort_spec",
+    "columns_spec",
     "bench_suite",
 ]
 
@@ -216,6 +217,25 @@ def samplesort_spec(tiles: int = 4, seed: int = 0) -> SweepSpec:
     )
 
 
+def columns_spec(rows: int = 96, seed: int = 0) -> SweepSpec:
+    """The columnar operator sweep: one job per relational operator.
+
+    Each job runs an operator from :mod:`repro.columns.ops` over the
+    seeded multi-dtype demo table (nullable floats with NaNs, negative
+    ints, booleans), checks the output bit-identically against the
+    pure-Python reference oracle, and reports the measured sort cost;
+    the ``reference_ok`` and zero merge-replay rows gate the composite
+    key pipeline in CI.
+    """
+    return SweepSpec(
+        name="columns",
+        kind="columns",
+        axes=(("op", ("sort_by", "top_k", "join", "groupby")),),
+        fixed=(("rows", rows), ("E", 5), ("u", 32), ("w", 8)),
+        seed=seed,
+    )
+
+
 def bench_suite() -> tuple[SweepSpec, ...]:
     """The specs behind ``python -m repro bench`` and the CI perf gate.
 
@@ -233,4 +253,5 @@ def bench_suite() -> tuple[SweepSpec, ...]:
         engine_spec(),
         kway_spec(),
         samplesort_spec(),
+        columns_spec(),
     )

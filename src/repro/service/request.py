@@ -18,7 +18,11 @@ import numpy.typing as npt
 
 from repro.errors import DeadlineExceededError, ParameterError, QueueFullError, ServiceError
 
-__all__ = ["SortRequest", "SortResult", "validate_request_data"]
+__all__ = ["REQUEST_KINDS", "SortRequest", "SortResult", "validate_request_data"]
+
+#: Admitted request kinds: ``"flat"`` (a plain key array) or ``"columns"``
+#: (packed composite-key words from :mod:`repro.columns.service`).
+REQUEST_KINDS: tuple[str, ...] = ("flat", "columns")
 
 #: ``repro.mergesort.segmented`` packs keys with the segment id into one
 #: 64-bit word, so batched keys must fit in ±2^39 (its ``_KEY_LIMIT``).
@@ -70,18 +74,29 @@ class SortRequest:
         Optional *relative* deadline in seconds from admission.  Expired
         requests complete with a ``DeadlineExceededError`` result instead
         of occupying a worker shard.
+    kind:
+        What the payload encodes: ``"flat"`` for a plain key array (the
+        default), ``"columns"`` for packed composite-key words submitted
+        by the columnar layer (:mod:`repro.columns.service`).  Both sort
+        identically; the kind is carried for metrics and tracing.
     """
 
     request_id: int
     data: npt.NDArray[np.int64]
     backend: str = "cf"
     deadline_s: float | None = None
+    kind: str = "flat"
 
     def __post_init__(self) -> None:
-        """Validate the payload and the deadline at construction time."""
+        """Validate the payload, the deadline, and the kind."""
         object.__setattr__(self, "data", validate_request_data(self.data))
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ParameterError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.kind not in REQUEST_KINDS:
+            raise ParameterError(
+                f"unknown request kind {self.kind!r} "
+                f"(one of {', '.join(REQUEST_KINDS)})"
+            )
 
     @property
     def elements(self) -> int:

@@ -127,6 +127,7 @@ class SortService:
         deadline_s: float | None = None,
         block: bool = False,
         timeout: float | None = None,
+        kind: str = "flat",
     ) -> ResultTicket:
         """Admit one sort request; returns a :class:`ResultTicket`.
 
@@ -134,7 +135,9 @@ class SortService:
         ``block=False`` (load-shedding) a full service raises
         :class:`~repro.errors.QueueFullError` immediately; with
         ``block=True`` (backpressure) the call waits up to ``timeout``
-        seconds for a slot before raising the same error.
+        seconds for a slot before raising the same error.  ``kind`` tags
+        the request (``"flat"`` or ``"columns"``, see
+        :data:`repro.service.request.REQUEST_KINDS`).
         """
         if self._closed:
             raise ServiceError("service is closed")
@@ -156,6 +159,7 @@ class SortService:
                     data=data,
                     backend=backend,
                     deadline_s=deadline_s,
+                    kind=kind,
                 )
                 now = time.monotonic()
                 pending = PendingRequest(
@@ -173,7 +177,12 @@ class SortService:
         with self.tracer.span(
             "service.submit",
             category="service",
-            args={"request_id": request_id, "backend": backend, "depth": depth},
+            args={
+                "request_id": request_id,
+                "backend": backend,
+                "kind": kind,
+                "depth": depth,
+            },
         ):
             self.metrics.record_admitted(depth)
             self._scheduler.enqueue(pending)

@@ -147,6 +147,26 @@ def run_profile(args: argparse.Namespace) -> str:
             f"fused k-way schedule: merge-phase excess {run.merge_excess} "
             "(CRS generalizes only to k = 2; measured, no claim for k > 2)"
         )
+    elif target == "columns":
+        from repro.columns.profiler import operator_merge_excess
+        from repro.numtheory import gcd
+
+        per_op = operator_merge_excess(run)
+        lines.append("per-operator merge-phase excess:")
+        for operator, excess in per_op.items():
+            lines.append(f"  {operator:<12} {excess}")
+        if gcd(w, E) == 1:
+            worst = max(per_op.values())
+            verdict = "ok" if worst == 0 else "FAIL"
+            lines.append(
+                f"columns zero-conflict claim (GCD(E, w) = 1): worst "
+                f"operator merge-phase excess {worst} -> {verdict}"
+            )
+        else:
+            lines.append(
+                f"columns, non-coprime GCD(E, w) = {gcd(w, E)}: "
+                "measured per-operator excess, no claim"
+            )
     lines += [
         "",
         "wrote:",

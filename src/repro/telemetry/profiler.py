@@ -43,6 +43,7 @@ __all__ = [
     "profile_cf",
     "profile_kway",
     "profile_kway_fused",
+    "profile_columns",
     "PROFILE_TARGETS",
 ]
 
@@ -336,6 +337,17 @@ def profile_kway_fused(w: int = 32, E: int = 15, k: int = 4) -> ProfiledRun:
     return _profile(f"kway-fused(k={k})", w, E, trace, stats)
 
 
+def profile_columns(w: int = 32, E: int = 15) -> ProfiledRun:
+    """Profile the columnar operators' sort tiles (per-operator phases).
+
+    Thin re-export of :func:`repro.columns.profiler.profile_columns`
+    (imported lazily — the columns layer itself imports this module).
+    """
+    from repro.columns.profiler import profile_columns as _profile_columns
+
+    return _profile_columns(w=w, E=E)
+
+
 #: Target name -> profiling entry point, for the ``repro profile`` verb.
 PROFILE_TARGETS = {
     "worstcase": profile_worstcase,
@@ -343,4 +355,5 @@ PROFILE_TARGETS = {
     "cf": profile_cf,
     "kway": profile_kway,
     "kway-fused": profile_kway_fused,
+    "columns": profile_columns,
 }

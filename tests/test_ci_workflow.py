@@ -58,9 +58,9 @@ def test_workflow_cancels_superseded_runs(workflow):
     assert "github.ref" in concurrency["group"]
 
 
-def test_workflow_has_the_six_jobs(workflow):
+def test_workflow_has_the_seven_jobs(workflow):
     assert set(workflow["jobs"]) == {
-        "test", "lint", "smoke", "engine", "kway", "nightly-fuzz",
+        "test", "lint", "smoke", "engine", "kway", "columns", "nightly-fuzz",
     }
 
 
@@ -102,6 +102,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "src/repro/telemetry" in steps
     assert "src/repro/fuzz" in steps
     assert "src/repro/engine" in steps
+    assert "src/repro/columns" in steps
     assert "src/repro/mergesort/kway.py" in steps
     assert "src/repro/mergesort/samplesort.py" in steps
 
@@ -224,6 +225,27 @@ def test_smoke_job_profiles_the_kway_targets(workflow):
     steps = _steps_text(workflow["jobs"]["smoke"])
     assert "python -m repro profile kway" in steps
     assert "python -m repro trace kway" in steps
+
+
+def test_columns_job_runs_the_benchmark_twice_and_diffs_reports(workflow):
+    # The columns smoke: reference-oracle bit-identity for every
+    # operator, zero CF merge replays at the coprime geometry, and the
+    # determinism contract — two runs emit byte-identical reports.
+    steps = _steps_text(workflow["jobs"]["columns"])
+    assert "pytest benchmarks/bench_columns.py" in steps
+    assert "COLUMNS_REPORT=columns-report.json" in steps
+    assert "COLUMNS_REPORT=columns-report-again.json" in steps
+    assert "cmp columns-report.json columns-report-again.json" in steps
+    assert "python -m repro profile columns" in steps
+
+
+def test_columns_job_uploads_its_reports(workflow):
+    job = workflow["jobs"]["columns"]
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert upload["with"]["name"] == "columns"
+    assert upload["with"]["if-no-files-found"] == "error"
+    assert "columns-report.json" in upload["with"]["path"]
 
 
 def test_nightly_fuzz_runs_a_larger_budget_and_uploads_reproducers(workflow):

@@ -1,0 +1,205 @@
+"""Unit tests for the columnar core: dtypes, Column, Table, key encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columns.column import Column
+from repro.columns.dtypes import DTYPES, dtype_name, numpy_dtype, order_bits
+from repro.columns.keys import (
+    PACK_BITS,
+    KeySpec,
+    combined_codes,
+    encode_keys,
+    sort_permutation,
+)
+from repro.columns.table import Table
+from repro.config import SortParams
+from repro.errors import ParameterError
+
+PARAMS = SortParams(E=5, u=32)
+
+
+class TestDtypes:
+    def test_supported_dtype_round_trip(self):
+        for name in DTYPES:
+            arr = np.zeros(3, dtype=numpy_dtype(name))
+            assert dtype_name(arr) == name
+
+    def test_unsupported_dtypes_rejected(self):
+        with pytest.raises(ParameterError, match="unsupported column dtype"):
+            numpy_dtype("int32")
+        with pytest.raises(ParameterError, match="unsupported column dtype"):
+            dtype_name(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ParameterError, match="unsupported column dtype"):
+            order_bits(np.zeros(3, dtype=np.int64), "int16")
+
+    def test_int64_order_bits_flip_the_sign_bit(self):
+        vals = np.array([np.iinfo(np.int64).min, -1, 0, 1, np.iinfo(np.int64).max])
+        bits = order_bits(vals, "int64")
+        assert list(bits) == sorted(bits)
+        assert int(bits[0]) == 0
+        assert int(bits[-1]) == 2**64 - 1
+
+    def test_float64_total_order_with_canonical_nan(self):
+        vals = np.array(
+            [-np.inf, -1.5, -0.0, 0.0, 2.5, np.inf, np.nan], dtype=np.float64
+        )
+        bits = order_bits(vals, "float64")
+        assert list(bits) == sorted(bits)
+        # NaN sorts strictly after +inf, and every NaN payload collapses.
+        assert int(bits[-1]) > int(bits[-2])
+        other_nan = np.array([np.float64("-nan")], dtype=np.float64)
+        assert int(order_bits(other_nan, "float64")[0]) == int(bits[-1])
+        # -0.0 and +0.0 are bit-distinct but adjacent.
+        assert int(bits[2]) + 1 == int(bits[3])
+
+    def test_bool_order_bits(self):
+        bits = order_bits(np.array([True, False]), "bool")
+        assert list(bits) == [1, 0]
+
+
+class TestColumn:
+    def test_from_numpy_is_zero_copy(self):
+        arr = np.arange(5, dtype=np.int64)
+        col = Column.from_numpy(arr)
+        assert col.to_numpy() is arr
+
+    def test_shape_and_dtype_validation(self):
+        with pytest.raises(ParameterError, match="one-dimensional"):
+            Column.from_numpy(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ParameterError, match="does not match"):
+            Column(values=np.zeros(2, dtype=np.int64), dtype="float64")
+        with pytest.raises(ParameterError, match="validity mask"):
+            Column(
+                values=np.zeros(2, dtype=np.int64),
+                dtype="int64",
+                valid=np.ones(3, dtype=bool),
+            )
+
+    def test_null_count_and_take(self):
+        col = Column.from_numpy(
+            np.array([10, 20, 30], dtype=np.int64), valid=[True, False, True]
+        )
+        assert col.null_count == 1
+        taken = col.take(np.array([2, 1], dtype=np.int64))
+        assert list(taken.values) == [30, 20]
+        assert taken.valid is not None and list(taken.valid) == [True, False]
+
+    def test_equals_ignores_bits_under_invalid_slots(self):
+        a = Column.from_numpy(np.array([1, 99], dtype=np.int64), valid=[True, False])
+        b = Column.from_numpy(np.array([1, -5], dtype=np.int64), valid=[True, False])
+        assert a.equals(b)
+        c = Column.from_numpy(np.array([1, 99], dtype=np.int64), valid=[True, True])
+        assert not a.equals(c)
+
+    def test_equals_treats_nans_bitwise(self):
+        a = Column.from_numpy(np.array([np.nan, 1.0]))
+        b = Column.from_numpy(np.array([np.nan, 1.0]))
+        assert a.equals(b)
+
+
+class TestTable:
+    def test_length_agreement_enforced(self):
+        with pytest.raises(ParameterError, match="lengths disagree"):
+            Table.from_arrays(
+                {
+                    "a": np.zeros(2, dtype=np.int64),
+                    "b": np.zeros(3, dtype=np.int64),
+                }
+            )
+        with pytest.raises(ParameterError, match="at least one column"):
+            Table({})
+
+    def test_unknown_mask_and_column_rejected(self):
+        with pytest.raises(ParameterError, match="unknown columns"):
+            Table.from_arrays(
+                {"a": np.zeros(2, dtype=np.int64)}, valid={"b": [True, True]}
+            )
+        table = Table.from_arrays({"a": np.zeros(2, dtype=np.int64)})
+        with pytest.raises(ParameterError, match="no column 'z'"):
+            table.column("z")
+
+    def test_select_and_with_column(self):
+        table = Table.from_arrays(
+            {
+                "a": np.arange(3, dtype=np.int64),
+                "b": np.arange(3, dtype=np.float64),
+            }
+        )
+        assert table.select(["b"]).names == ("b",)
+        extended = table.with_column(
+            "c", Column.from_numpy(np.ones(3, dtype=np.uint64))
+        )
+        assert extended.names == ("a", "b", "c")
+        assert table.names == ("a", "b")  # original untouched
+
+    def test_fused_take_matches_plain_gather(self):
+        # Three same-dtype columns exercise the stacked payload_gather
+        # path; the result must equal naive per-column fancy indexing.
+        rng = np.random.default_rng(3)
+        arrays = {
+            name: rng.integers(-50, 50, 17).astype(np.int64)
+            for name in ("a", "b", "c")
+        }
+        arrays["f"] = rng.normal(size=17)
+        mask = rng.random(17) > 0.3
+        table = Table.from_arrays(arrays, valid={"f": mask})
+        idx = rng.permutation(17).astype(np.int64)
+        taken = table.take(idx)
+        for name, arr in arrays.items():
+            assert np.array_equal(taken.column(name).values, arr[idx])
+        fvalid = taken.column("f").valid
+        assert fvalid is not None and np.array_equal(fvalid, mask[idx])
+
+
+class TestKeyEncoding:
+    def test_single_column_packs_into_one_word(self):
+        table = Table.from_arrays({"a": np.array([5, -3, 5, 0], dtype=np.int64)})
+        enc = encode_keys(table, ["a"])
+        assert enc.packed is not None
+        assert enc.k == 1 and enc.slots == (3,)
+
+    def test_descending_reverses_ranks_before_null_placement(self):
+        table = Table.from_arrays(
+            {"a": np.array([1, 2, 3], dtype=np.int64)},
+            valid={"a": [True, False, True]},
+        )
+        enc = encode_keys(table, [KeySpec("a", ascending=False, nulls="first")])
+        # null owns rank 0 regardless of direction; 3 < 1 descending.
+        assert list(enc.codes[0]) == [2, 0, 1]
+
+    def test_wide_keys_fall_back_to_lsd_loop(self):
+        # Ranks are dense, so width comes from *distinct counts*: three
+        # columns of 2^11 distinct values make k*b = 33 > PACK_BITS.
+        n = 1 << 11
+        rng = np.random.default_rng(0)
+        table = Table.from_arrays(
+            {
+                "a": rng.permutation(n).astype(np.int64),
+                "b": rng.permutation(n).astype(np.int64),
+                "c": rng.permutation(n).astype(np.int64),
+            }
+        )
+        enc = encode_keys(table, ["a", "b", "c"])
+        assert enc.k * enc.width > PACK_BITS
+        assert enc.packed is None
+        outcome = sort_permutation(enc, PARAMS)
+        assert outcome.passes == 3  # one stable pass per key column
+        comb, _ = combined_codes(enc)
+        assert np.array_equal(comb[outcome.perm], np.sort(comb))
+
+    def test_empty_key_list_rejected(self):
+        table = Table.from_arrays({"a": np.zeros(2, dtype=np.int64)})
+        with pytest.raises(ParameterError, match="at least one sort key"):
+            encode_keys(table, [])
+
+    def test_bad_null_placement_rejected(self):
+        with pytest.raises(ParameterError, match="nulls must be one of"):
+            KeySpec("a", nulls="middle")
+
+    def test_trivial_permutations_short_circuit(self):
+        table = Table.from_arrays({"a": np.array([7], dtype=np.int64)})
+        outcome = sort_permutation(encode_keys(table, ["a"]), PARAMS)
+        assert list(outcome.perm) == [0] and outcome.passes == 0

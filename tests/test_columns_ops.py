@@ -1,0 +1,234 @@
+"""Unit tests for the columnar operators against the reference oracle.
+
+Every operator must be *bit-identical* to its pure-Python reference and,
+on the inline CF path at a coprime geometry, report zero merge-phase
+bank-conflict replays — the paper's claim carried through composite-key
+sorting, including on the Section 4 adversarial input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columns.keys import KeySpec
+from repro.columns.ops import (
+    groupby_aggregate,
+    merge_join,
+    percentile,
+    sort_by,
+    top_k,
+)
+from repro.columns.profiler import demo_table
+from repro.columns.reference import (
+    groupby_reference,
+    join_reference,
+    percentile_reference,
+    sort_by_reference,
+    top_k_reference,
+)
+from repro.columns.table import Table
+from repro.config import SortParams
+from repro.errors import ParameterError
+from repro.workloads import adversarial
+
+PARAMS = SortParams(E=5, u=32)
+W = 8  # gcd(5, 8) = 1: the zero-conflict acceptance geometry
+
+KEYS = [KeySpec("id"), KeySpec("score", ascending=False, nulls="first")]
+
+
+def _adversarial_table(n_tiles: int = 2) -> Table:
+    """The Section 4 worst-case input as a keyed table with a payload."""
+    data = adversarial(n_tiles, PARAMS.E, PARAMS.u, W)
+    return Table.from_arrays(
+        {
+            "key": data,
+            "payload": np.arange(len(data), dtype=np.uint64),
+        }
+    )
+
+
+def _duplicate_heavy_table(rows: int = 128) -> Table:
+    """Three distinct ids, NaN-bearing nullable floats: worst-case ties."""
+    rng = np.random.default_rng(11)
+    score = np.where(rng.random(rows) < 0.3, np.nan, rng.integers(0, 4, rows) / 2.0)
+    return Table.from_arrays(
+        {
+            "id": rng.integers(0, 3, rows).astype(np.int64),
+            "score": score,
+            "payload": np.arange(rows, dtype=np.uint64),
+        },
+        valid={"score": rng.random(rows) > 0.25},
+    )
+
+
+class TestSortBy:
+    def test_matches_reference_on_demo_table(self):
+        table = demo_table(96, seed=0)
+        result = sort_by(table, KEYS, params=PARAMS, w=W)
+        assert result.table.equals(sort_by_reference(table, KEYS))
+        assert result.merge_replays == 0
+        assert result.backend == "cf"
+
+    def test_zero_replays_on_the_section4_adversary(self):
+        table = _adversarial_table()
+        result = sort_by(table, ["key"], params=PARAMS, w=W)
+        assert result.table.equals(sort_by_reference(table, ["key"]))
+        assert result.merge_replays == 0, "CF sort conflicted on the adversary"
+        assert np.array_equal(
+            result.table.column("key").values, np.sort(table.column("key").values)
+        )
+
+    def test_stable_on_duplicate_heavy_input(self):
+        table = _duplicate_heavy_table()
+        result = sort_by(table, KEYS, params=PARAMS, w=W)
+        assert result.table.equals(sort_by_reference(table, KEYS))
+        assert result.merge_replays == 0
+        # Stability: payload holds the original row numbers, so the
+        # gathered payload must equal the (output -> input) permutation,
+        # and that permutation must visit every row exactly once.
+        payload = result.table.column("payload").values
+        seen = np.zeros(table.num_rows, dtype=bool)
+        seen[result.perm] = True
+        assert seen.all(), "perm must be a permutation"
+        assert np.array_equal(payload.astype(np.int64), result.perm)
+
+    def test_backend_route_loses_replay_detail_but_not_rows(self):
+        table = demo_table(64, seed=1)
+        inline = sort_by(table, KEYS, params=PARAMS, w=W)
+        routed = sort_by(table, KEYS, params=PARAMS, w=W, backend="cf-batched")
+        assert routed.backend == "cf-batched"
+        assert routed.merge_replays is None  # aggregate counters only
+        assert routed.table.equals(inline.table)
+        assert np.array_equal(routed.perm, inline.perm)
+
+
+class TestTopKAndPercentile:
+    def test_top_k_matches_reference(self):
+        table = demo_table(80, seed=2)
+        for k in (0, 1, 7, 80, 200):
+            result = top_k(table, KEYS, k, params=PARAMS, w=W)
+            assert result.table.equals(top_k_reference(table, KEYS, k))
+            assert result.table.num_rows == min(k, 80)
+            assert result.merge_replays == 0
+
+    def test_percentile_matches_reference(self):
+        table = demo_table(80, seed=3)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            got = percentile(table, "score", q, params=PARAMS, w=W)
+            want = percentile_reference(table, "score", q)
+            assert repr(got.value) == repr(want)
+            assert got.merge_replays == 0
+
+    def test_percentile_of_all_null_column_is_nan(self):
+        table = Table.from_arrays(
+            {"x": np.array([1.0, 2.0])}, valid={"x": [False, False]}
+        )
+        assert np.isnan(percentile(table, "x", 0.5, params=PARAMS, w=W).value)
+
+
+class TestGroupby:
+    AGGS = {"score": ("count", "sum", "min", "max"), "payload": ("sum",)}
+
+    def test_matches_reference_including_float_sum_bits(self):
+        table = demo_table(96, seed=4)
+        result = groupby_aggregate(table, ["id"], self.AGGS, params=PARAMS, w=W)
+        assert result.table.equals(groupby_reference(table, ["id"], self.AGGS))
+        assert result.merge_replays == 0
+
+    def test_duplicate_heavy_groups_and_all_null_group(self):
+        table = _duplicate_heavy_table()
+        aggs = {"score": ("count", "sum", "min", "max")}
+        result = groupby_aggregate(table, ["id"], aggs, params=PARAMS, w=W)
+        assert result.table.equals(groupby_reference(table, ["id"], aggs))
+        # Only three distinct ids exist.
+        assert result.table.num_rows == 3
+
+    def test_all_null_group_yields_null_aggregates(self):
+        table = Table.from_arrays(
+            {
+                "g": np.array([0, 0, 1], dtype=np.int64),
+                "v": np.array([1.0, 2.0, 9.0]),
+            },
+            valid={"v": [False, False, True]},
+        )
+        aggs = {"v": ("count", "sum", "min", "max")}
+        result = groupby_aggregate(table, ["g"], aggs, params=PARAMS, w=W)
+        assert result.table.equals(groupby_reference(table, ["g"], aggs))
+        counts = result.table.column("v_count").values
+        assert list(counts) == [0, 1]
+        vsum = result.table.column("v_sum")
+        assert vsum.valid is not None and list(vsum.valid) == [False, True]
+
+    def test_unknown_aggregate_rejected(self):
+        table = demo_table(8, seed=0)
+        with pytest.raises(ParameterError, match="unknown aggregate"):
+            groupby_aggregate(table, ["id"], {"score": ("median",)}, params=PARAMS)
+
+
+class TestMergeJoin:
+    def test_inner_and_left_match_reference(self):
+        left = demo_table(96, seed=5)
+        right = demo_table(48, seed=6).select(["id", "payload"])
+        for how in ("inner", "left"):
+            result = merge_join(left, right, ["id"], how=how, params=PARAMS, w=W)
+            assert result.table.equals(join_reference(left, right, ["id"], how))
+            assert result.merge_replays == 0
+
+    def test_left_join_marks_unmatched_rows_null(self):
+        left = Table.from_arrays(
+            {
+                "id": np.array([1, 2, 3], dtype=np.int64),
+                "x": np.array([10, 20, 30], dtype=np.int64),
+            }
+        )
+        right = Table.from_arrays(
+            {
+                "id": np.array([2], dtype=np.int64),
+                "y": np.array([7], dtype=np.int64),
+            }
+        )
+        result = merge_join(left, right, ["id"], how="left", params=PARAMS, w=W)
+        assert result.table.equals(join_reference(left, right, ["id"], "left"))
+        y = result.table.column("y")
+        assert y.valid is not None and list(y.valid) == [False, True, False]
+
+    def test_null_keys_join_each_other(self):
+        left = Table.from_arrays(
+            {"id": np.array([1, 5], dtype=np.int64)}, valid={"id": [True, False]}
+        ).with_column(
+            "x",
+            Table.from_arrays({"x": np.array([10, 20], dtype=np.int64)}).column("x"),
+        )
+        right = Table.from_arrays(
+            {"id": np.array([9, 1], dtype=np.int64)}, valid={"id": [False, True]}
+        ).with_column(
+            "y",
+            Table.from_arrays({"y": np.array([70, 80], dtype=np.int64)}).column("y"),
+        )
+        result = merge_join(left, right, ["id"], how="inner", params=PARAMS, w=W)
+        assert result.table.equals(join_reference(left, right, ["id"], "inner"))
+        # Both the valid 1-1 pair and the null-null pair match.
+        assert result.table.num_rows == 2
+
+    def test_name_collisions_get_right_suffix(self):
+        left = Table.from_arrays(
+            {
+                "id": np.array([1], dtype=np.int64),
+                "v": np.array([1], dtype=np.int64),
+            }
+        )
+        right = Table.from_arrays(
+            {
+                "id": np.array([1], dtype=np.int64),
+                "v": np.array([2], dtype=np.int64),
+            }
+        )
+        result = merge_join(left, right, ["id"], params=PARAMS, w=W)
+        assert result.table.names == ("id", "v", "v_right")
+
+    def test_unknown_join_kind_rejected(self):
+        table = demo_table(8, seed=0)
+        with pytest.raises(ParameterError, match="unknown join kind"):
+            merge_join(table, table, ["id"], how="outer", params=PARAMS)

@@ -145,6 +145,7 @@ class TestPlanCacheBehavior:
         assert set(PLAN_KINDS) == {
             "tids", "stage", "rho", "scatter", "oddeven",
             "kway_rounds", "sample_splitters",
+            "key_pack", "payload_gather",
         }
 
 

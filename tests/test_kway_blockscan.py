@@ -10,7 +10,7 @@ import pytest
 from repro.core import BlockSplit
 from repro.core.dual_scan import conflict_free_dual_scan_block
 from repro.errors import ParameterError
-from repro.mergesort.kway import merge_runs, merge_two_runs
+from repro.mergesort.kway import merge_two_runs, tournament_merge_runs
 
 
 class TestMergeTwoRuns:
@@ -39,28 +39,28 @@ class TestMergeRuns:
     def test_k_runs(self, k):
         rng = np.random.default_rng(k)
         runs = [np.sort(rng.integers(0, 10**6, int(rng.integers(1, 90)))) for _ in range(k)]
-        merged, _ = merge_runs(runs, E=5, u=8, w=8)
+        merged, _ = tournament_merge_runs(runs, E=5, u=8, w=8)
         assert np.array_equal(merged, np.sort(np.concatenate(runs)))
 
     def test_cf_variant_conflict_free(self):
         rng = np.random.default_rng(9)
         runs = [np.sort(rng.integers(0, 10**6, 80)) for _ in range(4)]
-        merged, stats = merge_runs(runs, E=5, u=8, w=8, variant="cf")
+        merged, stats = tournament_merge_runs(runs, E=5, u=8, w=8, variant="cf")
         assert np.array_equal(merged, np.sort(np.concatenate(runs)))
         assert stats.merge.shared_replays == 0
 
     def test_empty_input(self):
-        merged, stats = merge_runs([], E=5, u=8, w=8)
+        merged, stats = tournament_merge_runs([], E=5, u=8, w=8)
         assert len(merged) == 0
         assert stats.merge.shared_rounds == 0
 
     def test_validation(self):
         with pytest.raises(ParameterError):
-            merge_runs([[1, 2], [4, 3]], E=5, u=8, w=8)
+            tournament_merge_runs([[1, 2], [4, 3]], E=5, u=8, w=8)
         with pytest.raises(ParameterError):
-            merge_runs([np.zeros((2, 2))], E=5, u=8, w=8)
+            tournament_merge_runs([np.zeros((2, 2))], E=5, u=8, w=8)
         with pytest.raises(ParameterError):
-            merge_runs([[1]], E=5, u=8, w=8, variant="bogus")
+            tournament_merge_runs([[1]], E=5, u=8, w=8, variant="bogus")
 
 
 class TestBlockDualScan:

@@ -63,6 +63,15 @@ class TestSortByKey:
             > plain.global_stats.global_read_transactions
         )
 
+    @pytest.mark.parametrize("n_keys,n_values", [(2, 1), (1, 2), (0, 3)])
+    def test_mismatched_lengths_rejected_with_typed_error(self, n_keys, n_values):
+        keys = np.arange(n_keys, dtype=np.int64)
+        values = np.arange(n_values, dtype=np.int64)
+        with pytest.raises(
+            ParameterError, match=rf"equal length \({n_keys} != {n_values}\)"
+        ):
+            sort_by_key(keys, values, E=5, u=8, w=8)
+
     def test_validation(self):
         with pytest.raises(ParameterError):
             sort_by_key(np.array([1, 2]), np.array([1]), E=5, u=8, w=8)

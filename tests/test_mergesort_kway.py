@@ -214,9 +214,19 @@ class TestTournamentCompat:
         assert np.array_equal(merged, np.sort(np.concatenate(runs)))
         assert stats.merge.shared_replays == 0
 
-    def test_merge_runs_wrapper_delegates(self):
+    def test_merge_runs_wrapper_delegates_and_warns(self):
         rng = np.random.default_rng(7)
         runs = [np.sort(rng.integers(0, 10**6, 60)) for _ in range(3)]
-        via_wrapper, _ = merge_runs(runs, E=5, u=8, w=8)
+        with pytest.warns(DeprecationWarning, match="tournament_merge_runs"):
+            via_wrapper, _ = merge_runs(runs, E=5, u=8, w=8)
         via_tournament, _ = tournament_merge_runs(runs, E=5, u=8, w=8)
         assert np.array_equal(via_wrapper, via_tournament)
+
+    def test_tournament_merge_runs_does_not_warn(self):
+        import warnings
+
+        runs = [np.array([1, 3], dtype=np.int64), np.array([2, 4], dtype=np.int64)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            merged, _ = tournament_merge_runs(runs, E=5, u=8, w=8)
+        assert np.array_equal(merged, np.array([1, 2, 3, 4]))
