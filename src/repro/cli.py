@@ -29,6 +29,8 @@ Usage::
     python -m repro submit [--count N --backends B,...]   # service blast
     python -m repro sort-table [--rows N --keys K --via-service]  # columnar sort
     python -m repro join [--rows N --how inner|left]      # columnar merge join
+    python -m repro cluster-sort [--cluster-keys N --parts P --procs W]
+    python -m repro cluster-sort --external [--budget-keys B --spill-dir DIR]
     python -m repro profile [worstcase|random|cf] [--w W --E E --out DIR]
     python -m repro trace [theorem8|defenses|fig5|service] [--out DIR]
     python -m repro fuzz [run|shrink|replay] [--budget N --fuzz-seed S]
@@ -49,6 +51,9 @@ distinct exit codes (1 unsorted, 3 queue full, 4 deadline, 5 other).
 ``sort-table``/``join`` run the :mod:`repro.columns` relational operators
 on a deterministic demo table and verify bit-identically against the
 pure-Python reference oracle (1 = mismatch).
+``cluster-sort`` runs the :mod:`repro.cluster` partition-wise plan (or,
+with ``--external``, the out-of-core external sort) on a deterministic
+workload and verifies against ``numpy.sort`` (1 = mismatch).
 ``fuzz`` runs the :mod:`repro.fuzz` differential/invariant/bound oracle
 campaign and reserves exit code 6 = counterexample found (also used by
 ``fuzz replay``/``fuzz shrink`` when the recorded failure still
@@ -419,10 +424,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(_COMMANDS)
-        + ["all", "bench", "serve", "submit", "sort-table", "join", "fuzz"],
+        + [
+            "all",
+            "bench",
+            "serve",
+            "submit",
+            "sort-table",
+            "join",
+            "cluster-sort",
+            "fuzz",
+        ],
         help="which figure/table to regenerate (`bench` = perf gate; "
         "`serve`/`submit` = the batched sort service; "
         "`sort-table`/`join` = the columnar operators; "
+        "`cluster-sort` = the partition-wise cluster plan / external sort; "
         "`profile`/`trace` = telemetry artifacts; "
         "`fuzz` = oracle campaigns, exit 6 = counterexample)",
     )
@@ -491,12 +506,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="(bench) allowed fractional increase over the baseline (default 0.25)",
     )
+    from repro.cluster.cli import add_cluster_arguments
     from repro.columns.cli import add_columns_arguments
     from repro.fuzz.cli import add_fuzz_arguments
     from repro.service.cli import add_service_arguments
 
     add_service_arguments(parser)
     add_columns_arguments(parser)
+    add_cluster_arguments(parser)
     add_fuzz_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 0:
@@ -519,6 +536,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.columns.cli import dispatch as columns_dispatch
 
         return columns_dispatch(args)
+
+    if args.experiment == "cluster-sort":
+        from repro.cluster.cli import dispatch as cluster_dispatch
+
+        return cluster_dispatch(args)
 
     if args.experiment == "fuzz":
         from repro.fuzz.cli import dispatch as fuzz_dispatch

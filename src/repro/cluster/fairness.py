@@ -1,0 +1,303 @@
+"""Per-tenant admission control: weighted fair queueing plus quotas.
+
+The service's own admission gate is tenant-blind — one chatty caller can
+monopolize every in-flight slot.  :class:`FairFrontEnd` layers fairness
+*on top of* the existing backpressure/deadline machinery (it wraps
+:meth:`~repro.service.service.SortService.submit`; the scheduler and
+worker pool are untouched):
+
+* **Weighted fair queueing** — each submission is stamped with a virtual
+  finish time ``vt[tenant] += cost / weight`` (cost = element count) and
+  the dispatcher releases requests in ``(finish, arrival)`` order, so a
+  tenant with weight 2 drains twice as fast as a weight-1 tenant under
+  contention, and an idle tenant's first request is never penalized for
+  others' history.  :func:`wfq_order` is the pure ordering rule, kept
+  separate so tests can pin it deterministically.
+* **Quotas** — at most ``max_in_flight`` requests per tenant are inside
+  the service at once; excess submissions wait in the fair queue, not in
+  the service's slots, so one tenant's burst cannot trigger
+  service-level load shedding for everyone else.
+
+Dispatched requests still flow through the service's deadline and
+backpressure paths unchanged; the front end only decides *when* each
+request is allowed to enter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError, ServiceError
+from repro.service.request import SortResult
+from repro.service.service import ResultTicket, SortService
+
+__all__ = ["TenantQuota", "wfq_order", "FairTicket", "FairFrontEnd"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's fair-queueing parameters."""
+
+    #: Relative service share (virtual time advances as ``cost / weight``).
+    weight: float = 1.0
+    #: Maximum requests this tenant may have inside the service at once.
+    max_in_flight: int = 8
+
+    def __post_init__(self) -> None:
+        """Validate the quota (positive weight, at least one slot)."""
+        if self.weight <= 0:
+            raise ParameterError(f"need weight > 0, got {self.weight}")
+        if self.max_in_flight < 1:
+            raise ParameterError(f"need max_in_flight >= 1, got {self.max_in_flight}")
+
+
+def wfq_order(
+    entries: Sequence[tuple[str, int]],
+    quotas: Mapping[str, TenantQuota] | None = None,
+) -> list[int]:
+    """The WFQ dispatch order for ``(tenant, cost)`` arrivals.
+
+    Returns arrival indices in dispatch order: each entry's virtual
+    finish time is ``vt[tenant] += cost / weight`` and entries release
+    in ``(finish, arrival)`` order.  This is the pure ordering rule the
+    :class:`FairFrontEnd` dispatcher applies; kept side-effect free so
+    property tests can check fairness invariants deterministically.
+    """
+    lookup = dict(quotas or {})
+    vt: dict[str, float] = {}
+    keyed: list[tuple[float, int]] = []
+    for seq, (tenant, cost) in enumerate(entries):
+        weight = lookup.get(tenant, TenantQuota()).weight
+        finish = vt.get(tenant, 0.0) + max(cost, 1) / weight
+        vt[tenant] = finish
+        keyed.append((finish, seq))
+    return [seq for _, seq in sorted(keyed)]
+
+
+class FairTicket:
+    """A claim check that resolves once the fair queue dispatches it."""
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self._dispatched = threading.Event()
+        self._inner: ResultTicket | None = None
+        self._error: BaseException | None = None
+
+    def _fulfill(self, inner: ResultTicket) -> None:
+        self._inner = inner
+        self._dispatched.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._dispatched.set()
+
+    def done(self) -> bool:
+        """Whether the underlying result (or a dispatch failure) is available."""
+        if not self._dispatched.is_set():
+            return False
+        return self._inner is None or self._inner.done()
+
+    def result(self, timeout: float | None = None) -> SortResult:
+        """Block until the request is dispatched *and* completed."""
+        if not self._dispatched.wait(timeout):
+            raise ServiceError(f"tenant {self.tenant}: not dispatched within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._inner is not None
+        return self._inner.result(timeout)
+
+
+class _Queued:
+    """One fair-queue entry: payload plus its WFQ key."""
+
+    __slots__ = ("finish", "seq", "tenant", "data", "backend", "deadline_s", "ticket")
+
+    def __init__(
+        self,
+        finish: float,
+        seq: int,
+        tenant: str,
+        data: npt.NDArray[np.int64],
+        backend: str,
+        deadline_s: float | None,
+        ticket: FairTicket,
+    ) -> None:
+        self.finish = finish
+        self.seq = seq
+        self.tenant = tenant
+        self.data = data
+        self.backend = backend
+        self.deadline_s = deadline_s
+        self.ticket = ticket
+
+
+class FairFrontEnd:
+    """WFQ + quota admission in front of a :class:`SortService`."""
+
+    def __init__(
+        self,
+        service: SortService,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+    ) -> None:
+        self.service = service
+        self._quotas = dict(quotas or {})
+        self._default = default_quota if default_quota is not None else TenantQuota()
+        self._cond = threading.Condition()
+        self._queue: list[_Queued] = []
+        self._vt: dict[str, float] = {}
+        self._in_flight: dict[str, int] = {}
+        self._stats: dict[str, dict[str, int]] = {}
+        self._seq = 0
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="fair-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant`` (explicit or the default)."""
+        return self._quotas.get(tenant, self._default)
+
+    def _tenant_stats(self, tenant: str) -> dict[str, int]:
+        return self._stats.setdefault(
+            tenant, {"submitted": 0, "dispatched": 0, "completed": 0}
+        )
+
+    # ------------------------------------------------------------ admission
+
+    def submit(
+        self,
+        data: npt.NDArray[np.int64],
+        tenant: str = "default",
+        backend: str = "cf",
+        deadline_s: float | None = None,
+    ) -> FairTicket:
+        """Queue one request for ``tenant``; returns a :class:`FairTicket`.
+
+        The call never blocks on the service — WFQ order and the
+        tenant's quota decide when the request actually enters
+        :meth:`SortService.submit` (which is then called with
+        backpressure, so the service's own gate still applies).
+        """
+        ticket = FairTicket(tenant)
+        with self._cond:
+            if self._closed:
+                raise ServiceError("fair front end is closed")
+            cost = max(len(data), 1)
+            finish = self._vt.get(tenant, 0.0) + cost / self.quota_for(tenant).weight
+            self._vt[tenant] = finish
+            self._tenant_stats(tenant)["submitted"] += 1
+            self._queue.append(
+                _Queued(finish, self._seq, tenant, data, backend, deadline_s, ticket)
+            )
+            self._seq += 1
+            self._cond.notify_all()
+        return ticket
+
+    # ----------------------------------------------------------- dispatching
+
+    def _pop_eligible(self) -> _Queued | None:
+        """The lowest-(finish, seq) entry whose tenant has quota headroom."""
+        best: _Queued | None = None
+        for entry in self._queue:
+            if (
+                self._in_flight.get(entry.tenant, 0)
+                >= self.quota_for(entry.tenant).max_in_flight
+            ):
+                continue
+            if best is None or (entry.finish, entry.seq) < (best.finish, best.seq):
+                best = entry
+        if best is not None:
+            self._queue.remove(best)
+        return best
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                entry = self._pop_eligible()
+                while entry is None:
+                    if self._closed:
+                        return
+                    self._cond.wait()
+                    entry = self._pop_eligible()
+                self._in_flight[entry.tenant] = self._in_flight.get(entry.tenant, 0) + 1
+                self._tenant_stats(entry.tenant)["dispatched"] += 1
+            try:
+                inner = self.service.submit(
+                    entry.data,
+                    backend=entry.backend,
+                    deadline_s=entry.deadline_s,
+                    block=True,
+                )
+            except BaseException as error:
+                with self._cond:
+                    self._in_flight[entry.tenant] -= 1
+                    self._tenant_stats(entry.tenant)["completed"] += 1
+                    self._cond.notify_all()
+                entry.ticket._fail(error)
+                continue
+            entry.ticket._fulfill(inner)
+            waiter = threading.Thread(
+                target=self._await_completion,
+                args=(entry.tenant, inner),
+                name="fair-waiter",
+                daemon=True,
+            )
+            waiter.start()
+
+    def _await_completion(self, tenant: str, inner: ResultTicket) -> None:
+        """Release the tenant's quota slot once the service finishes."""
+        inner.result(None)
+        with self._cond:
+            self._in_flight[tenant] -= 1
+            self._tenant_stats(tenant)["completed"] += 1
+            self._cond.notify_all()
+
+    # -------------------------------------------------------------- queries
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-tenant fairness state (JSON-serializable)."""
+        with self._cond:
+            out: dict[str, dict[str, float]] = {}
+            for tenant, stats in sorted(self._stats.items()):
+                quota = self.quota_for(tenant)
+                out[tenant] = {
+                    "submitted": stats["submitted"],
+                    "dispatched": stats["dispatched"],
+                    "completed": stats["completed"],
+                    "in_flight": self._in_flight.get(tenant, 0),
+                    "queued": sum(1 for e in self._queue if e.tenant == tenant),
+                    "virtual_finish": self._vt.get(tenant, 0.0),
+                    "weight": quota.weight,
+                    "max_in_flight": quota.max_in_flight,
+                }
+            return out
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Stop the dispatcher; queued-but-undispatched requests fail."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            stranded = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for entry in stranded:
+            entry.ticket._fail(ServiceError("fair front end closed before dispatch"))
+        self._dispatcher.join(timeout=5.0)
+
+    def __enter__(self) -> "FairFrontEnd":
+        """Context-manager entry: the dispatcher is already running."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: stop the dispatcher."""
+        self.close()

@@ -1,0 +1,90 @@
+"""Partition math: chunk bounds and Merge-Path co-rank merge cuts.
+
+The cluster planner splits a sort into two independent-parallel stages:
+
+1. **Chunking** — :func:`chunk_bounds` cuts ``n`` keys into contiguous
+   chunks of at most ``chunk`` elements; each chunk is sorted on its own
+   (by any registered service backend) to produce one sorted *run*.
+2. **Merge partitioning** — :func:`merge_partition_cuts` places ``parts``
+   equally spaced output diagonals through the k-way merge of those runs
+   and resolves each diagonal into per-run co-rank cuts with
+   :func:`repro.mergesort.kway.kway_merge_path_search` (Green et al.'s
+   Merge Path, generalized to ``k`` runs with the repo's stability
+   contract: ties break by run index, then in-run position).  Between
+   two consecutive diagonals every run contributes one contiguous slice,
+   so the ``parts`` merge tasks are fully independent, write disjoint
+   output ranges, and concatenate to the exact stable k-way merge.
+
+Empty chunks and empty merge slices are first-class: zero-length runs
+produce zero-length cuts, and a partition whose slices are all empty is
+a well-formed no-op (the empty-input contract the satellite tests pin).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError
+from repro.mergesort.kway import kway_merge_path_search
+
+__all__ = ["chunk_bounds", "merge_partition_cuts", "stable_merge_slices"]
+
+IntArray = npt.NDArray[np.int64]
+
+
+def chunk_bounds(n: int, chunk: int) -> list[tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` chunk bounds covering ``[0, n)``.
+
+    Every chunk holds at most ``chunk`` elements; the last one may be
+    short.  ``n == 0`` yields no chunks at all (not one empty chunk), so
+    downstream stages never see a degenerate run unless a caller builds
+    one deliberately.
+    """
+    if n < 0:
+        raise ParameterError(f"need n >= 0, got n={n}")
+    if chunk < 1:
+        raise ParameterError(f"need chunk >= 1, got chunk={chunk}")
+    return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+
+
+def merge_partition_cuts(
+    runs: Sequence[IntArray], parts: int
+) -> list[tuple[int, ...]]:
+    """Co-rank cuts for ``parts`` balanced partitions of the k-way merge.
+
+    Returns ``parts + 1`` cut tuples (one per diagonal, including both
+    ends); partition ``j`` of the merged output is the stable k-way
+    merge of ``runs[r][cuts[j][r] : cuts[j + 1][r]]`` over every run
+    ``r``.  Diagonals are ``ceil(j * total / parts)``-spaced, so
+    partitions differ in size by at most one.
+    """
+    if parts < 1:
+        raise ParameterError(f"need parts >= 1, got parts={parts}")
+    if not runs:
+        raise ParameterError("merge_partition_cuts needs at least one run")
+    total = sum(len(r) for r in runs)
+    cuts: list[tuple[int, ...]] = []
+    for j in range(parts + 1):
+        diagonal = (j * total) // parts
+        cuts.append(kway_merge_path_search(runs, diagonal))
+    return cuts
+
+
+def stable_merge_slices(slices: Sequence[IntArray]) -> IntArray:
+    """The stable k-way merge of already-sorted slices, as values.
+
+    Concatenating the slices in run order and stable-sorting keeps equal
+    values in (run index, in-run position) order — exactly the tie rule
+    :func:`~repro.mergesort.kway.kway_merge_path_search` cuts by, so a
+    partition merged this way concatenates seamlessly with its
+    neighbors.  All-empty input returns a well-formed empty array.
+    """
+    parts = [np.asarray(s, dtype=np.int64) for s in slices]
+    if not parts or all(len(p) == 0 for p in parts):
+        return np.empty(0, dtype=np.int64)
+    merged = np.concatenate(parts)
+    merged.sort(kind="stable")
+    return merged

@@ -38,6 +38,12 @@ def _fused_take(
     indices[r]`` of the row-stacked matrix.
     """
     k, n = len(arrays), int(len(arrays[0]))
+    if len(indices) == 0:
+        # Explicit empty-partition guard: gathering nothing yields
+        # zero-length arrays of the source dtypes without touching the
+        # plan cache (a ``payload_gather`` plan over an empty table is
+        # well-formed but pointless to build).
+        return [arr[:0].copy() for arr in arrays]
     if k == 1:
         return [arrays[0][indices]]
     plan = get_plan("payload_gather", n, 1, w, k=k)

@@ -14,9 +14,11 @@ Families
     CF-Merge and the Thrust-style baseline vs ``numpy.sort``; the fast
     vectorized conflict profile vs the lockstep simulator's counters;
     ``sort_by_key`` stability against ``numpy.argsort(kind="stable")``;
-    every registered service backend on a segmented payload; the columnar
-    operators (sort/join/groupby over a table derived from the payload)
-    bit-identical against the pure-Python reference oracle
+    every registered service backend on a segmented payload; the
+    cluster-sharded engine lane byte-identical (values, counters,
+    launches) to the in-process batched lane on the same payload; the
+    columnar operators (sort/join/groupby over a table derived from the
+    payload) bit-identical against the pure-Python reference oracle
     (:mod:`repro.columns.reference`); and — only when ``inject`` names
     one of :data:`INJECTABLE_BUGS` — a deliberately broken reference
     sort, the mutation test proving the oracle can actually catch a
@@ -171,6 +173,42 @@ def _backends_check(data: Array, geometry: Geometry) -> dict[str, Any]:
     )
 
 
+def _cluster_check(data: Array, geometry: Geometry) -> dict[str, Any]:
+    """The cluster-sharded lane is byte-identical to the batched lane.
+
+    Runs ``cf-cluster`` and ``cf-batched`` over the same segmented
+    payload and demands identical output values, identical aggregated
+    counters, and identical launch counts — the tentpole identity the
+    cluster package promises.  Geometries the batched lane rejects
+    (non-coprime ``w, E`` or a non-power-of-two ``u``) skip, matching
+    the module's skip convention.
+    """
+    from repro.cluster.service import cf_cluster_backend
+    from repro.engine.backend import cf_batched_backend
+
+    params = SortParams(geometry.E, geometry.u)
+    offsets = _segment_offsets(len(data))
+    try:
+        batched = cf_batched_backend(data, offsets, params, geometry.w)
+        clustered = cf_cluster_backend(data, offsets, params, geometry.w)
+    except ParameterError as exc:
+        return _skip(f"batched-lane precondition failed: {exc}")
+    mismatches: list[str] = []
+    if not np.array_equal(clustered.data, batched.data):
+        mismatches.append("values")
+    if clustered.counters.as_dict() != batched.counters.as_dict():
+        mismatches.append("counters")
+    if clustered.launches != batched.launches:
+        mismatches.append(
+            f"launches ({clustered.launches} != {batched.launches})"
+        )
+    return _check(
+        not mismatches,
+        f"cf-cluster vs cf-batched over {len(offsets)} segments"
+        + (f"; diverged: {', '.join(mismatches)}" if mismatches else ""),
+    )
+
+
 def _columns_table(data: Array) -> Any:
     """A deterministic columnar table derived from one fuzz payload.
 
@@ -322,6 +360,7 @@ def evaluate_case(
             )
         checks["differential/by_key_stable"] = _stability_check(data, geometry)
         checks["differential/backends_agree"] = _backends_check(data, geometry)
+        checks["differential/cluster_matches_batched"] = _cluster_check(data, geometry)
         checks["differential/columns_ops"] = _columns_check(data, geometry)
         if inject is not None:
             checks["differential/injected_reference"] = _check(

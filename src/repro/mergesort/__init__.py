@@ -49,7 +49,6 @@ from repro.mergesort.kway import (
     kway_merge_block,
     kway_merge_path_search,
     kway_sort,
-    merge_runs,
     merge_two_runs,
     tournament_merge_runs,
 )
@@ -73,7 +72,6 @@ __all__ = [
     "kway_sort",
     "KwaySortResult",
     "tournament_merge_runs",
-    "merge_runs",
     "merge_two_runs",
     "sample_sort",
     "SampleSortResult",

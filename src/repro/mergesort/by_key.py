@@ -58,6 +58,15 @@ def sort_by_key(
     if len(keys) and (keys.min() < 0 or keys.max() >= KEY_LIMIT):
         raise ParameterError(f"keys must lie in [0, {KEY_LIMIT})")
 
+    if len(keys) == 0:
+        # Explicit empty-partition guard: a zero-length sort is a no-op
+        # with zero payload traffic, and the returned arrays keep the
+        # callers' dtypes (an empty values array still permutes to
+        # itself).  The underlying pipeline result is still produced so
+        # the third element of the tuple stays well-formed.
+        result = gpu_mergesort(keys, E=E, u=u, w=w, variant=variant, **kwargs)
+        return keys.copy(), values.copy(), result
+
     packed = (keys << _INDEX_BITS) | np.arange(len(keys), dtype=np.int64)
     result = gpu_mergesort(packed, E=E, u=u, w=w, variant=variant, **kwargs)
 

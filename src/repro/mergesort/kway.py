@@ -39,8 +39,8 @@ Three layers, from kernel to driver:
 * :func:`tournament_merge_runs` — the *pairwise tournament* this module
   shipped before real k-way kernels existed: ``ceil(log2(k))`` levels
   of two-run merges.  It is **not** a k-way merge (each level is the
-  binary kernel); the name now says so.  :func:`merge_runs` remains as
-  a thin compatibility wrapper.
+  binary kernel); the name now says so.  The historical ``merge_runs``
+  alias is gone — importing it raises with a pointer at the new name.
 """
 
 from __future__ import annotations
@@ -76,7 +76,6 @@ __all__ = [
     "KwaySortResult",
     "kway_level_count",
     "tournament_merge_runs",
-    "merge_runs",
     "merge_two_runs",
 ]
 
@@ -635,28 +634,17 @@ def tournament_merge_runs(
     return arrays[0], stats
 
 
-def merge_runs(
-    runs: Sequence[npt.ArrayLike],
-    E: int,
-    u: int,
-    w: int = 32,
-    variant: str = "thrust",
-) -> tuple[IntArray, MergePhaseStats]:
-    """Deprecated compatibility wrapper for :func:`tournament_merge_runs`.
+def __getattr__(name: str) -> object:
+    """Turn ``merge_runs`` lookups into an actionable error.
 
-    Historical name: earlier releases called the pairwise tournament a
-    "k-way utility".  The semantics are unchanged (``ceil(log2(k))``
-    pairwise levels); new code wanting a true k-way merge should call
-    :func:`kway_sort` or :func:`kway_merge_block`.  Emits a
-    :class:`DeprecationWarning`; the wrapper will be removed in a future
-    release.
+    The deprecated compatibility wrapper is removed; a stale import
+    would otherwise fail with a bare ``AttributeError`` that names
+    neither the replacement nor the reason.
     """
-    import warnings
-
-    warnings.warn(
-        "merge_runs is deprecated; call tournament_merge_runs (same "
-        "semantics) or kway_sort/kway_merge_block for a true k-way merge",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return tournament_merge_runs(runs, E, u, w, variant)
+    if name == "merge_runs":
+        raise AttributeError(
+            "merge_runs was removed: call tournament_merge_runs (identical "
+            "signature and semantics) or kway_sort/kway_merge_block for a "
+            "true k-way merge"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -306,6 +306,75 @@ def _columns_tile(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _cluster_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One partition-wise (or external) cluster sort over a seeded workload.
+
+    Plan cases run the chunk → sort → Merge-Path-partitioned merge
+    pipeline through the inline pool (byte-identical to the process pool
+    by construction, checked in the cluster tests); the external case
+    spills to a scratch directory and reports its deterministic disk
+    accounting.  Everything reported is a pure function of the
+    parameters, so the job is cacheable and gate-safe.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from repro.cluster.executor import cluster_sort
+    from repro.cluster.external import external_sort
+    from repro.cluster.pool import ClusterPool
+    from repro.workloads.generators import uniform_random
+
+    E = _as_int(params["E"], "E")
+    u = _as_int(params["u"], "u")
+    w = _as_int(params["w"], "w")
+    n_tiles = _as_int(params["tiles"], "tiles")
+    chunk_tiles = _as_int(params["chunk_tiles"], "chunk_tiles")
+    case = _as_str(params["case"], "case")
+    seed = _as_int(params["seed"], "seed")
+    tile = u * E
+    n = n_tiles * tile
+    data = uniform_random(n, seed=seed, high=2**30)
+    if case == "external":
+        budget = max(1, n // 8)
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as scratch:
+            result = external_sort(data, budget, scratch)
+            ok = bool(np.array_equal(result.sorted_array(), np.sort(data)))
+        stats = result.stats
+        return {
+            "case": case,
+            "ok": ok,
+            "budget_keys": budget,
+            "runs_written": stats.runs_written,
+            "merge_rounds": stats.merge_rounds,
+            "keys_spilled": stats.keys_spilled,
+            "keys_read_back": stats.keys_read_back,
+            "peak_resident_keys": stats.peak_resident_keys,
+        }
+    if case.startswith("plan-p"):
+        parts = int(case.removeprefix("plan-p"))
+        outcome = cluster_sort(
+            data,
+            chunk=chunk_tiles * tile,
+            parts=parts,
+            backend="cf-batched",
+            E=E,
+            u=u,
+            w=w,
+            pool=ClusterPool(0),
+        )
+        return {
+            "case": case,
+            "ok": bool(np.array_equal(outcome.data, np.sort(data))),
+            "plan_key": outcome.plan.key,
+            "sort_tasks": len(outcome.plan.sort_tasks),
+            "merge_tasks": len(outcome.plan.merge_tasks),
+            "launches": outcome.launches,
+            "counters": outcome.counters.as_dict(),
+        }
+    raise ParameterError(f"unknown cluster case {case!r}")
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
@@ -317,6 +386,7 @@ _WORKERS = {
     "kway": _kway_tile,
     "samplesort": _samplesort_tile,
     "columns": _columns_tile,
+    "cluster": _cluster_tile,
 }
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "kway_spec",
     "samplesort_spec",
     "columns_spec",
+    "cluster_spec",
     "bench_suite",
 ]
 
@@ -236,14 +237,39 @@ def columns_spec(rows: int = 96, seed: int = 0) -> SweepSpec:
     )
 
 
+def cluster_spec(tiles: int = 8, chunk_tiles: int = 2, seed: int = 0) -> SweepSpec:
+    """The cluster-layer sweep: plan execution at two widths + external.
+
+    The ``plan-p2``/``plan-p4`` cases run the partition-wise chunk →
+    sort → Merge-Path-partitioned merge pipeline (inline pool, which the
+    cluster tests pin byte-identical to the process pool); ``external``
+    runs the out-of-core sort under an ``n/8`` key budget and reports
+    its spill accounting.  All rows are deterministic, so the sweep
+    rides the same double-run ``cmp`` gate as the engine/kway jobs.
+    """
+    return SweepSpec(
+        name="cluster",
+        kind="cluster",
+        axes=(("case", ("plan-p2", "plan-p4", "external")),),
+        fixed=(
+            ("tiles", tiles),
+            ("chunk_tiles", chunk_tiles),
+            ("E", 5),
+            ("u", 32),
+            ("w", 8),
+        ),
+        seed=seed,
+    )
+
+
 def bench_suite() -> tuple[SweepSpec, ...]:
     """The specs behind ``python -m repro bench`` and the CI perf gate.
 
     Quick-mode fig6 (which subsumes fig5's worst-case tiles), the
     Theorem 8 grid, the defense ablation, the sort-service cost sweep,
-    the batched engine sweep, and the k-way/sample-sort sweeps — every
-    counter they produce is deterministic, so the gate is flake-free by
-    construction.
+    the batched engine sweep, and the k-way/sample-sort/columns/cluster
+    sweeps — every counter they produce is deterministic, so the gate is
+    flake-free by construction.
     """
     return (
         fig6_spec("quick"),
@@ -254,4 +280,5 @@ def bench_suite() -> tuple[SweepSpec, ...]:
         kway_spec(),
         samplesort_spec(),
         columns_spec(),
+        cluster_spec(),
     )

@@ -2,7 +2,7 @@
 
 A *backend* turns one coalesced micro-batch — the concatenation of many
 small requests plus their segment offsets — into the segment-wise sorted
-concatenation, reporting simulator counters for the launch.  Six ship
+concatenation, reporting simulator counters for the launch.  Seven ship
 by default:
 
 ``cf``
@@ -15,6 +15,11 @@ by default:
     packed into independent blocksort tiles and the whole micro-batch is
     profiled/sorted in one vectorized pass, with per-tile counters
     bit-identical to the per-tile fast profiles.
+``cf-cluster``
+    The batched engine lane sharded through the cluster worker pool
+    (:mod:`repro.cluster.service`): long segments and packed tile rows
+    execute as pool tasks over shared memory, byte-identical to
+    ``cf-batched`` whether the pool runs inline or across processes.
 ``kway``
     The k-way CF pipeline (:func:`repro.mergesort.kway.kway_sort`,
     fan-in 4): ``log_k`` merge levels instead of ``log_2``, staged
@@ -122,6 +127,18 @@ def _cf_batched(
     return cf_batched_backend(data, offsets, params, w)
 
 
+def _cf_cluster(
+    data: npt.NDArray[np.int64],
+    offsets: Sequence[int],
+    params: SortParams,
+    w: int,
+) -> BatchOutcome:
+    """Sort the micro-batch through the cluster-sharded engine lane."""
+    from repro.cluster.service import cf_cluster_backend
+
+    return cf_cluster_backend(data, offsets, params, w)
+
+
 #: Fan-in the ``kway`` backend merges with.
 KWAY_BACKEND_FANIN = 4
 
@@ -179,6 +196,7 @@ def _samplesort_backend(
 DEFAULT_BACKENDS: tuple[str, ...] = (
     "cf",
     "cf-batched",
+    "cf-cluster",
     "kway",
     "samplesort",
     "baseline",
@@ -188,6 +206,7 @@ DEFAULT_BACKENDS: tuple[str, ...] = (
 _REGISTRY: dict[str, SortBackend] = {
     "cf": _simulated_backend("cf"),
     "cf-batched": _cf_batched,
+    "cf-cluster": _cf_cluster,
     "kway": _kway_backend,
     "samplesort": _samplesort_backend,
     "baseline": _simulated_backend("thrust"),

@@ -149,8 +149,20 @@ def _exit_code(ok: int, expired: int, mismatched: int, shed: int) -> int:
     return EXIT_OK
 
 
+def _apply_workers_procs(args: argparse.Namespace) -> None:
+    """Point the cluster pool at ``--workers-procs`` worker processes.
+
+    Applies to the ``cf-cluster`` backend's default pool; 0 (the default)
+    keeps execution inline so ``serve``/``submit`` spawn nothing extra.
+    """
+    from repro.cluster.pool import set_default_procs
+
+    set_default_procs(int(getattr(args, "workers_procs", 0) or 0))
+
+
 def run_submit(args: argparse.Namespace) -> int:
     """Closed-loop blast: submit ``--count`` requests, verify every result."""
+    _apply_workers_procs(args)
     params = DEFAULT_PARAMS
     backends = _parse_backends(args.backends)
     payloads = synth_payloads(
@@ -195,6 +207,7 @@ def run_submit(args: argparse.Namespace) -> int:
 
 def run_serve(args: argparse.Namespace) -> int:
     """Open-loop smoke: burst-feed the service, then report (``--selftest``)."""
+    _apply_workers_procs(args)
     params = DEFAULT_PARAMS
     backends = _parse_backends(args.backends)
     payloads = synth_payloads(
@@ -320,6 +333,11 @@ def add_service_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--shards", type=int, default=2,
         help="(serve/submit) worker shards executing batches (default 2)",
+    )
+    group.add_argument(
+        "--workers-procs", type=int, default=0, dest="workers_procs",
+        help="(serve/submit) cluster-pool processes for the cf-cluster "
+        "backend (default 0 = inline, no extra processes)",
     )
     group.add_argument(
         "--burst", type=int, default=32,

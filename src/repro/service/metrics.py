@@ -30,8 +30,8 @@ from repro.telemetry.stats import flatten_numeric, percentile
 __all__ = ["BatchRecord", "ServiceMetrics", "METRICS_SCHEMA"]
 
 #: Versioned so dashboards can evolve with the snapshot shape.
-#: 2 added the ``engine.plan_cache`` section.
-METRICS_SCHEMA = 2
+#: 2 added the ``engine.plan_cache`` section; 3 added ``cluster``.
+METRICS_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -119,6 +119,10 @@ class ServiceMetrics:
 
     def snapshot(self) -> dict[str, Any]:
         """The full metrics state as one JSON-serializable dictionary."""
+        # Lazy: repro.cluster's fairness layer imports the service, so a
+        # module-level import here would be a cycle.
+        from repro.cluster.stats import cluster_stats
+
         with self._lock:
             completed = [r for r in self._results if r.ok]
             latencies = sorted(r.latency_s for r in completed)
@@ -176,6 +180,7 @@ class ServiceMetrics:
                 },
                 "counters": self._counters.as_dict(),
                 "engine": {"plan_cache": plan_cache_stats()},
+                "cluster": cluster_stats(),
                 "modeled": {
                     "total_us": breakdown.total_us,
                     "us_per_request": breakdown.total_us / max(n_completed, 1),

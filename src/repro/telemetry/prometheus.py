@@ -42,6 +42,18 @@ COUNTER_PREFIXES = (
     "engine.plan_cache.hits",
     "engine.plan_cache.misses",
     "engine.plan_cache.evictions",
+    "cluster.tasks_executed",
+    "cluster.tasks_inline",
+    "cluster.tasks_process",
+    "cluster.shm_bytes_shared",
+    "cluster.plans_built",
+    "cluster.plan_cache_hits",
+    "cluster.runs_written",
+    "cluster.keys_spilled",
+    "cluster.bytes_spilled",
+    "cluster.keys_read_back",
+    "cluster.bytes_read_back",
+    "cluster.merge_rounds",
 )
 
 

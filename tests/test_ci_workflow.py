@@ -58,9 +58,10 @@ def test_workflow_cancels_superseded_runs(workflow):
     assert "github.ref" in concurrency["group"]
 
 
-def test_workflow_has_the_seven_jobs(workflow):
+def test_workflow_has_the_eight_jobs(workflow):
     assert set(workflow["jobs"]) == {
-        "test", "lint", "smoke", "engine", "kway", "columns", "nightly-fuzz",
+        "test", "lint", "smoke", "engine", "kway", "columns", "cluster",
+        "nightly-fuzz",
     }
 
 
@@ -103,6 +104,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "src/repro/fuzz" in steps
     assert "src/repro/engine" in steps
     assert "src/repro/columns" in steps
+    assert "src/repro/cluster" in steps
     assert "src/repro/mergesort/kway.py" in steps
     assert "src/repro/mergesort/samplesort.py" in steps
 
@@ -246,6 +248,34 @@ def test_columns_job_uploads_its_reports(workflow):
     assert upload["with"]["name"] == "columns"
     assert upload["with"]["if-no-files-found"] == "error"
     assert "columns-report.json" in upload["with"]["path"]
+
+
+def test_cluster_job_runs_the_benchmark_twice_and_diffs_reports(workflow):
+    # The cluster smoke: inline-vs-process byte identity, the
+    # cf-cluster ≡ cf-batched backend identity, the external sort's
+    # resident-key budget ceiling — run twice, reports byte-identical.
+    steps = _steps_text(workflow["jobs"]["cluster"])
+    assert "pytest benchmarks/bench_cluster.py" in steps
+    assert "CLUSTER_REPORT=cluster-report.json" in steps
+    assert "CLUSTER_REPORT=cluster-report-again.json" in steps
+    assert "cmp cluster-report.json cluster-report-again.json" in steps
+    assert "python -m repro cluster-sort" in steps
+    assert "--external" in steps
+
+
+def test_cluster_job_uploads_its_reports(workflow):
+    job = workflow["jobs"]["cluster"]
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert upload["with"]["name"] == "cluster"
+    assert upload["with"]["if-no-files-found"] == "error"
+    assert "cluster-report.json" in upload["with"]["path"]
+
+
+def test_nightly_fuzz_runs_an_external_sort_smoke(workflow):
+    steps = _steps_text(workflow["jobs"]["nightly-fuzz"])
+    assert "python -m repro cluster-sort --external" in steps
+    assert "--budget-keys 8192" in steps
 
 
 def test_nightly_fuzz_runs_a_larger_budget_and_uploads_reproducers(workflow):

@@ -1,0 +1,117 @@
+"""Zero-length inputs return well-formed empties at every layer.
+
+Empty partitions fall out of the cluster planner naturally (a request
+shorter than one chunk, a Merge-Path cut landing on a run boundary), so
+the layers underneath must treat ``n == 0`` as a first-class input: no
+exceptions, correct dtypes, zero accounted traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columns.table import Table
+from repro.config import SortParams
+from repro.engine.plans import get_plan
+from repro.mergesort.by_key import sort_by_key
+from repro.service.backends import get_backend
+
+
+class TestSortByKeyEmpty:
+    def test_empty_keys_and_values_round_trip(self):
+        keys = np.array([], dtype=np.int64)
+        values = np.array([], dtype=np.int64)
+        sorted_keys, reordered, result = sort_by_key(keys, values, E=5, u=32, w=8)
+        assert sorted_keys.dtype == np.int64
+        assert sorted_keys.shape == (0,)
+        assert reordered.shape == (0,)
+        assert result.data.shape == (0,)
+
+    def test_empty_preserves_value_dtype(self):
+        keys = np.array([], dtype=np.int64)
+        values = np.array([], dtype=np.float64)
+        _, reordered, _ = sort_by_key(keys, values, E=5, u=32, w=8)
+        assert reordered.dtype == np.float64
+
+    def test_empty_accounts_zero_payload_traffic(self):
+        keys = np.array([], dtype=np.int64)
+        _, _, result = sort_by_key(keys, keys, E=5, u=32, w=8)
+        assert result.global_stats.global_read_transactions == 0
+        assert result.global_stats.global_write_transactions == 0
+
+
+class TestTableTakeEmpty:
+    def _table(self) -> Table:
+        return Table.from_arrays(
+            {
+                "a": np.array([3, 1, 2], dtype=np.int64),
+                "b": np.array([30, 10, 20], dtype=np.int64),
+                "c": np.array([0.5, 1.5, 2.5], dtype=np.float64),
+            },
+            valid={"c": np.array([True, False, True])},
+        )
+
+    def test_take_empty_indices_yields_empty_table(self):
+        out = self._table().take(np.array([], dtype=np.int64))
+        assert out.num_rows == 0
+        assert out.names == ("a", "b", "c")
+        assert out.column("a").values.dtype == np.int64
+        assert out.column("c").values.dtype == np.float64
+        valid = out.column("c").valid
+        assert valid is not None and valid.shape == (0,)
+
+    def test_take_on_empty_table_with_empty_indices(self):
+        table = Table.from_arrays(
+            {
+                "x": np.array([], dtype=np.int64),
+                "y": np.array([], dtype=np.int64),
+            }
+        )
+        out = table.take(np.array([], dtype=np.int64))
+        assert out.num_rows == 0
+        assert out.names == ("x", "y")
+
+    def test_payload_gather_plan_is_well_formed_at_zero_rows(self):
+        plan = get_plan("payload_gather", 0, 1, 8, k=3)
+        assert list(np.asarray(plan["col_base"])) == [0, 0, 0]
+
+
+class TestBackendsEmptySegments:
+    def test_backends_accept_empty_segments(self):
+        params = SortParams(E=5, u=32)
+        data = np.array([5, 4, 3, 2, 1], dtype=np.int64)
+        # Offsets create empty segments at the front, middle, and back.
+        offsets = [0, 0, 3, 5]
+        for name in ("cf", "cf-batched", "cf-cluster", "numpy"):
+            outcome = get_backend(name)(data, offsets, params, 8)
+            assert np.array_equal(
+                outcome.data, np.array([3, 4, 5, 1, 2], dtype=np.int64)
+            ), name
+
+    def test_backends_accept_zero_length_batch(self):
+        params = SortParams(E=5, u=32)
+        data = np.array([], dtype=np.int64)
+        for name in ("cf", "cf-batched", "cf-cluster", "numpy"):
+            outcome = get_backend(name)(data, [0], params, 8)
+            assert outcome.data.shape == (0,), name
+
+
+class TestClusterEmpty:
+    def test_cluster_sort_empty_input(self):
+        from repro.cluster import cluster_sort
+
+        result = cluster_sort(np.array([], dtype=np.int64), chunk=64, parts=2)
+        assert result.data.shape == (0,)
+        assert result.launches == 0
+
+    def test_chunk_bounds_zero_length(self):
+        from repro.cluster import chunk_bounds
+
+        assert chunk_bounds(0, 64) == []
+
+    def test_stable_merge_all_empty_slices(self):
+        from repro.cluster import stable_merge_slices
+
+        empty = np.array([], dtype=np.int64)
+        merged = stable_merge_slices([empty, empty])
+        assert merged.dtype == np.int64 and merged.shape == (0,)

@@ -3,7 +3,7 @@
 Covers the kernel's correctness and stability contracts, the staged
 schedule's zero-conflict claim for coprime (E, w), the fused schedule's
 reduction to Algorithm 1 at k = 2, the log_k level count of the sort
-pipeline, and the renamed pairwise tournament's compat wrapper.
+pipeline, and the removed ``merge_runs`` alias's guided failure.
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ from repro.mergesort.kway import (
     kway_merge_block,
     kway_merge_path_search,
     kway_sort,
-    merge_runs,
     tournament_merge_runs,
 )
 from repro.numtheory import gcd
@@ -214,13 +213,19 @@ class TestTournamentCompat:
         assert np.array_equal(merged, np.sort(np.concatenate(runs)))
         assert stats.merge.shared_replays == 0
 
-    def test_merge_runs_wrapper_delegates_and_warns(self):
-        rng = np.random.default_rng(7)
-        runs = [np.sort(rng.integers(0, 10**6, 60)) for _ in range(3)]
-        with pytest.warns(DeprecationWarning, match="tournament_merge_runs"):
-            via_wrapper, _ = merge_runs(runs, E=5, u=8, w=8)
-        via_tournament, _ = tournament_merge_runs(runs, E=5, u=8, w=8)
-        assert np.array_equal(via_wrapper, via_tournament)
+    def test_merge_runs_is_removed_with_a_pointer(self):
+        import repro.mergesort.kway as kway_module
+
+        with pytest.raises(AttributeError, match="tournament_merge_runs"):
+            kway_module.merge_runs
+        with pytest.raises(ImportError):
+            from repro.mergesort.kway import merge_runs  # noqa: F401
+
+    def test_other_missing_attributes_fail_normally(self):
+        import repro.mergesort.kway as kway_module
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            kway_module.definitely_not_a_symbol
 
     def test_tournament_merge_runs_does_not_warn(self):
         import warnings

@@ -1,0 +1,129 @@
+"""Property: duplicate keys keep input order through the cluster pipeline.
+
+The cluster planner's stability contract is end-to-end: chunking the
+input, sorting each chunk through *any* registered service backend, and
+re-joining the chunks through Merge-Path-partitioned stable merges must
+preserve the input order of equal keys.  Stability is observed through
+the standard packing trick — ``packed = key << INDEX_BITS | index`` has
+unique values, so one ``np.sort`` comparison proves both sortedness and
+stability — and the claim is exercised on Hypothesis-generated
+duplicate-heavy keys, on the Section 4 adversarial construction, and on
+a non-coprime geometry (where CF loses its zero-conflict guarantee but
+never its ordering contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import chunk_bounds, merge_partition_cuts, stable_merge_slices
+from repro.config import SortParams
+from repro.errors import ParameterError
+from repro.service.backends import available_backends, get_backend
+from repro.worstcase import worstcase_full_input
+
+#: Low bits reserved for the input position; keys sit above them.  The
+#: packed values stay far below the batched lane's ±2^39 key limit.
+INDEX_BITS = 20
+
+#: Small geometry so every backend's pipeline stays fast under Hypothesis.
+E, U, W = 5, 32, 8
+
+keys_strategy = st.lists(
+    st.integers(0, 15), min_size=0, max_size=192
+)
+
+
+def _pack(keys: np.ndarray) -> np.ndarray:
+    """Pack each key with its input position (unique, order-encoding)."""
+    return (keys << INDEX_BITS) | np.arange(len(keys), dtype=np.int64)
+
+
+def _cluster_pipeline(
+    packed: np.ndarray, chunk: int, parts: int, backend_name: str
+) -> np.ndarray:
+    """Chunk → per-chunk backend sort → Merge-Path-partitioned merge."""
+    backend = get_backend(backend_name)
+    params = SortParams(E, U)
+    runs = [
+        backend(packed[lo:hi], [0], params, W).data
+        for lo, hi in chunk_bounds(len(packed), chunk)
+    ]
+    if not runs:
+        return np.array([], dtype=np.int64)
+    cuts = merge_partition_cuts(runs, parts)
+    pieces = [
+        stable_merge_slices(
+            [run[lo:hi] for run, lo, hi in zip(runs, cuts[p], cuts[p + 1])]
+        )
+        for p in range(parts)
+    ]
+    return np.concatenate(pieces) if pieces else np.array([], dtype=np.int64)
+
+
+def _assert_stable_sorted(keys: np.ndarray, merged_packed: np.ndarray) -> None:
+    """The merged packing equals the stable sort of the input packing."""
+    packed = _pack(keys)
+    assert np.array_equal(merged_packed, np.sort(packed))
+    out_keys = merged_packed >> INDEX_BITS
+    out_index = merged_packed & ((1 << INDEX_BITS) - 1)
+    assert np.array_equal(out_keys, np.sort(keys))
+    # Equal keys keep strictly increasing input positions.
+    same_key = out_keys[1:] == out_keys[:-1]
+    assert np.all(out_index[1:][same_key] > out_index[:-1][same_key])
+
+
+class TestClusterStabilityProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(keys=keys_strategy, chunk=st.integers(16, 96), parts=st.integers(1, 4))
+    def test_all_backends_keep_duplicate_order(self, keys, chunk, parts):
+        arr = np.asarray(keys, dtype=np.int64)
+        packed = _pack(arr)
+        for name in available_backends():
+            try:
+                merged = _cluster_pipeline(packed, chunk, parts, name)
+            except ParameterError:
+                # Backend preconditions stricter than this geometry.
+                continue
+            _assert_stable_sorted(arr, merged)
+
+
+class TestClusterStabilityAdversary:
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_section4_adversary_keeps_duplicate_order(self, backend):
+        data = worstcase_full_input(4, E, U, W)
+        # Fold the adversary into heavy duplicates; the packing keeps
+        # the adversarial *shape* in the high bits.
+        arr = np.asarray(data % 32, dtype=np.int64)
+        packed = _pack(arr)
+        try:
+            merged = _cluster_pipeline(packed, U * E, 3, backend)
+        except ParameterError:
+            pytest.skip(f"{backend} rejects this geometry")
+        _assert_stable_sorted(arr, merged)
+
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_noncoprime_e_keeps_duplicate_order(self, backend):
+        rng = np.random.default_rng(11)
+        arr = rng.integers(0, 8, size=6 * 32 * 2, dtype=np.int64)
+        packed = _pack(arr)
+        params = SortParams(6, 32)  # gcd(E, w) = 2: no CF guarantee.
+        runs = []
+        try:
+            for lo, hi in chunk_bounds(len(packed), 6 * 32):
+                runs.append(get_backend(backend)(packed[lo:hi], [0], params, W).data)
+        except ParameterError:
+            pytest.skip(f"{backend} requires coprime (E, w)")
+        cuts = merge_partition_cuts(runs, 2)
+        merged = np.concatenate(
+            [
+                stable_merge_slices(
+                    [run[lo:hi] for run, lo, hi in zip(runs, cuts[p], cuts[p + 1])]
+                )
+                for p in range(2)
+            ]
+        )
+        _assert_stable_sorted(arr, merged)
