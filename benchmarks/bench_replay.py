@@ -1,0 +1,133 @@
+"""The replay acceptance benchmark: determinism, roundtrip, chaos.
+
+Three gates, mirroring the acceptance criteria:
+
+* **Double-run identity** — replaying the same traffic log twice yields
+  byte-identical reports (responses, counters, tracer spans, digest).
+* **Log roundtrip** — a log saved to disk and loaded back replays to
+  the same report digest as the in-memory original, and the loader
+  re-derives the same content address.
+* **Chaos survival** — a full four-fault campaign (worker crash, queue
+  saturation, slow shard, deadline storm) injects at least one fault of
+  every kind and survives all of them with zero oracle failures.
+
+When ``REPLAY_REPORT`` names a path, a deterministic JSON report (the
+replay reports of every load model plus the chaos campaign verdicts —
+no timings, no temp paths) is written; CI generates it twice and
+compares byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from conftest import attach
+
+from repro.fuzz.corpus import Geometry
+from repro.replay import (
+    FAULT_KINDS,
+    ReplayConfig,
+    build_load,
+    load_log,
+    replay_log,
+    run_campaign,
+    save_log,
+)
+
+#: The acceptance geometry (coprime: gcd(5, 8) = 1) and stream sizes.
+GEOMETRY = Geometry(w=8, E=5, u=32)
+EVENTS = 16
+SEED = 0
+
+CONFIG = ReplayConfig(window_ticks=4)
+
+
+def _dumps(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _report() -> dict:
+    """The deterministic (timing-free) replay report CI diffs."""
+    models = {}
+    for model in ("diurnal_wave", "bursty_tenants", "adversarial_mix"):
+        log = build_load(model, EVENTS, SEED, GEOMETRY)
+        models[model] = replay_log(log, CONFIG)
+    campaign = run_campaign(
+        build_load("bursty_tenants", EVENTS, SEED, GEOMETRY), CONFIG
+    )
+    return {"models": models, "campaign": campaign}
+
+
+def test_replay_double_run_identity(benchmark):
+    """Two replays of one log are byte-identical, spans included."""
+    log = build_load("diurnal_wave", EVENTS, SEED, GEOMETRY)
+    first = replay_log(log, CONFIG)
+
+    second = benchmark.pedantic(
+        lambda: replay_log(log, CONFIG), rounds=1, iterations=1
+    )
+    attach(
+        benchmark,
+        log_digest=log.digest,
+        report_digest=second["digest"],
+        ok=second["ok"],
+        batches=len(second["batches"]),
+    )
+    assert _dumps(first) == _dumps(second)
+    assert second["ok"] == EVENTS
+    assert second["oracle_failures"] == []
+    assert second["spans"], "replayer owns its tracer => spans embedded"
+
+
+def test_replay_log_roundtrip(benchmark):
+    """Save → load → replay reproduces the in-memory report digest."""
+    log = build_load("adversarial_mix", EVENTS, SEED, GEOMETRY)
+    direct = replay_log(log, CONFIG)
+
+    def run():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-replay-") as scratch:
+            path = Path(scratch) / "log.json"
+            save_log(log, path)
+            loaded = load_log(path)
+            return loaded, replay_log(loaded, CONFIG)
+
+    loaded, replayed = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach(
+        benchmark,
+        log_digest=loaded.digest,
+        report_digest=replayed["digest"],
+        events=len(loaded.events),
+    )
+    assert loaded.digest == log.digest
+    assert replayed["digest"] == direct["digest"]
+    assert _dumps(replayed) == _dumps(direct)
+
+
+def test_chaos_campaign_survives(benchmark):
+    """All four fault kinds inject and survive with clean oracles."""
+    log = build_load("bursty_tenants", EVENTS, SEED, GEOMETRY)
+
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(log, CONFIG), rounds=1, iterations=1
+    )
+    attach(
+        benchmark,
+        campaign_digest=campaign["digest"],
+        survived=len(campaign["survived"]),
+        injected=sum(v["injected"] for v in campaign["faults"]),
+    )
+    assert campaign["failed"] == []
+    assert sorted(campaign["survived"]) == sorted(FAULT_KINDS)
+    for verdict in campaign["faults"]:
+        assert verdict["injected"] > 0, verdict["kind"]
+        assert verdict["oracle_failures"] == []
+        assert verdict["outputs_match_control"]
+    crash = next(v for v in campaign["faults"] if v["kind"] == "worker_crash")
+    assert crash["worker_restarts"] > 0
+
+    report_path = os.environ.get("REPLAY_REPORT")
+    if report_path:
+        Path(report_path).write_text(_dumps(_report()))

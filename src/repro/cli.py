@@ -34,6 +34,7 @@ Usage::
     python -m repro profile [worstcase|random|cf] [--w W --E E --out DIR]
     python -m repro trace [theorem8|defenses|fig5|service] [--out DIR]
     python -m repro fuzz [run|shrink|replay] [--budget N --fuzz-seed S]
+    python -m repro replay [record|run|chaos] [--model M --events N]
     python -m repro list           # the experiment manifest
     python -m repro all [--quick]  # everything above (except
                                    # bench/export/trace/profile)
@@ -58,6 +59,11 @@ workload and verifies against ``numpy.sort`` (1 = mismatch).
 campaign and reserves exit code 6 = counterexample found (also used by
 ``fuzz replay``/``fuzz shrink`` when the recorded failure still
 reproduces); 2 = bad parameters, as everywhere.
+``replay`` is the :mod:`repro.replay` record/replay surface: capture or
+synthesize traffic logs, replay them deterministically against any
+backend with per-response fuzz oracles, and run chaos campaigns (exit
+code 7 = an injected fault went unrecovered) — see docs/REPLAY.md and
+the full exit-code table in docs/CLI.md.
 
 ``profile``/``trace`` are the :mod:`repro.telemetry` surface: conflict
 attribution artifacts (Chrome trace JSON, profile JSON, heat map) and
@@ -433,21 +439,23 @@ def main(argv: list[str] | None = None) -> int:
             "join",
             "cluster-sort",
             "fuzz",
+            "replay",
         ],
         help="which figure/table to regenerate (`bench` = perf gate; "
         "`serve`/`submit` = the batched sort service; "
         "`sort-table`/`join` = the columnar operators; "
         "`cluster-sort` = the partition-wise cluster plan / external sort; "
         "`profile`/`trace` = telemetry artifacts; "
-        "`fuzz` = oracle campaigns, exit 6 = counterexample)",
+        "`fuzz` = oracle campaigns, exit 6 = counterexample; "
+        "`replay` = traffic record/replay + chaos, exit 7 = campaign failed)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="(profile/trace/fuzz) sub-target "
+        help="(profile/trace/fuzz/replay) sub-target "
         "(profile: worstcase/random/cf; trace: theorem8/defenses/fig5/service; "
-        "fuzz: run/shrink/replay)",
+        "fuzz: run/shrink/replay; replay: record/run/chaos)",
     )
     parser.add_argument(
         "--version",
@@ -509,12 +517,14 @@ def main(argv: list[str] | None = None) -> int:
     from repro.cluster.cli import add_cluster_arguments
     from repro.columns.cli import add_columns_arguments
     from repro.fuzz.cli import add_fuzz_arguments
+    from repro.replay.cli import add_replay_arguments
     from repro.service.cli import add_service_arguments
 
     add_service_arguments(parser)
     add_columns_arguments(parser)
     add_cluster_arguments(parser)
     add_fuzz_arguments(parser)
+    add_replay_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
@@ -546,6 +556,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.cli import dispatch as fuzz_dispatch
 
         return fuzz_dispatch(args)
+
+    if args.experiment == "replay":
+        from repro.replay.cli import dispatch as replay_dispatch
+
+        return replay_dispatch(args)
 
     if args.experiment == "all":
         names = sorted(n for n in _COMMANDS if n not in _NOT_IN_ALL)

@@ -25,16 +25,16 @@ import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 import numpy.typing as npt
 
 from repro.cluster.partition import stable_merge_slices
 from repro.cluster.shm import attach_int64
-from repro.cluster.stats import record_tasks
+from repro.cluster.stats import record_tasks, record_worker_restart
 from repro.config import SortParams
-from repro.errors import ParameterError
+from repro.errors import ParameterError, WorkerCrashed
 
 __all__ = [
     "TaskDict",
@@ -43,6 +43,8 @@ __all__ = [
     "set_default_procs",
     "get_default_pool",
     "default_procs",
+    "install_fault_hook",
+    "clear_fault_hook",
 ]
 
 #: A pool task or task result: plain JSON-ish dictionary, spawn-picklable.
@@ -179,6 +181,40 @@ _TASK_KINDS = {
 }
 
 
+#: Driver-side fault hook (chaos testing): called once per task before it
+#: is dispatched; raising :class:`~repro.errors.WorkerCrashed` simulates a
+#: worker process dying, exercising the pool's restart-and-retry path.
+_FAULT_LOCK = threading.Lock()
+_FAULT_HOOK: Callable[[TaskDict], None] | None = None
+
+
+def install_fault_hook(hook: Callable[[TaskDict], None]) -> None:
+    """Install a driver-side per-task fault hook (chaos campaigns).
+
+    The hook runs in the driver process immediately before each task is
+    dispatched; raising :class:`~repro.errors.WorkerCrashed` from it
+    makes :meth:`ClusterPool.run` tear down its worker executor, record
+    a restart, and retry the task once on the rebuilt pool.  Exactly one
+    hook can be active at a time; always pair with
+    :func:`clear_fault_hook` (``try``/``finally``).
+    """
+    global _FAULT_HOOK
+    with _FAULT_LOCK:
+        _FAULT_HOOK = hook
+
+
+def clear_fault_hook() -> None:
+    """Remove any installed fault hook (restores the fast pool path)."""
+    global _FAULT_HOOK
+    with _FAULT_LOCK:
+        _FAULT_HOOK = None
+
+
+def _fault_hook() -> Callable[[TaskDict], None] | None:
+    with _FAULT_LOCK:
+        return _FAULT_HOOK
+
+
 def run_cluster_task(task: TaskDict) -> TaskDict:
     """Execute one cluster task (in this process or a spawned worker).
 
@@ -208,10 +244,19 @@ class ClusterPool:
         self._executor: ProcessPoolExecutor | None = None
 
     def run(self, tasks: Sequence[TaskDict]) -> list[TaskDict]:
-        """Execute ``tasks`` and return their results in submission order."""
+        """Execute ``tasks`` and return their results in submission order.
+
+        When a chaos fault hook is installed (:func:`install_fault_hook`)
+        tasks take the slower crash-recoverable path; otherwise the
+        original inline/process fast paths run unchanged, which is what
+        keeps the byte-identity contract intact for normal traffic.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
+        hook = _fault_hook()
+        if hook is not None:
+            return self._run_with_faults(tasks, hook)
         if self.procs == 0:
             results = [run_cluster_task(t) for t in tasks]
             record_tasks(len(tasks), inline=True)
@@ -224,6 +269,42 @@ class ClusterPool:
         results = list(self._executor.map(run_cluster_task, tasks))
         record_tasks(len(tasks), inline=False)
         return results
+
+    def _run_with_faults(
+        self, tasks: list[TaskDict], hook: Callable[[TaskDict], None]
+    ) -> list[TaskDict]:
+        """Crash-recoverable task loop: one dispatch at a time, retry once.
+
+        The hook fires before each task; a :class:`WorkerCrashed` from it
+        simulates the worker executing that task dying.  Recovery tears
+        down the process executor (the next dispatch lazily respawns it),
+        records the restart, and re-dispatches the same task — tasks are
+        pure functions of (dictionary, shared memory), so the retry is
+        exact and results stay byte-identical to a fault-free run.
+        """
+        results: list[TaskDict] = []
+        for task in tasks:
+            try:
+                hook(task)
+            except WorkerCrashed:
+                record_worker_restart()
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
+                    self._executor = None
+            results.append(self._dispatch_one(task))
+        record_tasks(len(tasks), inline=self.procs == 0)
+        return results
+
+    def _dispatch_one(self, task: TaskDict) -> TaskDict:
+        """Execute one task on the pool's current path (inline or process)."""
+        if self.procs == 0:
+            return run_cluster_task(task)
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.procs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._executor.submit(run_cluster_task, task).result()
 
     def close(self) -> None:
         """Shut down the worker processes (no-op for the inline pool)."""

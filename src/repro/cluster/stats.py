@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 
 __all__ = ["cluster_stats", "record_tasks", "record_shared_bytes", "record_spill",
-           "record_plan", "reset_cluster_stats"]
+           "record_plan", "record_worker_restart", "reset_cluster_stats"]
 
 _LOCK = threading.Lock()
 
@@ -38,6 +38,7 @@ def _zero() -> dict[str, int]:
         "bytes_read_back": 0,
         "merge_rounds": 0,
         "peak_resident_keys": 0,
+        "worker_restarts": 0,
     }
 
 
@@ -89,6 +90,12 @@ def record_spill(
         _STATE["peak_resident_keys"] = max(
             _STATE["peak_resident_keys"], peak_resident_keys
         )
+
+
+def record_worker_restart() -> None:
+    """Note one pool worker crash/restart recovery (chaos campaigns)."""
+    with _LOCK:
+        _STATE["worker_restarts"] += 1
 
 
 def cluster_stats() -> dict[str, int]:

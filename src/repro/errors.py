@@ -18,6 +18,8 @@ __all__ = [
     "ServiceError",
     "QueueFullError",
     "DeadlineExceededError",
+    "WorkerCrashed",
+    "ChaosFailureError",
 ]
 
 
@@ -112,3 +114,27 @@ class DeadlineExceededError(ServiceError):
     """
 
     exit_code = 4
+
+
+class WorkerCrashed(ReproError, RuntimeError):
+    """A cluster pool worker died mid-task (the chaos crash fault).
+
+    Raised by the fault hook :mod:`repro.replay.chaos` installs into
+    :class:`repro.cluster.pool.ClusterPool` to simulate a worker process
+    dying; the pool's recovery path catches it, rebuilds the executor,
+    and retries the batch once.  Escaping this exception means recovery
+    itself failed.
+    """
+
+
+class ChaosFailureError(ServiceError):
+    """A chaos campaign ended with unrecovered failures (CLI exit code 7).
+
+    Raised by :func:`repro.replay.campaign.run_campaign` (via the
+    ``repro replay chaos`` CLI) when any injected fault left behind an
+    oracle failure or an unexpected response — the service did *not*
+    survive that fault.  The campaign's ``CHAOS_REPORT`` names the
+    failed injections.
+    """
+
+    exit_code = 7

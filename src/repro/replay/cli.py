@@ -1,0 +1,244 @@
+"""CLI verbs for record/replay: ``repro replay record|run|chaos``.
+
+* ``repro replay record`` — synthesize a load model, push it through a
+  *live* :class:`~repro.service.SortService` with an attached
+  :class:`~repro.replay.recorder.TrafficRecorder`, and save the captured
+  traffic log (inline payloads, logical arrival ticks).
+* ``repro replay run`` — deterministically replay a log (``--log``, or a
+  freshly built ``--model``) against any backend; every response is
+  asserted through the fuzz oracle suite and the byte-stable replay
+  report can be written with ``--replay-report``.
+* ``repro replay chaos`` — a full chaos campaign: control replay plus
+  one injected replay per fault kind (``--faults``), emitting the
+  deterministic ``CHAOS_REPORT``.
+
+Exit codes: 0 = clean, 1 = replay oracle failure, 2 = bad parameters,
+and **7 = chaos campaign failed** (an injected fault left unrecovered
+damage) — see ``docs/CLI.md`` for the full table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ChaosFailureError, ParameterError
+from repro.fuzz.corpus import Geometry
+from repro.replay.campaign import raise_on_failure, run_campaign
+from repro.replay.chaos import FAULT_KINDS
+from repro.replay.log import TrafficLog, load_log, materialize, save_log
+from repro.replay.models import LOAD_MODELS, build_load
+from repro.replay.recorder import TrafficRecorder
+from repro.replay.replayer import ReplayConfig, replay_log
+
+__all__ = ["EXIT_CHAOS", "REPLAY_TARGETS", "add_replay_arguments", "dispatch"]
+
+#: Exit code: a chaos campaign ended with unrecovered failures.
+EXIT_CHAOS = 7
+
+#: Valid ``repro replay`` targets.
+REPLAY_TARGETS = ("record", "run", "chaos")
+
+
+def _geometry(args: argparse.Namespace) -> Geometry:
+    """The replay geometry from the CLI flags."""
+    return Geometry(w=args.replay_w, E=args.replay_E, u=args.replay_u)
+
+
+def _load_or_build(args: argparse.Namespace) -> TrafficLog:
+    """The traffic log to replay: ``--log`` file, or a fresh ``--model``."""
+    if args.log:
+        return load_log(args.log)
+    return build_load(args.model, args.events, args.replay_seed, _geometry(args))
+
+
+def _config(args: argparse.Namespace) -> ReplayConfig:
+    """The replay configuration from the CLI flags."""
+    return ReplayConfig(
+        backend=args.replay_backend,
+        window_ticks=args.window_ticks,
+    )
+
+
+def _write_json(payload: dict, path: str | Path) -> Path:
+    """Write one report JSON (stable key order, trailing newline)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def run_record(args: argparse.Namespace) -> int:
+    """Capture one load model through a live recorded service; save the log."""
+    from repro.service.service import SortService
+
+    model_log = build_load(args.model, args.events, args.replay_seed, _geometry(args))
+    recorder = TrafficRecorder(model_log.geometry)
+    with SortService(recorder=recorder) as service:
+        tickets = []
+        for event in model_log.events:
+            tickets.append(
+                service.submit(
+                    materialize(event, model_log.geometry),
+                    backend=event.backend,
+                    kind=event.kind,
+                    block=True,
+                    timeout=60.0,
+                )
+            )
+        unsorted = 0
+        for ticket in tickets:
+            result = ticket.result(timeout=60.0)
+            if not result.ok:
+                unsorted += 1
+    recorded = recorder.log(model=f"recorded:{args.model}", seed=args.replay_seed)
+    path = args.log_out or Path(args.out) / "replay" / f"log-{recorded.digest}.json"
+    save_log(recorded, path)
+    print(
+        f"recorded {len(recorded.events)} requests from model {args.model!r} "
+        f"(geometry {recorded.geometry.key})"
+    )
+    print(f"log digest: {recorded.digest}")
+    print(f"wrote traffic log: {path}")
+    if unsorted:
+        print(f"replay record: {unsorted} live requests failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_run(args: argparse.Namespace) -> int:
+    """Replay a log once; exit 1 iff any response failed an oracle."""
+    log = _load_or_build(args)
+    session = args.session
+    report = replay_log(log, _config(args), cache=session.cache)
+    print(
+        f"replayed log {log.digest} (model {log.model!r}, "
+        f"{len(log.events)} events, geometry {log.geometry.key})"
+    )
+    print(
+        f"  backend={report['config']['backend'] or 'per-event'} "
+        f"ok={report['ok']} shed={report['shed']} expired={report['expired']} "
+        f"batches={len(report['batches'])} launches={report['launches']}"
+    )
+    print(f"  report digest: {report['digest']}")
+    if args.replay_report:
+        path = _write_json(report, args.replay_report)
+        print(f"wrote replay report: {path}")
+    failures = report["oracle_failures"]
+    if failures:
+        print(f"replay run: oracle failures: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    """Run a chaos campaign; exit 7 iff any injected fault went unrecovered."""
+    log = _load_or_build(args)
+    kinds = tuple(k for k in args.faults.split(",") if k)
+    session = args.session
+    report = run_campaign(log, _config(args), kinds=kinds, cache=session.cache)
+    print(
+        f"chaos campaign over log {log.digest} (model {log.model!r}, "
+        f"{len(log.events)} events): {len(report['faults'])} faults"
+    )
+    for verdict in report["faults"]:
+        status = "survived" if verdict["survived"] else "FAILED"
+        print(
+            f"  [{status:>8}] {verdict['kind']}: injected={verdict['injected']} "
+            f"ok={verdict['ok']} shed={verdict['shed']} "
+            f"expired={verdict['expired']} restarts={verdict['worker_restarts']}"
+        )
+    print(f"  report digest: {report['digest']}")
+    if args.chaos_report:
+        path = _write_json(report, args.chaos_report)
+        print(f"wrote chaos report: {path}")
+    if report["failed"] or report["control"]["oracle_failures"]:
+        # Save the replayable artifact (the log) next to the report so a
+        # failing CI run uploads everything needed to reproduce.
+        artifact = Path(args.out) / "replay" / f"chaos-failure-{log.digest}.json"
+        save_log(log, artifact)
+        print(f"wrote failure artifact: {artifact}", file=sys.stderr)
+        try:
+            raise_on_failure(report)
+        except ChaosFailureError as exc:
+            print(f"replay chaos: {exc}", file=sys.stderr)
+            return EXIT_CHAOS
+    return 0
+
+
+def add_replay_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the replay flag group on the main CLI parser."""
+    group = parser.add_argument_group("replay (replay record/run/chaos)")
+    group.add_argument(
+        "--model", choices=sorted(LOAD_MODELS), default="diurnal_wave",
+        help="(replay) load model to synthesize when no --log is given",
+    )
+    group.add_argument(
+        "--events", type=int, default=24,
+        help="(replay) events to synthesize from the load model (default 24)",
+    )
+    group.add_argument(
+        "--replay-seed", type=int, default=0, dest="replay_seed",
+        help="(replay) load-model stream seed — same seed => identical log",
+    )
+    group.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="(replay run/chaos) traffic-log JSON to replay instead of a model",
+    )
+    group.add_argument(
+        "--log-out", default=None, dest="log_out", metavar="PATH",
+        help="(replay record) where to write the captured traffic log",
+    )
+    group.add_argument(
+        "--replay-backend", default=None, dest="replay_backend",
+        help="(replay run/chaos) override every request's backend "
+        "(cf, cf-batched, cf-cluster, kway, samplesort, baseline, numpy)",
+    )
+    group.add_argument(
+        "--window-ticks", type=int, default=4, dest="window_ticks",
+        help="(replay run/chaos) logical arrival-window width (default 4)",
+    )
+    group.add_argument(
+        "--faults", default=",".join(FAULT_KINDS),
+        help="(replay chaos) comma-separated fault kinds to inject "
+        f"(default: all of {','.join(FAULT_KINDS)})",
+    )
+    group.add_argument(
+        "--replay-report", default=None, dest="replay_report", metavar="PATH",
+        help="(replay run) write the deterministic replay report JSON to PATH",
+    )
+    group.add_argument(
+        "--chaos-report", default=None, dest="chaos_report", metavar="PATH",
+        help="(replay chaos) write the deterministic CHAOS_REPORT JSON to PATH",
+    )
+    group.add_argument(
+        "--replay-w", type=int, default=8, dest="replay_w",
+        help="(replay) warp width of the replay geometry (default 8)",
+    )
+    group.add_argument(
+        "--replay-E", type=int, default=5, dest="replay_E",
+        help="(replay) elements per thread of the replay geometry (default 5)",
+    )
+    group.add_argument(
+        "--replay-u", type=int, default=32, dest="replay_u",
+        help="(replay) threads per block of the replay geometry (default 32)",
+    )
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed ``replay`` invocation; map errors to exit codes."""
+    target = args.target or "run"
+    handlers = {"record": run_record, "run": run_run, "chaos": run_chaos}
+    try:
+        handler = handlers.get(target)
+        if handler is None:
+            raise ParameterError(
+                f"unknown replay target {target!r} "
+                f"(one of {', '.join(REPLAY_TARGETS)})"
+            )
+        return handler(args)
+    except ParameterError as exc:
+        print(f"replay {target}: {exc}", file=sys.stderr)
+        return 2

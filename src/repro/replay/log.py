@@ -1,0 +1,266 @@
+"""The traffic log: a versioned, content-addressed record of service traffic.
+
+A :class:`TrafficLog` is everything needed to re-run one stream of sort
+traffic byte-exactly: the sort geometry, the provenance (which load
+model, or ``"recorded"`` for live capture), the stream seed, and one
+:class:`TrafficEvent` per request — its logical-clock arrival tick,
+tenant, request kind (flat/columns), backend, optional deadline in
+ticks, and the payload.  Payloads are carried either **inline** (the
+exact values a recorder captured) or as a **workload spec** (generator
+name + length + seed — what the synthetic load models emit), and both
+forms materialize deterministically.
+
+Like fuzz reproducers, the JSON artifact is versioned and
+content-addressed (the digest covers the geometry, model, seed, and
+every event) and deliberately carries no timestamps or host information
+— the same traffic always serializes to the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ParameterError
+from repro.fuzz.corpus import Geometry
+from repro.service.request import REQUEST_KINDS
+from repro.workloads.generators import WORKLOADS, adversarial
+
+__all__ = [
+    "FORMAT_VERSION",
+    "EVENT_WORKLOADS",
+    "TrafficEvent",
+    "TrafficLog",
+    "materialize",
+    "log_digest",
+    "make_log",
+    "save_log",
+    "load_log",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_KIND = "repro.replay.traffic-log"
+
+#: Workload spec names an event may carry: every shared ``f(n, seed)``
+#: generator plus the Section 4 adversarial construction (one whole tile
+#: at the log's geometry — the paper's worst case, mid-stream).
+EVENT_WORKLOADS: tuple[str, ...] = tuple(sorted(WORKLOADS)) + ("adversarial",)
+
+Array = npt.NDArray[np.int64]
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One recorded (or synthesized) sort request in a traffic log.
+
+    The payload is exactly one of two forms: ``values`` (inline data,
+    what a live recorder captures) or ``workload``/``n``/``seed`` (a
+    generator spec, what synthetic load models emit).  Arrival and
+    deadline are *logical ticks* — the replayer's deterministic clock —
+    never wall time.
+    """
+
+    #: Logical-clock arrival tick (monotone non-decreasing per log).
+    arrival_tick: int
+    #: Tenant identity (feeds WFQ fairness and the bursty chaos faults).
+    tenant: str = "default"
+    #: Request kind: ``"flat"`` or ``"columns"`` (packed key words).
+    kind: str = "flat"
+    #: Backend the request selected (a replay config may override it).
+    backend: str = "cf"
+    #: Optional relative deadline in logical ticks from arrival.
+    deadline_ticks: int | None = None
+    #: Inline payload values (recorded traffic), or ``None`` for a spec.
+    values: tuple[int, ...] | None = None
+    #: Workload generator name (spec form), or ``None`` for inline.
+    workload: str | None = None
+    #: Payload length for the spec form (ignored by ``"adversarial"``).
+    n: int = 0
+    #: Generator seed for the spec form.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the event: tick domains, kind, exactly one payload form."""
+        if self.arrival_tick < 0:
+            raise ParameterError(f"arrival_tick must be >= 0, got {self.arrival_tick}")
+        if self.kind not in REQUEST_KINDS:
+            raise ParameterError(
+                f"unknown request kind {self.kind!r} (one of {', '.join(REQUEST_KINDS)})"
+            )
+        if self.deadline_ticks is not None and self.deadline_ticks < 1:
+            raise ParameterError(
+                f"deadline_ticks must be >= 1, got {self.deadline_ticks}"
+            )
+        if (self.values is None) == (self.workload is None):
+            raise ParameterError(
+                "event payload must be exactly one of inline 'values' or a "
+                "'workload' spec"
+            )
+        if self.workload is not None:
+            if self.workload not in EVENT_WORKLOADS:
+                raise ParameterError(
+                    f"unknown workload {self.workload!r} "
+                    f"(one of {', '.join(EVENT_WORKLOADS)})"
+                )
+            if self.workload != "adversarial" and self.n < 1:
+                raise ParameterError(f"spec events need n >= 1, got {self.n}")
+            if self.seed < 0:
+                raise ParameterError(f"seed must be >= 0, got {self.seed}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form (stable field set; inline values as a plain list)."""
+        return {
+            "arrival_tick": self.arrival_tick,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "backend": self.backend,
+            "deadline_ticks": self.deadline_ticks,
+            "values": None if self.values is None else list(self.values),
+            "workload": self.workload,
+            "n": self.n,
+            "seed": self.seed,
+        }
+
+
+def materialize(event: TrafficEvent, geometry: Geometry) -> Array:
+    """The event's payload as a concrete ``int64`` array.
+
+    Inline events return their recorded values verbatim; spec events run
+    their named generator (``"adversarial"`` builds one whole Section 4
+    tile at the log's geometry, so the worst case lands mid-stream at
+    exactly the size the service tiles at).  Pure function of
+    ``(event, geometry)`` — the determinism contract's foundation.
+    """
+    if event.values is not None:
+        return np.asarray(event.values, dtype=np.int64)
+    assert event.workload is not None  # __post_init__ guarantees one form
+    if event.workload == "adversarial":
+        return np.asarray(
+            adversarial(1, geometry.E, geometry.u, geometry.w), dtype=np.int64
+        )
+    generator = WORKLOADS[event.workload]
+    return np.asarray(generator(event.n, event.seed), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class TrafficLog:
+    """One replayable traffic stream: geometry, provenance, events, digest."""
+
+    #: Sort geometry every request replays at.
+    geometry: Geometry
+    #: Provenance: a load-model name, or ``"recorded"`` for live capture.
+    model: str
+    #: Stream seed the load model (or recorder session) derived from.
+    seed: int
+    #: The traffic, ordered by ``(arrival_tick, position)``.
+    events: tuple[TrafficEvent, ...]
+    #: Content address over geometry + model + seed + every event.
+    digest: str
+
+    def __post_init__(self) -> None:
+        """Validate event ordering: arrival ticks must be non-decreasing."""
+        ticks = [e.arrival_tick for e in self.events]
+        if ticks != sorted(ticks):
+            raise ParameterError("traffic log events must be in arrival-tick order")
+
+    def as_dict(self) -> dict[str, Any]:
+        """The versioned JSON payload."""
+        return {
+            "format": FORMAT_VERSION,
+            "kind": _KIND,
+            "geometry": self.geometry.as_dict(),
+            "model": self.model,
+            "seed": self.seed,
+            "events": [e.as_dict() for e in self.events],
+            "digest": self.digest,
+        }
+
+
+def log_digest(
+    geometry: Geometry, model: str, seed: int, events: Sequence[TrafficEvent]
+) -> str:
+    """Content address of one traffic stream.
+
+    Covers the geometry key, the model name, the stream seed, and the
+    canonical JSON of every event — so two logs with the same digest
+    replay identically, and re-recording identical traffic dedupes.
+    """
+    h = hashlib.sha256()
+    h.update(geometry.key.encode())
+    h.update(b"\x00")
+    h.update(f"{model}:{seed}".encode())
+    h.update(b"\x00")
+    h.update(
+        json.dumps([e.as_dict() for e in events], sort_keys=True).encode()
+    )
+    return h.hexdigest()[:16]
+
+
+def make_log(
+    geometry: Geometry,
+    model: str,
+    seed: int,
+    events: Sequence[TrafficEvent],
+) -> TrafficLog:
+    """Build a traffic log (computes the content digest)."""
+    events = tuple(events)
+    return TrafficLog(
+        geometry=geometry,
+        model=str(model),
+        seed=int(seed),
+        events=events,
+        digest=log_digest(geometry, str(model), int(seed), events),
+    )
+
+
+def save_log(log: TrafficLog, path: Path | str) -> Path:
+    """Write the traffic-log JSON (stable key order, trailing newline)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(log.as_dict(), indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_log(path: Path | str) -> TrafficLog:
+    """Read and validate a traffic-log JSON file.
+
+    The digest is recomputed from the loaded content, so a hand-edited
+    log round-trips with a *new* address rather than impersonating the
+    original recording.
+    """
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, dict) or raw.get("kind") != _KIND:
+        raise ParameterError(f"{path}: not a {_KIND} artifact")
+    if raw.get("format") != FORMAT_VERSION:
+        raise ParameterError(
+            f"{path}: traffic-log format {raw.get('format')!r} != {FORMAT_VERSION}"
+        )
+    geom = raw["geometry"]
+    geometry = Geometry(w=int(geom["w"]), E=int(geom["E"]), u=int(geom["u"]))
+    events = []
+    for entry in raw.get("events", []):
+        values = entry.get("values")
+        workload = entry.get("workload")
+        deadline = entry.get("deadline_ticks")
+        events.append(
+            TrafficEvent(
+                arrival_tick=int(entry["arrival_tick"]),
+                tenant=str(entry.get("tenant", "default")),
+                kind=str(entry.get("kind", "flat")),
+                backend=str(entry.get("backend", "cf")),
+                deadline_ticks=None if deadline is None else int(deadline),
+                values=None if values is None else tuple(int(v) for v in values),
+                workload=None if workload is None else str(workload),
+                n=int(entry.get("n", 0)),
+                seed=int(entry.get("seed", 0)),
+            )
+        )
+    return make_log(geometry, str(raw.get("model", "recorded")), int(raw.get("seed", 0)), events)

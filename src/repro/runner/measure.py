@@ -375,6 +375,45 @@ def _cluster_tile(params: dict[str, Any]) -> dict[str, Any]:
     raise ParameterError(f"unknown cluster case {case!r}")
 
 
+def _replay_tile(params: dict[str, Any]) -> dict[str, Any]:
+    """One deterministic replay of a synthesized traffic log.
+
+    Builds the requested load model at the fixed replay geometry, runs
+    it through the logical-clock replayer with the full per-response
+    oracle suite, and reports the response mix plus the replay-report
+    digest — the digest is the row CI's double-run ``cmp`` gate leans
+    on, since it covers every response byte, counter, and span.
+    """
+    from repro.fuzz.corpus import Geometry
+    from repro.replay.models import build_load
+    from repro.replay.replayer import ReplayConfig, replay_log
+
+    model = _as_str(params["model"], "model")
+    events = _as_int(params["events"], "events")
+    seed = _as_int(params["seed"], "seed")
+    window_ticks = _as_int(params["window_ticks"], "window_ticks")
+    geometry = Geometry(
+        w=_as_int(params["w"], "w"),
+        E=_as_int(params["E"], "E"),
+        u=_as_int(params["u"], "u"),
+    )
+    log = build_load(model, events, seed, geometry)
+    report = replay_log(log, ReplayConfig(window_ticks=window_ticks))
+    return {
+        "model": model,
+        "log_digest": log.digest,
+        "requests": len(log.events),
+        "ok": report["ok"],
+        "shed": report["shed"],
+        "expired": report["expired"],
+        "batches": len(report["batches"]),
+        "launches": report["launches"],
+        "oracle_failures": list(report["oracle_failures"]),
+        "counters": dict(report["counters"]),
+        "report_digest": report["digest"],
+    }
+
+
 _WORKERS = {
     "throughput": _throughput_tile,
     "theorem8": _theorem8_tile,
@@ -387,6 +426,7 @@ _WORKERS = {
     "samplesort": _samplesort_tile,
     "columns": _columns_tile,
     "cluster": _cluster_tile,
+    "replay": _replay_tile,
 }
 
 

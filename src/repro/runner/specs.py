@@ -29,6 +29,7 @@ __all__ = [
     "samplesort_spec",
     "columns_spec",
     "cluster_spec",
+    "replay_spec",
     "bench_suite",
 ]
 
@@ -262,14 +263,41 @@ def cluster_spec(tiles: int = 8, chunk_tiles: int = 2, seed: int = 0) -> SweepSp
     )
 
 
+def replay_spec(events: int = 16, seed: int = 0) -> SweepSpec:
+    """The record/replay sweep: one deterministic replay per load model.
+
+    Each job synthesizes a traffic log from one of the
+    :mod:`repro.replay.models` load models (diurnal wave, bursty
+    tenants, adversarial mix), replays it through the logical-clock
+    replayer with the full per-response oracle suite, and reports the
+    response mix plus the replay-report digest.  The digest row is what
+    makes the sweep double-run comparable: any nondeterminism in the
+    replayer shows up as a ``cmp`` diff in CI before it can corrupt a
+    chaos verdict.
+    """
+    return SweepSpec(
+        name="replay",
+        kind="replay",
+        axes=(("model", ("diurnal_wave", "bursty_tenants", "adversarial_mix")),),
+        fixed=(
+            ("events", events),
+            ("window_ticks", 4),
+            ("E", 5),
+            ("u", 32),
+            ("w", 8),
+        ),
+        seed=seed,
+    )
+
+
 def bench_suite() -> tuple[SweepSpec, ...]:
     """The specs behind ``python -m repro bench`` and the CI perf gate.
 
     Quick-mode fig6 (which subsumes fig5's worst-case tiles), the
     Theorem 8 grid, the defense ablation, the sort-service cost sweep,
-    the batched engine sweep, and the k-way/sample-sort/columns/cluster
-    sweeps — every counter they produce is deterministic, so the gate is
-    flake-free by construction.
+    the batched engine sweep, and the
+    k-way/sample-sort/columns/cluster/replay sweeps — every counter they
+    produce is deterministic, so the gate is flake-free by construction.
     """
     return (
         fig6_spec("quick"),
@@ -281,4 +309,5 @@ def bench_suite() -> tuple[SweepSpec, ...]:
         samplesort_spec(),
         columns_spec(),
         cluster_spec(),
+        replay_spec(),
     )

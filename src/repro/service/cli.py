@@ -14,7 +14,9 @@ sharded workers) with a deterministic synthetic workload from
 
 Failure modes map to distinct exit codes (documented on the exception
 classes in :mod:`repro.errors`): 0 ok, 1 verification failure, 3 queue
-full, 4 deadline exceeded, 5 other service error.
+full, 4 deadline exceeded, 5 other service error.  The canonical table
+covering every verb (including ``repro fuzz``'s 6 and ``repro
+replay``'s 7) is :data:`EXIT_CODES`, rendered in ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -44,12 +46,27 @@ from repro.service.service import (
 )
 from repro.service.synthetic import synth_payloads
 
-__all__ = ["run_serve", "run_submit", "EXIT_OK", "EXIT_FAILURE"]
+__all__ = ["run_serve", "run_submit", "EXIT_OK", "EXIT_FAILURE", "EXIT_CODES"]
 
 #: Exit code for a fully verified run.
 EXIT_OK = 0
 #: Exit code for an unsorted / mismatched result (should never happen).
 EXIT_FAILURE = 1
+
+#: The canonical exit-code contract of the whole ``repro`` CLI, one row
+#: per code.  ``docs/CLI.md`` renders this table verbatim and a test
+#: asserts the two (and the ``exit_code`` attributes on the exception
+#: classes in :mod:`repro.errors`) stay in lock-step.
+EXIT_CODES: dict[int, str] = {
+    0: "success — all requested work completed and verified",
+    1: "verification failure (unsorted or mismatched output)",
+    2: "bad parameters (ParameterError)",
+    3: "admission queue full (QueueFullError)",
+    4: "deadline exceeded (DeadlineExceededError)",
+    5: "other service error (ServiceError)",
+    6: "fuzzing found a counterexample (repro fuzz)",
+    7: "chaos campaign failed (repro replay chaos, ChaosFailureError)",
+}
 
 
 def _policy_from(args: argparse.Namespace) -> BatchPolicy:

@@ -30,8 +30,9 @@ from repro.telemetry.stats import flatten_numeric, percentile
 __all__ = ["BatchRecord", "ServiceMetrics", "METRICS_SCHEMA"]
 
 #: Versioned so dashboards can evolve with the snapshot shape.
-#: 2 added the ``engine.plan_cache`` section; 3 added ``cluster``.
-METRICS_SCHEMA = 3
+#: 2 added the ``engine.plan_cache`` section; 3 added ``cluster``;
+#: 4 added ``replay``.
+METRICS_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -120,8 +121,10 @@ class ServiceMetrics:
     def snapshot(self) -> dict[str, Any]:
         """The full metrics state as one JSON-serializable dictionary."""
         # Lazy: repro.cluster's fairness layer imports the service, so a
-        # module-level import here would be a cycle.
+        # module-level import here would be a cycle (and repro.replay
+        # replays *through* the service).
         from repro.cluster.stats import cluster_stats
+        from repro.replay.stats import replay_stats
 
         with self._lock:
             completed = [r for r in self._results if r.ok]
@@ -181,6 +184,7 @@ class ServiceMetrics:
                 "counters": self._counters.as_dict(),
                 "engine": {"plan_cache": plan_cache_stats()},
                 "cluster": cluster_stats(),
+                "replay": replay_stats(),
                 "modeled": {
                     "total_us": breakdown.total_us,
                     "us_per_request": breakdown.total_us / max(n_completed, 1),

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -31,6 +31,9 @@ from repro.service.pool import ShardedWorkerPool
 from repro.service.request import SortRequest, SortResult
 from repro.service.scheduler import BatchScheduler, PendingRequest
 from repro.telemetry.spans import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:
+    from repro.replay.recorder import TrafficRecorder
 
 __all__ = ["ResultTicket", "SortService", "Client"]
 
@@ -90,12 +93,16 @@ class SortService:
         policy: BatchPolicy | None = None,
         cache: ResultCache | None = None,
         tracer: Tracer | None = None,
+        recorder: "TrafficRecorder | None" = None,
     ) -> None:
         self.params = params
         self.w = w
         self.policy = policy or BatchPolicy()
         self._cache = cache
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional traffic recorder; every admitted request is captured
+        #: as one replayable event (:mod:`repro.replay.recorder`).
+        self.recorder = recorder
         self.metrics = ServiceMetrics(
             params, w, queue_capacity=self.policy.queue_capacity
         )
@@ -184,6 +191,8 @@ class SortService:
                 "depth": depth,
             },
         ):
+            if self.recorder is not None:
+                self.recorder.record(request)
             self.metrics.record_admitted(depth)
             self._scheduler.enqueue(pending)
         return ticket

@@ -26,7 +26,7 @@ from repro.service.batching import BatchPolicy, plan_batches
 from repro.service.jobs import run_batch
 from repro.service.request import SortRequest
 from repro.sim.counters import Counters
-from repro.workloads import adversarial, request_lengths, uniform_random
+from repro.workloads import adversarial, derive_stream_seed, request_lengths, uniform_random
 
 __all__ = ["synth_payloads", "synth_requests", "run_synchronous", "service_tile"]
 
@@ -66,7 +66,7 @@ def synth_payloads(
         if use_adversarial:
             payloads.append(evil.copy())
         else:
-            per_payload_seed = (seed * 1_000_003 + index) % 2**31
+            per_payload_seed = derive_stream_seed(seed, index)
             payloads.append(uniform_random(int(lengths[index]), seed=per_payload_seed))
     return payloads
 

@@ -54,6 +54,19 @@ COUNTER_PREFIXES = (
     "cluster.keys_read_back",
     "cluster.bytes_read_back",
     "cluster.merge_rounds",
+    "cluster.worker_restarts",
+    "replay.logs_recorded",
+    "replay.events_recorded",
+    "replay.replays_run",
+    "replay.requests_replayed",
+    "replay.responses_ok",
+    "replay.responses_shed",
+    "replay.responses_expired",
+    "replay.oracle_checks",
+    "replay.oracle_failures",
+    "replay.faults_injected",
+    "replay.campaigns_run",
+    "replay.campaigns_failed",
 )
 
 

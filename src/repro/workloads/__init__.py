@@ -3,6 +3,7 @@
 from repro.workloads.generators import (
     WORKLOADS,
     adversarial,
+    derive_stream_seed,
     duplicate_runs,
     few_distinct,
     nearly_sorted,
@@ -14,6 +15,7 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "derive_stream_seed",
     "uniform_random",
     "sorted_input",
     "reverse_sorted",

@@ -14,6 +14,7 @@ from repro.errors import ParameterError
 from repro.worstcase.generator import worstcase_full_input
 
 __all__ = [
+    "derive_stream_seed",
     "uniform_random",
     "sorted_input",
     "reverse_sorted",
@@ -25,6 +26,32 @@ __all__ = [
     "adversarial",
     "WORKLOADS",
 ]
+
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 constants (Steele, Lea & Flood; the JDK's SplittableRandom).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def derive_stream_seed(seed: int, index: int) -> int:
+    """Derive the ``index``-th per-item seed of one ``seed``-keyed stream.
+
+    A splitmix64-style finalizer over the (seed, index) pair: seed and
+    index land in disjoint 64-bit lanes before the avalanche rounds, so
+    distinct pairs map to distinct seeds in practice — unlike the linear
+    ``seed * K + index`` folding it replaces, where ``(seed, index)`` and
+    ``(seed + 1, index - K)`` collided exactly.  The result fits in 63
+    bits, valid for ``numpy.random.default_rng``.
+    """
+    if seed < 0 or index < 0:
+        raise ParameterError(f"seed and index must be >= 0, got {seed}, {index}")
+    z = (seed * _GOLDEN + index * _MIX2 + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z ^= z >> 31
+    return z & ((1 << 63) - 1)
 
 
 def uniform_random(n: int, seed: int = 0, high: int = 2**31) -> np.ndarray:

@@ -58,10 +58,10 @@ def test_workflow_cancels_superseded_runs(workflow):
     assert "github.ref" in concurrency["group"]
 
 
-def test_workflow_has_the_eight_jobs(workflow):
+def test_workflow_has_the_nine_jobs(workflow):
     assert set(workflow["jobs"]) == {
         "test", "lint", "smoke", "engine", "kway", "columns", "cluster",
-        "nightly-fuzz",
+        "replay", "nightly-fuzz",
     }
 
 
@@ -105,6 +105,7 @@ def test_lint_job_gates_ruff_and_strict_mypy(workflow):
     assert "src/repro/engine" in steps
     assert "src/repro/columns" in steps
     assert "src/repro/cluster" in steps
+    assert "src/repro/replay" in steps
     assert "src/repro/mergesort/kway.py" in steps
     assert "src/repro/mergesort/samplesort.py" in steps
 
@@ -270,6 +271,37 @@ def test_cluster_job_uploads_its_reports(workflow):
     assert upload["with"]["name"] == "cluster"
     assert upload["with"]["if-no-files-found"] == "error"
     assert "cluster-report.json" in upload["with"]["path"]
+
+
+def test_replay_job_runs_the_benchmark_twice_and_diffs_reports(workflow):
+    # The replay smoke: double-run byte identity of replay reports, the
+    # traffic-log save/load roundtrip, and the four-fault chaos campaign
+    # surviving with clean oracles — run twice, reports byte-identical.
+    steps = _steps_text(workflow["jobs"]["replay"])
+    assert "pytest benchmarks/bench_replay.py" in steps
+    assert "REPLAY_REPORT=replay-report.json" in steps
+    assert "REPLAY_REPORT=replay-report-again.json" in steps
+    assert "cmp replay-report.json replay-report-again.json" in steps
+
+
+def test_replay_job_runs_the_cli_chaos_smoke(workflow):
+    # The CLI smoke exercises both verbs end to end: a clean replay of
+    # the adversarial mix and a full chaos campaign (exit 7 fails the
+    # step and the always() upload preserves the failure artifact).
+    steps = _steps_text(workflow["jobs"]["replay"])
+    assert "python -m repro replay run" in steps
+    assert "python -m repro replay chaos" in steps
+    assert "--chaos-report" in steps
+
+
+def test_replay_job_uploads_its_reports(workflow):
+    job = workflow["jobs"]["replay"]
+    upload = next(s for s in job["steps"] if "upload-artifact" in str(s.get("uses", "")))
+    assert upload["if"] == "always()"
+    assert upload["with"]["name"] == "replay"
+    assert upload["with"]["if-no-files-found"] == "error"
+    assert "replay-report.json" in upload["with"]["path"]
+    assert "replay-artifacts" in upload["with"]["path"]
 
 
 def test_nightly_fuzz_runs_an_external_sort_smoke(workflow):

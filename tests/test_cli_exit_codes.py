@@ -1,0 +1,75 @@
+"""The exit-code contract: EXIT_CODES ≡ error attributes ≡ docs/CLI.md."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import (
+    ChaosFailureError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.fuzz.cli import EXIT_COUNTEREXAMPLE
+from repro.replay.cli import EXIT_CHAOS
+from repro.service.cli import EXIT_CODES, EXIT_FAILURE, EXIT_OK
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "CLI.md"
+
+
+class TestExitCodeTable:
+    def test_table_covers_zero_through_seven_contiguously(self):
+        assert sorted(EXIT_CODES) == list(range(8))
+
+    def test_service_constants_match(self):
+        assert EXIT_OK == 0
+        assert EXIT_FAILURE == 1
+
+    def test_error_classes_carry_their_codes(self):
+        assert QueueFullError.exit_code == 3
+        assert DeadlineExceededError.exit_code == 4
+        assert ServiceError.exit_code == 5
+        assert ChaosFailureError.exit_code == 7
+        # Every exception-borne code appears in the canonical table.
+        for exc in (QueueFullError, DeadlineExceededError, ServiceError,
+                    ChaosFailureError):
+            assert exc.exit_code in EXIT_CODES
+
+    def test_fuzz_and_replay_constants_match(self):
+        assert EXIT_COUNTEREXAMPLE == 6
+        assert EXIT_CHAOS == 7
+        assert "counterexample" in EXIT_CODES[6]
+        assert "chaos" in EXIT_CODES[7].lower()
+
+    def test_descriptions_name_their_exceptions(self):
+        assert "ParameterError" in EXIT_CODES[2]
+        assert "QueueFullError" in EXIT_CODES[3]
+        assert "DeadlineExceededError" in EXIT_CODES[4]
+        assert "ServiceError" in EXIT_CODES[5]
+        assert "ChaosFailureError" in EXIT_CODES[7]
+
+
+class TestDocsTable:
+    def _doc_rows(self) -> dict[int, str]:
+        rows: dict[int, str] = {}
+        for line in DOC.read_text().splitlines():
+            match = re.match(r"^\|\s*(\d+)\s*\|([^|]+)\|", line)
+            if match:
+                rows[int(match.group(1))] = match.group(2).strip()
+        return rows
+
+    def test_docs_table_lists_every_code(self):
+        rows = self._doc_rows()
+        assert sorted(rows) == sorted(EXIT_CODES)
+
+    def test_docs_descriptions_match_the_canonical_table(self):
+        rows = self._doc_rows()
+        for code, description in EXIT_CODES.items():
+            # The doc row must open with the canonical description (it
+            # may elaborate after, but the contract text is verbatim).
+            head = description.split(" (")[0]
+            assert head in rows[code], (
+                f"docs/CLI.md row for exit code {code} drifted from "
+                f"repro.service.cli.EXIT_CODES: {rows[code]!r} vs {head!r}"
+            )

@@ -239,6 +239,42 @@ class TestFairness:
         with pytest.raises(ParameterError):
             TenantQuota(max_in_flight=0)
 
+    def test_zero_and_negative_quotas_are_unrepresentable(self):
+        # A "zero-quota tenant" cannot exist: the quota constructor is
+        # the only gate into the WFQ tables, and it rejects every
+        # non-positive share, so no tenant can be configured into
+        # permanent starvation (or divide the virtual clock by zero).
+        for weight in (0.0, -1.5):
+            with pytest.raises(ParameterError):
+                TenantQuota(weight=weight)
+        with pytest.raises(ParameterError):
+            TenantQuota(max_in_flight=-1)
+
+    def test_single_tenant_degenerates_to_fifo(self):
+        # With one tenant, WFQ must add nothing: mixed costs and weights
+        # still dispatch in arrival order, because each request's finish
+        # time strictly grows along the tenant's own virtual clock.
+        entries = [("solo", 500), ("solo", 1), ("solo", 90), ("solo", 1)]
+        assert wfq_order(entries) == [0, 1, 2, 3]
+        quotas = {"solo": TenantQuota(weight=7.0)}
+        assert wfq_order(entries, quotas) == [0, 1, 2, 3]
+
+    def test_bursty_hog_cannot_starve_a_steady_tenant(self):
+        # A 16-deep equal-cost burst lands before the steady tenant's
+        # first request, yet WFQ bounds the steady tenant's dispatch
+        # delay: its k-th request overtakes all but k+1 hog requests,
+        # so it sits at position <= 2k+1 instead of 16+k (FIFO).
+        entries = [("hog", 100)] * 16 + [("steady", 100)] * 4
+        order = wfq_order(entries)
+        positions = {seq: pos for pos, seq in enumerate(order)}
+        for k in range(4):
+            assert positions[16 + k] <= 2 * k + 1
+        # Weighting the steady tenant tightens the bound further.
+        weighted = wfq_order(entries, {"steady": TenantQuota(weight=2.0)})
+        w_positions = {seq: pos for pos, seq in enumerate(weighted)}
+        for k in range(4):
+            assert w_positions[16 + k] <= positions[16 + k]
+
     def test_front_end_serves_two_tenants(self):
         from repro.cluster import FairFrontEnd
         from repro.service.service import SortService
@@ -271,13 +307,13 @@ class TestFairness:
 
 
 class TestMetricsIntegration:
-    def test_snapshot_has_schema3_cluster_section(self):
+    def test_snapshot_has_cluster_section(self):
         from repro.service.metrics import METRICS_SCHEMA, ServiceMetrics
 
         metrics = ServiceMetrics(SortParams(E, U), W, queue_capacity=4)
         snap = metrics.snapshot()
-        assert METRICS_SCHEMA == 3
-        assert snap["schema"] == 3
+        assert METRICS_SCHEMA >= 3
+        assert snap["schema"] == METRICS_SCHEMA
         assert set(snap["cluster"]) == set(cluster_stats())
         json.dumps(snap)  # snapshot stays JSON-serializable
 

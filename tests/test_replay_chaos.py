@@ -1,0 +1,175 @@
+"""Chaos injection: fault specs, the pool crash seam, campaign verdicts."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.executor import cluster_sort
+from repro.cluster.pool import ClusterPool, clear_fault_hook, install_fault_hook
+from repro.cluster.stats import cluster_stats
+from repro.errors import ChaosFailureError, ParameterError, WorkerCrashed
+from repro.fuzz.corpus import Geometry
+from repro.replay import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    ReplayConfig,
+    build_load,
+    default_fault_plan,
+    raise_on_failure,
+    run_campaign,
+)
+
+GEOMETRY = Geometry(w=8, E=5, u=32)
+CONFIG = ReplayConfig(window_ticks=4)
+
+
+class TestFaultSpec:
+    def test_default_plans_exist_for_every_kind(self):
+        for kind in FAULT_KINDS:
+            plan = default_fault_plan(kind)
+            assert plan, kind
+            assert all(spec.kind == kind for spec in plan)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FaultSpec(kind="meteor_strike")
+        with pytest.raises(ParameterError):
+            FaultSpec(kind="worker_crash", crash_tasks=())
+        with pytest.raises(ParameterError):
+            FaultSpec(kind="queue_saturation", capacity=-1)
+        with pytest.raises(ParameterError):
+            FaultSpec(kind="slow_shard", skew=0)
+        with pytest.raises(ParameterError):
+            FaultSpec(kind="deadline_storm", start_window=3, end_window=1)
+
+    def test_active_window_range(self):
+        spec = FaultSpec(kind="slow_shard", start_window=2, end_window=5)
+        assert not spec.active(1)
+        assert spec.active(2)
+        assert spec.active(4)
+        assert not spec.active(5)
+
+
+class TestPoolCrashSeam:
+    def _crashing_hook(self, crash_ordinals):
+        seen = {"count": 0}
+
+        def hook(task):
+            ordinal = seen["count"]
+            seen["count"] += 1
+            if ordinal in crash_ordinals:
+                raise WorkerCrashed(f"injected crash at task {ordinal}")
+
+        return hook
+
+    def _sorted_via_pool(self, data, procs):
+        with ClusterPool(procs) as pool:
+            tile = GEOMETRY.tile
+            return cluster_sort(
+                data, chunk=2 * tile, parts=2,
+                E=GEOMETRY.E, u=GEOMETRY.u, w=GEOMETRY.w, pool=pool,
+            )
+
+    @pytest.mark.parametrize("procs", [0, 2])
+    def test_crash_recovery_is_byte_identical(self, procs):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 1 << 30, 8 * GEOMETRY.tile, dtype=np.int64)
+        clean = self._sorted_via_pool(data, procs)
+
+        before = cluster_stats()["worker_restarts"]
+        install_fault_hook(self._crashing_hook({0, 2}))
+        try:
+            crashed = self._sorted_via_pool(data, procs)
+        finally:
+            clear_fault_hook()
+        restarts = cluster_stats()["worker_restarts"] - before
+
+        assert restarts == 2
+        assert np.array_equal(crashed.data, clean.data)
+        assert np.array_equal(crashed.data, np.sort(data))
+        assert crashed.counters.as_dict() == clean.counters.as_dict()
+        assert crashed.launches == clean.launches
+
+    def test_clear_hook_restores_the_fast_path(self):
+        install_fault_hook(self._crashing_hook(set(range(100))))
+        clear_fault_hook()
+        before = cluster_stats()["worker_restarts"]
+        data = np.arange(4 * GEOMETRY.tile, dtype=np.int64)[::-1].copy()
+        outcome = self._sorted_via_pool(data, 0)
+        assert np.array_equal(outcome.data, np.sort(data))
+        assert cluster_stats()["worker_restarts"] == before
+
+
+class TestFaultInjector:
+    def test_queue_saturation_caps_admission_in_window(self):
+        plan = (FaultSpec(kind="queue_saturation", start_window=1,
+                          end_window=3, capacity=2),)
+        injector = FaultInjector(plan)
+        assert injector.admit_cap(0) is None
+        assert injector.admit_cap(1) == 2
+        assert injector.admit_cap(3) is None
+
+    def test_deadline_storm_overrides_deadlines(self):
+        plan = (FaultSpec(kind="deadline_storm", start_window=0,
+                          end_window=2, deadline_ticks=1),)
+        injector = FaultInjector(plan)
+        assert injector.deadline_override(0) == 1
+        assert injector.deadline_override(2) is None
+
+    def test_slow_shard_skews_only_its_shard(self):
+        plan = (FaultSpec(kind="slow_shard", shard=1, skew=5),)
+        injector = FaultInjector(plan)
+        assert injector.shard_skew(0, shard=1) == 5
+        assert injector.shard_skew(0, shard=0) == 1
+        assert injector.injections["slow_shard"] > 0
+
+
+class TestCampaign:
+    def test_full_campaign_survives_all_four_faults(self):
+        log = build_load("bursty_tenants", 12, 0, GEOMETRY)
+        report = run_campaign(log, CONFIG)
+        assert report["failed"] == []
+        assert sorted(report["survived"]) == sorted(FAULT_KINDS)
+        for verdict in report["faults"]:
+            assert verdict["injected"] > 0, verdict["kind"]
+            assert verdict["oracle_failures"] == []
+            assert verdict["outputs_match_control"]
+        raise_on_failure(report)  # no-op on a clean campaign
+
+    def test_campaign_is_deterministic(self):
+        log = build_load("adversarial_mix", 9, 2, GEOMETRY)
+        kinds = ("queue_saturation", "deadline_storm")
+        a = run_campaign(log, CONFIG, kinds=kinds)
+        b = run_campaign(log, CONFIG, kinds=kinds)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert a["digest"] == b["digest"]
+
+    def test_unknown_fault_kind_raises(self):
+        log = build_load("diurnal_wave", 4, 0, GEOMETRY)
+        with pytest.raises(ParameterError):
+            run_campaign(log, CONFIG, kinds=("gamma_burst",))
+
+    def test_raise_on_failure_maps_to_exit_code_seven(self):
+        report = {
+            "failed": ["worker_crash"],
+            "control": {"oracle_failures": []},
+            "log_digest": "feedfacecafebeef",
+        }
+        with pytest.raises(ChaosFailureError) as excinfo:
+            raise_on_failure(report)
+        assert excinfo.value.exit_code == 7
+        assert "worker_crash" in str(excinfo.value)
+
+    def test_dirty_control_marks_the_campaign_failed(self):
+        report = {
+            "failed": [],
+            "control": {"oracle_failures": ["0:sortedness"]},
+            "log_digest": "feedfacecafebeef",
+        }
+        with pytest.raises(ChaosFailureError) as excinfo:
+            raise_on_failure(report)
+        assert "control" in str(excinfo.value)

@@ -1,0 +1,98 @@
+"""The ``repro replay record|run|chaos`` verbs and exit code 7."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.replay import load_log
+from repro.replay.cli import EXIT_CHAOS
+
+
+def _run(argv):
+    return main(argv)
+
+
+class TestReplayRun:
+    def test_model_replay_exits_zero_and_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = _run(
+            ["replay", "run", "--model", "diurnal_wave", "--events", "8",
+             "--out", str(tmp_path / "artifacts"),
+             "--replay-report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed log" in out
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "repro.replay.report"
+        assert report["ok"] == 8
+        assert report["oracle_failures"] == []
+
+    def test_default_target_is_run(self, tmp_path, capsys):
+        code = _run(
+            ["replay", "--model", "bursty_tenants", "--events", "4",
+             "--out", str(tmp_path / "artifacts")]
+        )
+        assert code == 0
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        code = _run(["replay", "explode"])
+        assert code == 2
+
+    def test_bad_backend_is_usage_error(self, tmp_path, capsys):
+        code = _run(
+            ["replay", "run", "--events", "4", "--replay-backend", "warp-drive",
+             "--out", str(tmp_path / "artifacts")]
+        )
+        assert code == 2
+
+
+class TestReplayRecord:
+    def test_record_then_replay_roundtrip(self, tmp_path, capsys):
+        log_path = tmp_path / "captured.json"
+        code = _run(
+            ["replay", "record", "--model", "diurnal_wave", "--events", "6",
+             "--out", str(tmp_path / "artifacts"),
+             "--log-out", str(log_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded 6 requests" in out
+        log = load_log(log_path)
+        assert len(log.events) == 6
+        assert log.model == "recorded:diurnal_wave"
+        # The captured log replays cleanly through the replayer verb.
+        code = _run(
+            ["replay", "run", "--log", str(log_path),
+             "--out", str(tmp_path / "artifacts")]
+        )
+        assert code == 0
+
+
+class TestReplayChaos:
+    def test_surviving_campaign_exits_zero(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        code = _run(
+            ["replay", "chaos", "--model", "bursty_tenants", "--events", "10",
+             "--faults", "queue_saturation,deadline_storm",
+             "--out", str(tmp_path / "artifacts"),
+             "--chaos-report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "survived" in out
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "repro.replay.chaos-report"
+        assert report["failed"] == []
+        assert set(report["survived"]) == {"queue_saturation", "deadline_storm"}
+
+    def test_unknown_fault_is_usage_error(self, tmp_path, capsys):
+        code = _run(
+            ["replay", "chaos", "--events", "4", "--faults", "gamma_burst",
+             "--out", str(tmp_path / "artifacts")]
+        )
+        assert code == 2
+
+    def test_exit_chaos_is_seven(self):
+        assert EXIT_CHAOS == 7

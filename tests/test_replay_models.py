@@ -1,0 +1,97 @@
+"""The synthetic load models: shapes, determinism, stream seeding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fuzz.corpus import Geometry
+from repro.replay import LOAD_MODELS, build_load
+from repro.workloads import derive_stream_seed
+
+GEOMETRY = Geometry(w=8, E=5, u=32)
+
+
+class TestBuildLoad:
+    @pytest.mark.parametrize("model", sorted(LOAD_MODELS))
+    def test_each_model_builds_the_requested_count(self, model):
+        log = build_load(model, 12, 0, GEOMETRY)
+        assert len(log.events) == 12
+        assert log.model == model
+        ticks = [e.arrival_tick for e in log.events]
+        assert ticks == sorted(ticks)
+
+    @pytest.mark.parametrize("model", sorted(LOAD_MODELS))
+    def test_same_seed_same_log_different_seed_different_log(self, model):
+        a = build_load(model, 10, 5, GEOMETRY)
+        b = build_load(model, 10, 5, GEOMETRY)
+        c = build_load(model, 10, 6, GEOMETRY)
+        assert a.digest == b.digest
+        assert a.events == b.events
+        assert a.digest != c.digest
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ParameterError):
+            build_load("tsunami", 4, 0, GEOMETRY)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            build_load("diurnal_wave", 0, 0, GEOMETRY)
+
+
+class TestModelShapes:
+    def test_diurnal_wave_ramps_arrivals(self):
+        log = build_load("diurnal_wave", 24, 0, GEOMETRY)
+        per_tick: dict[int, int] = {}
+        for event in log.events:
+            per_tick[event.arrival_tick] = per_tick.get(event.arrival_tick, 0) + 1
+        # The triangle wave produces both quiet and busy ticks.
+        assert min(per_tick.values()) < max(per_tick.values())
+        assert any(e.deadline_ticks is not None for e in log.events)
+
+    def test_bursty_tenants_has_a_hog_and_steady_tenants(self):
+        log = build_load("bursty_tenants", 20, 0, GEOMETRY)
+        tenants = {e.tenant for e in log.events}
+        assert "hog" in tenants
+        assert any(t.startswith("steady") for t in tenants)
+        hog_ticks = [e.arrival_tick for e in log.events if e.tenant == "hog"]
+        # Bursts: several hog arrivals share one tick.
+        assert len(hog_ticks) > len(set(hog_ticks))
+
+    def test_adversarial_mix_interleaves_worstcase_traffic(self):
+        log = build_load("adversarial_mix", 12, 0, GEOMETRY)
+        workloads = [e.workload for e in log.events]
+        assert "adversarial" in workloads
+        assert any(w != "adversarial" for w in workloads)
+        assert any(e.tenant == "adversary" for e in log.events)
+
+
+class TestStreamSeedDerivation:
+    def test_old_scheme_collisions_are_gone(self):
+        # The pre-splitmix derivation `(seed*1_000_003 + index) % 2**31`
+        # collided across streams: (seed=1, index=0) and
+        # (seed=0, index=1_000_003) both produced 1_000_003.
+        old = lambda seed, index: (seed * 1_000_003 + index) % 2**31
+        assert old(1, 0) == old(0, 1_000_003)
+        assert derive_stream_seed(1, 0) != derive_stream_seed(0, 1_000_003)
+
+    def test_no_collisions_across_a_dense_grid(self):
+        seen = {
+            derive_stream_seed(seed, index)
+            for seed in range(64)
+            for index in range(64)
+        }
+        assert len(seen) == 64 * 64
+
+    def test_wraparound_modulus_collisions_are_gone(self):
+        # Any two (seed, index) pairs whose old products differed by a
+        # multiple of 2**31 collided; splitmix separates them.
+        assert derive_stream_seed(0, 0) != derive_stream_seed(0, 2**31)
+
+    def test_derived_seed_fits_the_rng_and_rejects_negatives(self):
+        value = derive_stream_seed(2**62, 2**40)
+        assert 0 <= value < 2**63
+        with pytest.raises(ParameterError):
+            derive_stream_seed(-1, 0)
+        with pytest.raises(ParameterError):
+            derive_stream_seed(0, -1)

@@ -1,0 +1,150 @@
+"""The logical-clock replayer: determinism, oracles, live capture."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.fuzz.corpus import Geometry
+from repro.replay import (
+    DEFAULT_ORACLES,
+    ReplayConfig,
+    TrafficEvent,
+    TrafficRecorder,
+    build_load,
+    make_log,
+    replay_log,
+    response_checks,
+)
+from repro.telemetry.spans import Tracer
+
+GEOMETRY = Geometry(w=8, E=5, u=32)
+NON_COPRIME = Geometry(w=8, E=4, u=32)
+
+
+def _dumps(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+class TestReplayDeterminism:
+    def test_double_run_is_byte_identical(self):
+        log = build_load("diurnal_wave", 12, 0, GEOMETRY)
+        first = replay_log(log)
+        second = replay_log(log)
+        assert _dumps(first) == _dumps(second)
+        assert first["digest"] == second["digest"]
+        assert first["ok"] == 12
+        assert first["oracle_failures"] == []
+
+    def test_spans_are_embedded_and_deterministic(self):
+        log = build_load("bursty_tenants", 8, 0, GEOMETRY)
+        report = replay_log(log)
+        names = {s["name"] for s in report["spans"]}
+        assert "replay.run" in names
+        assert "replay.batch" in names
+        assert replay_log(log)["spans"] == report["spans"]
+
+    def test_caller_owned_tracer_keeps_spans_out_of_the_report(self):
+        log = build_load("diurnal_wave", 6, 0, GEOMETRY)
+        tracer = Tracer()
+        report = replay_log(log, tracer=tracer)
+        assert report["spans"] == []
+        assert any(s.name == "replay.run" for s in tracer.spans())
+        # The report digest still matches the self-traced run minus spans.
+        assert report["ok"] == replay_log(log)["ok"]
+
+    def test_backend_override_changes_execution_not_correctness(self):
+        log = build_load("diurnal_wave", 6, 0, GEOMETRY)
+        default = replay_log(log)
+        kway = replay_log(log, ReplayConfig(backend="kway"))
+        assert kway["ok"] == default["ok"]
+        assert kway["oracle_failures"] == []
+        assert kway["config"]["backend"] == "kway"
+        assert kway["digest"] != default["digest"]
+
+
+class TestReplaySemantics:
+    def test_tight_deadlines_expire_deterministically(self):
+        events = tuple(
+            TrafficEvent(arrival_tick=i, workload="random", n=40, seed=i,
+                         deadline_ticks=1)
+            for i in range(6)
+        )
+        log = make_log(GEOMETRY, "storm", 0, events)
+        report = replay_log(log)
+        assert report["expired"] == 6
+        assert report["ok"] == 0
+        statuses = {r["status"] for r in report["responses"]}
+        assert statuses == {"expired"}
+        assert report["oracle_failures"] == []
+        assert replay_log(log)["digest"] == report["digest"]
+
+    def test_window_ticks_shape_the_batches(self):
+        log = build_load("diurnal_wave", 12, 0, GEOMETRY)
+        narrow = replay_log(log, ReplayConfig(window_ticks=1))
+        wide = replay_log(log, ReplayConfig(window_ticks=64))
+        assert narrow["ok"] == 12
+        # A 64-tick window flushes after the 64-tick deadlines have
+        # passed, so the deadline-stamped events expire instead.
+        assert wide["ok"] + wide["expired"] == 12
+        assert wide["expired"] > 0
+        assert len(narrow["batches"]) >= len(wide["batches"])
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            ReplayConfig(window_ticks=0)
+        with pytest.raises(ParameterError):
+            ReplayConfig(backend="warp-drive")
+        with pytest.raises(ParameterError):
+            ReplayConfig(oracles=("sortedness", "vibes"))
+
+
+class TestResponseChecks:
+    def test_sorted_output_passes_every_oracle(self):
+        payload = np.array(sorted([5, 1, 9, 3] * 10), dtype=np.int64)
+        rng = np.random.default_rng(0)
+        data = rng.permutation(payload)
+        checks = response_checks(data, np.sort(data), GEOMETRY, DEFAULT_ORACLES)
+        assert set(checks) == set(DEFAULT_ORACLES)
+        assert all(c["ok"] for c in checks.values())
+
+    def test_unsorted_output_fails_sortedness(self):
+        data = np.arange(40, dtype=np.int64)
+        wrong = data[::-1].copy()
+        checks = response_checks(data, wrong, GEOMETRY, ("sortedness",))
+        assert not checks["sortedness"]["ok"]
+
+    def test_zero_replay_oracle_skips_non_coprime_geometry(self):
+        data = np.arange(NON_COPRIME.tile, dtype=np.int64)
+        checks = response_checks(data, data.copy(), NON_COPRIME, ("zero_replay_cf",))
+        assert checks["zero_replay_cf"]["ok"]
+        assert checks["zero_replay_cf"]["skipped"]
+
+
+class TestRecorderIntegration:
+    def test_live_capture_replays_to_the_same_answers(self):
+        from repro.service.service import SortService
+
+        model = build_load("diurnal_wave", 6, 0, GEOMETRY)
+        recorder = TrafficRecorder(GEOMETRY)
+        rng = np.random.default_rng(42)
+        payloads = [
+            rng.integers(0, 1 << 20, 40).astype(np.int64) for _ in range(6)
+        ]
+        with SortService(recorder=recorder) as service:
+            tickets = [service.submit(p, block=True, timeout=30.0) for p in payloads]
+            live = [t.result(timeout=30.0) for t in tickets]
+        assert all(r.ok for r in live)
+        assert len(recorder) == 6
+
+        log = recorder.log(model="recorded:test", seed=0)
+        assert len(log.events) == 6
+        report = replay_log(log)
+        assert report["ok"] == 6
+        assert report["oracle_failures"] == []
+        # Replay sorts the same inline payloads the live service saw.
+        for event, payload in zip(log.events, payloads):
+            assert np.array_equal(np.array(event.values), payload)
