@@ -31,7 +31,7 @@ Usage::
     python -m repro join [--rows N --how inner|left]      # columnar merge join
     python -m repro cluster-sort [--cluster-keys N --parts P --procs W]
     python -m repro cluster-sort --external [--budget-keys B --spill-dir DIR]
-    python -m repro profile [worstcase|random|cf] [--w W --E E --out DIR]
+    python -m repro profile [worstcase|random|cf|engine] [--w W --E E --out DIR]
     python -m repro trace [theorem8|defenses|fig5|service] [--out DIR]
     python -m repro fuzz [run|shrink|replay] [--budget N --fuzz-seed S]
     python -m repro replay [record|run|chaos] [--model M --events N]
@@ -454,7 +454,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help="(profile/trace/fuzz/replay) sub-target "
-        "(profile: worstcase/random/cf; trace: theorem8/defenses/fig5/service; "
+        "(profile: worstcase/random/cf/engine; trace: theorem8/defenses/fig5/service; "
         "fuzz: run/shrink/replay; replay: record/run/chaos)",
     )
     parser.add_argument(

@@ -132,7 +132,9 @@ def block_layout_position(source_index: int, n_a: int, u: int, E: int) -> int:
     return pi(source_index - n_a, total)
 
 
-def _apply_layout(a, b, w: int, E: int, total: int) -> np.ndarray:
+def _apply_layout(
+    a, b, w: int, E: int, total: int, *, fused: bool = True
+) -> np.ndarray:
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     if a.ndim != 1 or b.ndim != 1:
@@ -141,6 +143,17 @@ def _apply_layout(a, b, w: int, E: int, total: int) -> np.ndarray:
         raise ParameterError(
             f"|A| + |B| = {len(a) + len(b)} must equal the layout size {total}"
         )
+    if fused:
+        # One fancy-index pass over the cached fused take permutation,
+        # which composes pi (B reversal) and rho in a single table.
+        # Imported lazily: plans builds its tables from this module.
+        from repro.engine.plans import get_plan
+
+        plan = get_plan("fused_take", total, E, w, k=len(a))
+        src = np.concatenate([a, b]) if total else np.empty(0, dtype=np.int64)
+        return src[np.asarray(plan["take"])]
+    # Reference three-pass path (pi, then rho, then scatter), kept for the
+    # bit-identity property suite (tests/test_properties_fused.py).
     out = np.empty(total, dtype=np.int64)
     # Positions of A: 0..|A|-1; positions of B (reversed): total-1-x.
     positions = np.empty(total, dtype=np.int64)
@@ -160,18 +173,23 @@ def _apply_layout(a, b, w: int, E: int, total: int) -> np.ndarray:
     return out
 
 
-def apply_warp_layout(a, b, w: int, E: int) -> np.ndarray:
+def apply_warp_layout(a, b, w: int, E: int, *, fused: bool = True) -> np.ndarray:
     """Return the ``wE``-word shared-memory image ``rho(A ++ pi(B))``.
 
     This is the element order a warp's tile must have in shared memory for
     the dual subsequence gather to be conflict free.  In the full pipeline
     the permutation is folded into the global-to-shared load; this builder
     exists for direct warp-level use and for tests.
+
+    ``fused=True`` (the default) applies the cached ``fused_take`` plan in
+    one pass; ``fused=False`` runs the reference three-pass composition.
     """
-    return _apply_layout(a, b, w, E, w * E)
+    return _apply_layout(a, b, w, E, w * E, fused=fused)
 
 
-def apply_block_layout(a, b, u: int, w: int, E: int) -> np.ndarray:
+def apply_block_layout(
+    a, b, u: int, w: int, E: int, *, fused: bool = True
+) -> np.ndarray:
     """Return the ``uE``-word shared-memory image for a full thread block.
 
     ``B`` is reversed across the whole block and ``rho``'s partitions span
@@ -179,4 +197,4 @@ def apply_block_layout(a, b, u: int, w: int, E: int) -> np.ndarray:
     """
     if u % w:
         raise ParameterError(f"u={u} must be a multiple of w={w}")
-    return _apply_layout(a, b, w, E, u * E)
+    return _apply_layout(a, b, w, E, u * E, fused=fused)

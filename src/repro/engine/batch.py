@@ -20,11 +20,13 @@ that already converged, because every count is masked per lane.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
 import numpy.typing as npt
 
+from repro.engine.arena import ENGINE_ARENA
 from repro.engine.plans import get_plan
 from repro.errors import ParameterError
 from repro.numtheory import coprime
@@ -42,13 +44,103 @@ __all__ = [
     "kway_thread_cuts",
     "kway_gather_addresses",
     "batched_kway_merge_profile",
+    "fusion_stats",
+    "reset_fusion_stats",
 ]
 
 #: Matches :data:`repro.mergesort.serial_merge.SENTINEL`.
 SENTINEL = np.iinfo(np.int64).max
 
+#: Keys packed as ``2*value + tag`` must stay inside int64: |value| < 2^62.
+_PACK_LIMIT = 1 << 62
+
 IntArray = npt.NDArray[np.int64]
 BoolArray = npt.NDArray[np.bool_]
+
+
+class _FusionStats:
+    """Process-global fusion accounting: how much round traffic was folded.
+
+    Every counter is a pure call count (no wall-clock, no warm-state), so
+    deltas are deterministic for a given profile call — the runner's
+    engine tiles report them into BASELINE-gated metrics.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.round_calls = 0
+        self.round_many_calls = 0
+        self.rounds_folded = 0
+        self.stage_passes = 0
+        self.stage_rounds_folded = 0
+        self.fused_blocksorts = 0
+        self.fallback_blocksorts = 0
+        self.fused_merges = 0
+        self.fallback_merges = 0
+        self.fused_searches = 0
+        self.fallback_searches = 0
+
+    def note_round(self) -> None:
+        with self._lock:
+            self.round_calls += 1
+
+    def note_round_many(self, rounds: int) -> None:
+        with self._lock:
+            self.round_many_calls += 1
+            self.rounds_folded += rounds
+
+    def note_stage(self, rounds: int) -> None:
+        with self._lock:
+            self.stage_passes += 1
+            self.stage_rounds_folded += rounds
+
+    def note_profile(self, name: str, fused: bool) -> None:
+        attr = ("fused_" if fused else "fallback_") + name
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "round_calls": float(self.round_calls),
+                "round_many_calls": float(self.round_many_calls),
+                "rounds_folded": float(self.rounds_folded),
+                "stage_passes": float(self.stage_passes),
+                "stage_rounds_folded": float(self.stage_rounds_folded),
+                "fused_blocksorts": float(self.fused_blocksorts),
+                "fallback_blocksorts": float(self.fallback_blocksorts),
+                "fused_merges": float(self.fused_merges),
+                "fallback_merges": float(self.fallback_merges),
+                "fused_searches": float(self.fused_searches),
+                "fallback_searches": float(self.fallback_searches),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.round_calls = 0
+            self.round_many_calls = 0
+            self.rounds_folded = 0
+            self.stage_passes = 0
+            self.stage_rounds_folded = 0
+            self.fused_blocksorts = 0
+            self.fallback_blocksorts = 0
+            self.fused_merges = 0
+            self.fallback_merges = 0
+            self.fused_searches = 0
+            self.fallback_searches = 0
+
+
+_FUSION = _FusionStats()
+
+
+def fusion_stats() -> dict[str, float]:
+    """Process-global fused-pass counters (for telemetry exports)."""
+    return _FUSION.snapshot()
+
+
+def reset_fusion_stats() -> None:
+    """Reset :func:`fusion_stats` counters (tests and profiling runs)."""
+    _FUSION.reset()
 
 
 class BatchCounters:
@@ -96,6 +188,7 @@ class BatchCounters:
         ``w``-wide row — so the dedup is a per-row sort plus neighbor
         diff, never a batch-wide hash.
         """
+        _FUSION.note_round()
         shape = (self.tiles, self.u)
         act = np.broadcast_to(np.asarray(active, dtype=bool), shape)
         T, w = self.tiles, self.w
@@ -161,6 +254,233 @@ class BatchCounters:
         self.shared_cycles += cycles_t
         self.shared_replays += cycles_t - n_warps_t
         self.shared_excess += excess_t
+
+    def round_many(
+        self,
+        addresses: npt.NDArray[np.integer],
+        active: BoolArray | None,
+        kind: str = "read",
+        *,
+        assume_distinct: bool = False,
+    ) -> None:
+        """Account ``R`` stacked warp-synchronous rounds in one pass.
+
+        ``addresses`` is ``(R, tiles, u)`` (broadcastable); ``active``
+        masks lanes per round, or ``None`` for all-active rounds.  The
+        result is bit-identical to calling :meth:`round` on each leading
+        slice in order — every round's dedup/bank statistics are computed
+        in its own warp rows, and the final fold is an integer sum, which
+        commutes.  Rounds with no active lane contribute exact zeros.
+        All rounds of one call share ``kind``.
+
+        ``assume_distinct=True`` asserts the caller's invariant that all
+        active addresses within any warp and round are pairwise distinct
+        (true for bounded pointer merges, whose per-thread windows are
+        disjoint): dedup collapses to a per-bank population count, so the
+        keys are bare bank ids.  Otherwise addresses are packed into
+        ``(bank, address)`` keys; either way one row-wise sort plus
+        run-length prefix arithmetic replaces per-round dedup + a flat
+        histogram, with the narrowest dtype the address span permits.
+
+        The stacked scratch matrices come from the engine arena (checked
+        out per call, reused across batched passes); partial trailing
+        warps (``u % w != 0``) fall back to per-round :meth:`round`
+        scatter accounting.
+        """
+        addr = np.asarray(addresses)
+        if addr.ndim != 3:
+            raise ParameterError("round_many expects (rounds, tiles, u) addresses")
+        R = int(addr.shape[0])
+        if R == 0:
+            return
+        T, u, w = self.tiles, self.u, self.w
+        shape = (R, T, u)
+        if u % w:
+            addr64 = np.broadcast_to(addr.astype(np.int64, copy=False), shape)
+            if active is None:
+                ones = np.ones((T, u), dtype=bool)
+                for r in range(R):
+                    self.round(addr64[r], ones, kind=kind)
+            else:
+                act3 = np.broadcast_to(np.asarray(active, dtype=bool), shape)
+                for r in range(R):
+                    self.round(addr64[r], act3[r], kind=kind)
+            return
+        _FUSION.note_round_many(R)
+        if active is None:
+            act3 = None
+            requests_t = np.full(T, R * u, dtype=np.int64)
+        else:
+            act3 = np.broadcast_to(np.asarray(active, dtype=bool), shape)
+            requests_t = act3.sum(axis=(0, 2), dtype=np.int64)
+            if not requests_t.any():
+                return
+        addr3 = np.broadcast_to(addr, shape)
+        if assume_distinct and w <= 127:
+            self._distinct_rounds(addr3, act3, requests_t, kind)
+            return
+        amin = int(addr3.min())
+        amax = int(addr3.max())
+        # Key layout: bank id in the high bits, (offset) address below —
+        # distinct keys == distinct addresses (the bank is a function of
+        # the address), and sorted keys group each bank contiguously.
+        shift = 0 if assume_distinct else max(amax - amin, 1).bit_length()
+        top = w << shift
+        # Raw addresses land in the key buffer before the offset/pack, so
+        # the dtype must hold both them and the packed keys.
+        if top < (1 << 31) and -(1 << 31) < amin and amax < (1 << 31):
+            dtype: type = np.int32
+        elif top < (1 << 63):
+            dtype = np.int64
+        else:  # pragma: no cover - pathological address span
+            raise ParameterError("round_many address span too wide to key")
+        sent = np.iinfo(dtype).max
+        n_rows = R * T * self._slots
+        grp = (R, T, self._slots)
+        with ENGINE_ARENA.lease((n_rows, w), dtype) as work, ENGINE_ARENA.lease(
+            (n_rows, w), dtype
+        ) as scratch:
+            k3 = work.reshape(shape)
+            np.copyto(k3, addr3)
+            bank_of = scratch
+            if assume_distinct:
+                # w <= 127 went through _distinct_rounds; this branch
+                # keys on bare bank ids with w as the inactive sentinel.
+                if w & (w - 1) == 0:
+                    np.bitwise_and(work, w - 1, out=work)
+                else:
+                    np.remainder(work, w, out=work)
+                sent = w
+            else:
+                if w & (w - 1) == 0:
+                    np.bitwise_and(work, w - 1, out=bank_of)
+                else:
+                    np.remainder(work, w, out=bank_of)
+                np.left_shift(bank_of, shift, out=bank_of)
+                work -= amin
+                work += bank_of
+            if act3 is not None:
+                keys = np.where(act3, k3, dtype(sent)).reshape(n_rows, w)
+            else:
+                keys = work
+            keys.sort(axis=1)
+            valid = keys != sent
+            if assume_distinct:
+                bank_change = np.empty((n_rows, w), dtype=bool)
+                bank_change[:, 0] = True
+                np.not_equal(keys[:, 1:], keys[:, :-1], out=bank_change[:, 1:])
+                fresh = valid
+            else:
+                fresh = np.empty((n_rows, w), dtype=bool)
+                fresh[:, 0] = True
+                np.not_equal(keys[:, 1:], keys[:, :-1], out=fresh[:, 1:])
+                fresh &= valid
+                np.right_shift(keys, shift, out=bank_of)
+                bank_change = np.empty((n_rows, w), dtype=bool)
+                bank_change[:, 0] = True
+                np.not_equal(
+                    bank_of[:, 1:], bank_of[:, :-1], out=bank_change[:, 1:]
+                )
+            is_start = bank_change & valid
+            # Distinct-addresses-in-bank counts via one prefix pass: at
+            # any position, count = inclusive #fresh so far minus the
+            # #fresh before the current bank run began.  The run starts'
+            # exclusive counts are nondecreasing, so zeroing non-starts
+            # is a safe max-accumulate identity.
+            c = np.cumsum(fresh, axis=1, dtype=dtype)
+            uniq_rows = c[:, -1].copy()
+            ce = np.subtract(c, fresh)
+            np.multiply(ce, is_start, out=ce)
+            np.maximum.accumulate(ce, axis=1, out=ce)
+            np.subtract(c, ce, out=c)
+            np.multiply(c, valid, out=c)
+            per_warp_max = c.max(axis=1)
+            occupied = is_start.sum(axis=1, dtype=np.int64)
+        n_warps_t = (occupied > 0).reshape(grp).sum(axis=(0, 2), dtype=np.int64)
+        cycles_t = per_warp_max.reshape(grp).sum(axis=(0, 2), dtype=np.int64)
+        excess_t = (uniq_rows - occupied).reshape(grp).sum(
+            axis=(0, 2), dtype=np.int64
+        )
+        uniq_t = uniq_rows.reshape(grp).sum(axis=(0, 2), dtype=np.int64)
+        if kind == "read":
+            self.shared_read_rounds += n_warps_t
+            self.broadcast_reads += requests_t - uniq_t
+        else:
+            self.shared_write_rounds += n_warps_t
+        self.shared_requests += requests_t
+        self.shared_cycles += cycles_t
+        self.shared_replays += cycles_t - n_warps_t
+        self.shared_excess += excess_t
+
+    def _distinct_rounds(
+        self,
+        addr3: npt.NDArray[np.integer],
+        act3: BoolArray | None,
+        requests_t: IntArray,
+        kind: str,
+    ) -> None:
+        """:meth:`round_many` body for pairwise-distinct active addresses.
+
+        With no duplicates, per-bank *distinct* counts are plain run
+        lengths of the sorted bank ids: uniq == requests (broadcasts are
+        exactly zero), excess == active - occupied banks, and the max
+        count per warp is the longest bank run — all from one int8 row
+        sort plus index arithmetic, with no prefix sums or histograms.
+        """
+        R, T, u = addr3.shape
+        w = self.w
+        n_rows = R * T * self._slots
+        grp = (R, T, self._slots)
+        with ENGINE_ARENA.lease((n_rows, w), addr3.dtype) as scratch:
+            s3 = scratch.reshape(addr3.shape)
+            np.copyto(s3, addr3)
+            if w & (w - 1) == 0:
+                np.bitwise_and(scratch, w - 1, out=scratch)
+            else:
+                np.remainder(scratch, w, out=scratch)
+            banks = (
+                scratch if scratch.dtype == np.int32
+                else scratch.astype(np.int32)
+            )
+            if act3 is not None:
+                # w is the inactive sentinel (sorts after every bank).
+                keys = np.where(
+                    act3, banks.reshape(addr3.shape), np.int32(w)
+                ).reshape(n_rows, w)
+            else:
+                keys = banks
+            keys.sort(axis=1)
+            valid = keys < w
+            is_start = np.empty((n_rows, w), dtype=bool)
+            is_start[:, 0] = valid[:, 0]
+            np.not_equal(keys[:, 1:], keys[:, :-1], out=is_start[:, 1:])
+            is_start[:, 1:] &= valid[:, 1:]
+            # Longest bank run per row: position minus the position of
+            # the current run's start (max-accumulated), plus one.  Run
+            # starts are monotone, so a zero at non-starts is a safe
+            # accumulate identity.
+            idx = np.broadcast_to(
+                np.arange(w, dtype=np.int32)[None, :], (n_rows, w)
+            )
+            start = np.multiply(is_start, idx)
+            np.maximum.accumulate(start, axis=1, out=start)
+            np.subtract(idx, start, out=start)
+            start += np.int32(1)
+            np.multiply(start, valid, out=start)
+            per_warp_max = start.max(axis=1)
+            occupied = is_start.sum(axis=1, dtype=np.int64)
+        n_warps_t = (occupied > 0).reshape(grp).sum(axis=(0, 2), dtype=np.int64)
+        cycles_t = per_warp_max.reshape(grp).sum(axis=(0, 2), dtype=np.int64)
+        occupied_t = occupied.reshape(grp).sum(axis=(0, 2), dtype=np.int64)
+        if kind == "read":
+            self.shared_read_rounds += n_warps_t
+            # Distinct addresses: uniq == requests, zero broadcast reads.
+        else:
+            self.shared_write_rounds += n_warps_t
+        self.shared_requests += requests_t
+        self.shared_cycles += cycles_t
+        self.shared_replays += cycles_t - n_warps_t
+        self.shared_excess += requests_t - occupied_t
 
     def to_counters(self) -> list[Counters]:
         """Materialize one :class:`Counters` per tile."""
@@ -346,6 +666,143 @@ def _batched_block_cuts(
     return lo
 
 
+def _pack_dtype(backing: IntArray) -> type | None:
+    """Narrowest dtype holding ``2*v + tag``, or ``None`` past int64."""
+    if backing.size == 0:
+        return np.int32
+    lo, hi = int(backing.min()), int(backing.max())
+    if -(1 << 30) <= lo and hi < (1 << 30):
+        return np.int32
+    if -_PACK_LIMIT <= lo and hi < _PACK_LIMIT:
+        return np.int64
+    return None
+
+
+def _values_packable(backing: IntArray) -> bool:
+    """True when every value survives the ``2*v + tag`` packing in int64."""
+    return _pack_dtype(backing) is not None
+
+
+def _halves_sorted(backing: IntArray, n_a: IntArray) -> bool:
+    """True when every tile's A half and B half are each sorted ascending.
+
+    One descent is allowed per row, exactly at the A/B boundary
+    ``n_a - 1`` (and only when both halves are non-empty) — the single
+    vectorized check the fused single-sort profiles gate on.
+    """
+    total = backing.shape[1]
+    if total < 2:
+        return True
+    ascending = backing[:, 1:] >= backing[:, :-1]
+    at_boundary = (
+        np.arange(total - 1, dtype=np.int64)[None, :] == (n_a[:, None] - 1)
+    )
+    return bool(np.all(ascending | at_boundary))
+
+
+def _packed_merge_tags(packed: IntArray) -> tuple[IntArray, IntArray]:
+    """Stable ties-to-A merge via one packed-key sort.
+
+    ``packed`` is ``2*value + tag`` with ``tag`` 1 on every B position
+    (the helper owns and sorts it in place along the last axis).
+    Sorting orders by value with A before B on ties; the low bit of the
+    sorted keys says which half each merged output came from, and an
+    arithmetic shift recovers the sorted values exactly (``2v + tag``
+    is monotone in ``v``; ``>> 1`` floors back for negatives too).
+    Returns ``(from_a, merged)``.
+    """
+    packed.sort(axis=-1)
+    return 1 - (packed & 1), packed >> 1
+
+
+def _fused_pointer_merge_rounds(
+    acc: BatchCounters,
+    take_a: BoolArray,
+    a_ptr: IntArray,
+    a_end: IntArray,
+    b_ptr: IntArray,
+    b_end: IntArray,
+    E: int,
+    length: int,
+    read_policy: str,
+) -> None:
+    """Replay :func:`batched_pointer_merge_profile`'s rounds in closed form.
+
+    ``take_a`` is ``(tiles, u, E)``: the merge decision each thread makes
+    at each of its ``E`` steps (known up front from the packed-sort
+    tags).  Pointer trajectories then collapse to cumulative sums —
+    after step ``j`` a thread has consumed ``csum[j]`` A elements and
+    ``j + 1 - csum[j]`` B elements — so every round's addresses and
+    active masks are closed-form and the whole merge (initial key loads
+    plus ``E`` advance rounds) folds into one :meth:`BatchCounters
+    .round_many` call, bit-identical to the sequential loop.  Every
+    address stays below ``length``, so the sequential loop's safety
+    clamp is a no-op here and is skipped.
+
+    Under ``bounded`` reads each active lane's address sits inside its
+    own thread's A or B window; windows are pairwise disjoint within a
+    warp (merge-path cuts are nondecreasing, pair regions disjoint), so
+    the accounting runs with ``assume_distinct=True``.
+    """
+    T, u = a_ptr.shape
+    dt: type = np.int32 if length < (1 << 31) else np.int64
+    a_ptr_n = a_ptr.astype(dt)
+    b_ptr_n = b_ptr.astype(dt)
+    a_end_n = a_end.astype(dt)
+    b_end_n = b_end.astype(dt)
+    # Round-major layout keeps every pass below contiguous: step j of
+    # all lanes lives in one (T, u) slab.
+    take_aE = np.ascontiguousarray(take_a.transpose(2, 0, 1))
+    # Slab-wise running sum: ~13x faster than np.cumsum(axis=0) with its
+    # per-element bool->int cast.
+    csum = np.empty((E, T, u), dtype=dt)
+    np.copyto(csum[0], take_aE[0])
+    for j in range(1, E):
+        np.add(csum[j - 1], take_aE[j], out=csum[j])
+    pa = a_ptr_n[None] + csum
+    # Reuse csum's buffer for pb = b_ptr + (step - csum).
+    np.subtract(np.arange(1, E + 1, dtype=dt)[:, None, None], csum, out=csum)
+    pb = csum
+    pb += b_ptr_n[None]
+    with ENGINE_ARENA.lease((E + 2, T, u), dt) as rounds, ENGINE_ARENA.lease(
+        (E + 2, T, u), np.bool_
+    ) as lives:
+        rounds[0] = a_ptr_n
+        rounds[1] = b_ptr_n
+        np.copyto(lives[0], a_ptr_n < a_end_n)
+        np.copyto(lives[1], b_ptr_n < b_end_n)
+        if read_policy == "always":
+            np.copyto(rounds[2:], pb)
+            np.copyto(rounds[2:], pa, where=take_aE)
+            np.less(pb, b_end_n[None], out=lives[2:])
+            in_a_range = pa < a_end_n[None]
+            np.copyto(lives[2:], in_a_range, where=take_aE)
+            np.copyto(
+                rounds[2:],
+                np.maximum(b_end_n - 1, 0)[None],
+                where=~(lives[2:] | take_aE),
+            )
+            np.copyto(
+                rounds[2:],
+                np.maximum(a_end_n - 1, 0)[None],
+                where=take_aE & ~in_a_range,
+            )
+            lives[2:] = True
+            acc.round_many(rounds, lives, kind="read")
+        else:
+            # Select per-lane pointer and liveness with arithmetic
+            # blends (masked copyto is far slower than full passes).
+            in_a = pa < a_end_n[None]
+            in_b = pb < b_end_n[None]
+            np.logical_xor(in_a, in_b, out=in_a)
+            np.logical_and(in_a, take_aE, out=in_a)
+            np.logical_xor(in_b, in_a, out=lives[2:])
+            np.subtract(pa, pb, out=pa)
+            np.multiply(pa, take_aE, out=pa)
+            np.add(pb, pa, out=rounds[2:])
+            acc.round_many(rounds, lives, kind="read", assume_distinct=True)
+
+
 def batched_serial_merge_profile(
     pairs: Sequence[tuple[npt.ArrayLike, npt.ArrayLike]],
     E: int,
@@ -356,24 +813,50 @@ def batched_serial_merge_profile(
     """Batched :func:`repro.mergesort.fast.serial_merge_profile`.
 
     Profiles every (A, B) pair's baseline serial merge in one vectorized
-    pass: merge-path splits are computed per tile (identical to
-    :func:`~repro.mergesort.merge_path.block_split_from_merge_path`),
-    then one batched pointer merge covers all tiles."""
+    pass.  When every tile's halves are sorted (the contract real merge
+    inputs satisfy) and values survive key packing, the fused path runs:
+    one packed-key sort yields the merge decisions, the merge-path cuts
+    fall out of a prefix sum over the source tags, and all pointer-merge
+    rounds fold into a single stacked accounting pass.  Otherwise the
+    original bisection + sequential pointer loop runs — both paths are
+    bit-identical to the scalar profile per tile."""
+    if read_policy not in ("bounded", "always"):
+        raise ParameterError(f"unknown read_policy {read_policy!r}")
     backing, n_a, total = _stack_pairs(pairs, E)
     u = total // E
     if u % w:
         raise ParameterError(f"thread count {u} must be a multiple of w = {w}")
-    a_off = _batched_block_cuts(backing, n_a, E, u)
+    T = backing.shape[0]
+    diag = (np.arange(u, dtype=np.int64) * E)[None, :]
+    fused = _values_packable(backing) and _halves_sorted(backing, n_a)
+    _FUSION.note_profile("merges", fused)
+    if fused:
+        tag = (
+            np.arange(total, dtype=np.int64)[None, :] >= n_a[:, None]
+        ).astype(np.int64)
+        from_a, _ = _packed_merge_tags(backing * 2 + tag)
+        take_a = from_a.reshape(T, u, E) != 0
+        # Cut at diagonal i*E = #A outputs before thread i; whole-row
+        # prefix sums collapse to per-thread tag counts.
+        cnt = take_a.sum(axis=2, dtype=np.int64)
+        a_off = np.cumsum(cnt, axis=1) - cnt
+    else:
+        a_off = _batched_block_cuts(backing, n_a, E, u)
     # a_end[i] = next thread's cut; the last thread ends at |A|.
     a_end = np.empty_like(a_off)
     a_end[:, :-1] = a_off[:, 1:]
     a_end[:, -1] = n_a
-    diag = (np.arange(u, dtype=np.int64) * E)[None, :]
     b_ptr = n_a[:, None] + (diag - a_off)
     b_end = n_a[:, None] + (diag + E) - a_end
-    acc = batched_pointer_merge_profile(
-        backing, a_off, a_end, b_ptr, b_end, E, w, read_policy=read_policy
-    )
+    if fused:
+        acc = BatchCounters(T, u, w)
+        _fused_pointer_merge_rounds(
+            acc, take_a, a_off, a_end, b_ptr, b_end, E, total, read_policy
+        )
+    else:
+        acc = batched_pointer_merge_profile(
+            backing, a_off, a_end, b_ptr, b_end, E, w, read_policy=read_policy
+        )
     return acc.to_counters()
 
 
@@ -389,7 +872,15 @@ def batched_search_profile(
     ``mapped=True`` routes the counted addresses through the CF layout
     via the cached ``rho`` plan (position -> address table) instead of
     per-element Python calls; the search trajectory itself reads plain
-    values, exactly like the scalar profile."""
+    values, exactly like the scalar profile.
+
+    When the tiles' halves are sorted and values survive key packing,
+    the bisections are *replayed* instead of executed: the final cuts
+    come from one packed-key sort, and along the real probe path every
+    branch outcome equals ``cut > mid`` (each branch keeps
+    ``lo <= cut <= hi``), so the probe addresses and live masks are
+    reproduced exactly with no data reads, and all probe rounds fold
+    into one stacked accounting pass."""
     backing, n_a, total = _stack_pairs(pairs, E)
     T = backing.shape[0]
     u = total // E
@@ -399,6 +890,19 @@ def batched_search_profile(
     fwd = np.asarray(get_plan("rho", total, E, w)["fwd"]) if mapped else None
     last = total - 1
 
+    fused = _values_packable(backing) and _halves_sorted(backing, n_a)
+    _FUSION.note_profile("searches", fused)
+    cuts: IntArray | None = None
+    if fused:
+        tag = (
+            np.arange(total, dtype=np.int64)[None, :] >= n_a_col
+        ).astype(np.int64)
+        from_a, _ = _packed_merge_tags(backing * 2 + tag)
+        cnt = from_a.reshape(T, u, E).sum(axis=2, dtype=np.int64)
+        cuts = np.cumsum(cnt, axis=1) - cnt
+
+    rounds_addr: list[IntArray] = []
+    rounds_live: list[BoolArray] = []
     diag = (np.arange(u, dtype=np.int64) * E)[None, :]
     lo = np.maximum(0, np.broadcast_to(diag - n_b_col, (T, u))).astype(np.int64)
     hi = np.minimum(np.broadcast_to(diag, (T, u)), n_a_col).astype(np.int64)
@@ -420,25 +924,35 @@ def batched_search_profile(
             b_addr = n_a_col + np.minimum(
                 np.maximum(b_idx, 0), np.maximum(n_b_col - 1, 0)
             )
-        acc.round(a_addr, live)
-        acc.round(b_addr, live)
-        a_val = _take(
-            backing,
-            np.minimum(
-                np.minimum(np.maximum(mid, 0), np.maximum(n_a_col - 1, 0)), last
-            ),
-        )
-        b_val = _take(
-            backing,
-            np.minimum(
-                n_a_col + np.minimum(np.maximum(b_idx, 0), np.maximum(n_b_col - 1, 0)),
-                last,
-            ),
-        )
-        go_right = a_val <= b_val
+        if cuts is not None:
+            rounds_addr.append(np.broadcast_to(a_addr, (T, u)))
+            rounds_live.append(live)
+            rounds_addr.append(np.broadcast_to(b_addr, (T, u)))
+            rounds_live.append(live)
+            go_right = cuts > mid
+        else:
+            acc.round(a_addr, live)
+            acc.round(b_addr, live)
+            a_val = _take(
+                backing,
+                np.minimum(
+                    np.minimum(np.maximum(mid, 0), np.maximum(n_a_col - 1, 0)), last
+                ),
+            )
+            b_val = _take(
+                backing,
+                np.minimum(
+                    n_a_col
+                    + np.minimum(np.maximum(b_idx, 0), np.maximum(n_b_col - 1, 0)),
+                    last,
+                ),
+            )
+            go_right = a_val <= b_val
         lo = np.where(live & go_right, mid + 1, lo)
         hi = np.where(live & ~go_right, mid, hi)
         live = lo < hi
+    if rounds_addr:
+        acc.round_many(np.stack(rounds_addr), np.stack(rounds_live), kind="read")
     return acc.to_counters()
 
 
@@ -465,7 +979,31 @@ def batched_cf_merge_profile(tiles: int, total: int, E: int, w: int) -> list[Cou
 
 
 def _batched_stage_rounds(acc: BatchCounters, u: int, E: int, kind: str) -> None:
-    """Batched :func:`repro.mergesort.fast._strided_stage_rounds`."""
+    """Batched :func:`repro.mergesort.fast._strided_stage_rounds`.
+
+    With full warps the whole pass folds to one closed-form update from
+    the ``fused_stage`` plan: staging round ``m`` reads ``i*E + m``, a
+    cyclic bank rotation of round 0, so all ``E`` rounds share round 0's
+    cycle/excess profile, every address is distinct (zero broadcasts),
+    and the fold is exact — bit-identical to ``E`` :meth:`~BatchCounters
+    .round` calls (asserted in ``tests/test_engine_batch.py``).
+    """
+    if u % acc.w == 0:
+        plan = get_plan("fused_stage", u, E, acc.w)
+        n_warps = int(np.asarray(plan["n_warps"])[0])
+        cycles = int(np.asarray(plan["cycles"])[0])
+        excess = int(np.asarray(plan["excess"])[0])
+        if kind == "read":
+            acc.shared_read_rounds += E * n_warps
+            # Every staged address is distinct: no broadcast reads.
+        else:
+            acc.shared_write_rounds += E * n_warps
+        acc.shared_requests += E * u
+        acc.shared_cycles += E * cycles
+        acc.shared_replays += E * (cycles - n_warps)
+        acc.shared_excess += E * excess
+        _FUSION.note_stage(E)
+        return
     base = np.asarray(get_plan("stage", u, E, acc.w)["base"])
     ones = np.ones((1, u), dtype=bool)
     for m in range(E):
@@ -483,10 +1021,17 @@ def batched_blocksort_profile(
     """Batched :func:`repro.mergesort.fast.blocksort_profile`.
 
     ``tiles`` is ``(n_tiles, u*E)``; each tile's counters equal the
-    scalar profile on its row.  The per-pair merge-path searches count
-    their traffic *and* yield the split cuts in the same vectorized
-    loop (the scalar path recomputes the cuts separately — the loop
-    trajectory is identical, so the cuts are too)."""
+    scalar profile on its row.
+
+    When values survive key packing (the common case), each merge level
+    runs *fused*: one packed-key sort per level advances the data **and**
+    yields every thread's merge-path cut (a prefix sum over source tags)
+    and merge decisions.  The per-pair bisections are then replayed
+    without data reads (branch outcome ``== cut > mid`` along the real
+    probe path) and folded — with the closed-form pointer-merge rounds —
+    into stacked accounting passes; staging rounds fold analytically.
+    Otherwise the original per-round loop runs.  Both paths are
+    bit-identical to the scalar profile per tile."""
     tiles = np.asarray(tiles, dtype=np.int64)
     if tiles.ndim != 2:
         raise ParameterError("batched blocksort expects a (tiles, u*E) array")
@@ -498,10 +1043,160 @@ def batched_blocksort_profile(
         raise ParameterError(f"thread count {u} must be a power-of-two multiple of w")
     if variant not in ("thrust", "cf"):
         raise ParameterError(f"unknown variant {variant!r}")
+    if read_policy not in ("bounded", "always"):
+        raise ParameterError(f"unknown read_policy {read_policy!r}")
     if variant == "cf" and not coprime(w, E):
         raise ParameterError("fast cf blocksort profile requires coprime w, E")
 
     acc = BatchCounters(T, u, w)
+    pack_dtype = _pack_dtype(tiles)
+    _FUSION.note_profile("blocksorts", pack_dtype is not None)
+    if pack_dtype is not None:
+        _fused_blocksort_rounds(
+            acc, tiles, E, w, u, variant, read_policy, pack_dtype
+        )
+    else:
+        _looped_blocksort_rounds(acc, tiles, E, w, u, variant, read_policy)
+    return acc.to_counters()
+
+
+def _fused_blocksort_rounds(
+    acc: BatchCounters,
+    tiles: IntArray,
+    E: int,
+    w: int,
+    u: int,
+    variant: str,
+    read_policy: str,
+    pack_dtype: type,
+) -> None:
+    """All blocksort rounds via per-level packed sorts + stacked accounting."""
+    T, L = tiles.shape
+
+    # Phase 1: load E contiguous words per thread, sort in registers.
+    _batched_stage_rounds(acc, u, E, kind="read")
+    # The packed keys persist across levels: each level adds its own B
+    # tags to the (tag-cleared) keys, sorts pair regions in place, and
+    # clears the tag bit again — ``2 * merged`` is exactly the sorted
+    # keys with the low bit dropped, so no unpack/repack pass is needed.
+    # ``pack_dtype`` narrows to int32 whenever the value range allows,
+    # roughly tripling sort throughput.
+    packed = np.sort(
+        tiles.astype(pack_dtype, copy=False).reshape(T, u, E), axis=2
+    ).reshape(T, L)
+    packed *= 2
+
+    g, level = 1, 0
+    while g < u:
+        region = 2 * g * E
+        half = g * E
+        plan = get_plan("fused_level", u, E, w, level=level)
+        pbase = np.asarray(plan["pbase"])
+        diag = np.asarray(plan["diag"])
+        pair_last = np.asarray(plan["pair_last"])
+        tag = np.asarray(plan["tag"])
+
+        # Staging writes (same residue rounds for both variants).
+        _batched_stage_rounds(acc, u, E, kind="write")
+
+        # One packed sort per level: merge decisions from the low bit
+        # (stable, ties to A), and (via per-thread tag counts) every
+        # thread's merge-path cut.
+        n_pairs = L // region
+        packed += tag.astype(pack_dtype)[None, :]
+        packed.reshape(T, n_pairs, region).sort(axis=2)
+        take_a = (packed.reshape(T, u, E) & 1) == 0
+        # pbase + diag == tid*E, and the cut is the count of A-half
+        # outputs between the pair's base and the thread's diagonal;
+        # per-thread counts + a (T, u) prefix replace a (T, L) one.
+        cnt = take_a.sum(axis=2, dtype=np.int64)
+        excl = np.cumsum(cnt, axis=1) - cnt
+        a_off = excl - excl[:, pbase // E]
+
+        # Replay the per-pair bisections: along the real probe path the
+        # branch taken at ``mid`` is exactly ``cut > mid``, so the probe
+        # addresses and live masks reproduce with no data reads.  The
+        # whole replay runs in int32 (addresses < L < 2^31 by packing),
+        # writing straight into leased round buffers sized by the worst
+        # bisection depth.
+        pbase32 = pbase.astype(np.int32)
+        diag32 = diag.astype(np.int32)
+        cut32 = a_off.astype(np.int32)
+        lo = np.broadcast_to(np.asarray(plan["lo"]), (T, u)).astype(np.int32)
+        hi = np.broadcast_to(np.asarray(plan["hi"]), (T, u)).astype(np.int32)
+        max_rounds = 2 * int(np.max(np.asarray(plan["hi"]) - np.asarray(plan["lo"]))).bit_length()
+        live = lo < hi
+        if max_rounds and live.any():
+            if variant == "cf":
+                b_base = pbase32 + np.int32(region - 1)
+            else:
+                b_base = pbase32 + np.int32(half)
+            with ENGINE_ARENA.lease(
+                (max_rounds, T, u), np.int32
+            ) as probes, ENGINE_ARENA.lease(
+                (max_rounds, T, u), np.bool_
+            ) as probe_live:
+                it = 0
+                while live.any():
+                    mid = (lo + hi) // 2
+                    b_idx = np.clip(diag32 - 1 - mid, 0, half - 1)
+                    np.add(pbase32, mid, out=probes[2 * it])
+                    if variant == "cf":
+                        np.subtract(b_base, b_idx, out=probes[2 * it + 1])
+                    else:
+                        np.add(b_base, b_idx, out=probes[2 * it + 1])
+                    probe_live[2 * it] = live
+                    probe_live[2 * it + 1] = live
+                    go_right = cut32 > mid
+                    lo = np.where(live & go_right, mid + 1, lo)
+                    hi = np.where(live & ~go_right, mid, hi)
+                    live = lo < hi
+                    it += 1
+                acc.round_many(probes[: 2 * it], probe_live[: 2 * it], kind="read")
+
+        # Merges.
+        if variant == "thrust":
+            a_end = np.empty_like(a_off)
+            a_end[:, :-1] = a_off[:, 1:]
+            a_end[:, -1] = 0
+            a_end = np.where(pair_last, half, a_end)
+            _fused_pointer_merge_rounds(
+                acc,
+                take_a,
+                pbase + a_off,
+                pbase + a_end,
+                pbase + half + (diag - a_off),
+                pbase + half + (diag - a_off) + (E - (a_end - a_off)),
+                E,
+                L,
+                read_policy,
+            )
+        else:
+            # CF gather: E conflict-free read rounds per warp, per tile.
+            n_warps = u // w
+            acc.shared_read_rounds += E * n_warps
+            acc.shared_cycles += E * n_warps
+            acc.shared_requests += E * u
+
+        np.bitwise_and(packed, -2, out=packed)
+        g *= 2
+        level += 1
+
+    # Final staging pass.
+    _batched_stage_rounds(acc, u, E, kind="write")
+
+
+def _looped_blocksort_rounds(
+    acc: BatchCounters,
+    tiles: IntArray,
+    E: int,
+    w: int,
+    u: int,
+    variant: str,
+    read_policy: str,
+) -> None:
+    """The original per-round blocksort loop (non-packable value fallback)."""
+    T, L = tiles.shape
     tids = np.arange(u, dtype=np.int64)
     last = L - 1
 
@@ -572,7 +1267,6 @@ def batched_blocksort_profile(
 
     # Final staging pass.
     _batched_stage_rounds(acc, u, E, kind="write")
-    return acc.to_counters()
 
 
 # --------------------------------------------------------------- k-way merge
@@ -728,12 +1422,13 @@ def batched_kway_merge_profile(
     stacked_active = np.stack(active_mats)
     T = len(groups)
     acc = BatchCounters(T, u, w)
-    for s in range(stacked_addr.shape[2]):
-        acc.round(stacked_addr[:, :, s], stacked_active[:, :, s], "read")
+    # Every gather slot and every scatter round folds into one stacked
+    # accounting pass each (bit-identical: the per-round fold commutes).
+    acc.round_many(
+        stacked_addr.transpose(2, 0, 1), stacked_active.transpose(2, 0, 1), "read"
+    )
     scatter = np.asarray(get_plan("scatter", total, E, w)["addr"])  # (E, u)
-    ones = np.ones((T, u), dtype=bool)
-    for j in range(E):
-        acc.round(np.broadcast_to(scatter[j], (T, u)), ones, "write")
+    acc.round_many(np.broadcast_to(scatter[:, None, :], (E, T, u)), None, "write")
     ops_per_row = int(np.asarray(get_plan("oddeven", E, 0, 1)["lo"]).shape[0])
     out = acc.to_counters()
     for c in out:

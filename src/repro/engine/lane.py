@@ -11,19 +11,21 @@ collapsed into vectorized launches.
 from __future__ import annotations
 
 from collections import OrderedDict
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ContextManager, Sequence
+from typing import TYPE_CHECKING, ContextManager, Iterator, Sequence
 
 import numpy as np
 import numpy.typing as npt
 
+from repro.engine.arena import arena_stats
 from repro.engine.batch import (
     batched_blocksort_profile,
     batched_cf_merge_profile,
     batched_kway_merge_profile,
     batched_search_profile,
     batched_serial_merge_profile,
+    fusion_stats,
 )
 from repro.sim.counters import Counters
 
@@ -45,10 +47,56 @@ RunGroup = Sequence[npt.ArrayLike]
 
 @dataclass
 class EngineStats:
-    """What one lane invocation did: items in, vectorized passes out."""
+    """What one lane invocation did: items in, vectorized passes out.
+
+    The fusion/arena fields are before/after deltas of the process-global
+    :func:`~repro.engine.batch.fusion_stats` and
+    :func:`~repro.engine.arena.arena_stats` counters around each batched
+    pass, so they attribute exactly this invocation's folded rounds and
+    scratch checkouts (``arena_peak_bytes`` is the global high-water mark
+    observed, not a delta).
+    """
 
     items: int = 0
     passes: int = 0
+    fused_stage_passes: int = 0
+    rounds_folded: int = 0
+    arena_checkouts: int = 0
+    arena_reuse_hits: int = 0
+    arena_peak_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Every counter as a plain ``name -> int`` mapping."""
+        return {
+            "items": self.items,
+            "passes": self.passes,
+            "fused_stage_passes": self.fused_stage_passes,
+            "rounds_folded": self.rounds_folded,
+            "arena_checkouts": self.arena_checkouts,
+            "arena_reuse_hits": self.arena_reuse_hits,
+            "arena_peak_bytes": self.arena_peak_bytes,
+        }
+
+
+@contextmanager
+def _stats_scope(stats: EngineStats | None, n_items: int) -> Iterator[None]:
+    """Account one batched pass into ``stats`` (no-op when ``None``)."""
+    if stats is None:
+        yield
+        return
+    f0, a0 = fusion_stats(), arena_stats()
+    yield
+    f1, a1 = fusion_stats(), arena_stats()
+    stats.items += n_items
+    stats.passes += 1
+    stats.fused_stage_passes += int(f1["stage_passes"] - f0["stage_passes"])
+    stats.rounds_folded += int(
+        (f1["rounds_folded"] - f0["rounds_folded"])
+        + (f1["stage_rounds_folded"] - f0["stage_rounds_folded"])
+    )
+    stats.arena_checkouts += int(a1["checkouts"] - a0["checkouts"])
+    stats.arena_reuse_hits += int(a1["reuse_hits"] - a0["reuse_hits"])
+    stats.arena_peak_bytes = max(stats.arena_peak_bytes, int(a1["peak_bytes"]))
 
 
 def _span(
@@ -84,15 +132,12 @@ def profile_searches(
         with _span(
             tracer, f"engine.search x{len(idxs)}",
             {"tiles": len(idxs), "total": total, "mapped": mapped},
-        ):
+        ), _stats_scope(stats, len(idxs)):
             results = batched_search_profile(
                 [pairs[i] for i in idxs], E, w, mapped=mapped
             )
         for i, c in zip(idxs, results):
             out[i] = c
-        if stats is not None:
-            stats.items += len(idxs)
-            stats.passes += 1
     return out
 
 
@@ -111,15 +156,12 @@ def profile_serial_merges(
         with _span(
             tracer, f"engine.merge x{len(idxs)}",
             {"tiles": len(idxs), "total": total},
-        ):
+        ), _stats_scope(stats, len(idxs)):
             results = batched_serial_merge_profile(
                 [pairs[i] for i in idxs], E, w, read_policy=read_policy
             )
         for i, c in zip(idxs, results):
             out[i] = c
-        if stats is not None:
-            stats.items += len(idxs)
-            stats.passes += 1
     return out
 
 
@@ -137,13 +179,10 @@ def profile_cf_merges(
         with _span(
             tracer, f"engine.cf-merge x{len(idxs)}",
             {"tiles": len(idxs), "total": total},
-        ):
+        ), _stats_scope(stats, len(idxs)):
             results = batched_cf_merge_profile(len(idxs), total, E, w)
         for i, c in zip(idxs, results):
             out[i] = c
-        if stats is not None:
-            stats.items += len(idxs)
-            stats.passes += 1
     return out
 
 
@@ -173,15 +212,12 @@ def profile_kway_merges(
         with _span(
             tracer, f"engine.kway-merge x{len(idxs)}",
             {"tiles": len(idxs), "k": k, "total": total, "schedule": schedule},
-        ):
+        ), _stats_scope(stats, len(idxs)):
             results = batched_kway_merge_profile(
                 [groups[i] for i in idxs], E, w, schedule=schedule
             )
         for i, c in zip(idxs, results):
             out[i] = c
-        if stats is not None:
-            stats.items += len(idxs)
-            stats.passes += 1
     return out
 
 
@@ -205,13 +241,10 @@ def profile_blocksorts(
         with _span(
             tracer, f"engine.blocksort x{len(idxs)}",
             {"tiles": len(idxs), "length": length, "variant": variant},
-        ):
+        ), _stats_scope(stats, len(idxs)):
             results = batched_blocksort_profile(
                 stack, E, w, variant, read_policy=read_policy
             )
         for i, c in zip(idxs, results):
             out[i] = c
-        if stats is not None:
-            stats.items += len(idxs)
-            stats.passes += 1
     return out

@@ -15,7 +15,26 @@ splitter ranks (``sample_splitters``) key on the actual fan-in, so a
 ``k=2`` and a ``k=4`` schedule of the same geometry never collide.  The
 columns layer reuses ``k`` as a column/field count for its
 composite-key packing (``key_pack``) and fused payload permutation
-(``payload_gather``) plans.
+(``payload_gather``) plans, and the fused layout permutation
+(``fused_take``) reuses it as ``|A|``.  The ``level`` component is the
+blocksort merge level for the per-level fused geometry
+(``fused_level``); every other kind leaves it at 0, so pre-existing
+keys are unchanged.
+
+The *fused* kinds collapse multi-pass index arithmetic into single
+precomputed permutations (the Afshani–Sitchinava framing: conflict-free
+execution *is* applying a precomputed permutation):
+
+- ``fused_take`` composes ``pi`` (B reversal), ``rho`` (partition
+  shift) and the gather into one ``take``/``put`` permutation pair —
+  one NumPy fancy-index pass instead of three.
+- ``fused_stage`` reduces the ``E`` thread-contiguous staging rounds to
+  one closed-form counter fold (round ``m`` is a cyclic bank rotation
+  of round 0, so every round's conflict profile is round 0's).
+- ``fused_level`` precomputes one blocksort merge level's entire
+  per-thread geometry (pair bases, diagonals, bisection bounds, B-half
+  tags) so the batched engine replays a level without per-round index
+  recomputation.
 
 Plans are immutable by contract: every array is stored with its NumPy
 write flag cleared, so an accidental in-place mutation raises instead of
@@ -57,8 +76,10 @@ class PlanKey:
     ``tids``/``stage``/``oddeven``, element count for ``rho``/``scatter``),
     ``d = GCD(w, E)`` rides along explicitly so keys self-describe the
     residue structure the arrays encode.  ``k`` is the merge width for
-    k-way plans (``kway_rounds``/``sample_splitters``); pairwise plans
-    keep the default 0, so every pre-existing key is unchanged.
+    k-way plans (``kway_rounds``/``sample_splitters``) and ``|A|`` for
+    the fused layout permutation (``fused_take``); ``level`` is the
+    blocksort merge level for ``fused_level``.  Pairwise plans keep the
+    defaults 0, so every pre-existing key is unchanged.
     """
 
     n: int
@@ -67,6 +88,7 @@ class PlanKey:
     d: int
     kind: str
     k: int = 0
+    level: int = 0
 
 
 @dataclass(frozen=True)
@@ -98,13 +120,13 @@ def _frozen(arr: npt.NDArray[np.int64] | npt.NDArray[np.bool_]) -> PlanArray:
     return out
 
 
-def _build_tids(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_tids(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """Thread-id vector + all-active mask for ``n`` threads."""
     tids = np.arange(n, dtype=np.int64)
     return {"tids": _frozen(tids), "ones": _frozen(np.ones(n, dtype=bool))}
 
 
-def _build_stage(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_stage(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """Thread-contiguous staging bases: round ``m`` touches ``base + m``."""
     tids = np.arange(n, dtype=np.int64)
     return {
@@ -114,7 +136,7 @@ def _build_stage(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     }
 
 
-def _build_rho(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_rho(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """The ``rho`` position->address permutation over an ``n``-word layout.
 
     ``fwd[p]`` is the shared-memory address of position ``p``;
@@ -140,7 +162,7 @@ def _build_rho(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     return {"fwd": _frozen(fwd), "inv": _frozen(inv)}
 
 
-def _build_scatter(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_scatter(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """CF scatter addresses over an ``n = u*E`` tile.
 
     ``addr[j, i] == rho(i*E + j)`` — round ``j``, thread ``i`` — matching
@@ -149,12 +171,12 @@ def _build_scatter(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     if n % E:
         raise ParameterError(f"scatter plan size {n} not a multiple of E={E}")
     u = n // E
-    fwd = _build_rho(n, E, w, k)["fwd"]
+    fwd = _build_rho(n, E, w, k, level)["fwd"]
     addr = np.asarray(fwd).reshape(u, E).T
     return {"addr": _frozen(np.ascontiguousarray(addr)), "fwd": fwd}
 
 
-def _build_oddeven(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_oddeven(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """The odd-even transposition network for rows of length ``n``.
 
     ``lo``/``hi`` concatenate every phase's compare-exchange pairs;
@@ -177,7 +199,7 @@ def _build_oddeven(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     }
 
 
-def _build_kway_rounds(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_kway_rounds(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """The staged k-way gather schedule: ``k*E`` slots of ``(run, residue)``.
 
     Slot ``s`` gathers, for every thread at once, the element of run
@@ -194,7 +216,7 @@ def _build_kway_rounds(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     return {"run": _frozen(runs), "resid": _frozen(resid)}
 
 
-def _build_key_pack(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_key_pack(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """Composite-key packing shifts for ``k`` fields of ``E`` bits each.
 
     The columns layer packs ``k`` per-column codes of a uniform bit
@@ -216,7 +238,7 @@ def _build_key_pack(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
     return {"shift": _frozen(shift), "mask": _frozen(mask)}
 
 
-def _build_payload_gather(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_payload_gather(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """Fused payload-gather bases for ``k`` columns of ``n`` rows each.
 
     Applying one sort permutation to every payload column of a table is
@@ -234,7 +256,7 @@ def _build_payload_gather(n: int, E: int, w: int, k: int) -> dict[str, PlanArray
     return {"cols": _frozen(cols), "col_base": _frozen(cols * n)}
 
 
-def _build_sample_splitters(n: int, E: int, w: int, k: int) -> dict[str, PlanArray]:
+def _build_sample_splitters(n: int, E: int, w: int, k: int, level: int) -> dict[str, PlanArray]:
     """Deterministic sample-sort splitter ranks (Dehne & Zaboli).
 
     For ``k`` buckets with ``E`` (= the oversampling factor ``s``)
@@ -253,6 +275,102 @@ def _build_sample_splitters(n: int, E: int, w: int, k: int) -> dict[str, PlanArr
     return {"idx": _frozen(idx)}
 
 
+def _build_fused_take(
+    n: int, E: int, w: int, k: int, level: int
+) -> dict[str, PlanArray]:
+    """The fused layout permutation: ``pi`` ∘ ``rho`` ∘ gather as one take.
+
+    ``k`` is ``|A|``.  ``put[i]`` is the shared-memory address source
+    element ``i`` of ``A ++ B`` lands at (A keeps its positions, ``pi``
+    reverses B to ``n - 1 - x``, ``rho`` shifts partitions), and
+    ``take`` is its inverse — ``out = src[take]`` builds the whole
+    layout in one fancy-index pass, bit-identical to the three-pass
+    position/shift/scatter composition in
+    :func:`repro.core.layout._apply_layout` (property-tested in
+    ``tests/test_properties_fused.py``).
+    """
+    if not 0 <= k <= n:
+        raise ParameterError(f"fused_take needs 0 <= |A| <= {n}, got |A|={k}")
+    positions = np.empty(n, dtype=np.int64)
+    positions[:k] = np.arange(k, dtype=np.int64)
+    positions[k:] = n - 1 - np.arange(n - k, dtype=np.int64)
+    fwd = np.asarray(_build_rho(n, E, w, k, level)["fwd"])
+    put = fwd[positions]
+    take = np.empty(n, dtype=np.int64)
+    take[put] = np.arange(n, dtype=np.int64)
+    return {"take": _frozen(take), "put": _frozen(put)}
+
+
+def _build_fused_stage(
+    n: int, E: int, w: int, k: int, level: int
+) -> dict[str, PlanArray]:
+    """Closed-form staging-round counters for ``n`` threads.
+
+    A thread-contiguous staging round ``m`` has thread ``i`` touch word
+    ``i*E + m``: every warp's bank multiset is
+    ``{(t*E + m) mod w : t < w}`` — round ``m`` is a cyclic rotation of
+    round 0's multiset, so multiplicities (hence cycles and excess) are
+    identical every round, all ``n`` addresses are distinct (no
+    broadcasts), and ``E`` rounds fold to one closed-form counter
+    update.  Requires full warps (``n % w == 0``), which every staging
+    call site guarantees.
+    """
+    if n < 1 or n % w:
+        raise ParameterError(
+            f"fused_stage needs a positive thread count divisible by w={w}, got {n}"
+        )
+    counts = np.bincount((np.arange(w, dtype=np.int64) * E) % w, minlength=w)
+    n_warps = n // w
+    cycles = n_warps * int(counts.max())
+    excess = n_warps * int(np.maximum(counts - 1, 0).sum())
+    return {
+        "n_warps": _frozen(np.asarray([n_warps], dtype=np.int64)),
+        "cycles": _frozen(np.asarray([cycles], dtype=np.int64)),
+        "excess": _frozen(np.asarray([excess], dtype=np.int64)),
+    }
+
+
+def _build_fused_level(
+    n: int, E: int, w: int, k: int, level: int
+) -> dict[str, PlanArray]:
+    """One blocksort merge level's complete per-thread geometry.
+
+    ``n`` is the thread count ``u`` and ``g = 1 << level`` the run
+    width in threads; each pair of ``g``-thread runs spans
+    ``region = 2*g*E`` words with the B half starting at
+    ``half = g*E``.  ``pbase``/``tau``/``diag``/``lo``/``hi`` replicate
+    the per-level index arithmetic of the batched blocksort
+    (bit-identically), ``pair_last`` marks each pair's last thread, and
+    ``tag`` marks every B-half word of the ``u*E`` layout — the bit the
+    fused packed-key sort carries so one sort yields merged data *and*
+    per-thread merge-path cuts.
+    """
+    if n < 1 or level < 0:
+        raise ParameterError(
+            f"fused_level needs u >= 1 threads and level >= 0, got u={n}, level={level}"
+        )
+    g = 1 << level
+    if 2 * g > n or n % (2 * g):
+        raise ParameterError(
+            f"fused_level level {level} (run width {g}) does not tile u={n} threads"
+        )
+    region = 2 * g * E
+    half = g * E
+    tids = np.arange(n, dtype=np.int64)
+    pbase = (tids * E) // region * region
+    tau = tids - pbase // E
+    diag = tau * E
+    return {
+        "pbase": _frozen(pbase),
+        "tau": _frozen(tau),
+        "diag": _frozen(diag),
+        "lo": _frozen(np.maximum(0, diag - half)),
+        "hi": _frozen(np.minimum(diag, half)),
+        "pair_last": _frozen(tau == (region // E - 1)),
+        "tag": _frozen((np.arange(n * E, dtype=np.int64) % region) // half),
+    }
+
+
 #: kind -> builder.  Builders are pure functions of the key.
 _BUILDERS: dict[str, Callable[[int, int, int, int], dict[str, PlanArray]]] = {
     "tids": _build_tids,
@@ -264,6 +382,9 @@ _BUILDERS: dict[str, Callable[[int, int, int, int], dict[str, PlanArray]]] = {
     "sample_splitters": _build_sample_splitters,
     "key_pack": _build_key_pack,
     "payload_gather": _build_payload_gather,
+    "fused_take": _build_fused_take,
+    "fused_stage": _build_fused_stage,
+    "fused_level": _build_fused_level,
 }
 
 #: The plan kinds the cache can build.
@@ -288,15 +409,18 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._bytes = 0
 
-    def get(self, kind: str, n: int, E: int, w: int, k: int = 0) -> Plan:
-        """Return the plan for ``(n, E, w, gcd(w, E), kind, k)``, building on miss."""
+    def get(
+        self, kind: str, n: int, E: int, w: int, k: int = 0, level: int = 0
+    ) -> Plan:
+        """Return the ``(n, E, w, gcd(w, E), kind, k, level)`` plan, building on miss."""
         builder = _BUILDERS.get(kind)
         if builder is None:
             raise ParameterError(
                 f"unknown plan kind {kind!r} (known: {', '.join(PLAN_KINDS)})"
             )
-        key = PlanKey(n=n, E=E, w=w, d=gcd(w, E), kind=kind, k=k)
+        key = PlanKey(n=n, E=E, w=w, d=gcd(w, E), kind=kind, k=k, level=level)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -306,12 +430,20 @@ class PlanCache:
             self._misses += 1
         # Build outside the lock: builders are pure, so a racing double
         # build is wasted work, never an inconsistency.
-        plan = Plan(key=key, arrays=builder(n, E, w, k))
+        plan = Plan(key=key, arrays=builder(n, E, w, k, level))
         with self._lock:
-            self._plans[key] = plan
+            existing = self._plans.get(key)
+            if existing is not None:
+                # A racing thread built the same key first; keep its copy
+                # so the byte ledger counts every resident plan once.
+                plan = existing
+            else:
+                self._plans[key] = plan
+                self._bytes += plan.nbytes
             self._plans.move_to_end(key)
             while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
+                _, evicted = self._plans.popitem(last=False)
+                self._bytes -= evicted.nbytes
                 self._evictions += 1
         return plan
 
@@ -326,6 +458,7 @@ class PlanCache:
                 "evictions": float(self._evictions),
                 "size": float(len(self._plans)),
                 "capacity": float(self.capacity),
+                "bytes": float(self._bytes),
                 "hit_rate": (hits / total) if total else 0.0,
             }
 
@@ -336,6 +469,7 @@ class PlanCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -346,9 +480,9 @@ class PlanCache:
 PLAN_CACHE = PlanCache()
 
 
-def get_plan(kind: str, n: int, E: int, w: int, k: int = 0) -> Plan:
+def get_plan(kind: str, n: int, E: int, w: int, k: int = 0, level: int = 0) -> Plan:
     """Shorthand for :meth:`PlanCache.get` on the global :data:`PLAN_CACHE`."""
-    return PLAN_CACHE.get(kind, n, E, w, k)
+    return PLAN_CACHE.get(kind, n, E, w, k, level)
 
 
 def plan_cache_stats() -> dict[str, float]:

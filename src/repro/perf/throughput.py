@@ -27,7 +27,6 @@ from repro.config import RTX_2080_TI, DeviceSpec, SortParams
 from repro.engine.lane import profile_cf_merges, profile_searches, profile_serial_merges
 from repro.errors import ParameterError
 from repro.mergesort.blocksort import blocksort_tile
-from repro.mergesort.fast import cf_merge_profile, search_profile, serial_merge_profile
 from repro.mergesort.register_merge import compare_exchange_count_odd_even
 from repro.perf.calibration import DEFAULT_CONSTANTS, CycleConstants
 from repro.perf.cost_model import CostBreakdown, CostModel
@@ -88,10 +87,12 @@ def measure_block_costs(
     """Measure one merge block's (search, merge) shared-memory counters.
 
     Worst-case blocks are deterministic and identical, so one measurement
-    is exact; random blocks are averaged over ``samples`` draws.  The
-    random sample set runs through the batched engine lane
-    (:mod:`repro.engine.lane`) — one vectorized pass per phase instead of
-    ``samples`` per-pair profiles, with bit-identical counters.
+    is exact; random blocks are averaged over ``samples`` draws.  Both
+    workloads run through the batched engine lane
+    (:mod:`repro.engine.lane`) — one fused vectorized pass per phase
+    instead of per-pair Python loops, with bit-identical counters (the
+    lane's cross-validation against :mod:`repro.mergesort.fast` is pinned
+    in ``tests/test_engine_batch.py``).
     """
     if workload not in ("random", "worstcase"):
         raise ParameterError(f"unknown workload {workload!r}")
@@ -103,11 +104,11 @@ def measure_block_costs(
 
     if workload == "worstcase":
         a, b = worstcase_merge_inputs(w, E, u=u)
-        search = search_profile(a, b, E, w, mapped=(variant == "cf"))
+        search = profile_searches([(a, b)], E, w, mapped=(variant == "cf"))[0]
         if variant == "thrust":
-            merge = serial_merge_profile(a, b, E, w)
+            merge = profile_serial_merges([(a, b)], E, w)[0]
         else:
-            merge = cf_merge_profile(a, b, E, w)
+            merge = profile_cf_merges([(a, b)], E, w)[0]
         return search, merge
 
     pairs = [_random_block_pair(rng, total) for _ in range(samples)]

@@ -162,10 +162,14 @@ def _engine_tile(params: dict[str, Any]) -> dict[str, Any]:
     Deterministic per parameters: the per-tile counters are bit-identical
     to the per-tile fast profiles (cross-validated in the engine tests),
     so their sum gates the batched lane in CI like any other counter.
+    The fusion/arena deltas are pure call counts of *this* pass — warm
+    state (arena reuse hits, peak bytes) is deliberately excluded, since
+    it depends on what else ran in the worker process.
     """
     import numpy as np
 
-    from repro.engine.batch import batched_blocksort_profile
+    from repro.engine.arena import arena_stats
+    from repro.engine.batch import batched_blocksort_profile, fusion_stats
     from repro.workloads.generators import uniform_random
     from repro.worstcase.generator import worstcase_full_input
 
@@ -186,10 +190,26 @@ def _engine_tile(params: dict[str, Any]) -> dict[str, Any]:
         )
     else:
         raise ParameterError(f"unknown workload {workload!r}")
+    f0, a0 = fusion_stats(), arena_stats()
     acc = Counters()
     for c in batched_blocksort_profile(rows, E, w, variant):
         acc.merge(c)
-    return {"tiles": n_tiles, "counters": acc.as_dict()}
+    f1, a1 = fusion_stats(), arena_stats()
+    return {
+        "tiles": n_tiles,
+        "counters": acc.as_dict(),
+        "fusion": {
+            "stage_passes": f1["stage_passes"] - f0["stage_passes"],
+            "rounds_folded": (
+                (f1["rounds_folded"] - f0["rounds_folded"])
+                + (f1["stage_rounds_folded"] - f0["stage_rounds_folded"])
+            ),
+            "fused_blocksorts": (
+                f1["fused_blocksorts"] - f0["fused_blocksorts"]
+            ),
+        },
+        "arena": {"checkouts": a1["checkouts"] - a0["checkouts"]},
+    }
 
 
 def _kway_tile(params: dict[str, Any]) -> dict[str, Any]:

@@ -42,6 +42,12 @@ class BatchPolicy:
     shards:
         Worker shards batches are distributed over (``batch_id mod
         shards``, so placement is deterministic).
+    coalesce_backends:
+        Backends whose under-capacity flushes the scheduler may *retain*
+        across flush boundaries: when another backend triggers a flush,
+        a still-filling batch for one of these backends stays pending
+        (until it fills or its oldest request ages ``max_wait_s``), so
+        the batched engine lane sees maximal same-shape batches.
     """
 
     max_batch_tiles: int = 4
@@ -49,6 +55,7 @@ class BatchPolicy:
     max_wait_s: float = 0.05
     queue_capacity: int = 1024
     shards: int = 2
+    coalesce_backends: tuple[str, ...] = ("cf-batched", "cf-cluster")
 
     def __post_init__(self) -> None:
         """Validate every knob's domain."""
@@ -57,6 +64,15 @@ class BatchPolicy:
                 raise ParameterError(f"{name} must be >= 1, got {getattr(self, name)}")
         if self.max_wait_s <= 0:
             raise ParameterError(f"max_wait_s must be > 0, got {self.max_wait_s}")
+        names = tuple(self.coalesce_backends)
+        for backend in names:
+            if not isinstance(backend, str) or not backend or (
+                not backend.replace("-", "_").isidentifier()
+            ):
+                raise ParameterError(
+                    f"coalesce_backends entries must be backend names, got {backend!r}"
+                )
+        object.__setattr__(self, "coalesce_backends", names)
 
     def capacity_elements(self, params: SortParams) -> int:
         """Batch capacity in elements: ``max_batch_tiles`` whole tiles."""

@@ -31,8 +31,8 @@ __all__ = ["BatchRecord", "ServiceMetrics", "METRICS_SCHEMA"]
 
 #: Versioned so dashboards can evolve with the snapshot shape.
 #: 2 added the ``engine.plan_cache`` section; 3 added ``cluster``;
-#: 4 added ``replay``.
-METRICS_SCHEMA = 4
+#: 4 added ``replay``; 5 added ``engine.arena`` and ``engine.fusion``.
+METRICS_SCHEMA = 5
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,8 @@ class ServiceMetrics:
         # module-level import here would be a cycle (and repro.replay
         # replays *through* the service).
         from repro.cluster.stats import cluster_stats
+        from repro.engine.arena import arena_stats
+        from repro.engine.batch import fusion_stats
         from repro.replay.stats import replay_stats
 
         with self._lock:
@@ -182,7 +184,11 @@ class ServiceMetrics:
                     ),
                 },
                 "counters": self._counters.as_dict(),
-                "engine": {"plan_cache": plan_cache_stats()},
+                "engine": {
+                    "plan_cache": plan_cache_stats(),
+                    "arena": arena_stats(),
+                    "fusion": fusion_stats(),
+                },
                 "cluster": cluster_stats(),
                 "replay": replay_stats(),
                 "modeled": {

@@ -14,6 +14,12 @@ spent on a result nobody is waiting for — and the survivors are split
 into per-backend :class:`~repro.service.batching.MicroBatch` units by
 :func:`~repro.service.batching.plan_batches` and handed to
 ``on_batch``.
+
+Backends named in :attr:`BatchPolicy.coalesce_backends` additionally
+coalesce *across* flush boundaries: an under-capacity group whose oldest
+request is still younger than ``max_wait_s`` is retained in the pending
+set instead of dispatched, so the batched engine lane receives maximal
+same-shape batches.  Close-time flushes force-dispatch everything.
 """
 
 from __future__ import annotations
@@ -101,8 +107,50 @@ class BatchScheduler:
         oldest = pending[0].submitted_at
         return now - oldest >= self._policy.max_wait_s
 
-    def _flush(self, pending: list[PendingRequest]) -> None:
-        """Expire the dead, batch the rest, dispatch via ``on_batch``."""
+    def _retain_for_coalescing(
+        self, live: list[PendingRequest], now: float, force: bool
+    ) -> tuple[list[PendingRequest], list[PendingRequest]]:
+        """Split ``live`` into (dispatch-now, retain-across-flush) sets.
+
+        A coalescible backend's whole pending group is retained when it
+        is still under both capacity triggers and its oldest request is
+        younger than ``max_wait_s`` — the next flush sees it again,
+        merged with newer same-backend arrivals, so the engine lane gets
+        maximal same-shape batches.  ``force`` (close-time) dispatches
+        everything.
+        """
+        if force or not self._policy.coalesce_backends:
+            return live, []
+        capacity = self._policy.capacity_elements(self._params)
+        groups: dict[str, list[PendingRequest]] = {}
+        for item in live:
+            groups.setdefault(item.request.backend, []).append(item)
+        retained_set = set()
+        for backend, group in groups.items():
+            if backend not in self._policy.coalesce_backends:
+                continue
+            elements = sum(p.request.elements for p in group)
+            aged = now - group[0].submitted_at >= self._policy.max_wait_s
+            if (
+                not aged
+                and elements < capacity
+                and len(group) < self._policy.max_batch_requests
+            ):
+                retained_set.update(id(p) for p in group)
+        dispatch = [p for p in live if id(p) not in retained_set]
+        retained = [p for p in live if id(p) in retained_set]
+        return dispatch, retained
+
+    def _flush(
+        self, pending: list[PendingRequest], *, force: bool = False
+    ) -> list[PendingRequest]:
+        """Expire the dead, batch the rest, dispatch via ``on_batch``.
+
+        Returns the requests *retained* for cross-flush coalescing
+        (under-capacity groups of :attr:`BatchPolicy.coalesce_backends`
+        still younger than ``max_wait_s``); the loop keeps them pending.
+        Batch ids advance only on dispatch, never for retained groups.
+        """
         flush_time = time.monotonic()
         live: list[PendingRequest] = []
         for item in pending:
@@ -110,8 +158,9 @@ class BatchScheduler:
                 self._on_expired(item, flush_time)
             else:
                 live.append(item)
+        live, retained = self._retain_for_coalescing(live, flush_time, force)
         if not live:
-            return
+            return retained
         by_id = {item.request.request_id: item for item in live}
         batches = plan_batches(
             [item.request for item in live],
@@ -135,6 +184,7 @@ class BatchScheduler:
                     r.request_id: by_id[r.request_id] for r in batch.requests
                 }
                 self._on_batch(batch, members, flush_time)
+        return retained
 
     def _loop(self) -> None:
         """Accumulate-and-flush until the close sentinel arrives."""
@@ -162,5 +212,6 @@ class BatchScheduler:
                 self._should_flush(pending, now)
                 or (closing and self._queue.empty())
             ):
-                self._flush(pending)
-                pending = []
+                pending = self._flush(
+                    pending, force=closing and self._queue.empty()
+                )

@@ -66,9 +66,88 @@ def _profile_payload(run: ProfiledRun) -> dict[str, Any]:
     return payload
 
 
+def _profile_engine(args: argparse.Namespace) -> str:
+    """``repro profile engine``: fusion + arena accounting, cold vs warm.
+
+    Runs the same deterministic blocksort sweep twice through the batched
+    lane — the first (cold) pass pays the plan builds and arena
+    allocations, the second (warm) pass shows the reuse — and reports the
+    fused-pass counters and arena reuse rate.  Everything printed is a
+    call count or byte total (no wall clock), so the artifact is
+    byte-stable across runs.
+    """
+    import numpy as np
+
+    from repro.engine.arena import ENGINE_ARENA, arena_stats
+    from repro.engine.batch import fusion_stats, reset_fusion_stats
+    from repro.engine.lane import EngineStats, profile_blocksorts
+
+    w = args.w if args.w else PROFILE_DEFAULT_W
+    E = args.E if args.E else PROFILE_DEFAULT_E
+    u, n_tiles = 4 * w, 16
+    rng = np.random.default_rng(0)
+    tiles = [rng.integers(0, 1 << 40, u * E) for _ in range(n_tiles)]
+
+    ENGINE_ARENA.clear()
+    reset_fusion_stats()
+    cold, warm = EngineStats(), EngineStats()
+    profile_blocksorts(tiles, E, w, "thrust", stats=cold)
+    profile_blocksorts(tiles, E, w, "thrust", stats=warm)
+    fusion = fusion_stats()
+    arena = arena_stats()
+    cache = plan_cache_stats()
+
+    payload: dict[str, Any] = {
+        "target": "engine",
+        "w": w,
+        "E": E,
+        "u": u,
+        "tiles": n_tiles,
+        "cold": cold.as_dict(),
+        "warm": warm.as_dict(),
+        "fusion": {k: int(v) for k, v in fusion.items()},
+        "arena": {
+            k: (v if k == "reuse_rate" else int(v)) for k, v in arena.items()
+        },
+    }
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profile_path = out_dir / "profile-engine.json"
+    profile_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    folded = int(fusion["rounds_folded"] + fusion["stage_rounds_folded"])
+    lines = [
+        f"Engine fusion/arena profile — w={w}, E={E}, u={u}, "
+        f"tiles={n_tiles} (cold + warm pass)",
+        "",
+        f"passes fused: {int(fusion['fused_blocksorts'])} fused blocksort "
+        f"passes, {int(fusion['fallback_blocksorts'])} fallback; "
+        f"{int(fusion['round_many_calls'])} round_many calls folded "
+        f"{folded} rounds ({int(fusion['round_calls'])} single rounds left)",
+        f"arena reuse: {int(arena['reuse_hits'])}/{int(arena['checkouts'])} "
+        f"checkouts served from the pool "
+        f"(reuse rate {arena['reuse_rate']:.1%}; "
+        f"warm-pass reuse {warm.arena_reuse_hits}/{warm.arena_checkouts})",
+        f"peak resident scratch: {int(arena['peak_bytes'])} bytes "
+        f"({int(arena['resident_bytes'])} resident after release)",
+        f"plan cache: {int(cache['hits'])} hits / {int(cache['misses'])} "
+        f"misses ({int(cache['bytes'])} plan bytes)",
+        "",
+        "wrote:",
+        f"  {profile_path}",
+    ]
+    return "\n".join(lines)
+
+
 def run_profile(args: argparse.Namespace) -> str:
     """Execute ``repro profile``: run, attribute, print, write artifacts."""
     target = args.target or "worstcase"
+    if target == "engine":
+        # The engine target profiles the batched lane itself (fusion and
+        # arena accounting), not a kernel execution.
+        return _profile_engine(args)
     if target not in PROFILE_TARGETS:
         raise ParameterError(
             f"unknown profile target {target!r} "

@@ -42,6 +42,21 @@ COUNTER_PREFIXES = (
     "engine.plan_cache.hits",
     "engine.plan_cache.misses",
     "engine.plan_cache.evictions",
+    "engine.arena.checkouts",
+    "engine.arena.reuse_hits",
+    "engine.arena.releases",
+    "engine.arena.discards",
+    "engine.fusion.round_calls",
+    "engine.fusion.round_many_calls",
+    "engine.fusion.rounds_folded",
+    "engine.fusion.stage_passes",
+    "engine.fusion.stage_rounds_folded",
+    "engine.fusion.fused_blocksorts",
+    "engine.fusion.fallback_blocksorts",
+    "engine.fusion.fused_merges",
+    "engine.fusion.fallback_merges",
+    "engine.fusion.fused_searches",
+    "engine.fusion.fallback_searches",
     "cluster.tasks_executed",
     "cluster.tasks_inline",
     "cluster.tasks_process",

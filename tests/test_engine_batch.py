@@ -172,3 +172,139 @@ class TestLaneGrouping:
         assert stats.passes == 2
         for k, (a, b) in enumerate(pairs):
             assert got[k].as_dict() == search_profile(a, b, E, w, mapped=True).as_dict()
+
+
+class TestRoundManyEquality:
+    """round_many must be bit-identical to per-round round() accounting."""
+
+    def _pair(self, tiles, u, w):
+        return (
+            BatchCounters(tiles, u, w),
+            BatchCounters(tiles, u, w),
+        )
+
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    @pytest.mark.parametrize("u,w", [(16, 8), (24, 12), (64, 32)])
+    def test_stacked_equals_sequential(self, u, w, kind):
+        rng = np.random.default_rng(31)
+        tiles, R = 3, 9
+        addr = rng.integers(0, 200, (R, tiles, u))
+        act = rng.random((R, tiles, u)) < 0.8
+        many, single = self._pair(tiles, u, w)
+        many.round_many(addr, act, kind=kind)
+        for r in range(R):
+            single.round(addr[r], act[r], kind=kind)
+        for got, want in zip(many.to_counters(), single.to_counters()):
+            assert got.as_dict() == want.as_dict()
+
+    def test_active_none_means_all_active(self):
+        rng = np.random.default_rng(5)
+        tiles, u, w, R = 2, 16, 8, 4
+        addr = rng.integers(0, 64, (R, tiles, u))
+        many, single = self._pair(tiles, u, w)
+        many.round_many(addr, None)
+        single.round_many(addr, np.ones((R, tiles, u), dtype=bool))
+        for got, want in zip(many.to_counters(), single.to_counters()):
+            assert got.as_dict() == want.as_dict()
+
+    def test_negative_and_wide_addresses(self):
+        # Wide spans force the int64 key dtype; negative addresses are
+        # legal (they are offsets before the amin shift).
+        rng = np.random.default_rng(6)
+        tiles, u, w, R = 2, 16, 8, 3
+        addr = rng.integers(-(1 << 40), 1 << 40, (R, tiles, u))
+        act = rng.random((R, tiles, u)) < 0.7
+        many, single = self._pair(tiles, u, w)
+        many.round_many(addr, act)
+        for r in range(R):
+            single.round(addr[r], act[r])
+        for got, want in zip(many.to_counters(), single.to_counters()):
+            assert got.as_dict() == want.as_dict()
+
+    @pytest.mark.parametrize("u,w", [(16, 8), (24, 12)])
+    def test_assume_distinct_equals_sequential(self, u, w):
+        # Per-warp distinct active addresses: a shuffled base per warp.
+        rng = np.random.default_rng(17)
+        tiles, R = 3, 6
+        addr = np.empty((R, tiles, u), dtype=np.int64)
+        for r in range(R):
+            for t in range(tiles):
+                for s in range(u // w):
+                    addr[r, t, s * w : (s + 1) * w] = rng.permutation(w) + rng.integers(0, 50)
+        act = rng.random((R, tiles, u)) < 0.6
+        many, single = self._pair(tiles, u, w)
+        many.round_many(addr, act, assume_distinct=True)
+        for r in range(R):
+            single.round(addr[r], act[r])
+        for got, want in zip(many.to_counters(), single.to_counters()):
+            assert got.as_dict() == want.as_dict()
+
+    def test_assume_distinct_wide_warp_keyed_branch(self):
+        # w > 127 skips the run-length fast path and keys on bank ids.
+        rng = np.random.default_rng(23)
+        tiles, u, w, R = 1, 256, 128, 3
+        addr = np.stack([
+            np.stack([rng.permutation(u) for _ in range(tiles)])
+            for _ in range(R)
+        ])
+        act = rng.random((R, tiles, u)) < 0.5
+        many, single = self._pair(tiles, u, w)
+        many.round_many(addr, act, assume_distinct=True)
+        for r in range(R):
+            single.round(addr[r], act[r])
+        for got, want in zip(many.to_counters(), single.to_counters()):
+            assert got.as_dict() == want.as_dict()
+
+    def test_partial_warp_falls_back_to_sequential(self):
+        rng = np.random.default_rng(13)
+        tiles, u, w, R = 2, 20, 8, 5  # u % w != 0
+        addr = rng.integers(0, 64, (R, tiles, u))
+        act = rng.random((R, tiles, u)) < 0.7
+        many, single = self._pair(tiles, u, w)
+        many.round_many(addr, act)
+        for r in range(R):
+            single.round(addr[r], act[r])
+        for got, want in zip(many.to_counters(), single.to_counters()):
+            assert got.as_dict() == want.as_dict()
+
+    def test_zero_rounds_and_all_inactive_are_noops(self):
+        tiles, u, w = 2, 16, 8
+        bc = BatchCounters(tiles, u, w)
+        bc.round_many(np.zeros((0, tiles, u), dtype=np.int64), None)
+        bc.round_many(
+            np.zeros((3, tiles, u), dtype=np.int64),
+            np.zeros((3, tiles, u), dtype=bool),
+        )
+        assert all(c.as_dict() == Counters().as_dict() for c in bc.to_counters())
+
+    def test_rejects_non_3d_addresses(self):
+        bc = BatchCounters(2, 16, 8)
+        with pytest.raises(ParameterError):
+            bc.round_many(np.zeros((2, 16), dtype=np.int64), None)
+
+
+class TestLaneFusionArenaStats:
+    def test_blocksort_pass_reports_fusion_and_arena_deltas(self):
+        rng = np.random.default_rng(3)
+        E, u, w = 5, 32, 8
+        tiles = [rng.integers(0, 1 << 20, u * E) for _ in range(4)]
+        stats = EngineStats()
+        profile_blocksorts(tiles, E, w, "thrust", stats=stats)
+        assert stats.items == 4 and stats.passes == 1
+        assert stats.rounds_folded > 0, "fused pass folded no rounds"
+        assert stats.arena_checkouts > 0, "fused pass leased no scratch"
+        assert stats.arena_peak_bytes > 0
+        d = stats.as_dict()
+        assert d["rounds_folded"] == stats.rounds_folded
+        assert set(d) == {
+            "items", "passes", "fused_stage_passes", "rounds_folded",
+            "arena_checkouts", "arena_reuse_hits", "arena_peak_bytes",
+        }
+
+    def test_stage_passes_counted_for_cf_variant(self):
+        rng = np.random.default_rng(4)
+        E, u, w = 5, 32, 8  # coprime: cf blocksort uses analytic staging
+        tiles = [rng.integers(0, 1 << 20, u * E) for _ in range(2)]
+        stats = EngineStats()
+        profile_blocksorts(tiles, E, w, "cf", stats=stats)
+        assert stats.fused_stage_passes > 0

@@ -136,17 +136,95 @@ class TestPlanCacheBehavior:
         get_plan("tids", 4, 0, 1)
         stats = plan_cache_stats()
         assert set(stats) == {
-            "hits", "misses", "evictions", "size", "capacity", "hit_rate"
+            "hits", "misses", "evictions", "size", "capacity", "bytes", "hit_rate"
         }
         assert all(isinstance(v, float) for v in stats.values())
         assert PLAN_CACHE.capacity == stats["capacity"]
+
+    def test_hit_rate_zero_lookup_guard(self):
+        assert PlanCache().stats()["hit_rate"] == 0.0
+
+    def test_byte_ledger_tracks_insert_evict_clear(self):
+        cache = PlanCache(capacity=2)
+        a = cache.get("tids", 8, 0, 1)
+        b = cache.get("tids", 16, 0, 1)
+        assert cache.stats()["bytes"] == float(a.nbytes + b.nbytes)
+        c = cache.get("tids", 32, 0, 1)  # evicts a
+        assert cache.stats()["bytes"] == float(b.nbytes + c.nbytes)
+        cache.clear()
+        assert cache.stats()["bytes"] == 0.0
 
     def test_plan_kinds_enumeration(self):
         assert set(PLAN_KINDS) == {
             "tids", "stage", "rho", "scatter", "oddeven",
             "kway_rounds", "sample_splitters",
             "key_pack", "payload_gather",
+            "fused_take", "fused_stage", "fused_level",
         }
+
+
+class TestFusedPlans:
+    @pytest.mark.parametrize("w,E,n_a", [(8, 5, 17), (32, 16, 100), (8, 5, 0)])
+    def test_fused_take_composes_pi_rho(self, w, E, n_a):
+        n = 2 * w * E
+        plan = get_plan("fused_take", n, E, w, k=n_a)
+        take = np.asarray(plan["take"])
+        put = np.asarray(plan["put"])
+        # take/put are mutually inverse permutations of [0, n).
+        assert np.array_equal(np.sort(take), np.arange(n))
+        assert np.array_equal(take[put], np.arange(n))
+        # put composes pi (B reversal) with rho position-by-position.
+        for i in range(n):
+            pos = i if i < n_a else n - 1 - (i - n_a)
+            assert put[i] == rho(pos, w, E, total=n)
+
+    def test_fused_take_validates_split(self):
+        with pytest.raises(ParameterError):
+            get_plan("fused_take", 40, 5, 8, k=41)
+
+    def test_fused_stage_closed_form(self):
+        u, E, w = 16, 6, 8  # d = 2: two banks collide per warp
+        plan = get_plan("fused_stage", u, E, w)
+        counts = np.bincount((np.arange(w) * E) % w, minlength=w)
+        assert plan["n_warps"][0] == u // w
+        assert plan["cycles"][0] == (u // w) * counts.max()
+        assert plan["excess"][0] == (u // w) * np.maximum(counts - 1, 0).sum()
+
+    def test_fused_stage_requires_full_warps(self):
+        with pytest.raises(ParameterError):
+            get_plan("fused_stage", 20, 5, 8)
+
+    def test_fused_level_geometry(self):
+        u, E, w, level = 16, 5, 8, 1
+        g = 1 << level
+        region, half = 2 * g * E, g * E
+        plan = get_plan("fused_level", u, E, w, level=level)
+        tids = np.arange(u)
+        pbase = (tids * E) // region * region
+        tau = tids - pbase // E
+        assert np.array_equal(np.asarray(plan["pbase"]), pbase)
+        assert np.array_equal(np.asarray(plan["tau"]), tau)
+        assert np.array_equal(np.asarray(plan["diag"]), tau * E)
+        assert np.array_equal(
+            np.asarray(plan["lo"]), np.maximum(0, tau * E - half)
+        )
+        assert np.array_equal(np.asarray(plan["hi"]), np.minimum(tau * E, half))
+        assert np.array_equal(
+            np.asarray(plan["pair_last"]), tau == region // E - 1
+        )
+        tag = np.asarray(plan["tag"])
+        assert tag.shape == (u * E,)
+        assert np.array_equal(tag, (np.arange(u * E) % region) // half)
+
+    def test_fused_level_keys_do_not_collide(self):
+        a = get_plan("fused_level", 16, 5, 8, level=0)
+        b = get_plan("fused_level", 16, 5, 8, level=1)
+        assert a is not b
+        assert a.key.level == 0 and b.key.level == 1
+
+    def test_fused_level_validates_tiling(self):
+        with pytest.raises(ParameterError):
+            get_plan("fused_level", 16, 5, 8, level=4)  # g = 16 == u
 
 
 class TestImmutability:
@@ -156,6 +234,9 @@ class TestImmutability:
         ("rho", 160, 16, 8),
         ("scatter", 80, 5, 8),
         ("oddeven", 6, 0, 1),
+        ("fused_take", 160, 16, 8),
+        ("fused_stage", 8, 5, 8),
+        ("fused_level", 8, 5, 8),
     ])
     def test_every_plan_array_is_write_protected(self, kind, n, E, w):
         plan = get_plan(kind, n, E, w)

@@ -1,0 +1,129 @@
+"""Property-based proof that the fused take permutation is the composition.
+
+The fused-plan layer replaces the three-pass layout build (pi B-reversal,
+rho circular shift, gather/scatter) with one precomputed ``take``/``put``
+permutation pair.  Hypothesis drives random ``(n, E, w, k)`` geometries —
+coprime and non-coprime, empty and full ``A`` sides — and asserts the
+one-pass application is *bit-identical* to the reference three-pass path,
+plus the §4 adversary explicitly (the input the paper builds to maximise
+conflicts, and the one the acceptance gate replays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import (
+    _apply_layout,
+    apply_block_layout,
+    apply_warp_layout,
+    rho,
+)
+from repro.engine.plans import get_plan
+from repro.numtheory import gcd
+from repro.worstcase.generator import worstcase_merge_inputs
+
+# w x E covers d = GCD(w, E) in {1, 2, 4, 8, 16}: identity-rho and every
+# shifted-partition regime.
+geometries = st.tuples(
+    st.sampled_from([4, 8, 16, 32]),        # w
+    st.integers(min_value=1, max_value=17),  # E
+    st.integers(min_value=1, max_value=4),   # u / w
+)
+
+
+@st.composite
+def layouts(draw):
+    w, E, m = draw(geometries)
+    u = m * w
+    n = u * E
+    k = draw(st.integers(min_value=0, max_value=n))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return w, E, u, n, k, seed
+
+
+@given(layouts())
+@settings(max_examples=200, deadline=None)
+def test_fused_equals_three_pass_composition(layout):
+    w, E, u, n, k, seed = layout
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-(1 << 40), 1 << 40, n, dtype=np.int64)
+    a, b = data[:k], data[k:]
+    fused = _apply_layout(a, b, w, E, n, fused=True)
+    reference = _apply_layout(a, b, w, E, n, fused=False)
+    assert np.array_equal(fused, reference)
+
+
+@given(layouts())
+@settings(max_examples=100, deadline=None)
+def test_fused_take_put_are_inverse_permutations(layout):
+    w, E, u, n, k, _ = layout
+    plan = get_plan("fused_take", n, E, w, k=k)
+    take = np.asarray(plan["take"])
+    put = np.asarray(plan["put"])
+    assert np.array_equal(np.sort(take), np.arange(n))
+    assert np.array_equal(take[put], np.arange(n))
+    assert np.array_equal(put[take], np.arange(n))
+
+
+@given(layouts())
+@settings(max_examples=50, deadline=None)
+def test_fused_put_is_rho_after_pi_pointwise(layout):
+    w, E, u, n, k, seed = layout
+    plan = get_plan("fused_take", n, E, w, k=k)
+    put = np.asarray(plan["put"])
+    rng = np.random.default_rng(seed)
+    for i in rng.integers(0, n, size=min(n, 16)):
+        i = int(i)
+        pos = i if i < k else n - 1 - (i - k)  # pi on the B side
+        assert put[i] == rho(pos, w, E, total=n)
+
+
+@given(geometries)
+@settings(max_examples=50, deadline=None)
+def test_warp_scope_fused_matches_reference(geometry):
+    w, E, _ = geometry
+    n = w * E
+    rng = np.random.default_rng(n)
+    data = rng.integers(0, 1 << 30, n, dtype=np.int64)
+    k = n // 3
+    assert np.array_equal(
+        apply_warp_layout(data[:k], data[k:], w, E, fused=True),
+        apply_warp_layout(data[:k], data[k:], w, E, fused=False),
+    )
+
+
+class TestAdversaryAndNonCoprime:
+    # The paper's regimes by hand: coprime (d=1), the Thrust default
+    # (d=16), and a small fully non-coprime tile (d=2).
+    GEOMETRIES = [(15, 64, 32), (16, 64, 32), (6, 16, 8), (5, 32, 8)]
+
+    @pytest.mark.parametrize("E,u,w", GEOMETRIES)
+    def test_section4_adversary_layout_is_bit_identical(self, E, u, w):
+        a, b = worstcase_merge_inputs(w, E, u=u)
+        n = len(a) + len(b)
+        fused = _apply_layout(a, b, w, E, n, fused=True)
+        reference = _apply_layout(a, b, w, E, n, fused=False)
+        assert np.array_equal(fused, reference)
+
+    @pytest.mark.parametrize("E,u,w", GEOMETRIES)
+    def test_block_scope_on_lopsided_splits(self, E, u, w):
+        n = u * E
+        rng = np.random.default_rng(E * u * w)
+        data = rng.integers(0, 1 << 40, n, dtype=np.int64)
+        for k in (0, 1, n // 2, n - 1, n):
+            assert np.array_equal(
+                apply_block_layout(data[:k], data[k:], u, w, E, fused=True),
+                apply_block_layout(data[:k], data[k:], u, w, E, fused=False),
+            )
+
+    def test_noncoprime_shift_actually_moves_elements(self):
+        # Guard against a vacuous identity: with d > 1 the fused plan
+        # must not be the identity permutation.
+        w, E = 32, 16
+        assert gcd(w, E) > 1
+        plan = get_plan("fused_take", w * E, E, w, k=w * E)
+        assert not np.array_equal(np.asarray(plan["take"]), np.arange(w * E))

@@ -190,3 +190,145 @@ class TestShardedWorkerPool:
             pool.dispatch(0, i)
         pool.close()
         assert seen == list(range(10))
+
+
+def _pending_for(rid: int, n: int, backend: str) -> PendingRequest:
+    now = time.monotonic()
+    return PendingRequest(
+        request=SortRequest(
+            request_id=rid,
+            data=np.arange(n, dtype=np.int64)[::-1].copy(),
+            backend=backend,
+        ),
+        submitted_at=now,
+        deadline_at=None,
+    )
+
+
+class TestCrossFlushCoalescing:
+    def test_under_capacity_coalescible_group_is_retained(self):
+        # A cf flush must not drag the still-filling cf-batched group
+        # out with it; the retained group dispatches at close time.
+        collector = _Collector()
+        policy = BatchPolicy(
+            max_batch_requests=2, max_wait_s=30.0,
+            coalesce_backends=("cf-batched",),
+        )
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        scheduler.enqueue(_pending_for(0, 5, "cf-batched"))
+        scheduler.enqueue(_pending_for(1, 5, "cf"))
+        assert _wait_for(lambda: collector.batches)
+        with collector.lock:
+            first = [
+                (b.backend, [r.request_id for r in b.requests])
+                for b, _, _ in collector.batches
+            ]
+        assert first == [("cf", [1])], "cf-batched group should be retained"
+        scheduler.close()  # force-dispatches the retained group
+        backends = [b.backend for b, _, _ in collector.batches]
+        assert backends == ["cf", "cf-batched"]
+
+    def test_retained_group_coalesces_with_later_arrivals(self):
+        # The whole point: a request surviving one flush merges with a
+        # newer same-backend request into ONE batch.
+        collector = _Collector()
+        policy = BatchPolicy(
+            max_batch_requests=2, max_wait_s=30.0,
+            coalesce_backends=("cf-batched",),
+        )
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            scheduler.enqueue(_pending_for(0, 5, "cf-batched"))
+            scheduler.enqueue(_pending_for(1, 5, "cf"))  # triggers flush #1
+            assert _wait_for(lambda: collector.batches)
+            scheduler.enqueue(_pending_for(2, 5, "cf-batched"))  # fills the group
+            assert _wait_for(lambda: len(collector.batches) >= 2)
+            with collector.lock:
+                coalesced = [
+                    [r.request_id for r in b.requests]
+                    for b, _, _ in collector.batches
+                    if b.backend == "cf-batched"
+                ]
+            assert coalesced == [[0, 2]], "requests 0 and 2 must share one batch"
+        finally:
+            scheduler.close()
+
+    def test_batch_ids_advance_only_on_dispatch(self):
+        collector = _Collector()
+        policy = BatchPolicy(
+            max_batch_requests=2, max_wait_s=30.0,
+            coalesce_backends=("cf-batched",),
+        )
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        scheduler.enqueue(_pending_for(0, 5, "cf-batched"))  # retained first
+        scheduler.enqueue(_pending_for(1, 5, "cf"))
+        assert _wait_for(lambda: collector.batches)
+        scheduler.close()
+        ids = [b.batch_id for b, _, _ in collector.batches]
+        assert ids == [0, 1], "retention must not burn batch ids"
+
+    def test_aged_coalescible_group_dispatches_on_wait_trigger(self):
+        collector = _Collector()
+        policy = BatchPolicy(
+            max_batch_requests=64, max_batch_tiles=8, max_wait_s=0.05,
+            coalesce_backends=("cf-batched",),
+        )
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            scheduler.enqueue(_pending_for(0, 5, "cf-batched"))
+            # No other traffic: only aging can dispatch it.
+            assert _wait_for(lambda: collector.batches, timeout=5.0)
+            with collector.lock:
+                (batch, _, _) = collector.batches[0]
+            assert [r.request_id for r in batch.requests] == [0]
+        finally:
+            scheduler.close()
+
+    def test_full_coalescible_group_dispatches_immediately(self):
+        collector = _Collector()
+        policy = BatchPolicy(
+            max_batch_requests=2, max_wait_s=30.0,
+            coalesce_backends=("cf-batched",),
+        )
+        scheduler = BatchScheduler(
+            policy, PARAMS, on_batch=collector.on_batch, on_expired=collector.on_expired
+        )
+        try:
+            scheduler.enqueue(_pending_for(0, 5, "cf-batched"))
+            scheduler.enqueue(_pending_for(1, 5, "cf-batched"))  # group full
+            assert _wait_for(lambda: collector.batches)
+            with collector.lock:
+                (batch, _, _) = collector.batches[0]
+            assert [r.request_id for r in batch.requests] == [0, 1]
+        finally:
+            scheduler.close()
+
+
+class TestCoalescePolicyValidation:
+    def test_default_names_the_batched_backends(self):
+        assert BatchPolicy().coalesce_backends == ("cf-batched", "cf-cluster")
+
+    def test_list_is_normalized_to_tuple(self):
+        policy = BatchPolicy(coalesce_backends=["kway"])
+        assert policy.coalesce_backends == ("kway",)
+
+    def test_invalid_backend_names_rejected(self):
+        import pytest
+
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            BatchPolicy(coalesce_backends=("not a name",))
+        with pytest.raises(ParameterError):
+            BatchPolicy(coalesce_backends=("",))
+
+    def test_empty_tuple_disables_coalescing(self):
+        assert BatchPolicy(coalesce_backends=()).coalesce_backends == ()
